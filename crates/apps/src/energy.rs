@@ -1,0 +1,298 @@
+//! An energy-saving application (paper §1's motivation: switches are
+//! "brought down for planned maintenance or saving energy", citing
+//! ElasticTree [NSDI'10]).
+//!
+//! The control loop: read the observed per-link traffic loads of each
+//! pod's aggregation switches; when a pod's aggregate utilization has been
+//! below the power-down threshold for enough consecutive samples, propose
+//! powering off its highest-numbered live Agg; when utilization rises
+//! above the wake threshold, propose powering Aggs back on.
+//!
+//! Like every Statesman application it is *greedy and safety-ignorant by
+//! design*: it may propose a power-down that would breach the capacity
+//! invariant, and it relies on the checker's rejection to find the floor.
+//! (That interplay — an energy saver probing for the invariant boundary —
+//! is the loose-coupling thesis of the paper in its purest form.)
+
+use crate::harness::{AppStepReport, ManagementApp};
+use statesman_core::StatesmanClient;
+use statesman_types::{
+    Attribute, DatacenterId, DeviceName, EntityName, Freshness, StateResult, Value,
+};
+use std::collections::HashMap;
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct EnergyConfig {
+    /// The datacenter to manage.
+    pub datacenter: DatacenterId,
+    /// Pods with their Agg devices, in pod order.
+    pub pods: Vec<(u32, Vec<DeviceName>)>,
+    /// Power a pod's Agg down when pod utilization is below this.
+    pub sleep_below_utilization: f64,
+    /// Power Aggs back up when pod utilization is above this.
+    pub wake_above_utilization: f64,
+    /// Consecutive low samples required before sleeping an Agg.
+    pub persistence: u32,
+}
+
+/// The energy-saving application.
+pub struct EnergySaverApp {
+    client: StatesmanClient,
+    config: EnergyConfig,
+    low_streak: HashMap<u32, u32>,
+    /// Aggs we have put to sleep, per pod (most recent last).
+    asleep: HashMap<u32, Vec<DeviceName>>,
+    /// Victims whose power-down the checker refused: the invariant floor.
+    /// Cleared when utilization rises (the floor moves with load).
+    blocked: std::collections::HashSet<DeviceName>,
+}
+
+impl EnergySaverApp {
+    /// Build the application.
+    pub fn new(client: StatesmanClient, config: EnergyConfig) -> Self {
+        EnergySaverApp {
+            client,
+            config,
+            low_streak: HashMap::new(),
+            asleep: HashMap::new(),
+            blocked: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Devices currently slept by this app (all pods).
+    pub fn sleeping(&self) -> Vec<DeviceName> {
+        let mut v: Vec<DeviceName> = self.asleep.values().flatten().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Pod utilization: the *hottest* directed load among the pod's
+    /// Agg-incident links, as a fraction of nominal link capacity. Max
+    /// (not mean) because a single saturating link is what forces a wake.
+    fn pod_utilization(
+        &self,
+        os_loads: &HashMap<EntityName, (f64, f64)>,
+        aggs: &[DeviceName],
+    ) -> f64 {
+        let mut peak: f64 = 0.0;
+        for (entity, (ab, ba)) in os_loads {
+            let Some(link) = entity.as_link() else {
+                continue;
+            };
+            if aggs.iter().any(|a| link.touches(a)) {
+                peak = peak.max(ab.max(*ba) / 10_000.0); // nominal 10G links
+            }
+        }
+        peak
+    }
+}
+
+impl ManagementApp for EnergySaverApp {
+    fn name(&self) -> &str {
+        self.client.app().as_str()
+    }
+
+    fn step(&mut self) -> StateResult<AppStepReport> {
+        let mut report = AppStepReport {
+            receipts: self.client.take_receipts()?,
+            ..Default::default()
+        };
+
+        // Digest rejections: a rejected power-down means the checker found
+        // the capacity floor — pull the device back out of our sleep set.
+        let receipts = report.receipts.clone();
+        for r in &receipts {
+            if r.outcome.is_rejected() && r.key.attribute == Attribute::DeviceAdminPower {
+                if let Some(dev) = r.key.entity.as_device() {
+                    for slept in self.asleep.values_mut() {
+                        slept.retain(|d| d != dev);
+                    }
+                    self.blocked.insert(dev.clone());
+                    report.note(format!("power-down of {dev} rejected; backing off"));
+                }
+            }
+        }
+
+        // Read loads (bounded-stale is plenty for energy trends, §6.4).
+        let rows = self
+            .client
+            .read_os(&self.config.datacenter, Freshness::BoundedStale)?;
+        let mut loads: HashMap<EntityName, (f64, f64)> = HashMap::new();
+        for row in rows {
+            let e = loads.entry(row.entity.clone()).or_insert((0.0, 0.0));
+            match row.attribute {
+                Attribute::LinkTrafficLoadAB => e.0 = row.value.as_float().unwrap_or(0.0),
+                Attribute::LinkTrafficLoadBA => e.1 = row.value.as_float().unwrap_or(0.0),
+                _ => {}
+            }
+        }
+
+        let mut proposals = Vec::new();
+        for (pod, aggs) in self.config.pods.clone() {
+            let util = self.pod_utilization(&loads, &aggs);
+            let slept = self.asleep.entry(pod).or_default();
+            let live: Vec<DeviceName> = aggs
+                .iter()
+                .filter(|a| !slept.contains(a))
+                .cloned()
+                .collect();
+
+            if util < self.config.sleep_below_utilization && live.len() > 1 {
+                let streak = self.low_streak.entry(pod).or_insert(0);
+                *streak += 1;
+                if *streak >= self.config.persistence {
+                    // Sleep the highest-numbered live Agg the checker has
+                    // not already refused (the refusal marks the floor).
+                    let victim = live
+                        .iter()
+                        .rev()
+                        .find(|d| !self.blocked.contains(*d))
+                        .cloned();
+                    if let Some(victim) = victim {
+                        report.note(format!(
+                            "pod {pod} at {util:.2} utilization; sleeping {victim}"
+                        ));
+                        proposals.push((
+                            EntityName::device(self.config.datacenter.clone(), victim.clone()),
+                            Attribute::DeviceAdminPower,
+                            Value::power(false),
+                        ));
+                        slept.push(victim);
+                    }
+                    *streak = 0;
+                }
+            } else {
+                self.low_streak.remove(&pod);
+                // Rising load moves the invariant floor: allow re-probing.
+                self.blocked.clear();
+                if util > self.config.wake_above_utilization && !slept.is_empty() {
+                    let wake = slept.pop().expect("non-empty");
+                    report.note(format!("pod {pod} at {util:.2}; waking {wake}"));
+                    proposals.push((
+                        EntityName::device(self.config.datacenter.clone(), wake),
+                        Attribute::DeviceAdminPower,
+                        Value::power(true),
+                    ));
+                }
+            }
+        }
+        report.proposals = proposals.len();
+        self.client.propose(proposals)?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upgrade::agg_pods_of;
+    use statesman_core::{Coordinator, CoordinatorConfig, StatesmanClient};
+    use statesman_net::{SimClock, SimConfig, SimNetwork};
+    use statesman_storage::StorageService;
+    use statesman_topology::DcnSpec;
+    use statesman_types::SimDuration;
+
+    fn setup() -> (Coordinator, EnergySaverApp, SimNetwork) {
+        let clock = SimClock::new();
+        let graph = DcnSpec::fig7("dc1").build();
+        let mut cfg = SimConfig::ideal();
+        cfg.faults.command_latency_ms = 500;
+        let net = SimNetwork::new(&graph, clock.clone(), cfg);
+        let storage = StorageService::single_dc("dc1", clock.clone());
+        let coord = Coordinator::new(
+            &graph,
+            net.clone(),
+            storage.clone(),
+            CoordinatorConfig::default(),
+        );
+        let app = EnergySaverApp::new(
+            StatesmanClient::new("energy-saver", storage, clock),
+            EnergyConfig {
+                datacenter: DatacenterId::new("dc1"),
+                pods: agg_pods_of(&graph, &DatacenterId::new("dc1"))
+                    .into_iter()
+                    .take(1)
+                    .collect(),
+                sleep_below_utilization: 0.1,
+                wake_above_utilization: 0.5,
+                persistence: 2,
+            },
+        );
+        (coord, app, net)
+    }
+
+    #[test]
+    fn idle_pod_sleeps_aggs_until_the_checker_refuses() {
+        let (coord, mut app, net) = setup();
+        coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+
+        // The fabric is idle; the app sleeps one Agg every `persistence`
+        // steps until the 50%-capacity invariant refuses (at most 2 of 4
+        // Aggs may be down).
+        let mut rejected_seen = false;
+        for _ in 0..12 {
+            let r = app.step().unwrap();
+            coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+            net.step(SimDuration::from_mins(1));
+            if r.rejections() > 0 {
+                rejected_seen = true;
+            }
+        }
+        assert!(rejected_seen, "the checker must eventually refuse");
+        // Exactly 2 Aggs sleeping — the invariant floor.
+        assert_eq!(app.sleeping().len(), 2, "{:?}", app.sleeping());
+        let down = ["agg-1-1", "agg-1-2", "agg-1-3", "agg-1-4"]
+            .iter()
+            .filter(|d| !net.device_operational(&DeviceName::new(**d)))
+            .count();
+        assert_eq!(down, 2, "two Aggs actually powered down");
+    }
+
+    #[test]
+    fn traffic_wakes_slept_aggs() {
+        let (coord, mut app, net) = setup();
+        coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        // Sleep one Agg first.
+        for _ in 0..3 {
+            app.step().unwrap();
+            coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+            net.step(SimDuration::from_mins(1));
+        }
+        assert!(!app.sleeping().is_empty());
+
+        // Load the pod: a heavy flow across pod-1 links.
+        use statesman_net::{DeviceCommand, FlowSpec};
+        use statesman_types::{FlowLinkRule, LinkName};
+        let l1 = LinkName::between("tor-1-1", "agg-1-1");
+        let l2 = LinkName::between("agg-1-1", "tor-1-2");
+        net.submit(
+            &DeviceName::new("tor-1-1"),
+            DeviceCommand::SetRoutingRules {
+                rules: vec![FlowLinkRule::new("hot", l1, 1.0)],
+            },
+        );
+        net.submit(
+            &DeviceName::new("agg-1-1"),
+            DeviceCommand::SetRoutingRules {
+                rules: vec![FlowLinkRule::new("hot", l2, 1.0)],
+            },
+        );
+        net.offer_flows(vec![FlowSpec::new("hot", "tor-1-1", "tor-1-2", 9_000.0)]);
+        net.step(SimDuration::from_mins(1));
+
+        // The monitor reports the load; bounded-stale caches expire after
+        // 5 minutes, so advance past the bound before the app reads.
+        let mut woke = false;
+        for _ in 0..6 {
+            coord.tick_and_advance(SimDuration::from_mins(6)).unwrap();
+            net.step(SimDuration::from_mins(1));
+            let r = app.step().unwrap();
+            if r.notes.iter().any(|n| n.contains("waking")) {
+                woke = true;
+                break;
+            }
+        }
+        assert!(woke, "high utilization must wake a slept Agg");
+    }
+}

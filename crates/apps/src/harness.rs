@@ -1,0 +1,89 @@
+//! The application control-loop contract.
+//!
+//! Paper §7.1 emphasizes two things about how applications must interact
+//! with Statesman: control loops operate "at the time scale of minutes,
+//! not seconds", and applications "need to run iteratively to adapt to the
+//! latest OS and the acceptance or rejection of their previous PSes".
+//! [`ManagementApp::step`] is that iteration: read the OS, digest
+//! receipts, propose.
+
+use statesman_types::{StateResult, WriteReceipt};
+
+/// What one application iteration did (scenario drivers log these).
+#[derive(Debug, Clone, Default)]
+pub struct AppStepReport {
+    /// Variables proposed this step.
+    pub proposals: usize,
+    /// Receipts digested this step.
+    pub receipts: Vec<WriteReceipt>,
+    /// Free-form notes ("upgrading pod 4", "drained br-1", …).
+    pub notes: Vec<String>,
+}
+
+impl AppStepReport {
+    /// Append a note (builder style for app internals).
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// How many digested receipts were rejections.
+    pub fn rejections(&self) -> usize {
+        self.receipts
+            .iter()
+            .filter(|r| r.outcome.is_rejected())
+            .count()
+    }
+}
+
+/// A loosely coupled management application.
+pub trait ManagementApp {
+    /// The application's identity (matches its PS pool / receipts).
+    fn name(&self) -> &str;
+
+    /// Run one control-loop iteration at the current simulated time.
+    fn step(&mut self) -> StateResult<AppStepReport>;
+
+    /// Whether the application considers its current objective complete
+    /// (e.g. all targeted switches upgraded). Long-running apps (TE,
+    /// mitigation) never finish.
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statesman_types::{AppId, Attribute, EntityName, SimTime, StateKey, Value, WriteOutcome};
+
+    #[test]
+    fn report_counts_rejections() {
+        let mut r = AppStepReport::default();
+        r.note("hello");
+        r.receipts.push(WriteReceipt {
+            app: AppId::new("x"),
+            key: StateKey::new(
+                EntityName::device("dc1", "a"),
+                Attribute::DeviceFirmwareVersion,
+            ),
+            proposed: Value::text("7"),
+            outcome: WriteOutcome::Accepted,
+            decided_at: SimTime::ZERO,
+        });
+        r.receipts.push(WriteReceipt {
+            app: AppId::new("x"),
+            key: StateKey::new(
+                EntityName::device("dc1", "b"),
+                Attribute::DeviceFirmwareVersion,
+            ),
+            proposed: Value::text("7"),
+            outcome: WriteOutcome::RejectedInvariant {
+                invariant: "cap".into(),
+                reason: "r".into(),
+            },
+            decided_at: SimTime::ZERO,
+        });
+        assert_eq!(r.rejections(), 1);
+        assert_eq!(r.notes.len(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # statesman-apps
+//!
+//! The three management applications from the paper's deployment (§7.1),
+//! built as loosely coupled control loops over the
+//! [`StatesmanClient`](statesman_core::StatesmanClient) API — they never
+//! talk to devices, never talk to each other, and learn everything from
+//! the observed state and their receipts:
+//!
+//! * [`upgrade::SwitchUpgradeApp`] — rolls a firmware version across a
+//!   switch population: pod-by-pod with opportunistic parallelism inside a
+//!   pod (§7.2's "continuing to write a PS for one Agg upgrade until it
+//!   gets rejected"), or border-router-by-border-router behind a
+//!   high-priority lock with a drain wait (§7.3);
+//! * [`mitigation::FailureMitigationApp`] — watches FCS error rates and
+//!   shuts persistently faulty links down, opening an out-of-band repair
+//!   ticket;
+//! * [`te::InterDcTeApp`] — allocates inter-DC demands across WAN paths
+//!   (SWAN-style), holding low-priority locks on the routers it uses and
+//!   steering traffic away from routers it cannot lock;
+//! * [`energy::EnergySaverApp`] — an ElasticTree-style energy saver that
+//!   probes for the capacity invariant's floor by greedily sleeping idle
+//!   aggregation switches (§1 motivates energy saving as a standing
+//!   management application).
+//!
+//! All three implement [`ManagementApp`]: a `step()` the scenario driver
+//! calls on the application's own period (the paper's apps run every five
+//! minutes).
+
+pub mod energy;
+pub mod harness;
+pub mod mitigation;
+pub mod te;
+pub mod upgrade;
+
+pub use energy::{EnergyConfig, EnergySaverApp};
+pub use harness::{AppStepReport, ManagementApp};
+pub use mitigation::{FailureMitigationApp, MitigationConfig, RepairTicket};
+pub use te::{InterDcTeApp, TeConfig, TrafficDemand};
+pub use upgrade::{DrainTarget, SwitchUpgradeApp, UpgradeConfig, UpgradePlan, UpgradeStatus};

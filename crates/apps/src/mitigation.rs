@@ -1,0 +1,261 @@
+//! The link-failure-mitigation application (paper §7.1).
+//!
+//! "This application periodically reads the Frame-Check-Sequence (FCS)
+//! error rates on all the links. When detecting persistently high FCS
+//! error rates on certain links, it changes the LinkAdminPower state to
+//! shut down those faulty links ... The application also initiates an
+//! out-of-band repair process for those links, e.g., by creating a repair
+//! ticket for the on-site team."
+//!
+//! *Persistently* matters: a single bad sample must not shut a link. The
+//! app keeps a consecutive-high counter per link and acts only when it
+//! reaches the configured persistence. It reads the OS **up-to-date** —
+//! this is the example the paper gives of an application that cannot
+//! tolerate bounded staleness (§6.4).
+
+use crate::harness::{AppStepReport, ManagementApp};
+use statesman_core::StatesmanClient;
+use statesman_types::{
+    Attribute, DatacenterId, EntityName, Freshness, LinkName, SimTime, StateResult, Value,
+};
+use std::collections::HashMap;
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct MitigationConfig {
+    /// Datacenters whose links to watch.
+    pub datacenters: Vec<DatacenterId>,
+    /// FCS error rate above which a sample counts as "high".
+    pub fcs_threshold: f64,
+    /// Consecutive high samples before acting ("persistently high").
+    pub persistence: u32,
+}
+
+impl Default for MitigationConfig {
+    fn default() -> Self {
+        MitigationConfig {
+            datacenters: vec![],
+            fcs_threshold: 0.01,
+            persistence: 2,
+        }
+    }
+}
+
+/// An out-of-band repair ticket for the on-site team.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairTicket {
+    /// The faulty link.
+    pub link: LinkName,
+    /// The observed FCS rate that triggered the shutdown.
+    pub observed_rate: f64,
+    /// When the ticket was opened.
+    pub opened_at: SimTime,
+}
+
+/// The failure-mitigation application.
+pub struct FailureMitigationApp {
+    client: StatesmanClient,
+    config: MitigationConfig,
+    /// Consecutive high-FCS samples per link.
+    strikes: HashMap<EntityName, u32>,
+    /// Links already shut by us (avoid re-proposing each round).
+    shut: HashMap<EntityName, RepairTicket>,
+    tickets: Vec<RepairTicket>,
+}
+
+impl FailureMitigationApp {
+    /// Build the application.
+    pub fn new(client: StatesmanClient, config: MitigationConfig) -> Self {
+        FailureMitigationApp {
+            client,
+            config,
+            strikes: HashMap::new(),
+            shut: HashMap::new(),
+            tickets: Vec::new(),
+        }
+    }
+
+    /// Repair tickets opened so far.
+    pub fn tickets(&self) -> &[RepairTicket] {
+        &self.tickets
+    }
+}
+
+impl ManagementApp for FailureMitigationApp {
+    fn name(&self) -> &str {
+        self.client.app().as_str()
+    }
+
+    fn step(&mut self) -> StateResult<AppStepReport> {
+        let mut report = AppStepReport {
+            receipts: self.client.take_receipts()?,
+            ..Default::default()
+        };
+        let now = self.client.now();
+
+        let mut proposals = Vec::new();
+        for dc in self.config.datacenters.clone() {
+            // Failure detection needs the freshest data (§6.4).
+            let rows = self.client.read_os(&dc, Freshness::UpToDate)?;
+            for row in rows {
+                if row.attribute != Attribute::LinkFcsErrorRate {
+                    continue;
+                }
+                let Some(rate) = row.value.as_float() else {
+                    continue;
+                };
+                let entity = row.entity.clone();
+                if self.shut.contains_key(&entity) {
+                    continue;
+                }
+                if rate > self.config.fcs_threshold {
+                    let strikes = self.strikes.entry(entity.clone()).or_insert(0);
+                    *strikes += 1;
+                    if *strikes >= self.config.persistence {
+                        let link = entity.as_link().expect("FCS rows are link rows").clone();
+                        report.note(format!(
+                            "link {link} persistently bad (rate {rate:.3}); shutting down"
+                        ));
+                        proposals.push((
+                            entity.clone(),
+                            Attribute::LinkAdminPower,
+                            Value::power(false),
+                        ));
+                        let ticket = RepairTicket {
+                            link,
+                            observed_rate: rate,
+                            opened_at: now,
+                        };
+                        self.tickets.push(ticket.clone());
+                        self.shut.insert(entity, ticket);
+                    }
+                } else {
+                    self.strikes.remove(&entity);
+                }
+            }
+        }
+        report.proposals = proposals.len();
+        self.client.propose(proposals)?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statesman_core::{Coordinator, CoordinatorConfig, StatesmanClient};
+    use statesman_net::{FaultEvent, SimClock, SimConfig, SimNetwork};
+    use statesman_storage::StorageService;
+    use statesman_topology::DcnSpec;
+    use statesman_types::SimDuration;
+
+    fn setup_with_fault(rate: f64) -> (Coordinator, FailureMitigationApp, SimNetwork, LinkName) {
+        let clock = SimClock::new();
+        let graph = DcnSpec::fig7("dc1").build();
+        let link = LinkName::between("tor-4-1", "agg-4-1");
+        let mut cfg = SimConfig::ideal();
+        cfg.faults.command_latency_ms = 500;
+        cfg.faults = cfg.faults.with_event(
+            SimTime::from_mins(2),
+            FaultEvent::SetFcsErrorRate {
+                link: link.clone(),
+                rate,
+            },
+        );
+        let net = SimNetwork::new(&graph, clock.clone(), cfg);
+        let storage = StorageService::single_dc("dc1", clock.clone());
+        let coord = Coordinator::new(
+            &graph,
+            net.clone(),
+            storage.clone(),
+            CoordinatorConfig::default(),
+        );
+        let client = StatesmanClient::new("failure-mitigation", storage, clock);
+        let app = FailureMitigationApp::new(
+            client,
+            MitigationConfig {
+                datacenters: vec![DatacenterId::new("dc1")],
+                fcs_threshold: 0.01,
+                persistence: 2,
+            },
+        );
+        (coord, app, net, link)
+    }
+
+    #[test]
+    fn persistent_fcs_errors_shut_the_link() {
+        let (coord, mut app, net, link) = setup_with_fault(0.03);
+        // Round 1: no fault yet.
+        coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        app.step().unwrap();
+        assert!(app.tickets().is_empty());
+
+        // Fault fires at minute 2; two consecutive high samples needed.
+        coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        app.step().unwrap(); // strike 1
+        assert!(app.tickets().is_empty(), "one sample is not persistent");
+        coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        app.step().unwrap(); // strike 2 → shutdown proposed
+        assert_eq!(app.tickets().len(), 1);
+        assert_eq!(app.tickets()[0].link, link);
+
+        // The checker merges, the updater executes, the link goes down.
+        coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        net.step(SimDuration::from_mins(1));
+        assert!(!net.link_oper_up(&link));
+
+        // No duplicate proposals afterwards.
+        let r = app.step().unwrap();
+        assert_eq!(r.proposals, 0);
+        assert_eq!(app.tickets().len(), 1);
+    }
+
+    #[test]
+    fn transient_blips_do_not_trigger() {
+        // Fault raises FCS at minute 2 and clears at minute 7: only one
+        // high sample lands, below the persistence threshold.
+        let clock = SimClock::new();
+        let graph = DcnSpec::fig7("dc1").build();
+        let link = LinkName::between("tor-4-1", "agg-4-1");
+        let mut cfg = SimConfig::ideal();
+        cfg.faults = cfg
+            .faults
+            .with_event(
+                SimTime::from_mins(2),
+                FaultEvent::SetFcsErrorRate {
+                    link: link.clone(),
+                    rate: 0.03,
+                },
+            )
+            .with_event(
+                SimTime::from_mins(7),
+                FaultEvent::SetFcsErrorRate {
+                    link: link.clone(),
+                    rate: 0.0,
+                },
+            );
+        let net = SimNetwork::new(&graph, clock.clone(), cfg);
+        let storage = StorageService::single_dc("dc1", clock.clone());
+        let coord = Coordinator::new(&graph, net, storage.clone(), CoordinatorConfig::default());
+        let mut app = FailureMitigationApp::new(
+            StatesmanClient::new("failure-mitigation", storage, clock),
+            MitigationConfig {
+                datacenters: vec![DatacenterId::new("dc1")],
+                fcs_threshold: 0.01,
+                persistence: 2,
+            },
+        );
+        // t=0: healthy sample. Advance to 5 (fault fires at 2).
+        coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        app.step().unwrap();
+        // t=5: high sample → strike 1. Advance to 10 (fault clears at 7).
+        coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        app.step().unwrap();
+        assert!(app.tickets().is_empty());
+        // t=10: low sample → counter resets; still no ticket ever.
+        coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        let r = app.step().unwrap();
+        assert_eq!(r.proposals, 0);
+        assert!(app.tickets().is_empty());
+    }
+}

@@ -1,0 +1,392 @@
+//! The inter-DC traffic-engineering application (paper §7.1, §7.3).
+//!
+//! "As described in SWAN, Statesman collects the bandwidth demands from
+//! the bandwidth brokers ... the TE application computes and proposes new
+//! forwarding states, which are then pushed to all the relevant routers by
+//! the Statesman updater."
+//!
+//! This implementation allocates each DC-pair demand across the WAN's
+//! border-router *planes* (Fig 9: two border routers per DC, one mesh per
+//! plane). It holds a **low-priority lock** on every router it steers
+//! traffic through; when a router's lock cannot be (re-)acquired — the
+//! switch-upgrade application preempted it with a high-priority lock — TE
+//! steers the affected demands onto the remaining planes, draining the
+//! locked router (Fig 10's B). When the lock becomes available again it
+//! re-acquires and moves traffic back (E).
+//!
+//! Forwarding state is written at the *path* level (`PathSwitches` +
+//! `PathTrafficAllocation`); Statesman's updater translates paths into
+//! per-router routing rules (§4.1).
+
+use crate::harness::{AppStepReport, ManagementApp};
+use statesman_core::StatesmanClient;
+use statesman_net::FlowSpec;
+use statesman_types::{
+    Attribute, DatacenterId, DeviceName, EntityName, LockPriority, StateResult, Value,
+};
+use std::collections::BTreeMap;
+
+/// One inter-DC aggregate demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficDemand {
+    /// Source datacenter.
+    pub src: DatacenterId,
+    /// Destination datacenter.
+    pub dst: DatacenterId,
+    /// Offered volume, Mbps.
+    pub mbps: f64,
+}
+
+impl TrafficDemand {
+    /// Convenience constructor.
+    pub fn new(src: impl Into<DatacenterId>, dst: impl Into<DatacenterId>, mbps: f64) -> Self {
+        TrafficDemand {
+            src: src.into(),
+            dst: dst.into(),
+            mbps,
+        }
+    }
+}
+
+/// TE configuration.
+#[derive(Debug, Clone)]
+pub struct TeConfig {
+    /// The demand matrix.
+    pub demands: Vec<TrafficDemand>,
+    /// Border routers per datacenter, indexed by plane: `borders[dc][p]`.
+    pub borders: BTreeMap<DatacenterId, Vec<DeviceName>>,
+    /// The WAN topology (for path computation: direct where possible,
+    /// transit via another DC's router when a link is down — the
+    /// SWAN-style multipath behaviour).
+    pub graph: statesman_topology::NetworkGraph,
+}
+
+impl TeConfig {
+    /// Derive the border-plane layout from a WAN spec.
+    pub fn from_wan_spec(spec: &statesman_topology::WanSpec, demands: Vec<TrafficDemand>) -> Self {
+        let mut borders = BTreeMap::new();
+        for (i, dc) in spec.dc_names.iter().enumerate() {
+            let brs: Vec<DeviceName> = (0..spec.border_routers_per_dc)
+                .map(|p| spec.br_name(i, p))
+                .collect();
+            borders.insert(DatacenterId::new(dc.clone()), brs);
+        }
+        TeConfig {
+            demands,
+            borders,
+            graph: spec.build(),
+        }
+    }
+
+    /// Number of planes (assumes uniform).
+    pub fn planes(&self) -> usize {
+        self.borders.values().next().map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+/// The inter-DC TE application.
+pub struct InterDcTeApp {
+    client: StatesmanClient,
+    config: TeConfig,
+    /// Last (allocation, route) proposed per path (avoid re-proposing
+    /// no-ops; re-propose when either the volume or the route changes).
+    current: BTreeMap<String, (f64, Vec<DeviceName>)>,
+    /// The flows corresponding to current allocations (offered to the
+    /// simulator by the scenario driver).
+    flows: Vec<FlowSpec>,
+}
+
+impl InterDcTeApp {
+    /// Build the application.
+    pub fn new(client: StatesmanClient, config: TeConfig) -> Self {
+        InterDcTeApp {
+            client,
+            config,
+            current: BTreeMap::new(),
+            flows: Vec::new(),
+        }
+    }
+
+    /// The flows matching the current allocation (give these to
+    /// `SimNetwork::offer_flows` so link loads materialize).
+    pub fn flow_specs(&self) -> Vec<FlowSpec> {
+        self.flows.clone()
+    }
+
+    /// The canonical path name for (demand, plane).
+    pub fn path_name(d: &TrafficDemand, plane: usize) -> String {
+        format!("te:{}>{}:p{plane}", d.src, d.dst)
+    }
+
+    /// Build TE's routing view of the WAN: a link is unusable if the OS
+    /// reports it oper-down; a border router is unusable if we do not
+    /// hold its low-priority lock (someone else owns it — steer around).
+    fn routing_view(&self) -> StateResult<statesman_topology::HealthView> {
+        let mut health = statesman_topology::HealthView::all_up();
+        // Observed WAN link state.
+        let rows = self
+            .client
+            .read_os(&DatacenterId::wan(), statesman_types::Freshness::UpToDate)?;
+        for row in rows {
+            if row.attribute == Attribute::LinkOperStatus {
+                if let (Some(link), Some(oper)) = (row.entity.as_link(), row.value.as_oper()) {
+                    if !oper.is_up() {
+                        health.set_link_down(link.clone());
+                    }
+                }
+            }
+        }
+        // Locks: a router we cannot lock is off-limits for our paths.
+        for (dc, brs) in &self.config.borders {
+            for br in brs {
+                let entity = EntityName::device(dc.clone(), br.clone());
+                if !self.client.holds_lock(&entity)? {
+                    health.set_device_down(br.clone());
+                }
+            }
+        }
+        Ok(health)
+    }
+
+    /// The usable path (node name list) for one demand on one plane:
+    /// shortest path over the routing view from the plane's source router
+    /// to its destination router (direct when the mesh link is up;
+    /// transit via another DC's same-plane router when it is not).
+    fn plane_path(
+        &self,
+        health: &statesman_topology::HealthView,
+        d: &TrafficDemand,
+        plane: usize,
+    ) -> Option<Vec<DeviceName>> {
+        let src = self.config.borders.get(&d.src)?.get(plane)?;
+        let dst = self.config.borders.get(&d.dst)?.get(plane)?;
+        let graph = &self.config.graph;
+        let s = graph.node_id(src)?;
+        let t = graph.node_id(dst)?;
+        let path = statesman_topology::paths::shortest_path(graph, health, s, t)?;
+        Some(path.into_iter().map(|id| graph.node(id).name.clone()).collect())
+    }
+}
+
+impl ManagementApp for InterDcTeApp {
+    fn name(&self) -> &str {
+        self.client.app().as_str()
+    }
+
+    fn step(&mut self) -> StateResult<AppStepReport> {
+        let mut report = AppStepReport {
+            receipts: self.client.take_receipts()?,
+            ..Default::default()
+        };
+
+        // 1. (Re-)acquire low-priority locks over every border router we
+        //    may want. Preempted locks simply fail; we notice next step.
+        for (dc, brs) in &self.config.borders {
+            for br in brs {
+                let entity = EntityName::device(dc.clone(), br.clone());
+                if !self.client.holds_lock(&entity)? {
+                    self.client.acquire_lock(&entity, LockPriority::Low, None)?;
+                    report.proposals += 1;
+                }
+            }
+        }
+
+        // 2. Compute each demand's usable per-plane path over the routing
+        //    view (observed link health + lock ownership), and split the
+        //    demand across planes with paths.
+        let health = self.routing_view()?;
+        let mut proposals = Vec::new();
+        let mut flows = Vec::new();
+        let planes = self.config.planes();
+        for d in &self.config.demands.clone() {
+            let plane_paths: Vec<Option<Vec<DeviceName>>> =
+                (0..planes).map(|p| self.plane_path(&health, d, p)).collect();
+            let available = plane_paths.iter().filter(|p| p.is_some()).count();
+            if available == 0 {
+                report.note(format!(
+                    "no usable path for {}→{}; demand unallocated",
+                    d.src, d.dst
+                ));
+            }
+            for (p, path) in plane_paths.into_iter().enumerate() {
+                let name = Self::path_name(d, p);
+                let (alloc, switches) = match path {
+                    Some(switches) => (d.mbps / available as f64, switches),
+                    None => (
+                        0.0,
+                        // Keep the last-known route in the row; allocation 0
+                        // tears its rules down.
+                        vec![
+                            self.config.borders[&d.src][p].clone(),
+                            self.config.borders[&d.dst][p].clone(),
+                        ],
+                    ),
+                };
+                if switches.len() > 2 && alloc > 0.0 {
+                    report.note(format!(
+                        "{}→{} plane {p} routed via transit ({} hops)",
+                        d.src,
+                        d.dst,
+                        switches.len() - 1
+                    ));
+                }
+                if alloc > 0.0 {
+                    flows.push(FlowSpec::new(
+                        name.clone(),
+                        switches.first().expect("non-empty path").clone(),
+                        switches.last().expect("non-empty path").clone(),
+                        alloc,
+                    ));
+                }
+                let changed = self
+                    .current
+                    .get(&name)
+                    .map(|(prev_alloc, prev_route)| {
+                        (prev_alloc - alloc).abs() > 1e-9 || prev_route != &switches
+                    })
+                    .unwrap_or(true);
+                if changed {
+                    let path = EntityName::path(DatacenterId::wan(), name.clone());
+                    proposals.push((
+                        path.clone(),
+                        Attribute::PathSwitches,
+                        Value::DeviceList(switches.clone()),
+                    ));
+                    proposals.push((path, Attribute::PathTrafficAllocation, Value::Float(alloc)));
+                    self.current.insert(name, (alloc, switches));
+                }
+            }
+        }
+        self.flows = flows;
+        report.proposals += proposals.len();
+        self.client.propose(proposals)?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statesman_core::{Coordinator, CoordinatorConfig, StatesmanClient};
+    use statesman_net::{SimClock, SimConfig, SimNetwork};
+    use statesman_storage::{StorageConfig, StorageService};
+    use statesman_topology::WanSpec;
+    use statesman_types::{LinkName, SimDuration};
+
+    fn setup() -> (Coordinator, InterDcTeApp, SimNetwork, StatesmanClient) {
+        let clock = SimClock::new();
+        let spec = WanSpec::fig9();
+        let graph = spec.build();
+        let mut cfg = SimConfig::ideal();
+        cfg.faults.command_latency_ms = 1_000;
+        let net = SimNetwork::new(&graph, clock.clone(), cfg);
+        let storage = StorageService::new(
+            spec.dc_names.iter().map(DatacenterId::new),
+            clock.clone(),
+            StorageConfig::default(),
+        );
+        let coord = Coordinator::new(
+            &graph,
+            net.clone(),
+            storage.clone(),
+            CoordinatorConfig::default(),
+        );
+        let te_client = StatesmanClient::new("inter-dc-te", storage.clone(), clock.clone());
+        let upg_client = StatesmanClient::new("switch-upgrade", storage, clock);
+        let demands = vec![
+            TrafficDemand::new("dc1", "dc2", 20_000.0),
+            TrafficDemand::new("dc1", "dc3", 10_000.0),
+        ];
+        let app = InterDcTeApp::new(te_client, TeConfig::from_wan_spec(&spec, demands));
+        (coord, app, net, upg_client)
+    }
+
+    /// One scenario round: app step → statesman round → offer flows →
+    /// advance.
+    fn round(coord: &Coordinator, app: &mut InterDcTeApp, net: &SimNetwork) {
+        app.step().unwrap();
+        coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        net.offer_flows(app.flow_specs());
+        net.step(SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn demands_split_across_planes_and_flow() {
+        let (coord, mut app, net, _) = setup();
+        // Round 1 proposes locks; round 2 sees them held and allocates;
+        // round 3 has rules programmed and traffic flowing.
+        for _ in 0..3 {
+            round(&coord, &mut app, &net);
+        }
+        let report = net.traffic_report();
+        assert!(
+            (report.delivered_mbps - 30_000.0).abs() < 1.0,
+            "delivered {} lost {}",
+            report.delivered_mbps,
+            report.lost_mbps
+        );
+        // dc1→dc2 splits over both planes: br-1~br-3 and br-2~br-4.
+        let l_p0 = net
+            .link_snapshot(&LinkName::between("br-1", "br-3"))
+            .unwrap();
+        let l_p1 = net
+            .link_snapshot(&LinkName::between("br-2", "br-4"))
+            .unwrap();
+        assert!((l_p0.load_ab_mbps + l_p0.load_ba_mbps - 10_000.0).abs() < 1.0);
+        assert!((l_p1.load_ab_mbps + l_p1.load_ba_mbps - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn preempted_lock_drains_the_router() {
+        let (coord, mut app, net, upgrade) = setup();
+        for _ in 0..3 {
+            round(&coord, &mut app, &net);
+        }
+        // Upgrade preempts br-1 with a high-priority lock.
+        let br1 = EntityName::device("dc1", "br-1");
+        upgrade
+            .acquire_lock(&br1, statesman_types::LockPriority::High, None)
+            .unwrap();
+        coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        assert!(upgrade.holds_lock(&br1).unwrap());
+
+        // TE notices (fails to hold), reroutes; two rounds to settle.
+        for _ in 0..2 {
+            round(&coord, &mut app, &net);
+        }
+        let report = net.traffic_report();
+        assert!(
+            (report.delivered_mbps - 30_000.0).abs() < 1.0,
+            "all demand still delivered via plane 1: {report:?}"
+        );
+        for link in net.link_names() {
+            if link.touches(&DeviceName::new("br-1")) {
+                let l = net.link_snapshot(&link).unwrap();
+                assert!(
+                    l.load_ab_mbps + l.load_ba_mbps < 1.0,
+                    "br-1 drained, but {link} carries load"
+                );
+            }
+        }
+
+        // Release; TE moves traffic back across both planes.
+        upgrade.release_lock(&br1).unwrap();
+        coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        for _ in 0..3 {
+            round(&coord, &mut app, &net);
+        }
+        let l_p0 = net
+            .link_snapshot(&LinkName::between("br-1", "br-3"))
+            .unwrap();
+        assert!(
+            l_p0.load_ab_mbps + l_p0.load_ba_mbps > 1.0,
+            "traffic returned to br-1"
+        );
+    }
+
+    #[test]
+    fn path_names_are_stable() {
+        let d = TrafficDemand::new("dc1", "dc3", 1.0);
+        assert_eq!(InterDcTeApp::path_name(&d, 1), "te:dc1>dc3:p1");
+    }
+}

@@ -1,0 +1,441 @@
+//! The switch-upgrade application (paper §7.1–§7.3).
+//!
+//! "When a new version of firmware is released by a switch vendor, this
+//! application automatically schedules all the switches from the same
+//! vendor to upgrade by proposing a new value of DeviceFirmwareVersion."
+//!
+//! Two rollout plans, matching the two scenarios:
+//!
+//! * [`UpgradePlan::PodByPod`] (Fig 8): "it will upgrade the pods one by
+//!   one. Within each pod, it will attempt to upgrade multiple Aggs in
+//!   parallel by continuing to write a PS for one Agg upgrade until it
+//!   gets rejected by Statesman." The app is deliberately greedy — safety
+//!   is the checker's job, not the app's.
+//! * [`UpgradePlan::LockAndDrain`] (Fig 10): for each border router in
+//!   turn, acquire the high-priority lock, wait for the router's observed
+//!   traffic to drain to zero (TE moves it away once it loses its
+//!   low-priority lock), upgrade, release, proceed.
+
+use crate::harness::{AppStepReport, ManagementApp};
+use statesman_core::StatesmanClient;
+use statesman_types::{
+    Attribute, DatacenterId, DeviceName, EntityName, LockPriority, StateResult, Value,
+};
+
+/// Which rollout strategy to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpgradePlan {
+    /// Fig-8 style: upgrade the Aggs of each pod in pod order,
+    /// opportunistically parallel within a pod.
+    PodByPod {
+        /// The datacenter whose Aggs to upgrade.
+        datacenter: DatacenterId,
+        /// Pods in upgrade order, each with its Agg device names.
+        pods: Vec<(u32, Vec<DeviceName>)>,
+    },
+    /// Fig-10 style: lock, drain, upgrade each device in order.
+    LockAndDrain {
+        /// The devices (border routers) in upgrade order.
+        devices: Vec<DrainTarget>,
+        /// Observed load (Mbps) below which the router counts as drained.
+        drain_epsilon_mbps: f64,
+    },
+}
+
+/// One lock-and-drain target: a device plus the link entities whose
+/// observed loads indicate whether it still carries traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrainTarget {
+    /// Home datacenter.
+    pub datacenter: DatacenterId,
+    /// The device.
+    pub device: DeviceName,
+    /// Link entities to poll for load.
+    pub links: Vec<EntityName>,
+}
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct UpgradeConfig {
+    /// The firmware version to roll out.
+    pub target_version: String,
+    /// The rollout plan.
+    pub plan: UpgradePlan,
+}
+
+/// Externally visible progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpgradeStatus {
+    /// Still working (current pod or device index).
+    InProgress {
+        /// Pod number (pod plan) or device index (lock plan).
+        position: String,
+    },
+    /// Every targeted device observed at the target version.
+    Done,
+}
+
+/// Per-device phase in the lock-and-drain plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DrainPhase {
+    /// Waiting for our high-priority lock to be granted.
+    Locking,
+    /// Lock held; waiting for load to hit zero.
+    Draining,
+    /// Upgrade proposed; waiting for the OS to show the new version.
+    Upgrading,
+}
+
+/// The switch-upgrade application.
+pub struct SwitchUpgradeApp {
+    client: StatesmanClient,
+    config: UpgradeConfig,
+    /// PodByPod: index of the pod currently being upgraded.
+    current_pod_idx: usize,
+    /// LockAndDrain: index of the device currently being upgraded.
+    current_dev_idx: usize,
+    phase: DrainPhase,
+    done: bool,
+}
+
+impl SwitchUpgradeApp {
+    /// Build the application.
+    pub fn new(client: StatesmanClient, config: UpgradeConfig) -> Self {
+        SwitchUpgradeApp {
+            client,
+            config,
+            current_pod_idx: 0,
+            current_dev_idx: 0,
+            phase: DrainPhase::Locking,
+            done: false,
+        }
+    }
+
+    /// Current progress.
+    pub fn status(&self) -> UpgradeStatus {
+        if self.done {
+            return UpgradeStatus::Done;
+        }
+        let position = match &self.config.plan {
+            UpgradePlan::PodByPod { pods, .. } => pods
+                .get(self.current_pod_idx)
+                .map(|(p, _)| format!("pod {p}"))
+                .unwrap_or_else(|| "finished".into()),
+            UpgradePlan::LockAndDrain { devices, .. } => devices
+                .get(self.current_dev_idx)
+                .map(|t| format!("device {}", t.device))
+                .unwrap_or_else(|| "finished".into()),
+        };
+        UpgradeStatus::InProgress { position }
+    }
+
+    /// Observed firmware of a device, if the OS has it.
+    fn observed_version(&self, dc: &DatacenterId, dev: &DeviceName) -> StateResult<Option<String>> {
+        Ok(self
+            .client
+            .read_os_value(
+                &EntityName::device(dc.clone(), dev.clone()),
+                Attribute::DeviceFirmwareVersion,
+            )?
+            .and_then(|v| v.as_text().map(|s| s.to_string())))
+    }
+
+    fn step_pod_by_pod(&mut self) -> StateResult<AppStepReport> {
+        let mut report = AppStepReport {
+            receipts: self.client.take_receipts()?,
+            ..Default::default()
+        };
+        let (datacenter, pods) = match &self.config.plan {
+            UpgradePlan::PodByPod { datacenter, pods } => (datacenter.clone(), pods.clone()),
+            _ => unreachable!("plan checked by caller"),
+        };
+
+        // Find the first pod with pending devices; that's the current pod
+        // (pods strictly one-by-one).
+        let mut proposals = Vec::new();
+        for (idx, (pod, aggs)) in pods.iter().enumerate() {
+            let mut pending = Vec::new();
+            for agg in aggs {
+                let observed = self.observed_version(&datacenter, agg)?;
+                if observed.as_deref() != Some(self.config.target_version.as_str()) {
+                    pending.push(agg.clone());
+                }
+            }
+            if pending.is_empty() {
+                continue;
+            }
+            self.current_pod_idx = idx;
+            report.note(format!("upgrading pod {pod}: {} pending", pending.len()));
+            // Greedy parallelism: propose every pending Agg; Statesman
+            // accepts as many as the invariants allow. Skip devices whose
+            // upgrade is already accepted (in the TS) to avoid churning.
+            for agg in pending {
+                let entity = EntityName::device(datacenter.clone(), agg.clone());
+                let ts = self
+                    .client
+                    .read_ts_value(&entity, Attribute::DeviceFirmwareVersion)?;
+                if ts.as_ref().and_then(|v| v.as_text())
+                    == Some(self.config.target_version.as_str())
+                {
+                    continue; // accepted, updater is on it
+                }
+                proposals.push((
+                    entity,
+                    Attribute::DeviceFirmwareVersion,
+                    Value::text(&self.config.target_version),
+                ));
+            }
+            break;
+        }
+        if proposals.is_empty()
+            && pods.iter().all(|(_, aggs)| {
+                aggs.iter().all(|a| {
+                    self.observed_version(&datacenter, a)
+                        .ok()
+                        .flatten()
+                        .as_deref()
+                        == Some(self.config.target_version.as_str())
+                })
+            })
+        {
+            self.done = true;
+            report.note("all pods upgraded");
+            return Ok(report);
+        }
+        report.proposals = proposals.len();
+        self.client.propose(proposals)?;
+        Ok(report)
+    }
+
+    fn step_lock_and_drain(&mut self) -> StateResult<AppStepReport> {
+        let mut report = AppStepReport {
+            receipts: self.client.take_receipts()?,
+            ..Default::default()
+        };
+        let (devices, drain_epsilon) = match &self.config.plan {
+            UpgradePlan::LockAndDrain {
+                devices,
+                drain_epsilon_mbps,
+            } => (devices.clone(), *drain_epsilon_mbps),
+            _ => unreachable!("plan checked by caller"),
+        };
+
+        let Some(target) = devices.get(self.current_dev_idx).cloned() else {
+            self.done = true;
+            return Ok(report);
+        };
+        let (dc, dev) = (target.datacenter.clone(), target.device.clone());
+        let entity = EntityName::device(dc.clone(), dev.clone());
+
+        match self.phase {
+            DrainPhase::Locking => {
+                if self.client.holds_lock(&entity)? {
+                    report.note(format!("lock held on {dev}; draining"));
+                    self.phase = DrainPhase::Draining;
+                } else {
+                    report.note(format!("acquiring high-priority lock on {dev}"));
+                    self.client
+                        .acquire_lock(&entity, LockPriority::High, None)?;
+                    report.proposals += 1;
+                }
+            }
+            DrainPhase::Draining => {
+                // Sum observed directional loads on the router's links.
+                let mut load = 0.0;
+                for le in &target.links {
+                    for attr in [Attribute::LinkTrafficLoadAB, Attribute::LinkTrafficLoadBA] {
+                        if let Some(v) = self.client.read_os_value(le, attr)? {
+                            load += v.as_float().unwrap_or(0.0);
+                        }
+                    }
+                }
+                if load <= drain_epsilon {
+                    report.note(format!("{dev} drained; proposing upgrade"));
+                    self.client.propose([(
+                        entity,
+                        Attribute::DeviceFirmwareVersion,
+                        Value::text(&self.config.target_version),
+                    )])?;
+                    report.proposals += 1;
+                    self.phase = DrainPhase::Upgrading;
+                } else {
+                    report.note(format!("{dev} carries {load:.0} Mbps; waiting"));
+                }
+            }
+            DrainPhase::Upgrading => {
+                let observed = self.observed_version(&dc, &dev)?;
+                if observed.as_deref() == Some(self.config.target_version.as_str()) {
+                    report.note(format!("{dev} upgraded; releasing lock"));
+                    self.client.release_lock(&entity)?;
+                    report.proposals += 1;
+                    self.current_dev_idx += 1;
+                    self.phase = DrainPhase::Locking;
+                    if self.current_dev_idx >= devices.len() {
+                        self.done = true;
+                    }
+                } else {
+                    report.note(format!("{dev} still rebooting"));
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+impl ManagementApp for SwitchUpgradeApp {
+    fn name(&self) -> &str {
+        self.client.app().as_str()
+    }
+
+    fn step(&mut self) -> StateResult<AppStepReport> {
+        if self.done {
+            return Ok(AppStepReport::default());
+        }
+        match self.config.plan {
+            UpgradePlan::PodByPod { .. } => self.step_pod_by_pod(),
+            UpgradePlan::LockAndDrain { .. } => self.step_lock_and_drain(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// Helper: the Agg devices of each pod of a Fig-7-style fabric, in pod
+/// order — the population §7.2's rollout targets.
+pub fn agg_pods_of(
+    graph: &statesman_topology::NetworkGraph,
+    dc: &DatacenterId,
+) -> Vec<(u32, Vec<DeviceName>)> {
+    graph
+        .pods_in(dc)
+        .into_iter()
+        .map(|pod| {
+            let aggs: Vec<DeviceName> = graph
+                .devices_in_pod(dc, pod)
+                .into_iter()
+                .filter(|&id| graph.node(id).role == statesman_types::DeviceRole::Agg)
+                .map(|id| graph.node(id).name.clone())
+                .collect();
+            (pod, aggs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statesman_core::{Coordinator, CoordinatorConfig, StatesmanClient};
+    use statesman_net::{SimClock, SimConfig, SimNetwork};
+    use statesman_storage::StorageService;
+    use statesman_topology::DcnSpec;
+    use statesman_types::SimDuration;
+
+    fn fig7_setup() -> (
+        Coordinator,
+        StatesmanClient,
+        SimNetwork,
+        statesman_topology::NetworkGraph,
+    ) {
+        let clock = SimClock::new();
+        let graph = DcnSpec::fig7("dc1").build();
+        let mut cfg = SimConfig::ideal();
+        cfg.faults.command_latency_ms = 1_000;
+        cfg.faults.reboot_window_ms = 8 * 60_000;
+        let net = SimNetwork::new(&graph, clock.clone(), cfg);
+        let storage = StorageService::single_dc("dc1", clock.clone());
+        let coord = Coordinator::new(
+            &graph,
+            net.clone(),
+            storage.clone(),
+            CoordinatorConfig::default(),
+        );
+        let client = StatesmanClient::new("switch-upgrade", storage, clock);
+        (coord, client, net, graph)
+    }
+
+    #[test]
+    fn pod_by_pod_respects_two_at_a_time() {
+        let (coord, client, net, graph) = fig7_setup();
+        let dc = DatacenterId::new("dc1");
+        let mut app = SwitchUpgradeApp::new(
+            client,
+            UpgradeConfig {
+                target_version: "7.0".into(),
+                plan: UpgradePlan::PodByPod {
+                    datacenter: dc,
+                    pods: agg_pods_of(&graph, &DatacenterId::new("dc1")),
+                },
+            },
+        );
+
+        coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        // App proposes all 4 Aggs of pod 1; checker lets 2 through.
+        app.step().unwrap();
+        let r = coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        assert_eq!(r.accepted(), 2, "50%-capacity invariant caps at 2 of 4");
+        assert_eq!(r.rejected(), 2);
+
+        // During reboot the app keeps pushing pod 1; nothing new accepted.
+        app.step().unwrap();
+        let r2 = coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        assert_eq!(r2.accepted(), 0, "{:?}", r2.checkers[0].receipts);
+
+        // Let reboots finish; the first two come back at 7.0.
+        net.step(SimDuration::from_mins(10));
+        coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        assert_eq!(
+            net.device_snapshot(&"agg-1-1".into())
+                .unwrap()
+                .observed_firmware(),
+            "7.0"
+        );
+
+        // Next app step proposes the remaining two of pod 1.
+        app.step().unwrap();
+        let r3 = coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        assert_eq!(r3.accepted(), 2);
+        assert!(matches!(app.status(), UpgradeStatus::InProgress { .. }));
+    }
+
+    #[test]
+    fn pod_by_pod_finishes_eventually() {
+        let (coord, client, net, graph) = fig7_setup();
+        let mut app = SwitchUpgradeApp::new(
+            client,
+            UpgradeConfig {
+                target_version: "7.0".into(),
+                plan: UpgradePlan::PodByPod {
+                    datacenter: DatacenterId::new("dc1"),
+                    pods: agg_pods_of(&graph, &DatacenterId::new("dc1"))
+                        .into_iter()
+                        .take(2) // keep the test quick: 2 pods
+                        .collect(),
+                },
+            },
+        );
+        coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        for _ in 0..40 {
+            if app.is_done() {
+                break;
+            }
+            app.step().unwrap();
+            coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+            net.step(SimDuration::from_mins(5));
+        }
+        assert!(app.is_done(), "status: {:?}", app.status());
+        for pod in 1..=2 {
+            for a in 1..=4 {
+                let name = format!("agg-{pod}-{a}");
+                assert_eq!(
+                    net.device_snapshot(&DeviceName::new(name.clone()))
+                        .unwrap()
+                        .observed_firmware(),
+                    "7.0",
+                    "{name}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! * `table3_api_throughput` — the HTTP read API (Table 3) over real TCP,
+//!   up-to-date vs bounded-stale freshness (§6.4's throughput rationale
+//!   measured end-to-end through the wire);
+//! * `loop_breakdown` — one full monitor→checker→updater round on the
+//!   Fig-7 fabric (host compute cost; the modeled I/O split is asserted
+//!   in `latency_breakdown`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use statesman_core::{Coordinator, CoordinatorConfig};
+use statesman_httpapi::{ApiClient, ApiServer};
+use statesman_net::{SimClock, SimConfig, SimNetwork};
+use statesman_storage::{StorageConfig, StorageService, WriteRequest};
+use statesman_topology::DcnSpec;
+use statesman_types::{
+    AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, Value,
+};
+
+fn bench_api_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_api_throughput");
+    group.sample_size(30);
+
+    let clock = SimClock::new();
+    let dc = DatacenterId::new("dc1");
+    let storage = StorageService::new([dc.clone()], clock.clone(), StorageConfig::default());
+    let rows: Vec<NetworkState> = (0..2_000)
+        .map(|i| {
+            NetworkState::new(
+                EntityName::device("dc1", format!("dev-{i}")),
+                Attribute::DeviceFirmwareVersion,
+                Value::text("6.0"),
+                clock.now(),
+                AppId::monitor(),
+            )
+        })
+        .collect();
+    storage
+        .write(WriteRequest {
+            pool: Pool::Observed,
+            rows,
+        })
+        .unwrap();
+    let server = ApiServer::start(storage).unwrap();
+    let client = ApiClient::new(server.addr());
+
+    for (name, freshness) in [
+        ("http_read_up_to_date", Freshness::UpToDate),
+        ("http_read_bounded_stale", Freshness::BoundedStale),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let rows = client
+                    .read(&dc, &Pool::Observed, freshness, None, None)
+                    .unwrap();
+                assert_eq!(rows.len(), 2_000);
+            });
+        });
+    }
+    group.bench_function("http_write_batch_100", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let rows: Vec<NetworkState> = (0..100)
+                .map(|j| {
+                    NetworkState::new(
+                        EntityName::device("dc1", format!("w-{i}-{j}")),
+                        Attribute::DeviceBootImage,
+                        Value::text("img"),
+                        clock.now(),
+                        AppId::monitor(),
+                    )
+                })
+                .collect();
+            i += 1;
+            client.write(&Pool::Observed, &rows).unwrap();
+        });
+    });
+    group.finish();
+    drop(server);
+}
+
+fn bench_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loop_breakdown");
+    group.sample_size(10);
+    let clock = SimClock::new();
+    let graph = DcnSpec::fig7("dc1").build();
+    let net = SimNetwork::new(&graph, clock.clone(), SimConfig::ideal());
+    let storage = StorageService::new(
+        [DatacenterId::new("dc1")],
+        clock.clone(),
+        StorageConfig::default(),
+    );
+    let coord = Coordinator::new(&graph, net, storage, CoordinatorConfig::default());
+    group.bench_function("full_round_fig7", |b| {
+        b.iter(|| {
+            coord
+                .tick_and_advance(statesman_types::SimDuration::from_mins(5))
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_api_throughput, bench_loop);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerate Figures 1 and 2: the motivating conflicts, with and without
+//! Statesman mediating.
+//!
+//! ```text
+//! cargo run --release -p statesman-bench --bin fig1_fig2_motivation
+//! ```
+
+use statesman_bench::motivation::{run_fig1, run_fig2};
+
+fn main() {
+    println!("== Figure 1: application conflict (TE tunnel vs firmware upgrade) ==");
+    let f1 = run_fig1();
+    for n in &f1.notes {
+        println!("  {n}");
+    }
+    println!(
+        "  traffic lost: without Statesman {:.0} Mbps, with Statesman {:.0} Mbps",
+        f1.without_statesman, f1.with_statesman
+    );
+    assert!(f1.without_statesman > 0.0 && f1.with_statesman == 0.0);
+    println!();
+
+    println!("== Figure 2: safety violation (both Aggs of a pod down) ==");
+    let f2 = run_fig2();
+    for n in &f2.notes {
+        println!("  {n}");
+    }
+    println!(
+        "  pod partitioned: without Statesman {}, with Statesman {}",
+        f2.without_statesman > 0.0,
+        f2.with_statesman > 0.0
+    );
+    assert!(f2.without_statesman > 0.0 && f2.with_statesman == 0.0);
+    println!();
+    println!("Statesman prevents both failure modes.");
+}

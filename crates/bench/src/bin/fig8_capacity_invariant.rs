@@ -1,0 +1,79 @@
+//! Regenerate Figure 8: ToR-pair capacity over time while switch-upgrade
+//! and failure-mitigation coexist under the 99%/50% capacity invariant.
+//!
+//! ```text
+//! cargo run --release -p statesman-bench --bin fig8_capacity_invariant
+//! ```
+//!
+//! Output: the event timeline (the paper's A–F annotations), a character
+//! raster of the 90 ToR pairs × time capacity matrix (█ 100% ▓ 75% ▒ 50%),
+//! and `csv,`-prefixed raw rows for plotting.
+
+use statesman_bench::fig8::{Fig8Config, Fig8Scenario};
+use statesman_bench::report;
+
+fn main() {
+    let config = Fig8Config::default();
+    println!("== Figure 8: maintaining the capacity invariant ==");
+    println!("topology: 10 pods x 4 Aggs (Fig 7); invariant: 99% of ToR pairs >= 50% capacity");
+    println!(
+        "apps: switch-upgrade (pod-by-pod, greedy) + failure-mitigation (FCS watcher); period {}",
+        config.period
+    );
+    println!(
+        "fault: FCS errors on tor-4-1~agg-4-1 at {}",
+        config.fault_at
+    );
+    println!();
+
+    let result = Fig8Scenario::new(config).run();
+
+    println!("-- events --");
+    for (t, label) in &result.events {
+        println!("  [{t}] {label}");
+    }
+    println!();
+
+    let raster = report::capacity_raster(
+        &result
+            .samples
+            .iter()
+            .map(|s| s.fractions.clone())
+            .collect::<Vec<_>>(),
+    );
+    println!("-- ToR-pair capacity raster (rows = 90 pairs grouped by source pod; cols = {} ticks of 5 min) --", result.samples.len());
+    println!("   legend: █ 100%   ▓ 75%   ▒ 50%   ░ <50% (never happens)");
+    for (i, row) in raster.iter().enumerate() {
+        let (sp, _) = result.pair_pods[i];
+        let marker = if i % 9 == 0 {
+            format!("pod{sp:>2} ")
+        } else {
+            "      ".to_string()
+        };
+        println!("{marker}|{row}|");
+    }
+    println!();
+
+    println!("-- summary --");
+    println!("  samples:        {}", result.samples.len());
+    println!("  accepted rows:  {}", result.accepted);
+    println!("  rejected rows:  {}", result.rejected);
+    println!("  min capacity:   {:.0}%", result.min_fraction() * 100.0);
+    match result.finished_at {
+        Some(t) => println!("  rollout done:   {t}"),
+        None => println!("  rollout done:   (horizon reached)"),
+    }
+    assert!(
+        result.min_fraction() >= 0.5 - 1e-9,
+        "capacity invariant was violated"
+    );
+    println!("  invariant held: yes (never below 50%)");
+    println!();
+
+    // Raw data for plotting.
+    for s in &result.samples {
+        let mut fields = vec![format!("{}", s.at.as_mins())];
+        fields.extend(s.fractions.iter().map(|f| format!("{f:.2}")));
+        println!("{}", report::csv_line(&fields));
+    }
+}

@@ -1,0 +1,22 @@
+//! Quick scaling profile of one checker pass (setup + monitor + pass) at
+//! three fabric sizes — a development aid for watching the §8 latency
+//! curve while optimizing, lighter-weight than the criterion bench.
+//!
+//! ```text
+//! cargo run --release -p statesman-bench --bin profile_scale
+//! ```
+
+fn main() {
+    for target in [50_000usize, 100_000, 200_000] {
+        let t = std::time::Instant::now();
+        let p = statesman_bench::scale::checker_pass_at_scale(target, 42);
+        println!(
+            "target {target}: vars {} devices {} checker {:.2}s monitor {:.2}s total {:.2}s",
+            p.variables,
+            p.devices,
+            p.checker_elapsed.as_secs_f64(),
+            p.monitor_elapsed.as_secs_f64(),
+            t.elapsed().as_secs_f64()
+        );
+    }
+}

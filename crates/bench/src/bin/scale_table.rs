@@ -1,0 +1,78 @@
+//! Regenerate the §8 scale claims: the ten-datacenter inventory (over
+//! 1.5M state variables) and checker latency vs variable count, up to the
+//! paper's largest DC at ~394K variables.
+//!
+//! ```text
+//! cargo run --release -p statesman-bench --bin scale_table
+//! ```
+
+use statesman_bench::report::table;
+use statesman_bench::scale::{checker_pass_at_scale, deployment_inventory};
+
+fn main() {
+    println!("== Deployment inventory (paper: ten DCs, >1.5M state variables) ==");
+    let inv = deployment_inventory();
+    let mut rows = Vec::new();
+    let mut total = 0usize;
+    for (name, spec, vars) in &inv {
+        let g = spec.build();
+        rows.push(vec![
+            name.clone(),
+            spec.pods.to_string(),
+            g.node_count().to_string(),
+            g.edge_count().to_string(),
+            vars.to_string(),
+        ]);
+        total += vars;
+    }
+    rows.push(vec![
+        "TOTAL".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        total.to_string(),
+    ]);
+    println!(
+        "{}",
+        table(
+            &["dc", "pods", "devices", "links", "state variables"],
+            &rows
+        )
+    );
+    assert!(total >= 1_500_000);
+    println!("fleet total {total} state variables (paper: >1.5M)\n");
+
+    println!("== Checker-pass latency vs state variables (paper: <10 s at 394K) ==");
+    let mut rows = Vec::new();
+    for target in [10_000usize, 50_000, 100_000, 200_000, 394_000] {
+        let p = checker_pass_at_scale(target, 42);
+        rows.push(vec![
+            p.variables.to_string(),
+            p.devices.to_string(),
+            p.links.to_string(),
+            p.proposals.to_string(),
+            format!("{:.3}", p.checker_elapsed.as_secs_f64()),
+            format!("{:.3}", p.monitor_elapsed.as_secs_f64()),
+        ]);
+        assert!(
+            p.checker_elapsed.as_secs_f64() < 10.0,
+            "checker pass exceeded the paper's 10 s bound at {} vars",
+            p.variables
+        );
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "variables",
+                "devices",
+                "links",
+                "proposals",
+                "checker pass (s)",
+                "monitor compute (s)",
+            ],
+            &rows
+        )
+    );
+    println!("all checker passes under the paper's 10 s bound");
+}

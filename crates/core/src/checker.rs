@@ -1,0 +1,964 @@
+//! The checker: conflict resolver and invariant guardian (paper §3, §4.2).
+//!
+//! One checker pass, for one impact group:
+//!
+//! 1. **Read** the group's observed state (OS), every application's
+//!    proposed state (PS), and the current target state (TS) from the
+//!    storage service.
+//! 2. **Reconcile TS against the changing OS**: a TS row whose variable
+//!    has become uncontrollable (per the dependency model) is dropped —
+//!    "conflicts due to the changing OS ... solution: simply reject".
+//!    Satisfied TS rows are kept: the TS is "the accumulation of all
+//!    accepted in the past", and the updater derives work from the OS−TS
+//!    *difference*, so satisfied rows are simply quiescent.
+//! 3. **Process proposals** grouped by (application, entity) in
+//!    deterministic order: validate well-formedness and permissions,
+//!    detect already-satisfied proposals, check controllability against
+//!    the OS, arbitrate entity locks, resolve same-key conflicts by the
+//!    configured [`MergePolicy`], and finally check every operator
+//!    invariant against the *projected* network state (OS + TS + this
+//!    candidate). Groups that survive merge into the working TS; each row
+//!    gets a [`WriteReceipt`].
+//! 4. **Persist**: write TS upserts/deletes, clear the consumed PS rows,
+//!    and post receipts for applications to poll.
+//!
+//! The pass is synchronous and deterministic; its wall-clock time is the
+//! checker latency the paper reports (<10 s at 394K variables, §8).
+
+use crate::deps::DependencyModel;
+use crate::groups::ImpactGroup;
+use crate::invariants::{Invariant, InvariantContext};
+use crate::locks;
+use crate::view::{project_health, MapView, OverlayView, StateView};
+use statesman_storage::{ReadRequest, StorageService, WriteRequest};
+use statesman_topology::NetworkGraph;
+use statesman_types::{
+    AppId, DatacenterId, Freshness, NetworkState, Pool, SimTime, StateKey, StateResult, Value,
+    WriteOutcome, WriteReceipt,
+};
+use std::collections::{BTreeMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// How same-key conflicts between applications are resolved (§4.2: "one
+/// of two configurable mechanisms").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// The proposal with the newer timestamp wins; older same-key
+    /// proposals are rejected as conflicts.
+    LastWriterWins,
+    /// Entity locks gate writes (Fig 10); keys on unlocked entities fall
+    /// back to last-writer-wins.
+    PriorityLock,
+}
+
+/// Checker construction knobs.
+pub struct CheckerConfig {
+    /// This checker's scope.
+    pub group: ImpactGroup,
+    /// Conflict-resolution policy.
+    pub policy: MergePolicy,
+}
+
+/// One pass's outcome.
+#[derive(Debug, Clone)]
+pub struct CheckerPassReport {
+    /// The group this pass covered.
+    pub group: String,
+    /// Proposal rows read.
+    pub proposals_seen: usize,
+    /// Rows merged into the TS.
+    pub accepted: usize,
+    /// Rows rejected (all reasons).
+    pub rejected: usize,
+    /// Rows whose proposed value already matched the OS.
+    pub already_satisfied: usize,
+    /// TS rows dropped because the changing OS made them uncontrollable.
+    pub ts_pruned: usize,
+    /// Every receipt issued this pass.
+    pub receipts: Vec<WriteReceipt>,
+    /// Wall-clock time of the pass (the §8 checker latency).
+    pub elapsed: Duration,
+    /// State variables read at pass start (scale metric).
+    pub variables_read: usize,
+}
+
+impl CheckerPassReport {
+    /// Receipts for one application.
+    pub fn receipts_for(&self, app: &AppId) -> Vec<&WriteReceipt> {
+        self.receipts.iter().filter(|r| &r.app == app).collect()
+    }
+}
+
+/// The checker for one impact group.
+pub struct Checker {
+    config: CheckerConfig,
+    model: DependencyModel,
+    invariants: Vec<Box<dyn Invariant>>,
+    graph: NetworkGraph,
+}
+
+impl Checker {
+    /// Build a checker with the standard dependency model.
+    pub fn new(config: CheckerConfig, graph: NetworkGraph) -> Self {
+        Checker {
+            config,
+            model: DependencyModel::standard(),
+            invariants: Vec::new(),
+            graph,
+        }
+    }
+
+    /// Replace the dependency model (ablations / extensions).
+    pub fn with_model(mut self, model: DependencyModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Install an operator invariant.
+    pub fn add_invariant(&mut self, inv: Box<dyn Invariant>) {
+        self.invariants.push(inv);
+    }
+
+    /// The group this checker covers.
+    pub fn group(&self) -> &ImpactGroup {
+        &self.config.group
+    }
+
+    fn group_ref(&self) -> &ImpactGroup {
+        &self.config.group
+    }
+
+    /// Read every row of `pool` that belongs to this group.
+    fn read_group_pool(
+        &self,
+        storage: &StorageService,
+        pool: &Pool,
+    ) -> StateResult<Vec<NetworkState>> {
+        let mut rows = Vec::new();
+        let partitions: Vec<DatacenterId> = match self.group_ref() {
+            // A DC group's entities are all homed in its own partition.
+            ImpactGroup::Datacenter(dc) => vec![dc.clone()],
+            // The WAN group spans the WAN partition (inter-DC links) and
+            // every DC partition (border routers are homed at home); the
+            // global group spans everything by definition.
+            ImpactGroup::Wan | ImpactGroup::Global => storage.partitions(),
+        };
+        for dc in partitions {
+            let part_rows = storage.read(ReadRequest {
+                datacenter: dc,
+                pool: pool.clone(),
+                freshness: Freshness::UpToDate,
+                entity: None,
+                attribute: None,
+            })?;
+            rows.extend(
+                part_rows
+                    .into_iter()
+                    .filter(|r| self.group_ref().contains(&r.entity)),
+            );
+        }
+        Ok(rows)
+    }
+
+    /// The set of applications with proposals touching this group.
+    fn proposing_apps(&self, storage: &StorageService) -> Vec<AppId> {
+        let partitions: Vec<DatacenterId> = match self.group_ref() {
+            ImpactGroup::Datacenter(dc) => vec![dc.clone()],
+            ImpactGroup::Wan | ImpactGroup::Global => storage.partitions(),
+        };
+        let mut apps: Vec<AppId> = partitions
+            .iter()
+            .flat_map(|dc| storage.proposing_apps(dc))
+            .collect();
+        apps.sort();
+        apps.dedup();
+        apps
+    }
+
+    /// Pods touched by a set of entities (for incremental invariant
+    /// evaluation).
+    /// Returns `None` when any touched device is pod-less (core/border)
+    /// or unknown — such changes can have fabric-wide blast radius, so
+    /// invariants must evaluate fully.
+    fn touched_pods(&self, entities: &[&NetworkState]) -> Option<HashSet<(DatacenterId, u32)>> {
+        let mut pods = HashSet::new();
+        let mut global = false;
+        let mut add_device = |name: &statesman_types::DeviceName| match self.graph.node_id(name) {
+            Some(id) => {
+                let info = self.graph.node(id);
+                match info.pod {
+                    Some(pod) => {
+                        pods.insert((info.datacenter.clone(), pod));
+                    }
+                    None => global = true,
+                }
+            }
+            None => global = true,
+        };
+        for row in entities {
+            match &row.entity.body {
+                statesman_types::entity::EntityBody::Device(d) => add_device(d),
+                statesman_types::entity::EntityBody::Link(l) => {
+                    add_device(&l.a);
+                    add_device(&l.b);
+                }
+                statesman_types::entity::EntityBody::Path(_) => {
+                    if let Some(list) = row.value.as_device_list() {
+                        for d in list {
+                            add_device(d);
+                        }
+                    }
+                }
+            }
+        }
+        if global {
+            None
+        } else {
+            Some(pods)
+        }
+    }
+
+    /// Run one checker pass against the storage service.
+    pub fn run_pass(
+        &self,
+        storage: &StorageService,
+        now: SimTime,
+    ) -> StateResult<CheckerPassReport> {
+        let started = Instant::now();
+
+        // ---- 1. read OS, TS, PSes ----
+        let os_rows = self.read_group_pool(storage, &Pool::Observed)?;
+        let ts_rows = self.read_group_pool(storage, &Pool::Target)?;
+        let apps = self.proposing_apps(storage);
+        let mut proposals: Vec<(AppId, Vec<NetworkState>)> = Vec::new();
+        for app in &apps {
+            let ps = self.read_group_pool(storage, &Pool::Proposed(app.clone()))?;
+            if !ps.is_empty() {
+                proposals.push((app.clone(), ps));
+            }
+        }
+        let variables_read =
+            os_rows.len() + ts_rows.len() + proposals.iter().map(|(_, p)| p.len()).sum::<usize>();
+
+        let os = MapView::from_rows(os_rows);
+        let mut ts = MapView::from_rows(ts_rows.clone());
+
+        // ---- 2. TS ⁄ OS reconciliation ----
+        let mut ts_deletes: Vec<StateKey> = Vec::new();
+        let mut ts_pruned = 0usize;
+        for row in ts_rows {
+            if row.attribute.is_lock() {
+                // Locks are Statesman metadata; they expire, not prune.
+                if row
+                    .value
+                    .as_lock()
+                    .map(|l| l.is_expired(now))
+                    .unwrap_or(true)
+                {
+                    ts.remove(&row.key());
+                    ts_deletes.push(row.key());
+                    ts_pruned += 1;
+                }
+                continue;
+            }
+            // Unsatisfied TS rows must still be controllable against the
+            // latest OS; the changing network can invalidate them.
+            let satisfied = os.value_of(&row.entity, row.attribute) == Some(&row.value);
+            if satisfied {
+                continue;
+            }
+            if self
+                .model
+                .check_controllable(&row.key(), &row.value, &os)
+                .is_err()
+            {
+                ts.remove(&row.key());
+                ts_deletes.push(row.key());
+                ts_pruned += 1;
+            }
+        }
+
+        // ---- 3. process proposals ----
+        // Group rows by (app, entity); order groups by (earliest proposal
+        // timestamp, app, entity) for deterministic, time-respecting
+        // processing (the substrate of last-writer-wins).
+        struct Group {
+            app: AppId,
+            rows: Vec<NetworkState>,
+            earliest: SimTime,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        for (app, rows) in proposals {
+            let mut by_entity: BTreeMap<statesman_types::EntityName, Vec<NetworkState>> =
+                BTreeMap::new();
+            for r in rows {
+                by_entity.entry(r.entity.clone()).or_default().push(r);
+            }
+            for (_, mut rows) in by_entity {
+                rows.sort_by_key(|r| r.key());
+                let earliest = rows.iter().map(|r| r.updated_at).min().unwrap();
+                groups.push(Group {
+                    app: app.clone(),
+                    rows,
+                    earliest,
+                });
+            }
+        }
+        groups.sort_by(|a, b| {
+            a.earliest
+                .cmp(&b.earliest)
+                .then_with(|| a.app.cmp(&b.app))
+                .then_with(|| a.rows[0].key().cmp(&b.rows[0].key()))
+        });
+
+        let mut receipts: Vec<WriteReceipt> = Vec::new();
+        let mut ts_upserts: MapView = MapView::new();
+        let mut ps_deletes: Vec<(AppId, StateKey)> = Vec::new();
+        let mut accepted = 0usize;
+        let mut rejected = 0usize;
+        let mut already_satisfied = 0usize;
+        let mut proposals_seen = 0usize;
+
+        // The working projection: OS + reconciled TS, maintained
+        // incrementally per candidate via HealthDelta (full recomputation
+        // per candidate would make the pass quadratic in topology size).
+        // Seed invariant caches with one full evaluation; remember whether
+        // incremental evaluation is trustworthy.
+        let mut health = project_health(&self.graph, &os, Some(&ts as &dyn StateView));
+        let mut incremental_ok = true;
+        for inv in &self.invariants {
+            let ctx = InvariantContext {
+                graph: &self.graph,
+                projected: &health,
+                touched_pods: None,
+            };
+            if inv.check(&ctx).is_err() {
+                incremental_ok = false;
+            }
+        }
+
+        for group in groups {
+            proposals_seen += group.rows.len();
+            let decided_at = now;
+            // Every processed PS row is consumed regardless of outcome.
+            for r in &group.rows {
+                ps_deletes.push((group.app.clone(), r.key()));
+            }
+
+            let mut receipt = |key: &StateKey, proposed: &Value, outcome: WriteOutcome| {
+                receipts.push(WriteReceipt {
+                    app: group.app.clone(),
+                    key: key.clone(),
+                    proposed: proposed.clone(),
+                    outcome,
+                    decided_at,
+                });
+            };
+
+            // -- 3a/3b/3c: validate, satisfied, controllable, locks --
+            let mut survivors: Vec<NetworkState> = Vec::new();
+            let mut group_rejected = false;
+            for row in &group.rows {
+                let key = row.key();
+                if !row.is_well_formed() || !row.attribute.is_proposable() {
+                    receipt(
+                        &key,
+                        &row.value,
+                        WriteOutcome::RejectedInvalid {
+                            reason: if row.attribute.is_proposable() {
+                                format!("malformed row for {}", key)
+                            } else {
+                                format!("{} is read-only", row.attribute)
+                            },
+                        },
+                    );
+                    rejected += 1;
+                    group_rejected = true;
+                    continue;
+                }
+
+                // Lock rows get their own arbitration path.
+                if row.attribute.is_lock() {
+                    match locks::arbitrate_lock_write(&ts, &row.entity, &group.app, &row.value, now)
+                    {
+                        locks::LockDecision::Granted(new_rec) => {
+                            let key = row.key();
+                            match new_rec {
+                                Some(rec) => {
+                                    let mut stored = row.clone();
+                                    stored.value = Value::Lock(rec);
+                                    ts.upsert(stored.clone());
+                                    ts_upserts.upsert(stored);
+                                }
+                                None => {
+                                    ts.remove(&key);
+                                    ts_upserts.remove(&key);
+                                    ts_deletes.push(key.clone());
+                                }
+                            }
+                            receipt(&key, &row.value, WriteOutcome::Accepted);
+                            accepted += 1;
+                        }
+                        locks::LockDecision::Refused { holder, reason } => {
+                            receipt(
+                                &row.key(),
+                                &row.value,
+                                WriteOutcome::RejectedConflict {
+                                    winner: holder,
+                                    reason,
+                                },
+                            );
+                            rejected += 1;
+                        }
+                    }
+                    continue;
+                }
+
+                if os.value_of(&row.entity, row.attribute) == Some(&row.value) {
+                    receipt(&key, &row.value, WriteOutcome::AlreadySatisfied);
+                    already_satisfied += 1;
+                    continue;
+                }
+
+                if let Err(u) = self.model.check_controllable(&key, &row.value, &os) {
+                    receipt(
+                        &key,
+                        &row.value,
+                        WriteOutcome::RejectedUncontrollable { reason: u.reason },
+                    );
+                    rejected += 1;
+                    group_rejected = true;
+                    continue;
+                }
+
+                if self.config.policy == MergePolicy::PriorityLock {
+                    if let Err((winner, reason)) =
+                        locks::gate_write(&ts, &row.entity, &group.app, now)
+                    {
+                        receipt(
+                            &key,
+                            &row.value,
+                            WriteOutcome::RejectedConflict { winner, reason },
+                        );
+                        rejected += 1;
+                        group_rejected = true;
+                        continue;
+                    }
+                }
+
+                // Same-key conflict with an existing TS row from another
+                // application: last-writer-wins on timestamps.
+                if let Some(existing) = ts.get(&key) {
+                    if existing.writer != group.app
+                        && existing.writer != AppId::checker()
+                        && existing.updated_at > row.updated_at
+                    {
+                        receipt(
+                            &key,
+                            &row.value,
+                            WriteOutcome::RejectedConflict {
+                                winner: existing.writer.clone(),
+                                reason: format!(
+                                    "newer write by {} at {}",
+                                    existing.writer, existing.updated_at
+                                ),
+                            },
+                        );
+                        rejected += 1;
+                        group_rejected = true;
+                        continue;
+                    }
+                }
+
+                survivors.push(row.clone());
+            }
+
+            if survivors.is_empty() {
+                let _ = group_rejected;
+                continue;
+            }
+
+            // -- 3f: invariants on the projected candidate --
+            let candidate = MapView::from_rows(survivors.iter().cloned());
+            let refs: Vec<&NetworkState> = survivors.iter().collect();
+            let touched = self.touched_pods(&refs);
+            // Update the working projection for just the touched entities
+            // (reversible if the candidate is rejected).
+            let delta = {
+                let overlay = OverlayView::new(&ts, &candidate);
+                crate::view::HealthDelta::apply(&self.graph, &os, &overlay, &survivors, &mut health)
+            };
+            let mut violation = None;
+            for inv in &self.invariants {
+                let ctx = InvariantContext {
+                    graph: &self.graph,
+                    projected: &health,
+                    touched_pods: if incremental_ok {
+                        touched.as_ref()
+                    } else {
+                        None
+                    },
+                };
+                if let Err(v) = inv.check(&ctx) {
+                    violation = Some(v);
+                    break;
+                }
+            }
+
+            match violation {
+                Some(v) => {
+                    delta.revert(&mut health);
+                    for row in survivors {
+                        receipts.push(WriteReceipt {
+                            app: group.app.clone(),
+                            key: row.key(),
+                            proposed: row.value.clone(),
+                            outcome: WriteOutcome::RejectedInvariant {
+                                invariant: v.invariant.clone(),
+                                reason: v.reason.clone(),
+                            },
+                            decided_at,
+                        });
+                        rejected += 1;
+                    }
+                }
+                None => {
+                    for row in survivors {
+                        receipts.push(WriteReceipt {
+                            app: group.app.clone(),
+                            key: row.key(),
+                            proposed: row.value.clone(),
+                            outcome: WriteOutcome::Accepted,
+                            decided_at,
+                        });
+                        ts.upsert(row.clone());
+                        ts_upserts.upsert(row);
+                        accepted += 1;
+                    }
+                }
+            }
+        }
+
+        // ---- 4. persist ----
+        let upsert_rows = ts_upserts.into_sorted_rows();
+        if !upsert_rows.is_empty() {
+            storage.write(WriteRequest {
+                pool: Pool::Target,
+                rows: upsert_rows,
+            })?;
+        }
+        if !ts_deletes.is_empty() {
+            ts_deletes.sort();
+            ts_deletes.dedup();
+            storage.delete(Pool::Target, ts_deletes)?;
+        }
+        // Clear consumed PS rows, per app.
+        let mut by_app: BTreeMap<AppId, Vec<StateKey>> = BTreeMap::new();
+        for (app, key) in ps_deletes {
+            by_app.entry(app).or_default().push(key);
+        }
+        for (app, keys) in by_app {
+            storage.delete(Pool::Proposed(app), keys)?;
+        }
+        // Post receipts to the group's primary partition.
+        if !receipts.is_empty() {
+            storage.post_receipts(&self.group_ref().primary_partition(), receipts.clone())?;
+        }
+
+        Ok(CheckerPassReport {
+            group: self.group_ref().name(),
+            proposals_seen,
+            accepted,
+            rejected,
+            already_satisfied,
+            ts_pruned,
+            receipts,
+            elapsed: started.elapsed(),
+            variables_read,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::TorPairCapacityInvariant;
+    use statesman_net::SimClock;
+    use statesman_topology::DcnSpec;
+    use statesman_types::Attribute;
+    use statesman_types::{EntityName, LockPriority};
+
+    fn setup() -> (NetworkGraph, StorageService, SimClock) {
+        let clock = SimClock::new();
+        let graph = DcnSpec::fig7("dc1").build();
+        let storage = StorageService::single_dc("dc1", clock.clone());
+        (graph, storage, clock)
+    }
+
+    fn os_row(entity: EntityName, attr: Attribute, value: Value, at: SimTime) -> NetworkState {
+        NetworkState::new(entity, attr, value, at, AppId::monitor())
+    }
+
+    /// Write a minimal healthy OS for the Fig-7 fabric: firmware rows for
+    /// every device (enough for controllability and upgrade proposals).
+    fn seed_os(graph: &NetworkGraph, storage: &StorageService, at: SimTime) {
+        let rows: Vec<NetworkState> = graph
+            .nodes()
+            .map(|(_, n)| {
+                os_row(
+                    EntityName::device(n.datacenter.clone(), n.name.clone()),
+                    Attribute::DeviceFirmwareVersion,
+                    Value::text("6.0"),
+                    at,
+                )
+            })
+            .collect();
+        storage
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows,
+            })
+            .unwrap();
+    }
+
+    fn checker(graph: &NetworkGraph, policy: MergePolicy) -> Checker {
+        let mut c = Checker::new(
+            CheckerConfig {
+                group: ImpactGroup::Datacenter(DatacenterId::new("dc1")),
+                policy,
+            },
+            graph.clone(),
+        );
+        c.add_invariant(Box::new(TorPairCapacityInvariant::paper_default(
+            graph,
+            "dc1",
+            Some(1),
+        )));
+        c
+    }
+
+    fn propose_upgrade(
+        storage: &StorageService,
+        app: &AppId,
+        dev: &str,
+        version: &str,
+        at: SimTime,
+    ) {
+        storage
+            .write(WriteRequest {
+                pool: Pool::Proposed(app.clone()),
+                rows: vec![NetworkState::new(
+                    EntityName::device("dc1", dev),
+                    Attribute::DeviceFirmwareVersion,
+                    Value::text(version),
+                    at,
+                    app.clone(),
+                )],
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn accepts_safe_upgrades_and_caps_parallelism() {
+        let (graph, storage, clock) = setup();
+        seed_os(&graph, &storage, clock.now());
+        let chk = checker(&graph, MergePolicy::LastWriterWins);
+        let app = AppId::new("switch-upgrade");
+
+        // Propose upgrading 3 of pod 1's Aggs in parallel.
+        for a in 1..=3 {
+            propose_upgrade(&storage, &app, &format!("agg-1-{a}"), "7.0", clock.now());
+        }
+        let report = chk.run_pass(&storage, clock.now()).unwrap();
+        assert_eq!(report.proposals_seen, 3);
+        // 50% invariant: at most 2 of 4 Aggs may be down at once.
+        assert_eq!(report.accepted, 2, "{:?}", report.receipts);
+        assert_eq!(report.rejected, 1);
+        let rejected: Vec<_> = report
+            .receipts
+            .iter()
+            .filter(|r| r.outcome.is_rejected())
+            .collect();
+        assert!(matches!(
+            rejected[0].outcome,
+            WriteOutcome::RejectedInvariant { .. }
+        ));
+        // PS is consumed.
+        assert_eq!(
+            storage.pool_len(&DatacenterId::new("dc1"), &Pool::Proposed(app)),
+            0
+        );
+        // TS holds the two accepted upgrades.
+        assert_eq!(
+            storage.pool_len(&DatacenterId::new("dc1"), &Pool::Target),
+            2
+        );
+    }
+
+    #[test]
+    fn already_satisfied_proposals_do_not_enter_ts() {
+        let (graph, storage, clock) = setup();
+        seed_os(&graph, &storage, clock.now());
+        let chk = checker(&graph, MergePolicy::LastWriterWins);
+        let app = AppId::new("switch-upgrade");
+        propose_upgrade(&storage, &app, "agg-1-1", "6.0", clock.now()); // current version
+        let report = chk.run_pass(&storage, clock.now()).unwrap();
+        assert_eq!(report.already_satisfied, 1);
+        assert_eq!(report.accepted, 0);
+        assert_eq!(
+            storage.pool_len(&DatacenterId::new("dc1"), &Pool::Target),
+            0
+        );
+    }
+
+    #[test]
+    fn uncontrollable_proposals_rejected() {
+        let (graph, storage, clock) = setup();
+        seed_os(&graph, &storage, clock.now());
+        // agg-1-1 is powered off in the OS.
+        storage
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![os_row(
+                    EntityName::device("dc1", "agg-1-1"),
+                    Attribute::DeviceAdminPower,
+                    Value::power(false),
+                    clock.now(),
+                )],
+            })
+            .unwrap();
+        let chk = checker(&graph, MergePolicy::LastWriterWins);
+        let app = AppId::new("switch-upgrade");
+        propose_upgrade(&storage, &app, "agg-1-1", "7.0", clock.now());
+        let report = chk.run_pass(&storage, clock.now()).unwrap();
+        assert_eq!(report.rejected, 1);
+        assert!(matches!(
+            report.receipts[0].outcome,
+            WriteOutcome::RejectedUncontrollable { .. }
+        ));
+    }
+
+    #[test]
+    fn read_only_proposals_rejected_invalid() {
+        let (graph, storage, clock) = setup();
+        seed_os(&graph, &storage, clock.now());
+        let chk = checker(&graph, MergePolicy::LastWriterWins);
+        let app = AppId::new("rogue");
+        storage
+            .write(WriteRequest {
+                pool: Pool::Proposed(app.clone()),
+                rows: vec![NetworkState::new(
+                    EntityName::link("dc1", "tor-1-1", "agg-1-1"),
+                    Attribute::LinkFcsErrorRate,
+                    Value::Float(0.0),
+                    clock.now(),
+                    app.clone(),
+                )],
+            })
+            .unwrap();
+        let report = chk.run_pass(&storage, clock.now()).unwrap();
+        assert!(matches!(
+            report.receipts[0].outcome,
+            WriteOutcome::RejectedInvalid { .. }
+        ));
+    }
+
+    #[test]
+    fn last_writer_wins_on_same_key() {
+        let (graph, storage, clock) = setup();
+        seed_os(&graph, &storage, clock.now());
+        let chk = checker(&graph, MergePolicy::LastWriterWins);
+        let early = AppId::new("app-early");
+        let late = AppId::new("app-late");
+        propose_upgrade(&storage, &early, "agg-1-1", "7.0", SimTime::from_mins(1));
+        propose_upgrade(&storage, &late, "agg-1-1", "7.1", SimTime::from_mins(2));
+        let report = chk.run_pass(&storage, clock.now()).unwrap();
+        // Both accepted (later overwrote), TS holds the later value.
+        assert_eq!(report.accepted, 2);
+        let ts = storage
+            .read_row(
+                &Pool::Target,
+                &StateKey::new(
+                    EntityName::device("dc1", "agg-1-1"),
+                    Attribute::DeviceFirmwareVersion,
+                ),
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(ts.value, Value::text("7.1"));
+        assert_eq!(ts.writer, late);
+    }
+
+    #[test]
+    fn older_proposal_against_newer_ts_rejected() {
+        let (graph, storage, clock) = setup();
+        seed_os(&graph, &storage, clock.now());
+        let chk = checker(&graph, MergePolicy::LastWriterWins);
+        let a = AppId::new("app-a");
+        let b = AppId::new("app-b");
+        // Pass 1: b writes at t=10.
+        propose_upgrade(&storage, &b, "agg-1-1", "7.1", SimTime::from_mins(10));
+        chk.run_pass(&storage, SimTime::from_mins(10)).unwrap();
+        // Pass 2: a proposes an *older* write (stale basis).
+        propose_upgrade(&storage, &a, "agg-1-1", "7.0", SimTime::from_mins(5));
+        let report = chk.run_pass(&storage, SimTime::from_mins(11)).unwrap();
+        assert_eq!(report.rejected, 1);
+        assert!(matches!(
+            &report.receipts[0].outcome,
+            WriteOutcome::RejectedConflict { winner, .. } if winner == &b
+        ));
+    }
+
+    #[test]
+    fn priority_lock_gates_writes() {
+        let (graph, storage, clock) = setup();
+        seed_os(&graph, &storage, clock.now());
+        let chk = checker(&graph, MergePolicy::PriorityLock);
+        let upgrade = AppId::new("switch-upgrade");
+        let te = AppId::new("inter-dc-te");
+
+        // upgrade acquires a high-priority lock on agg-1-1.
+        storage
+            .write(WriteRequest {
+                pool: Pool::Proposed(upgrade.clone()),
+                rows: vec![NetworkState::new(
+                    EntityName::device("dc1", "agg-1-1"),
+                    Attribute::EntityLock,
+                    locks::lock_value(&upgrade, LockPriority::High, clock.now(), None),
+                    clock.now(),
+                    upgrade.clone(),
+                )],
+            })
+            .unwrap();
+        let r1 = chk.run_pass(&storage, clock.now()).unwrap();
+        assert_eq!(r1.accepted, 1);
+
+        // te's routing write on the locked entity is rejected.
+        storage
+            .write(WriteRequest {
+                pool: Pool::Proposed(te.clone()),
+                rows: vec![NetworkState::new(
+                    EntityName::device("dc1", "agg-1-1"),
+                    Attribute::DeviceRoutingRules,
+                    Value::Routes(vec![]),
+                    clock.now(),
+                    te.clone(),
+                )],
+            })
+            .unwrap();
+        let r2 = chk.run_pass(&storage, clock.now()).unwrap();
+        assert_eq!(r2.rejected, 1);
+        assert!(matches!(
+            &r2.receipts[0].outcome,
+            WriteOutcome::RejectedConflict { winner, .. } if winner == &upgrade
+        ));
+
+        // upgrade releases; te retries and wins.
+        storage
+            .write(WriteRequest {
+                pool: Pool::Proposed(upgrade.clone()),
+                rows: vec![NetworkState::new(
+                    EntityName::device("dc1", "agg-1-1"),
+                    Attribute::EntityLock,
+                    Value::None,
+                    clock.now(),
+                    upgrade.clone(),
+                )],
+            })
+            .unwrap();
+        chk.run_pass(&storage, clock.now()).unwrap();
+        storage
+            .write(WriteRequest {
+                pool: Pool::Proposed(te.clone()),
+                rows: vec![NetworkState::new(
+                    EntityName::device("dc1", "agg-1-1"),
+                    Attribute::DeviceRoutingRules,
+                    Value::Routes(vec![]),
+                    clock.now(),
+                    te.clone(),
+                )],
+            })
+            .unwrap();
+        let r4 = chk.run_pass(&storage, clock.now()).unwrap();
+        assert_eq!(r4.accepted, 1, "{:?}", r4.receipts);
+    }
+
+    #[test]
+    fn ts_rows_prune_when_os_makes_them_uncontrollable() {
+        let (graph, storage, clock) = setup();
+        seed_os(&graph, &storage, clock.now());
+        let chk = checker(&graph, MergePolicy::LastWriterWins);
+        let app = AppId::new("switch-upgrade");
+        propose_upgrade(&storage, &app, "agg-1-1", "7.0", clock.now());
+        chk.run_pass(&storage, clock.now()).unwrap();
+        assert_eq!(
+            storage.pool_len(&DatacenterId::new("dc1"), &Pool::Target),
+            1
+        );
+
+        // The device loses power in the OS → the accepted-but-unsatisfied
+        // TS row is no longer controllable and gets pruned.
+        storage
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![os_row(
+                    EntityName::device("dc1", "agg-1-1"),
+                    Attribute::DeviceAdminPower,
+                    Value::power(false),
+                    clock.now(),
+                )],
+            })
+            .unwrap();
+        let report = chk.run_pass(&storage, clock.now()).unwrap();
+        assert_eq!(report.ts_pruned, 1);
+        assert_eq!(
+            storage.pool_len(&DatacenterId::new("dc1"), &Pool::Target),
+            0
+        );
+    }
+
+    #[test]
+    fn satisfied_ts_rows_are_kept_as_accumulation() {
+        let (graph, storage, clock) = setup();
+        seed_os(&graph, &storage, clock.now());
+        let chk = checker(&graph, MergePolicy::LastWriterWins);
+        let app = AppId::new("switch-upgrade");
+        propose_upgrade(&storage, &app, "agg-1-1", "7.0", clock.now());
+        chk.run_pass(&storage, clock.now()).unwrap();
+
+        // The upgrade lands: OS now reports 7.0.
+        storage
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![os_row(
+                    EntityName::device("dc1", "agg-1-1"),
+                    Attribute::DeviceFirmwareVersion,
+                    Value::text("7.0"),
+                    clock.now(),
+                )],
+            })
+            .unwrap();
+        let report = chk.run_pass(&storage, clock.now()).unwrap();
+        assert_eq!(report.ts_pruned, 0);
+        assert_eq!(
+            storage.pool_len(&DatacenterId::new("dc1"), &Pool::Target),
+            1
+        );
+        // And with the OS caught up, pod 1 has full capacity again: two
+        // more Agg upgrades are accepted.
+        propose_upgrade(&storage, &app, "agg-1-2", "7.0", clock.now());
+        propose_upgrade(&storage, &app, "agg-1-3", "7.0", clock.now());
+        let r2 = chk.run_pass(&storage, clock.now()).unwrap();
+        assert_eq!(r2.accepted, 2, "{:?}", r2.receipts);
+    }
+
+    #[test]
+    fn wall_clock_latency_is_reported() {
+        let (graph, storage, clock) = setup();
+        seed_os(&graph, &storage, clock.now());
+        let chk = checker(&graph, MergePolicy::LastWriterWins);
+        let report = chk.run_pass(&storage, clock.now()).unwrap();
+        assert!(report.variables_read > 0);
+        assert!(report.elapsed.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The application-facing client (paper §2, §6.4).
+//!
+//! Applications never touch devices: they *pull* the observed state, run
+//! their logic, *push* a proposed state, and later poll acceptance or
+//! rejection receipts — reacting by re-reading the OS and re-proposing
+//! (§7.1: "they need to run iteratively to adapt to the latest OS and the
+//! acceptance or rejection of their previous PSes").
+
+use crate::locks::lock_value;
+use statesman_net::SimClock;
+use statesman_storage::{ReadRequest, StorageService, WriteRequest};
+use statesman_types::{
+    AppId, Attribute, DatacenterId, EntityName, Freshness, LockPriority, NetworkState, Pool,
+    SimTime, StateKey, StateResult, Value, WriteReceipt,
+};
+
+/// A Statesman client bound to one application identity.
+#[derive(Clone)]
+pub struct StatesmanClient {
+    app: AppId,
+    storage: StorageService,
+    clock: SimClock,
+}
+
+impl StatesmanClient {
+    /// Bind a client for `app`.
+    pub fn new(app: impl Into<AppId>, storage: StorageService, clock: SimClock) -> Self {
+        StatesmanClient {
+            app: app.into(),
+            storage,
+            clock,
+        }
+    }
+
+    /// This client's application id.
+    pub fn app(&self) -> &AppId {
+        &self.app
+    }
+
+    /// Current simulated time (for stamping proposals).
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Read the full observed state of one datacenter at the chosen
+    /// freshness.
+    pub fn read_os(
+        &self,
+        dc: &DatacenterId,
+        freshness: Freshness,
+    ) -> StateResult<Vec<NetworkState>> {
+        self.storage.read(ReadRequest {
+            datacenter: dc.clone(),
+            pool: Pool::Observed,
+            freshness,
+            entity: None,
+            attribute: None,
+        })
+    }
+
+    /// Read one observed variable (always up-to-date).
+    pub fn read_os_value(
+        &self,
+        entity: &EntityName,
+        attribute: Attribute,
+    ) -> StateResult<Option<Value>> {
+        Ok(self
+            .storage
+            .read_row(&Pool::Observed, &StateKey::new(entity.clone(), attribute))?
+            .map(|r| r.value))
+    }
+
+    /// Read one target-state variable (e.g. to see whether an accepted
+    /// change is still pending).
+    pub fn read_ts_value(
+        &self,
+        entity: &EntityName,
+        attribute: Attribute,
+    ) -> StateResult<Option<Value>> {
+        Ok(self
+            .storage
+            .read_row(&Pool::Target, &StateKey::new(entity.clone(), attribute))?
+            .map(|r| r.value))
+    }
+
+    /// Propose values (one PS write; rows are stamped with the current
+    /// time and this client's identity).
+    pub fn propose(
+        &self,
+        changes: impl IntoIterator<Item = (EntityName, Attribute, Value)>,
+    ) -> StateResult<()> {
+        let now = self.clock.now();
+        let rows: Vec<NetworkState> = changes
+            .into_iter()
+            .map(|(e, a, v)| NetworkState::new(e, a, v, now, self.app.clone()))
+            .collect();
+        if rows.is_empty() {
+            return Ok(());
+        }
+        self.storage.write(WriteRequest {
+            pool: Pool::Proposed(self.app.clone()),
+            rows,
+        })
+    }
+
+    /// Poll (and consume) this application's receipts across all
+    /// partitions.
+    pub fn take_receipts(&self) -> StateResult<Vec<WriteReceipt>> {
+        let mut all = Vec::new();
+        for dc in self.storage.partitions() {
+            all.extend(self.storage.take_receipts(&dc, &self.app)?);
+        }
+        all.sort_by(|a, b| {
+            a.decided_at
+                .cmp(&b.decided_at)
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        Ok(all)
+    }
+
+    /// Propose acquiring (or refreshing) a lock on an entity.
+    pub fn acquire_lock(
+        &self,
+        entity: &EntityName,
+        priority: LockPriority,
+        lease: Option<SimTime>,
+    ) -> StateResult<()> {
+        let v = lock_value(&self.app, priority, self.clock.now(), lease);
+        self.propose([(entity.clone(), Attribute::EntityLock, v)])
+    }
+
+    /// Propose releasing a lock.
+    pub fn release_lock(&self, entity: &EntityName) -> StateResult<()> {
+        self.propose([(entity.clone(), Attribute::EntityLock, Value::None)])
+    }
+
+    /// Whether this client currently holds the lock on an entity (reads
+    /// the TS).
+    pub fn holds_lock(&self, entity: &EntityName) -> StateResult<bool> {
+        let v = self.read_ts_value(entity, Attribute::EntityLock)?;
+        Ok(v.and_then(|v| v.as_lock().cloned())
+            .map(|l| l.holder == self.app && !l.is_expired(self.clock.now()))
+            .unwrap_or(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{Checker, CheckerConfig, MergePolicy};
+    use crate::groups::ImpactGroup;
+    use statesman_net::SimClock;
+    use statesman_topology::DcnSpec;
+
+    fn setup() -> (StorageService, SimClock, Checker) {
+        let clock = SimClock::new();
+        let graph = DcnSpec::tiny("dc1").build();
+        let storage = StorageService::single_dc("dc1", clock.clone());
+        let checker = Checker::new(
+            CheckerConfig {
+                group: ImpactGroup::Datacenter(DatacenterId::new("dc1")),
+                policy: MergePolicy::PriorityLock,
+            },
+            graph,
+        );
+        (storage, clock, checker)
+    }
+
+    #[test]
+    fn propose_and_poll_receipts() {
+        let (storage, clock, checker) = setup();
+        let c = StatesmanClient::new("switch-upgrade", storage.clone(), clock.clone());
+        c.propose([(
+            EntityName::device("dc1", "agg-1-1"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("7.0"),
+        )])
+        .unwrap();
+        checker.run_pass(&storage, clock.now()).unwrap();
+        let receipts = c.take_receipts().unwrap();
+        assert_eq!(receipts.len(), 1);
+        assert!(receipts[0].outcome.is_accepted());
+        assert_eq!(
+            c.read_ts_value(
+                &EntityName::device("dc1", "agg-1-1"),
+                Attribute::DeviceFirmwareVersion
+            )
+            .unwrap(),
+            Some(Value::text("7.0"))
+        );
+    }
+
+    #[test]
+    fn lock_lifecycle_through_client() {
+        let (storage, clock, checker) = setup();
+        let te = StatesmanClient::new("inter-dc-te", storage.clone(), clock.clone());
+        let upg = StatesmanClient::new("switch-upgrade", storage.clone(), clock.clone());
+        let br = EntityName::device("dc1", "agg-1-1");
+
+        te.acquire_lock(&br, LockPriority::Low, None).unwrap();
+        checker.run_pass(&storage, clock.now()).unwrap();
+        assert!(te.holds_lock(&br).unwrap());
+        assert!(!upg.holds_lock(&br).unwrap());
+
+        // High priority preempts.
+        upg.acquire_lock(&br, LockPriority::High, None).unwrap();
+        checker.run_pass(&storage, clock.now()).unwrap();
+        assert!(upg.holds_lock(&br).unwrap());
+        assert!(!te.holds_lock(&br).unwrap());
+
+        // TE fails to re-acquire while the high lock is live.
+        te.acquire_lock(&br, LockPriority::Low, None).unwrap();
+        checker.run_pass(&storage, clock.now()).unwrap();
+        assert!(!te.holds_lock(&br).unwrap());
+        let r = te.take_receipts().unwrap();
+        assert!(r.iter().any(|x| x.outcome.is_rejected()));
+
+        // Release; TE re-acquires.
+        upg.release_lock(&br).unwrap();
+        checker.run_pass(&storage, clock.now()).unwrap();
+        te.acquire_lock(&br, LockPriority::Low, None).unwrap();
+        checker.run_pass(&storage, clock.now()).unwrap();
+        assert!(te.holds_lock(&br).unwrap());
+    }
+
+    #[test]
+    fn empty_proposals_are_noops() {
+        let (storage, clock, _checker) = setup();
+        let c = StatesmanClient::new("app", storage, clock);
+        c.propose([]).unwrap();
+        assert!(c.take_receipts().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! The coordinator: one Statesman control round, end-to-end.
+//!
+//! Wires the monitor → checkers (one per impact group) → updater into the
+//! round a deployment runs continuously (Fig 6), and accounts per-stage
+//! latency: the monitor and updater report modeled device-interaction time
+//! (their work is I/O against hundreds of switches), while the checker
+//! reports wall-clock compute time (its work is in-memory merging and
+//! invariant evaluation). The §8 slide summarizes the resulting breakdown:
+//! application share negligible, checker seconds, updater dominating with
+//! more than half the loop.
+
+use crate::checker::{Checker, CheckerConfig, CheckerPassReport, MergePolicy};
+use crate::groups::ImpactGroup;
+use crate::invariants::{ConnectivityInvariant, TorPairCapacityInvariant, WanLinkInvariant};
+use crate::monitor::{Monitor, MonitorReport};
+use crate::updater::{Updater, UpdaterReport};
+use statesman_net::SimNetwork;
+use statesman_storage::StorageService;
+use statesman_topology::NetworkGraph;
+use statesman_types::{DatacenterId, SimDuration, StateResult};
+use std::collections::BTreeSet;
+
+/// Coordinator construction knobs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Conflict-resolution policy for all checkers.
+    pub policy: MergePolicy,
+    /// Install the connectivity invariant in every DC group.
+    pub connectivity_invariant: bool,
+    /// Install the ToR-pair capacity invariant in every DC group:
+    /// (capacity threshold, pair fraction, sampled ToRs per pod).
+    pub capacity_invariant: Option<(f64, f64, Option<u32>)>,
+    /// Install the WAN-link invariant on the WAN group with this minimum.
+    pub wan_invariant: Option<usize>,
+    /// Collect with this many concurrent monitor instances (`None` =
+    /// serial). The paper runs one instance per ~1,000 switches (§6.3);
+    /// pass `Some(devices / 1000 + 1)` to mirror that.
+    pub monitor_instances: Option<usize>,
+    /// Run the per-group checker passes on concurrent threads. Groups are
+    /// independent by construction (§5 — disjoint entities, disjoint
+    /// invariant scopes), so their passes commute; the report order stays
+    /// deterministic (group order) either way.
+    pub parallel_checkers: bool,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            policy: MergePolicy::PriorityLock,
+            connectivity_invariant: true,
+            capacity_invariant: Some((0.5, 0.99, Some(1))),
+            wan_invariant: Some(1),
+            monitor_instances: None,
+            parallel_checkers: false,
+        }
+    }
+}
+
+/// One full round's reports.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Monitor stage.
+    pub monitor: MonitorReport,
+    /// Checker stage, one report per impact group (group order).
+    pub checkers: Vec<CheckerPassReport>,
+    /// Updater stage.
+    pub updater: UpdaterReport,
+}
+
+impl RoundReport {
+    /// Per-stage latency in milliseconds: (monitor, checker, updater).
+    /// Monitor/updater latency is modeled device I/O; checker latency is
+    /// measured compute (its I/O is against in-memory storage leaders).
+    pub fn latency_breakdown_ms(&self) -> (f64, f64, f64) {
+        let monitor = self.monitor.sim_io.as_millis() as f64;
+        let checker: f64 = self
+            .checkers
+            .iter()
+            .map(|c| c.elapsed.as_secs_f64() * 1e3)
+            .sum();
+        let updater = self.updater.sim_io.as_millis() as f64;
+        (monitor, checker, updater)
+    }
+
+    /// Updater share of the loop, in `[0,1]`.
+    pub fn updater_share(&self) -> f64 {
+        let (m, c, u) = self.latency_breakdown_ms();
+        let total = m + c + u;
+        if total <= 0.0 {
+            0.0
+        } else {
+            u / total
+        }
+    }
+
+    /// Total proposals accepted across groups.
+    pub fn accepted(&self) -> usize {
+        self.checkers.iter().map(|c| c.accepted).sum()
+    }
+
+    /// Total proposals rejected across groups.
+    pub fn rejected(&self) -> usize {
+        self.checkers.iter().map(|c| c.rejected).sum()
+    }
+}
+
+/// The wired-up Statesman instance.
+pub struct Coordinator {
+    monitor: Monitor,
+    checkers: Vec<Checker>,
+    updater: Updater,
+    storage: StorageService,
+    net: SimNetwork,
+    monitor_instances: Option<usize>,
+    parallel_checkers: bool,
+}
+
+impl Coordinator {
+    /// Build a coordinator over a deployment: one checker per datacenter
+    /// found in `graph` plus the WAN group (if any border routers or WAN
+    /// links exist).
+    pub fn new(
+        graph: &NetworkGraph,
+        net: SimNetwork,
+        storage: StorageService,
+        config: CoordinatorConfig,
+    ) -> Self {
+        let mut dcs: BTreeSet<DatacenterId> = BTreeSet::new();
+        let mut has_wan = false;
+        for (_, n) in graph.nodes() {
+            if n.datacenter.is_wan() {
+                has_wan = true;
+            } else if n.role == statesman_types::DeviceRole::Border {
+                has_wan = true;
+                dcs.insert(n.datacenter.clone());
+            } else {
+                dcs.insert(n.datacenter.clone());
+            }
+        }
+        for (_, e) in graph.edges() {
+            if e.datacenter.is_wan() {
+                has_wan = true;
+            }
+        }
+
+        let mut checkers = Vec::new();
+        for dc in &dcs {
+            let mut c = Checker::new(
+                CheckerConfig {
+                    group: ImpactGroup::Datacenter(dc.clone()),
+                    policy: config.policy,
+                },
+                graph.clone(),
+            );
+            if config.connectivity_invariant {
+                c.add_invariant(Box::new(ConnectivityInvariant::new(dc.clone())));
+            }
+            if let Some((threshold, fraction, sample)) = config.capacity_invariant {
+                let inv =
+                    TorPairCapacityInvariant::new(graph, dc.clone(), threshold, fraction, sample);
+                if inv.pair_count() > 0 {
+                    c.add_invariant(Box::new(inv));
+                }
+            }
+            checkers.push(c);
+        }
+        if has_wan {
+            let mut c = Checker::new(
+                CheckerConfig {
+                    group: ImpactGroup::Wan,
+                    policy: config.policy,
+                },
+                graph.clone(),
+            );
+            if let Some(min) = config.wan_invariant {
+                c.add_invariant(Box::new(WanLinkInvariant::new(min)));
+            }
+            checkers.push(c);
+        }
+
+        Coordinator {
+            monitor: Monitor::new(net.clone(), storage.clone(), graph.clone()),
+            checkers,
+            updater: Updater::new(net.clone(), storage.clone(), graph.clone()),
+            storage,
+            net,
+            monitor_instances: config.monitor_instances,
+            parallel_checkers: config.parallel_checkers,
+        }
+    }
+
+    /// The impact groups this coordinator runs checkers for.
+    pub fn groups(&self) -> Vec<String> {
+        self.checkers.iter().map(|c| c.group().name()).collect()
+    }
+
+    /// The storage service handle.
+    pub fn storage(&self) -> &StorageService {
+        &self.storage
+    }
+
+    /// Run one full round at the current simulated time: collect, check
+    /// every group, update.
+    pub fn tick(&self) -> StateResult<RoundReport> {
+        let monitor = match self.monitor_instances {
+            Some(n) => self.monitor.run_round_parallel(n)?,
+            None => self.monitor.run_round()?,
+        };
+        let now = self.net.clock().now();
+        let checkers = if self.parallel_checkers {
+            // One thread per impact group; results collected in group
+            // order so the report stays deterministic.
+            let results: Vec<StateResult<CheckerPassReport>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .checkers
+                    .iter()
+                    .map(|c| scope.spawn(|| c.run_pass(&self.storage, now)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("checker thread panicked"))
+                    .collect()
+            });
+            results.into_iter().collect::<StateResult<Vec<_>>>()?
+        } else {
+            let mut reports = Vec::with_capacity(self.checkers.len());
+            for c in &self.checkers {
+                reports.push(c.run_pass(&self.storage, now)?);
+            }
+            reports
+        };
+        let updater = self.updater.run_round()?;
+        Ok(RoundReport {
+            monitor,
+            checkers,
+            updater,
+        })
+    }
+
+    /// Run one round and then advance the simulation by `step`, letting
+    /// issued commands land (the cadence applications are told to expect:
+    /// "their control loops should operate at the time scale of minutes",
+    /// §7.1).
+    pub fn tick_and_advance(&self, step: SimDuration) -> StateResult<RoundReport> {
+        let report = self.tick()?;
+        self.net.step(step);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::StatesmanClient;
+    use statesman_net::{SimClock, SimConfig};
+    use statesman_topology::DcnSpec;
+    use statesman_types::{Attribute, EntityName, Value};
+
+    fn setup() -> (NetworkGraph, SimNetwork, StorageService, SimClock) {
+        let clock = SimClock::new();
+        let graph = DcnSpec::tiny("dc1").build();
+        let mut cfg = SimConfig::ideal();
+        cfg.faults.command_latency_ms = 500;
+        cfg.faults.reboot_window_ms = 2 * 60_000;
+        let net = SimNetwork::new(&graph, clock.clone(), cfg);
+        let storage = StorageService::single_dc("dc1", clock.clone());
+        (graph, net, storage, clock)
+    }
+
+    #[test]
+    fn groups_cover_dc() {
+        let (graph, net, storage, _clock) = setup();
+        let coord = Coordinator::new(&graph, net, storage, CoordinatorConfig::default());
+        assert_eq!(coord.groups(), vec!["dc:dc1".to_string()]);
+    }
+
+    #[test]
+    fn end_to_end_upgrade_converges() {
+        let (graph, net, storage, clock) = setup();
+        let coord = Coordinator::new(
+            &graph,
+            net.clone(),
+            storage.clone(),
+            CoordinatorConfig {
+                // tiny fabric has 2 aggs/pod: 50% threshold allows 1 down.
+                capacity_invariant: Some((0.5, 0.99, Some(1))),
+                ..Default::default()
+            },
+        );
+        let app = StatesmanClient::new("switch-upgrade", storage.clone(), clock.clone());
+
+        // Round 0: populate the OS.
+        coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+
+        // Propose one Agg upgrade.
+        app.propose([(
+            EntityName::device("dc1", "agg-1-1"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("7.0"),
+        )])
+        .unwrap();
+        let r = coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        assert_eq!(r.accepted(), 1);
+        assert!(r.updater.commands_applied >= 1);
+
+        // After the reboot window, the device runs 7.0 and the loop is
+        // quiescent.
+        let r2 = coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        let _ = r2;
+        let r3 = coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        assert_eq!(r3.updater.diffs, 0, "converged: {:?}", r3.updater);
+        assert_eq!(
+            net.device_snapshot(&"agg-1-1".into())
+                .unwrap()
+                .observed_firmware(),
+            "7.0"
+        );
+        let receipts = app.take_receipts().unwrap();
+        assert!(receipts.iter().any(|x| x.outcome.is_accepted()));
+    }
+
+    #[test]
+    fn latency_breakdown_has_all_stages() {
+        let (graph, net, storage, _clock) = setup();
+        let coord = Coordinator::new(&graph, net, storage, CoordinatorConfig::default());
+        let r = coord.tick().unwrap();
+        let (m, c, u) = r.latency_breakdown_ms();
+        assert!(m > 0.0);
+        assert!(c > 0.0);
+        // No TS yet → no updater work this round.
+        assert_eq!(u, 0.0);
+        assert!(r.updater_share() < 0.5);
+    }
+
+    #[test]
+    fn unsafe_parallel_upgrades_blocked_end_to_end() {
+        let (graph, net, storage, clock) = setup();
+        let coord = Coordinator::new(&graph, net, storage.clone(), CoordinatorConfig::default());
+        let app = StatesmanClient::new("switch-upgrade", storage, clock);
+        coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+
+        // Tiny fabric: 2 aggs per pod. Upgrading both at once would cut
+        // pod 1's ToRs off (0% capacity) — one must be rejected.
+        app.propose([
+            (
+                EntityName::device("dc1", "agg-1-1"),
+                Attribute::DeviceFirmwareVersion,
+                Value::text("7.0"),
+            ),
+            (
+                EntityName::device("dc1", "agg-1-2"),
+                Attribute::DeviceFirmwareVersion,
+                Value::text("7.0"),
+            ),
+        ])
+        .unwrap();
+        let r = coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        assert_eq!(r.accepted(), 1);
+        assert_eq!(r.rejected(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Impact groups: partitioning checker responsibility.
+//!
+//! "Partitioning checker's responsibility into impact groups: one impact
+//! group per DC, and one additional impact group with border routers of
+//! all DCs and the WAN links" (slides / §5). Proposed changes inside one
+//! group cannot violate invariants scoped to another, so checkers run
+//! independently per group — the scaling lever the `impact_groups`
+//! ablation bench measures.
+
+use statesman_types::{DatacenterId, EntityName};
+
+/// One checker's scope.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ImpactGroup {
+    /// All entities homed in one datacenter.
+    Datacenter(DatacenterId),
+    /// Border routers of all DCs plus inter-DC links (entities homed in
+    /// the WAN pseudo-datacenter, plus every border router).
+    Wan,
+    /// Every entity everywhere — the unpartitioned alternative the paper
+    /// rejects (one checker over the whole fleet). Kept for the
+    /// `impact_groups` ablation; never part of
+    /// [`ImpactGroup::standard_partitioning`].
+    Global,
+}
+
+impl ImpactGroup {
+    /// The storage partition this group's entities live in. Border routers
+    /// are *homed* in their DC partition but *checked* by the WAN group;
+    /// [`ImpactGroup::contains`] captures that asymmetry.
+    pub fn primary_partition(&self) -> DatacenterId {
+        match self {
+            ImpactGroup::Datacenter(dc) => dc.clone(),
+            ImpactGroup::Wan | ImpactGroup::Global => DatacenterId::wan(),
+        }
+    }
+
+    /// Whether this group is responsible for an entity.
+    pub fn contains(&self, entity: &EntityName) -> bool {
+        let is_border_device = entity
+            .as_device()
+            .and_then(|d| d.role())
+            .map(|r| r == statesman_types::DeviceRole::Border)
+            .unwrap_or(false);
+        match self {
+            ImpactGroup::Global => true,
+            ImpactGroup::Wan => entity.datacenter.is_wan() || is_border_device,
+            ImpactGroup::Datacenter(dc) => {
+                &entity.datacenter == dc && !is_border_device && !entity.datacenter.is_wan()
+            }
+        }
+    }
+
+    /// Human-readable name (used in reports).
+    pub fn name(&self) -> String {
+        match self {
+            ImpactGroup::Datacenter(dc) => format!("dc:{dc}"),
+            ImpactGroup::Wan => "wan".to_string(),
+            ImpactGroup::Global => "global".to_string(),
+        }
+    }
+
+    /// The standard partitioning for a deployment: one group per DC plus
+    /// the WAN group.
+    pub fn standard_partitioning(dcs: impl IntoIterator<Item = DatacenterId>) -> Vec<ImpactGroup> {
+        let mut groups: Vec<ImpactGroup> = dcs.into_iter().map(ImpactGroup::Datacenter).collect();
+        groups.push(ImpactGroup::Wan);
+        groups
+    }
+}
+
+impl std::fmt::Display for ImpactGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_group_owns_fabric_devices() {
+        let g = ImpactGroup::Datacenter(DatacenterId::new("dc1"));
+        assert!(g.contains(&EntityName::device("dc1", "agg-1-1")));
+        assert!(g.contains(&EntityName::link("dc1", "tor-1-1", "agg-1-1")));
+        assert!(!g.contains(&EntityName::device("dc2", "agg-1-1")));
+    }
+
+    #[test]
+    fn wan_group_owns_border_routers_and_wan_links() {
+        let wan = ImpactGroup::Wan;
+        // Border routers are homed in their DC but checked by the WAN group.
+        assert!(wan.contains(&EntityName::device("dc1", "br-1")));
+        assert!(wan.contains(&EntityName::link("wan", "br-1", "br-3")));
+        assert!(!wan.contains(&EntityName::device("dc1", "agg-1-1")));
+
+        let dc = ImpactGroup::Datacenter(DatacenterId::new("dc1"));
+        assert!(!dc.contains(&EntityName::device("dc1", "br-1")));
+    }
+
+    #[test]
+    fn standard_partitioning_has_wan_group() {
+        let groups = ImpactGroup::standard_partitioning([
+            DatacenterId::new("dc1"),
+            DatacenterId::new("dc2"),
+        ]);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.contains(&ImpactGroup::Wan));
+    }
+
+    #[test]
+    fn partitions_are_disjoint() {
+        let groups = ImpactGroup::standard_partitioning([
+            DatacenterId::new("dc1"),
+            DatacenterId::new("dc2"),
+        ]);
+        let entities = [
+            EntityName::device("dc1", "agg-1-1"),
+            EntityName::device("dc1", "br-1"),
+            EntityName::link("wan", "br-1", "br-3"),
+            EntityName::device("dc2", "tor-1-1"),
+        ];
+        for e in &entities {
+            let owners = groups.iter().filter(|g| g.contains(e)).count();
+            assert_eq!(owners, 1, "{e} owned by {owners} groups");
+        }
+    }
+
+    #[test]
+    fn global_group_contains_everything() {
+        let g = ImpactGroup::Global;
+        assert!(g.contains(&EntityName::device("dc1", "agg-1-1")));
+        assert!(g.contains(&EntityName::device("dc1", "br-1")));
+        assert!(g.contains(&EntityName::link("wan", "br-1", "br-3")));
+        assert!(g.contains(&EntityName::path("dc9", "p")));
+        assert!(!ImpactGroup::standard_partitioning([DatacenterId::new("dc1")])
+            .contains(&ImpactGroup::Global));
+    }
+
+    #[test]
+    fn primary_partitions() {
+        assert_eq!(
+            ImpactGroup::Datacenter(DatacenterId::new("dc1")).primary_partition(),
+            DatacenterId::new("dc1")
+        );
+        assert!(ImpactGroup::Wan.primary_partition().is_wan());
+    }
+}

@@ -1,0 +1,256 @@
+//! Priority-lock arbitration (paper §4.2, §7.3).
+//!
+//! Locks are ordinary replicated rows (`Attribute::EntityLock`) living in
+//! the **target state**: acquisition and release are proposals like any
+//! other, arbitrated by the checker during the merge. Holding a lock on an
+//! entity gives exclusive write access to that entity's state variables;
+//! a high-priority request preempts a live low-priority lock (which is how
+//! switch-upgrade evicts TE from a border router in Fig 10).
+//!
+//! This module is pure arbitration logic over state views — the checker
+//! owns the storage round-trips.
+
+use crate::view::StateView;
+use statesman_types::{
+    AppId, Attribute, EntityName, LockPriority, LockRecord, SimTime, StateKey, Value,
+};
+
+/// The decision for one lock-affecting proposal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LockDecision {
+    /// The proposal may proceed (and, for acquisitions, the new record to
+    /// store).
+    Granted(Option<LockRecord>),
+    /// Refused; the current holder wins.
+    Refused {
+        /// Who holds the lock.
+        holder: AppId,
+        /// Detail for the receipt.
+        reason: String,
+    },
+}
+
+/// The live lock on an entity, if any (expired leases count as absent).
+pub fn current_lock(view: &dyn StateView, entity: &EntityName, now: SimTime) -> Option<LockRecord> {
+    let key = StateKey::new(entity.clone(), Attribute::EntityLock);
+    let rec = view.get(&key)?.value.as_lock()?.clone();
+    if rec.is_expired(now) {
+        None
+    } else {
+        Some(rec)
+    }
+}
+
+/// Arbitrate a lock acquisition/release proposal.
+///
+/// * `Value::Lock(rec)` — acquire/refresh at `rec.priority`;
+/// * `Value::None` — release (only the holder may release).
+pub fn arbitrate_lock_write(
+    view: &dyn StateView,
+    entity: &EntityName,
+    proposer: &AppId,
+    proposed: &Value,
+    now: SimTime,
+) -> LockDecision {
+    let existing = current_lock(view, entity, now);
+    match proposed {
+        Value::None => match existing {
+            None => LockDecision::Granted(None),
+            Some(rec) if &rec.holder == proposer => LockDecision::Granted(None),
+            Some(rec) => LockDecision::Refused {
+                holder: rec.holder.clone(),
+                reason: format!("{} holds the lock; only the holder may release", rec.holder),
+            },
+        },
+        Value::Lock(requested) => {
+            if &requested.holder != proposer {
+                return LockDecision::Refused {
+                    holder: requested.holder.clone(),
+                    reason: "lock holder must be the proposing application".into(),
+                };
+            }
+            match existing {
+                None => LockDecision::Granted(Some(requested.clone())),
+                Some(rec) => {
+                    if rec.grants_acquisition(proposer, requested.priority, now) {
+                        LockDecision::Granted(Some(requested.clone()))
+                    } else {
+                        LockDecision::Refused {
+                            holder: rec.holder.clone(),
+                            reason: format!(
+                                "{} holds a {} lock; {} request refused",
+                                rec.holder, rec.priority, requested.priority
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+        _ => LockDecision::Refused {
+            holder: proposer.clone(),
+            reason: "lock rows must carry Lock or None values".into(),
+        },
+    }
+}
+
+/// Gate an ordinary (non-lock) write against the entity's lock: a live
+/// lock held by someone else blocks the write.
+pub fn gate_write(
+    view: &dyn StateView,
+    entity: &EntityName,
+    proposer: &AppId,
+    now: SimTime,
+) -> Result<(), (AppId, String)> {
+    match current_lock(view, entity, now) {
+        Some(rec) if &rec.holder != proposer => Err((
+            rec.holder.clone(),
+            format!("{} holds a {} lock on {}", rec.holder, rec.priority, entity),
+        )),
+        _ => Ok(()),
+    }
+}
+
+/// Build a lock-acquisition value.
+pub fn lock_value(
+    holder: &AppId,
+    priority: LockPriority,
+    now: SimTime,
+    lease: Option<SimTime>,
+) -> Value {
+    Value::Lock(LockRecord::new(holder.clone(), priority, now, lease))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::MapView;
+    use statesman_types::{NetworkState, SimDuration};
+
+    fn te() -> AppId {
+        AppId::new("inter-dc-te")
+    }
+    fn upg() -> AppId {
+        AppId::new("switch-upgrade")
+    }
+    fn br1() -> EntityName {
+        EntityName::device("dc1", "br-1")
+    }
+
+    fn view_with_lock(holder: &AppId, prio: LockPriority, at: SimTime) -> MapView {
+        MapView::from_rows([NetworkState::new(
+            br1(),
+            Attribute::EntityLock,
+            lock_value(holder, prio, at, None),
+            at,
+            holder.clone(),
+        )])
+    }
+
+    #[test]
+    fn unlocked_entity_grants_anyone() {
+        let v = MapView::new();
+        let d = arbitrate_lock_write(
+            &v,
+            &br1(),
+            &te(),
+            &lock_value(&te(), LockPriority::Low, SimTime::ZERO, None),
+            SimTime::ZERO,
+        );
+        assert!(matches!(d, LockDecision::Granted(Some(_))));
+        assert!(gate_write(&v, &br1(), &te(), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn fig10_lock_dance() {
+        let now = SimTime::from_mins(5);
+        // A: upgrade takes the high-priority lock over TE's low lock.
+        let v = view_with_lock(&te(), LockPriority::Low, SimTime::ZERO);
+        let d = arbitrate_lock_write(
+            &v,
+            &br1(),
+            &upg(),
+            &lock_value(&upg(), LockPriority::High, now, None),
+            now,
+        );
+        assert!(matches!(d, LockDecision::Granted(Some(_))));
+
+        // B: TE fails to (re-)acquire its low lock.
+        let v = view_with_lock(&upg(), LockPriority::High, now);
+        let d = arbitrate_lock_write(
+            &v,
+            &br1(),
+            &te(),
+            &lock_value(&te(), LockPriority::Low, now, None),
+            now,
+        );
+        match d {
+            LockDecision::Refused { holder, .. } => assert_eq!(holder, upg()),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        // ...and TE's forwarding-state writes on BR1 are gated too.
+        assert!(gate_write(&v, &br1(), &te(), now).is_err());
+        // The lock holder's own writes pass.
+        assert!(gate_write(&v, &br1(), &upg(), now).is_ok());
+    }
+
+    #[test]
+    fn holder_releases_then_other_acquires() {
+        let now = SimTime::from_mins(30);
+        let v = view_with_lock(&upg(), LockPriority::High, SimTime::ZERO);
+        // D: upgrade releases.
+        let d = arbitrate_lock_write(&v, &br1(), &upg(), &Value::None, now);
+        assert_eq!(d, LockDecision::Granted(None));
+        // Non-holder cannot release.
+        let d = arbitrate_lock_write(&v, &br1(), &te(), &Value::None, now);
+        assert!(matches!(d, LockDecision::Refused { .. }));
+    }
+
+    #[test]
+    fn expired_lease_frees_the_entity() {
+        let expiry = SimTime::from_mins(10);
+        let v = MapView::from_rows([NetworkState::new(
+            br1(),
+            Attribute::EntityLock,
+            lock_value(&upg(), LockPriority::High, SimTime::ZERO, Some(expiry)),
+            SimTime::ZERO,
+            upg(),
+        )]);
+        let before = expiry + SimDuration::ZERO;
+        assert!(current_lock(&v, &br1(), SimTime::from_mins(9)).is_some());
+        assert!(current_lock(&v, &br1(), before).is_none());
+        assert!(gate_write(&v, &br1(), &te(), before).is_ok());
+    }
+
+    #[test]
+    fn cannot_acquire_on_behalf_of_another() {
+        let v = MapView::new();
+        let d = arbitrate_lock_write(
+            &v,
+            &br1(),
+            &te(),
+            &lock_value(&upg(), LockPriority::Low, SimTime::ZERO, None),
+            SimTime::ZERO,
+        );
+        assert!(matches!(d, LockDecision::Refused { .. }));
+    }
+
+    #[test]
+    fn malformed_lock_values_refused() {
+        let v = MapView::new();
+        let d = arbitrate_lock_write(&v, &br1(), &te(), &Value::Int(1), SimTime::ZERO);
+        assert!(matches!(d, LockDecision::Refused { .. }));
+    }
+
+    #[test]
+    fn holder_refresh_and_escalation() {
+        let v = view_with_lock(&te(), LockPriority::Low, SimTime::ZERO);
+        let d = arbitrate_lock_write(
+            &v,
+            &br1(),
+            &te(),
+            &lock_value(&te(), LockPriority::High, SimTime::from_mins(1), None),
+            SimTime::from_mins(1),
+        );
+        assert!(matches!(d, LockDecision::Granted(Some(r)) if r.priority == LockPriority::High));
+    }
+}

@@ -1,0 +1,919 @@
+//! The updater: stateless translation of OS−TS differences into device
+//! commands (paper §3, §6.2).
+//!
+//! "The updater is memoryless — it applies the latest difference between
+//! the OS and TS without regard to what happened in the past." Every round
+//! it reads both pools fresh, computes the per-variable difference, looks
+//! up a [`CommandTemplatePool`] entry for (device model, attribute), and
+//! executes the rendered command through the protocol adapter the template
+//! names. Failures are not retried within a round; they surface as an
+//! unchanged OS, so the next round recomputes the same (or an updated)
+//! difference — §6.2's "implicit and automatic retry".
+//!
+//! Path translation (§4.1): path-level TS rows (`PathSwitches` +
+//! `PathTrafficAllocation`) are expanded into per-device flow→link rules
+//! and merged with any device-level `DeviceRoutingRules` TS rows before
+//! diffing, so applications can operate purely at the path level.
+
+use crate::view::StateView;
+use statesman_net::{
+    CommandOutcome, DeviceCommand, DeviceModel, DeviceProtocol, OpenFlowSim, ProtocolKind,
+    SimNetwork, VendorCliSim,
+};
+use statesman_storage::{ReadRequest, StorageService};
+use statesman_topology::NetworkGraph;
+use statesman_types::{
+    Attribute, DeviceName, EntityName, FlowLinkRule, Freshness, LinkName, NetworkState, Pool,
+    SimDuration, StateError, StateResult, Value,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+/// A rendered update action: which protocol carries which command to
+/// which device.
+#[derive(Debug, Clone)]
+pub struct RenderedAction {
+    /// The device the command is issued to.
+    pub device: DeviceName,
+    /// The protocol adapter to use.
+    pub protocol: ProtocolKind,
+    /// The command.
+    pub command: DeviceCommand,
+}
+
+/// A command template: renders a desired value into concrete actions.
+/// Returning multiple actions supports variables that fan out (a path's
+/// traffic setup touches every on-path switch).
+pub type Template = Box<dyn Fn(&TemplateCtx<'_>) -> StateResult<Vec<RenderedAction>> + Send + Sync>;
+
+/// What a template sees.
+pub struct TemplateCtx<'a> {
+    /// The entity whose variable differs.
+    pub entity: &'a EntityName,
+    /// The attribute.
+    pub attribute: Attribute,
+    /// The desired (TS) value.
+    pub target: &'a Value,
+    /// The device the action will ultimately land on (for link and path
+    /// variables, a chosen endpoint/on-path device).
+    pub device: &'a DeviceName,
+    /// That device's model.
+    pub model: DeviceModel,
+}
+
+/// The per-(model, attribute) template pool (§6.2: "a pool of command
+/// templates that contains templates for each update action on each device
+/// model with supported control-plane protocol").
+pub struct CommandTemplatePool {
+    templates: HashMap<(&'static str, Attribute), Template>,
+}
+
+impl CommandTemplatePool {
+    /// An empty pool.
+    pub fn empty() -> Self {
+        CommandTemplatePool {
+            templates: HashMap::new(),
+        }
+    }
+
+    /// The standard pool covering both stock models and all writable
+    /// device/link attributes.
+    pub fn standard() -> Self {
+        let mut pool = CommandTemplatePool::empty();
+        for model in [DeviceModel::OpenFlowSwitch, DeviceModel::BgpRouter] {
+            let ms = model.model_string();
+            pool.register(
+                ms,
+                Attribute::DeviceAdminPower,
+                Box::new(|ctx| {
+                    let status = ctx.target.as_power().ok_or_else(|| {
+                        StateError::invalid("DeviceAdminPower needs a power value")
+                    })?;
+                    Ok(vec![RenderedAction {
+                        device: ctx.device.clone(),
+                        protocol: ProtocolKind::VendorCli,
+                        command: DeviceCommand::SetAdminPower(status),
+                    }])
+                }),
+            );
+            pool.register(
+                ms,
+                Attribute::DeviceFirmwareVersion,
+                Box::new(|ctx| {
+                    let version = ctx
+                        .target
+                        .as_text()
+                        .ok_or_else(|| StateError::invalid("firmware version must be text"))?;
+                    Ok(vec![RenderedAction {
+                        device: ctx.device.clone(),
+                        protocol: ProtocolKind::VendorCli,
+                        command: DeviceCommand::UpgradeFirmware {
+                            version: version.to_string(),
+                        },
+                    }])
+                }),
+            );
+            pool.register(
+                ms,
+                Attribute::DeviceBootImage,
+                Box::new(|ctx| {
+                    let image = ctx
+                        .target
+                        .as_text()
+                        .ok_or_else(|| StateError::invalid("boot image must be text"))?;
+                    Ok(vec![RenderedAction {
+                        device: ctx.device.clone(),
+                        protocol: ProtocolKind::VendorCli,
+                        command: DeviceCommand::SetBootImage {
+                            image: image.to_string(),
+                        },
+                    }])
+                }),
+            );
+            pool.register(
+                ms,
+                Attribute::DeviceMgmtInterface,
+                Box::new(|ctx| {
+                    let enabled = ctx
+                        .target
+                        .as_bool()
+                        .ok_or_else(|| StateError::invalid("mgmt interface state must be bool"))?;
+                    Ok(vec![RenderedAction {
+                        device: ctx.device.clone(),
+                        protocol: ProtocolKind::VendorCli,
+                        command: DeviceCommand::ConfigureMgmtInterface { enabled },
+                    }])
+                }),
+            );
+            pool.register(
+                ms,
+                Attribute::DeviceOpenFlowAgent,
+                Box::new(|ctx| {
+                    let running = ctx
+                        .target
+                        .as_bool()
+                        .ok_or_else(|| StateError::invalid("OF agent state must be bool"))?;
+                    Ok(vec![RenderedAction {
+                        device: ctx.device.clone(),
+                        protocol: ProtocolKind::VendorCli,
+                        command: DeviceCommand::SetOpenFlowAgent { running },
+                    }])
+                }),
+            );
+            // Routing rules: OpenFlow rule programming on OF models;
+            // BGP announcements via the CLI on traditional routers.
+            pool.register(
+                ms,
+                Attribute::DeviceRoutingRules,
+                Box::new(|ctx| {
+                    let rules = ctx
+                        .target
+                        .as_routes()
+                        .ok_or_else(|| StateError::invalid("routing rules must be Routes"))?;
+                    let protocol = match ctx.model {
+                        DeviceModel::OpenFlowSwitch => ProtocolKind::OpenFlow,
+                        DeviceModel::BgpRouter => ProtocolKind::VendorCli,
+                    };
+                    Ok(vec![RenderedAction {
+                        device: ctx.device.clone(),
+                        protocol,
+                        command: DeviceCommand::SetRoutingRules {
+                            rules: rules.to_vec(),
+                        },
+                    }])
+                }),
+            );
+            pool.register(
+                ms,
+                Attribute::LinkAdminPower,
+                Box::new(|ctx| {
+                    let status = ctx
+                        .target
+                        .as_power()
+                        .ok_or_else(|| StateError::invalid("LinkAdminPower needs a power value"))?;
+                    let link = ctx
+                        .entity
+                        .as_link()
+                        .ok_or_else(|| StateError::invalid("LinkAdminPower on a non-link"))?;
+                    Ok(vec![RenderedAction {
+                        device: ctx.device.clone(),
+                        protocol: ProtocolKind::VendorCli,
+                        command: DeviceCommand::SetLinkAdminPower {
+                            link: link.clone(),
+                            status,
+                        },
+                    }])
+                }),
+            );
+            pool.register(
+                ms,
+                Attribute::LinkIpAssignment,
+                Box::new(|ctx| {
+                    let ip = ctx
+                        .target
+                        .as_text()
+                        .ok_or_else(|| StateError::invalid("IP assignment must be text"))?;
+                    let link = ctx
+                        .entity
+                        .as_link()
+                        .ok_or_else(|| StateError::invalid("LinkIpAssignment on a non-link"))?;
+                    Ok(vec![RenderedAction {
+                        device: ctx.device.clone(),
+                        protocol: ProtocolKind::VendorCli,
+                        command: DeviceCommand::SetLinkIp {
+                            link: link.clone(),
+                            ip: ip.to_string(),
+                        },
+                    }])
+                }),
+            );
+            pool.register(
+                ms,
+                Attribute::LinkControlPlane,
+                Box::new(|ctx| {
+                    let mode = ctx
+                        .target
+                        .as_control_plane()
+                        .ok_or_else(|| StateError::invalid("control plane must be a mode"))?;
+                    let link = ctx
+                        .entity
+                        .as_link()
+                        .ok_or_else(|| StateError::invalid("LinkControlPlane on a non-link"))?;
+                    Ok(vec![RenderedAction {
+                        device: ctx.device.clone(),
+                        protocol: ProtocolKind::VendorCli,
+                        command: DeviceCommand::SetLinkControlPlane {
+                            link: link.clone(),
+                            mode,
+                        },
+                    }])
+                }),
+            );
+        }
+        pool
+    }
+
+    /// Register a template for (model string, attribute).
+    pub fn register(&mut self, model: &'static str, attribute: Attribute, t: Template) {
+        self.templates.insert((model, attribute), t);
+    }
+
+    /// Look up and render.
+    pub fn render(&self, ctx: &TemplateCtx<'_>) -> StateResult<Vec<RenderedAction>> {
+        match self
+            .templates
+            .get(&(ctx.model.model_string(), ctx.attribute))
+        {
+            Some(t) => t(ctx),
+            None => Err(StateError::NoCommandTemplate {
+                model: ctx.model.model_string().to_string(),
+                attribute: ctx.attribute.to_string(),
+            }),
+        }
+    }
+
+    /// Number of registered templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// True if no templates are registered.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+}
+
+/// One update round's outcome.
+#[derive(Debug, Clone, Default)]
+pub struct UpdaterReport {
+    /// Variables whose OS and TS values differed.
+    pub diffs: usize,
+    /// Commands submitted and accepted by devices.
+    pub commands_applied: usize,
+    /// Commands that timed out or were rejected.
+    pub commands_failed: usize,
+    /// Differences with no usable template or no reachable endpoint.
+    pub unrenderable: usize,
+    /// Modeled device-interaction time: commands run concurrently across
+    /// devices, sequentially per device, so this is the per-device max.
+    pub sim_io: SimDuration,
+    /// Host wall-clock compute time.
+    pub elapsed: Duration,
+}
+
+/// The updater over one simulated network.
+pub struct Updater {
+    net: SimNetwork,
+    of: OpenFlowSim,
+    cli: VendorCliSim,
+    storage: StorageService,
+    graph: NetworkGraph,
+    pool: CommandTemplatePool,
+    scope: Option<UpdaterScope>,
+}
+
+/// A work partition for one updater instance. §6.2: "we run one instance
+/// per state variable per switch model. In this way, each updater
+/// instance is specialized for one task." A scoped updater only acts on
+/// differences matching its (model, attribute) filters; several scoped
+/// instances with disjoint scopes cover the full difference set and can
+/// run independently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdaterScope {
+    /// Only act on devices of this model (None = all models).
+    pub model: Option<DeviceModel>,
+    /// Only act on these attributes (empty = all attributes).
+    pub attributes: Vec<Attribute>,
+}
+
+impl UpdaterScope {
+    /// A scope for one (model, attribute) specialization — the paper's
+    /// deployment unit.
+    pub fn specialized(model: DeviceModel, attribute: Attribute) -> Self {
+        UpdaterScope {
+            model: Some(model),
+            attributes: vec![attribute],
+        }
+    }
+
+    /// Does this scope cover a difference on `attribute` for a device of
+    /// `model`?
+    pub fn covers(&self, model: DeviceModel, attribute: Attribute) -> bool {
+        self.model.map(|m| m == model).unwrap_or(true)
+            && (self.attributes.is_empty() || self.attributes.contains(&attribute))
+    }
+}
+
+impl Updater {
+    /// Build an updater with the standard template pool.
+    pub fn new(net: SimNetwork, storage: StorageService, graph: NetworkGraph) -> Self {
+        Updater {
+            of: OpenFlowSim::new(net.clone()),
+            cli: VendorCliSim::new(net.clone()),
+            net,
+            storage,
+            graph,
+            pool: CommandTemplatePool::standard(),
+            scope: None,
+        }
+    }
+
+    /// Replace the template pool.
+    pub fn with_pool(mut self, pool: CommandTemplatePool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Restrict this instance to one work partition (§6.2's one instance
+    /// per state variable per switch model).
+    pub fn with_scope(mut self, scope: UpdaterScope) -> Self {
+        self.scope = Some(scope);
+        self
+    }
+
+    /// Whether this instance acts on a difference for `device`/`attribute`.
+    fn in_scope(&self, device: &DeviceName, attribute: Attribute) -> bool {
+        match &self.scope {
+            None => true,
+            Some(scope) => {
+                let model = self
+                    .net
+                    .device_snapshot(device)
+                    .map(|d| d.model)
+                    .unwrap_or(DeviceModel::OpenFlowSwitch);
+                scope.covers(model, attribute)
+            }
+        }
+    }
+
+    fn adapter(&self, kind: ProtocolKind) -> &dyn DeviceProtocol {
+        match kind {
+            ProtocolKind::OpenFlow => &self.of,
+            ProtocolKind::VendorCli => &self.cli,
+            ProtocolKind::Snmp => &self.cli, // SNMP writes unused; CLI stands in
+        }
+    }
+
+    /// Read a full pool across all partitions.
+    fn read_all(&self, pool: Pool) -> StateResult<Vec<NetworkState>> {
+        let mut rows = Vec::new();
+        for dc in self.storage.partitions() {
+            rows.extend(self.storage.read(ReadRequest {
+                datacenter: dc,
+                pool: pool.clone(),
+                freshness: Freshness::UpToDate,
+                entity: None,
+                attribute: None,
+            })?);
+        }
+        Ok(rows)
+    }
+
+    /// Run one update round.
+    pub fn run_round(&self) -> StateResult<UpdaterReport> {
+        let started = Instant::now();
+        let now = self.net.clock().now();
+        let os = crate::view::MapView::from_rows(self.read_all(Pool::Observed)?);
+        let ts_rows = self.read_all(Pool::Target)?;
+
+        let mut report = UpdaterReport::default();
+        // Track cumulative simulated latency per device (sequential per
+        // device, parallel across devices).
+        let mut per_device_ms: HashMap<DeviceName, u64> = HashMap::new();
+
+        // ---- expand path-level rows into per-device desired routes ----
+        // Desired routes per device = device-level TS rules + path rules.
+        let mut desired_routes: BTreeMap<DeviceName, Vec<FlowLinkRule>> = BTreeMap::new();
+        let mut path_rows: BTreeMap<
+            statesman_types::PathName,
+            (Option<Vec<DeviceName>>, Option<f64>),
+        > = BTreeMap::new();
+        for row in &ts_rows {
+            if let Some(path) = row.entity.as_path() {
+                let entry = path_rows.entry(path.clone()).or_insert((None, None));
+                match row.attribute {
+                    Attribute::PathSwitches => {
+                        entry.0 = row.value.as_device_list().map(|l| l.to_vec());
+                    }
+                    Attribute::PathTrafficAllocation => {
+                        entry.1 = row.value.as_float();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (path, (switches, mbps)) in &path_rows {
+            let Some(switches) = switches else { continue };
+            // A zero allocation tears the path's rules down: the rules
+            // vanish from every on-path device's desired set.
+            if matches!(mbps, Some(m) if *m <= 0.0) {
+                continue;
+            }
+            for pair in switches.windows(2) {
+                let link = LinkName::between(pair[0].clone(), pair[1].clone());
+                desired_routes
+                    .entry(pair[0].clone())
+                    .or_default()
+                    .push(FlowLinkRule::new(path.as_str(), link, 1.0));
+            }
+        }
+
+        // ---- per-variable diff ----
+        let mut routing_devices: BTreeMap<DeviceName, Option<Vec<FlowLinkRule>>> = BTreeMap::new();
+        let mut sorted_ts = ts_rows.clone();
+        sorted_ts.sort_by_key(|a| a.key());
+        for row in &sorted_ts {
+            if row.attribute.is_lock() || row.entity.as_path().is_some() {
+                continue; // locks are metadata; paths handled via expansion
+            }
+            if row.attribute == Attribute::DeviceRoutingRules {
+                // Routing diffs merge with path-derived routes below.
+                if let Some(dev) = row.entity.as_device() {
+                    routing_devices.insert(dev.clone(), row.value.as_routes().map(|r| r.to_vec()));
+                }
+                continue;
+            }
+            let current = os.value_of(&row.entity, row.attribute);
+            if current == Some(&row.value) {
+                continue;
+            }
+            // Scoped instances skip work outside their partition
+            // (another specialized instance owns it).
+            if let Some(dev) = self.carrier_device(row) {
+                if !self.in_scope(&dev, row.attribute) {
+                    continue;
+                }
+            }
+            report.diffs += 1;
+            self.execute_for_row(row, &mut report, &mut per_device_ms, now);
+        }
+
+        // Devices with path-derived routes but no device-level TS row.
+        for dev in desired_routes.keys() {
+            routing_devices.entry(dev.clone()).or_insert(None);
+        }
+        // Devices carrying rules in the OS must also be diffed, so rules
+        // whose paths left the TS get withdrawn (in this system all
+        // forwarding state is Statesman-owned).
+        for row in os.rows() {
+            if row.attribute == Attribute::DeviceRoutingRules
+                && row
+                    .value
+                    .as_routes()
+                    .map(|r| !r.is_empty())
+                    .unwrap_or(false)
+            {
+                if let Some(dev) = row.entity.as_device() {
+                    routing_devices.entry(dev.clone()).or_insert(None);
+                }
+            }
+        }
+
+        // ---- routing diffs (device rules ∪ path rules) ----
+        for (dev, device_rules) in routing_devices {
+            let mut desired: Vec<FlowLinkRule> = device_rules.unwrap_or_default();
+            if let Some(extra) = desired_routes.get(&dev) {
+                desired.extend(extra.iter().cloned());
+            }
+            normalize_rules(&mut desired);
+            let entity = match self.graph.node_id(&dev) {
+                Some(id) => {
+                    let info = self.graph.node(id);
+                    EntityName::device(info.datacenter.clone(), dev.clone())
+                }
+                None => continue,
+            };
+            let mut current = os
+                .value_of(&entity, Attribute::DeviceRoutingRules)
+                .and_then(|v| v.as_routes().map(|r| r.to_vec()))
+                .unwrap_or_default();
+            normalize_rules(&mut current);
+            if current == desired {
+                continue;
+            }
+            if !self.in_scope(&dev, Attribute::DeviceRoutingRules) {
+                continue;
+            }
+            report.diffs += 1;
+            let row = NetworkState::new(
+                entity,
+                Attribute::DeviceRoutingRules,
+                Value::Routes(desired),
+                now,
+                statesman_types::AppId::updater(),
+            );
+            self.execute_for_row(&row, &mut report, &mut per_device_ms, now);
+        }
+
+        report.sim_io =
+            SimDuration::from_millis(per_device_ms.values().copied().max().unwrap_or(0));
+        report.elapsed = started.elapsed();
+        Ok(report)
+    }
+
+    /// The device that carries the commands realizing a row's difference.
+    fn carrier_device(&self, row: &NetworkState) -> Option<DeviceName> {
+        match &row.entity.body {
+            statesman_types::entity::EntityBody::Device(d) => Some(d.clone()),
+            statesman_types::entity::EntityBody::Link(l) => {
+                // Link interfaces are configured from a live endpoint.
+                [&l.a, &l.b]
+                    .into_iter()
+                    .find(|d| self.net.device_operational(d))
+                    .cloned()
+            }
+            statesman_types::entity::EntityBody::Path(_) => None,
+        }
+    }
+
+    /// Render and execute the command(s) realizing one differing row.
+    fn execute_for_row(
+        &self,
+        row: &NetworkState,
+        report: &mut UpdaterReport,
+        per_device_ms: &mut HashMap<DeviceName, u64>,
+        now: statesman_types::SimTime,
+    ) {
+        let Some(device) = self.carrier_device(row) else {
+            report.unrenderable += 1;
+            return;
+        };
+        let model = match self.net.device_snapshot(&device) {
+            Some(d) => d.model,
+            None => {
+                report.unrenderable += 1;
+                return;
+            }
+        };
+        let ctx = TemplateCtx {
+            entity: &row.entity,
+            attribute: row.attribute,
+            target: &row.value,
+            device: &device,
+            model,
+        };
+        let actions = match self.pool.render(&ctx) {
+            Ok(a) => a,
+            Err(_) => {
+                report.unrenderable += 1;
+                return;
+            }
+        };
+        for action in actions {
+            match self
+                .adapter(action.protocol)
+                .execute(&action.device, action.command)
+            {
+                Ok(CommandOutcome::Applied { effective_at }) => {
+                    report.commands_applied += 1;
+                    let ms = effective_at.saturating_since(now).as_millis();
+                    *per_device_ms.entry(action.device.clone()).or_insert(0) += ms.max(1);
+                }
+                Ok(_) | Err(_) => {
+                    report.commands_failed += 1;
+                    // Failed interactions still cost wall time (§2.1: the
+                    // command that times out dominates the loop).
+                    *per_device_ms.entry(action.device.clone()).or_insert(0) += 1_000;
+                }
+            }
+        }
+    }
+}
+
+/// Canonical ordering + dedup so rule-set comparison is well-defined.
+fn normalize_rules(rules: &mut Vec<FlowLinkRule>) {
+    rules.sort_by(|a, b| {
+        a.flow
+            .cmp(&b.flow)
+            .then_with(|| a.out_link.cmp(&b.out_link))
+            .then_with(|| {
+                a.weight
+                    .partial_cmp(&b.weight)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    });
+    rules.dedup_by(|a, b| a.flow == b.flow && a.out_link == b.out_link && a.weight == b.weight);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::Monitor;
+    use statesman_net::{SimClock, SimConfig};
+    use statesman_storage::WriteRequest;
+    use statesman_topology::DcnSpec;
+    use statesman_types::PowerStatus;
+    use statesman_types::{AppId, SimTime};
+
+    fn setup() -> (SimNetwork, StorageService, NetworkGraph, SimClock) {
+        let clock = SimClock::new();
+        let graph = DcnSpec::tiny("dc1").build();
+        let mut cfg = SimConfig::ideal();
+        cfg.faults.command_latency_ms = 100;
+        cfg.faults.reboot_window_ms = 60_000;
+        let net = SimNetwork::new(&graph, clock.clone(), cfg);
+        let storage = StorageService::single_dc("dc1", clock.clone());
+        (net, storage, graph, clock)
+    }
+
+    fn ts_row(entity: EntityName, attr: Attribute, v: Value, at: SimTime) -> NetworkState {
+        NetworkState::new(entity, attr, v, at, AppId::new("switch-upgrade"))
+    }
+
+    /// Seed the OS by running a real monitor round.
+    fn seed_os(net: &SimNetwork, storage: &StorageService, graph: &NetworkGraph) {
+        Monitor::new(net.clone(), storage.clone(), graph.clone())
+            .run_round()
+            .unwrap();
+    }
+
+    #[test]
+    fn firmware_diff_drives_upgrade_to_convergence() {
+        let (net, storage, graph, clock) = setup();
+        seed_os(&net, &storage, &graph);
+        let u = Updater::new(net.clone(), storage.clone(), graph.clone());
+
+        storage
+            .write(WriteRequest {
+                pool: Pool::Target,
+                rows: vec![ts_row(
+                    EntityName::device("dc1", "agg-1-1"),
+                    Attribute::DeviceFirmwareVersion,
+                    Value::text("7.0"),
+                    clock.now(),
+                )],
+            })
+            .unwrap();
+
+        let r1 = u.run_round().unwrap();
+        assert_eq!(r1.diffs, 1);
+        assert_eq!(r1.commands_applied, 1);
+        assert!(r1.sim_io >= SimDuration::from_millis(100));
+
+        // Command latency + reboot window pass; device comes back on 7.0.
+        net.step(SimDuration::from_secs(100));
+        seed_os(&net, &storage, &graph);
+        assert_eq!(
+            net.device_snapshot(&DeviceName::new("agg-1-1"))
+                .unwrap()
+                .observed_firmware(),
+            "7.0"
+        );
+
+        // Converged: next round sees no difference.
+        let r2 = u.run_round().unwrap();
+        assert_eq!(r2.diffs, 0);
+        assert_eq!(r2.commands_applied, 0);
+    }
+
+    #[test]
+    fn stateless_retry_survives_reboot_window() {
+        let (net, storage, graph, clock) = setup();
+        seed_os(&net, &storage, &graph);
+        let u = Updater::new(net.clone(), storage.clone(), graph.clone());
+        storage
+            .write(WriteRequest {
+                pool: Pool::Target,
+                rows: vec![ts_row(
+                    EntityName::device("dc1", "agg-1-1"),
+                    Attribute::DeviceFirmwareVersion,
+                    Value::text("7.0"),
+                    clock.now(),
+                )],
+            })
+            .unwrap();
+        u.run_round().unwrap();
+        net.step(SimDuration::from_secs(1)); // command landed; rebooting
+
+        // Mid-reboot round: OS is stale (old firmware), device times out;
+        // the updater just fails and will rediff later — no state carried.
+        let r2 = u.run_round().unwrap();
+        assert_eq!(r2.diffs, 1);
+        assert_eq!(r2.commands_applied, 0);
+        assert_eq!(r2.commands_failed, 1);
+
+        // After the reboot completes, convergence.
+        net.step(SimDuration::from_secs(100));
+        seed_os(&net, &storage, &graph);
+        let r3 = u.run_round().unwrap();
+        assert_eq!(r3.diffs, 0);
+    }
+
+    #[test]
+    fn link_admin_power_goes_to_a_live_endpoint() {
+        let (net, storage, graph, clock) = setup();
+        seed_os(&net, &storage, &graph);
+        let u = Updater::new(net.clone(), storage.clone(), graph.clone());
+        let link = LinkName::between("tor-1-1", "agg-1-1");
+        storage
+            .write(WriteRequest {
+                pool: Pool::Target,
+                rows: vec![ts_row(
+                    EntityName::link_named("dc1", link.clone()),
+                    Attribute::LinkAdminPower,
+                    Value::power(false),
+                    clock.now(),
+                )],
+            })
+            .unwrap();
+        let r = u.run_round().unwrap();
+        assert_eq!(r.commands_applied, 1);
+        net.step(SimDuration::from_secs(1));
+        assert!(!net.link_oper_up(&link));
+        assert_eq!(
+            net.link_snapshot(&link).unwrap().admin_power,
+            PowerStatus::Off
+        );
+    }
+
+    #[test]
+    fn path_rows_translate_into_device_routes() {
+        let (net, storage, graph, clock) = setup();
+        seed_os(&net, &storage, &graph);
+        let u = Updater::new(net.clone(), storage.clone(), graph.clone());
+        let path = EntityName::path("dc1", "flow:t11>t12");
+        storage
+            .write(WriteRequest {
+                pool: Pool::Target,
+                rows: vec![
+                    ts_row(
+                        path.clone(),
+                        Attribute::PathSwitches,
+                        Value::DeviceList(vec![
+                            DeviceName::new("tor-1-1"),
+                            DeviceName::new("agg-1-1"),
+                            DeviceName::new("tor-1-2"),
+                        ]),
+                        clock.now(),
+                    ),
+                    ts_row(
+                        path,
+                        Attribute::PathTrafficAllocation,
+                        Value::Float(500.0),
+                        clock.now(),
+                    ),
+                ],
+            })
+            .unwrap();
+        let r = u.run_round().unwrap();
+        assert_eq!(r.diffs, 2, "two on-path devices need rules");
+        assert_eq!(r.commands_applied, 2);
+        net.step(SimDuration::from_secs(1));
+        let tor = net.device_snapshot(&DeviceName::new("tor-1-1")).unwrap();
+        assert_eq!(tor.routing_rules.len(), 1);
+        assert_eq!(tor.routing_rules[0].flow, "flow:t11>t12");
+
+        // Idempotence: after the OS reflects the rules, no more diffs.
+        seed_os(&net, &storage, &graph);
+        let r2 = u.run_round().unwrap();
+        assert_eq!(r2.diffs, 0, "routing diff must be idempotent");
+    }
+
+    #[test]
+    fn unrenderable_rows_are_counted_not_fatal() {
+        let (net, storage, graph, clock) = setup();
+        seed_os(&net, &storage, &graph);
+        let u = Updater::new(net.clone(), storage.clone(), graph.clone())
+            .with_pool(CommandTemplatePool::empty());
+        storage
+            .write(WriteRequest {
+                pool: Pool::Target,
+                rows: vec![ts_row(
+                    EntityName::device("dc1", "agg-1-1"),
+                    Attribute::DeviceFirmwareVersion,
+                    Value::text("7.0"),
+                    clock.now(),
+                )],
+            })
+            .unwrap();
+        let r = u.run_round().unwrap();
+        assert_eq!(r.unrenderable, 1);
+        assert_eq!(r.commands_applied, 0);
+    }
+
+    #[test]
+    fn scoped_instances_partition_the_work() {
+        // §6.2: "one instance per state variable per switch model".
+        let (net, storage, graph, clock) = setup();
+        seed_os(&net, &storage, &graph);
+        storage
+            .write(WriteRequest {
+                pool: Pool::Target,
+                rows: vec![
+                    ts_row(
+                        EntityName::device("dc1", "agg-1-1"),
+                        Attribute::DeviceFirmwareVersion,
+                        Value::text("7.0"),
+                        clock.now(),
+                    ),
+                    ts_row(
+                        EntityName::device("dc1", "agg-1-2"),
+                        Attribute::DeviceBootImage,
+                        Value::text("img-x"),
+                        clock.now(),
+                    ),
+                ],
+            })
+            .unwrap();
+
+        // A firmware-only instance acts on exactly the firmware diff.
+        let fw_instance = Updater::new(net.clone(), storage.clone(), graph.clone()).with_scope(
+            UpdaterScope::specialized(
+                DeviceModel::OpenFlowSwitch,
+                Attribute::DeviceFirmwareVersion,
+            ),
+        );
+        let r = fw_instance.run_round().unwrap();
+        assert_eq!(r.diffs, 1);
+
+        // A boot-image instance acts on the other diff.
+        let img_instance = Updater::new(net.clone(), storage.clone(), graph.clone()).with_scope(
+            UpdaterScope::specialized(DeviceModel::OpenFlowSwitch, Attribute::DeviceBootImage),
+        );
+        let r = img_instance.run_round().unwrap();
+        assert_eq!(r.diffs, 1);
+
+        // A BGP-model instance has nothing to do on this fabric.
+        let bgp_instance = Updater::new(net.clone(), storage, graph).with_scope(UpdaterScope {
+            model: Some(DeviceModel::BgpRouter),
+            attributes: vec![],
+        });
+        let r = bgp_instance.run_round().unwrap();
+        assert_eq!(r.diffs, 0);
+
+        // Together the scoped instances realized both changes.
+        net.step(SimDuration::from_secs(1));
+        assert!(net
+            .device_snapshot(&DeviceName::new("agg-1-1"))
+            .unwrap()
+            .upgrading
+            .is_some());
+        assert_eq!(
+            net.device_snapshot(&DeviceName::new("agg-1-2"))
+                .unwrap()
+                .boot_image,
+            "img-x"
+        );
+    }
+
+    #[test]
+    fn standard_pool_covers_both_models() {
+        let pool = CommandTemplatePool::standard();
+        assert!(pool.len() >= 18); // 9 attrs × 2 models
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn normalize_rules_orders_and_dedups() {
+        let l1 = LinkName::between("a", "b");
+        let l2 = LinkName::between("a", "c");
+        let mut rules = vec![
+            FlowLinkRule::new("f2", l2.clone(), 1.0),
+            FlowLinkRule::new("f1", l1.clone(), 1.0),
+            FlowLinkRule::new("f1", l1.clone(), 1.0),
+        ];
+        normalize_rules(&mut rules);
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].flow, "f1");
+    }
+}

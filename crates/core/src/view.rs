@@ -1,0 +1,434 @@
+//! Read views over state pools, and the projection of a target state onto
+//! the network graph.
+//!
+//! The checker never mutates rows in place; it reasons over *views*:
+//!
+//! * [`StateView`] — anything that can answer "what is the value of
+//!   (entity, attribute)?";
+//! * [`MapView`] — a materialized snapshot (what a checker pass reads from
+//!   storage at its start);
+//! * [`OverlayView`] — a proposed/target delta layered over a base view,
+//!   used to evaluate "what would the network look like if we accepted
+//!   this?" without copying snapshots;
+//! * [`project_health`] — the OS→graph projection: derive a
+//!   [`HealthView`] (which devices and links are effectively up) from a
+//!   state view, treating *pending transitions* pessimistically — a
+//!   device whose TS firmware differs from its OS firmware is about to
+//!   reboot, so the projection counts it down. This pessimism is what
+//!   lets the checker block the Fig-2 disaster before any command is
+//!   issued.
+
+use statesman_topology::{HealthView, NetworkGraph};
+use statesman_types::{Attribute, EntityName, NetworkState, StateKey, Value};
+use std::collections::HashMap;
+
+/// Anything that can answer point lookups over one pool of rows.
+pub trait StateView {
+    /// The row stored for `key`, if any.
+    fn get(&self, key: &StateKey) -> Option<&NetworkState>;
+
+    /// Convenience: the value stored for (entity, attribute).
+    fn value_of(&self, entity: &EntityName, attribute: Attribute) -> Option<&Value> {
+        self.get(&StateKey::new(entity.clone(), attribute))
+            .map(|r| &r.value)
+    }
+}
+
+/// A materialized snapshot of one pool.
+#[derive(Debug, Clone, Default)]
+pub struct MapView {
+    rows: HashMap<StateKey, NetworkState>,
+}
+
+impl MapView {
+    /// An empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a row list (later duplicates shadow earlier ones).
+    pub fn from_rows(rows: impl IntoIterator<Item = NetworkState>) -> Self {
+        let mut v = MapView::new();
+        for r in rows {
+            v.rows.insert(r.key(), r);
+        }
+        v
+    }
+
+    /// Insert or replace one row.
+    pub fn upsert(&mut self, row: NetworkState) {
+        self.rows.insert(row.key(), row);
+    }
+
+    /// Remove one row.
+    pub fn remove(&mut self, key: &StateKey) -> Option<NetworkState> {
+        self.rows.remove(key)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate all rows (unordered).
+    pub fn rows(&self) -> impl Iterator<Item = &NetworkState> {
+        self.rows.values()
+    }
+
+    /// Drain into a row list, sorted by key for determinism.
+    pub fn into_sorted_rows(self) -> Vec<NetworkState> {
+        let mut v: Vec<NetworkState> = self.rows.into_values().collect();
+        v.sort_by_key(|a| a.key());
+        v
+    }
+}
+
+impl StateView for MapView {
+    fn get(&self, key: &StateKey) -> Option<&NetworkState> {
+        self.rows.get(key)
+    }
+}
+
+/// A delta layered over a base view. Lookups hit the overlay first.
+pub struct OverlayView<'a, B: StateView + ?Sized> {
+    base: &'a B,
+    overlay: &'a MapView,
+}
+
+impl<'a, B: StateView + ?Sized> OverlayView<'a, B> {
+    /// Layer `overlay` over `base`.
+    pub fn new(base: &'a B, overlay: &'a MapView) -> Self {
+        OverlayView { base, overlay }
+    }
+}
+
+impl<B: StateView + ?Sized> StateView for OverlayView<'_, B> {
+    fn get(&self, key: &StateKey) -> Option<&NetworkState> {
+        self.overlay.get(key).or_else(|| self.base.get(key))
+    }
+}
+
+/// Derive the effective health of every device and link in `graph` from an
+/// observed-state view `os`, optionally projecting a target-state view
+/// `ts` over it.
+///
+/// Rules (pessimistic about transitions):
+///
+/// * a device is down if its (projected) `DeviceAdminPower` is off;
+/// * a device is *transitioning* — counted down — if the TS proposes a
+///   different `DeviceFirmwareVersion` or `DeviceBootImage` than the OS
+///   observes (the updater will reboot it);
+/// * a link is down if its (projected) `LinkAdminPower` is off, or the OS
+///   reports `LinkOperStatus` down (covers physical faults and
+///   unreachable endpoints);
+/// * down devices take their links down implicitly via
+///   [`HealthView::link_usable`].
+pub fn project_health(
+    graph: &NetworkGraph,
+    os: &dyn StateView,
+    ts: Option<&dyn StateView>,
+) -> HealthView {
+    let mut health = HealthView::all_up();
+
+    for (_, node) in graph.nodes() {
+        let entity = EntityName::device(node.datacenter.clone(), node.name.clone());
+        if device_projected_down(&entity, os, ts) {
+            health.set_device_down(node.name.clone());
+        }
+    }
+
+    for (_, edge) in graph.edges() {
+        let entity = EntityName::link_named(edge.datacenter.clone(), edge.name.clone());
+        if link_projected_down(&entity, os, ts) {
+            health.set_link_down(edge.name.clone());
+        }
+    }
+
+    health
+}
+
+/// The device projection rule (see [`project_health`]): admin power off,
+/// or a pending firmware/boot transition (TS differs from OS).
+pub fn device_projected_down(
+    entity: &EntityName,
+    os: &dyn StateView,
+    ts: Option<&dyn StateView>,
+) -> bool {
+    // Projected admin power: TS wins if it says anything.
+    let admin = ts
+        .and_then(|t| t.value_of(entity, Attribute::DeviceAdminPower))
+        .or_else(|| os.value_of(entity, Attribute::DeviceAdminPower));
+    if let Some(v) = admin {
+        if v.as_power().map(|p| !p.is_on()).unwrap_or(false) {
+            return true;
+        }
+    }
+    // Pending firmware/boot transitions imply an upcoming reboot.
+    if let Some(ts) = ts {
+        for attr in [Attribute::DeviceFirmwareVersion, Attribute::DeviceBootImage] {
+            let target = ts.value_of(entity, attr);
+            let observed = os.value_of(entity, attr);
+            if let Some(target) = target {
+                if Some(target) != observed {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The link projection rule (see [`project_health`]): projected admin
+/// power off, or observed oper-down.
+pub fn link_projected_down(
+    entity: &EntityName,
+    os: &dyn StateView,
+    ts: Option<&dyn StateView>,
+) -> bool {
+    let admin = ts
+        .and_then(|t| t.value_of(entity, Attribute::LinkAdminPower))
+        .or_else(|| os.value_of(entity, Attribute::LinkAdminPower));
+    if let Some(v) = admin {
+        if v.as_power().map(|p| !p.is_on()).unwrap_or(false) {
+            return true;
+        }
+    }
+    if let Some(v) = os.value_of(entity, Attribute::LinkOperStatus) {
+        if v.as_oper().map(|o| !o.is_up()).unwrap_or(false) {
+            return true;
+        }
+    }
+    false
+}
+
+/// A reversible, entity-scoped health update: re-evaluate the projection
+/// for just the entities a candidate touches, remembering prior states so
+/// a rejected candidate can be rolled back. This keeps checker passes
+/// linear in proposal count instead of O(proposals × topology).
+#[derive(Debug, Default)]
+pub struct HealthDelta {
+    devices: Vec<(statesman_types::DeviceName, bool)>,
+    links: Vec<(statesman_types::LinkName, bool)>,
+}
+
+impl HealthDelta {
+    /// Apply the projection rules for the entities of `rows` against
+    /// `health`, recording prior states.
+    pub fn apply(
+        graph: &NetworkGraph,
+        os: &dyn StateView,
+        ts_with_candidate: &dyn StateView,
+        rows: &[NetworkState],
+        health: &mut HealthView,
+    ) -> HealthDelta {
+        let mut delta = HealthDelta::default();
+        let mut seen_devices = std::collections::HashSet::new();
+        let mut seen_links = std::collections::HashSet::new();
+        for row in rows {
+            match row.entity.kind() {
+                statesman_types::EntityKind::Device => {
+                    let Some(dev) = row.entity.as_device() else {
+                        continue;
+                    };
+                    if !seen_devices.insert(dev.clone()) || graph.node_id(dev).is_none() {
+                        continue;
+                    }
+                    let was_down = !health.device_up(dev);
+                    let now_down = device_projected_down(&row.entity, os, Some(ts_with_candidate));
+                    if was_down != now_down {
+                        delta.devices.push((dev.clone(), was_down));
+                        if now_down {
+                            health.set_device_down(dev.clone());
+                        } else {
+                            health.set_device_up(dev);
+                        }
+                    }
+                }
+                statesman_types::EntityKind::Link => {
+                    let Some(link) = row.entity.as_link() else {
+                        continue;
+                    };
+                    if !seen_links.insert(link.clone()) || graph.edge_id(link).is_none() {
+                        continue;
+                    }
+                    let was_down = !health.link_up(link);
+                    let now_down = link_projected_down(&row.entity, os, Some(ts_with_candidate));
+                    if was_down != now_down {
+                        delta.links.push((link.clone(), was_down));
+                        if now_down {
+                            health.set_link_down(link.clone());
+                        } else {
+                            health.set_link_up(link);
+                        }
+                    }
+                }
+                statesman_types::EntityKind::Path => {
+                    // Path rows do not change device/link health.
+                }
+            }
+        }
+        delta
+    }
+
+    /// Roll the delta back (restore the recorded prior states).
+    pub fn revert(self, health: &mut HealthView) {
+        for (dev, was_down) in self.devices {
+            if was_down {
+                health.set_device_down(dev);
+            } else {
+                health.set_device_up(&dev);
+            }
+        }
+        for (link, was_down) in self.links {
+            if was_down {
+                health.set_link_down(link);
+            } else {
+                health.set_link_up(&link);
+            }
+        }
+    }
+
+    /// True if the delta changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty() && self.links.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statesman_topology::DcnSpec;
+    use statesman_types::{AppId, SimTime};
+
+    fn os_row(entity: EntityName, attr: Attribute, value: Value) -> NetworkState {
+        NetworkState::new(entity, attr, value, SimTime::ZERO, AppId::monitor())
+    }
+
+    fn dev(name: &str) -> EntityName {
+        EntityName::device("dc1", name)
+    }
+
+    #[test]
+    fn map_view_lookup_and_shadowing() {
+        let v = MapView::from_rows([
+            os_row(dev("a"), Attribute::DeviceFirmwareVersion, Value::text("1")),
+            os_row(dev("a"), Attribute::DeviceFirmwareVersion, Value::text("2")),
+        ]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(
+            v.value_of(&dev("a"), Attribute::DeviceFirmwareVersion),
+            Some(&Value::text("2"))
+        );
+        assert_eq!(v.value_of(&dev("a"), Attribute::DeviceBootImage), None);
+    }
+
+    #[test]
+    fn overlay_shadows_base() {
+        let base = MapView::from_rows([os_row(
+            dev("a"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("6.0"),
+        )]);
+        let over = MapView::from_rows([os_row(
+            dev("a"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("7.0"),
+        )]);
+        let o = OverlayView::new(&base, &over);
+        assert_eq!(
+            o.value_of(&dev("a"), Attribute::DeviceFirmwareVersion),
+            Some(&Value::text("7.0"))
+        );
+        // Fall-through for keys absent in overlay.
+        let empty = MapView::new();
+        let o2 = OverlayView::new(&base, &empty);
+        assert_eq!(
+            o2.value_of(&dev("a"), Attribute::DeviceFirmwareVersion),
+            Some(&Value::text("6.0"))
+        );
+    }
+
+    #[test]
+    fn projection_all_up_by_default() {
+        let g = DcnSpec::tiny("dc1").build();
+        let os = MapView::new();
+        let h = project_health(&g, &os, None);
+        assert_eq!(h.outage_count(), 0);
+    }
+
+    #[test]
+    fn projection_honors_admin_power() {
+        let g = DcnSpec::tiny("dc1").build();
+        let os = MapView::from_rows([os_row(
+            dev("agg-1-1"),
+            Attribute::DeviceAdminPower,
+            Value::power(false),
+        )]);
+        let h = project_health(&g, &os, None);
+        assert!(!h.device_up(&"agg-1-1".into()));
+    }
+
+    #[test]
+    fn pending_firmware_transition_counts_device_down() {
+        // The heart of safe upgrade merging: a TS firmware differing from
+        // OS means the device is about to reboot.
+        let g = DcnSpec::tiny("dc1").build();
+        let os = MapView::from_rows([os_row(
+            dev("agg-1-1"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("6.0"),
+        )]);
+        let ts = MapView::from_rows([os_row(
+            dev("agg-1-1"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("7.0"),
+        )]);
+        let h = project_health(&g, &os, Some(&ts));
+        assert!(!h.device_up(&"agg-1-1".into()));
+
+        // Once OS catches up, the projection is clean again.
+        let os2 = MapView::from_rows([os_row(
+            dev("agg-1-1"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("7.0"),
+        )]);
+        let h2 = project_health(&g, &os2, Some(&ts));
+        assert!(h2.device_up(&"agg-1-1".into()));
+    }
+
+    #[test]
+    fn projection_honors_link_state() {
+        let g = DcnSpec::tiny("dc1").build();
+        let link = statesman_types::LinkName::between("tor-1-1", "agg-1-1");
+        let le = EntityName::link_named("dc1", link.clone());
+        // Oper-down from the OS.
+        let os = MapView::from_rows([os_row(
+            le.clone(),
+            Attribute::LinkOperStatus,
+            Value::oper(false),
+        )]);
+        let h = project_health(&g, &os, None);
+        assert!(!h.link_up(&link));
+
+        // Admin-down proposed in the TS.
+        let os2 = MapView::new();
+        let ts = MapView::from_rows([os_row(le, Attribute::LinkAdminPower, Value::power(false))]);
+        let h2 = project_health(&g, &os2, Some(&ts));
+        assert!(!h2.link_up(&link));
+    }
+
+    #[test]
+    fn sorted_rows_are_deterministic() {
+        let v = MapView::from_rows([
+            os_row(dev("b"), Attribute::DeviceFirmwareVersion, Value::text("1")),
+            os_row(dev("a"), Attribute::DeviceFirmwareVersion, Value::text("1")),
+        ]);
+        let rows = v.into_sorted_rows();
+        assert!(rows[0].entity < rows[1].entity);
+    }
+}

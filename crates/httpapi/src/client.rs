@@ -1,0 +1,105 @@
+//! A blocking HTTP client for the Table-3 API.
+//!
+//! One TCP connection per request (`connection: close`), mirroring the
+//! stateless front end. Out-of-process applications use this client the
+//! way in-process ones use `StatesmanClient`.
+
+use crate::http::{encode_component, read_response};
+use statesman_types::{
+    AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, StateError,
+    StateResult, WriteReceipt,
+};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+
+/// Client handle (cheap; holds only the server address).
+#[derive(Debug, Clone)]
+pub struct ApiClient {
+    addr: SocketAddr,
+}
+
+impl ApiClient {
+    /// Point at a server.
+    pub fn new(addr: SocketAddr) -> Self {
+        ApiClient { addr }
+    }
+
+    fn request(&self, method: &str, target: &str, body: &[u8]) -> StateResult<(u16, Vec<u8>)> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nhost: statesman\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        if !body.is_empty() {
+            stream.write_all(body)?;
+        }
+        read_response(&mut stream)
+    }
+
+    fn expect_2xx(&self, (status, body): (u16, Vec<u8>)) -> StateResult<Vec<u8>> {
+        if (200..300).contains(&status) {
+            Ok(body)
+        } else {
+            Err(StateError::protocol(format!(
+                "HTTP {status}: {}",
+                String::from_utf8_lossy(&body)
+            )))
+        }
+    }
+
+    /// `GET NetworkState/Read` (Table 3a).
+    pub fn read(
+        &self,
+        datacenter: &DatacenterId,
+        pool: &Pool,
+        freshness: Freshness,
+        entity: Option<&EntityName>,
+        attribute: Option<Attribute>,
+    ) -> StateResult<Vec<NetworkState>> {
+        let mut target = format!(
+            "/NetworkState/Read?Datacenter={}&Pool={}&Freshness={}",
+            encode_component(datacenter.as_str()),
+            encode_component(&pool.wire_name()),
+            encode_component(freshness.wire_name()),
+        );
+        if let Some(e) = entity {
+            target.push_str(&format!("&Entity={}", encode_component(&e.wire_name())));
+        }
+        if let Some(a) = attribute {
+            target.push_str(&format!("&Attribute={}", encode_component(a.wire_name())));
+        }
+        let body = self.expect_2xx(self.request("GET", &target, &[])?)?;
+        serde_json::from_slice(&body)
+            .map_err(|e| StateError::protocol(format!("bad response JSON: {e}")))
+    }
+
+    /// `POST NetworkState/Write` (Table 3a): body is a JSON list of
+    /// NetworkState objects.
+    pub fn write(&self, pool: &Pool, rows: &[NetworkState]) -> StateResult<()> {
+        let target = format!(
+            "/NetworkState/Write?Pool={}",
+            encode_component(&pool.wire_name())
+        );
+        let body = serde_json::to_vec(rows)
+            .map_err(|e| StateError::protocol(format!("serialize: {e}")))?;
+        self.expect_2xx(self.request("POST", &target, &body)?)?;
+        Ok(())
+    }
+
+    /// Drain an application's receipts.
+    pub fn receipts(&self, app: &AppId) -> StateResult<Vec<WriteReceipt>> {
+        let target = format!(
+            "/NetworkState/Receipts?App={}",
+            encode_component(app.as_str())
+        );
+        let body = self.expect_2xx(self.request("GET", &target, &[])?)?;
+        serde_json::from_slice(&body)
+            .map_err(|e| StateError::protocol(format!("bad response JSON: {e}")))
+    }
+
+    /// Raw GET for diagnostics/tests.
+    pub fn raw_get(&self, target: &str) -> StateResult<Vec<u8>> {
+        self.expect_2xx(self.request("GET", target, &[])?)
+    }
+}

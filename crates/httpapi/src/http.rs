@@ -1,0 +1,340 @@
+//! A deliberately small HTTP/1.1 codec: request-line + headers +
+//! `Content-Length` bodies. Enough for the Table-3 API; nothing more.
+//!
+//! Query values are percent-encoded because entity wire names contain
+//! `/` and `~` (e.g. `dc1/link/agg-1-1~tor-1-1`).
+
+use bytes::{BufMut, BytesMut};
+use statesman_types::{StateError, StateResult};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpRequest {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path without the query string, e.g. `/NetworkState/Read`.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: BTreeMap<String, String>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// A query parameter, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(|s| s.as_str())
+    }
+
+    /// A required query parameter, or a protocol error naming it.
+    pub fn require(&self, key: &str) -> StateResult<&str> {
+        self.param(key)
+            .ok_or_else(|| StateError::protocol(format!("missing query parameter {key}")))
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// Body bytes (JSON for API responses).
+    pub body: Vec<u8>,
+    /// Content type.
+    pub content_type: &'static str,
+}
+
+impl HttpResponse {
+    /// 200 with a JSON body.
+    pub fn ok_json(body: impl Into<Vec<u8>>) -> Self {
+        HttpResponse {
+            status: 200,
+            reason: "OK",
+            body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// 204 (accepted writes).
+    pub fn no_content() -> Self {
+        HttpResponse {
+            status: 204,
+            reason: "No Content",
+            body: Vec::new(),
+            content_type: "text/plain",
+        }
+    }
+
+    /// 400 with a plain-text reason.
+    pub fn bad_request(msg: impl Into<String>) -> Self {
+        HttpResponse {
+            status: 400,
+            reason: "Bad Request",
+            body: msg.into().into_bytes(),
+            content_type: "text/plain",
+        }
+    }
+
+    /// 404.
+    pub fn not_found() -> Self {
+        HttpResponse {
+            status: 404,
+            reason: "Not Found",
+            body: b"no such endpoint".to_vec(),
+            content_type: "text/plain",
+        }
+    }
+
+    /// 503 (storage unavailable).
+    pub fn unavailable(msg: impl Into<String>) -> Self {
+        HttpResponse {
+            status: 503,
+            reason: "Service Unavailable",
+            body: msg.into().into_bytes(),
+            content_type: "text/plain",
+        }
+    }
+
+    /// Serialize onto the wire.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        let mut buf = BytesMut::with_capacity(128 + self.body.len());
+        buf.put_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+                self.status,
+                self.reason,
+                self.content_type,
+                self.body.len()
+            )
+            .as_bytes(),
+        );
+        buf.put_slice(&self.body);
+        stream.write_all(&buf)
+    }
+}
+
+/// Percent-encode a query value (RFC 3986 unreserved set passes through).
+pub fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'*' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Percent-decode a query value.
+pub fn decode_component(s: &str) -> StateResult<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                if i + 2 > bytes.len() {
+                    return Err(StateError::protocol("truncated percent escape"));
+                }
+                let hex = s
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| StateError::protocol("truncated percent escape"))?;
+                let v = u8::from_str_radix(hex, 16)
+                    .map_err(|_| StateError::protocol(format!("bad percent escape %{hex}")))?;
+                out.push(v);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| StateError::protocol("query is not UTF-8"))
+}
+
+/// Parse the query string into decoded key/value pairs.
+fn parse_query(q: &str) -> StateResult<BTreeMap<String, String>> {
+    let mut map = BTreeMap::new();
+    for pair in q.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        map.insert(decode_component(k)?, decode_component(v)?);
+    }
+    Ok(map)
+}
+
+/// Maximum accepted body size (a monitor round for a large DC is a few MB
+/// of JSON; anything beyond 64 MB is a protocol error, not a workload).
+const MAX_BODY: usize = 64 << 20;
+
+/// Read one request from a connection.
+pub fn read_request(stream: &mut TcpStream) -> StateResult<HttpRequest> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| StateError::protocol("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| StateError::protocol("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| StateError::protocol("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(StateError::protocol(format!(
+            "unsupported version {version}"
+        )));
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)?),
+        None => (target.to_string(), BTreeMap::new()),
+    };
+
+    // Headers: we only care about content-length.
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        let n = reader.read_line(&mut h)?;
+        if n == 0 {
+            return Err(StateError::protocol("connection closed mid-headers"));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| StateError::protocol("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(StateError::protocol("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    Ok(HttpRequest {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Read one response from a connection (client side). Returns (status,
+/// body).
+pub fn read_response(stream: &mut TcpStream) -> StateResult<(u16, Vec<u8>)> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let _version = parts.next();
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| StateError::protocol("bad status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        let n = reader.read_line(&mut h)?;
+        if n == 0 {
+            break;
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length.min(MAX_BODY)];
+    if !body.is_empty() {
+        reader.read_exact(&mut body)?;
+    }
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_round_trip() {
+        let cases = [
+            "dc1/link/agg-1-1~tor-1-1",
+            "PS:inter-dc-te",
+            "plain",
+            "spaces and %signs",
+            "unicode-∅",
+        ];
+        for c in cases {
+            let enc = encode_component(c);
+            assert!(!enc.contains('/') || c == "plain", "{enc}");
+            assert_eq!(decode_component(&enc).unwrap(), c, "{c}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_component("%zz").is_err());
+        assert!(decode_component("%2").is_err());
+        assert_eq!(decode_component("a+b").unwrap(), "a b");
+    }
+
+    #[test]
+    fn parse_query_splits_pairs() {
+        let q = parse_query("Pool=OS&Datacenter=dc1&Entity=dc1%2Fdevice%2Fagg-1-1").unwrap();
+        assert_eq!(q["Pool"], "OS");
+        assert_eq!(q["Entity"], "dc1/device/agg-1-1");
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn response_serializes() {
+        let r = HttpResponse::ok_json(br#"{"x":1}"#.to_vec());
+        let mut buf = Vec::new();
+        r.write_to(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
+        assert!(s.contains("content-length: 7"), "{s}");
+        assert!(s.ends_with(r#"{"x":1}"#), "{s}");
+    }
+
+    #[test]
+    fn request_param_helpers() {
+        let mut query = BTreeMap::new();
+        query.insert("Pool".to_string(), "TS".to_string());
+        let req = HttpRequest {
+            method: "GET".into(),
+            path: "/NetworkState/Read".into(),
+            query,
+            body: vec![],
+        };
+        assert_eq!(req.param("Pool"), Some("TS"));
+        assert!(req.require("Pool").is_ok());
+        assert!(req.require("Freshness").is_err());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # statesman-httpapi
+//!
+//! The read–write HTTP interface of Table 3, on real TCP sockets:
+//!
+//! ```text
+//! GET  /NetworkState/Read?Datacenter={dc}&Pool={p}&Freshness={c}&Entity={e}&Attribute={a}
+//! POST /NetworkState/Write?Pool={p}          (body: JSON list of NetworkState)
+//! GET  /NetworkState/Receipts?App={app}      (drain an application's receipts)
+//! GET  /healthz
+//! ```
+//!
+//! The paper's storage front end "is implemented as a HTTP web service
+//! with RESTful APIs" (§6.4); applications, monitors, updaters, and
+//! checkers all go through it. Here the in-process components use the
+//! native [`StorageService`](statesman_storage::StorageService) API for
+//! speed, and this crate exposes the same service over the wire so
+//! out-of-process applications (see `examples/http_service.rs`) interact
+//! exactly as the paper describes — including the `Freshness` parameter
+//! choosing between up-to-date and bounded-stale reads.
+//!
+//! The HTTP/1.1 implementation is deliberately small: request-line +
+//! headers + `Content-Length` bodies, thread-per-connection, graceful
+//! shutdown. No external HTTP dependency — `bytes` for buffers, `serde_json`
+//! for payloads.
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use client::ApiClient;
+pub use http::{HttpRequest, HttpResponse};
+pub use server::ApiServer;

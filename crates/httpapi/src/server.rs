@@ -1,0 +1,321 @@
+//! The API server: Table-3 endpoints over a [`StorageService`].
+//!
+//! Thread-per-connection with `connection: close` semantics (each request
+//! is one TCP exchange — matching the paper's stateless REST front end
+//! that sits "behind a load balancer ... which enables high availability
+//! and flexible capacity"). Shutdown is graceful: a flag is set and the
+//! listener is woken with a self-connection.
+
+use crate::http::{read_request, HttpRequest, HttpResponse};
+use statesman_storage::{ReadRequest, StorageService, WriteRequest};
+use statesman_types::{
+    AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, StateError,
+    StateResult,
+};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The running API server.
+pub struct ApiServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    requests: Arc<AtomicU64>,
+}
+
+impl ApiServer {
+    /// Bind on 127.0.0.1 (ephemeral port) and start serving `storage`.
+    pub fn start(storage: StorageService) -> StateResult<ApiServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+        let accept_stop = stop.clone();
+        let accept_requests = requests.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("statesman-api-accept".into())
+            .spawn(move || {
+                let mut workers: Vec<JoinHandle<()>> = Vec::new();
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let storage = storage.clone();
+                    let requests = accept_requests.clone();
+                    workers.push(
+                        std::thread::Builder::new()
+                            .name("statesman-api-conn".into())
+                            .spawn(move || {
+                                handle_connection(stream, &storage);
+                                requests.fetch_add(1, Ordering::Relaxed);
+                            })
+                            .expect("spawn connection thread"),
+                    );
+                    // Opportunistically reap finished workers.
+                    workers.retain(|w| !w.is_finished());
+                }
+                for w in workers {
+                    let _ = w.join();
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(ApiServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            requests,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far.
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and join the accept thread.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ApiServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, storage: &StorageService) {
+    let response = match read_request(&mut stream) {
+        Ok(req) => dispatch(&req, storage),
+        Err(e) => HttpResponse::bad_request(e.to_string()),
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+fn dispatch(req: &HttpRequest, storage: &StorageService) -> HttpResponse {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/NetworkState/Read") => handle_read(req, storage),
+        ("POST", "/NetworkState/Write") => handle_write(req, storage),
+        ("GET", "/NetworkState/Receipts") => handle_receipts(req, storage),
+        ("GET", "/healthz") => HttpResponse::ok_json(b"{\"ok\":true}".to_vec()),
+        _ => HttpResponse::not_found(),
+    }
+}
+
+fn storage_error(e: StateError) -> HttpResponse {
+    match e {
+        StateError::StorageUnavailable { .. } => HttpResponse::unavailable(e.to_string()),
+        other => HttpResponse::bad_request(other.to_string()),
+    }
+}
+
+fn handle_read(req: &HttpRequest, storage: &StorageService) -> HttpResponse {
+    let parse = || -> StateResult<ReadRequest> {
+        let dc = DatacenterId::new(req.require("Datacenter")?);
+        let pool = Pool::parse_wire_name(req.require("Pool")?)
+            .ok_or_else(|| StateError::protocol("bad Pool"))?;
+        let freshness = match req.param("Freshness") {
+            Some(f) => Freshness::parse_wire_name(f)
+                .ok_or_else(|| StateError::protocol("bad Freshness"))?,
+            None => Freshness::UpToDate,
+        };
+        let entity = match req.param("Entity") {
+            Some(e) => Some(
+                EntityName::parse_wire_name(e).ok_or_else(|| StateError::protocol("bad Entity"))?,
+            ),
+            None => None,
+        };
+        let attribute = match req.param("Attribute") {
+            Some(a) => Some(
+                Attribute::parse_wire_name(a)
+                    .ok_or_else(|| StateError::protocol("bad Attribute"))?,
+            ),
+            None => None,
+        };
+        Ok(ReadRequest {
+            datacenter: dc,
+            pool,
+            freshness,
+            entity,
+            attribute,
+        })
+    };
+    let request = match parse() {
+        Ok(r) => r,
+        Err(e) => return HttpResponse::bad_request(e.to_string()),
+    };
+    match storage.read(request) {
+        Ok(mut rows) => {
+            rows.sort_by_key(|a| a.key());
+            match serde_json::to_vec(&rows) {
+                Ok(json) => HttpResponse::ok_json(json),
+                Err(e) => HttpResponse::bad_request(format!("serialize: {e}")),
+            }
+        }
+        Err(e) => storage_error(e),
+    }
+}
+
+fn handle_write(req: &HttpRequest, storage: &StorageService) -> HttpResponse {
+    let pool = match req
+        .require("Pool")
+        .and_then(|p| Pool::parse_wire_name(p).ok_or_else(|| StateError::protocol("bad Pool")))
+    {
+        Ok(p) => p,
+        Err(e) => return HttpResponse::bad_request(e.to_string()),
+    };
+    let rows: Vec<NetworkState> = match serde_json::from_slice(&req.body) {
+        Ok(r) => r,
+        Err(e) => return HttpResponse::bad_request(format!("body: {e}")),
+    };
+    match storage.write(WriteRequest { pool, rows }) {
+        Ok(()) => HttpResponse::no_content(),
+        Err(e) => storage_error(e),
+    }
+}
+
+fn handle_receipts(req: &HttpRequest, storage: &StorageService) -> HttpResponse {
+    let app = match req.require("App") {
+        Ok(a) => AppId::new(a),
+        Err(e) => return HttpResponse::bad_request(e.to_string()),
+    };
+    let mut all = Vec::new();
+    for dc in storage.partitions() {
+        match storage.take_receipts(&dc, &app) {
+            Ok(r) => all.extend(r),
+            Err(e) => return storage_error(e),
+        }
+    }
+    match serde_json::to_vec(&all) {
+        Ok(json) => HttpResponse::ok_json(json),
+        Err(e) => HttpResponse::bad_request(format!("serialize: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ApiClient;
+    use statesman_net::SimClock;
+    use statesman_types::{SimTime, Value};
+
+    fn server() -> (ApiServer, ApiClient, SimClock) {
+        let clock = SimClock::new();
+        let storage = StorageService::single_dc("dc1", clock.clone());
+        let server = ApiServer::start(storage).unwrap();
+        let client = ApiClient::new(server.addr());
+        (server, client, clock)
+    }
+
+    fn fw_row(dev: &str, v: &str, at: SimTime) -> NetworkState {
+        NetworkState::new(
+            EntityName::device("dc1", dev),
+            Attribute::DeviceFirmwareVersion,
+            Value::text(v),
+            at,
+            AppId::monitor(),
+        )
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let (mut server, client, clock) = server();
+        client
+            .write(&Pool::Observed, &[fw_row("agg-1-1", "6.0", clock.now())])
+            .unwrap();
+        let rows = client
+            .read(
+                &DatacenterId::new("dc1"),
+                &Pool::Observed,
+                Freshness::UpToDate,
+                None,
+                None,
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].value, Value::text("6.0"));
+        assert!(server.request_count() >= 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn read_filters_by_entity_and_attribute() {
+        let (mut server, client, clock) = server();
+        client
+            .write(
+                &Pool::Observed,
+                &[
+                    fw_row("agg-1-1", "6.0", clock.now()),
+                    fw_row("agg-1-2", "6.0", clock.now()),
+                ],
+            )
+            .unwrap();
+        let rows = client
+            .read(
+                &DatacenterId::new("dc1"),
+                &Pool::Observed,
+                Freshness::UpToDate,
+                Some(&EntityName::device("dc1", "agg-1-2")),
+                Some(Attribute::DeviceFirmwareVersion),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].entity, EntityName::device("dc1", "agg-1-2"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_are_4xx() {
+        let (mut server, client, _clock) = server();
+        let err = client.raw_get("/NetworkState/Read?Pool=OS").unwrap_err();
+        assert!(err.to_string().contains("400"), "{err}");
+        let err = client.raw_get("/nope").unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_endpoint() {
+        let (mut server, client, _clock) = server();
+        let body = client.raw_get("/healthz").unwrap();
+        assert_eq!(body, b"{\"ok\":true}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unroutable_write_is_4xx() {
+        let (mut server, client, clock) = server();
+        let row = NetworkState::new(
+            EntityName::device("dc-unknown", "x"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("1"),
+            clock.now(),
+            AppId::monitor(),
+        );
+        let err = client.write(&Pool::Observed, &[row]).unwrap_err();
+        assert!(err.to_string().contains("400"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let (mut server, _client, _clock) = server();
+        server.shutdown();
+        server.shutdown();
+    }
+}

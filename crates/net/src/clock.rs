@@ -1,0 +1,80 @@
+//! The shared discrete simulation clock.
+//!
+//! A [`SimClock`] is a cheap, cloneable handle to a single monotonically
+//! advancing instant. The scenario driver owns advancement; every other
+//! component (simulator, storage, checker, applications) only reads it.
+//! Using one shared clock makes multi-component scenarios (Fig 8, Fig 10)
+//! reproducible: there is exactly one notion of "now".
+
+use parking_lot::RwLock;
+use statesman_types::{SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Shared handle to the simulation clock.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    inner: Arc<RwLock<SimTime>>,
+}
+
+impl SimClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock starting at a given instant.
+    pub fn starting_at(t: SimTime) -> Self {
+        SimClock {
+            inner: Arc::new(RwLock::new(t)),
+        }
+    }
+
+    /// The current instant.
+    pub fn now(&self) -> SimTime {
+        *self.inner.read()
+    }
+
+    /// Advance the clock by `d`, returning the new instant. Only scenario
+    /// drivers should call this.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let mut t = self.inner.write();
+        *t += d;
+        *t
+    }
+
+    /// Set the clock to an absolute instant. Panics if the target is in
+    /// the past — simulated time never rewinds.
+    pub fn advance_to(&self, target: SimTime) -> SimTime {
+        let mut t = self.inner.write();
+        assert!(target >= *t, "clock cannot rewind: {} -> {}", *t, target);
+        *t = target;
+        *t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_time() {
+        let c1 = SimClock::new();
+        let c2 = c1.clone();
+        c1.advance(SimDuration::from_secs(5));
+        assert_eq!(c2.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = SimClock::starting_at(SimTime::from_mins(1));
+        c.advance_to(SimTime::from_mins(2));
+        assert_eq!(c.now(), SimTime::from_mins(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn rewind_panics() {
+        let c = SimClock::starting_at(SimTime::from_mins(2));
+        c.advance_to(SimTime::from_mins(1));
+    }
+}

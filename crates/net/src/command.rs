@@ -1,0 +1,256 @@
+//! Device commands — the protocol-agnostic actions the updater's command
+//! templates render into (paper §6.2).
+//!
+//! The updater "translates the difference between a state variable's OS
+//! and TS values into device-specific commands" using "a pool of command
+//! templates ... for each update action on each device model". In this
+//! reproduction, [`DeviceCommand`] is the *rendered* command the simulator
+//! executes; which protocol carries it (and with what latency/failure
+//! surface) is decided by the device's [`DeviceModel`] and the adapter in
+//! [`crate::protocol`].
+
+use serde::{Deserialize, Serialize};
+use statesman_types::{ControlPlaneMode, FlowLinkRule, LinkName, PowerStatus, SimTime};
+use std::fmt;
+
+/// A device hardware model. Determines which management protocol the
+/// updater must use and how long operations take (§6.2's "device details").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceModel {
+    /// An OpenFlow-capable switch: routing is programmed through the
+    /// OpenFlow agent; management actions go through the vendor API.
+    OpenFlowSwitch,
+    /// A traditional switch running BGP: routing changes are rendered as
+    /// route announcements/withdrawals over the vendor CLI.
+    BgpRouter,
+}
+
+impl DeviceModel {
+    /// Marketing-style model string, used as the command-template pool key.
+    pub fn model_string(self) -> &'static str {
+        match self {
+            DeviceModel::OpenFlowSwitch => "of-9000",
+            DeviceModel::BgpRouter => "cli-7500",
+        }
+    }
+}
+
+impl fmt::Display for DeviceModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.model_string())
+    }
+}
+
+/// A rendered management command against one device (or one of its link
+/// interfaces).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeviceCommand {
+    /// Power the device on/off (PDU action).
+    SetAdminPower(PowerStatus),
+    /// Install new firmware and reboot. The device is unreachable for its
+    /// reboot window while upgrading.
+    UpgradeFirmware {
+        /// Target firmware version string.
+        version: String,
+    },
+    /// Select the boot image for the next boot.
+    SetBootImage {
+        /// Image identifier.
+        image: String,
+    },
+    /// Configure the management interface (vendor API reachability).
+    ConfigureMgmtInterface {
+        /// Whether the management interface should be enabled.
+        enabled: bool,
+    },
+    /// Start/stop the OpenFlow agent.
+    SetOpenFlowAgent {
+        /// Whether the agent should be running.
+        running: bool,
+    },
+    /// Replace the device's flow→link routing rules.
+    SetRoutingRules {
+        /// The full desired rule set (declarative replace, not a delta —
+        /// keeps the updater memoryless).
+        rules: Vec<FlowLinkRule>,
+    },
+    /// Replace the device's link weight allocation.
+    SetLinkWeights {
+        /// (link, weight) pairs.
+        weights: Vec<(LinkName, f64)>,
+    },
+    /// Admin-enable/disable one link interface on this device.
+    SetLinkAdminPower {
+        /// The link whose interface is toggled.
+        link: LinkName,
+        /// Desired admin status.
+        status: PowerStatus,
+    },
+    /// Assign an IP to a link interface.
+    SetLinkIp {
+        /// The link.
+        link: LinkName,
+        /// Dotted-quad or CIDR string.
+        ip: String,
+    },
+    /// Choose the control plane that owns a link interface.
+    SetLinkControlPlane {
+        /// The link.
+        link: LinkName,
+        /// OpenFlow or BGP.
+        mode: ControlPlaneMode,
+    },
+}
+
+impl DeviceCommand {
+    /// Short verb for logs and template lookups.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            DeviceCommand::SetAdminPower(_) => "set-admin-power",
+            DeviceCommand::UpgradeFirmware { .. } => "upgrade-firmware",
+            DeviceCommand::SetBootImage { .. } => "set-boot-image",
+            DeviceCommand::ConfigureMgmtInterface { .. } => "configure-mgmt",
+            DeviceCommand::SetOpenFlowAgent { .. } => "set-of-agent",
+            DeviceCommand::SetRoutingRules { .. } => "set-routing-rules",
+            DeviceCommand::SetLinkWeights { .. } => "set-link-weights",
+            DeviceCommand::SetLinkAdminPower { .. } => "set-link-admin-power",
+            DeviceCommand::SetLinkIp { .. } => "set-link-ip",
+            DeviceCommand::SetLinkControlPlane { .. } => "set-link-control-plane",
+        }
+    }
+
+    /// True for commands that can be executed while the device's
+    /// management plane is unreachable (only out-of-band power actions).
+    pub fn is_out_of_band(&self) -> bool {
+        matches!(self, DeviceCommand::SetAdminPower(_))
+    }
+
+    /// True for commands that reprogram forwarding (carried by the routing
+    /// control plane — OpenFlow agent or BGP session — rather than the
+    /// vendor management API).
+    pub fn is_routing(&self) -> bool {
+        matches!(
+            self,
+            DeviceCommand::SetRoutingRules { .. } | DeviceCommand::SetLinkWeights { .. }
+        )
+    }
+}
+
+impl fmt::Display for DeviceCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceCommand::SetAdminPower(p) => write!(f, "set-admin-power {p}"),
+            DeviceCommand::UpgradeFirmware { version } => write!(f, "upgrade-firmware {version}"),
+            DeviceCommand::SetBootImage { image } => write!(f, "set-boot-image {image}"),
+            DeviceCommand::ConfigureMgmtInterface { enabled } => {
+                write!(f, "configure-mgmt enabled={enabled}")
+            }
+            DeviceCommand::SetOpenFlowAgent { running } => {
+                write!(f, "set-of-agent running={running}")
+            }
+            DeviceCommand::SetRoutingRules { rules } => {
+                write!(f, "set-routing-rules ({} rules)", rules.len())
+            }
+            DeviceCommand::SetLinkWeights { weights } => {
+                write!(f, "set-link-weights ({} links)", weights.len())
+            }
+            DeviceCommand::SetLinkAdminPower { link, status } => {
+                write!(f, "set-link-admin-power {link} {status}")
+            }
+            DeviceCommand::SetLinkIp { link, ip } => write!(f, "set-link-ip {link} {ip}"),
+            DeviceCommand::SetLinkControlPlane { link, mode } => {
+                write!(f, "set-link-control-plane {link} {mode}")
+            }
+        }
+    }
+}
+
+/// What happened to a submitted command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommandOutcome {
+    /// Accepted; the effect lands at `effective_at` (command latency, plus
+    /// reboot windows for firmware upgrades).
+    Applied {
+        /// When the state change becomes visible.
+        effective_at: SimTime,
+    },
+    /// The device's management plane did not respond (§2.1's slow-switch
+    /// case). The command had no effect.
+    TimedOut,
+    /// The device rejected the command (fault injection or invalid state,
+    /// e.g. routing change while the control plane is down).
+    Rejected {
+        /// Device-reported error code.
+        code: String,
+    },
+}
+
+impl CommandOutcome {
+    /// True if the command was accepted.
+    pub fn is_applied(&self) -> bool {
+        matches!(self, CommandOutcome::Applied { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_are_stable() {
+        assert_eq!(
+            DeviceCommand::UpgradeFirmware {
+                version: "7.1".into()
+            }
+            .verb(),
+            "upgrade-firmware"
+        );
+        assert_eq!(
+            DeviceCommand::SetAdminPower(PowerStatus::Off).verb(),
+            "set-admin-power"
+        );
+    }
+
+    #[test]
+    fn out_of_band_classification() {
+        assert!(DeviceCommand::SetAdminPower(PowerStatus::On).is_out_of_band());
+        assert!(!DeviceCommand::ConfigureMgmtInterface { enabled: true }.is_out_of_band());
+    }
+
+    #[test]
+    fn routing_classification() {
+        assert!(DeviceCommand::SetRoutingRules { rules: vec![] }.is_routing());
+        assert!(DeviceCommand::SetLinkWeights { weights: vec![] }.is_routing());
+        assert!(!DeviceCommand::SetBootImage {
+            image: "img".into()
+        }
+        .is_routing());
+    }
+
+    #[test]
+    fn outcome_predicate() {
+        assert!(CommandOutcome::Applied {
+            effective_at: SimTime::ZERO
+        }
+        .is_applied());
+        assert!(!CommandOutcome::TimedOut.is_applied());
+        assert!(!CommandOutcome::Rejected { code: "E1".into() }.is_applied());
+    }
+
+    #[test]
+    fn display_renders_for_logs() {
+        let c = DeviceCommand::SetLinkAdminPower {
+            link: LinkName::between("tor-4-1", "agg-4-1"),
+            status: PowerStatus::Off,
+        };
+        assert_eq!(c.to_string(), "set-link-admin-power agg-4-1~tor-4-1 off");
+    }
+
+    #[test]
+    fn model_strings_differ() {
+        assert_ne!(
+            DeviceModel::OpenFlowSwitch.model_string(),
+            DeviceModel::BgpRouter.model_string()
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-device simulated state.
+//!
+//! A [`SimDevice`] models the management-visible state of one switch or
+//! router: the full Fig-4 device chain (power → firmware → configuration →
+//! routing) plus utilization counters. Firmware upgrades open a *reboot
+//! window* during which the device is operationally down and its
+//! management plane unreachable — exactly the behaviour that makes the
+//! Fig-1/Fig-2 conflicts dangerous.
+
+use crate::command::DeviceModel;
+use statesman_types::{DeviceName, FlowLinkRule, LinkName, PowerStatus, SimTime};
+
+/// Simulated state of one device.
+#[derive(Debug, Clone)]
+pub struct SimDevice {
+    /// Device name (unique in the simulation).
+    pub name: DeviceName,
+    /// Hardware model — selects the protocol adapter and command
+    /// templates.
+    pub model: DeviceModel,
+    /// Administrative power status (PDU setting).
+    pub admin_power: PowerStatus,
+    /// Whether the power distribution unit responds (fault-injectable).
+    pub power_unit_reachable: bool,
+    /// Running firmware version.
+    pub firmware: String,
+    /// In-flight upgrade: target version and when the reboot completes.
+    pub upgrading: Option<(String, SimTime)>,
+    /// Selected boot image.
+    pub boot_image: String,
+    /// Management interface configured and reachable.
+    pub mgmt_configured: bool,
+    /// OpenFlow agent running (only meaningful on OpenFlow models).
+    pub of_agent_running: bool,
+    /// Flow→link routing rules currently installed.
+    pub routing_rules: Vec<FlowLinkRule>,
+    /// Link weight allocation currently installed.
+    pub link_weights: Vec<(LinkName, f64)>,
+    /// CPU utilization in `[0,1]` (random-walk counter).
+    pub cpu_util: f64,
+    /// Memory utilization in `[0,1]` (random-walk counter).
+    pub mem_util: f64,
+}
+
+impl SimDevice {
+    /// A healthy, powered, configured device running `firmware`.
+    pub fn healthy(name: impl Into<DeviceName>, model: DeviceModel, firmware: &str) -> Self {
+        SimDevice {
+            name: name.into(),
+            model,
+            admin_power: PowerStatus::On,
+            power_unit_reachable: true,
+            firmware: firmware.to_string(),
+            upgrading: None,
+            boot_image: "default-image".to_string(),
+            mgmt_configured: true,
+            of_agent_running: matches!(model, DeviceModel::OpenFlowSwitch),
+            routing_rules: Vec::new(),
+            link_weights: Vec::new(),
+            cpu_util: 0.10,
+            mem_util: 0.30,
+        }
+    }
+
+    /// Finish an upgrade whose reboot window has elapsed.
+    pub fn settle_upgrade(&mut self, now: SimTime) {
+        if let Some((version, done_at)) = &self.upgrading {
+            if now >= *done_at {
+                self.firmware = version.clone();
+                self.upgrading = None;
+            }
+        }
+    }
+
+    /// Whether the device is operational (powered and not mid-reboot):
+    /// the condition for its links to be oper-up and traffic to flow.
+    pub fn is_operational(&self, now: SimTime) -> bool {
+        self.admin_power.is_on() && !self.in_reboot_window(now)
+    }
+
+    /// Whether the device is inside an upgrade reboot window.
+    pub fn in_reboot_window(&self, now: SimTime) -> bool {
+        match &self.upgrading {
+            Some((_, done_at)) => now < *done_at,
+            None => false,
+        }
+    }
+
+    /// Whether the management plane answers (vendor API / SNMP). Requires
+    /// power, a configured management interface, and not rebooting.
+    pub fn mgmt_reachable(&self, now: SimTime) -> bool {
+        self.is_operational(now) && self.mgmt_configured
+    }
+
+    /// Whether the routing control plane accepts programming: the
+    /// management plane must be up, and for OpenFlow models the agent must
+    /// run (Fig 4: routing control depends on device configuration).
+    pub fn routing_controllable(&self, now: SimTime) -> bool {
+        self.mgmt_reachable(now)
+            && match self.model {
+                DeviceModel::OpenFlowSwitch => self.of_agent_running,
+                DeviceModel::BgpRouter => true,
+            }
+    }
+
+    /// The firmware version the monitor observes: the running version
+    /// (upgrades only become visible once the reboot completes).
+    pub fn observed_firmware(&self) -> &str {
+        &self.firmware
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statesman_types::SimDuration;
+
+    fn dev() -> SimDevice {
+        SimDevice::healthy("agg-1-1", DeviceModel::OpenFlowSwitch, "6.0")
+    }
+
+    #[test]
+    fn healthy_device_is_fully_up() {
+        let d = dev();
+        let now = SimTime::ZERO;
+        assert!(d.is_operational(now));
+        assert!(d.mgmt_reachable(now));
+        assert!(d.routing_controllable(now));
+    }
+
+    #[test]
+    fn reboot_window_takes_device_down() {
+        let mut d = dev();
+        let done = SimTime::from_mins(10);
+        d.upgrading = Some(("7.0".into(), done));
+        let mid = SimTime::from_mins(5);
+        assert!(d.in_reboot_window(mid));
+        assert!(!d.is_operational(mid));
+        assert!(!d.mgmt_reachable(mid));
+        assert_eq!(d.observed_firmware(), "6.0");
+
+        d.settle_upgrade(done);
+        assert!(d.is_operational(done));
+        assert_eq!(d.observed_firmware(), "7.0");
+        assert!(d.upgrading.is_none());
+    }
+
+    #[test]
+    fn settle_before_window_is_noop() {
+        let mut d = dev();
+        d.upgrading = Some(("7.0".into(), SimTime::from_mins(10)));
+        d.settle_upgrade(SimTime::from_mins(9));
+        assert!(d.upgrading.is_some());
+        assert_eq!(d.observed_firmware(), "6.0");
+    }
+
+    #[test]
+    fn power_off_takes_everything_down() {
+        let mut d = dev();
+        d.admin_power = PowerStatus::Off;
+        let now = SimTime::ZERO;
+        assert!(!d.is_operational(now));
+        assert!(!d.mgmt_reachable(now));
+        assert!(!d.routing_controllable(now));
+    }
+
+    #[test]
+    fn openflow_routing_needs_agent() {
+        let mut d = dev();
+        d.of_agent_running = false;
+        assert!(d.mgmt_reachable(SimTime::ZERO));
+        assert!(!d.routing_controllable(SimTime::ZERO));
+
+        // BGP models don't need an agent.
+        let mut bgp = SimDevice::healthy("br-1", DeviceModel::BgpRouter, "9.2");
+        bgp.of_agent_running = false;
+        assert!(bgp.routing_controllable(SimTime::ZERO));
+    }
+
+    #[test]
+    fn mgmt_unconfigured_blocks_control_but_not_forwarding() {
+        let mut d = dev();
+        d.mgmt_configured = false;
+        let now = SimTime::ZERO + SimDuration::from_secs(1);
+        assert!(d.is_operational(now)); // still forwards traffic
+        assert!(!d.mgmt_reachable(now)); // but can't be managed
+    }
+}

@@ -1,0 +1,166 @@
+//! Fault injection: scheduled events and stochastic failure knobs.
+//!
+//! The paper's motivation leans on failures being routine: "because of
+//! scale and dynamism, network failures during updates are inevitable"
+//! (§6.2). A [`FaultPlan`] combines:
+//!
+//! * **scheduled events** — deterministic state changes at chosen
+//!   instants, e.g. "raise FCS errors on ToR1–Agg1 in pod 4 at t=D"
+//!   (the §7.2 scenario) or a link flap;
+//! * **stochastic knobs** — per-command failure/timeout probabilities and
+//!   latency jitter, drawn from the simulation's seeded RNG so runs stay
+//!   reproducible.
+
+use statesman_types::{DeviceName, LinkName, SimTime};
+
+/// A deterministic, scheduled fault event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Set a link's FCS error rate (0 clears it).
+    SetFcsErrorRate {
+        /// The affected link.
+        link: LinkName,
+        /// The new rate.
+        rate: f64,
+    },
+    /// Set a link's packet drop rate.
+    SetDropRate {
+        /// The affected link.
+        link: LinkName,
+        /// The new rate.
+        rate: f64,
+    },
+    /// Physically cut (or restore) a link.
+    SetPhysicalLinkState {
+        /// The affected link.
+        link: LinkName,
+        /// `true` = cut (oper-down regardless of admin state).
+        cut: bool,
+    },
+    /// Make a device's power distribution unit (un)reachable.
+    SetPowerUnitReachable {
+        /// The affected device.
+        device: DeviceName,
+        /// New reachability.
+        reachable: bool,
+    },
+    /// Crash a device's OpenFlow agent (it stays down until the updater
+    /// reconfigures it).
+    CrashOpenFlowAgent {
+        /// The affected device.
+        device: DeviceName,
+    },
+}
+
+/// A scheduled fault: fires the first time the simulation advances to or
+/// past `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledFault {
+    /// When the event fires.
+    pub at: SimTime,
+    /// What happens.
+    pub event: FaultEvent,
+}
+
+/// The full fault plan for a simulation run.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Scheduled events, in any order (the simulator sorts on ingest).
+    pub scheduled: Vec<ScheduledFault>,
+    /// Probability that any management command is rejected by the device.
+    pub command_failure_prob: f64,
+    /// Probability that any management command times out (no response; no
+    /// effect).
+    pub command_timeout_prob: f64,
+    /// Base management-command latency, milliseconds.
+    pub command_latency_ms: u64,
+    /// Additional uniform latency jitter bound, milliseconds.
+    pub command_jitter_ms: u64,
+    /// Firmware upgrade reboot window, milliseconds (the device is down
+    /// this long after an upgrade command lands).
+    pub reboot_window_ms: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            scheduled: Vec::new(),
+            command_failure_prob: 0.0,
+            command_timeout_prob: 0.0,
+            // Management planes answer in ~2s; upgrades reboot for 8 min —
+            // the §7.2 trace shows pods taking tens of minutes to drain
+            // and upgrade, and §8's updater latency dominates with
+            // multi-second device interactions.
+            command_latency_ms: 2_000,
+            command_jitter_ms: 500,
+            reboot_window_ms: 8 * 60_000,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults and zero latency — for logic-focused tests.
+    pub fn ideal() -> Self {
+        FaultPlan {
+            scheduled: Vec::new(),
+            command_failure_prob: 0.0,
+            command_timeout_prob: 0.0,
+            command_latency_ms: 0,
+            command_jitter_ms: 0,
+            reboot_window_ms: 0,
+        }
+    }
+
+    /// Add a scheduled event (builder style).
+    pub fn with_event(mut self, at: SimTime, event: FaultEvent) -> Self {
+        self.scheduled.push(ScheduledFault { at, event });
+        self
+    }
+
+    /// The §7.2 scenario's fault: persistently high FCS on a pod-4
+    /// ToR1–Agg1 link starting at `at`.
+    pub fn with_fig8_fcs_fault(self, at: SimTime) -> Self {
+        self.with_event(
+            at,
+            FaultEvent::SetFcsErrorRate {
+                link: LinkName::between("tor-4-1", "agg-4-1"),
+                rate: 0.02,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_failure_free_but_slow() {
+        let p = FaultPlan::default();
+        assert_eq!(p.command_failure_prob, 0.0);
+        assert!(p.command_latency_ms > 0);
+        assert!(p.reboot_window_ms > 0);
+    }
+
+    #[test]
+    fn ideal_plan_is_instant() {
+        let p = FaultPlan::ideal();
+        assert_eq!(p.command_latency_ms, 0);
+        assert_eq!(p.reboot_window_ms, 0);
+    }
+
+    #[test]
+    fn builder_appends_events() {
+        let p = FaultPlan::ideal()
+            .with_fig8_fcs_fault(SimTime::from_mins(100))
+            .with_event(
+                SimTime::from_mins(200),
+                FaultEvent::SetPhysicalLinkState {
+                    link: LinkName::between("a", "b"),
+                    cut: true,
+                },
+            );
+        assert_eq!(p.scheduled.len(), 2);
+        assert_eq!(p.scheduled[0].at, SimTime::from_mins(100));
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-link simulated state.
+//!
+//! A [`SimLink`] carries the admin/config state of one physical link plus
+//! its measured counters. Operational status is *derived*: a link is
+//! oper-up only if it is admin-up, not physically faulted, and both
+//! endpoint devices are operational — the same cross-entity dependency the
+//! Fig-4 model encodes and the checker reasons about.
+
+use statesman_types::{ControlPlaneMode, LinkName, PowerStatus, SimTime};
+
+/// Simulated state of one physical link.
+#[derive(Debug, Clone)]
+pub struct SimLink {
+    /// Canonical link name.
+    pub name: LinkName,
+    /// Nominal capacity per direction, Mbps.
+    pub capacity_mbps: f64,
+    /// Administrative status of the interface (what
+    /// `LinkAdminPower` writes control).
+    pub admin_power: PowerStatus,
+    /// Physical fault: a cut/flapping cable forces oper-down regardless of
+    /// admin state (fault-injectable).
+    pub physically_down: bool,
+    /// Assigned IP (config level).
+    pub ip_assignment: Option<String>,
+    /// Which control plane owns the interface.
+    pub control_plane: ControlPlaneMode,
+    /// Measured load in the A→B direction, Mbps (written by the forwarding
+    /// engine).
+    pub load_ab_mbps: f64,
+    /// Measured load in the B→A direction, Mbps.
+    pub load_ba_mbps: f64,
+    /// Packet drop rate in `[0,1]`.
+    pub drop_rate: f64,
+    /// Frame-Check-Sequence error rate in `[0,1]` (what failure mitigation
+    /// watches; raised by fault injection at scheduled times).
+    pub fcs_error_rate: f64,
+}
+
+impl SimLink {
+    /// A healthy, admin-up, unloaded link.
+    pub fn healthy(name: LinkName, capacity_mbps: f64) -> Self {
+        SimLink {
+            name,
+            capacity_mbps,
+            admin_power: PowerStatus::On,
+            physically_down: false,
+            ip_assignment: None,
+            control_plane: ControlPlaneMode::Bgp,
+            load_ab_mbps: 0.0,
+            load_ba_mbps: 0.0,
+            drop_rate: 0.0,
+            fcs_error_rate: 0.0,
+        }
+    }
+
+    /// Derived operational status given each endpoint's operational state.
+    pub fn oper_up(&self, a_operational: bool, b_operational: bool) -> bool {
+        self.admin_power.is_on() && !self.physically_down && a_operational && b_operational
+    }
+
+    /// Reset measured loads (called before each forwarding recompute).
+    pub fn clear_loads(&mut self) {
+        self.load_ab_mbps = 0.0;
+        self.load_ba_mbps = 0.0;
+    }
+
+    /// Add directed load from `from` toward the other endpoint. Panics if
+    /// `from` is not an endpoint (forwarding-engine bug).
+    pub fn add_load_from(&mut self, from: &statesman_types::DeviceName, mbps: f64) {
+        if from == &self.name.a {
+            self.load_ab_mbps += mbps;
+        } else if from == &self.name.b {
+            self.load_ba_mbps += mbps;
+        } else {
+            panic!("{from} is not an endpoint of {}", self.name);
+        }
+    }
+
+    /// The higher of the two directed utilizations, in `[0, ∞)` (can
+    /// exceed 1.0 when oversubscribed).
+    pub fn peak_utilization(&self) -> f64 {
+        self.load_ab_mbps.max(self.load_ba_mbps) / self.capacity_mbps
+    }
+}
+
+/// Timestamped FCS observation used by fault plans to model persistent
+/// (rather than one-off) error conditions: the §7.1 failure-mitigation app
+/// reacts only to *persistently* high FCS rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FcsObservation {
+    /// When the monitor sampled the rate.
+    pub at: SimTime,
+    /// The sampled rate.
+    pub rate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statesman_types::DeviceName;
+
+    fn link() -> SimLink {
+        SimLink::healthy(LinkName::between("tor-1-1", "agg-1-1"), 10_000.0)
+    }
+
+    #[test]
+    fn healthy_link_is_up_when_endpoints_up() {
+        let l = link();
+        assert!(l.oper_up(true, true));
+        assert!(!l.oper_up(false, true));
+        assert!(!l.oper_up(true, false));
+    }
+
+    #[test]
+    fn admin_down_forces_oper_down() {
+        let mut l = link();
+        l.admin_power = PowerStatus::Off;
+        assert!(!l.oper_up(true, true));
+    }
+
+    #[test]
+    fn physical_fault_forces_oper_down() {
+        let mut l = link();
+        l.physically_down = true;
+        assert!(!l.oper_up(true, true));
+    }
+
+    #[test]
+    fn directed_loads_accumulate() {
+        let mut l = link();
+        // canonical order: a = "agg-1-1", b = "tor-1-1"
+        l.add_load_from(&DeviceName::new("agg-1-1"), 100.0);
+        l.add_load_from(&DeviceName::new("tor-1-1"), 40.0);
+        l.add_load_from(&DeviceName::new("agg-1-1"), 60.0);
+        assert_eq!(l.load_ab_mbps, 160.0);
+        assert_eq!(l.load_ba_mbps, 40.0);
+        assert!((l.peak_utilization() - 0.016).abs() < 1e-9);
+        l.clear_loads();
+        assert_eq!(l.load_ab_mbps, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn foreign_loader_panics() {
+        let mut l = link();
+        l.add_load_from(&DeviceName::new("core-1"), 1.0);
+    }
+}

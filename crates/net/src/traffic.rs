@@ -1,0 +1,313 @@
+//! Hop-by-hop forwarding over device routing tables.
+//!
+//! The forwarding engine makes the simulator's traffic counters *derive*
+//! from installed routing state, the way real link loads derive from real
+//! FIBs. The inter-DC TE application writes `DeviceRoutingRules` proposals;
+//! once the checker accepts them and the updater programs the devices, the
+//! engine routes each offered flow hop-by-hop through the rules and
+//! accumulates per-direction link loads — which the monitor then reports
+//! and Fig 10 plots.
+//!
+//! Forwarding semantics:
+//!
+//! * a flow starts at its ingress device with its full demand;
+//! * at each device, the rules matching the flow's id split the remaining
+//!   demand across out-links proportionally to rule weight;
+//! * traffic over a link that is not oper-up is *lost* (counted in
+//!   [`TrafficReport::lost_mbps`]) — the Fig-1 failure mode;
+//! * traffic arriving at a device with no matching rule is delivered if
+//!   the device is the flow's egress, otherwise lost;
+//! * forwarding loops are cut by bounding the hop count; looped residue
+//!   counts as lost.
+
+use statesman_types::{DeviceName, LinkName};
+use std::collections::HashMap;
+
+/// One offered traffic flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Flow identifier matched against
+    /// [`FlowLinkRule::flow`](statesman_types::FlowLinkRule).
+    pub id: String,
+    /// Ingress device.
+    pub ingress: DeviceName,
+    /// Egress device.
+    pub egress: DeviceName,
+    /// Offered demand, Mbps.
+    pub demand_mbps: f64,
+}
+
+impl FlowSpec {
+    /// Convenience constructor.
+    pub fn new(
+        id: impl Into<String>,
+        ingress: impl Into<DeviceName>,
+        egress: impl Into<DeviceName>,
+        demand_mbps: f64,
+    ) -> Self {
+        FlowSpec {
+            id: id.into(),
+            ingress: ingress.into(),
+            egress: egress.into(),
+            demand_mbps,
+        }
+    }
+}
+
+/// The outcome of routing all offered flows.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficReport {
+    /// Load added per (link, direction): keyed by link name and the
+    /// sending endpoint.
+    pub link_loads: HashMap<(LinkName, DeviceName), f64>,
+    /// Demand delivered end-to-end, Mbps.
+    pub delivered_mbps: f64,
+    /// Demand lost (down links, missing rules, loops), Mbps.
+    pub lost_mbps: f64,
+}
+
+/// Inputs the engine needs about the environment, provided by the
+/// simulator: rule lookup, link lookup, link usability and device
+/// usability.
+pub trait ForwardingEnv {
+    /// Routing rules installed on `device` that match `flow`, as
+    /// `(out_link, weight)` pairs. Devices that are down return none.
+    fn matching_rules(&self, device: &DeviceName, flow: &str) -> Vec<(LinkName, f64)>;
+    /// Whether a link is oper-up.
+    fn link_oper_up(&self, link: &LinkName) -> bool;
+    /// Whether a device is operational.
+    fn device_operational(&self, device: &DeviceName) -> bool;
+}
+
+/// Maximum hops a unit of traffic may traverse before being declared
+/// looped. WAN paths in the Fig-9 mesh are ≤3 hops; DC paths ≤4.
+const MAX_HOPS: usize = 16;
+
+/// Route all flows, accumulating link loads and loss.
+pub fn route_flows(env: &impl ForwardingEnv, flows: &[FlowSpec]) -> TrafficReport {
+    let mut report = TrafficReport::default();
+    for flow in flows {
+        route_one(env, flow, &mut report);
+    }
+    report
+}
+
+fn route_one(env: &impl ForwardingEnv, flow: &FlowSpec, report: &mut TrafficReport) {
+    // Work list of (device, mbps, hops_remaining).
+    let mut work: Vec<(DeviceName, f64, usize)> = Vec::new();
+    if !env.device_operational(&flow.ingress) {
+        report.lost_mbps += flow.demand_mbps;
+        return;
+    }
+    work.push((flow.ingress.clone(), flow.demand_mbps, MAX_HOPS));
+
+    while let Some((device, mbps, hops)) = work.pop() {
+        if mbps <= 1e-9 {
+            continue;
+        }
+        if device == flow.egress {
+            report.delivered_mbps += mbps;
+            continue;
+        }
+        if hops == 0 {
+            report.lost_mbps += mbps;
+            continue;
+        }
+        let rules = env.matching_rules(&device, &flow.id);
+        let total_weight: f64 = rules.iter().map(|(_, w)| w.max(0.0)).sum();
+        if rules.is_empty() || total_weight <= 1e-12 {
+            report.lost_mbps += mbps;
+            continue;
+        }
+        for (link, weight) in rules {
+            let share = mbps * weight.max(0.0) / total_weight;
+            if share <= 1e-9 {
+                continue;
+            }
+            if !env.link_oper_up(&link) {
+                report.lost_mbps += share;
+                continue;
+            }
+            let peer = match link.peer_of(&device) {
+                Some(p) => p.clone(),
+                None => {
+                    // Rule points at a link not attached to this device —
+                    // a misprogrammed FIB. Traffic goes nowhere.
+                    report.lost_mbps += share;
+                    continue;
+                }
+            };
+            *report
+                .link_loads
+                .entry((link.clone(), device.clone()))
+                .or_insert(0.0) += share;
+            if env.device_operational(&peer) {
+                work.push((peer, share, hops - 1));
+            } else {
+                report.lost_mbps += share;
+            }
+        }
+    }
+}
+
+impl TrafficReport {
+    /// Directed load on `link` in the direction sent by `from`, Mbps.
+    pub fn load_from(&self, link: &LinkName, from: &DeviceName) -> f64 {
+        self.link_loads
+            .get(&(link.clone(), from.clone()))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Total offered demand accounted for (delivered + lost).
+    pub fn accounted_mbps(&self) -> f64 {
+        self.delivered_mbps + self.lost_mbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Toy environment: a static rule table and up/down sets.
+    struct Env {
+        rules: HashMap<(DeviceName, String), Vec<(LinkName, f64)>>,
+        down_links: HashSet<LinkName>,
+        down_devices: HashSet<DeviceName>,
+    }
+
+    impl Env {
+        fn new() -> Self {
+            Env {
+                rules: HashMap::new(),
+                down_links: HashSet::new(),
+                down_devices: HashSet::new(),
+            }
+        }
+
+        fn rule(&mut self, dev: &str, flow: &str, out: (&str, &str), w: f64) {
+            self.rules
+                .entry((DeviceName::new(dev), flow.to_string()))
+                .or_default()
+                .push((LinkName::between(out.0, out.1), w));
+        }
+    }
+
+    impl ForwardingEnv for Env {
+        fn matching_rules(&self, device: &DeviceName, flow: &str) -> Vec<(LinkName, f64)> {
+            self.rules
+                .get(&(device.clone(), flow.to_string()))
+                .cloned()
+                .unwrap_or_default()
+        }
+        fn link_oper_up(&self, link: &LinkName) -> bool {
+            !self.down_links.contains(link)
+        }
+        fn device_operational(&self, device: &DeviceName) -> bool {
+            !self.down_devices.contains(device)
+        }
+    }
+
+    fn flow() -> FlowSpec {
+        FlowSpec::new("f", "a", "c", 100.0)
+    }
+
+    #[test]
+    fn linear_path_delivers() {
+        let mut env = Env::new();
+        env.rule("a", "f", ("a", "b"), 1.0);
+        env.rule("b", "f", ("b", "c"), 1.0);
+        let r = route_flows(&env, &[flow()]);
+        assert_eq!(r.delivered_mbps, 100.0);
+        assert_eq!(r.lost_mbps, 0.0);
+        assert_eq!(
+            r.load_from(&LinkName::between("a", "b"), &DeviceName::new("a")),
+            100.0
+        );
+        assert_eq!(
+            r.load_from(&LinkName::between("b", "c"), &DeviceName::new("b")),
+            100.0
+        );
+    }
+
+    #[test]
+    fn ecmp_splits_by_weight() {
+        let mut env = Env::new();
+        env.rule("a", "f", ("a", "b"), 3.0);
+        env.rule("a", "f", ("a", "d"), 1.0);
+        env.rule("b", "f", ("b", "c"), 1.0);
+        env.rule("d", "f", ("c", "d"), 1.0);
+        let r = route_flows(&env, &[flow()]);
+        assert!((r.delivered_mbps - 100.0).abs() < 1e-6);
+        assert!(
+            (r.load_from(&LinkName::between("a", "b"), &DeviceName::new("a")) - 75.0).abs() < 1e-6
+        );
+        assert!(
+            (r.load_from(&LinkName::between("a", "d"), &DeviceName::new("a")) - 25.0).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn down_link_loses_share() {
+        let mut env = Env::new();
+        env.rule("a", "f", ("a", "b"), 1.0);
+        env.rule("a", "f", ("a", "d"), 1.0);
+        env.rule("b", "f", ("b", "c"), 1.0);
+        env.rule("d", "f", ("c", "d"), 1.0);
+        env.down_links.insert(LinkName::between("a", "d"));
+        let r = route_flows(&env, &[flow()]);
+        assert!((r.delivered_mbps - 50.0).abs() < 1e-6);
+        assert!((r.lost_mbps - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn down_transit_device_loses_traffic() {
+        // The Fig-1 conflict: traffic allocated through B while B reboots.
+        let mut env = Env::new();
+        env.rule("a", "f", ("a", "b"), 1.0);
+        env.rule("b", "f", ("b", "c"), 1.0);
+        env.down_devices.insert(DeviceName::new("b"));
+        let r = route_flows(&env, &[flow()]);
+        assert_eq!(r.delivered_mbps, 0.0);
+        assert_eq!(r.lost_mbps, 100.0);
+    }
+
+    #[test]
+    fn missing_rule_loses_traffic() {
+        let mut env = Env::new();
+        env.rule("a", "f", ("a", "b"), 1.0);
+        // b has no rule for f and is not the egress.
+        let r = route_flows(&env, &[flow()]);
+        assert_eq!(r.delivered_mbps, 0.0);
+        assert_eq!(r.lost_mbps, 100.0);
+    }
+
+    #[test]
+    fn loops_are_cut_and_counted() {
+        let mut env = Env::new();
+        env.rule("a", "f", ("a", "b"), 1.0);
+        env.rule("b", "f", ("a", "b"), 1.0); // bounce back
+        let r = route_flows(&env, &[flow()]);
+        assert_eq!(r.delivered_mbps, 0.0);
+        assert!((r.lost_mbps - 100.0).abs() < 1e-6);
+        assert!((r.accounted_mbps() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn down_ingress_loses_everything() {
+        let mut env = Env::new();
+        env.rule("a", "f", ("a", "b"), 1.0);
+        env.down_devices.insert(DeviceName::new("a"));
+        let r = route_flows(&env, &[flow()]);
+        assert_eq!(r.lost_mbps, 100.0);
+    }
+
+    #[test]
+    fn rule_to_unattached_link_is_lost() {
+        let mut env = Env::new();
+        env.rule("a", "f", ("x", "y"), 1.0); // link not touching a
+        let r = route_flows(&env, &[flow()]);
+        assert_eq!(r.lost_mbps, 100.0);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # statesman-storage
+//!
+//! The Statesman storage service: a globally available, partitioned,
+//! replicated store of `NetworkState` rows.
+//!
+//! Paper §6.1: manipulating all variables in a single Paxos ring "would
+//! impose a heavy message-exchange load ... WAN latencies will hurt the
+//! scalability and performance of Statesman. Therefore, we break a big
+//! Paxos ring into independent smaller rings for each datacenter," fronted
+//! by "a globally available proxy layer that provides uniform access".
+//!
+//! This crate builds that design from scratch:
+//!
+//! * [`paxos`] — single-leader multi-decree Paxos: ballots, prepare/promise,
+//!   accept/accepted, commit broadcast, recovery of previously accepted
+//!   values after leader change;
+//! * [`bus`] — a virtual-time message bus with per-link latency, loss and
+//!   partition injection, so consensus latency is *simulated*, not assumed;
+//! * [`cluster`] — a pump-driven Paxos ring of N replicas exposing
+//!   `submit → committed` with measured (virtual) commit latencies;
+//! * [`machine`] — the replicated state machine: OS/PS/TS pools of
+//!   versioned rows plus checker receipts;
+//! * [`service`] — the per-DC partitioning, the proxy that routes entities
+//!   to rings, and the §6.4 freshness modes (up-to-date reads served from
+//!   the ring; bounded-stale reads served from a cache).
+
+pub mod bus;
+pub mod cluster;
+pub mod machine;
+pub mod paxos;
+pub mod service;
+
+pub use cluster::{ClusterConfig, PaxosCluster};
+pub use machine::{LogCommand, StateMachine};
+pub use service::{ReadRequest, StorageConfig, StorageService, WriteRequest};

@@ -1,0 +1,323 @@
+//! The replicated state machine: pools of versioned `NetworkState` rows.
+//!
+//! Every storage partition (Paxos ring) replicates a log of
+//! [`LogCommand`]s; applying the log in slot order to a [`StateMachine`]
+//! yields the partition's current OS/PS/TS contents. Rows get a
+//! monotonically increasing [`Version`] stamped at apply time, which the
+//! checker uses to detect stale-basis proposals.
+
+use serde::{Deserialize, Serialize};
+use statesman_types::{AppId, NetworkState, Pool, StateKey, Version, WriteReceipt};
+use std::collections::HashMap;
+
+/// A command in the replicated log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogCommand {
+    /// Write (upsert) a batch of rows into one pool. Batching is the wire
+    /// reality of Table 3 ("Body is list of NetworkState objects in JSON")
+    /// and keeps large monitor rounds to one consensus commit.
+    WriteBatch {
+        /// Destination pool.
+        pool: Pool,
+        /// The rows to upsert.
+        rows: Vec<NetworkState>,
+    },
+    /// Delete a batch of keys from one pool (e.g. clearing an application's
+    /// PS after the checker consumed it).
+    DeleteBatch {
+        /// Target pool.
+        pool: Pool,
+        /// Keys to remove.
+        keys: Vec<StateKey>,
+    },
+    /// Record checker receipts for an application to poll.
+    PostReceipts {
+        /// The receipts.
+        receipts: Vec<WriteReceipt>,
+    },
+    /// A no-op used by new leaders to commit a barrier slot (standard
+    /// multi-Paxos trick to learn the commit frontier).
+    Noop,
+    /// A client command wrapped with a ring-unique request id. The state
+    /// machine applies each id at most once, which makes leader-failover
+    /// re-submission safe: if the original proposal is *also* recovered
+    /// and chosen by a later leader, the duplicate apply is skipped
+    /// (exactly-once above at-least-once, the textbook construction).
+    Tagged {
+        /// Ring-unique request id.
+        id: u64,
+        /// The wrapped command.
+        inner: Box<LogCommand>,
+    },
+}
+
+impl LogCommand {
+    /// Rough payload size (row count) for bus-load accounting.
+    pub fn weight(&self) -> usize {
+        match self {
+            LogCommand::WriteBatch { rows, .. } => rows.len().max(1),
+            LogCommand::DeleteBatch { keys, .. } => keys.len().max(1),
+            LogCommand::PostReceipts { receipts } => receipts.len().max(1),
+            LogCommand::Noop => 1,
+            LogCommand::Tagged { inner, .. } => inner.weight(),
+        }
+    }
+}
+
+/// The materialized store one replica derives from the committed log.
+#[derive(Debug, Clone, Default)]
+pub struct StateMachine {
+    pools: HashMap<Pool, HashMap<StateKey, NetworkState>>,
+    receipts: HashMap<AppId, Vec<WriteReceipt>>,
+    next_version: u64,
+    applied: u64,
+    /// Request ids already applied (dedupe for failover re-submission).
+    applied_ids: std::collections::HashSet<u64>,
+}
+
+impl StateMachine {
+    /// An empty machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply one committed command. Returns the number of rows touched.
+    pub fn apply(&mut self, cmd: &LogCommand) -> usize {
+        self.applied += 1;
+        match cmd {
+            LogCommand::WriteBatch { pool, rows } => {
+                let p = self.pools.entry(pool.clone()).or_default();
+                for row in rows {
+                    self.next_version += 1;
+                    let mut stamped = row.clone();
+                    stamped.version = Version(self.next_version);
+                    p.insert(stamped.key(), stamped);
+                }
+                rows.len()
+            }
+            LogCommand::DeleteBatch { pool, keys } => {
+                let mut removed = 0;
+                if let Some(p) = self.pools.get_mut(pool) {
+                    for k in keys {
+                        if p.remove(k).is_some() {
+                            removed += 1;
+                        }
+                    }
+                }
+                removed
+            }
+            LogCommand::PostReceipts { receipts } => {
+                for r in receipts {
+                    self.receipts
+                        .entry(r.app.clone())
+                        .or_default()
+                        .push(r.clone());
+                }
+                receipts.len()
+            }
+            LogCommand::Noop => 0,
+            LogCommand::Tagged { id, inner } => {
+                if self.applied_ids.insert(*id) {
+                    // Inner apply; undo the outer tick so `applied`
+                    // counts logical commands once.
+                    self.applied -= 1;
+                    self.apply(inner)
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Read one row.
+    pub fn get(&self, pool: &Pool, key: &StateKey) -> Option<&NetworkState> {
+        self.pools.get(pool)?.get(key)
+    }
+
+    /// All rows of a pool, unordered.
+    pub fn pool_rows(&self, pool: &Pool) -> Vec<NetworkState> {
+        self.pools
+            .get(pool)
+            .map(|p| p.values().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// All rows of a pool whose entity matches `pred`.
+    pub fn pool_rows_where(
+        &self,
+        pool: &Pool,
+        pred: impl Fn(&NetworkState) -> bool,
+    ) -> Vec<NetworkState> {
+        self.pools
+            .get(pool)
+            .map(|p| p.values().filter(|r| pred(r)).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of rows in a pool.
+    pub fn pool_len(&self, pool: &Pool) -> usize {
+        self.pools.get(pool).map(|p| p.len()).unwrap_or(0)
+    }
+
+    /// All non-empty pools, sorted by wire name (stable enumeration for
+    /// the checker's PS discovery).
+    pub fn pools(&self) -> Vec<Pool> {
+        let mut v: Vec<Pool> = self
+            .pools
+            .iter()
+            .filter(|(_, rows)| !rows.is_empty())
+            .map(|(p, _)| p.clone())
+            .collect();
+        v.sort_by_key(|p| p.wire_name());
+        v
+    }
+
+    /// Drain (return and clear) the receipts queued for one application.
+    pub fn take_receipts(&mut self, app: &AppId) -> Vec<WriteReceipt> {
+        self.receipts.remove(app).unwrap_or_default()
+    }
+
+    /// Peek queued receipts without draining.
+    pub fn peek_receipts(&self, app: &AppId) -> &[WriteReceipt] {
+        self.receipts.get(app).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Commands applied so far (monotone; equality across replicas after
+    /// the same log prefix is the replication invariant tests assert).
+    pub fn applied_count(&self) -> u64 {
+        self.applied
+    }
+
+    /// The highest version stamped so far.
+    pub fn current_version(&self) -> Version {
+        Version(self.next_version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statesman_types::{Attribute, EntityName, SimTime, Value, WriteOutcome};
+
+    fn row(dev: &str, fw: &str) -> NetworkState {
+        NetworkState::new(
+            EntityName::device("dc1", dev),
+            Attribute::DeviceFirmwareVersion,
+            Value::text(fw),
+            SimTime::ZERO,
+            AppId::monitor(),
+        )
+    }
+
+    #[test]
+    fn writes_stamp_increasing_versions() {
+        let mut m = StateMachine::new();
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Observed,
+            rows: vec![row("a", "1"), row("b", "1")],
+        });
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Observed,
+            rows: vec![row("a", "2")],
+        });
+        let a = m.get(&Pool::Observed, &row("a", "").key()).unwrap();
+        let b = m.get(&Pool::Observed, &row("b", "").key()).unwrap();
+        assert!(a.version.is_newer_than(b.version));
+        assert_eq!(a.value, Value::text("2"));
+        assert_eq!(m.pool_len(&Pool::Observed), 2);
+        assert_eq!(m.current_version(), Version(3));
+    }
+
+    #[test]
+    fn pools_are_independent() {
+        let mut m = StateMachine::new();
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Observed,
+            rows: vec![row("a", "1")],
+        });
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Target,
+            rows: vec![row("a", "9")],
+        });
+        assert_eq!(
+            m.get(&Pool::Observed, &row("a", "").key()).unwrap().value,
+            Value::text("1")
+        );
+        assert_eq!(
+            m.get(&Pool::Target, &row("a", "").key()).unwrap().value,
+            Value::text("9")
+        );
+    }
+
+    #[test]
+    fn deletes_remove_rows() {
+        let mut m = StateMachine::new();
+        let app = AppId::new("te");
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Proposed(app.clone()),
+            rows: vec![row("a", "1")],
+        });
+        let removed = m.apply(&LogCommand::DeleteBatch {
+            pool: Pool::Proposed(app.clone()),
+            keys: vec![row("a", "").key()],
+        });
+        assert_eq!(removed, 1);
+        assert_eq!(m.pool_len(&Pool::Proposed(app)), 0);
+    }
+
+    #[test]
+    fn receipts_queue_and_drain() {
+        let mut m = StateMachine::new();
+        let app = AppId::new("upgrade");
+        let receipt = WriteReceipt {
+            app: app.clone(),
+            key: row("a", "").key(),
+            proposed: Value::text("7"),
+            outcome: WriteOutcome::Accepted,
+            decided_at: SimTime::ZERO,
+        };
+        m.apply(&LogCommand::PostReceipts {
+            receipts: vec![receipt.clone()],
+        });
+        assert_eq!(m.peek_receipts(&app).len(), 1);
+        assert_eq!(m.take_receipts(&app), vec![receipt]);
+        assert!(m.take_receipts(&app).is_empty());
+    }
+
+    #[test]
+    fn noop_touches_nothing() {
+        let mut m = StateMachine::new();
+        assert_eq!(m.apply(&LogCommand::Noop), 0);
+        assert_eq!(m.applied_count(), 1);
+        assert_eq!(m.current_version(), Version::GENESIS);
+    }
+
+    #[test]
+    fn filtered_scan() {
+        let mut m = StateMachine::new();
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Observed,
+            rows: vec![row("agg-1-1", "1"), row("tor-1-1", "1")],
+        });
+        let aggs = m.pool_rows_where(&Pool::Observed, |r| {
+            r.entity
+                .as_device()
+                .map(|d| d.as_str().starts_with("agg"))
+                .unwrap_or(false)
+        });
+        assert_eq!(aggs.len(), 1);
+    }
+
+    #[test]
+    fn command_weights() {
+        assert_eq!(LogCommand::Noop.weight(), 1);
+        assert_eq!(
+            LogCommand::WriteBatch {
+                pool: Pool::Observed,
+                rows: vec![row("a", "1"), row("b", "1")]
+            }
+            .weight(),
+            2
+        );
+    }
+}

@@ -1,0 +1,673 @@
+//! The storage service: per-DC rings, the global proxy, and freshness.
+//!
+//! Paper §6.1–§6.4. One [`PaxosCluster`] per datacenter stores the rows of
+//! entities homed there; the service front end is the "globally available
+//! proxy layer that provides uniform access to the network states" —
+//! callers never name a ring, only entities. Reads take a [`Freshness`]:
+//!
+//! * `UpToDate` — served by the partition leader (linearizable with
+//!   respect to commits through this service);
+//! * `BoundedStale` — served from a per-partition cache refreshed from a
+//!   follower replica no more often than the staleness bound (5 minutes in
+//!   the paper), trading freshness for read throughput.
+
+use crate::cluster::{ClusterConfig, PaxosCluster};
+use crate::machine::LogCommand;
+use parking_lot::Mutex;
+use statesman_types::{
+    AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, SimDuration,
+    SimTime, StateError, StateKey, StateResult, WriteReceipt,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Service construction knobs.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Replicas per ring.
+    pub replicas_per_ring: usize,
+    /// Bounded-staleness window (paper: 5 minutes).
+    pub staleness_bound: SimDuration,
+    /// Seed for ring buses (each ring perturbs it by partition index).
+    pub seed: u64,
+    /// Base ring config (latency model etc.).
+    pub ring: ClusterConfig,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            replicas_per_ring: 3,
+            staleness_bound: SimDuration::from_mins(5),
+            seed: 11,
+            ring: ClusterConfig::default(),
+        }
+    }
+}
+
+/// A read request (the native form of Table 3's GET).
+#[derive(Debug, Clone)]
+pub struct ReadRequest {
+    /// Which datacenter partition to read.
+    pub datacenter: DatacenterId,
+    /// Which pool.
+    pub pool: Pool,
+    /// Freshness mode.
+    pub freshness: Freshness,
+    /// Optional filter: only rows of this entity.
+    pub entity: Option<EntityName>,
+    /// Optional filter: only rows of this attribute.
+    pub attribute: Option<Attribute>,
+}
+
+/// A write request (the native form of Table 3's POST).
+#[derive(Debug, Clone)]
+pub struct WriteRequest {
+    /// Destination pool.
+    pub pool: Pool,
+    /// Rows to upsert (may span partitions; the proxy splits them).
+    pub rows: Vec<NetworkState>,
+}
+
+/// Cached pool snapshot for bounded-stale reads. Rows are shared via
+/// `Arc` so concurrent cache readers never copy under the lock.
+struct CacheEntry {
+    fetched_at: SimTime,
+    rows: Arc<Vec<NetworkState>>,
+}
+
+struct Inner {
+    partitions: HashMap<DatacenterId, PaxosCluster>,
+    config: StorageConfig,
+    /// Monotone counter of reads served by a leader.
+    leader_reads: u64,
+}
+
+/// The partitioned, proxied storage service. Cheap to clone; all clones
+/// share state.
+#[derive(Clone)]
+pub struct StorageService {
+    inner: Arc<Mutex<Inner>>,
+    /// Bounded-stale read cache, deliberately *outside* the partition
+    /// lock: cache hits are concurrent reads that never contend with
+    /// writes or leader reads — the architectural point of §6.4 (cache
+    /// replicas scale out; leaders do not).
+    cache: Arc<parking_lot::RwLock<HashMap<(DatacenterId, Pool), CacheEntry>>>,
+    cache_hits: Arc<std::sync::atomic::AtomicU64>,
+    clock: statesman_net::SimClock,
+}
+
+impl StorageService {
+    /// Build a service with rings for the given datacenters (plus the WAN
+    /// pseudo-datacenter, which is always present).
+    pub fn new(
+        datacenters: impl IntoIterator<Item = DatacenterId>,
+        clock: statesman_net::SimClock,
+        config: StorageConfig,
+    ) -> Self {
+        let mut partitions = HashMap::new();
+        let mut idx = 0u64;
+        for dc in datacenters {
+            let mut rc = config.ring.clone();
+            rc.replicas = config.replicas_per_ring;
+            rc.seed = config.seed.wrapping_add(idx);
+            idx += 1;
+            partitions.insert(dc, PaxosCluster::new(rc));
+        }
+        let wan = DatacenterId::wan();
+        partitions.entry(wan).or_insert_with(|| {
+            let mut rc = config.ring.clone();
+            rc.replicas = config.replicas_per_ring;
+            rc.seed = config.seed.wrapping_add(idx);
+            PaxosCluster::new(rc)
+        });
+        StorageService {
+            inner: Arc::new(Mutex::new(Inner {
+                partitions,
+                config,
+                leader_reads: 0,
+            })),
+            cache: Arc::new(parking_lot::RwLock::new(HashMap::new())),
+            cache_hits: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            clock,
+        }
+    }
+
+    /// Convenience: a single-DC service with default config.
+    pub fn single_dc(dc: impl Into<DatacenterId>, clock: statesman_net::SimClock) -> Self {
+        StorageService::new([dc.into()], clock, StorageConfig::default())
+    }
+
+    /// The partition (datacenter) names, sorted.
+    pub fn partitions(&self) -> Vec<DatacenterId> {
+        let inner = self.inner.lock();
+        let mut v: Vec<DatacenterId> = inner.partitions.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Proxy routing: the partition owning an entity (its home DC).
+    /// Errors if no ring exists for that DC.
+    pub fn route(&self, entity: &EntityName) -> StateResult<DatacenterId> {
+        let inner = self.inner.lock();
+        if inner.partitions.contains_key(&entity.datacenter) {
+            Ok(entity.datacenter.clone())
+        } else {
+            Err(StateError::UnroutableEntity {
+                entity: entity.clone(),
+            })
+        }
+    }
+
+    /// Write rows (the proxy splits the batch by partition; each partition
+    /// gets one consensus commit).
+    pub fn write(&self, req: WriteRequest) -> StateResult<()> {
+        let mut by_dc: HashMap<DatacenterId, Vec<NetworkState>> = HashMap::new();
+        for row in req.rows {
+            if !row.is_well_formed() {
+                return Err(StateError::invalid(format!("malformed row {row}")));
+            }
+            by_dc
+                .entry(row.entity.datacenter.clone())
+                .or_default()
+                .push(row);
+        }
+        let mut inner = self.inner.lock();
+        // Deterministic partition order.
+        let mut dcs: Vec<DatacenterId> = by_dc.keys().cloned().collect();
+        dcs.sort();
+        for dc in dcs {
+            let rows = by_dc.remove(&dc).expect("key exists");
+            let ring =
+                inner
+                    .partitions
+                    .get_mut(&dc)
+                    .ok_or_else(|| StateError::UnroutableEntity {
+                        entity: rows[0].entity.clone(),
+                    })?;
+            ring.submit(LogCommand::WriteBatch {
+                pool: req.pool.clone(),
+                rows,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Delete keys from a pool (split by partition like writes).
+    pub fn delete(&self, pool: Pool, keys: Vec<StateKey>) -> StateResult<()> {
+        let mut by_dc: HashMap<DatacenterId, Vec<StateKey>> = HashMap::new();
+        for k in keys {
+            by_dc
+                .entry(k.entity.datacenter.clone())
+                .or_default()
+                .push(k);
+        }
+        let mut inner = self.inner.lock();
+        let mut dcs: Vec<DatacenterId> = by_dc.keys().cloned().collect();
+        dcs.sort();
+        for dc in dcs {
+            let keys = by_dc.remove(&dc).expect("key exists");
+            let ring =
+                inner
+                    .partitions
+                    .get_mut(&dc)
+                    .ok_or_else(|| StateError::UnroutableEntity {
+                        entity: keys[0].entity.clone(),
+                    })?;
+            ring.submit(LogCommand::DeleteBatch {
+                pool: pool.clone(),
+                keys,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Read rows per the request's freshness mode.
+    pub fn read(&self, req: ReadRequest) -> StateResult<Vec<NetworkState>> {
+        let now = self.clock.now();
+        let rows: Arc<Vec<NetworkState>> = match req.freshness {
+            Freshness::UpToDate => {
+                let mut inner = self.inner.lock();
+                inner.leader_reads += 1;
+                let ring = inner.partitions.get_mut(&req.datacenter).ok_or_else(|| {
+                    StateError::StorageUnavailable {
+                        partition: req.datacenter.to_string(),
+                        reason: "unknown partition".into(),
+                    }
+                })?;
+                Arc::new(ring.leader_machine()?.pool_rows(&req.pool))
+            }
+            Freshness::BoundedStale => {
+                let key = (req.datacenter.clone(), req.pool.clone());
+                let bound = { self.inner.lock().config.staleness_bound };
+                // Fast path: a shared read lock and an Arc clone — no
+                // partition contention, no row copies.
+                let hit = {
+                    let cache = self.cache.read();
+                    cache.get(&key).and_then(|c| {
+                        (now.saturating_since(c.fetched_at) <= bound).then(|| Arc::clone(&c.rows))
+                    })
+                };
+                match hit {
+                    Some(rows) => {
+                        self.cache_hits
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        rows
+                    }
+                    None => {
+                        // Refresh from a follower replica: cheap, and
+                        // possibly behind the leader — both forms of
+                        // staleness the 5-minute bound covers.
+                        let rows = {
+                            let mut inner = self.inner.lock();
+                            let ring =
+                                inner.partitions.get_mut(&req.datacenter).ok_or_else(|| {
+                                    StateError::StorageUnavailable {
+                                        partition: req.datacenter.to_string(),
+                                        reason: "unknown partition".into(),
+                                    }
+                                })?;
+                            Arc::new(ring.any_machine().pool_rows(&req.pool))
+                        };
+                        self.cache.write().insert(
+                            key,
+                            CacheEntry {
+                                fetched_at: now,
+                                rows: Arc::clone(&rows),
+                            },
+                        );
+                        rows
+                    }
+                }
+            }
+        };
+        Ok(rows
+            .iter()
+            .filter(|r| {
+                req.entity.as_ref().map(|e| &r.entity == e).unwrap_or(true)
+                    && req.attribute.map(|a| r.attribute == a).unwrap_or(true)
+            })
+            .cloned()
+            .collect())
+    }
+
+    /// Read one row up-to-date (checker fast path).
+    pub fn read_row(&self, pool: &Pool, key: &StateKey) -> StateResult<Option<NetworkState>> {
+        let mut inner = self.inner.lock();
+        inner.leader_reads += 1;
+        let ring = inner
+            .partitions
+            .get_mut(&key.entity.datacenter)
+            .ok_or_else(|| StateError::UnroutableEntity {
+                entity: key.entity.clone(),
+            })?;
+        Ok(ring.leader_machine()?.get(pool, key).cloned())
+    }
+
+    /// Post checker receipts to the partition holding the affected
+    /// entities (receipts are stored per application).
+    pub fn post_receipts(&self, dc: &DatacenterId, receipts: Vec<WriteReceipt>) -> StateResult<()> {
+        if receipts.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        let ring = inner
+            .partitions
+            .get_mut(dc)
+            .ok_or_else(|| StateError::StorageUnavailable {
+                partition: dc.to_string(),
+                reason: "unknown partition".into(),
+            })?;
+        ring.submit(LogCommand::PostReceipts { receipts })?;
+        Ok(())
+    }
+
+    /// Drain the receipts queued for an application in one partition.
+    pub fn take_receipts(&self, dc: &DatacenterId, app: &AppId) -> StateResult<Vec<WriteReceipt>> {
+        let mut inner = self.inner.lock();
+        let ring = inner
+            .partitions
+            .get_mut(dc)
+            .ok_or_else(|| StateError::StorageUnavailable {
+                partition: dc.to_string(),
+                reason: "unknown partition".into(),
+            })?;
+        Ok(ring.leader_machine_mut()?.take_receipts(app))
+    }
+
+    /// Total rows across all partitions and pools (scale reporting).
+    pub fn total_rows(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let dcs: Vec<DatacenterId> = inner.partitions.keys().cloned().collect();
+        let mut total = 0;
+        for dc in dcs {
+            let ring = inner.partitions.get_mut(&dc).expect("key exists");
+            if let Ok(m) = ring.leader_machine() {
+                total += m.pool_len(&Pool::Observed) + m.pool_len(&Pool::Target);
+            }
+        }
+        total
+    }
+
+    /// Applications with a non-empty proposed state in one partition.
+    pub fn proposing_apps(&self, dc: &DatacenterId) -> Vec<AppId> {
+        let mut inner = self.inner.lock();
+        match inner.partitions.get_mut(dc) {
+            Some(ring) => match ring.leader_machine() {
+                Ok(m) => m
+                    .pools()
+                    .into_iter()
+                    .filter_map(|p| match p {
+                        Pool::Proposed(app) => Some(app),
+                        _ => None,
+                    })
+                    .collect(),
+                Err(_) => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// Rows in one pool of one partition.
+    pub fn pool_len(&self, dc: &DatacenterId, pool: &Pool) -> usize {
+        let mut inner = self.inner.lock();
+        match inner.partitions.get_mut(dc) {
+            Some(ring) => ring.leader_machine().map(|m| m.pool_len(pool)).unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// (cache_hits, leader_reads) counters for the freshness bench.
+    pub fn read_stats(&self) -> (u64, u64) {
+        let hits = self.cache_hits.load(std::sync::atomic::Ordering::Relaxed);
+        let inner = self.inner.lock();
+        (hits, inner.leader_reads)
+    }
+
+    /// Mean consensus commit latency per partition, µs.
+    pub fn commit_latency_by_partition(&self) -> Vec<(DatacenterId, f64)> {
+        let inner = self.inner.lock();
+        let mut v: Vec<(DatacenterId, f64)> = inner
+            .partitions
+            .iter()
+            .map(|(dc, ring)| (dc.clone(), ring.mean_commit_latency()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Crash a replica in one partition (failure injection for tests).
+    pub fn crash_replica(&self, dc: &DatacenterId, replica: u8) {
+        let mut inner = self.inner.lock();
+        if let Some(ring) = inner.partitions.get_mut(dc) {
+            ring.crash(crate::bus::ReplicaId(replica));
+        }
+    }
+
+    /// Restart a crashed replica.
+    pub fn restart_replica(&self, dc: &DatacenterId, replica: u8) {
+        let mut inner = self.inner.lock();
+        if let Some(ring) = inner.partitions.get_mut(dc) {
+            ring.restart(crate::bus::ReplicaId(replica));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statesman_net::SimClock;
+    use statesman_types::Value;
+
+    fn clock() -> SimClock {
+        SimClock::new()
+    }
+
+    fn row(dc: &str, dev: &str, fw: &str, at: SimTime) -> NetworkState {
+        NetworkState::new(
+            EntityName::device(dc, dev),
+            Attribute::DeviceFirmwareVersion,
+            Value::text(fw),
+            at,
+            AppId::monitor(),
+        )
+    }
+
+    fn svc(clock: &SimClock) -> StorageService {
+        StorageService::new(
+            [DatacenterId::new("dc1"), DatacenterId::new("dc2")],
+            clock.clone(),
+            StorageConfig::default(),
+        )
+    }
+
+    #[test]
+    fn write_then_uptodate_read() {
+        let c = clock();
+        let s = svc(&c);
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "agg-1-1", "6.0", c.now())],
+        })
+        .unwrap();
+        let rows = s
+            .read(ReadRequest {
+                datacenter: DatacenterId::new("dc1"),
+                pool: Pool::Observed,
+                freshness: Freshness::UpToDate,
+                entity: None,
+                attribute: None,
+            })
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].value, Value::text("6.0"));
+    }
+
+    #[test]
+    fn proxy_splits_batches_across_partitions() {
+        let c = clock();
+        let s = svc(&c);
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![
+                row("dc1", "agg-1-1", "6.0", c.now()),
+                row("dc2", "agg-1-1", "6.0", c.now()),
+            ],
+        })
+        .unwrap();
+        assert_eq!(s.pool_len(&DatacenterId::new("dc1"), &Pool::Observed), 1);
+        assert_eq!(s.pool_len(&DatacenterId::new("dc2"), &Pool::Observed), 1);
+    }
+
+    #[test]
+    fn unroutable_entities_error() {
+        let c = clock();
+        let s = svc(&c);
+        let err = s
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![row("dc9", "agg-1-1", "6.0", c.now())],
+            })
+            .unwrap_err();
+        assert!(matches!(err, StateError::UnroutableEntity { .. }));
+        assert!(s.route(&EntityName::device("dc9", "x")).is_err());
+        assert!(s.route(&EntityName::device("dc1", "x")).is_ok());
+    }
+
+    #[test]
+    fn wan_partition_always_exists() {
+        let c = clock();
+        let s = svc(&c);
+        assert!(s.partitions().contains(&DatacenterId::wan()));
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("wan", "br-1", "9.0", c.now())],
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bounded_stale_reads_hit_cache_within_bound() {
+        let c = clock();
+        let s = svc(&c);
+        let dc = DatacenterId::new("dc1");
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "a", "1", c.now())],
+        })
+        .unwrap();
+        let rd = |s: &StorageService| {
+            s.read(ReadRequest {
+                datacenter: dc.clone(),
+                pool: Pool::Observed,
+                freshness: Freshness::BoundedStale,
+                entity: None,
+                attribute: None,
+            })
+            .unwrap()
+        };
+        let first = rd(&s);
+        assert_eq!(first.len(), 1);
+        // A write lands, but the cache (within the bound) still serves the
+        // old snapshot.
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "b", "1", c.now())],
+        })
+        .unwrap();
+        let second = rd(&s);
+        assert_eq!(second.len(), 1, "stale view within bound");
+        let (hits, _) = s.read_stats();
+        assert_eq!(hits, 1);
+        // After the bound passes, the cache refreshes.
+        c.advance(SimDuration::from_mins(6));
+        let third = rd(&s);
+        assert_eq!(third.len(), 2);
+    }
+
+    #[test]
+    fn uptodate_reads_never_use_cache() {
+        let c = clock();
+        let s = svc(&c);
+        let dc = DatacenterId::new("dc1");
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "a", "1", c.now())],
+        })
+        .unwrap();
+        for _ in 0..3 {
+            s.read(ReadRequest {
+                datacenter: dc.clone(),
+                pool: Pool::Observed,
+                freshness: Freshness::UpToDate,
+                entity: None,
+                attribute: None,
+            })
+            .unwrap();
+        }
+        let (hits, leader_reads) = s.read_stats();
+        assert_eq!(hits, 0);
+        assert_eq!(leader_reads, 3);
+    }
+
+    #[test]
+    fn filters_by_entity_and_attribute() {
+        let c = clock();
+        let s = svc(&c);
+        let mut lock_row = NetworkState::new(
+            EntityName::device("dc1", "a"),
+            Attribute::EntityLock,
+            Value::None,
+            c.now(),
+            AppId::new("te"),
+        );
+        lock_row.value = Value::None;
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "a", "1", c.now()), lock_row],
+        })
+        .unwrap();
+        let rows = s
+            .read(ReadRequest {
+                datacenter: DatacenterId::new("dc1"),
+                pool: Pool::Observed,
+                freshness: Freshness::UpToDate,
+                entity: Some(EntityName::device("dc1", "a")),
+                attribute: Some(Attribute::DeviceFirmwareVersion),
+            })
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].attribute, Attribute::DeviceFirmwareVersion);
+    }
+
+    #[test]
+    fn receipts_round_trip() {
+        let c = clock();
+        let s = svc(&c);
+        let dc = DatacenterId::new("dc1");
+        let app = AppId::new("upgrade");
+        let receipt = WriteReceipt {
+            app: app.clone(),
+            key: StateKey::new(
+                EntityName::device("dc1", "agg-1-1"),
+                Attribute::DeviceFirmwareVersion,
+            ),
+            proposed: Value::text("7.0"),
+            outcome: statesman_types::WriteOutcome::Accepted,
+            decided_at: c.now(),
+        };
+        s.post_receipts(&dc, vec![receipt.clone()]).unwrap();
+        assert_eq!(s.take_receipts(&dc, &app).unwrap(), vec![receipt]);
+        assert!(s.take_receipts(&dc, &app).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        let c = clock();
+        let s = svc(&c);
+        let bad = NetworkState::new(
+            EntityName::link("dc1", "a", "b"),
+            Attribute::DeviceFirmwareVersion, // device attr on a link
+            Value::text("x"),
+            c.now(),
+            AppId::monitor(),
+        );
+        let err = s
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![bad],
+            })
+            .unwrap_err();
+        assert!(matches!(err, StateError::InvalidRequest { .. }));
+    }
+
+    #[test]
+    fn survives_replica_crash() {
+        let c = clock();
+        let s = svc(&c);
+        let dc = DatacenterId::new("dc1");
+        s.crash_replica(&dc, 0);
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "a", "1", c.now())],
+        })
+        .unwrap();
+        assert_eq!(s.pool_len(&dc, &Pool::Observed), 1);
+        s.restart_replica(&dc, 0);
+    }
+
+    #[test]
+    fn delete_clears_rows() {
+        let c = clock();
+        let s = svc(&c);
+        let r = row("dc1", "a", "1", c.now());
+        let key = r.key();
+        s.write(WriteRequest {
+            pool: Pool::Target,
+            rows: vec![r],
+        })
+        .unwrap();
+        s.delete(Pool::Target, vec![key.clone()]).unwrap();
+        assert_eq!(s.read_row(&Pool::Target, &key).unwrap(), None);
+    }
+}

@@ -1,0 +1,408 @@
+//! Builders for the paper's evaluation topologies.
+//!
+//! * [`DcnSpec`] builds the Fig-7 intra-DC fabric: `pods` pods, each with
+//!   `aggs_per_pod` aggregation switches and `tors_per_pod` top-of-rack
+//!   switches; every ToR connects to every Agg in its pod; every Agg
+//!   connects to every core router. §7.2 uses 10 pods × 4 Aggs.
+//! * [`WanSpec`] builds the Fig-9 WAN: `dcs` datacenters in a full mesh,
+//!   each with `border_routers_per_dc` border routers; each physical
+//!   inter-DC link connects one border router of each DC pair, giving
+//!   "12 physical links" for 4 DCs × 2 BRs. Border routers within a DC
+//!   are also meshed to their DC's core tier when combined.
+//! * [`DeploymentSpec`] composes both into a multi-DC deployment like the
+//!   ten-datacenter Azure footprint of §7.1.
+
+use crate::graph::NetworkGraph;
+use statesman_types::{DatacenterId, DeviceName, DeviceRole};
+
+/// Specification of one datacenter fabric (Fig 7).
+#[derive(Debug, Clone)]
+pub struct DcnSpec {
+    /// Datacenter name, e.g. `"dc1"`.
+    pub name: String,
+    /// Number of pods.
+    pub pods: u32,
+    /// Aggregation switches per pod (4 in Fig 7).
+    pub aggs_per_pod: u32,
+    /// ToR switches per pod.
+    pub tors_per_pod: u32,
+    /// Core routers shared by all pods.
+    pub cores: u32,
+    /// ToR↔Agg link capacity, Mbps.
+    pub tor_agg_mbps: f64,
+    /// Agg↔Core link capacity, Mbps.
+    pub agg_core_mbps: f64,
+}
+
+impl DcnSpec {
+    /// The Fig-7 scenario fabric: 10 pods × 4 Aggs, 4 ToRs per pod (the
+    /// figure samples one ToR per pod; extra ToRs exercise scale), 4
+    /// cores, 10G ToR–Agg and 40G Agg–Core links.
+    pub fn fig7(name: impl Into<String>) -> Self {
+        DcnSpec {
+            name: name.into(),
+            pods: 10,
+            aggs_per_pod: 4,
+            tors_per_pod: 4,
+            cores: 4,
+            tor_agg_mbps: 10_000.0,
+            agg_core_mbps: 40_000.0,
+        }
+    }
+
+    /// A small fabric for unit tests: 2 pods × 2 Aggs × 2 ToRs, 2 cores.
+    pub fn tiny(name: impl Into<String>) -> Self {
+        DcnSpec {
+            name: name.into(),
+            pods: 2,
+            aggs_per_pod: 2,
+            tors_per_pod: 2,
+            cores: 2,
+            tor_agg_mbps: 10_000.0,
+            agg_core_mbps: 40_000.0,
+        }
+    }
+
+    /// A fabric sized to hit roughly `target` state variables, used by the
+    /// checker-latency scaling benches (§8: largest DC has 394K variables).
+    /// Each device contributes ~10 variables and each link ~8 (see
+    /// Table 2), so we scale pods until the estimate crosses `target`.
+    pub fn sized_for_variables(name: impl Into<String>, target: usize) -> Self {
+        let mut spec = DcnSpec {
+            name: name.into(),
+            pods: 1,
+            aggs_per_pod: 4,
+            tors_per_pod: 16,
+            cores: 8,
+            tor_agg_mbps: 10_000.0,
+            agg_core_mbps: 40_000.0,
+        };
+        while spec.estimated_variables() < target && spec.pods < 4_096 {
+            spec.pods += 1;
+        }
+        spec
+    }
+
+    /// Rough count of state variables this fabric will generate
+    /// (devices × device attrs + links × link attrs).
+    pub fn estimated_variables(&self) -> usize {
+        let devices = (self.pods * (self.aggs_per_pod + self.tors_per_pod) + self.cores) as usize;
+        let links = (self.pods * self.tors_per_pod * self.aggs_per_pod
+            + self.pods * self.aggs_per_pod * self.cores) as usize;
+        devices * 10 + links * 8
+    }
+
+    /// The datacenter id.
+    pub fn dc(&self) -> DatacenterId {
+        DatacenterId::new(self.name.clone())
+    }
+
+    /// Materialize this fabric into `graph`.
+    pub fn build_into(&self, graph: &mut NetworkGraph) {
+        let dc = self.dc();
+        let mut cores = Vec::new();
+        for c in 1..=self.cores {
+            let name = format!("core-{c}");
+            graph.add_device(name.clone(), DeviceRole::Core, dc.clone(), None);
+            cores.push(DeviceName::new(name));
+        }
+        for p in 1..=self.pods {
+            let mut aggs = Vec::new();
+            for a in 1..=self.aggs_per_pod {
+                let name = format!("agg-{p}-{a}");
+                graph.add_device(name.clone(), DeviceRole::Agg, dc.clone(), Some(p));
+                aggs.push(DeviceName::new(name));
+            }
+            for t in 1..=self.tors_per_pod {
+                let name = format!("tor-{p}-{t}");
+                graph.add_device(name.clone(), DeviceRole::ToR, dc.clone(), Some(p));
+                let tor = DeviceName::new(name);
+                for agg in &aggs {
+                    graph.add_link(&tor, agg, self.tor_agg_mbps, dc.clone());
+                }
+            }
+            for agg in &aggs {
+                for core in &cores {
+                    graph.add_link(agg, core, self.agg_core_mbps, dc.clone());
+                }
+            }
+        }
+    }
+
+    /// Build a standalone graph containing just this fabric.
+    pub fn build(&self) -> NetworkGraph {
+        let mut g = NetworkGraph::new();
+        self.build_into(&mut g);
+        g
+    }
+}
+
+/// Specification of the inter-DC WAN (Fig 9).
+#[derive(Debug, Clone)]
+pub struct WanSpec {
+    /// Datacenter names, in order.
+    pub dc_names: Vec<String>,
+    /// Border routers per datacenter (2 in Fig 9).
+    pub border_routers_per_dc: u32,
+    /// Inter-DC link capacity, Mbps.
+    pub wan_link_mbps: f64,
+}
+
+impl WanSpec {
+    /// The Fig-9 pilot WAN: 4 DCs in a full mesh, 2 border routers each,
+    /// yielding 12 physical inter-DC links (each DC pair is connected by
+    /// two links — one per border-router "plane").
+    pub fn fig9() -> Self {
+        WanSpec {
+            dc_names: (1..=4).map(|i| format!("dc{i}")).collect(),
+            border_routers_per_dc: 2,
+            wan_link_mbps: 100_000.0,
+        }
+    }
+
+    /// Border-router name for DC index `dc_idx` (0-based) and plane
+    /// `plane` (0-based): numbered globally, `br-1`..`br-8` in Fig 9.
+    pub fn br_name(&self, dc_idx: usize, plane: u32) -> DeviceName {
+        let n = dc_idx as u32 * self.border_routers_per_dc + plane + 1;
+        DeviceName::new(format!("br-{n}"))
+    }
+
+    /// Materialize the WAN into `graph`. Border routers are homed in their
+    /// own datacenter; inter-DC links are homed in the WAN pseudo-DC
+    /// (matching the paper's extra impact group for "border routers of all
+    /// DCs and the WAN links").
+    pub fn build_into(&self, graph: &mut NetworkGraph) {
+        let wan = DatacenterId::wan();
+        for (i, dc) in self.dc_names.iter().enumerate() {
+            for p in 0..self.border_routers_per_dc {
+                graph.add_device(
+                    self.br_name(i, p).as_str(),
+                    DeviceRole::Border,
+                    DatacenterId::new(dc.clone()),
+                    None,
+                );
+            }
+        }
+        // Full mesh of DC pairs; each pair gets one link per plane.
+        for i in 0..self.dc_names.len() {
+            for j in (i + 1)..self.dc_names.len() {
+                for p in 0..self.border_routers_per_dc {
+                    let a = self.br_name(i, p);
+                    let b = self.br_name(j, p);
+                    graph.add_link(&a, &b, self.wan_link_mbps, wan.clone());
+                }
+            }
+        }
+    }
+
+    /// Build a standalone WAN graph.
+    pub fn build(&self) -> NetworkGraph {
+        let mut g = NetworkGraph::new();
+        self.build_into(&mut g);
+        g
+    }
+
+    /// Number of physical inter-DC links this spec creates.
+    pub fn physical_link_count(&self) -> usize {
+        let n = self.dc_names.len();
+        n * (n - 1) / 2 * self.border_routers_per_dc as usize
+    }
+}
+
+/// A multi-datacenter deployment: several DCN fabrics plus the WAN
+/// connecting them. Border routers attach to every core router of their
+/// datacenter.
+#[derive(Debug, Clone)]
+pub struct DeploymentSpec {
+    /// The per-DC fabrics. Names must match `wan.dc_names` entries for
+    /// fabrics that participate in the WAN.
+    pub dcns: Vec<DcnSpec>,
+    /// The WAN spec, if any.
+    pub wan: Option<WanSpec>,
+    /// Border-router↔core link capacity, Mbps.
+    pub br_core_mbps: f64,
+}
+
+impl DeploymentSpec {
+    /// The §7.1 deployment shape: ten datacenters plus the WAN. Fabric
+    /// size per DC is configurable to keep tests fast.
+    pub fn azure_like(per_dc: impl Fn(usize) -> DcnSpec) -> Self {
+        let dcns: Vec<DcnSpec> = (1..=10).map(per_dc).collect();
+        let wan = WanSpec {
+            dc_names: dcns.iter().map(|d| d.name.clone()).collect(),
+            border_routers_per_dc: 2,
+            wan_link_mbps: 100_000.0,
+        };
+        DeploymentSpec {
+            dcns,
+            wan: Some(wan),
+            br_core_mbps: 100_000.0,
+        }
+    }
+
+    /// Build the full deployment graph. Device names are unique across the
+    /// deployment: fabric devices get a `<dc>.` prefix (e.g.
+    /// `dc1.agg-1-1`) while WAN border routers keep their global `br-N`
+    /// names (as in Fig 9).
+    pub fn build(&self) -> NetworkGraph {
+        let mut g = NetworkGraph::new();
+        for spec in &self.dcns {
+            let sub = spec.clone();
+            sub.build_prefixed_into(&mut g);
+            let _ = sub;
+        }
+        if let Some(wan) = &self.wan {
+            wan.build_into(&mut g);
+            // Attach each DC's border routers to that DC's cores.
+            for (i, dc_name) in wan.dc_names.iter().enumerate() {
+                let dc = DatacenterId::new(dc_name.clone());
+                let cores: Vec<DeviceName> = g
+                    .nodes()
+                    .filter(|(_, n)| n.datacenter == dc && n.role == DeviceRole::Core)
+                    .map(|(_, n)| n.name.clone())
+                    .collect();
+                for p in 0..wan.border_routers_per_dc {
+                    let br = wan.br_name(i, p);
+                    if g.node_id(&br).is_none() {
+                        continue;
+                    }
+                    for core in &cores {
+                        g.add_link(&br, core, self.br_core_mbps, dc.clone());
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+impl DcnSpec {
+    /// Like [`DcnSpec::build_into`] but prefixes device names with
+    /// `<dc>.` so multiple fabrics can share one graph.
+    pub fn build_prefixed_into(&self, graph: &mut NetworkGraph) {
+        let dc = self.dc();
+        let pfx = |s: String| format!("{}.{}", self.name, s);
+        let mut cores = Vec::new();
+        for c in 1..=self.cores {
+            let name = pfx(format!("core-{c}"));
+            graph.add_device(name.clone(), DeviceRole::Core, dc.clone(), None);
+            cores.push(DeviceName::new(name));
+        }
+        for p in 1..=self.pods {
+            let mut aggs = Vec::new();
+            for a in 1..=self.aggs_per_pod {
+                let name = pfx(format!("agg-{p}-{a}"));
+                graph.add_device(name.clone(), DeviceRole::Agg, dc.clone(), Some(p));
+                aggs.push(DeviceName::new(name));
+            }
+            for t in 1..=self.tors_per_pod {
+                let name = pfx(format!("tor-{p}-{t}"));
+                graph.add_device(name.clone(), DeviceRole::ToR, dc.clone(), Some(p));
+                let tor = DeviceName::new(name);
+                for agg in &aggs {
+                    graph.add_link(&tor, agg, self.tor_agg_mbps, dc.clone());
+                }
+            }
+            for agg in &aggs {
+                for core in &cores {
+                    graph.add_link(agg, core, self.agg_core_mbps, dc.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{components, HealthView};
+    use statesman_types::DeviceRole;
+
+    #[test]
+    fn fig7_counts() {
+        let g = DcnSpec::fig7("dc1").build();
+        // 10 pods * (4 aggs + 4 tors) + 4 cores = 84 devices
+        assert_eq!(g.node_count(), 84);
+        // links: 10 pods * (4 tors * 4 aggs) + 10 pods * 4 aggs * 4 cores
+        assert_eq!(g.edge_count(), 10 * 16 + 10 * 16);
+        assert_eq!(g.devices_with_role(DeviceRole::Agg).len(), 40);
+        assert_eq!(g.pods_in(&DatacenterId::new("dc1")).len(), 10);
+    }
+
+    #[test]
+    fn fig7_is_connected() {
+        let g = DcnSpec::fig7("dc1").build();
+        let comps = components(&g, &HealthView::all_up());
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), g.node_count());
+    }
+
+    #[test]
+    fn fig9_counts() {
+        let spec = WanSpec::fig9();
+        let g = spec.build();
+        assert_eq!(g.node_count(), 8); // 4 DCs * 2 BRs
+        assert_eq!(g.edge_count(), 12); // the paper's 12 physical links
+        assert_eq!(spec.physical_link_count(), 12);
+    }
+
+    #[test]
+    fn fig9_border_names_match_paper() {
+        let spec = WanSpec::fig9();
+        // Fig 9 numbers BR1..BR8 with DC1={BR1,BR2} ... DC4={BR7,BR8}.
+        assert_eq!(spec.br_name(0, 0).as_str(), "br-1");
+        assert_eq!(spec.br_name(0, 1).as_str(), "br-2");
+        assert_eq!(spec.br_name(3, 1).as_str(), "br-8");
+    }
+
+    #[test]
+    fn wan_links_live_in_wan_partition() {
+        let g = WanSpec::fig9().build();
+        for (_, e) in g.edges() {
+            assert!(e.datacenter.is_wan());
+        }
+        // ...but border routers belong to their DCs.
+        let br1 = g.node_id(&DeviceName::new("br-1")).unwrap();
+        assert_eq!(g.node(br1).datacenter, DatacenterId::new("dc1"));
+    }
+
+    #[test]
+    fn deployment_connects_dcs_through_wan() {
+        let dep = DeploymentSpec {
+            dcns: vec![DcnSpec::tiny("dc1"), DcnSpec::tiny("dc2")],
+            wan: Some(WanSpec {
+                dc_names: vec!["dc1".into(), "dc2".into()],
+                border_routers_per_dc: 2,
+                wan_link_mbps: 100_000.0,
+            }),
+            br_core_mbps: 100_000.0,
+        };
+        let g = dep.build();
+        let comps = components(&g, &HealthView::all_up());
+        assert_eq!(comps.len(), 1, "deployment must be one component");
+        // A ToR in dc1 and a ToR in dc2 are both present with prefixes.
+        assert!(g.node_id(&DeviceName::new("dc1.tor-1-1")).is_some());
+        assert!(g.node_id(&DeviceName::new("dc2.tor-1-1")).is_some());
+    }
+
+    #[test]
+    fn sized_for_variables_reaches_target() {
+        let spec = DcnSpec::sized_for_variables("big", 100_000);
+        assert!(spec.estimated_variables() >= 100_000);
+        // The estimate should be loosely proportional to actual entity count.
+        let g = spec.build();
+        let actual = g.node_count() * 10 + g.edge_count() * 8;
+        assert_eq!(actual, spec.estimated_variables());
+    }
+
+    #[test]
+    fn azure_like_builds_ten_dcs() {
+        let dep = DeploymentSpec::azure_like(|i| DcnSpec::tiny(format!("dc{i}")));
+        assert_eq!(dep.dcns.len(), 10);
+        let g = dep.build();
+        let comps = components(&g, &HealthView::all_up());
+        assert_eq!(comps.len(), 1);
+        // 10 tiny DCs (2*(2+2)+2 = 10 devices each) + 20 border routers
+        assert_eq!(g.node_count(), 10 * 10 + 20);
+    }
+}

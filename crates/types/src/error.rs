@@ -1,0 +1,201 @@
+//! Error taxonomy shared across the workspace.
+//!
+//! The paper motivates Statesman partly by how messy direct network
+//! interaction is: "When a command to a switch takes a long time, the
+//! application has to decide when to retry ... When a command fails, the
+//! application has to parse the error code and decide how to react" (§2.1).
+//! This module gives those failure classes precise types so the monitor and
+//! updater can react mechanically and applications never see them at all.
+
+use crate::entity::EntityName;
+use crate::state::{Pool, StateKey};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type StateResult<T> = Result<T, StateError>;
+
+/// Every failure mode a Statesman component can surface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StateError {
+    /// The storage service has no row for this key in the requested pool.
+    NotFound {
+        /// The missing key.
+        key: StateKey,
+        /// The pool that was searched.
+        pool: Pool,
+    },
+    /// A storage partition could not commit (no quorum / leader lost).
+    StorageUnavailable {
+        /// The partition (datacenter) that failed.
+        partition: String,
+        /// Detail.
+        reason: String,
+    },
+    /// The proxy could not route an entity to a partition.
+    UnroutableEntity {
+        /// The entity that could not be routed.
+        entity: EntityName,
+    },
+    /// A device did not answer a protocol request in time (§6.2: "the
+    /// device's response can be slow and dominate the application's
+    /// control loop").
+    DeviceTimeout {
+        /// The unresponsive device.
+        device: String,
+        /// The protocol operation that timed out.
+        operation: String,
+    },
+    /// A device rejected or failed a command (§6.2: failures during update
+    /// are inevitable).
+    CommandFailed {
+        /// The device the command was sent to.
+        device: String,
+        /// The command rendering.
+        command: String,
+        /// Device-reported error code/detail.
+        code: String,
+    },
+    /// The updater has no command template for this (device model,
+    /// protocol, action) combination.
+    NoCommandTemplate {
+        /// The device model.
+        model: String,
+        /// The attribute whose change had no template.
+        attribute: String,
+    },
+    /// A malformed request (bad wire names, wrong entity kind, read-only
+    /// writes, missing parameters).
+    InvalidRequest {
+        /// Detail.
+        reason: String,
+    },
+    /// An HTTP-level protocol error (used by `statesman-httpapi`).
+    Protocol {
+        /// Detail.
+        reason: String,
+    },
+    /// An I/O error, stringified (sockets, etc.). Stored as text so the
+    /// error type stays `Clone + Serialize`.
+    Io {
+        /// Stringified `std::io::Error`.
+        reason: String,
+    },
+}
+
+impl StateError {
+    /// Convenience constructor for invalid requests.
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        StateError::InvalidRequest {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for protocol errors.
+    pub fn protocol(reason: impl Into<String>) -> Self {
+        StateError::Protocol {
+            reason: reason.into(),
+        }
+    }
+
+    /// True if the operation is worth retrying as-is (transient failure):
+    /// storage unavailability, device timeouts, command failures, and I/O
+    /// errors are transient; the rest are permanent until the request or
+    /// the network state changes.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StateError::StorageUnavailable { .. }
+                | StateError::DeviceTimeout { .. }
+                | StateError::CommandFailed { .. }
+                | StateError::Io { .. }
+        )
+    }
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::NotFound { key, pool } => write!(f, "{key} not found in {pool}"),
+            StateError::StorageUnavailable { partition, reason } => {
+                write!(f, "storage partition {partition} unavailable: {reason}")
+            }
+            StateError::UnroutableEntity { entity } => {
+                write!(f, "no storage partition owns {entity}")
+            }
+            StateError::DeviceTimeout { device, operation } => {
+                write!(f, "device {device} timed out on {operation}")
+            }
+            StateError::CommandFailed {
+                device,
+                command,
+                code,
+            } => write!(f, "device {device} failed `{command}`: {code}"),
+            StateError::NoCommandTemplate { model, attribute } => {
+                write!(f, "no command template for {attribute} on model {model}")
+            }
+            StateError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            StateError::Protocol { reason } => write!(f, "protocol error: {reason}"),
+            StateError::Io { reason } => write!(f, "io error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<std::io::Error> for StateError {
+    fn from(e: std::io::Error) -> Self {
+        StateError::Io {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityName;
+    use crate::vars::Attribute;
+
+    #[test]
+    fn transience_classification() {
+        assert!(StateError::DeviceTimeout {
+            device: "agg-1-1".into(),
+            operation: "snmp-get".into()
+        }
+        .is_transient());
+        assert!(StateError::StorageUnavailable {
+            partition: "dc1".into(),
+            reason: "no quorum".into()
+        }
+        .is_transient());
+        assert!(!StateError::invalid("bad pool").is_transient());
+        assert!(!StateError::NoCommandTemplate {
+            model: "vendorX-9k".into(),
+            attribute: "DeviceFirmwareVersion".into()
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "peer gone");
+        let e: StateError = io.into();
+        assert!(e.is_transient());
+        assert!(e.to_string().contains("peer gone"));
+    }
+
+    #[test]
+    fn display_includes_key_and_pool() {
+        let e = StateError::NotFound {
+            key: StateKey::new(
+                EntityName::device("dc1", "tor-1-1"),
+                Attribute::DeviceAdminPower,
+            ),
+            pool: Pool::Observed,
+        };
+        let s = e.to_string();
+        assert!(s.contains("tor-1-1"), "{s}");
+        assert!(s.contains("OS"), "{s}");
+    }
+}

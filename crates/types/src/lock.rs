@@ -1,0 +1,179 @@
+//! Priority-based entity locks (paper §4.2, §7.3).
+//!
+//! The checker resolves PS–TS conflicts "with one of two configurable
+//! mechanisms: last-writer-wins or priority-based locking" at the level of
+//! individual switches and links. §7.3 shows the mechanism in action: the
+//! inter-DC TE application holds a *low-priority* lock over each border
+//! router during normal operation; when the switch-upgrade application
+//! wants to upgrade a router it acquires the *high-priority* lock, TE then
+//! fails to re-acquire its low-priority lock and drains traffic away, the
+//! upgrade proceeds at zero load, and on release TE re-acquires and moves
+//! traffic back.
+//!
+//! A lock is stored as an ordinary replicated state row
+//! ([`Attribute::EntityLock`](crate::Attribute::EntityLock)) so that it
+//! survives checker restarts and is visible to every application through
+//! the same read API as the rest of the network state. Locks carry a lease
+//! expiry so a crashed application cannot wedge an entity forever.
+
+use crate::state::AppId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Lock priority. Higher priority preempts lower on acquisition attempts;
+/// an entity holding a high-priority lock refuses low-priority acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LockPriority {
+    /// Normal-operation lock (e.g. TE holding routers it steers traffic
+    /// through).
+    Low,
+    /// Maintenance lock (e.g. switch-upgrade taking a router down).
+    High,
+}
+
+impl fmt::Display for LockPriority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LockPriority::Low => "low",
+            LockPriority::High => "high",
+        })
+    }
+}
+
+/// A granted lock over one entity.
+///
+/// ```
+/// use statesman_types::{AppId, LockPriority, LockRecord, SimTime};
+///
+/// let te_lock = LockRecord::new(
+///     AppId::new("inter-dc-te"), LockPriority::Low, SimTime::ZERO, None);
+/// // High priority preempts (the Fig-10 dance)...
+/// assert!(te_lock.grants_acquisition(
+///     &AppId::new("switch-upgrade"), LockPriority::High, SimTime::ZERO));
+/// // ...but equal priority from another app does not.
+/// assert!(!te_lock.grants_acquisition(
+///     &AppId::new("other"), LockPriority::Low, SimTime::ZERO));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LockRecord {
+    /// The application holding the lock.
+    pub holder: AppId,
+    /// The lock's priority class.
+    pub priority: LockPriority,
+    /// When the lock was granted (simulated time).
+    pub granted_at: SimTime,
+    /// Optional lease expiry; `None` means the lock is held until released.
+    pub expires_at: Option<SimTime>,
+}
+
+impl LockRecord {
+    /// Build a lock record.
+    pub fn new(
+        holder: AppId,
+        priority: LockPriority,
+        granted_at: SimTime,
+        expires_at: Option<SimTime>,
+    ) -> Self {
+        LockRecord {
+            holder,
+            priority,
+            granted_at,
+            expires_at,
+        }
+    }
+
+    /// True if the lease has lapsed at `now` (expired locks are treated as
+    /// released by the checker).
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        match self.expires_at {
+            Some(t) => now >= t,
+            None => false,
+        }
+    }
+
+    /// Whether `requestor` may take/refresh the lock at `requested`
+    /// priority while this record is in force at time `now`.
+    ///
+    /// Rules (from §7.3's behaviour):
+    /// * the current holder may always refresh or escalate its own lock;
+    /// * anyone may take an expired lock;
+    /// * a strictly higher-priority request preempts a live lock;
+    /// * an equal- or lower-priority request from another app is refused.
+    pub fn grants_acquisition(
+        &self,
+        requestor: &AppId,
+        requested: LockPriority,
+        now: SimTime,
+    ) -> bool {
+        if self.is_expired(now) || &self.holder == requestor {
+            return true;
+        }
+        requested > self.priority
+    }
+}
+
+impl fmt::Display for LockRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{} since {}",
+            self.holder, self.priority, self.granted_at
+        )?;
+        if let Some(t) = self.expires_at {
+            write!(f, " until {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn app(s: &str) -> AppId {
+        AppId::new(s)
+    }
+
+    #[test]
+    fn holder_can_always_refresh() {
+        let l = LockRecord::new(app("te"), LockPriority::Low, SimTime::ZERO, None);
+        assert!(l.grants_acquisition(&app("te"), LockPriority::Low, SimTime::from_mins(5)));
+        assert!(l.grants_acquisition(&app("te"), LockPriority::High, SimTime::from_mins(5)));
+    }
+
+    #[test]
+    fn high_preempts_low_but_not_vice_versa() {
+        let low = LockRecord::new(app("te"), LockPriority::Low, SimTime::ZERO, None);
+        assert!(low.grants_acquisition(&app("upgrade"), LockPriority::High, SimTime::ZERO));
+        assert!(!low.grants_acquisition(&app("upgrade"), LockPriority::Low, SimTime::ZERO));
+
+        let high = LockRecord::new(app("upgrade"), LockPriority::High, SimTime::ZERO, None);
+        assert!(!high.grants_acquisition(&app("te"), LockPriority::Low, SimTime::ZERO));
+        assert!(!high.grants_acquisition(&app("te"), LockPriority::High, SimTime::ZERO));
+    }
+
+    #[test]
+    fn expiry_releases_the_lock() {
+        let expiry = SimTime::ZERO + SimDuration::from_mins(10);
+        let l = LockRecord::new(app("te"), LockPriority::High, SimTime::ZERO, Some(expiry));
+        assert!(!l.is_expired(SimTime::from_mins(9)));
+        assert!(l.is_expired(expiry));
+        assert!(l.grants_acquisition(&app("other"), LockPriority::Low, SimTime::from_mins(10)));
+        assert!(!l.grants_acquisition(&app("other"), LockPriority::Low, SimTime::from_mins(9)));
+    }
+
+    #[test]
+    fn lock_displays_holder_and_lease() {
+        let l = LockRecord::new(
+            app("upgrade"),
+            LockPriority::High,
+            SimTime::from_mins(1),
+            Some(SimTime::from_mins(2)),
+        );
+        let s = l.to_string();
+        assert!(s.contains("upgrade@high"), "{s}");
+        assert!(s.contains("until"), "{s}");
+    }
+}

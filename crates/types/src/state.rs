@@ -1,0 +1,451 @@
+//! The `NetworkState` row, the OS/PS/TS pools, freshness modes, and
+//! write receipts.
+//!
+//! Paper §6.4: "A NetworkState object consists of the entity name (i.e.,
+//! the switch, link, or path name), the state variable name, the variable
+//! value, and the last-update timestamp." Rows live in *pools*: the single
+//! observed state (OS), one proposed state (PS) per application, and the
+//! single target state (TS) (§2.1).
+//!
+//! Applications learn the fate of their proposals from [`WriteReceipt`]s:
+//! "It also writes the acceptance or rejection results of the PSes to the
+//! storage service, so applications can learn about the outcomes and react
+//! accordingly" (§3).
+
+use crate::entity::EntityName;
+use crate::time::{SimTime, Version};
+use crate::value::Value;
+use crate::vars::Attribute;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a management application (e.g. `"switch-upgrade"`,
+/// `"failure-mitigation"`, `"inter-dc-te"`). Also used to name Statesman's
+/// own components where they write state (the monitor writes the OS under
+/// `AppId::monitor()`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AppId(pub String);
+
+impl AppId {
+    /// Construct from any string-like name.
+    pub fn new(name: impl Into<String>) -> Self {
+        AppId(name.into())
+    }
+
+    /// The monitor component's writer identity.
+    pub fn monitor() -> Self {
+        AppId("statesman.monitor".into())
+    }
+
+    /// The checker component's writer identity (it writes the TS).
+    pub fn checker() -> Self {
+        AppId("statesman.checker".into())
+    }
+
+    /// The updater component's writer identity.
+    pub fn updater() -> Self {
+        AppId("statesman.updater".into())
+    }
+
+    /// The raw name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for AppId {
+    fn from(s: &str) -> Self {
+        AppId(s.to_string())
+    }
+}
+
+impl From<String> for AppId {
+    fn from(s: String) -> Self {
+        AppId(s)
+    }
+}
+
+/// Which view of network state a row belongs to (paper §2.1; the `Pool`
+/// parameter of the Table-3 API).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pool {
+    /// Observed state — the latest view of the actual network, written by
+    /// the monitor.
+    Observed,
+    /// Proposed state of one application.
+    Proposed(AppId),
+    /// Target state — the merged, invariant-checked state the updater
+    /// drives the network toward.
+    Target,
+}
+
+impl Pool {
+    /// Wire encoding used by the HTTP API: `OS`, `PS:<app>`, `TS`.
+    pub fn wire_name(&self) -> String {
+        match self {
+            Pool::Observed => "OS".to_string(),
+            Pool::Proposed(app) => format!("PS:{app}"),
+            Pool::Target => "TS".to_string(),
+        }
+    }
+
+    /// Parse the wire encoding produced by [`Pool::wire_name`].
+    pub fn parse_wire_name(s: &str) -> Option<Pool> {
+        match s {
+            "OS" => Some(Pool::Observed),
+            "TS" => Some(Pool::Target),
+            other => {
+                let app = other.strip_prefix("PS:")?;
+                if app.is_empty() {
+                    return None;
+                }
+                Some(Pool::Proposed(AppId::new(app)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.wire_name())
+    }
+}
+
+/// Read freshness (paper §6.4, the `Freshness` parameter of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Freshness {
+    /// Strictly current data — served by the partition leader (linearizable
+    /// read). For applications like failure mitigation that must see
+    /// failures as soon as possible.
+    UpToDate,
+    /// Bounded-stale data served from caches; the bound is the storage
+    /// service's configured staleness window (5 minutes in the paper).
+    /// "By allowing such applications to read from caches, we boost the
+    /// read throughput of Statesman."
+    BoundedStale,
+}
+
+impl Freshness {
+    /// Wire encoding used by the HTTP API.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Freshness::UpToDate => "up-to-date",
+            Freshness::BoundedStale => "bounded-stale",
+        }
+    }
+
+    /// Parse the wire encoding.
+    pub fn parse_wire_name(s: &str) -> Option<Freshness> {
+        match s {
+            "up-to-date" => Some(Freshness::UpToDate),
+            "bounded-stale" => Some(Freshness::BoundedStale),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Freshness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+/// One network-state row: the unit the storage service stores and the
+/// Table-3 API transfers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkState {
+    /// The switch, link, or path the variable belongs to.
+    pub entity: EntityName,
+    /// The state-variable name.
+    pub attribute: Attribute,
+    /// The variable's value.
+    pub value: Value,
+    /// Last-update timestamp (simulated time).
+    pub updated_at: SimTime,
+    /// Who wrote the row (an application, or a Statesman component).
+    pub writer: AppId,
+    /// Storage-assigned version; `Version::GENESIS` until committed.
+    #[serde(default)]
+    pub version: Version,
+}
+
+impl NetworkState {
+    /// Build an uncommitted row (version = GENESIS; the storage partition
+    /// stamps the real version on commit).
+    pub fn new(
+        entity: EntityName,
+        attribute: Attribute,
+        value: Value,
+        updated_at: SimTime,
+        writer: AppId,
+    ) -> Self {
+        NetworkState {
+            entity,
+            attribute,
+            value,
+            updated_at,
+            writer,
+            version: Version::GENESIS,
+        }
+    }
+
+    /// The storage key of this row: entity + attribute. Two rows with the
+    /// same key in the same pool shadow each other (last committed wins).
+    pub fn key(&self) -> StateKey {
+        StateKey {
+            entity: self.entity.clone(),
+            attribute: self.attribute,
+        }
+    }
+
+    /// Whether the row is well-formed: the attribute must apply to the
+    /// entity's kind, and lock rows must carry lock values.
+    pub fn is_well_formed(&self) -> bool {
+        if !self.attribute.applies_to(self.entity.kind()) {
+            return false;
+        }
+        if self.attribute.is_lock() {
+            return matches!(self.value, Value::Lock(_) | Value::None);
+        }
+        true
+    }
+}
+
+impl fmt::Display for NetworkState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}#{} = {} ({} @{} {})",
+            self.entity, self.attribute, self.value, self.writer, self.updated_at, self.version
+        )
+    }
+}
+
+/// The (entity, attribute) pair identifying one state variable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateKey {
+    /// The owning entity.
+    pub entity: EntityName,
+    /// The variable name.
+    pub attribute: Attribute,
+}
+
+impl StateKey {
+    /// Convenience constructor.
+    pub fn new(entity: EntityName, attribute: Attribute) -> Self {
+        StateKey { entity, attribute }
+    }
+}
+
+impl fmt::Display for StateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.entity, self.attribute)
+    }
+}
+
+/// The fate of one proposed row after a checker pass (§3: acceptance or
+/// rejection results written back for applications to react to).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteOutcome {
+    /// Merged into the target state.
+    Accepted,
+    /// The proposal is a no-op: the OS already has the proposed value.
+    AlreadySatisfied,
+    /// Rejected: the variable is currently uncontrollable — some ancestor
+    /// in the dependency model has an inappropriate observed value.
+    RejectedUncontrollable {
+        /// Human-readable reason naming the failing ancestor.
+        reason: String,
+    },
+    /// Rejected: lost a conflict against another application's accepted
+    /// proposal (or an existing lock).
+    RejectedConflict {
+        /// The application that won the conflict.
+        winner: AppId,
+        /// Human-readable detail.
+        reason: String,
+    },
+    /// Rejected: merging would violate a network-wide invariant.
+    RejectedInvariant {
+        /// Name of the violated invariant.
+        invariant: String,
+        /// Human-readable detail.
+        reason: String,
+    },
+    /// Rejected: the row was malformed (wrong entity kind, read-only
+    /// attribute, stale basis version, …).
+    RejectedInvalid {
+        /// Human-readable detail.
+        reason: String,
+    },
+}
+
+impl WriteOutcome {
+    /// True for `Accepted` (note: `AlreadySatisfied` is not an acceptance —
+    /// nothing entered the TS).
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, WriteOutcome::Accepted)
+    }
+
+    /// True for any `Rejected*` variant.
+    pub fn is_rejected(&self) -> bool {
+        !matches!(
+            self,
+            WriteOutcome::Accepted | WriteOutcome::AlreadySatisfied
+        )
+    }
+
+    /// Short tag for scenario logs.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            WriteOutcome::Accepted => "accepted",
+            WriteOutcome::AlreadySatisfied => "already-satisfied",
+            WriteOutcome::RejectedUncontrollable { .. } => "rejected-uncontrollable",
+            WriteOutcome::RejectedConflict { .. } => "rejected-conflict",
+            WriteOutcome::RejectedInvariant { .. } => "rejected-invariant",
+            WriteOutcome::RejectedInvalid { .. } => "rejected-invalid",
+        }
+    }
+}
+
+impl fmt::Display for WriteOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteOutcome::Accepted => f.write_str("accepted"),
+            WriteOutcome::AlreadySatisfied => f.write_str("already satisfied"),
+            WriteOutcome::RejectedUncontrollable { reason } => {
+                write!(f, "rejected (uncontrollable: {reason})")
+            }
+            WriteOutcome::RejectedConflict { winner, reason } => {
+                write!(f, "rejected (conflict, lost to {winner}: {reason})")
+            }
+            WriteOutcome::RejectedInvariant { invariant, reason } => {
+                write!(f, "rejected (invariant {invariant}: {reason})")
+            }
+            WriteOutcome::RejectedInvalid { reason } => write!(f, "rejected (invalid: {reason})"),
+        }
+    }
+}
+
+/// The per-row receipt the checker writes back after processing a PS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WriteReceipt {
+    /// The proposing application.
+    pub app: AppId,
+    /// The proposed row's key.
+    pub key: StateKey,
+    /// The value that was proposed.
+    pub proposed: Value,
+    /// What happened.
+    pub outcome: WriteOutcome,
+    /// When the checker decided (simulated time).
+    pub decided_at: SimTime,
+}
+
+impl fmt::Display for WriteReceipt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} -> {}: {}",
+            self.decided_at, self.app, self.key, self.outcome
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityName;
+
+    #[test]
+    fn pool_wire_round_trip() {
+        for p in [
+            Pool::Observed,
+            Pool::Target,
+            Pool::Proposed(AppId::new("inter-dc-te")),
+        ] {
+            assert_eq!(Pool::parse_wire_name(&p.wire_name()), Some(p.clone()));
+        }
+        assert_eq!(Pool::parse_wire_name("PS:"), None);
+        assert_eq!(Pool::parse_wire_name("nope"), None);
+    }
+
+    #[test]
+    fn freshness_wire_round_trip() {
+        for fm in [Freshness::UpToDate, Freshness::BoundedStale] {
+            assert_eq!(Freshness::parse_wire_name(fm.wire_name()), Some(fm));
+        }
+        assert_eq!(Freshness::parse_wire_name("eventual"), None);
+    }
+
+    #[test]
+    fn well_formedness_checks_entity_kind() {
+        let good = NetworkState::new(
+            EntityName::device("dc1", "agg-1-1"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("7.0"),
+            SimTime::ZERO,
+            AppId::new("upgrade"),
+        );
+        assert!(good.is_well_formed());
+
+        let bad = NetworkState::new(
+            EntityName::link("dc1", "a", "b"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("7.0"),
+            SimTime::ZERO,
+            AppId::new("upgrade"),
+        );
+        assert!(!bad.is_well_formed());
+    }
+
+    #[test]
+    fn lock_rows_must_carry_lock_values() {
+        let bad = NetworkState::new(
+            EntityName::device("dc1", "br-1"),
+            Attribute::EntityLock,
+            Value::Int(1),
+            SimTime::ZERO,
+            AppId::new("te"),
+        );
+        assert!(!bad.is_well_formed());
+
+        let release = NetworkState::new(
+            EntityName::device("dc1", "br-1"),
+            Attribute::EntityLock,
+            Value::None,
+            SimTime::ZERO,
+            AppId::new("te"),
+        );
+        assert!(release.is_well_formed());
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(WriteOutcome::Accepted.is_accepted());
+        assert!(!WriteOutcome::AlreadySatisfied.is_accepted());
+        assert!(!WriteOutcome::AlreadySatisfied.is_rejected());
+        let rej = WriteOutcome::RejectedConflict {
+            winner: AppId::new("upgrade"),
+            reason: "high-priority lock".into(),
+        };
+        assert!(rej.is_rejected());
+        assert_eq!(rej.tag(), "rejected-conflict");
+    }
+
+    #[test]
+    fn state_key_display() {
+        let k = StateKey::new(
+            EntityName::device("dc1", "agg-1-1"),
+            Attribute::DeviceAdminPower,
+        );
+        assert_eq!(k.to_string(), "dc1/device/agg-1-1#DeviceAdminPower");
+    }
+}

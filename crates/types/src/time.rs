@@ -1,0 +1,231 @@
+//! Simulated time and per-row versions.
+//!
+//! Statesman's control loops "operate at the time scale of minutes, not
+//! seconds" (paper §7.1). All components in this reproduction are driven by
+//! a discrete simulated clock so that scenario runs (Fig 8, Fig 10) are
+//! deterministic and fast. [`SimTime`] is an absolute instant in simulated
+//! milliseconds since scenario start; [`SimDuration`] is a span of the same.
+//!
+//! [`Version`] is a monotonically increasing logical version assigned by the
+//! storage service to each committed write; the checker uses versions to
+//! detect whether a proposed state was computed against a stale observed
+//! state.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time, in milliseconds since scenario start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The zero instant (scenario start).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Build from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Build from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000)
+    }
+
+    /// Build from whole minutes (the natural unit of Statesman control loops).
+    pub const fn from_mins(m: u64) -> Self {
+        SimTime(m * 60_000)
+    }
+
+    /// Milliseconds since scenario start.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since scenario start (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole minutes since scenario start (truncating).
+    pub const fn as_mins(self) -> u64 {
+        self.0 / 60_000
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Build from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Build from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000)
+    }
+
+    /// Build from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// Milliseconds in the span.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds in the span (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Multiply the span by an integer factor, saturating on overflow.
+    pub const fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when ordering is uncertain.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0 % 1_000;
+        let s = (self.0 / 1_000) % 60;
+        let m = self.0 / 60_000;
+        write!(f, "{m:03}:{s:02}.{ms:03}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 60_000 {
+            write!(f, "{:.1}min", self.0 as f64 / 60_000.0)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}s", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+/// Monotonic logical version for a committed state row.
+///
+/// Versions are assigned by the storage partition that owns the row (one
+/// Paxos ring per datacenter, §6.1), so they are comparable only within a
+/// partition. `Version::GENESIS` marks a row that has never been written.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The version of a never-written row.
+    pub const GENESIS: Version = Version(0);
+
+    /// The next version after this one.
+    pub const fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+
+    /// True if this version is strictly newer than `other`.
+    pub const fn is_newer_than(self, other: Version) -> bool {
+        self.0 > other.0
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_constructors_agree() {
+        assert_eq!(SimTime::from_secs(3), SimTime::from_millis(3_000));
+        assert_eq!(SimTime::from_mins(2), SimTime::from_secs(120));
+        assert_eq!(SimTime::from_mins(2).as_mins(), 2);
+        assert_eq!(SimTime::from_millis(1_500).as_secs(), 1);
+    }
+
+    #[test]
+    fn arithmetic_and_saturation() {
+        let t = SimTime::from_secs(10);
+        let t2 = t + SimDuration::from_secs(5);
+        assert_eq!(t2, SimTime::from_secs(15));
+        assert_eq!(t2 - t, SimDuration::from_secs(5));
+        assert_eq!(t.saturating_since(t2), SimDuration::ZERO);
+        assert_eq!(t2.saturating_since(t), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn duration_display_units() {
+        assert_eq!(SimDuration::from_millis(250).to_string(), "250ms");
+        assert_eq!(SimDuration::from_millis(2_500).to_string(), "2.50s");
+        assert_eq!(SimDuration::from_mins(3).to_string(), "3.0min");
+    }
+
+    #[test]
+    fn versions_order() {
+        let v = Version::GENESIS;
+        assert!(v.next().is_newer_than(v));
+        assert!(!v.is_newer_than(v));
+        assert_eq!(v.next(), Version(1));
+    }
+
+    #[test]
+    fn time_display_is_min_sec_ms() {
+        assert_eq!(SimTime::from_millis(61_005).to_string(), "001:01.005");
+    }
+}

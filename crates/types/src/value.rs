@@ -1,0 +1,339 @@
+//! Typed values for state variables.
+//!
+//! The paper models network state as variable–value pairs; values range from
+//! booleans (admin power) through firmware version strings to structured
+//! routing-rule sets ("a data structure of the flow-link pairs, which is
+//! agnostic to the supported routing protocols", §4.1). [`Value`] is the
+//! closed union of those shapes. Typed accessors return `None` on kind
+//! mismatch rather than panicking so the checker can treat a mistyped
+//! proposal as invalid input, not a crash.
+
+use crate::entity::{DeviceName, LinkName};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Administrative power status for devices and link interfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerStatus {
+    /// Powered / administratively enabled.
+    On,
+    /// Powered off / administratively disabled.
+    Off,
+}
+
+impl PowerStatus {
+    /// True if `On`.
+    pub fn is_on(self) -> bool {
+        matches!(self, PowerStatus::On)
+    }
+}
+
+impl fmt::Display for PowerStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PowerStatus::On => "on",
+            PowerStatus::Off => "off",
+        })
+    }
+}
+
+/// Operational status as observed by the monitor. Distinct from
+/// [`PowerStatus`]: an interface can be admin-up yet oper-down (cable cut,
+/// peer rebooting) — that distinction drives the updater's retry logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperStatus {
+    /// Passing traffic.
+    Up,
+    /// Not passing traffic.
+    Down,
+}
+
+impl OperStatus {
+    /// True if `Up`.
+    pub fn is_up(self) -> bool {
+        matches!(self, OperStatus::Up)
+    }
+}
+
+impl fmt::Display for OperStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OperStatus::Up => "up",
+            OperStatus::Down => "down",
+        })
+    }
+}
+
+/// Which control plane owns a link (Table 2 "Control plane setup": "a link
+/// interface can be configured to use the OpenFlow protocol or traditional
+/// protocols like BGP", §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlPlaneMode {
+    /// An OpenFlow agent controls the interface.
+    OpenFlow,
+    /// A BGP session controls the interface.
+    Bgp,
+}
+
+impl fmt::Display for ControlPlaneMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ControlPlaneMode::OpenFlow => "openflow",
+            ControlPlaneMode::Bgp => "bgp",
+        })
+    }
+}
+
+/// One protocol-agnostic routing rule: traffic of `flow` leaves the device
+/// over `out_link` with the given ECMP-style `weight` (§4.1: "We represent
+/// the routing state in a data structure of the flow-link pairs").
+///
+/// The updater translates these into OpenFlow rule insertions/deletions or
+/// BGP announcements/withdrawals depending on the device's control plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowLinkRule {
+    /// Flow identifier, e.g. `"dc1>dc3"` for an inter-DC aggregate or a
+    /// prefix string for BGP-style rules.
+    pub flow: String,
+    /// The link traffic exits on.
+    pub out_link: LinkName,
+    /// Relative weight among rules of the same flow (ECMP split).
+    pub weight: f64,
+}
+
+impl FlowLinkRule {
+    /// Convenience constructor.
+    pub fn new(flow: impl Into<String>, out_link: LinkName, weight: f64) -> Self {
+        FlowLinkRule {
+            flow: flow.into(),
+            out_link,
+            weight,
+        }
+    }
+}
+
+/// The value of a state variable.
+///
+/// `Value` is deliberately a closed enum rather than opaque JSON: the
+/// checker needs to *interpret* values (e.g. project the target state onto
+/// the network graph to evaluate the capacity invariant), which requires
+/// structural knowledge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent/cleared. Writing `None` to the TS asks the updater to remove
+    /// the corresponding configuration (e.g. tear down a tunnel).
+    None,
+    /// Boolean flag (e.g. management interface configured).
+    Bool(bool),
+    /// Unsigned integer (e.g. VLAN id).
+    Int(i64),
+    /// Floating-point measurement (utilization, rates, Mbps loads).
+    Float(f64),
+    /// Free-form string (firmware version, boot image, IP assignment).
+    Text(String),
+    /// Admin power status.
+    Power(PowerStatus),
+    /// Operational status (counters/oper variables).
+    Oper(OperStatus),
+    /// Control-plane selection for a link.
+    ControlPlane(ControlPlaneMode),
+    /// Flow→link routing rules for a device.
+    Routes(Vec<FlowLinkRule>),
+    /// An ordered list of devices (e.g. the switches on a path).
+    DeviceList(Vec<DeviceName>),
+    /// A per-entity lock record, serialized by `statesman-types::lock`.
+    Lock(crate::lock::LockRecord),
+}
+
+impl Value {
+    /// Shorthand for `Value::Text`.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Shorthand for a power value.
+    pub fn power(on: bool) -> Value {
+        Value::Power(if on {
+            PowerStatus::On
+        } else {
+            PowerStatus::Off
+        })
+    }
+
+    /// Shorthand for an oper-status value.
+    pub fn oper(up: bool) -> Value {
+        Value::Oper(if up { OperStatus::Up } else { OperStatus::Down })
+    }
+
+    /// The boolean inside, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float inside; integers widen losslessly.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The power status inside, if this is `Power`.
+    pub fn as_power(&self) -> Option<PowerStatus> {
+        match self {
+            Value::Power(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// The oper status inside, if this is `Oper`.
+    pub fn as_oper(&self) -> Option<OperStatus> {
+        match self {
+            Value::Oper(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// The control-plane mode inside, if this is `ControlPlane`.
+    pub fn as_control_plane(&self) -> Option<ControlPlaneMode> {
+        match self {
+            Value::ControlPlane(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// The routing rules inside, if this is `Routes`.
+    pub fn as_routes(&self) -> Option<&[FlowLinkRule]> {
+        match self {
+            Value::Routes(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The device list inside, if this is `DeviceList`.
+    pub fn as_device_list(&self) -> Option<&[DeviceName]> {
+        match self {
+            Value::DeviceList(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The lock record inside, if this is `Lock`.
+    pub fn as_lock(&self) -> Option<&crate::lock::LockRecord> {
+        match self {
+            Value::Lock(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// True if this is `Value::None` (absent/cleared).
+    pub fn is_none(&self) -> bool {
+        matches!(self, Value::None)
+    }
+
+    /// A short human-readable rendering for logs and scenario dumps.
+    pub fn render(&self) -> String {
+        match self {
+            Value::None => "∅".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(x) => format!("{x:.3}"),
+            Value::Text(s) => s.clone(),
+            Value::Power(p) => p.to_string(),
+            Value::Oper(o) => o.to_string(),
+            Value::ControlPlane(m) => m.to_string(),
+            Value::Routes(r) => format!("{} rule(s)", r.len()),
+            Value::DeviceList(d) => format!(
+                "[{}]",
+                d.iter().map(|x| x.as_str()).collect::<Vec<_>>().join(",")
+            ),
+            Value::Lock(l) => format!("lock:{}", l.holder),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::{LockPriority, LockRecord};
+    use crate::state::AppId;
+    use crate::time::SimTime;
+
+    #[test]
+    fn typed_accessors_reject_mismatches() {
+        let v = Value::Int(7);
+        assert_eq!(v.as_int(), Some(7));
+        assert_eq!(v.as_float(), Some(7.0)); // widening is allowed
+        assert_eq!(v.as_bool(), None);
+        assert_eq!(v.as_text(), None);
+        assert_eq!(Value::text("x").as_text(), Some("x"));
+        assert_eq!(Value::Float(0.5).as_int(), None);
+    }
+
+    #[test]
+    fn power_and_oper_shorthands() {
+        assert_eq!(Value::power(true).as_power(), Some(PowerStatus::On));
+        assert_eq!(Value::power(false).as_power(), Some(PowerStatus::Off));
+        assert!(Value::oper(true).as_oper().unwrap().is_up());
+        assert!(!Value::oper(false).as_oper().unwrap().is_up());
+    }
+
+    #[test]
+    fn routes_round_trip_json() {
+        let v = Value::Routes(vec![FlowLinkRule::new(
+            "dc1>dc2",
+            LinkName::between("br-1", "br-3"),
+            0.5,
+        )]);
+        let s = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn render_is_compact() {
+        assert_eq!(Value::None.render(), "∅");
+        assert_eq!(Value::Float(0.33333).render(), "0.333");
+        let lock = Value::Lock(LockRecord::new(
+            AppId::new("te"),
+            LockPriority::Low,
+            SimTime::ZERO,
+            None,
+        ));
+        assert_eq!(lock.render(), "lock:te");
+    }
+
+    #[test]
+    fn device_list_accessor() {
+        let v = Value::DeviceList(vec![DeviceName::new("br-1"), DeviceName::new("br-3")]);
+        assert_eq!(v.as_device_list().unwrap().len(), 2);
+        assert!(Value::None.as_device_list().is_none());
+        assert!(Value::None.is_none());
+    }
+}

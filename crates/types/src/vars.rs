@@ -1,0 +1,315 @@
+//! The state-variable catalogue (paper Table 2) and the dependency levels of
+//! the state dependency model (paper Fig 4).
+//!
+//! Each [`Attribute`] names one kind of state variable. An attribute knows:
+//!
+//! * which [`EntityKind`] it applies to,
+//! * its [`Permission`] — counters are `ReadOnly` (only the monitor writes
+//!   them into the OS), control variables are `ReadWrite` (applications may
+//!   propose new values),
+//! * its [`DependencyLevel`] — the node of Fig 4 it belongs to. The
+//!   dependency *edges* between levels live in `statesman-core::deps`
+//!   because they are the heart of the paper's contribution; the catalogue
+//!   here only records the level membership.
+
+use crate::entity::EntityKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Who may write a variable (paper Table 2 "Permission" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Permission {
+    /// Measured by the monitor only; applications may read but never
+    /// propose values (e.g. traffic counters, oper status).
+    ReadOnly,
+    /// Applications may propose new values through a PS.
+    ReadWrite,
+}
+
+/// A node in the Fig-4 state dependency model. Levels are per-entity
+/// chains; cross-entity edges (e.g. link power depends on the *device*
+/// configuration of both endpoints, path setup depends on the routing
+/// control of every on-path switch) are expressed in the dependency model
+/// itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DependencyLevel {
+    /// Device: electrical power (bottom of Fig 4).
+    DevicePower,
+    /// Device: firmware / boot image ("Operating System Setup").
+    OperatingSystemSetup,
+    /// Device: management interface, OpenFlow agent, vendor config.
+    DeviceConfiguration,
+    /// Device: flow–link routing rules, link weights ("Routing Control").
+    RoutingControl,
+    /// Link: admin/oper interface power ("Link Power").
+    LinkPower,
+    /// Link: IP assignment, control-plane setup ("Link Interface Config").
+    LinkInterfaceConfig,
+    /// Path: tunnels and traffic assignment ("Path/Traffic Setup", top).
+    PathTrafficSetup,
+    /// Measured counters — outside the dependency model ("N/A" rows of
+    /// Table 2). Counters are never prerequisites for writes.
+    Counter,
+    /// Statesman-internal coordination metadata (entity locks, §7.3).
+    /// Like counters, outside the Fig-4 chains; locks gate *who* may write,
+    /// not *whether* a variable is controllable.
+    Meta,
+}
+
+impl fmt::Display for DependencyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DependencyLevel::DevicePower => "device-power",
+            DependencyLevel::OperatingSystemSetup => "operating-system-setup",
+            DependencyLevel::DeviceConfiguration => "device-configuration",
+            DependencyLevel::RoutingControl => "routing-control",
+            DependencyLevel::LinkPower => "link-power",
+            DependencyLevel::LinkInterfaceConfig => "link-interface-config",
+            DependencyLevel::PathTrafficSetup => "path-traffic-setup",
+            DependencyLevel::Counter => "counter",
+            DependencyLevel::Meta => "meta",
+        };
+        f.write_str(s)
+    }
+}
+
+macro_rules! attribute_catalogue {
+    (
+        $(
+            $(#[$doc:meta])*
+            $variant:ident {
+                wire: $wire:literal,
+                entity: $entity:ident,
+                level: $level:ident,
+                perm: $perm:ident
+            }
+        ),+ $(,)?
+    ) => {
+        /// One kind of state variable — the full Table-2 catalogue plus the
+        /// lock meta-attribute. See module docs.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        pub enum Attribute {
+            $( $(#[$doc])* $variant, )+
+        }
+
+        impl Attribute {
+            /// Every attribute, in catalogue order.
+            pub const fn catalogue() -> &'static [Attribute] {
+                &[ $(Attribute::$variant,)+ ]
+            }
+
+            /// The stable wire name used by the HTTP API and storage keys.
+            pub const fn wire_name(self) -> &'static str {
+                match self {
+                    $(Attribute::$variant => $wire,)+
+                }
+            }
+
+            /// Parse a wire name back to an attribute.
+            pub fn parse_wire_name(s: &str) -> Option<Attribute> {
+                match s {
+                    $($wire => Some(Attribute::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// Which entity kind this attribute applies to.
+            pub const fn entity_kind(self) -> EntityKind {
+                match self {
+                    $(Attribute::$variant => EntityKind::$entity,)+
+                }
+            }
+
+            /// The Fig-4 level this attribute belongs to.
+            pub const fn dependency_level(self) -> DependencyLevel {
+                match self {
+                    $(Attribute::$variant => DependencyLevel::$level,)+
+                }
+            }
+
+            /// Read-only counter vs application-writable control variable.
+            pub const fn permission(self) -> Permission {
+                match self {
+                    $(Attribute::$variant => Permission::$perm,)+
+                }
+            }
+        }
+    };
+}
+
+attribute_catalogue! {
+    // ---- Path entity (level: Path/Traffic Setup) -------------------------
+    /// The ordered list of switches a tunnel traverses (Table 2 "Switches
+    /// on path").
+    PathSwitches { wire: "PathSwitches", entity: Path, level: PathTrafficSetup, perm: ReadWrite },
+    /// MPLS/VLAN encapsulation configuration for the tunnel.
+    PathEncapConfig { wire: "PathEncapConfig", entity: Path, level: PathTrafficSetup, perm: ReadWrite },
+    /// Traffic volume assigned onto the path by TE (Mbps). Writable: TE
+    /// proposes allocations; the updater translates them to routing states.
+    PathTrafficAllocation { wire: "PathTrafficAllocation", entity: Path, level: PathTrafficSetup, perm: ReadWrite },
+
+    // ---- Link entity ------------------------------------------------------
+    /// IP address assignment on the link interface.
+    LinkIpAssignment { wire: "LinkIpAssignment", entity: Link, level: LinkInterfaceConfig, perm: ReadWrite },
+    /// Which control plane owns the link: OpenFlow agent or BGP session
+    /// (Table 2 "Control plane setup").
+    LinkControlPlane { wire: "LinkControlPlane", entity: Link, level: LinkInterfaceConfig, perm: ReadWrite },
+    /// Administrative up/down of the interface — the variable the
+    /// failure-mitigation application writes to shut a flaky link (§7.1).
+    LinkAdminPower { wire: "LinkAdminPower", entity: Link, level: LinkPower, perm: ReadWrite },
+    /// Operational up/down as observed (read-only; reflects both admin
+    /// state and physical health).
+    LinkOperStatus { wire: "LinkOperStatus", entity: Link, level: LinkPower, perm: ReadOnly },
+    /// Directed traffic load A→B, Mbps (counter).
+    LinkTrafficLoadAB { wire: "LinkTrafficLoadAB", entity: Link, level: Counter, perm: ReadOnly },
+    /// Directed traffic load B→A, Mbps (counter).
+    LinkTrafficLoadBA { wire: "LinkTrafficLoadBA", entity: Link, level: Counter, perm: ReadOnly },
+    /// Packet drop rate (fraction; counter).
+    LinkPacketDropRate { wire: "LinkPacketDropRate", entity: Link, level: Counter, perm: ReadOnly },
+    /// Frame-Check-Sequence error rate (fraction; counter) — what the
+    /// failure-mitigation application watches (§7.1).
+    LinkFcsErrorRate { wire: "LinkFcsErrorRate", entity: Link, level: Counter, perm: ReadOnly },
+
+    // ---- Device entity ----------------------------------------------------
+    /// Flow→link routing rules, protocol-agnostic (Table 2 "Flow-link
+    /// routing rules"; maps to OpenFlow rules or BGP announcements).
+    DeviceRoutingRules { wire: "DeviceRoutingRules", entity: Device, level: RoutingControl, perm: ReadWrite },
+    /// ECMP/IGP link weight allocation.
+    DeviceLinkWeights { wire: "DeviceLinkWeights", entity: Device, level: RoutingControl, perm: ReadWrite },
+    /// Management interface setup (vendor API reachability).
+    DeviceMgmtInterface { wire: "DeviceMgmtInterface", entity: Device, level: DeviceConfiguration, perm: ReadWrite },
+    /// Whether the device's OpenFlow agent is configured/running.
+    DeviceOpenFlowAgent { wire: "DeviceOpenFlowAgent", entity: Device, level: DeviceConfiguration, perm: ReadWrite },
+    /// Running firmware version — the variable the switch-upgrade
+    /// application proposes new values of (§7.1).
+    DeviceFirmwareVersion { wire: "DeviceFirmwareVersion", entity: Device, level: OperatingSystemSetup, perm: ReadWrite },
+    /// Boot image selection.
+    DeviceBootImage { wire: "DeviceBootImage", entity: Device, level: OperatingSystemSetup, perm: ReadWrite },
+    /// Administrative power on/off.
+    DeviceAdminPower { wire: "DeviceAdminPower", entity: Device, level: DevicePower, perm: ReadWrite },
+    /// Whether the power distribution unit is reachable (read-only).
+    DevicePowerUnitReachable { wire: "DevicePowerUnitReachable", entity: Device, level: DevicePower, perm: ReadOnly },
+    /// CPU utilization (fraction; counter).
+    DeviceCpuUtilization { wire: "DeviceCpuUtilization", entity: Device, level: Counter, perm: ReadOnly },
+    /// Memory utilization (fraction; counter).
+    DeviceMemoryUtilization { wire: "DeviceMemoryUtilization", entity: Device, level: Counter, perm: ReadOnly },
+
+    // ---- Statesman coordination metadata -----------------------------------
+    /// Per-entity priority lock (§7.3). Stored as ordinary replicated state
+    /// so locks survive checker restarts and are visible to all apps.
+    EntityLock { wire: "EntityLock", entity: Device, level: Meta, perm: ReadWrite },
+}
+
+impl Attribute {
+    /// True for measured counters (the "N/A (counters)" rows of Table 2).
+    pub const fn is_counter(self) -> bool {
+        matches!(self.dependency_level(), DependencyLevel::Counter)
+    }
+
+    /// True for the lock meta-attribute.
+    pub const fn is_lock(self) -> bool {
+        matches!(self, Attribute::EntityLock)
+    }
+
+    /// True if applications may legally include this attribute in a
+    /// proposed state: it must be ReadWrite. (Locks are writable — lock
+    /// acquisition is itself a proposal the checker arbitrates.)
+    pub const fn is_proposable(self) -> bool {
+        matches!(self.permission(), Permission::ReadWrite)
+    }
+
+    /// All attributes applying to a given entity kind.
+    ///
+    /// Note [`Attribute::EntityLock`] is declared against `Device` in the
+    /// catalogue but is accepted on links too (locking happens "at the
+    /// level of individual switches and links", §4.2); see
+    /// [`Attribute::applies_to`].
+    pub fn for_entity(kind: EntityKind) -> impl Iterator<Item = Attribute> {
+        Self::catalogue()
+            .iter()
+            .copied()
+            .filter(move |a| a.entity_kind() == kind)
+    }
+
+    /// Whether writing this attribute against an entity of `kind` is
+    /// well-formed.
+    pub fn applies_to(self, kind: EntityKind) -> bool {
+        if self.is_lock() {
+            // Locks apply to devices and links (§4.2), not paths.
+            return matches!(kind, EntityKind::Device | EntityKind::Link);
+        }
+        self.entity_kind() == kind
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_names_are_unique() {
+        let mut names: Vec<_> = Attribute::catalogue()
+            .iter()
+            .map(|a| a.wire_name())
+            .collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn counters_are_read_only() {
+        for a in Attribute::catalogue() {
+            if a.is_counter() {
+                assert_eq!(a.permission(), Permission::ReadOnly, "{a}");
+            }
+        }
+    }
+
+    #[test]
+    fn oper_status_and_power_reachability_are_read_only() {
+        assert_eq!(Attribute::LinkOperStatus.permission(), Permission::ReadOnly);
+        assert_eq!(
+            Attribute::DevicePowerUnitReachable.permission(),
+            Permission::ReadOnly
+        );
+    }
+
+    #[test]
+    fn firmware_is_proposable_device_variable() {
+        let a = Attribute::DeviceFirmwareVersion;
+        assert!(a.is_proposable());
+        assert_eq!(a.entity_kind(), EntityKind::Device);
+        assert_eq!(a.dependency_level(), DependencyLevel::OperatingSystemSetup);
+    }
+
+    #[test]
+    fn lock_applies_to_devices_and_links_only() {
+        assert!(Attribute::EntityLock.applies_to(EntityKind::Device));
+        assert!(Attribute::EntityLock.applies_to(EntityKind::Link));
+        assert!(!Attribute::EntityLock.applies_to(EntityKind::Path));
+    }
+
+    #[test]
+    fn per_entity_filters_partition_the_catalogue() {
+        let d = Attribute::for_entity(EntityKind::Device).count();
+        let l = Attribute::for_entity(EntityKind::Link).count();
+        let p = Attribute::for_entity(EntityKind::Path).count();
+        assert_eq!(d + l + p, Attribute::catalogue().len());
+        assert!(p >= 3);
+        assert!(l >= 8);
+        assert!(d >= 10);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert_eq!(Attribute::parse_wire_name("NotAVariable"), None);
+    }
+}

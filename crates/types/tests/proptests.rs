@@ -1,0 +1,130 @@
+//! Property-based tests for the shared vocabulary: wire-format round
+//! trips, canonicalization, and time arithmetic hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use statesman_types::{
+    AppId, Attribute, EntityName, LinkName, LockPriority, LockRecord, NetworkState, Pool,
+    SimDuration, SimTime, Value,
+};
+
+/// Names that survive the wire format: non-empty, no separator bytes.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9.-]{0,30}"
+}
+
+proptest! {
+    #[test]
+    fn link_names_canonicalize_symmetrically(a in name_strategy(), b in name_strategy()) {
+        let l1 = LinkName::between(a.clone(), b.clone());
+        let l2 = LinkName::between(b, a);
+        prop_assert_eq!(&l1, &l2);
+        prop_assert!(l1.a <= l1.b);
+        // Parse round trip.
+        prop_assert_eq!(LinkName::parse(&l1.to_string()), Some(l1));
+    }
+
+    #[test]
+    fn entity_wire_names_round_trip(
+        dc in name_strategy(),
+        dev in name_strategy(),
+        peer in name_strategy(),
+        path in "[a-z][a-z0-9:>.-]{0,40}"
+    ) {
+        for e in [
+            EntityName::device(dc.clone(), dev.clone()),
+            EntityName::link(dc.clone(), dev.clone(), peer),
+            EntityName::path(dc, path),
+        ] {
+            let wire = e.wire_name();
+            prop_assert_eq!(EntityName::parse_wire_name(&wire), Some(e), "{}", wire);
+        }
+    }
+
+    #[test]
+    fn pool_wire_names_round_trip(app in name_strategy()) {
+        for p in [Pool::Observed, Pool::Target, Pool::Proposed(AppId::new(app))] {
+            prop_assert_eq!(Pool::parse_wire_name(&p.wire_name()), Some(p.clone()));
+        }
+    }
+
+    #[test]
+    fn rows_round_trip_through_json(
+        dc in name_strategy(),
+        dev in name_strategy(),
+        attr_idx in 0..Attribute::catalogue().len(),
+        int_val in any::<i64>(),
+        float_val in -1e12f64..1e12,
+        text in "[ -~]{0,60}",
+        pick in 0..4u8,
+        at in 0..u64::MAX / 2
+    ) {
+        let attr = Attribute::catalogue()[attr_idx];
+        // Pick a value shape; lock attributes must carry lock values to
+        // be well-formed, but JSON round-trips regardless.
+        let value = match pick {
+            0 => Value::Int(int_val),
+            1 => Value::Float(float_val),
+            2 => Value::text(text),
+            _ => Value::Lock(LockRecord::new(
+                AppId::new("app"),
+                LockPriority::High,
+                SimTime::from_millis(at),
+                Some(SimTime::from_millis(at) + SimDuration::from_mins(5)),
+            )),
+        };
+        let row = NetworkState::new(
+            EntityName::device(dc, dev),
+            attr,
+            value,
+            SimTime::from_millis(at),
+            AppId::new("prop"),
+        );
+        let json = serde_json::to_string(&row).unwrap();
+        let back: NetworkState = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(row, back);
+    }
+
+    #[test]
+    fn time_arithmetic_is_consistent(a in 0..u64::MAX/4, d in 0..u64::MAX/4) {
+        let t = SimTime::from_millis(a);
+        let span = SimDuration::from_millis(d);
+        let t2 = t + span;
+        prop_assert_eq!(t2 - t, span);
+        prop_assert_eq!(t2.saturating_since(t), span);
+        prop_assert_eq!(t.saturating_since(t2), SimDuration::ZERO);
+        prop_assert!(t2 >= t);
+    }
+
+    #[test]
+    fn lock_arbitration_is_total(
+        holder_pri in prop_oneof![Just(LockPriority::Low), Just(LockPriority::High)],
+        req_pri in prop_oneof![Just(LockPriority::Low), Just(LockPriority::High)],
+        same_app in any::<bool>(),
+        now_ms in 0..10_000_000u64,
+        expires in proptest::option::of(0..10_000_000u64),
+    ) {
+        let holder = AppId::new("holder");
+        let requestor = if same_app { holder.clone() } else { AppId::new("other") };
+        let rec = LockRecord::new(
+            holder.clone(),
+            holder_pri,
+            SimTime::ZERO,
+            expires.map(SimTime::from_millis),
+        );
+        let now = SimTime::from_millis(now_ms);
+        let granted = rec.grants_acquisition(&requestor, req_pri, now);
+        // Invariants of the arbitration rules:
+        if same_app {
+            prop_assert!(granted, "holders always refresh");
+        }
+        if rec.is_expired(now) {
+            prop_assert!(granted, "expired locks are free");
+        }
+        if !same_app && !rec.is_expired(now) && req_pri <= holder_pri {
+            prop_assert!(!granted, "equal/lower priority never preempts");
+        }
+        if !same_app && !rec.is_expired(now) && req_pri > holder_pri {
+            prop_assert!(granted, "strictly higher priority preempts");
+        }
+    }
+}

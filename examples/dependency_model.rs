@@ -1,0 +1,142 @@
+//! The state dependency model, interactively: prints the Table-2 variable
+//! catalogue and walks the Fig-4 chains with concrete controllability
+//! queries, including extending the model with a custom operator rule.
+//!
+//! ```text
+//! cargo run --example dependency_model
+//! ```
+
+use statesman::core::deps::{DependencyModel, DependencyRule, Uncontrollable};
+use statesman::core::{MapView, StateView};
+use statesman::prelude::*;
+use statesman_types::{DependencyLevel, NetworkState, StateKey};
+
+fn row(e: EntityName, a: Attribute, v: Value) -> NetworkState {
+    NetworkState::new(e, a, v, SimTime::ZERO, AppId::monitor())
+}
+
+fn main() {
+    // ---- Table 2: the variable catalogue ----
+    println!("== Table 2: the state-variable catalogue ==");
+    println!(
+        "{:<28} {:>7} {:>24} {:>10}",
+        "variable", "entity", "level", "perm"
+    );
+    for attr in Attribute::catalogue() {
+        println!(
+            "{:<28} {:>7} {:>24} {:>10}",
+            attr.wire_name(),
+            attr.entity_kind().to_string(),
+            attr.dependency_level().to_string(),
+            match attr.permission() {
+                statesman_types::Permission::ReadOnly => "ReadOnly",
+                statesman_types::Permission::ReadWrite => "ReadWrite",
+            }
+        );
+    }
+    println!();
+
+    // ---- Fig 4: controllability walks ----
+    println!("== Fig 4: controllability under the standard model ==");
+    let model = DependencyModel::standard();
+    let dev = EntityName::device("dc1", "agg-1-1");
+
+    let mut os = MapView::new();
+    os.upsert(row(
+        dev.clone(),
+        Attribute::DeviceAdminPower,
+        Value::power(false),
+    ));
+
+    let firmware_key = StateKey::new(dev.clone(), Attribute::DeviceFirmwareVersion);
+    let verdict = model.check_controllable(&firmware_key, &Value::text("7.0"), &os);
+    println!("device powered OFF, propose firmware change:");
+    println!("  -> {}", render(&verdict));
+
+    os.upsert(row(
+        dev.clone(),
+        Attribute::DeviceAdminPower,
+        Value::power(true),
+    ));
+    os.upsert(row(
+        dev.clone(),
+        Attribute::DeviceFirmwareVersion,
+        Value::text("6.0"),
+    ));
+    let verdict = model.check_controllable(&firmware_key, &Value::text("7.0"), &os);
+    println!("device powered ON with running firmware:");
+    println!("  -> {}", render(&verdict));
+
+    os.upsert(row(
+        dev.clone(),
+        Attribute::DeviceOpenFlowAgent,
+        Value::Bool(false),
+    ));
+    let routing_key = StateKey::new(dev.clone(), Attribute::DeviceRoutingRules);
+    let verdict = model.check_controllable(&routing_key, &Value::Routes(vec![]), &os);
+    println!("OpenFlow agent DOWN, propose routing change:");
+    println!("  -> {}", render(&verdict));
+
+    // Cross-entity edge: link power needs both endpoint configs.
+    let link = EntityName::link("dc1", "agg-1-1", "tor-1-1");
+    let link_key = StateKey::new(link, Attribute::LinkAdminPower);
+    os.upsert(row(
+        EntityName::device("dc1", "tor-1-1"),
+        Attribute::DeviceAdminPower,
+        Value::power(false),
+    ));
+    let verdict = model.check_controllable(&link_key, &Value::power(false), &os);
+    println!("one link endpoint powered OFF, propose link admin change:");
+    println!("  -> {}", render(&verdict));
+    println!();
+
+    // ---- extending the model (the lecture's question) ----
+    println!("== Extending the model with an operator rule ==");
+    struct ChangeFreeze;
+    impl DependencyRule for ChangeFreeze {
+        fn guards(&self) -> DependencyLevel {
+            DependencyLevel::OperatingSystemSetup
+        }
+        fn check(
+            &self,
+            key: &StateKey,
+            _proposed: &Value,
+            os: &dyn StateView,
+        ) -> Result<(), Uncontrollable> {
+            // Freeze firmware changes on devices above 80% CPU.
+            let busy = os
+                .value_of(&key.entity, Attribute::DeviceCpuUtilization)
+                .and_then(|v| v.as_float())
+                .map(|u| u > 0.8)
+                .unwrap_or(false);
+            if busy {
+                Err(Uncontrollable {
+                    reason: format!("{} is above 80% CPU; firmware frozen", key.entity),
+                })
+            } else {
+                Ok(())
+            }
+        }
+        fn name(&self) -> &'static str {
+            "freeze-busy-devices"
+        }
+    }
+    let mut model = DependencyModel::standard();
+    model.add_rule(Box::new(ChangeFreeze));
+    os.upsert(row(
+        dev.clone(),
+        Attribute::DeviceCpuUtilization,
+        Value::Float(0.93),
+    ));
+    let verdict = model.check_controllable(&firmware_key, &Value::text("7.0"), &os);
+    println!("custom rule installed; device at 93% CPU, propose firmware change:");
+    println!("  -> {}", render(&verdict));
+    println!("(rules: {} standard + 1 custom)", model.rule_count() - 1);
+}
+
+fn render(v: &Result<(), statesman::core::deps::Uncontrollable>) -> String {
+    match v {
+        Ok(()) => "CONTROLLABLE".to_string(),
+        Err(u) => format!("UNCONTROLLABLE: {u}"),
+    }
+}

@@ -1,0 +1,118 @@
+//! Statesman as a wire service: the Table-3 HTTP API on real TCP, with an
+//! out-of-process-style application thread talking to it the way the
+//! paper's applications talk to the deployed service.
+//!
+//! ```text
+//! cargo run --example http_service
+//! ```
+
+use statesman::core::{Coordinator, CoordinatorConfig};
+use statesman::httpapi::{ApiClient, ApiServer};
+use statesman::net::{SimClock, SimConfig, SimNetwork};
+use statesman::prelude::*;
+use statesman::storage::{StorageConfig, StorageService};
+use statesman::topology::DcnSpec;
+use statesman_types::NetworkState;
+
+fn main() {
+    // Statesman side: simulator + service + control loop.
+    let clock = SimClock::new();
+    let graph = DcnSpec::tiny("dc1").build();
+    let mut sim = SimConfig::ideal();
+    sim.faults.command_latency_ms = 500;
+    sim.faults.reboot_window_ms = 60_000;
+    let net = SimNetwork::new(&graph, clock.clone(), sim);
+    let storage = StorageService::new(
+        [DatacenterId::new("dc1")],
+        clock.clone(),
+        StorageConfig::default(),
+    );
+    let statesman = Coordinator::new(
+        &graph,
+        net.clone(),
+        storage.clone(),
+        CoordinatorConfig::default(),
+    );
+    statesman
+        .tick_and_advance(SimDuration::from_mins(1))
+        .unwrap();
+
+    // The RESTful front end (paper §6.4) on a real socket.
+    let server = ApiServer::start(storage).unwrap();
+    let addr = server.addr();
+    println!("Statesman HTTP API listening on http://{addr}");
+    println!("  GET  /NetworkState/Read?Datacenter=dc1&Pool=OS&Freshness=bounded-stale");
+    println!("  POST /NetworkState/Write?Pool=PS:remote-app");
+    println!();
+
+    // An application living in its own thread, knowing nothing but the
+    // server address — exactly an out-of-process management app.
+    let app_thread = std::thread::spawn(move || {
+        let client = ApiClient::new(addr);
+        let app = AppId::new("remote-app");
+        let dc = DatacenterId::new("dc1");
+
+        // Pull the observed state (bounded-stale is fine for this app).
+        let os = client
+            .read(&dc, &Pool::Observed, Freshness::BoundedStale, None, None)
+            .unwrap();
+        println!("[remote-app] pulled {} OS rows over HTTP", os.len());
+
+        // Push a proposal.
+        let proposal = NetworkState::new(
+            EntityName::device("dc1", "agg-1-1"),
+            Attribute::DeviceBootImage,
+            Value::text("golden-image-v2"),
+            SimTime::ZERO,
+            app.clone(),
+        );
+        client
+            .write(&Pool::Proposed(app.clone()), &[proposal])
+            .unwrap();
+        println!("[remote-app] pushed 1 PS row");
+        app
+    });
+    let app = app_thread.join().unwrap();
+
+    // Statesman runs its round; the checker consumes the PS.
+    let round = statesman
+        .tick_and_advance(SimDuration::from_mins(5))
+        .unwrap();
+    println!(
+        "[statesman] round: {} accepted, {} rejected, {} commands",
+        round.accepted(),
+        round.rejected(),
+        round.updater.commands_applied
+    );
+
+    // The application polls the outcome over the wire.
+    let client = ApiClient::new(addr);
+    for receipt in client.receipts(&app).unwrap() {
+        println!("[remote-app] receipt over HTTP: {receipt}");
+    }
+    let ts = client
+        .read(
+            &DatacenterId::new("dc1"),
+            &Pool::Target,
+            Freshness::UpToDate,
+            Some(&EntityName::device("dc1", "agg-1-1")),
+            Some(Attribute::DeviceBootImage),
+        )
+        .unwrap();
+    println!(
+        "[remote-app] TS over HTTP: {}",
+        ts.first().map(|r| r.to_string()).unwrap_or_default()
+    );
+
+    // Let the updater realize the change, then confirm on the device.
+    statesman
+        .tick_and_advance(SimDuration::from_mins(5))
+        .unwrap();
+    let image = net
+        .device_snapshot(&"agg-1-1".into())
+        .unwrap()
+        .boot_image
+        .clone();
+    println!("[network]   agg-1-1 boot image is now `{image}`");
+    assert_eq!(image, "golden-image-v2");
+}

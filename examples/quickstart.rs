@@ -1,0 +1,124 @@
+//! Quickstart: bring up a simulated datacenter under Statesman, propose a
+//! change as a management application, and watch the three state views
+//! (observed → proposed → target) drive the network.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use statesman::core::{Coordinator, CoordinatorConfig, StatesmanClient};
+use statesman::net::{SimClock, SimConfig, SimNetwork};
+use statesman::prelude::*;
+use statesman::storage::{StorageConfig, StorageService};
+use statesman::topology::DcnSpec;
+
+fn main() {
+    // 1. A network to manage: a small two-pod fabric (2 Aggs + 2 ToRs per
+    //    pod, 2 cores), simulated with realistic command latencies.
+    let clock = SimClock::new();
+    let graph = DcnSpec::tiny("dc1").build();
+    let mut sim = SimConfig::ideal();
+    sim.faults.command_latency_ms = 1_000;
+    sim.faults.reboot_window_ms = 3 * 60_000;
+    let net = SimNetwork::new(&graph, clock.clone(), sim);
+    println!(
+        "simulated fabric: {} devices, {} links",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // 2. Statesman: partitioned replicated storage + monitor + checker
+    //    (with the connectivity and capacity invariants) + updater.
+    let storage = StorageService::new(
+        [DatacenterId::new("dc1")],
+        clock.clone(),
+        StorageConfig::default(),
+    );
+    let statesman = Coordinator::new(
+        &graph,
+        net.clone(),
+        storage.clone(),
+        CoordinatorConfig::default(),
+    );
+    println!("impact groups: {:?}", statesman.groups());
+
+    // Round 0 populates the observed state.
+    statesman
+        .tick_and_advance(SimDuration::from_mins(1))
+        .unwrap();
+    println!(
+        "observed state: {} rows",
+        storage.pool_len(&DatacenterId::new("dc1"), &Pool::Observed)
+    );
+
+    // 3. An application: read the OS, propose a firmware upgrade.
+    let app = StatesmanClient::new("switch-upgrade", storage.clone(), clock.clone());
+    let target = EntityName::device("dc1", "agg-1-1");
+    let current = app
+        .read_os_value(&target, Attribute::DeviceFirmwareVersion)
+        .unwrap()
+        .unwrap();
+    println!("agg-1-1 runs firmware {current}; proposing 7.0.1");
+    app.propose([(
+        target.clone(),
+        Attribute::DeviceFirmwareVersion,
+        Value::text("7.0.1"),
+    )])
+    .unwrap();
+
+    // 4. Statesman merges the proposal (checker) and executes it
+    //    (updater); the app polls its receipt.
+    let round = statesman
+        .tick_and_advance(SimDuration::from_mins(5))
+        .unwrap();
+    for receipt in app.take_receipts().unwrap() {
+        println!("receipt: {receipt}");
+    }
+    println!(
+        "round: {} accepted, {} rejected, {} commands issued",
+        round.accepted(),
+        round.rejected(),
+        round.updater.commands_applied
+    );
+
+    // 5. Keep the loop running until the network converges to the TS.
+    for _ in 0..3 {
+        statesman
+            .tick_and_advance(SimDuration::from_mins(5))
+            .unwrap();
+    }
+    let now_running = net
+        .device_snapshot(&"agg-1-1".into())
+        .unwrap()
+        .observed_firmware()
+        .to_string();
+    println!("agg-1-1 now runs firmware {now_running}");
+    assert_eq!(now_running, "7.0.1");
+
+    // 6. The checker is also a guardian: upgrading *both* Aggs of a pod
+    //    at once would cut its ToRs off, so one proposal is rejected.
+    app.propose([
+        (
+            EntityName::device("dc1", "agg-2-1"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("7.0.1"),
+        ),
+        (
+            EntityName::device("dc1", "agg-2-2"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("7.0.1"),
+        ),
+    ])
+    .unwrap();
+    let round = statesman
+        .tick_and_advance(SimDuration::from_mins(5))
+        .unwrap();
+    println!(
+        "greedy pod-2 double upgrade: {} accepted, {} rejected (invariant guarded)",
+        round.accepted(),
+        round.rejected()
+    );
+    for receipt in app.take_receipts().unwrap() {
+        println!("receipt: {receipt}");
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # statesman
+//!
+//! Umbrella crate for the Statesman reproduction (Sun et al., *A
+//! Network-State Management Service*, SIGCOMM 2014). Re-exports the public
+//! API of every subsystem crate so downstream users (and the `examples/`
+//! and `tests/` at the workspace root) can depend on a single crate.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## The whole loop in twenty lines
+//!
+//! ```
+//! use statesman::core::{Coordinator, CoordinatorConfig, StatesmanClient};
+//! use statesman::net::{SimClock, SimConfig, SimNetwork};
+//! use statesman::storage::{StorageConfig, StorageService};
+//! use statesman::topology::DcnSpec;
+//! use statesman::prelude::*;
+//!
+//! // A (simulated) network and Statesman on top of it.
+//! let clock = SimClock::new();
+//! let graph = DcnSpec::tiny("dc1").build();
+//! let net = SimNetwork::new(&graph, clock.clone(), SimConfig::ideal());
+//! let storage = StorageService::new(
+//!     [DatacenterId::new("dc1")], clock.clone(), StorageConfig::default());
+//! let statesman = Coordinator::new(
+//!     &graph, net, storage.clone(), CoordinatorConfig::default());
+//! statesman.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+//!
+//! // An application: pull the OS, push a PS, poll the receipt.
+//! let app = StatesmanClient::new("switch-upgrade", storage, clock);
+//! app.propose([(
+//!     EntityName::device("dc1", "agg-1-1"),
+//!     Attribute::DeviceFirmwareVersion,
+//!     Value::text("7.0.1"),
+//! )]).unwrap();
+//! statesman.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+//! let receipts = app.take_receipts().unwrap();
+//! assert!(receipts[0].outcome.is_accepted());
+//! ```
+
+pub use statesman_apps as apps;
+pub use statesman_core as core;
+pub use statesman_httpapi as httpapi;
+pub use statesman_net as net;
+pub use statesman_storage as storage;
+pub use statesman_topology as topology;
+pub use statesman_types as types;
+
+/// Commonly used items, importable with `use statesman::prelude::*`.
+pub mod prelude {
+    pub use statesman_types::{
+        AppId, Attribute, DatacenterId, DeviceName, EntityName, Freshness, LinkName, LockPriority,
+        NetworkState, Pool, SimDuration, SimTime, StateError, StateResult, Value, WriteOutcome,
+    };
+}

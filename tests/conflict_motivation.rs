@@ -1,0 +1,24 @@
+//! Integration test: Figures 1 and 2 — the motivating failures happen
+//! without Statesman and are prevented with it.
+
+use statesman_bench::motivation::{run_fig1, run_fig2};
+
+#[test]
+fn figure1_te_vs_upgrade_conflict() {
+    let outcome = run_fig1();
+    // Unmediated: the tunnel through the rebooting switch loses its
+    // full 1000 Mbps.
+    assert!(outcome.without_statesman >= 999.0, "{:?}", outcome.notes);
+    // Mediated: TE observes the lock and routes around; zero loss.
+    assert_eq!(outcome.with_statesman, 0.0, "{:?}", outcome.notes);
+}
+
+#[test]
+fn figure2_joint_shutdown_partition() {
+    let outcome = run_fig2();
+    // Unmediated: both Aggs down together partitions the pod's ToRs.
+    assert_eq!(outcome.without_statesman, 1.0, "{:?}", outcome.notes);
+    // Mediated: the connectivity/capacity invariants reject the second
+    // proposal; no partition.
+    assert_eq!(outcome.with_statesman, 0.0, "{:?}", outcome.notes);
+}

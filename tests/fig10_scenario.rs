@@ -1,0 +1,108 @@
+//! Integration test: the full §7.3 / Figure-10 scenario.
+//!
+//! Asserts the paper's A–E lock dance: the switch-upgrade application
+//! acquires the high-priority lock on BR1 (A), TE loses its low-priority
+//! lock and drains BR1's traffic (B), the upgrade runs only at zero load
+//! (C), releases on completion (D), and TE re-acquires and moves traffic
+//! back (E) — while every other link keeps carrying traffic throughout.
+
+use statesman_bench::fig10::{Fig10Config, Fig10Scenario};
+use statesman_types::DeviceName;
+
+#[test]
+fn figure10_lock_dance_reproduces_paper_shape() {
+    let config = Fig10Config::default();
+    let demand = config.demand_mbps;
+    let result = Fig10Scenario::new(config).run();
+    let br1 = DeviceName::new("br-1");
+    let br2 = DeviceName::new("br-2");
+
+    // The A–E sequence occurred in order.
+    let a = result.event_time("A:").expect("A");
+    let bc = result.event_time("B→C:").expect("B/C drain");
+    let c = result.event_time("C:").expect("C reboot");
+    let d = result.event_time("D:").expect("D release");
+    let e = result.event_time("E:").expect("E return");
+    assert!(
+        a <= bc && bc <= c && c <= d && d <= e,
+        "{:?}",
+        result.events
+    );
+
+    // Before A: traffic flows over br-1 (steady state).
+    let before = result
+        .samples
+        .iter()
+        .find(|s| s.at < a && s.total_load() > 0.0);
+    assert!(
+        before.map(|s| s.device_load(&br1) > 1.0).unwrap_or(false),
+        "br-1 must carry traffic before the upgrade"
+    );
+
+    // Between C and D: br-1 carries nothing (zero-load upgrade).
+    for s in &result.samples {
+        if s.at >= c && s.at < d {
+            assert!(s.device_load(&br1) < 1.0, "br-1 loaded at {}", s.at);
+        }
+    }
+
+    // While br-1 drains, plane-2 (br-2) picks the dc1 demands up: its
+    // load strictly exceeds its pre-A level.
+    let br2_before = result.device_load_at(&br2, a);
+    let br2_during = result.device_load_at(&br2, c);
+    assert!(
+        br2_during > br2_before + 1.0,
+        "br-2 should absorb dc1 demand: {br2_before} -> {br2_during}"
+    );
+
+    // Non-dc1 links never drop to zero after traffic starts.
+    let br5 = DeviceName::new("br-5"); // dc3 plane 0
+    for s in &result.samples {
+        if s.at > bc && s.at <= d {
+            assert!(
+                s.device_load(&br5) > 1.0,
+                "unrelated router drained at {}",
+                s.at
+            );
+        }
+    }
+
+    // The firmware landed, and traffic came back.
+    assert_eq!(result.final_versions[0].1, "9.4.2");
+    let last = result.samples.last().unwrap();
+    assert!(last.device_load(&br1) > 1.0);
+
+    // Conservation sanity: total load at the end covers the full demand
+    // matrix (12 demands × demand_mbps, each crossing exactly one link).
+    let expected = 12.0 * demand;
+    assert!(
+        (last.total_load() - expected).abs() < expected * 0.01,
+        "total load {} vs expected {expected}",
+        last.total_load()
+    );
+}
+
+#[test]
+fn lock_dance_shape_is_seed_independent() {
+    // The A–E ordering is a property of the protocol, not of one lucky
+    // seed: jitter and latency draws must not change the shape.
+    for seed in [1u64, 0xBEEF, 987_654_321] {
+        let config = Fig10Config {
+            seed,
+            ..Default::default()
+        };
+        let result = Fig10Scenario::new(config).run();
+        let a = result.event_time("A:").expect("A");
+        let c = result.event_time("C:").expect("C");
+        let d = result.event_time("D:").expect("D");
+        let e = result.event_time("E:").expect("E");
+        assert!(a <= c && c <= d && d <= e, "seed {seed}: {:?}", result.events);
+        assert_eq!(result.final_versions[0].1, "9.4.2", "seed {seed}");
+        let br1 = DeviceName::new("br-1");
+        for s in &result.samples {
+            if s.at >= c && s.at < d {
+                assert!(s.device_load(&br1) < 1.0, "seed {seed} at {}", s.at);
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration test: the full §7.2 / Figure-8 scenario.
+//!
+//! Asserts the *shape* of the paper's figure: the capacity invariant never
+//! breaks, the upgrade proceeds pod-by-pod with two-at-a-time parallelism,
+//! the injected FCS fault gets the link shut by failure-mitigation
+//! (time D), pod 4's upgrade is measurably slowed (box E), and pod 5
+//! resumes normal speed (box F).
+
+use statesman_bench::fig8::{Fig8Config, Fig8Scenario};
+use statesman_types::SimTime;
+
+#[test]
+fn figure8_reproduces_paper_shape() {
+    let config = Fig8Config::default();
+    let fault_at = config.fault_at;
+    let result = Fig8Scenario::new(config).run();
+
+    // The rollout finished within the horizon.
+    let finished = result.finished_at.expect("rollout completes");
+
+    // 90 directional ToR pairs, as in the figure.
+    assert_eq!(result.pair_pods.len(), 90);
+
+    // 1. The capacity invariant held at every tick for every pair.
+    assert!(
+        result.min_fraction() >= 0.5 - 1e-9,
+        "min fraction {}",
+        result.min_fraction()
+    );
+
+    // 2. Pods upgraded strictly in order (A, B, C, then E=pod4, F=pod5).
+    let t_pod = |label: &str| result.event_time(label).expect(label);
+    let a = t_pod("A:");
+    let b = t_pod("B:");
+    let c = t_pod("C:");
+    let e = t_pod("E:");
+    let f = t_pod("F:");
+    assert!(a < b && b < c && c < e && e < f, "{:?}", result.events);
+
+    // 3. The fault fired and mitigation shut the link (D), before pod 4's
+    //    upgrade began.
+    let d = result
+        .event_time("D: failure-mitigation")
+        .expect("link shutdown");
+    assert!(d >= fault_at);
+    assert!(d < e, "link must be down before pod 4's window");
+
+    // 4. Box E: pod 4's window is longer than pod 5's (the checker
+    //    serialized pod 4's upgrades because of the dead link).
+    let pod4_window = f - e;
+    let next_after_f = result
+        .events
+        .iter()
+        .find(|(t, l)| *t > f && (l.starts_with("upgrading pod 6") || l.contains("pod 6")))
+        .map(|(t, _)| *t)
+        .unwrap_or(finished);
+    let pod5_window = next_after_f - f;
+    assert!(
+        pod4_window > pod5_window,
+        "pod 4 ({pod4_window}) should be slower than pod 5 ({pod5_window})"
+    );
+
+    // 5. After D, pod-4 pairs sit at exactly 75% between upgrade steps
+    //    (one ToR uplink dead).
+    let quiet_after_d = result
+        .samples
+        .iter()
+        .find(|s| s.at > d && s.at < e && s.upgrading_pod != Some(4))
+        .map(|s| s.at);
+    if let Some(t) = quiet_after_d {
+        let fractions = result.pod_fractions_at(4, t);
+        assert!(!fractions.is_empty());
+        for fr in fractions {
+            assert!(
+                (fr - 0.75).abs() < 1e-6 || (fr - 0.5).abs() < 1e-6,
+                "pod-4 pair at {fr} at {t}"
+            );
+        }
+    }
+
+    // 6. Greedy app + strict checker: rejections must have happened (the
+    //    app "continues to write a PS ... until it gets rejected").
+    assert!(result.rejected > 0);
+    // At least 40 accepted firmware rows (one per Agg), possibly plus the
+    //    mitigation's link shutdown.
+    assert!(result.accepted >= 40, "accepted {}", result.accepted);
+
+    // 7. Healthy-pod steady state between upgrades is full capacity.
+    let last = result.samples.last().unwrap();
+    for (i, fr) in last.fractions.iter().enumerate() {
+        let (sp, dp) = result.pair_pods[i];
+        if sp != 4 && dp != 4 {
+            assert!(*fr >= 0.999, "pair {i} (pods {sp}->{dp}) ended at {fr}");
+        } else {
+            // Pod-4 pairs keep the 75% plateau: the faulty link stays
+            // shut pending out-of-band repair.
+            assert!(*fr >= 0.75 - 1e-9);
+        }
+    }
+
+    let _ = SimTime::ZERO;
+}

@@ -1,0 +1,211 @@
+//! The thesis test: four loosely coupled applications — switch-upgrade,
+//! failure-mitigation, inter-DC TE, and the energy saver — run
+//! simultaneously on a two-DC + WAN deployment for a long stretch of
+//! simulated time, never talking to each other, each greedy about its own
+//! objective. Statesman alone keeps the network safe.
+//!
+//! Asserted every tick (against simulator ground truth, not the OS):
+//!
+//! * no pod's ToRs are ever disconnected from the core tier;
+//! * every DC pair always keeps at least one usable WAN link;
+//! * the per-pod capacity floor (≥ 2 of 4 fabric Aggs implied by the 50%
+//!   invariant; here tiny pods with 2 Aggs keep ≥ 1) holds.
+//!
+//! Asserted at the end:
+//!
+//! * the upgrade finished its target list;
+//! * the flaky link was shut and ticketed;
+//! * TE demand is delivered;
+//! * each application made progress (no starvation).
+
+use statesman_apps::{
+    upgrade::agg_pods_of, EnergyConfig, EnergySaverApp, FailureMitigationApp,
+    InterDcTeApp, ManagementApp, MitigationConfig, SwitchUpgradeApp, TeConfig, TrafficDemand,
+    UpgradeConfig, UpgradePlan,
+};
+use statesman_core::{Coordinator, CoordinatorConfig, StatesmanClient};
+use statesman_net::{FaultEvent, SimClock, SimConfig, SimNetwork};
+use statesman_storage::{StorageConfig, StorageService};
+use statesman_topology::{graph::connected, DcnSpec, DeploymentSpec, HealthView, WanSpec};
+use statesman_types::{
+    DatacenterId, DeviceName, DeviceRole, LinkName, SimDuration, SimTime,
+};
+
+fn ground_truth_health(net: &SimNetwork) -> HealthView {
+    let mut h = HealthView::all_up();
+    for d in net.device_names() {
+        if !net.device_operational(&d) {
+            h.set_device_down(d);
+        }
+    }
+    for l in net.link_names() {
+        if !net.link_oper_up(&l) {
+            h.set_link_down(l);
+        }
+    }
+    h
+}
+
+#[test]
+fn four_applications_coexist_safely() {
+    let clock = SimClock::new();
+    let dep = DeploymentSpec {
+        dcns: vec![DcnSpec::tiny("dc1"), DcnSpec::tiny("dc2")],
+        wan: Some(WanSpec {
+            dc_names: vec!["dc1".into(), "dc2".into()],
+            border_routers_per_dc: 2,
+            wan_link_mbps: 100_000.0,
+        }),
+        br_core_mbps: 100_000.0,
+    };
+    let graph = dep.build();
+
+    let flaky = LinkName::between("dc1.tor-2-1", "dc1.agg-2-1");
+    let mut sim_cfg = SimConfig::ideal();
+    sim_cfg.faults.command_latency_ms = 1_000;
+    sim_cfg.faults.reboot_window_ms = 4 * 60_000;
+    sim_cfg.faults = sim_cfg.faults.with_event(
+        SimTime::from_mins(30),
+        FaultEvent::SetFcsErrorRate {
+            link: flaky.clone(),
+            rate: 0.05,
+        },
+    );
+    let net = SimNetwork::new(&graph, clock.clone(), sim_cfg);
+    let storage = StorageService::new(
+        [DatacenterId::new("dc1"), DatacenterId::new("dc2")],
+        clock.clone(),
+        StorageConfig::default(),
+    );
+    let statesman = Coordinator::new(
+        &graph,
+        net.clone(),
+        storage.clone(),
+        CoordinatorConfig::default(),
+    );
+
+    // --- the four applications, each with its own client identity ---
+    let mut upgrade = SwitchUpgradeApp::new(
+        StatesmanClient::new("switch-upgrade", storage.clone(), clock.clone()),
+        UpgradeConfig {
+            target_version: "8.1".into(),
+            plan: UpgradePlan::PodByPod {
+                datacenter: DatacenterId::new("dc1"),
+                pods: agg_pods_of(&graph, &DatacenterId::new("dc1")),
+            },
+        },
+    );
+    let mut mitigation = FailureMitigationApp::new(
+        StatesmanClient::new("failure-mitigation", storage.clone(), clock.clone()),
+        MitigationConfig {
+            datacenters: vec![DatacenterId::new("dc1"), DatacenterId::new("dc2")],
+            fcs_threshold: 0.01,
+            persistence: 2,
+        },
+    );
+    let wan_spec = WanSpec {
+        dc_names: vec!["dc1".into(), "dc2".into()],
+        border_routers_per_dc: 2,
+        wan_link_mbps: 100_000.0,
+    };
+    let mut te = InterDcTeApp::new(
+        StatesmanClient::new("inter-dc-te", storage.clone(), clock.clone()),
+        TeConfig::from_wan_spec(
+            &wan_spec,
+            vec![
+                TrafficDemand::new("dc1", "dc2", 40_000.0),
+                TrafficDemand::new("dc2", "dc1", 40_000.0),
+            ],
+        ),
+    );
+    // Energy saver works dc2 (upgrade works dc1) so both power apps run.
+    let mut energy = EnergySaverApp::new(
+        StatesmanClient::new("energy-saver", storage.clone(), clock.clone()),
+        EnergyConfig {
+            datacenter: DatacenterId::new("dc2"),
+            pods: agg_pods_of(&graph, &DatacenterId::new("dc2")),
+            sleep_below_utilization: 0.1,
+            wake_above_utilization: 0.6,
+            persistence: 2,
+        },
+    );
+    // --- run 40 rounds of 5 minutes = 200 simulated minutes ---
+    let mut energy_slept = false;
+    for round in 0..40 {
+        upgrade.step().unwrap();
+        mitigation.step().unwrap();
+        te.step().unwrap();
+        energy.step().unwrap();
+        statesman
+            .tick_and_advance(SimDuration::from_millis(1))
+            .unwrap();
+        net.offer_flows(te.flow_specs());
+        net.step(SimDuration::from_mins(5));
+
+        if !energy.sleeping().is_empty() {
+            energy_slept = true;
+        }
+
+        // ---- per-tick ground-truth safety ----
+        let h = ground_truth_health(&net);
+        // 1. No up-ToR disconnected from its cores.
+        for (id, info) in graph.nodes() {
+            if info.role == DeviceRole::ToR && h.device_up(&info.name) {
+                let core_name = DeviceName::new(format!("{}.core-1", info.datacenter));
+                let core = graph.node_id(&core_name).unwrap();
+                // Either core may be down briefly? Cores are never touched
+                // by these apps, so core-1 is always up.
+                assert!(
+                    connected(&graph, &h, id, core),
+                    "round {round}: {} disconnected",
+                    info.name
+                );
+            }
+        }
+        // 2. Every DC pair keeps a usable WAN link.
+        let usable_wan = graph
+            .edges()
+            .filter(|(_, e)| e.datacenter.is_wan() && h.link_usable(&e.name))
+            .count();
+        assert!(usable_wan >= 1, "round {round}: WAN severed");
+        // 3. Per-pod floor: at least 1 of 2 Aggs up in every tiny pod.
+        for dc in ["dc1", "dc2"] {
+            let dcid = DatacenterId::new(dc);
+            for pod in graph.pods_in(&dcid) {
+                let up_aggs = graph
+                    .devices_in_pod(&dcid, pod)
+                    .into_iter()
+                    .filter(|&id| {
+                        graph.node(id).role == DeviceRole::Agg && h.device_up(&graph.node(id).name)
+                    })
+                    .count();
+                assert!(up_aggs >= 1, "round {round}: pod {dc}/{pod} lost all Aggs");
+            }
+        }
+    }
+
+    // ---- end-state progress: nobody starved ----
+    assert!(
+        upgrade.is_done(),
+        "upgrade finished: {:?}",
+        upgrade.status()
+    );
+    for pod in 1..=2 {
+        for a in 1..=2 {
+            let name = DeviceName::new(format!("dc1.agg-{pod}-{a}"));
+            assert_eq!(
+                net.device_snapshot(&name).unwrap().observed_firmware(),
+                "8.1",
+                "{name}"
+            );
+        }
+    }
+    assert_eq!(mitigation.tickets().len(), 1, "flaky link ticketed");
+    assert!(!net.link_oper_up(&flaky), "flaky link shut");
+    assert!(energy_slept, "energy saver made progress in dc2");
+    let report = net.traffic_report();
+    assert!(
+        report.delivered_mbps > 79_000.0,
+        "TE delivers the demand: {report:?}"
+    );
+}

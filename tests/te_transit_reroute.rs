@@ -1,0 +1,98 @@
+//! SWAN-style multipath: when a WAN link physically dies, the TE
+//! application observes the oper-down in the OS and reroutes the affected
+//! demand over a transit router of the same plane — no human, no app-to-app
+//! coordination, just the OS→compute→PS loop.
+
+use statesman_apps::{InterDcTeApp, ManagementApp, TeConfig, TrafficDemand};
+use statesman_core::{Coordinator, CoordinatorConfig, StatesmanClient};
+use statesman_net::{FaultEvent, SimClock, SimConfig, SimNetwork};
+use statesman_storage::{StorageConfig, StorageService};
+use statesman_topology::WanSpec;
+use statesman_types::{DatacenterId, DeviceName, LinkName, SimDuration, SimTime};
+
+#[test]
+fn te_reroutes_around_a_dead_wan_link() {
+    let clock = SimClock::new();
+    let wan = WanSpec::fig9();
+    let graph = wan.build();
+    let dead_link = LinkName::between("br-1", "br-3"); // dc1–dc2 plane 0
+
+    let mut sim_cfg = SimConfig::ideal();
+    sim_cfg.faults.command_latency_ms = 1_000;
+    sim_cfg.faults = sim_cfg.faults.with_event(
+        SimTime::from_mins(20),
+        FaultEvent::SetPhysicalLinkState {
+            link: dead_link.clone(),
+            cut: true,
+        },
+    );
+    let net = SimNetwork::new(&graph, clock.clone(), sim_cfg);
+    let storage = StorageService::new(
+        wan.dc_names.iter().map(DatacenterId::new),
+        clock.clone(),
+        StorageConfig::default(),
+    );
+    let statesman = Coordinator::new(
+        &graph,
+        net.clone(),
+        storage.clone(),
+        CoordinatorConfig::default(),
+    );
+    let mut te = InterDcTeApp::new(
+        StatesmanClient::new("inter-dc-te", storage, clock.clone()),
+        TeConfig::from_wan_spec(&wan, vec![TrafficDemand::new("dc1", "dc2", 30_000.0)]),
+    );
+
+    let round = |te: &mut InterDcTeApp| {
+        te.step().unwrap();
+        statesman
+            .tick_and_advance(SimDuration::from_millis(1))
+            .unwrap();
+        net.offer_flows(te.flow_specs());
+        net.step(SimDuration::from_mins(5));
+    };
+
+    // Steady state: demand split over both planes; plane 0 uses the
+    // direct br-1~br-3 link.
+    for _ in 0..3 {
+        round(&mut te);
+    }
+    let direct = net.link_snapshot(&dead_link).unwrap();
+    assert!(
+        direct.load_ab_mbps + direct.load_ba_mbps > 14_000.0,
+        "direct plane-0 link carries its half"
+    );
+
+    // The link dies at minute 20 (already passed); TE sees the oper-down
+    // in the OS and reroutes plane 0 via a transit router.
+    let mut transit_seen = false;
+    for _ in 0..3 {
+        te.step().unwrap();
+        statesman
+            .tick_and_advance(SimDuration::from_millis(1))
+            .unwrap();
+        net.offer_flows(te.flow_specs());
+        net.step(SimDuration::from_mins(5));
+        transit_seen = true; // notes checked below via delivery
+    }
+    assert!(transit_seen);
+
+    let report = net.traffic_report();
+    assert!(
+        (report.delivered_mbps - 30_000.0).abs() < 1.0,
+        "full demand delivered despite the dead link: {report:?}"
+    );
+    // Plane 0's share now transits br-5 or br-7 (same-plane detour).
+    let transit_load: f64 = [("br-1", "br-5"), ("br-1", "br-7")]
+        .iter()
+        .map(|(a, b)| {
+            let l = net.link_snapshot(&LinkName::between(*a, *b)).unwrap();
+            l.load_ab_mbps + l.load_ba_mbps
+        })
+        .sum();
+    assert!(
+        transit_load > 14_000.0,
+        "plane-0 demand must detour via a transit router, got {transit_load}"
+    );
+    let _ = DeviceName::new("br-5");
+}

@@ -1,0 +1,123 @@
+//! Ablation: the §6.2 stateless-updater design under injected failures.
+//!
+//! "When any failure happens in one run of update, the state changes
+//! resulted by the failure reflect as a changed OS ... In the next run,
+//! the updater picks up the new OS which already includes the failure's
+//! impact ... the updater always brings the latest OS towards the TS, no
+//! matter what failures have happened in the process."
+//!
+//! We inject heavy command failures (30% reject + 20% timeout) and show
+//! that the rediff-every-round updater still converges the network to the
+//! target state — and contrast it with a deliberately *wrong* fire-once
+//! updater that stops after its first attempt and never converges.
+
+use statesman_core::{Monitor, Updater};
+use statesman_net::{SimClock, SimConfig, SimNetwork};
+use statesman_storage::{StorageConfig, StorageService, WriteRequest};
+use statesman_topology::DcnSpec;
+use statesman_types::{
+    AppId, Attribute, DatacenterId, DeviceName, EntityName, NetworkState, Pool, SimDuration, Value,
+};
+
+fn setup(seed: u64) -> (SimNetwork, StorageService, statesman_topology::NetworkGraph) {
+    let clock = SimClock::new();
+    let graph = DcnSpec::tiny("dc1").build();
+    let mut cfg = SimConfig::ideal();
+    cfg.seed = seed;
+    cfg.faults.command_latency_ms = 500;
+    cfg.faults.command_failure_prob = 0.3;
+    cfg.faults.command_timeout_prob = 0.2;
+    let net = SimNetwork::new(&graph, clock.clone(), cfg);
+    let storage = StorageService::new(
+        [DatacenterId::new("dc1")],
+        clock.clone(),
+        StorageConfig::default(),
+    );
+    (net, storage, graph)
+}
+
+/// The target: a new boot image on every device (40 changes; with 50%
+/// failure odds, one round cannot land them all).
+fn write_targets(storage: &StorageService, graph: &statesman_topology::NetworkGraph) -> usize {
+    let rows: Vec<NetworkState> = graph
+        .nodes()
+        .map(|(_, n)| {
+            NetworkState::new(
+                EntityName::device(n.datacenter.clone(), n.name.clone()),
+                Attribute::DeviceBootImage,
+                Value::text("golden-image"),
+                statesman_types::SimTime::ZERO,
+                AppId::new("config-app"),
+            )
+        })
+        .collect();
+    let n = rows.len();
+    storage
+        .write(WriteRequest {
+            pool: Pool::Target,
+            rows,
+        })
+        .unwrap();
+    n
+}
+
+fn converged(net: &SimNetwork) -> bool {
+    net.device_names()
+        .iter()
+        .all(|d| net.device_snapshot(d).unwrap().boot_image == "golden-image")
+}
+
+#[test]
+fn stateless_updater_converges_under_failures() {
+    let (net, storage, graph) = setup(99);
+    let monitor = Monitor::new(net.clone(), storage.clone(), graph.clone());
+    let updater = Updater::new(net.clone(), storage.clone(), graph.clone());
+    monitor.run_round().unwrap();
+    let n_targets = write_targets(&storage, &graph);
+
+    let mut rounds = 0;
+    let mut total_failures = 0;
+    while !converged(&net) {
+        rounds += 1;
+        assert!(rounds <= 30, "did not converge in 30 rounds");
+        let r = updater.run_round().unwrap();
+        total_failures += r.commands_failed;
+        net.step(SimDuration::from_mins(1));
+        monitor.run_round().unwrap();
+    }
+    assert!(rounds > 1, "failure injection must force retries");
+    assert!(total_failures > 0, "failures must actually have occurred");
+    println!(
+        "converged {n_targets} devices after {rounds} rounds, {total_failures} failed commands"
+    );
+
+    // Once converged, the updater goes quiescent.
+    let r = updater.run_round().unwrap();
+    assert_eq!(r.diffs, 0);
+}
+
+#[test]
+fn fire_once_updater_does_not_converge() {
+    // The wrong design: issue each command once, remember "done", never
+    // rediff. Under the same failure injection it strands devices.
+    let (net, storage, graph) = setup(99);
+    let monitor = Monitor::new(net.clone(), storage.clone(), graph.clone());
+    let updater = Updater::new(net.clone(), storage.clone(), graph.clone());
+    monitor.run_round().unwrap();
+    write_targets(&storage, &graph);
+
+    // One shot only (the "stateful" updater treats issuance as success).
+    let r = updater.run_round().unwrap();
+    assert!(r.commands_failed > 0, "seed must produce failures");
+    net.step(SimDuration::from_mins(5));
+
+    let stranded: Vec<DeviceName> = net
+        .device_names()
+        .into_iter()
+        .filter(|d| net.device_snapshot(d).unwrap().boot_image != "golden-image")
+        .collect();
+    assert!(
+        !stranded.is_empty(),
+        "fire-once updating must strand devices under failures"
+    );
+}
