@@ -164,7 +164,11 @@ impl InterDcTeApp {
         let s = graph.node_id(src)?;
         let t = graph.node_id(dst)?;
         let path = statesman_topology::paths::shortest_path(graph, health, s, t)?;
-        Some(path.into_iter().map(|id| graph.node(id).name.clone()).collect())
+        Some(
+            path.into_iter()
+                .map(|id| graph.node(id).name.clone())
+                .collect(),
+        )
     }
 }
 
@@ -199,8 +203,9 @@ impl ManagementApp for InterDcTeApp {
         let mut flows = Vec::new();
         let planes = self.config.planes();
         for d in &self.config.demands.clone() {
-            let plane_paths: Vec<Option<Vec<DeviceName>>> =
-                (0..planes).map(|p| self.plane_path(&health, d, p)).collect();
+            let plane_paths: Vec<Option<Vec<DeviceName>>> = (0..planes)
+                .map(|p| self.plane_path(&health, d, p))
+                .collect();
             let available = plane_paths.iter().filter(|p| p.is_some()).count();
             if available == 0 {
                 report.note(format!(

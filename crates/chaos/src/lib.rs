@@ -1,0 +1,490 @@
+//! Composable chaos harness for the Statesman control loop.
+//!
+//! A [`ChaosPlan`] composes faults across every layer the service touches —
+//! device crashes and management-plane outages (network layer), storage
+//! partition outages (storage layer), probabilistic command failures and
+//! link flapping (device layer), and an application blackout window
+//! (client layer) — all derived deterministically from a single seed.
+//!
+//! [`ChaosScenario`] drives a full Statesman instance (monitor → checkers →
+//! updater via [`Coordinator`]) against that plan while a management
+//! application keeps proposing changes, and checks the two properties the
+//! paper's design is supposed to buy:
+//!
+//! - **Safety**: at every sampled instant of *ground truth* (not the
+//!   possibly-stale observed state), every pod retains at least one
+//!   operational aggregation switch. The checker may only ever take down
+//!   capacity the invariants allow, no matter which faults fire or how
+//!   stale the OS pools get.
+//! - **Liveness**: once the last fault heals, the network converges to the
+//!   application's target state within a bounded number of rounds, and the
+//!   updater goes quiescent (`diffs == 0`).
+//!
+//! The scenario deliberately splits intent from chaos: the app upgrades
+//! firmware on the pod-1 aggs (which chaos never crashes, so any pod-1
+//! capacity loss beyond one agg is the checker's fault) and retargets the
+//! boot image on `agg-2-1` (which chaos *does* crash, exercising the
+//! quarantine-rejection path end to end).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use statesman_core::{Coordinator, CoordinatorConfig, StatesmanClient};
+use statesman_net::{FaultPlan, SimClock, SimConfig, SimNetwork};
+use statesman_storage::{StorageConfig, StorageService};
+use statesman_topology::DcnSpec;
+use statesman_types::{
+    Attribute, DatacenterId, DeviceName, EntityName, RetryPolicy, SimDuration, SimTime, Value,
+};
+
+/// A seeded composition of faults across the network, storage, and
+/// application layers. All windows are absolute simulated times.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Seed for the simulator RNG (command failure rolls, link flaps).
+    pub seed: u64,
+    /// Hard crashes: `(device, at, down)` — restored at `at + down`.
+    pub device_outages: Vec<(DeviceName, SimTime, SimDuration)>,
+    /// Management-plane-only outages: the device keeps forwarding but
+    /// polls fail and commands time out.
+    pub mgmt_outages: Vec<(DeviceName, SimTime, SimDuration)>,
+    /// Storage partition outages: `(dc, at, down)` — the partition's reads
+    /// and writes fail inside the window.
+    pub partition_outages: Vec<(DatacenterId, SimTime, SimDuration)>,
+    /// Application blackout: the proposing app is down in this window and
+    /// neither proposes nor drains receipts (crash/restart).
+    pub app_blackout: Option<(SimTime, SimDuration)>,
+    /// Probability each device command is rejected outright.
+    pub command_failure_prob: f64,
+    /// Probability each device command times out.
+    pub command_timeout_prob: f64,
+    /// Per-minute probability each link starts flapping.
+    pub link_flap_prob_per_min: f64,
+    /// How long a flap keeps the link down.
+    pub link_flap_duration: SimDuration,
+}
+
+impl ChaosPlan {
+    /// A fault-free plan: the scenario reduces to a plain convergence run.
+    pub fn quiet(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            device_outages: Vec::new(),
+            mgmt_outages: Vec::new(),
+            partition_outages: Vec::new(),
+            app_blackout: None,
+            command_failure_prob: 0.0,
+            command_timeout_prob: 0.0,
+            link_flap_prob_per_min: 0.0,
+            link_flap_duration: SimDuration::ZERO,
+        }
+    }
+
+    /// The standard multi-layer plan, derived deterministically from
+    /// `seed`: crash `agg-2-1`, black out `tor-2-1`'s management plane,
+    /// take the `dc1` storage partition down, restart the app, and run
+    /// lossy/flappy device interactions throughout.
+    pub fn standard(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A05);
+        let minute = |m: u64| SimTime::from_secs(60 * m);
+        let crash_at = minute(rng.gen_range(4..7u64));
+        let crash_down = SimDuration::from_mins(rng.gen_range(6..10u64));
+        let mgmt_at = minute(rng.gen_range(2..5u64));
+        let part_at = minute(rng.gen_range(8..11u64));
+        let app_at = minute(rng.gen_range(3..6u64));
+        ChaosPlan {
+            seed,
+            device_outages: vec![(DeviceName::new("agg-2-1"), crash_at, crash_down)],
+            mgmt_outages: vec![(
+                DeviceName::new("tor-2-1"),
+                mgmt_at,
+                SimDuration::from_mins(3),
+            )],
+            partition_outages: vec![(DatacenterId::new("dc1"), part_at, SimDuration::from_mins(2))],
+            app_blackout: Some((app_at, SimDuration::from_mins(3))),
+            command_failure_prob: 0.1,
+            command_timeout_prob: 0.1,
+            link_flap_prob_per_min: 0.01,
+            link_flap_duration: SimDuration::from_secs(45),
+        }
+    }
+
+    /// Install the network-layer slice of this plan into a [`FaultPlan`].
+    /// (Partition outages and the app blackout live above the simulator
+    /// and are driven by [`ChaosScenario::run`].)
+    pub fn install(&self, mut faults: FaultPlan) -> FaultPlan {
+        faults.command_failure_prob = self.command_failure_prob;
+        faults.command_timeout_prob = self.command_timeout_prob;
+        if self.link_flap_prob_per_min > 0.0 {
+            faults =
+                faults.with_link_flapping(self.link_flap_prob_per_min, self.link_flap_duration);
+        }
+        for (d, at, down) in &self.device_outages {
+            faults = faults.with_device_outage(d, *at, *down);
+        }
+        for (d, at, down) in &self.mgmt_outages {
+            faults = faults.with_mgmt_outage(d, *at, *down);
+        }
+        faults
+    }
+
+    /// The instant the last scheduled (non-probabilistic) fault heals.
+    pub fn last_heal(&self) -> SimTime {
+        let mut heal = SimTime::ZERO;
+        for (_, at, down) in &self.device_outages {
+            heal = heal.max(*at + *down);
+        }
+        for (_, at, down) in &self.mgmt_outages {
+            heal = heal.max(*at + *down);
+        }
+        for (_, at, down) in &self.partition_outages {
+            heal = heal.max(*at + *down);
+        }
+        if let Some((at, down)) = self.app_blackout {
+            heal = heal.max(at + down);
+        }
+        heal
+    }
+}
+
+/// What a scenario run observed. `PartialEq` so determinism can be
+/// asserted by comparing two whole runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Rounds actually driven.
+    pub rounds_run: usize,
+    /// First round index at which the target state was realized on the
+    /// ground truth AND the updater was quiescent; `None` = never.
+    pub converged_at: Option<usize>,
+    /// Ground-truth invariant violations, one message per (round, pod)
+    /// where a pod lost all aggregation switches. Must stay empty.
+    pub safety_violations: Vec<String>,
+    /// Rounds that ran in degraded mode (storage partition down).
+    pub degraded_rounds: usize,
+    /// Peak simultaneous quarantined devices seen in any round.
+    pub max_quarantined: usize,
+    /// Proposal rows rejected because they touched a quarantined device.
+    pub quarantine_rejections: usize,
+    /// Device commands that failed (after any in-round retries).
+    pub commands_failed: usize,
+    /// In-round updater retries performed.
+    pub updater_retries: usize,
+    /// Circuit breakers opened.
+    pub breakers_opened: usize,
+    /// Storage-layer submit retries (cumulative at end of run).
+    pub storage_retries: u64,
+    /// Coordinator ticks that returned an error (must stay 0: faults are
+    /// supposed to degrade rounds, not abort them).
+    pub tick_errors: usize,
+}
+
+/// Drives a full Statesman instance on the tiny 2-pod DCN against a
+/// [`ChaosPlan`] while an application pursues a fixed intent.
+#[derive(Debug, Clone)]
+pub struct ChaosScenario {
+    /// The fault composition to run under.
+    pub plan: ChaosPlan,
+    /// Maximum rounds to drive.
+    pub rounds: usize,
+    /// Simulated time advanced per round.
+    pub step: SimDuration,
+    /// When the application starts pursuing its intent. Deliberately
+    /// inside the fault windows, so the upgrade campaign has to run
+    /// *through* the chaos rather than finishing before it starts.
+    pub intent_at: SimTime,
+    /// Print a one-line summary per round (for debugging chaos runs).
+    pub verbose: bool,
+}
+
+impl ChaosScenario {
+    /// The standard scenario: 30 one-minute rounds under
+    /// [`ChaosPlan::standard`].
+    pub fn standard(seed: u64) -> Self {
+        ChaosScenario {
+            plan: ChaosPlan::standard(seed),
+            rounds: 30,
+            step: SimDuration::from_mins(1),
+            intent_at: SimTime::from_secs(3 * 60),
+            verbose: false,
+        }
+    }
+
+    /// Run the scenario to completion and report what happened. Does not
+    /// assert anything itself — tests decide which outcome fields matter.
+    pub fn run(&self) -> ScenarioOutcome {
+        let clock = SimClock::new();
+        let graph = DcnSpec::tiny("dc1").build();
+        let mut cfg = SimConfig::ideal();
+        cfg.seed = self.plan.seed;
+        cfg.faults.command_latency_ms = 200;
+        cfg.faults.reboot_window_ms = 90_000;
+        cfg.faults = self.plan.install(cfg.faults);
+        let net = SimNetwork::new(&graph, clock.clone(), cfg);
+        let storage = StorageService::new(
+            [DatacenterId::new("dc1")],
+            clock.clone(),
+            StorageConfig::default(),
+        );
+        let coordinator = Coordinator::new(
+            &graph,
+            net.clone(),
+            storage.clone(),
+            CoordinatorConfig {
+                quarantine_cooldown: Some(SimDuration::from_mins(2)),
+                updater_retry: Some(RetryPolicy {
+                    max_attempts: 2,
+                    base_backoff: SimDuration::from_secs(1),
+                    max_backoff: SimDuration::from_secs(4),
+                    jitter_frac: 0.5,
+                }),
+                updater_breaker: Some((3, SimDuration::from_mins(3))),
+                ..CoordinatorConfig::default()
+            },
+        );
+        let app = StatesmanClient::new("chaos-app", storage.clone(), clock.clone());
+
+        // The intent. Firmware upgrades (reboot ~90s each) land on pod-1
+        // aggs only, so pod-1 capacity is entirely in the checker's hands;
+        // the boot-image retarget lands on the agg chaos crashes, so its
+        // proposals must ride out quarantine rejections until the device
+        // heals and is re-probed.
+        let firmware_targets = [DeviceName::new("agg-1-1"), DeviceName::new("agg-1-2")];
+        let boot_targets = [DeviceName::new("agg-2-1")];
+        let dc = DatacenterId::new("dc1");
+
+        let mut outcome = ScenarioOutcome {
+            rounds_run: 0,
+            converged_at: None,
+            safety_violations: Vec::new(),
+            degraded_rounds: 0,
+            max_quarantined: 0,
+            quarantine_rejections: 0,
+            commands_failed: 0,
+            updater_retries: 0,
+            breakers_opened: 0,
+            storage_retries: 0,
+            tick_errors: 0,
+        };
+
+        let fw_done = |net: &SimNetwork, d: &DeviceName| {
+            net.device_snapshot(d)
+                .map(|s| s.firmware == "7.0")
+                .unwrap_or(false)
+        };
+        let boot_done = |net: &SimNetwork, d: &DeviceName| {
+            net.device_snapshot(d)
+                .map(|s| s.boot_image == "golden")
+                .unwrap_or(false)
+        };
+
+        for round in 0..self.rounds {
+            outcome.rounds_run = round + 1;
+            let now = clock.now();
+
+            // Storage-layer faults: toggle partition availability per the
+            // schedule (the storage service has no scheduler of its own).
+            for (part, at, down) in &self.plan.partition_outages {
+                storage.set_partition_available(part, !(now >= *at && now < *at + *down));
+            }
+
+            // Application layer: while alive, drain receipts and re-propose
+            // every not-yet-realized target. Proposals may fail while the
+            // partition is down — the app just tries again next round.
+            let app_alive = match self.plan.app_blackout {
+                Some((at, down)) => !(now >= at && now < at + down),
+                None => true,
+            };
+            if app_alive && now >= self.intent_at {
+                let _ = app.take_receipts();
+                let mut wanted = Vec::new();
+                for d in &firmware_targets {
+                    if !fw_done(&net, d) {
+                        wanted.push((
+                            EntityName::device(dc.clone(), d.clone()),
+                            Attribute::DeviceFirmwareVersion,
+                            Value::text("7.0"),
+                        ));
+                    }
+                }
+                for d in &boot_targets {
+                    if !boot_done(&net, d) {
+                        wanted.push((
+                            EntityName::device(dc.clone(), d.clone()),
+                            Attribute::DeviceBootImage,
+                            Value::text("golden"),
+                        ));
+                    }
+                }
+                if !wanted.is_empty() {
+                    let _ = app.propose(wanted);
+                }
+            }
+
+            // One control-loop round, then advance the world.
+            match coordinator.tick_and_advance(self.step) {
+                Ok(report) => {
+                    if self.verbose {
+                        println!(
+                            "round {round}: accepted={} rejected={} q_rej={} diffs={} \
+                             applied={} failed={} retries={} quarantined={} degraded={:?} \
+                             unreachable={}",
+                            report.accepted(),
+                            report.rejected(),
+                            report.quarantine_rejected(),
+                            report.updater.diffs,
+                            report.updater.commands_applied,
+                            report.updater.commands_failed,
+                            report.updater.retries,
+                            report.devices_quarantined(),
+                            report.skipped_groups,
+                            report.monitor.devices_unreachable,
+                        );
+                    }
+                    if report.degraded() {
+                        outcome.degraded_rounds += 1;
+                    }
+                    outcome.max_quarantined =
+                        outcome.max_quarantined.max(report.devices_quarantined());
+                    outcome.quarantine_rejections += report.quarantine_rejected();
+                    let (failed, retries, _skips, opened) = report.command_fault_counters();
+                    outcome.commands_failed += failed;
+                    outcome.updater_retries += retries;
+                    outcome.breakers_opened += opened;
+                    outcome.storage_retries = report.storage_retries;
+
+                    // Liveness sample: target realized on ground truth and
+                    // the updater has nothing left to do.
+                    if outcome.converged_at.is_none()
+                        && report.updater.diffs == 0
+                        && firmware_targets.iter().all(|d| fw_done(&net, d))
+                        && boot_targets.iter().all(|d| boot_done(&net, d))
+                    {
+                        outcome.converged_at = Some(round);
+                    }
+                }
+                Err(_) => outcome.tick_errors += 1,
+            }
+
+            // Safety sample on ground truth, after the world advanced: no
+            // pod may ever lose both its aggregation switches. Chaos only
+            // crashes one agg (in pod 2) and the checker's invariants must
+            // serialize the pod-1 firmware reboots, so a violation means
+            // the control loop took down capacity it shouldn't have.
+            for pod in 1..=2u32 {
+                let up = (1..=2u32)
+                    .filter(|agg| {
+                        net.device_operational(&DeviceName::new(format!("agg-{pod}-{agg}")))
+                    })
+                    .count();
+                if up == 0 {
+                    outcome.safety_violations.push(format!(
+                        "round {round}: pod {pod} lost all aggregation switches at {:?}",
+                        clock.now()
+                    ));
+                }
+            }
+        }
+
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline chaos property, across five fixed seeds: zero
+    /// ground-truth invariant violations, zero aborted rounds, and bounded
+    /// convergence after the last fault heals.
+    #[test]
+    fn standard_chaos_is_safe_and_live_across_seeds() {
+        for seed in 1..=5u64 {
+            let scenario = ChaosScenario::standard(seed);
+            let heal = scenario.plan.last_heal();
+            let outcome = scenario.run();
+            assert!(
+                outcome.safety_violations.is_empty(),
+                "seed {seed}: safety violated: {:?}",
+                outcome.safety_violations
+            );
+            assert_eq!(outcome.tick_errors, 0, "seed {seed}: rounds aborted");
+            let converged = outcome
+                .converged_at
+                .unwrap_or_else(|| panic!("seed {seed}: never converged: {outcome:?}"));
+            // Bounded liveness: the heal instant plus quarantine cooldown
+            // and a few working rounds, all inside the 30-round budget.
+            let heal_round = (heal.as_millis() / scenario.step.as_millis()) as usize;
+            assert!(
+                converged <= heal_round + 12,
+                "seed {seed}: converged at round {converged}, too long after heal round {heal_round}"
+            );
+            // The plan must actually have bitten: a quarantine formed and
+            // the partition outage degraded at least one round.
+            assert!(outcome.max_quarantined >= 1, "seed {seed}: no quarantine");
+            assert!(
+                outcome.degraded_rounds >= 1,
+                "seed {seed}: no degraded round"
+            );
+            println!(
+                "seed {seed}: converged at round {converged} (heal round {heal_round}), \
+                 degraded={}, max_quarantined={}, quarantine_rejections={}, \
+                 failed={}, retries={}, breakers={}, storage_retries={}",
+                outcome.degraded_rounds,
+                outcome.max_quarantined,
+                outcome.quarantine_rejections,
+                outcome.commands_failed,
+                outcome.updater_retries,
+                outcome.breakers_opened,
+                outcome.storage_retries
+            );
+        }
+    }
+
+    /// Same seed → bit-identical outcome, twice over. Chaos runs must be
+    /// replayable or failures can't be debugged.
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let a = ChaosScenario::standard(3).run();
+        let b = ChaosScenario::standard(3).run();
+        assert_eq!(a, b);
+    }
+
+    /// The quarantine-rejection path fires end to end: the app keeps
+    /// proposing a boot image for the crashed agg, and while that device
+    /// is quarantined the checker must turn those proposals away rather
+    /// than act on stale observed state.
+    #[test]
+    fn quarantine_shields_proposals_against_crashed_devices() {
+        let outcome = ChaosScenario::standard(2).run();
+        assert!(
+            outcome.quarantine_rejections >= 1,
+            "expected quarantine rejections: {outcome:?}"
+        );
+    }
+
+    /// A fault-free plan converges quickly with no failed commands, no
+    /// degraded rounds, and no breakers — the harness itself adds no
+    /// faults. (The quarantine *does* briefly engage even here: a firmware
+    /// upgrade's own reboot window makes the device legitimately
+    /// unreachable for a poll or two, which is exactly the conservative
+    /// behavior we want around rebooting devices.)
+    #[test]
+    fn quiet_plan_converges_without_degradation() {
+        let scenario = ChaosScenario {
+            plan: ChaosPlan::quiet(7),
+            rounds: 15,
+            step: SimDuration::from_mins(1),
+            intent_at: SimTime::ZERO,
+            verbose: false,
+        };
+        let outcome = scenario.run();
+        assert!(outcome.safety_violations.is_empty());
+        assert!(
+            outcome.converged_at.is_some(),
+            "quiet run never converged: {outcome:?}"
+        );
+        assert_eq!(outcome.degraded_rounds, 0);
+        assert_eq!(outcome.commands_failed, 0);
+        assert_eq!(outcome.breakers_opened, 0);
+        assert_eq!(outcome.storage_retries, 0);
+        assert_eq!(outcome.tick_errors, 0);
+    }
+}

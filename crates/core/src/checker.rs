@@ -33,10 +33,10 @@ use crate::view::{project_health, MapView, OverlayView, StateView};
 use statesman_storage::{ReadRequest, StorageService, WriteRequest};
 use statesman_topology::NetworkGraph;
 use statesman_types::{
-    AppId, DatacenterId, Freshness, NetworkState, Pool, SimTime, StateKey, StateResult, Value,
-    WriteOutcome, WriteReceipt,
+    AppId, DatacenterId, DeviceName, Freshness, NetworkState, Pool, SimTime, StateKey, StateResult,
+    Value, WriteOutcome, WriteReceipt,
 };
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::time::{Duration, Instant};
 
 /// How same-key conflicts between applications are resolved (§4.2: "one
@@ -74,6 +74,9 @@ pub struct CheckerPassReport {
     pub already_satisfied: usize,
     /// TS rows dropped because the changing OS made them uncontrollable.
     pub ts_pruned: usize,
+    /// Proposal rows rejected because they touch a quarantined device
+    /// (its OS rows are stale, so the checker refuses to act on them).
+    pub quarantine_rejected: usize,
     /// Every receipt issued this pass.
     pub receipts: Vec<WriteReceipt>,
     /// Wall-clock time of the pass (the §8 checker latency).
@@ -224,6 +227,20 @@ impl Checker {
         storage: &StorageService,
         now: SimTime,
     ) -> StateResult<CheckerPassReport> {
+        self.run_pass_with_unreachable(storage, now, &BTreeSet::new())
+    }
+
+    /// Run one checker pass treating `unreachable` devices (quarantined by
+    /// the monitor; their OS rows are stale) conservatively: proposals
+    /// touching them are rejected as uncontrollable, and unsatisfied TS
+    /// rows on them are *kept* rather than pruned — stale observations can
+    /// neither justify new actions nor revoke past decisions.
+    pub fn run_pass_with_unreachable(
+        &self,
+        storage: &StorageService,
+        now: SimTime,
+        unreachable: &BTreeSet<DeviceName>,
+    ) -> StateResult<CheckerPassReport> {
         let started = Instant::now();
 
         // ---- 1. read OS, TS, PSes ----
@@ -265,6 +282,12 @@ impl Checker {
             // latest OS; the changing network can invalidate them.
             let satisfied = os.value_of(&row.entity, row.attribute) == Some(&row.value);
             if satisfied {
+                continue;
+            }
+            // A quarantined device's OS rows are stale: don't let them
+            // revoke accepted intent. The row stays and the decision is
+            // deferred until the device is polled again.
+            if touches_unreachable(&row.entity, &row.value, unreachable) {
                 continue;
             }
             if self
@@ -317,6 +340,7 @@ impl Checker {
         let mut accepted = 0usize;
         let mut rejected = 0usize;
         let mut already_satisfied = 0usize;
+        let mut quarantine_rejected = 0usize;
         let mut proposals_seen = 0usize;
 
         // The working projection: OS + reconciled TS, maintained
@@ -417,6 +441,24 @@ impl Checker {
                 if os.value_of(&row.entity, row.attribute) == Some(&row.value) {
                     receipt(&key, &row.value, WriteOutcome::AlreadySatisfied);
                     already_satisfied += 1;
+                    continue;
+                }
+
+                // Variables on quarantined devices are uncontrollable:
+                // the OS rows the controllability and invariant checks
+                // would consult are stale.
+                if touches_unreachable(&row.entity, &row.value, unreachable) {
+                    receipt(
+                        &key,
+                        &row.value,
+                        WriteOutcome::RejectedUncontrollable {
+                            reason: "entity touches a quarantined device; observed state is stale"
+                                .to_string(),
+                        },
+                    );
+                    rejected += 1;
+                    quarantine_rejected += 1;
+                    group_rejected = true;
                     continue;
                 }
 
@@ -572,10 +614,34 @@ impl Checker {
             rejected,
             already_satisfied,
             ts_pruned,
+            quarantine_rejected,
             receipts,
             elapsed: started.elapsed(),
             variables_read,
         })
+    }
+}
+
+/// Does a variable on `entity` depend on any device in `unreachable`?
+/// Links count through either endpoint; path variables through every
+/// listed on-path switch.
+fn touches_unreachable(
+    entity: &statesman_types::EntityName,
+    value: &Value,
+    unreachable: &BTreeSet<DeviceName>,
+) -> bool {
+    if unreachable.is_empty() {
+        return false;
+    }
+    match &entity.body {
+        statesman_types::entity::EntityBody::Device(d) => unreachable.contains(d),
+        statesman_types::entity::EntityBody::Link(l) => {
+            unreachable.contains(&l.a) || unreachable.contains(&l.b)
+        }
+        statesman_types::entity::EntityBody::Path(_) => value
+            .as_device_list()
+            .map(|list| list.iter().any(|d| unreachable.contains(d)))
+            .unwrap_or(false),
     }
 }
 
@@ -708,6 +774,54 @@ mod tests {
         assert_eq!(
             storage.pool_len(&DatacenterId::new("dc1"), &Pool::Target),
             0
+        );
+    }
+
+    #[test]
+    fn quarantined_device_proposals_rejected_and_ts_kept() {
+        let (graph, storage, clock) = setup();
+        seed_os(&graph, &storage, clock.now());
+        let chk = checker(&graph, MergePolicy::LastWriterWins);
+        let app = AppId::new("switch-upgrade");
+
+        // An upgrade is accepted while the device is healthy.
+        propose_upgrade(&storage, &app, "agg-1-1", "7.0", clock.now());
+        let r = chk.run_pass(&storage, clock.now()).unwrap();
+        assert_eq!(r.accepted, 1);
+
+        // The device goes dark: its last OS rows claim it is powered off,
+        // but the monitor has quarantined it, so those rows are stale.
+        storage
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![os_row(
+                    EntityName::device("dc1", "agg-1-1"),
+                    Attribute::DeviceAdminPower,
+                    Value::power(false),
+                    clock.now(),
+                )],
+            })
+            .unwrap();
+        let quarantined: BTreeSet<DeviceName> = [DeviceName::new("agg-1-1")].into_iter().collect();
+
+        // New proposals on the device are refused...
+        propose_upgrade(&storage, &app, "agg-1-1", "8.0", clock.now());
+        let r2 = chk
+            .run_pass_with_unreachable(&storage, clock.now(), &quarantined)
+            .unwrap();
+        assert_eq!(r2.quarantine_rejected, 1);
+        assert_eq!(r2.rejected, 1);
+        assert!(matches!(
+            r2.receipts_for(&app)[0].outcome,
+            WriteOutcome::RejectedUncontrollable { .. }
+        ));
+        // ...and the stale power-off row must NOT prune the accepted TS
+        // (a plain pass would: firmware is uncontrollable when power is
+        // off per the dependency model).
+        assert_eq!(r2.ts_pruned, 0, "stale OS must not revoke accepted TS");
+        assert_eq!(
+            storage.pool_len(&DatacenterId::new("dc1"), &Pool::Target),
+            1
         );
     }
 

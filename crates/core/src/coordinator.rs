@@ -17,7 +17,7 @@ use crate::updater::{Updater, UpdaterReport};
 use statesman_net::SimNetwork;
 use statesman_storage::StorageService;
 use statesman_topology::NetworkGraph;
-use statesman_types::{DatacenterId, SimDuration, StateResult};
+use statesman_types::{DatacenterId, RetryPolicy, SimDuration, StateResult};
 use std::collections::BTreeSet;
 
 /// Coordinator construction knobs.
@@ -41,6 +41,14 @@ pub struct CoordinatorConfig {
     /// invariant scopes), so their passes commute; the report order stays
     /// deterministic (group order) either way.
     pub parallel_checkers: bool,
+    /// Monitor quarantine cooldown override (`None` = monitor default).
+    pub quarantine_cooldown: Option<SimDuration>,
+    /// In-round retry schedule for the updater (`None` = §6.2's pure
+    /// cross-round implicit retry).
+    pub updater_retry: Option<RetryPolicy>,
+    /// Per-device updater circuit breaker: (consecutive-failure
+    /// threshold, open cooldown). `None` disables breakers.
+    pub updater_breaker: Option<(u32, SimDuration)>,
 }
 
 impl Default for CoordinatorConfig {
@@ -52,6 +60,9 @@ impl Default for CoordinatorConfig {
             wan_invariant: Some(1),
             monitor_instances: None,
             parallel_checkers: false,
+            quarantine_cooldown: None,
+            updater_retry: None,
+            updater_breaker: None,
         }
     }
 }
@@ -61,10 +72,18 @@ impl Default for CoordinatorConfig {
 pub struct RoundReport {
     /// Monitor stage.
     pub monitor: MonitorReport,
-    /// Checker stage, one report per impact group (group order).
+    /// Checker stage, one report per impact group (group order); skipped
+    /// groups have no entry here.
     pub checkers: Vec<CheckerPassReport>,
     /// Updater stage.
     pub updater: UpdaterReport,
+    /// Impact groups skipped this round because their storage partition
+    /// was unavailable (degraded mode).
+    pub skipped_groups: Vec<String>,
+    /// Cumulative storage-layer submit retries at round end.
+    pub storage_retries: u64,
+    /// Cumulative storage submits that exhausted their retry budget.
+    pub storage_retries_exhausted: u64,
 }
 
 impl RoundReport {
@@ -101,6 +120,34 @@ impl RoundReport {
     /// Total proposals rejected across groups.
     pub fn rejected(&self) -> usize {
         self.checkers.iter().map(|c| c.rejected).sum()
+    }
+
+    /// True if any part of the round ran in degraded mode (a storage
+    /// partition was down and its impact groups were skipped).
+    pub fn degraded(&self) -> bool {
+        !self.skipped_groups.is_empty()
+    }
+
+    /// Devices whose polls were skipped this round under quarantine.
+    pub fn devices_quarantined(&self) -> usize {
+        self.monitor.devices_quarantined
+    }
+
+    /// Proposal rows rejected across groups because they touched a
+    /// quarantined device.
+    pub fn quarantine_rejected(&self) -> usize {
+        self.checkers.iter().map(|c| c.quarantine_rejected).sum()
+    }
+
+    /// Command failures + in-round retries + breaker activity, rolled up
+    /// for dashboards: (failed, retries, breaker_skips, breakers_opened).
+    pub fn command_fault_counters(&self) -> (usize, usize, usize, usize) {
+        (
+            self.updater.commands_failed,
+            self.updater.retries,
+            self.updater.breaker_skips,
+            self.updater.breakers_opened,
+        )
     }
 }
 
@@ -178,10 +225,22 @@ impl Coordinator {
             checkers.push(c);
         }
 
+        let mut monitor = Monitor::new(net.clone(), storage.clone(), graph.clone());
+        if let Some(cooldown) = config.quarantine_cooldown {
+            monitor = monitor.with_quarantine_cooldown(cooldown);
+        }
+        let mut updater = Updater::new(net.clone(), storage.clone(), graph.clone());
+        if let Some(policy) = config.updater_retry.clone() {
+            updater = updater.with_retry(policy);
+        }
+        if let Some((threshold, cooldown)) = config.updater_breaker {
+            updater = updater.with_circuit_breaker(threshold, cooldown);
+        }
+
         Coordinator {
-            monitor: Monitor::new(net.clone(), storage.clone(), graph.clone()),
+            monitor,
             checkers,
-            updater: Updater::new(net.clone(), storage.clone(), graph.clone()),
+            updater,
             storage,
             net,
             monitor_instances: config.monitor_instances,
@@ -201,20 +260,55 @@ impl Coordinator {
 
     /// Run one full round at the current simulated time: collect, check
     /// every group, update.
+    ///
+    /// The round is *degraded-mode tolerant*: impact groups whose storage
+    /// partition is unavailable are skipped (and reported), the monitor
+    /// skips entities homed in those partitions, and quarantined devices
+    /// are passed to every checker as uncontrollable. A partition outage
+    /// therefore shrinks the round instead of failing it.
     pub fn tick(&self) -> StateResult<RoundReport> {
-        let monitor = match self.monitor_instances {
-            Some(n) => self.monitor.run_round_parallel(n)?,
-            None => self.monitor.run_round()?,
+        let down: BTreeSet<DatacenterId> = self
+            .storage
+            .partitions()
+            .into_iter()
+            .filter(|dc| !self.storage.partition_available(dc))
+            .collect();
+
+        let monitor = if !down.is_empty() {
+            self.monitor.run_round_excluding(&down)?
+        } else {
+            match self.monitor_instances {
+                Some(n) => self.monitor.run_round_parallel(n)?,
+                None => self.monitor.run_round()?,
+            }
         };
         let now = self.net.clock().now();
+        let quarantined = self.monitor.quarantined_devices(now);
+
+        let mut skipped_groups = Vec::new();
+        let live: Vec<&Checker> = self
+            .checkers
+            .iter()
+            .filter(|c| {
+                if down.contains(&c.group().primary_partition()) {
+                    skipped_groups.push(c.group().name());
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+
         let checkers = if self.parallel_checkers {
             // One thread per impact group; results collected in group
             // order so the report stays deterministic.
             let results: Vec<StateResult<CheckerPassReport>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .checkers
+                let handles: Vec<_> = live
                     .iter()
-                    .map(|c| scope.spawn(|| c.run_pass(&self.storage, now)))
+                    .map(|c| {
+                        scope
+                            .spawn(|| c.run_pass_with_unreachable(&self.storage, now, &quarantined))
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -223,17 +317,24 @@ impl Coordinator {
             });
             results.into_iter().collect::<StateResult<Vec<_>>>()?
         } else {
-            let mut reports = Vec::with_capacity(self.checkers.len());
-            for c in &self.checkers {
-                reports.push(c.run_pass(&self.storage, now)?);
+            let mut reports = Vec::with_capacity(live.len());
+            for c in &live {
+                reports.push(c.run_pass_with_unreachable(&self.storage, now, &quarantined)?);
             }
             reports
         };
-        let updater = self.updater.run_round()?;
+        // The updater honors the quarantine too: commanding a device whose
+        // OS is stale can re-disturb it (reboot loops) and starve the
+        // monitor of the fresh poll that would clear the diff.
+        let updater = self.updater.run_round_excluding(&quarantined)?;
+        let (storage_retries, storage_retries_exhausted) = self.storage.retry_stats();
         Ok(RoundReport {
             monitor,
             checkers,
             updater,
+            skipped_groups,
+            storage_retries,
+            storage_retries_exhausted,
         })
     }
 
@@ -330,6 +431,98 @@ mod tests {
         // No TS yet → no updater work this round.
         assert_eq!(u, 0.0);
         assert!(r.updater_share() < 0.5);
+    }
+
+    #[test]
+    fn degraded_tick_skips_down_partition_groups() {
+        let clock = SimClock::new();
+        let mut graph = NetworkGraph::new();
+        DcnSpec::tiny("dc1").build_prefixed_into(&mut graph);
+        DcnSpec::tiny("dc2").build_prefixed_into(&mut graph);
+        let net = SimNetwork::new(&graph, clock.clone(), SimConfig::ideal());
+        let storage = StorageService::new(
+            [DatacenterId::new("dc1"), DatacenterId::new("dc2")],
+            clock.clone(),
+            statesman_storage::StorageConfig::default(),
+        );
+        let coord = Coordinator::new(&graph, net, storage.clone(), CoordinatorConfig::default());
+        assert_eq!(coord.groups().len(), 2);
+
+        let r0 = coord.tick().unwrap();
+        assert!(!r0.degraded());
+        assert_eq!(r0.checkers.len(), 2);
+
+        // dc2's partition goes down: its group is skipped, dc1's work
+        // continues, and the round completes instead of erroring.
+        storage.set_partition_available(&DatacenterId::new("dc2"), false);
+        clock.advance(SimDuration::from_mins(1));
+        let r1 = coord.tick().unwrap();
+        assert!(r1.degraded());
+        assert_eq!(r1.skipped_groups, vec!["dc:dc2".to_string()]);
+        assert_eq!(r1.checkers.len(), 1);
+        assert_eq!(r1.monitor.devices_polled, graph.node_count() / 2);
+
+        // Heal: full service resumes.
+        storage.set_partition_available(&DatacenterId::new("dc2"), true);
+        clock.advance(SimDuration::from_mins(1));
+        let r2 = coord.tick().unwrap();
+        assert!(!r2.degraded());
+        assert_eq!(r2.checkers.len(), 2);
+        assert_eq!(r2.monitor.devices_polled, graph.node_count());
+    }
+
+    #[test]
+    fn round_report_exposes_fault_and_quarantine_counters() {
+        use statesman_net::FaultEvent;
+        let clock = SimClock::new();
+        let graph = DcnSpec::tiny("dc1").build();
+        let mut cfg = SimConfig::ideal();
+        cfg.faults = cfg.faults.with_event(
+            statesman_types::SimTime::from_secs(30),
+            FaultEvent::CrashDevice {
+                device: statesman_types::DeviceName::new("agg-1-1"),
+            },
+        );
+        let net = SimNetwork::new(&graph, clock.clone(), cfg);
+        let storage = StorageService::single_dc("dc1", clock.clone());
+        let coord = Coordinator::new(
+            &graph,
+            net,
+            storage.clone(),
+            CoordinatorConfig {
+                quarantine_cooldown: Some(SimDuration::from_mins(30)),
+                updater_breaker: Some((1, SimDuration::from_mins(30))),
+                ..Default::default()
+            },
+        );
+        let app = StatesmanClient::new("switch-upgrade", storage, clock);
+
+        // Round 0 seeds the OS; the crash fires during the advance.
+        coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        // Round 1 discovers the dead device and quarantines it.
+        let r1 = coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        assert_eq!(r1.monitor.devices_unreachable, 1);
+
+        // Round 2: the device is under quarantine, and a proposal
+        // touching it is refused — all visible in the round report.
+        app.propose([(
+            EntityName::device("dc1", "agg-1-1"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("7.0"),
+        )])
+        .unwrap();
+        let r2 = coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        assert_eq!(r2.devices_quarantined(), 1);
+        assert_eq!(r2.quarantine_rejected(), 1);
+        assert_eq!(r2.accepted(), 0);
+        assert!(!r2.degraded());
+        assert_eq!(r2.storage_retries, 0);
+        let (failed, retries, skips, opened) = r2.command_fault_counters();
+        assert_eq!(
+            (failed, retries, skips, opened),
+            (0, 0, 0, 0),
+            "quarantine kept the updater from ever touching the dead device"
+        );
     }
 
     #[test]

@@ -134,8 +134,10 @@ mod tests {
         assert!(g.contains(&EntityName::device("dc1", "br-1")));
         assert!(g.contains(&EntityName::link("wan", "br-1", "br-3")));
         assert!(g.contains(&EntityName::path("dc9", "p")));
-        assert!(!ImpactGroup::standard_partitioning([DatacenterId::new("dc1")])
-            .contains(&ImpactGroup::Global));
+        assert!(
+            !ImpactGroup::standard_partitioning([DatacenterId::new("dc1")])
+                .contains(&ImpactGroup::Global)
+        );
     }
 
     #[test]

@@ -14,13 +14,23 @@
 //! monitor marks every incident link oper-down (its live peers corroborate
 //! this), which is exactly the signal the checker's projection needs to
 //! treat the device as unavailable.
+//!
+//! Rounds are *partial-tolerant*: no device failure aborts a round. A
+//! failing device is quarantined for a cooldown — its OS rows go stale
+//! and its links stay inferred-down — instead of being re-polled (and
+//! re-timing-out) every round. After the cooldown one half-open probe
+//! either clears the quarantine or renews it. Only storage write failures
+//! abort a round; those are the coordinator's degraded-mode concern.
 
+use parking_lot::Mutex;
 use statesman_net::{DeviceModel, DeviceProtocol, OpenFlowSim, SimNetwork, SnmpSim, VendorCliSim};
 use statesman_storage::{StorageService, WriteRequest};
 use statesman_topology::NetworkGraph;
 use statesman_types::{
-    AppId, Attribute, EntityName, NetworkState, Pool, SimDuration, StateError, StateResult, Value,
+    AppId, Attribute, DatacenterId, DeviceName, EntityName, NetworkState, Pool, SimDuration,
+    SimTime, StateResult, Value,
 };
+use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 /// Modeled per-entity poll cost (SNMP walk + parse), milliseconds.
@@ -29,6 +39,8 @@ const POLL_MS: u64 = 50;
 const CONCURRENCY_PER_SHARD: u64 = 64;
 /// Switches per monitor instance (§6.3: "roughly 1,000 switches").
 pub const SHARD_SIZE: usize = 1_000;
+/// Default quarantine cooldown after a failed device poll.
+pub const DEFAULT_QUARANTINE_COOLDOWN: SimDuration = SimDuration::from_mins(5);
 
 /// One collection round's outcome.
 #[derive(Debug, Clone)]
@@ -37,6 +49,10 @@ pub struct MonitorReport {
     pub devices_polled: usize,
     /// Devices that timed out (rebooting, powered off, broken).
     pub devices_unreachable: usize,
+    /// Devices skipped this round because they are quarantined from an
+    /// earlier failed poll (their links stay inferred-down; their other
+    /// OS rows go stale).
+    pub devices_quarantined: usize,
     /// Links reported (directly or inferred down).
     pub links_polled: usize,
     /// OS rows written.
@@ -58,6 +74,9 @@ pub struct Monitor {
     cli: VendorCliSim,
     storage: StorageService,
     graph: NetworkGraph,
+    /// Devices under quarantine, mapped to when their cooldown expires.
+    quarantine: Mutex<HashMap<DeviceName, SimTime>>,
+    quarantine_cooldown: SimDuration,
 }
 
 impl Monitor {
@@ -70,17 +89,77 @@ impl Monitor {
             net,
             storage,
             graph,
+            quarantine: Mutex::new(HashMap::new()),
+            quarantine_cooldown: DEFAULT_QUARANTINE_COOLDOWN,
         }
     }
 
-    /// Poll one device: its state rows on success, or inferred
-    /// link-down rows when it times out. Returns (rows, reachable).
+    /// Replace the quarantine cooldown (how long a failed device is left
+    /// unpolled before a half-open re-probe).
+    pub fn with_quarantine_cooldown(mut self, cooldown: SimDuration) -> Self {
+        self.quarantine_cooldown = cooldown;
+        self
+    }
+
+    /// Devices currently under quarantine at `now` — the set the checker
+    /// must treat as uncontrollable (their OS rows are stale).
+    pub fn quarantined_devices(&self, now: SimTime) -> BTreeSet<DeviceName> {
+        self.quarantine
+            .lock()
+            .iter()
+            .filter(|(_, &until)| now < until)
+            .map(|(d, _)| d.clone())
+            .collect()
+    }
+
+    fn is_quarantined(&self, device: &DeviceName, now: SimTime) -> bool {
+        matches!(self.quarantine.lock().get(device), Some(&until) if now < until)
+    }
+
+    /// Record a poll outcome in the quarantine table: failures (re)start
+    /// the cooldown, successes clear it.
+    fn note_poll(&self, device: &DeviceName, now: SimTime, reachable: bool) {
+        let mut q = self.quarantine.lock();
+        if reachable {
+            q.remove(device);
+        } else {
+            q.insert(device.clone(), now + self.quarantine_cooldown);
+        }
+    }
+
+    /// The NMS inference rows for an unresponsive device: every incident
+    /// link is oper-down for traffic purposes (its live peers corroborate
+    /// this).
+    fn inferred_down_rows(
+        &self,
+        node_id: statesman_topology::NodeId,
+        now: SimTime,
+        writer: &AppId,
+    ) -> Vec<NetworkState> {
+        let mut rows = Vec::new();
+        for (e, _) in self.graph.neighbors(node_id) {
+            let edge = self.graph.edge(*e);
+            rows.push(NetworkState::new(
+                EntityName::link_named(edge.datacenter.clone(), edge.name.clone()),
+                Attribute::LinkOperStatus,
+                Value::oper(false),
+                now,
+                writer.clone(),
+            ));
+        }
+        rows
+    }
+
+    /// Poll one device: its state rows on success, or inferred link-down
+    /// rows when its management plane fails in any way. Returns
+    /// (rows, reachable). Infallible by design — a broken device must
+    /// never abort a collection round (partial-round tolerance).
     fn collect_one_device(
         &self,
         node_id: statesman_topology::NodeId,
-        now: statesman_types::SimTime,
+        now: SimTime,
         writer: &AppId,
-    ) -> StateResult<(Vec<NetworkState>, bool)> {
+    ) -> (Vec<NetworkState>, bool) {
         let info = self.graph.node(node_id);
         let entity = EntityName::device(info.datacenter.clone(), info.name.clone());
         let mut rows = Vec::new();
@@ -116,60 +195,47 @@ impl Monitor {
                         ));
                     }
                 }
-                Ok((rows, true))
+                (rows, true)
             }
-            Err(StateError::DeviceTimeout { .. }) => {
-                // NMS inference: an unresponsive device's links are down
-                // for traffic purposes.
-                for (e, _) in self.graph.neighbors(node_id) {
-                    let edge = self.graph.edge(*e);
-                    rows.push(NetworkState::new(
-                        EntityName::link_named(edge.datacenter.clone(), edge.name.clone()),
-                        Attribute::LinkOperStatus,
-                        Value::oper(false),
-                        now,
-                        writer.clone(),
-                    ));
-                }
-                Ok((rows, false))
-            }
-            Err(e) => Err(e),
+            Err(_) => (self.inferred_down_rows(node_id, now, writer), false),
         }
     }
 
     /// Poll one link (or infer oper-down when neither endpoint answers).
+    /// Infallible for the same reason as device polls.
     fn collect_one_link(
         &self,
         edge_id: statesman_topology::EdgeId,
-        now: statesman_types::SimTime,
+        now: SimTime,
         writer: &AppId,
-    ) -> StateResult<Vec<NetworkState>> {
+    ) -> Vec<NetworkState> {
         let edge = self.graph.edge(edge_id);
         let entity = EntityName::link_named(edge.datacenter.clone(), edge.name.clone());
         match self.snmp.collect_link(&edge.name) {
-            Ok(pairs) => Ok(pairs
+            Ok(pairs) => pairs
                 .into_iter()
                 .map(|(attr, value)| {
                     NetworkState::new(entity.clone(), attr, value, now, writer.clone())
                 })
-                .collect()),
-            Err(StateError::DeviceTimeout { .. }) => Ok(vec![NetworkState::new(
+                .collect(),
+            Err(_) => vec![NetworkState::new(
                 entity,
                 Attribute::LinkOperStatus,
                 Value::oper(false),
                 now,
                 writer.clone(),
-            )]),
-            Err(e) => Err(e),
+            )],
         }
     }
 
     /// Deduplicate, persist, and account one round's rows.
+    #[allow(clippy::too_many_arguments)]
     fn finish_round(
         &self,
         rows: Vec<NetworkState>,
         devices_polled: usize,
         devices_unreachable: usize,
+        devices_quarantined: usize,
         links_polled: usize,
         entities_polled: u64,
         started: Instant,
@@ -196,6 +262,7 @@ impl Monitor {
         Ok(MonitorReport {
             devices_polled,
             devices_unreachable,
+            devices_quarantined,
             links_polled,
             rows_written,
             shards,
@@ -206,34 +273,60 @@ impl Monitor {
 
     /// Run one collection round: poll everything, write the OS.
     pub fn run_round(&self) -> StateResult<MonitorReport> {
+        self.run_round_excluding(&BTreeSet::new())
+    }
+
+    /// Run one collection round skipping every entity homed in `skip_dcs`
+    /// (their storage partition is down, so their OS rows could not be
+    /// written anyway). The coordinator's degraded mode drives this.
+    pub fn run_round_excluding(
+        &self,
+        skip_dcs: &BTreeSet<DatacenterId>,
+    ) -> StateResult<MonitorReport> {
         let started = Instant::now();
         let now = self.net.clock().now();
         let writer = AppId::monitor();
         let mut rows: Vec<NetworkState> = Vec::new();
         let mut devices_polled = 0usize;
         let mut devices_unreachable = 0usize;
+        let mut devices_quarantined = 0usize;
         let mut links_polled = 0usize;
         let mut entities_polled = 0u64;
 
-        for (node_id, _) in self.graph.nodes() {
+        for (node_id, info) in self.graph.nodes() {
+            if skip_dcs.contains(&info.datacenter) {
+                continue;
+            }
+            // Quarantined devices are not re-polled (no poll budget spent
+            // re-timing-out); their links stay inferred-down.
+            if self.is_quarantined(&info.name, now) {
+                devices_quarantined += 1;
+                rows.extend(self.inferred_down_rows(node_id, now, &writer));
+                continue;
+            }
             entities_polled += 1;
-            let (mut r, reachable) = self.collect_one_device(node_id, now, &writer)?;
+            let (mut r, reachable) = self.collect_one_device(node_id, now, &writer);
             rows.append(&mut r);
+            self.note_poll(&info.name, now, reachable);
             if reachable {
                 devices_polled += 1;
             } else {
                 devices_unreachable += 1;
             }
         }
-        for (edge_id, _) in self.graph.edges() {
+        for (edge_id, edge) in self.graph.edges() {
+            if skip_dcs.contains(&edge.datacenter) {
+                continue;
+            }
             entities_polled += 1;
-            rows.extend(self.collect_one_link(edge_id, now, &writer)?);
+            rows.extend(self.collect_one_link(edge_id, now, &writer));
             links_polled += 1;
         }
         self.finish_round(
             rows,
             devices_polled,
             devices_unreachable,
+            devices_quarantined,
             links_polled,
             entities_polled,
             started,
@@ -256,9 +349,8 @@ impl Monitor {
             self.graph.nodes().map(|(id, _)| id).collect();
         let edge_ids: Vec<statesman_topology::EdgeId> =
             self.graph.edges().map(|(id, _)| id).collect();
-        let entities_polled = (device_ids.len() + edge_ids.len()) as u64;
 
-        type ShardResult = StateResult<(Vec<NetworkState>, usize, usize, usize)>;
+        type ShardResult = (Vec<NetworkState>, usize, usize, usize, usize, u64);
         let (tx, rx) = crossbeam_channel::unbounded::<ShardResult>();
         let dev_chunk = device_ids.len().div_ceil(instances).max(1);
         let edge_chunk = edge_ids.len().div_ceil(instances).max(1);
@@ -280,43 +372,54 @@ impl Monitor {
                     .collect::<Vec<_>>();
                 let writer = writer.clone();
                 scope.spawn(move || {
-                    let work = || -> StateResult<(Vec<NetworkState>, usize, usize, usize)> {
-                        let mut rows = Vec::new();
-                        let (mut polled, mut unreachable, mut links) = (0, 0, 0);
-                        for id in devs {
-                            let (mut r, ok) = self.collect_one_device(id, now, &writer)?;
-                            rows.append(&mut r);
-                            if ok {
-                                polled += 1;
-                            } else {
-                                unreachable += 1;
-                            }
+                    let mut rows = Vec::new();
+                    let (mut polled, mut unreachable, mut quarantined, mut links) = (0, 0, 0, 0);
+                    let mut entities = 0u64;
+                    for id in devs {
+                        let name = self.graph.node(id).name.clone();
+                        if self.is_quarantined(&name, now) {
+                            quarantined += 1;
+                            rows.extend(self.inferred_down_rows(id, now, &writer));
+                            continue;
                         }
-                        for id in edges {
-                            rows.extend(self.collect_one_link(id, now, &writer)?);
-                            links += 1;
+                        entities += 1;
+                        let (mut r, ok) = self.collect_one_device(id, now, &writer);
+                        rows.append(&mut r);
+                        self.note_poll(&name, now, ok);
+                        if ok {
+                            polled += 1;
+                        } else {
+                            unreachable += 1;
                         }
-                        Ok((rows, polled, unreachable, links))
-                    };
-                    let _ = tx.send(work());
+                    }
+                    for id in edges {
+                        entities += 1;
+                        rows.extend(self.collect_one_link(id, now, &writer));
+                        links += 1;
+                    }
+                    let _ = tx.send((rows, polled, unreachable, quarantined, links, entities));
                 });
             }
         });
         drop(tx);
 
         let mut rows = Vec::new();
-        let (mut devices_polled, mut devices_unreachable, mut links_polled) = (0, 0, 0);
-        for shard in rx {
-            let (mut r, p, u, l) = shard?;
+        let (mut devices_polled, mut devices_unreachable, mut devices_quarantined) = (0, 0, 0);
+        let mut links_polled = 0;
+        let mut entities_polled = 0u64;
+        for (mut r, p, u, q, l, e) in rx {
             rows.append(&mut r);
             devices_polled += p;
             devices_unreachable += u;
+            devices_quarantined += q;
             links_polled += l;
+            entities_polled += e;
         }
         self.finish_round(
             rows,
             devices_polled,
             devices_unreachable,
+            devices_quarantined,
             links_polled,
             entities_polled,
             started,
@@ -518,12 +621,85 @@ mod tests {
         let storage = StorageService::single_dc("dc1", clock.clone());
         net.submit(
             &DeviceName::new("agg-1-1"),
-            DeviceCommand::UpgradeFirmware { version: "7".into() },
+            DeviceCommand::UpgradeFirmware {
+                version: "7".into(),
+            },
         );
         net.step(SimDuration::from_millis(1));
         let m = Monitor::new(net, storage, graph);
         let r = m.run_round_parallel(3).unwrap();
         assert_eq!(r.devices_unreachable, 1);
+    }
+
+    /// A world where agg-1-1 is mid-reboot (unreachable) for `reboot_ms`.
+    fn rebooting_world(reboot_ms: u64) -> (SimNetwork, StorageService, NetworkGraph, SimClock) {
+        let clock = SimClock::new();
+        let graph = DcnSpec::tiny("dc1").build();
+        let mut cfg = SimConfig::ideal();
+        cfg.faults.reboot_window_ms = reboot_ms;
+        let net = SimNetwork::new(&graph, clock.clone(), cfg);
+        let storage = StorageService::single_dc("dc1", clock.clone());
+        net.submit(
+            &DeviceName::new("agg-1-1"),
+            DeviceCommand::UpgradeFirmware {
+                version: "7".into(),
+            },
+        );
+        net.step(SimDuration::from_millis(1));
+        (net, storage, graph, clock)
+    }
+
+    #[test]
+    fn failed_device_is_quarantined_then_reprobed() {
+        let (net, storage, graph, clock) = rebooting_world(120_000);
+        let m = Monitor::new(net.clone(), storage.clone(), graph.clone())
+            .with_quarantine_cooldown(SimDuration::from_mins(5));
+
+        // Round 1: the poll fails; the device enters quarantine.
+        let r1 = m.run_round().unwrap();
+        assert_eq!(r1.devices_unreachable, 1);
+        assert_eq!(r1.devices_quarantined, 0);
+        assert_eq!(m.quarantined_devices(clock.now()).len(), 1);
+
+        // Round 2, inside the cooldown: no re-poll, links stay inferred
+        // down, the round completes.
+        net.step(SimDuration::from_mins(1));
+        let r2 = m.run_round().unwrap();
+        assert_eq!(r2.devices_unreachable, 0);
+        assert_eq!(r2.devices_quarantined, 1);
+        assert!(r2.sim_io <= r1.sim_io, "quarantine must not add poll cost");
+        let oper = storage
+            .read_row(
+                &Pool::Observed,
+                &StateKey::new(
+                    EntityName::link("dc1", "tor-1-1", "agg-1-1"),
+                    Attribute::LinkOperStatus,
+                ),
+            )
+            .unwrap()
+            .unwrap();
+        assert!(!oper.value.as_oper().unwrap().is_up());
+
+        // Cooldown over, reboot finished: the half-open probe succeeds.
+        net.step(SimDuration::from_mins(5));
+        let r3 = m.run_round().unwrap();
+        assert_eq!(r3.devices_quarantined, 0);
+        assert_eq!(r3.devices_polled, graph.node_count());
+        assert!(m.quarantined_devices(clock.now()).is_empty());
+    }
+
+    #[test]
+    fn failed_reprobe_renews_quarantine() {
+        let (net, storage, graph, clock) = rebooting_world(20 * 60_000);
+        let m = Monitor::new(net.clone(), storage, graph)
+            .with_quarantine_cooldown(SimDuration::from_mins(5));
+        m.run_round().unwrap();
+        // Past the cooldown but still rebooting: the probe fails and the
+        // quarantine is renewed rather than dropped.
+        net.step(SimDuration::from_mins(6));
+        let r2 = m.run_round().unwrap();
+        assert_eq!(r2.devices_unreachable, 1);
+        assert_eq!(m.quarantined_devices(clock.now()).len(), 1);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! diffing, so applications can operate purely at the path level.
 
 use crate::view::StateView;
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use statesman_net::{
     CommandOutcome, DeviceCommand, DeviceModel, DeviceProtocol, OpenFlowSim, ProtocolKind,
     SimNetwork, VendorCliSim,
@@ -24,9 +26,9 @@ use statesman_storage::{ReadRequest, StorageService};
 use statesman_topology::NetworkGraph;
 use statesman_types::{
     Attribute, DeviceName, EntityName, FlowLinkRule, Freshness, LinkName, NetworkState, Pool,
-    SimDuration, StateError, StateResult, Value,
+    RetryPolicy, SimDuration, SimTime, StateError, StateResult, Value,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 /// A rendered update action: which protocol carries which command to
@@ -294,6 +296,20 @@ pub struct UpdaterReport {
     pub commands_failed: usize,
     /// Differences with no usable template or no reachable endpoint.
     pub unrenderable: usize,
+    /// In-round retries of retryable command failures (zero unless a
+    /// [`RetryPolicy`] is configured via [`Updater::with_retry`]).
+    pub retries: usize,
+    /// Commands not even issued because the target device's circuit
+    /// breaker was open.
+    pub breaker_skips: usize,
+    /// Commands not issued because the target device was excluded from
+    /// this round (quarantined by the monitor). Acting on a quarantined
+    /// device means acting on stale OS — for reboot-inducing commands
+    /// that can re-disturb a recovering device forever, starving the
+    /// monitor of the fresh poll that would clear the diff.
+    pub quarantine_skips: usize,
+    /// Circuit breakers tripped open this round.
+    pub breakers_opened: usize,
     /// Modeled device-interaction time: commands run concurrently across
     /// devices, sequentially per device, so this is the per-device max.
     pub sim_io: SimDuration,
@@ -310,6 +326,26 @@ pub struct Updater {
     graph: NetworkGraph,
     pool: CommandTemplatePool,
     scope: Option<UpdaterScope>,
+    /// In-round retry schedule for retryable command failures. Defaults
+    /// to [`RetryPolicy::none`], preserving §6.2's pure cross-round
+    /// "implicit and automatic retry"; deployments that want in-round
+    /// persistence opt in via [`Updater::with_retry`].
+    retry: RetryPolicy,
+    /// Circuit breaker knobs (consecutive-failure threshold, open
+    /// cooldown); `None` disables breakers entirely.
+    breaker: Option<(u32, SimDuration)>,
+    breakers: Mutex<HashMap<DeviceName, BreakerState>>,
+    jitter_rng: Mutex<StdRng>,
+}
+
+/// Per-device circuit-breaker bookkeeping. This is deliberately *not*
+/// update state: it remembers nothing about diffs or commands, only that
+/// a device's management plane has been failing, so the stateless rediff
+/// property of §6.2 is preserved.
+#[derive(Debug, Clone, Copy, Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    open_until: Option<SimTime>,
 }
 
 /// A work partition for one updater instance. §6.2: "we run one instance
@@ -355,12 +391,34 @@ impl Updater {
             graph,
             pool: CommandTemplatePool::standard(),
             scope: None,
+            retry: RetryPolicy::none(),
+            breaker: None,
+            breakers: Mutex::new(HashMap::new()),
+            jitter_rng: Mutex::new(StdRng::seed_from_u64(0xC1AC)),
         }
     }
 
     /// Replace the template pool.
     pub fn with_pool(mut self, pool: CommandTemplatePool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Enable bounded in-round retry of retryable command failures.
+    /// Backoffs consume *simulated* time (the network steps forward), so
+    /// transient conditions like reboot windows can actually clear.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Enable per-device circuit breakers: after `threshold` consecutive
+    /// command failures against a device, stop issuing to it for
+    /// `cooldown` (commands are counted as skips, costing no device
+    /// interaction); after the cooldown, one half-open probe either
+    /// closes the breaker or re-opens it.
+    pub fn with_circuit_breaker(mut self, threshold: u32, cooldown: SimDuration) -> Self {
+        self.breaker = Some((threshold.max(1), cooldown));
         self
     }
 
@@ -394,10 +452,15 @@ impl Updater {
         }
     }
 
-    /// Read a full pool across all partitions.
+    /// Read a full pool across all partitions. Unavailable partitions are
+    /// skipped (degraded mode): their entities simply produce no diffs
+    /// this round rather than aborting everyone else's work.
     fn read_all(&self, pool: Pool) -> StateResult<Vec<NetworkState>> {
         let mut rows = Vec::new();
         for dc in self.storage.partitions() {
+            if !self.storage.partition_available(&dc) {
+                continue;
+            }
             rows.extend(self.storage.read(ReadRequest {
                 datacenter: dc,
                 pool: pool.clone(),
@@ -411,6 +474,23 @@ impl Updater {
 
     /// Run one update round.
     pub fn run_round(&self) -> StateResult<UpdaterReport> {
+        self.run_round_excluding(&BTreeSet::new())
+    }
+
+    /// Run one update round, issuing no commands to devices in `skip`
+    /// (typically the monitor's quarantine set). Their diffs still count
+    /// in [`UpdaterReport::diffs`] but each suppressed command is tallied
+    /// as a [`UpdaterReport::quarantine_skips`] instead of being sent.
+    ///
+    /// Why the updater must honor quarantine: a quarantined device's OS
+    /// rows are stale by construction. Re-issuing a reboot-inducing
+    /// command (e.g. a firmware upgrade) against stale state knocks the
+    /// device over again just as it recovers, so the monitor's next poll
+    /// fails again and the loop never observes the success — a metastable
+    /// upgrade storm. Skipping the device lets the quarantine expire, the
+    /// re-probe refresh the OS, and the diff clear (or be retried on
+    /// fresh state), preserving §6.2's cross-round implicit retry.
+    pub fn run_round_excluding(&self, skip: &BTreeSet<DeviceName>) -> StateResult<UpdaterReport> {
         let started = Instant::now();
         let now = self.net.clock().now();
         let os = crate::view::MapView::from_rows(self.read_all(Pool::Observed)?);
@@ -485,7 +565,7 @@ impl Updater {
                 }
             }
             report.diffs += 1;
-            self.execute_for_row(row, &mut report, &mut per_device_ms, now);
+            self.execute_for_row(row, skip, &mut report, &mut per_device_ms, now);
         }
 
         // Devices with path-derived routes but no device-level TS row.
@@ -542,7 +622,7 @@ impl Updater {
                 now,
                 statesman_types::AppId::updater(),
             );
-            self.execute_for_row(&row, &mut report, &mut per_device_ms, now);
+            self.execute_for_row(&row, skip, &mut report, &mut per_device_ms, now);
         }
 
         report.sim_io =
@@ -566,10 +646,50 @@ impl Updater {
         }
     }
 
+    /// Is the device's breaker open right now? Expired breakers move to
+    /// half-open: the probe is allowed through and the next outcome
+    /// decides whether the breaker closes or re-opens.
+    fn breaker_blocks(&self, device: &DeviceName) -> bool {
+        if self.breaker.is_none() {
+            return false;
+        }
+        let mut breakers = self.breakers.lock();
+        let Some(state) = breakers.get_mut(device) else {
+            return false;
+        };
+        match state.open_until {
+            Some(until) if self.net.clock().now() < until => true,
+            Some(_) => {
+                state.open_until = None; // half-open: let one probe through
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Record a command outcome against the device's breaker.
+    fn note_outcome(&self, device: &DeviceName, ok: bool, report: &mut UpdaterReport) {
+        let Some((threshold, cooldown)) = self.breaker else {
+            return;
+        };
+        let mut breakers = self.breakers.lock();
+        if ok {
+            breakers.remove(device);
+            return;
+        }
+        let state = breakers.entry(device.clone()).or_default();
+        state.consecutive_failures += 1;
+        if state.consecutive_failures >= threshold && state.open_until.is_none() {
+            state.open_until = Some(self.net.clock().now() + cooldown);
+            report.breakers_opened += 1;
+        }
+    }
+
     /// Render and execute the command(s) realizing one differing row.
     fn execute_for_row(
         &self,
         row: &NetworkState,
+        skip: &BTreeSet<DeviceName>,
         report: &mut UpdaterReport,
         per_device_ms: &mut HashMap<DeviceName, u64>,
         now: statesman_types::SimTime,
@@ -578,6 +698,14 @@ impl Updater {
             report.unrenderable += 1;
             return;
         };
+        if skip.contains(&device) {
+            report.quarantine_skips += 1;
+            return;
+        }
+        if self.breaker_blocks(&device) {
+            report.breaker_skips += 1;
+            return;
+        }
         let model = match self.net.device_snapshot(&device) {
             Some(d) => d.model,
             None => {
@@ -600,20 +728,55 @@ impl Updater {
             }
         };
         for action in actions {
-            match self
+            self.execute_action(&action, report, per_device_ms, now);
+        }
+    }
+
+    /// Issue one action, retrying retryable failures within the bounded
+    /// [`RetryPolicy`] budget. Each backoff steps the simulated network
+    /// forward, so the total simulated time any action can consume is
+    /// capped by [`RetryPolicy::worst_case_total_backoff`].
+    fn execute_action(
+        &self,
+        action: &RenderedAction,
+        report: &mut UpdaterReport,
+        per_device_ms: &mut HashMap<DeviceName, u64>,
+        now: statesman_types::SimTime,
+    ) {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = self
                 .adapter(action.protocol)
-                .execute(&action.device, action.command)
-            {
+                .execute(&action.device, action.command.clone());
+            match result {
                 Ok(CommandOutcome::Applied { effective_at }) => {
                     report.commands_applied += 1;
                     let ms = effective_at.saturating_since(now).as_millis();
                     *per_device_ms.entry(action.device.clone()).or_insert(0) += ms.max(1);
+                    self.note_outcome(&action.device, true, report);
+                    return;
                 }
-                Ok(_) | Err(_) => {
-                    report.commands_failed += 1;
+                other => {
                     // Failed interactions still cost wall time (§2.1: the
                     // command that times out dominates the loop).
                     *per_device_ms.entry(action.device.clone()).or_insert(0) += 1_000;
+                    // Timeouts and rejections are transient device-side
+                    // conditions; typed errors decide via the shared
+                    // retryable/fatal split.
+                    let retryable = match &other {
+                        Err(e) => e.is_retryable(),
+                        Ok(_) => true,
+                    };
+                    if retryable && self.retry.should_retry(attempt) {
+                        report.retries += 1;
+                        let roll: f64 = self.jitter_rng.lock().gen();
+                        self.net.step(self.retry.backoff_after(attempt, roll));
+                        continue;
+                    }
+                    report.commands_failed += 1;
+                    self.note_outcome(&action.device, false, report);
+                    return;
                 }
             }
         }
@@ -894,6 +1057,145 @@ mod tests {
                 .boot_image,
             "img-x"
         );
+    }
+
+    /// A world where agg-1-1 is mid-reboot (management plane dead) for
+    /// `reboot_ms`, with a pending boot-image TS diff on it.
+    fn stuck_device_world(reboot_ms: u64) -> (SimNetwork, StorageService, NetworkGraph, SimClock) {
+        let clock = SimClock::new();
+        let graph = DcnSpec::tiny("dc1").build();
+        let mut cfg = SimConfig::ideal();
+        cfg.faults.command_latency_ms = 100;
+        cfg.faults.reboot_window_ms = reboot_ms;
+        let net = SimNetwork::new(&graph, clock.clone(), cfg);
+        let storage = StorageService::single_dc("dc1", clock.clone());
+        seed_os(&net, &storage, &graph);
+        net.submit(
+            &DeviceName::new("agg-1-1"),
+            statesman_net::DeviceCommand::UpgradeFirmware {
+                version: "7".into(),
+            },
+        );
+        // Step past the command latency so the reboot window begins.
+        net.step(SimDuration::from_millis(200));
+        storage
+            .write(WriteRequest {
+                pool: Pool::Target,
+                rows: vec![ts_row(
+                    EntityName::device("dc1", "agg-1-1"),
+                    Attribute::DeviceBootImage,
+                    Value::text("img-gold"),
+                    clock.now(),
+                )],
+            })
+            .unwrap();
+        (net, storage, graph, clock)
+    }
+
+    #[test]
+    fn circuit_breaker_opens_after_k_failures_and_recovers_half_open() {
+        let (net, storage, graph, _clock) = stuck_device_world(30 * 60_000);
+        let u = Updater::new(net.clone(), storage, graph)
+            .with_circuit_breaker(2, SimDuration::from_mins(5));
+
+        // Two consecutive failures trip the breaker.
+        let r1 = u.run_round().unwrap();
+        assert_eq!(r1.commands_failed, 1);
+        assert_eq!(r1.breakers_opened, 0);
+        let r2 = u.run_round().unwrap();
+        assert_eq!(r2.commands_failed, 1);
+        assert_eq!(r2.breakers_opened, 1);
+
+        // While open: the diff is still seen (stateless rediff) but no
+        // command is issued — the round is bounded, costing zero device
+        // interaction time on the dead device.
+        let r3 = u.run_round().unwrap();
+        assert_eq!(r3.diffs, 1);
+        assert_eq!(r3.breaker_skips, 1);
+        assert_eq!(r3.commands_failed, 0);
+        assert_eq!(r3.sim_io, SimDuration::ZERO);
+
+        // After the reboot and the cooldown, the half-open probe goes
+        // through, succeeds, and closes the breaker.
+        net.step(SimDuration::from_mins(31));
+        let r4 = u.run_round().unwrap();
+        assert_eq!(r4.commands_applied, 1);
+        assert_eq!(r4.breaker_skips, 0);
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens_the_breaker() {
+        let (net, storage, graph, _clock) = stuck_device_world(60 * 60_000);
+        let u = Updater::new(net.clone(), storage, graph)
+            .with_circuit_breaker(1, SimDuration::from_mins(5));
+        let r1 = u.run_round().unwrap();
+        assert_eq!(r1.breakers_opened, 1);
+        // Cooldown expires but the device is still dead: the probe fails
+        // and the breaker re-opens for another cooldown.
+        net.step(SimDuration::from_mins(6));
+        let r2 = u.run_round().unwrap();
+        assert_eq!(r2.commands_failed, 1);
+        assert_eq!(r2.breakers_opened, 1);
+        let r3 = u.run_round().unwrap();
+        assert_eq!(r3.breaker_skips, 1);
+    }
+
+    #[test]
+    fn bounded_retry_rides_out_a_short_outage() {
+        let (net, storage, graph, clock) = stuck_device_world(1_000);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: SimDuration::from_secs(2),
+            max_backoff: SimDuration::from_secs(2),
+            jitter_frac: 0.0,
+        };
+        let bound = policy.worst_case_total_backoff();
+        let u = Updater::new(net.clone(), storage, graph).with_retry(policy);
+        let before = clock.now();
+        let r = u.run_round().unwrap();
+        // Attempt 1 hits the rebooting device; the backoff steps the sim
+        // past the 1 s reboot; attempt 2 lands.
+        assert_eq!(r.retries, 1);
+        assert_eq!(r.commands_applied, 1);
+        assert_eq!(r.commands_failed, 0);
+        let backed_off = clock.now().saturating_since(before);
+        assert!(backed_off <= bound, "{backed_off} > bound {bound}");
+    }
+
+    #[test]
+    fn quarantined_devices_get_no_commands() {
+        // A device in the exclusion set must see zero interaction: its
+        // diff is observed (stateless rediff) but no command is rendered
+        // or sent, so a recovering device is not knocked over again by an
+        // upgrade issued against stale OS.
+        let (net, storage, graph, _clock) = stuck_device_world(1_000);
+        let u = Updater::new(net.clone(), storage, graph);
+        let skip: BTreeSet<DeviceName> = [DeviceName::new("agg-1-1")].into_iter().collect();
+        let r = u.run_round_excluding(&skip).unwrap();
+        assert_eq!(r.diffs, 1);
+        assert_eq!(r.quarantine_skips, 1);
+        assert_eq!(r.commands_applied, 0);
+        assert_eq!(r.commands_failed, 0);
+        assert_eq!(r.sim_io, SimDuration::ZERO);
+
+        // An empty exclusion set behaves exactly like run_round.
+        net.step(SimDuration::from_secs(5));
+        let r2 = u.run_round().unwrap();
+        assert_eq!(r2.quarantine_skips, 0);
+        assert_eq!(r2.commands_applied, 1);
+    }
+
+    #[test]
+    fn fatal_errors_are_not_retried() {
+        // An empty template pool makes the diff unrenderable — a fatal,
+        // not retryable, condition: no retry budget may be spent on it.
+        let (net, storage, graph, _clock) = stuck_device_world(1_000);
+        let u = Updater::new(net.clone(), storage, graph)
+            .with_pool(CommandTemplatePool::empty())
+            .with_retry(RetryPolicy::default());
+        let r = u.run_round().unwrap();
+        assert_eq!(r.unrenderable, 1);
+        assert_eq!(r.retries, 0);
     }
 
     #[test]

@@ -80,6 +80,17 @@ impl HttpResponse {
         }
     }
 
+    /// 408 (the connection idled past the server's socket read timeout
+    /// before a full request arrived).
+    pub fn request_timeout(msg: impl Into<String>) -> Self {
+        HttpResponse {
+            status: 408,
+            reason: "Request Timeout",
+            body: msg.into().into_bytes(),
+            content_type: "text/plain",
+        }
+    }
+
     /// 404.
     pub fn not_found() -> Self {
         HttpResponse {

@@ -5,6 +5,11 @@
 //! that sits "behind a load balancer ... which enables high availability
 //! and flexible capacity"). Shutdown is graceful: a flag is set and the
 //! listener is woken with a self-connection.
+//!
+//! Every accepted socket gets read/write timeouts so a half-open or
+//! glacially slow client cannot pin a worker thread forever (with
+//! thread-per-connection, unbounded pinned workers is a resource-exhaustion
+//! vector and would also wedge graceful shutdown's worker join).
 
 use crate::http::{read_request, HttpRequest, HttpResponse};
 use statesman_storage::{ReadRequest, StorageService, WriteRequest};
@@ -16,6 +21,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default per-socket read/write timeout for accepted connections.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// The running API server.
 pub struct ApiServer {
@@ -26,8 +35,19 @@ pub struct ApiServer {
 }
 
 impl ApiServer {
-    /// Bind on 127.0.0.1 (ephemeral port) and start serving `storage`.
+    /// Bind on 127.0.0.1 (ephemeral port) and start serving `storage`
+    /// with the [`DEFAULT_IO_TIMEOUT`] on every accepted socket.
     pub fn start(storage: StorageService) -> StateResult<ApiServer> {
+        Self::start_with_io_timeout(storage, DEFAULT_IO_TIMEOUT)
+    }
+
+    /// Like [`ApiServer::start`] but with an explicit per-socket
+    /// read/write timeout (tests use a short one to exercise the
+    /// half-open-connection path quickly).
+    pub fn start_with_io_timeout(
+        storage: StorageService,
+        io_timeout: Duration,
+    ) -> StateResult<ApiServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -43,6 +63,12 @@ impl ApiServer {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
+                    // A zero Duration would mean "no timeout" to the OS;
+                    // clamp so the protection can't be configured away by
+                    // accident.
+                    let t = io_timeout.max(Duration::from_millis(1));
+                    let _ = stream.set_read_timeout(Some(t));
+                    let _ = stream.set_write_timeout(Some(t));
                     let storage = storage.clone();
                     let requests = accept_requests.clone();
                     workers.push(
@@ -102,6 +128,13 @@ impl Drop for ApiServer {
 fn handle_connection(mut stream: TcpStream, storage: &StorageService) {
     let response = match read_request(&mut stream) {
         Ok(req) => dispatch(&req, storage),
+        // Socket-level failures are overwhelmingly the read timeout
+        // firing on an idle/half-open connection; answer 408 (the write
+        // fails harmlessly if the peer is truly gone). Parse failures on
+        // data that did arrive stay 400.
+        Err(StateError::Io { .. }) => {
+            HttpResponse::request_timeout("connection idled past the server's read timeout")
+        }
         Err(e) => HttpResponse::bad_request(e.to_string()),
     };
     let _ = response.write_to(&mut stream);
@@ -309,6 +342,35 @@ mod tests {
         );
         let err = client.write(&Pool::Observed, &[row]).unwrap_err();
         assert!(err.to_string().contains("400"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn half_open_connections_time_out_and_do_not_wedge_the_server() {
+        use std::io::Read;
+        let clock = SimClock::new();
+        let storage = StorageService::single_dc("dc1", clock);
+        let mut server =
+            ApiServer::start_with_io_timeout(storage, Duration::from_millis(100)).unwrap();
+        let client = ApiClient::new(server.addr());
+
+        // A client connects and never sends a byte (half-open)...
+        let mut idle = TcpStream::connect(server.addr()).unwrap();
+
+        // ...other clients are still served meanwhile...
+        let body = client.raw_get("/healthz").unwrap();
+        assert_eq!(body, b"{\"ok\":true}");
+
+        // ...and once the read timeout fires, the idle connection is
+        // answered with 408 and closed rather than pinning its worker.
+        idle.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = Vec::new();
+        idle.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+
+        // Shutdown joins all workers promptly (no wedged thread).
         server.shutdown();
     }
 

@@ -30,6 +30,16 @@ pub struct SimDevice {
     pub boot_image: String,
     /// Management interface configured and reachable.
     pub mgmt_configured: bool,
+    /// Management-plane fault flag (fault-injectable): when `false` the
+    /// device keeps forwarding but stops answering the monitor and
+    /// ignores in-band commands — the "silent but alive" failure mode.
+    pub mgmt_plane_reachable: bool,
+    /// Crashed (whole-device failure, fault-injectable): not forwarding,
+    /// not manageable. Cleared by a restore event or by
+    /// [`SimDevice::settle_crash`] once `crash_reboot_at` passes.
+    pub crashed: bool,
+    /// For crash-and-auto-reboot faults: when the device comes back up.
+    pub crash_reboot_at: Option<SimTime>,
     /// OpenFlow agent running (only meaningful on OpenFlow models).
     pub of_agent_running: bool,
     /// Flow→link routing rules currently installed.
@@ -54,6 +64,9 @@ impl SimDevice {
             upgrading: None,
             boot_image: "default-image".to_string(),
             mgmt_configured: true,
+            mgmt_plane_reachable: true,
+            crashed: false,
+            crash_reboot_at: None,
             of_agent_running: matches!(model, DeviceModel::OpenFlowSwitch),
             routing_rules: Vec::new(),
             link_weights: Vec::new(),
@@ -72,10 +85,44 @@ impl SimDevice {
         }
     }
 
-    /// Whether the device is operational (powered and not mid-reboot):
-    /// the condition for its links to be oper-up and traffic to flow.
+    /// Crash the device: forwarding stops, the management plane goes
+    /// silent, and volatile state — installed routing rules, link
+    /// weights, any in-flight upgrade — is lost (it lived in the agent's
+    /// memory / TCAM). Non-volatile state (firmware, boot image,
+    /// management config) survives. If `reboot_at` is set the device
+    /// recovers on its own at that instant; otherwise it stays down until
+    /// explicitly restored.
+    pub fn crash(&mut self, reboot_at: Option<SimTime>) {
+        self.crashed = true;
+        self.crash_reboot_at = reboot_at;
+        self.upgrading = None;
+        self.routing_rules.clear();
+        self.link_weights.clear();
+    }
+
+    /// Bring a crashed device back up. The OpenFlow agent restarts with
+    /// the boot sequence (whether it then stays up is the control loop's
+    /// business); routing state stays empty until re-pushed.
+    pub fn restore(&mut self) {
+        self.crashed = false;
+        self.crash_reboot_at = None;
+        self.of_agent_running = matches!(self.model, DeviceModel::OpenFlowSwitch);
+    }
+
+    /// Recover from a crash-and-auto-reboot fault whose window elapsed.
+    pub fn settle_crash(&mut self, now: SimTime) {
+        if let Some(at) = self.crash_reboot_at {
+            if now >= at {
+                self.restore();
+            }
+        }
+    }
+
+    /// Whether the device is operational (powered, not mid-reboot, not
+    /// crashed): the condition for its links to be oper-up and traffic to
+    /// flow.
     pub fn is_operational(&self, now: SimTime) -> bool {
-        self.admin_power.is_on() && !self.in_reboot_window(now)
+        self.admin_power.is_on() && !self.in_reboot_window(now) && !self.crashed
     }
 
     /// Whether the device is inside an upgrade reboot window.
@@ -87,9 +134,10 @@ impl SimDevice {
     }
 
     /// Whether the management plane answers (vendor API / SNMP). Requires
-    /// power, a configured management interface, and not rebooting.
+    /// power, a configured management interface, not rebooting, and no
+    /// injected management-plane fault.
     pub fn mgmt_reachable(&self, now: SimTime) -> bool {
-        self.is_operational(now) && self.mgmt_configured
+        self.is_operational(now) && self.mgmt_configured && self.mgmt_plane_reachable
     }
 
     /// Whether the routing control plane accepts programming: the
@@ -175,6 +223,50 @@ mod tests {
         let mut bgp = SimDevice::healthy("br-1", DeviceModel::BgpRouter, "9.2");
         bgp.of_agent_running = false;
         assert!(bgp.routing_controllable(SimTime::ZERO));
+    }
+
+    #[test]
+    fn crash_loses_volatile_state_and_all_reachability() {
+        let mut d = dev();
+        d.routing_rules = vec![statesman_types::FlowLinkRule::new(
+            "f",
+            LinkName::between("a", "b"),
+            1.0,
+        )];
+        d.upgrading = Some(("7.0".into(), SimTime::from_mins(10)));
+        d.crash(None);
+        let now = SimTime::from_mins(1);
+        assert!(!d.is_operational(now));
+        assert!(!d.mgmt_reachable(now));
+        assert!(d.routing_rules.is_empty());
+        assert!(d.upgrading.is_none());
+        assert_eq!(d.observed_firmware(), "6.0"); // non-volatile survives
+
+        d.restore();
+        assert!(d.is_operational(now));
+        assert!(d.of_agent_running);
+        assert!(d.routing_rules.is_empty()); // routing must be re-pushed
+    }
+
+    #[test]
+    fn auto_reboot_crash_settles_on_time() {
+        let mut d = dev();
+        d.crash(Some(SimTime::from_mins(5)));
+        d.settle_crash(SimTime::from_mins(4));
+        assert!(d.crashed);
+        d.settle_crash(SimTime::from_mins(5));
+        assert!(!d.crashed);
+        assert!(d.crash_reboot_at.is_none());
+    }
+
+    #[test]
+    fn mgmt_plane_fault_blocks_management_not_forwarding() {
+        let mut d = dev();
+        d.mgmt_plane_reachable = false;
+        let now = SimTime::ZERO;
+        assert!(d.is_operational(now)); // still forwards traffic
+        assert!(!d.mgmt_reachable(now)); // but is silent to management
+        assert!(!d.routing_controllable(now));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!   latency jitter, drawn from the simulation's seeded RNG so runs stay
 //!   reproducible.
 
-use statesman_types::{DeviceName, LinkName, SimTime};
+use statesman_types::{DeviceName, LinkName, SimDuration, SimTime};
 
 /// A deterministic, scheduled fault event.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +50,41 @@ pub enum FaultEvent {
         /// The affected device.
         device: DeviceName,
     },
+    /// Crash a whole device: it stops forwarding, its management plane
+    /// goes silent, and volatile state (installed routing rules, link
+    /// weights, any in-flight upgrade) is lost. It stays down until a
+    /// [`FaultEvent::RestoreDevice`] fires.
+    CrashDevice {
+        /// The affected device.
+        device: DeviceName,
+    },
+    /// Bring a crashed device back. Non-volatile state (firmware, boot
+    /// image, management config) survives; routing state does not — the
+    /// control loop must re-converge it.
+    RestoreDevice {
+        /// The affected device.
+        device: DeviceName,
+    },
+    /// Crash-and-auto-reboot: the device goes down exactly like
+    /// [`FaultEvent::CrashDevice`] but recovers on its own `down_ms`
+    /// later, without a matching restore event.
+    RebootDevice {
+        /// The affected device.
+        device: DeviceName,
+        /// How long the device stays down, milliseconds.
+        down_ms: u64,
+    },
+    /// Make a device's management plane (un)reachable without touching
+    /// forwarding: the device keeps carrying traffic but stops answering
+    /// the monitor and rejecting/ignoring updater commands. Pairs of
+    /// these events model bounded unreachability windows (see
+    /// [`FaultPlan::with_mgmt_outage`]).
+    SetMgmtPlaneReachable {
+        /// The affected device.
+        device: DeviceName,
+        /// New reachability.
+        reachable: bool,
+    },
 }
 
 /// A scheduled fault: fires the first time the simulation advances to or
@@ -79,6 +114,13 @@ pub struct FaultPlan {
     /// Firmware upgrade reboot window, milliseconds (the device is down
     /// this long after an upgrade command lands).
     pub reboot_window_ms: u64,
+    /// Probability that any given link starts a flap during one simulated
+    /// minute (0 disables flapping). Flap starts are drawn from the
+    /// simulation's seeded RNG in sorted link order, so runs with the same
+    /// seed and step sequence flap identically.
+    pub link_flap_prob_per_min: f64,
+    /// How long a flapping link stays physically down, milliseconds.
+    pub link_flap_duration_ms: u64,
 }
 
 impl Default for FaultPlan {
@@ -94,6 +136,10 @@ impl Default for FaultPlan {
             command_latency_ms: 2_000,
             command_jitter_ms: 500,
             reboot_window_ms: 8 * 60_000,
+            link_flap_prob_per_min: 0.0,
+            // When flapping is enabled, a flap outlasts a couple of
+            // monitoring rounds — long enough for the loop to notice.
+            link_flap_duration_ms: 90_000,
         }
     }
 }
@@ -108,6 +154,8 @@ impl FaultPlan {
             command_latency_ms: 0,
             command_jitter_ms: 0,
             reboot_window_ms: 0,
+            link_flap_prob_per_min: 0.0,
+            link_flap_duration_ms: 0,
         }
     }
 
@@ -127,6 +175,49 @@ impl FaultPlan {
                 rate: 0.02,
             },
         )
+    }
+
+    /// Crash a device at `at` and restore it at `at + down`.
+    pub fn with_device_outage(self, device: &DeviceName, at: SimTime, down: SimDuration) -> Self {
+        self.with_event(
+            at,
+            FaultEvent::CrashDevice {
+                device: device.clone(),
+            },
+        )
+        .with_event(
+            at + down,
+            FaultEvent::RestoreDevice {
+                device: device.clone(),
+            },
+        )
+    }
+
+    /// Make a device's management plane unreachable for the window
+    /// `[at, at + down)`: it keeps forwarding but the monitor can't poll
+    /// it and the updater's commands time out.
+    pub fn with_mgmt_outage(self, device: &DeviceName, at: SimTime, down: SimDuration) -> Self {
+        self.with_event(
+            at,
+            FaultEvent::SetMgmtPlaneReachable {
+                device: device.clone(),
+                reachable: false,
+            },
+        )
+        .with_event(
+            at + down,
+            FaultEvent::SetMgmtPlaneReachable {
+                device: device.clone(),
+                reachable: true,
+            },
+        )
+    }
+
+    /// Enable probabilistic link flapping (builder style).
+    pub fn with_link_flapping(mut self, prob_per_min: f64, duration: SimDuration) -> Self {
+        self.link_flap_prob_per_min = prob_per_min;
+        self.link_flap_duration_ms = duration.as_millis() as u64;
+        self
     }
 }
 
@@ -162,5 +253,42 @@ mod tests {
             );
         assert_eq!(p.scheduled.len(), 2);
         assert_eq!(p.scheduled[0].at, SimTime::from_mins(100));
+    }
+
+    #[test]
+    fn outage_builders_schedule_paired_events() {
+        let dev = DeviceName::new("agg-1-1");
+        let p = FaultPlan::ideal()
+            .with_device_outage(&dev, SimTime::from_mins(10), SimDuration::from_mins(5))
+            .with_mgmt_outage(&dev, SimTime::from_mins(20), SimDuration::from_mins(2));
+        assert_eq!(p.scheduled.len(), 4);
+        assert_eq!(
+            p.scheduled[0].event,
+            FaultEvent::CrashDevice {
+                device: dev.clone()
+            }
+        );
+        assert_eq!(p.scheduled[1].at, SimTime::from_mins(15));
+        assert_eq!(
+            p.scheduled[1].event,
+            FaultEvent::RestoreDevice {
+                device: dev.clone()
+            }
+        );
+        assert_eq!(
+            p.scheduled[2].event,
+            FaultEvent::SetMgmtPlaneReachable {
+                device: dev.clone(),
+                reachable: false
+            }
+        );
+        assert_eq!(p.scheduled[3].at, SimTime::from_mins(22));
+    }
+
+    #[test]
+    fn flapping_builder_sets_knobs() {
+        let p = FaultPlan::ideal().with_link_flapping(0.05, SimDuration::from_secs(45));
+        assert_eq!(p.link_flap_prob_per_min, 0.05);
+        assert_eq!(p.link_flap_duration_ms, 45_000);
     }
 }

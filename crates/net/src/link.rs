@@ -21,6 +21,9 @@ pub struct SimLink {
     /// Physical fault: a cut/flapping cable forces oper-down regardless of
     /// admin state (fault-injectable).
     pub physically_down: bool,
+    /// Transient flap: the link is physically down until this instant
+    /// (set by the simulator's probabilistic flapping; `None` = stable).
+    pub flapping_until: Option<SimTime>,
     /// Assigned IP (config level).
     pub ip_assignment: Option<String>,
     /// Which control plane owns the interface.
@@ -45,6 +48,7 @@ impl SimLink {
             capacity_mbps,
             admin_power: PowerStatus::On,
             physically_down: false,
+            flapping_until: None,
             ip_assignment: None,
             control_plane: ControlPlaneMode::Bgp,
             load_ab_mbps: 0.0,
@@ -54,9 +58,19 @@ impl SimLink {
         }
     }
 
-    /// Derived operational status given each endpoint's operational state.
-    pub fn oper_up(&self, a_operational: bool, b_operational: bool) -> bool {
-        self.admin_power.is_on() && !self.physically_down && a_operational && b_operational
+    /// Whether a flap is in progress at `now`.
+    pub fn flapping(&self, now: SimTime) -> bool {
+        matches!(self.flapping_until, Some(until) if now < until)
+    }
+
+    /// Derived operational status at `now` given each endpoint's
+    /// operational state.
+    pub fn oper_up(&self, now: SimTime, a_operational: bool, b_operational: bool) -> bool {
+        self.admin_power.is_on()
+            && !self.physically_down
+            && !self.flapping(now)
+            && a_operational
+            && b_operational
     }
 
     /// Reset measured loads (called before each forwarding recompute).
@@ -107,23 +121,32 @@ mod tests {
     #[test]
     fn healthy_link_is_up_when_endpoints_up() {
         let l = link();
-        assert!(l.oper_up(true, true));
-        assert!(!l.oper_up(false, true));
-        assert!(!l.oper_up(true, false));
+        let now = SimTime::ZERO;
+        assert!(l.oper_up(now, true, true));
+        assert!(!l.oper_up(now, false, true));
+        assert!(!l.oper_up(now, true, false));
     }
 
     #[test]
     fn admin_down_forces_oper_down() {
         let mut l = link();
         l.admin_power = PowerStatus::Off;
-        assert!(!l.oper_up(true, true));
+        assert!(!l.oper_up(SimTime::ZERO, true, true));
     }
 
     #[test]
     fn physical_fault_forces_oper_down() {
         let mut l = link();
         l.physically_down = true;
-        assert!(!l.oper_up(true, true));
+        assert!(!l.oper_up(SimTime::ZERO, true, true));
+    }
+
+    #[test]
+    fn flap_takes_link_down_until_it_expires() {
+        let mut l = link();
+        l.flapping_until = Some(SimTime::from_secs(30));
+        assert!(!l.oper_up(SimTime::from_secs(10), true, true));
+        assert!(l.oper_up(SimTime::from_secs(30), true, true));
     }
 
     #[test]

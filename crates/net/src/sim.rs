@@ -244,6 +244,7 @@ impl SimNetwork {
     /// recompute traffic, and move the shared clock.
     pub fn step_to(&self, target: SimTime) {
         {
+            let prev_now = self.clock.now();
             let mut s = self.state.lock();
 
             // Interleave faults and effects by time. Simplicity over
@@ -257,7 +258,7 @@ impl SimNetwork {
                 due
             };
             for f in due_faults {
-                apply_fault(&mut s, &f.event);
+                apply_fault(&mut s, f.at, &f.event);
             }
 
             let mut due_effects: Vec<PendingEffect> = {
@@ -272,9 +273,37 @@ impl SimNetwork {
                 apply_effect(&mut s, &e, reboot);
             }
 
-            // Settle any upgrades whose reboot window has elapsed.
+            // Settle any upgrades whose reboot window has elapsed, and
+            // crash-reboots whose downtime has passed.
             for dev in s.devices.values_mut() {
                 dev.settle_upgrade(target);
+                dev.settle_crash(target);
+            }
+
+            // Probabilistic link flapping: each stable link may start a
+            // flap this step, with the per-minute probability scaled to
+            // the simulated time elapsed. Links are drawn in sorted order
+            // from the seeded RNG, so identical seeds and step sequences
+            // flap identically.
+            let flap_p = s.faults.link_flap_prob_per_min;
+            if flap_p > 0.0 {
+                let elapsed = target.saturating_since(prev_now);
+                let mins = elapsed.as_millis() as f64 / 60_000.0;
+                let p_step = 1.0 - (1.0 - flap_p).powf(mins);
+                if p_step > 0.0 {
+                    let flap_len = SimDuration::from_millis(s.faults.link_flap_duration_ms);
+                    let mut names: Vec<LinkName> = s.links.keys().cloned().collect();
+                    names.sort();
+                    for name in names {
+                        let roll: f64 = s.rng.gen();
+                        if roll < p_step {
+                            let l = s.links.get_mut(&name).expect("link exists");
+                            if !l.flapping(target) {
+                                l.flapping_until = Some(target + flap_len);
+                            }
+                        }
+                    }
+                }
             }
 
             // Counter random walk (CPU/memory wander within [0.02, 0.98]).
@@ -337,6 +366,18 @@ impl SimNetwork {
             .unwrap_or(false)
     }
 
+    /// Whether a device's management plane currently answers (the
+    /// monitor's-eye view; false for crashed or mgmt-faulted devices).
+    pub fn device_mgmt_reachable(&self, name: &DeviceName) -> bool {
+        let now = self.clock.now();
+        self.state
+            .lock()
+            .devices
+            .get(name)
+            .map(|d| d.mgmt_reachable(now))
+            .unwrap_or(false)
+    }
+
     /// Whether a link is currently oper-up (including endpoint health).
     pub fn link_oper_up(&self, name: &LinkName) -> bool {
         let now = self.clock.now();
@@ -370,10 +411,10 @@ fn link_oper_up_inner(s: &SimState, name: &LinkName, now: SimTime) -> bool {
         .get(&l.name.b)
         .map(|d| d.is_operational(now))
         .unwrap_or(false);
-    l.oper_up(a_up, b_up)
+    l.oper_up(now, a_up, b_up)
 }
 
-fn apply_fault(s: &mut SimState, event: &FaultEvent) {
+fn apply_fault(s: &mut SimState, at: SimTime, event: &FaultEvent) {
     match event {
         FaultEvent::SetFcsErrorRate { link, rate } => {
             if let Some(l) = s.links.get_mut(link) {
@@ -398,6 +439,26 @@ fn apply_fault(s: &mut SimState, event: &FaultEvent) {
         FaultEvent::CrashOpenFlowAgent { device } => {
             if let Some(d) = s.devices.get_mut(device) {
                 d.of_agent_running = false;
+            }
+        }
+        FaultEvent::CrashDevice { device } => {
+            if let Some(d) = s.devices.get_mut(device) {
+                d.crash(None);
+            }
+        }
+        FaultEvent::RestoreDevice { device } => {
+            if let Some(d) = s.devices.get_mut(device) {
+                d.restore();
+            }
+        }
+        FaultEvent::RebootDevice { device, down_ms } => {
+            if let Some(d) = s.devices.get_mut(device) {
+                d.crash(Some(at + SimDuration::from_millis(*down_ms)));
+            }
+        }
+        FaultEvent::SetMgmtPlaneReachable { device, reachable } => {
+            if let Some(d) = s.devices.get_mut(device) {
+                d.mgmt_plane_reachable = *reachable;
             }
         }
     }
@@ -702,6 +763,114 @@ mod tests {
         let dev = DeviceName::new("agg-1-1");
         net.submit(&dev, DeviceCommand::SetBootImage { image: "x".into() });
         assert_eq!(net.command_stats(), (0, 1));
+    }
+
+    #[test]
+    fn device_crash_and_restore_round_trip() {
+        let g = DcnSpec::tiny("dc1").build();
+        let dev = DeviceName::new("agg-1-1");
+        let link = LinkName::between("tor-1-1", "agg-1-1");
+        let mut cfg = SimConfig::ideal();
+        cfg.faults = FaultPlan::ideal().with_device_outage(
+            &dev,
+            SimTime::from_mins(5),
+            SimDuration::from_mins(10),
+        );
+        let net = SimNetwork::new(&g, SimClock::new(), cfg);
+        // Install a rule so we can watch it vanish in the crash.
+        net.submit(
+            &dev,
+            DeviceCommand::SetRoutingRules {
+                rules: vec![FlowLinkRule::new("f", link.clone(), 1.0)],
+            },
+        );
+        net.step_to(SimTime::from_mins(1));
+        assert!(!net.device_snapshot(&dev).unwrap().routing_rules.is_empty());
+
+        net.step_to(SimTime::from_mins(5));
+        assert!(!net.device_operational(&dev));
+        assert!(!net.device_mgmt_reachable(&dev));
+        assert!(!net.link_oper_up(&link));
+        // In-band commands time out while crashed.
+        let out = net.submit(&dev, DeviceCommand::SetBootImage { image: "x".into() });
+        assert_eq!(out, CommandOutcome::TimedOut);
+
+        net.step_to(SimTime::from_mins(15));
+        assert!(net.device_operational(&dev));
+        assert!(net.device_mgmt_reachable(&dev));
+        assert!(net.link_oper_up(&link));
+        // Volatile routing state was lost: the loop must re-push it.
+        assert!(net.device_snapshot(&dev).unwrap().routing_rules.is_empty());
+    }
+
+    #[test]
+    fn reboot_fault_recovers_without_restore_event() {
+        let g = DcnSpec::tiny("dc1").build();
+        let dev = DeviceName::new("agg-1-1");
+        let mut cfg = SimConfig::ideal();
+        cfg.faults = FaultPlan::ideal().with_event(
+            SimTime::from_mins(2),
+            FaultEvent::RebootDevice {
+                device: dev.clone(),
+                down_ms: 3 * 60_000,
+            },
+        );
+        let net = SimNetwork::new(&g, SimClock::new(), cfg);
+        net.step_to(SimTime::from_mins(2));
+        assert!(!net.device_operational(&dev));
+        net.step_to(SimTime::from_mins(4));
+        assert!(!net.device_operational(&dev));
+        // Recovery is anchored to the scheduled fire time (2min + 3min).
+        net.step_to(SimTime::from_mins(5));
+        assert!(net.device_operational(&dev));
+    }
+
+    #[test]
+    fn mgmt_outage_window_blocks_management_only() {
+        let g = DcnSpec::tiny("dc1").build();
+        let dev = DeviceName::new("agg-1-1");
+        let mut cfg = SimConfig::ideal();
+        cfg.faults = FaultPlan::ideal().with_mgmt_outage(
+            &dev,
+            SimTime::from_mins(1),
+            SimDuration::from_mins(2),
+        );
+        let net = SimNetwork::new(&g, SimClock::new(), cfg);
+        net.step_to(SimTime::from_mins(1));
+        assert!(net.device_operational(&dev), "still forwarding");
+        assert!(!net.device_mgmt_reachable(&dev));
+        let out = net.submit(&dev, DeviceCommand::SetBootImage { image: "x".into() });
+        assert_eq!(out, CommandOutcome::TimedOut);
+        net.step_to(SimTime::from_mins(3));
+        assert!(net.device_mgmt_reachable(&dev));
+    }
+
+    #[test]
+    fn link_flapping_is_deterministic_and_heals() {
+        let g = DcnSpec::tiny("dc1").build();
+        let mk = || {
+            let mut cfg = SimConfig::ideal();
+            cfg.seed = 99;
+            cfg.faults = FaultPlan::ideal().with_link_flapping(0.8, SimDuration::from_secs(30));
+            SimNetwork::new(&g, SimClock::new(), cfg)
+        };
+        let run = |net: SimNetwork| -> Vec<bool> {
+            let mut down_history = Vec::new();
+            for i in 1..=10 {
+                net.step_to(SimTime::from_mins(i));
+                for l in net.link_names() {
+                    down_history.push(net.link_oper_up(&l));
+                }
+            }
+            down_history
+        };
+        let a = run(mk());
+        let b = run(mk());
+        assert_eq!(a, b, "same seed, same flaps");
+        assert!(a.iter().any(|up| !up), "p=0.8/min over 10min must flap");
+        // Flaps are time-bounded (30s here), so a link down at one probe
+        // is up again at a later probe — healing is visible in-history.
+        assert!(a.iter().any(|up| *up), "flaps heal between probes");
     }
 
     #[test]

@@ -474,10 +474,7 @@ mod tests {
         c.submit(wb("a", "1")).unwrap();
         let leader = c.leader().unwrap();
         // Cut the third replica off from the leader.
-        let isolated = (0..3u8)
-            .map(ReplicaId)
-            .find(|r| *r != leader)
-            .unwrap();
+        let isolated = (0..3u8).map(ReplicaId).find(|r| *r != leader).unwrap();
         c.partition_replicas(leader, isolated);
         c.submit(wb("b", "2")).unwrap();
         // The isolated replica lags; the ring still commits via the

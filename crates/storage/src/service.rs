@@ -14,11 +14,13 @@
 use crate::cluster::{ClusterConfig, PaxosCluster};
 use crate::machine::LogCommand;
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use statesman_types::{
-    AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, SimDuration,
-    SimTime, StateError, StateKey, StateResult, WriteReceipt,
+    AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, RetryPolicy,
+    SimDuration, SimTime, StateError, StateKey, StateResult, WriteReceipt,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Service construction knobs.
@@ -32,6 +34,11 @@ pub struct StorageConfig {
     pub seed: u64,
     /// Base ring config (latency model etc.).
     pub ring: ClusterConfig,
+    /// Bounded retry schedule for consensus commits: when a partition
+    /// reports [`StateError::StorageUnavailable`], the proxy retries up
+    /// to the policy's budget with jittered exponential backoff (in
+    /// simulated time) before surfacing the typed error to the caller.
+    pub retry: RetryPolicy,
 }
 
 impl Default for StorageConfig {
@@ -41,6 +48,7 @@ impl Default for StorageConfig {
             staleness_bound: SimDuration::from_mins(5),
             seed: 11,
             ring: ClusterConfig::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -81,6 +89,31 @@ struct Inner {
     config: StorageConfig,
     /// Monotone counter of reads served by a leader.
     leader_reads: u64,
+    /// Partitions taken wholesale offline by fault injection: operations
+    /// against them fail fast with a retryable
+    /// [`StateError::StorageUnavailable`] instead of grinding through
+    /// consensus timeouts.
+    offline: HashSet<DatacenterId>,
+    /// Jitter source for retry backoff (seeded; deterministic per run).
+    rng: StdRng,
+    /// Retries performed across all operations (observability).
+    retries: u64,
+    /// Operations that exhausted their retry budget.
+    retries_exhausted: u64,
+}
+
+impl Inner {
+    /// Fail fast if `dc` is fault-injected offline.
+    fn check_online(&self, dc: &DatacenterId) -> StateResult<()> {
+        if self.offline.contains(dc) {
+            Err(StateError::StorageUnavailable {
+                partition: dc.to_string(),
+                reason: "partition offline".into(),
+            })
+        } else {
+            Ok(())
+        }
+    }
 }
 
 /// The partitioned, proxied storage service. Cheap to clone; all clones
@@ -121,11 +154,16 @@ impl StorageService {
             rc.seed = config.seed.wrapping_add(idx);
             PaxosCluster::new(rc)
         });
+        let rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
         StorageService {
             inner: Arc::new(Mutex::new(Inner {
                 partitions,
                 config,
                 leader_reads: 0,
+                offline: HashSet::new(),
+                rng,
+                retries: 0,
+                retries_exhausted: 0,
             })),
             cache: Arc::new(parking_lot::RwLock::new(HashMap::new())),
             cache_hits: Arc::new(std::sync::atomic::AtomicU64::new(0)),
@@ -178,17 +216,20 @@ impl StorageService {
         dcs.sort();
         for dc in dcs {
             let rows = by_dc.remove(&dc).expect("key exists");
-            let ring =
-                inner
-                    .partitions
-                    .get_mut(&dc)
-                    .ok_or_else(|| StateError::UnroutableEntity {
-                        entity: rows[0].entity.clone(),
-                    })?;
-            ring.submit(LogCommand::WriteBatch {
-                pool: req.pool.clone(),
-                rows,
-            })?;
+            if !inner.partitions.contains_key(&dc) {
+                return Err(StateError::UnroutableEntity {
+                    entity: rows[0].entity.clone(),
+                });
+            }
+            submit_with_retry(
+                &mut inner,
+                &self.clock,
+                &dc,
+                LogCommand::WriteBatch {
+                    pool: req.pool.clone(),
+                    rows,
+                },
+            )?;
         }
         Ok(())
     }
@@ -207,17 +248,20 @@ impl StorageService {
         dcs.sort();
         for dc in dcs {
             let keys = by_dc.remove(&dc).expect("key exists");
-            let ring =
-                inner
-                    .partitions
-                    .get_mut(&dc)
-                    .ok_or_else(|| StateError::UnroutableEntity {
-                        entity: keys[0].entity.clone(),
-                    })?;
-            ring.submit(LogCommand::DeleteBatch {
-                pool: pool.clone(),
-                keys,
-            })?;
+            if !inner.partitions.contains_key(&dc) {
+                return Err(StateError::UnroutableEntity {
+                    entity: keys[0].entity.clone(),
+                });
+            }
+            submit_with_retry(
+                &mut inner,
+                &self.clock,
+                &dc,
+                LogCommand::DeleteBatch {
+                    pool: pool.clone(),
+                    keys,
+                },
+            )?;
         }
         Ok(())
     }
@@ -228,6 +272,7 @@ impl StorageService {
         let rows: Arc<Vec<NetworkState>> = match req.freshness {
             Freshness::UpToDate => {
                 let mut inner = self.inner.lock();
+                inner.check_online(&req.datacenter)?;
                 inner.leader_reads += 1;
                 let ring = inner.partitions.get_mut(&req.datacenter).ok_or_else(|| {
                     StateError::StorageUnavailable {
@@ -257,9 +302,13 @@ impl StorageService {
                     None => {
                         // Refresh from a follower replica: cheap, and
                         // possibly behind the leader — both forms of
-                        // staleness the 5-minute bound covers.
+                        // staleness the 5-minute bound covers. (A cache
+                        // hit above deliberately skips the online check:
+                        // bounded-stale reads ride out partition outages
+                        // for as long as the staleness bound allows.)
                         let rows = {
                             let mut inner = self.inner.lock();
+                            inner.check_online(&req.datacenter)?;
                             let ring =
                                 inner.partitions.get_mut(&req.datacenter).ok_or_else(|| {
                                     StateError::StorageUnavailable {
@@ -294,6 +343,7 @@ impl StorageService {
     /// Read one row up-to-date (checker fast path).
     pub fn read_row(&self, pool: &Pool, key: &StateKey) -> StateResult<Option<NetworkState>> {
         let mut inner = self.inner.lock();
+        inner.check_online(&key.entity.datacenter)?;
         inner.leader_reads += 1;
         let ring = inner
             .partitions
@@ -311,20 +361,24 @@ impl StorageService {
             return Ok(());
         }
         let mut inner = self.inner.lock();
-        let ring = inner
-            .partitions
-            .get_mut(dc)
-            .ok_or_else(|| StateError::StorageUnavailable {
+        if !inner.partitions.contains_key(dc) {
+            return Err(StateError::StorageUnavailable {
                 partition: dc.to_string(),
                 reason: "unknown partition".into(),
-            })?;
-        ring.submit(LogCommand::PostReceipts { receipts })?;
-        Ok(())
+            });
+        }
+        submit_with_retry(
+            &mut inner,
+            &self.clock,
+            dc,
+            LogCommand::PostReceipts { receipts },
+        )
     }
 
     /// Drain the receipts queued for an application in one partition.
     pub fn take_receipts(&self, dc: &DatacenterId, app: &AppId) -> StateResult<Vec<WriteReceipt>> {
         let mut inner = self.inner.lock();
+        inner.check_online(dc)?;
         let ring = inner
             .partitions
             .get_mut(dc)
@@ -409,6 +463,77 @@ impl StorageService {
         let mut inner = self.inner.lock();
         if let Some(ring) = inner.partitions.get_mut(dc) {
             ring.restart(crate::bus::ReplicaId(replica));
+        }
+    }
+
+    /// Take a whole partition offline (or bring it back): failure
+    /// injection for degraded-mode and chaos scenarios. While offline,
+    /// commits and leader reads against the partition fail fast with a
+    /// retryable [`StateError::StorageUnavailable`]; bounded-stale reads
+    /// keep serving cached snapshots within the staleness bound.
+    pub fn set_partition_available(&self, dc: &DatacenterId, available: bool) {
+        let mut inner = self.inner.lock();
+        if available {
+            inner.offline.remove(dc);
+        } else {
+            inner.offline.insert(dc.clone());
+        }
+    }
+
+    /// Whether a partition is currently available (not fault-injected
+    /// offline). The coordinator polls this to decide which impact
+    /// groups a degraded round can still process.
+    pub fn partition_available(&self, dc: &DatacenterId) -> bool {
+        let inner = self.inner.lock();
+        !inner.offline.contains(dc) && inner.partitions.contains_key(dc)
+    }
+
+    /// (retries performed, operations that exhausted their retry budget).
+    pub fn retry_stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.retries, inner.retries_exhausted)
+    }
+}
+
+/// Submit one consensus command with the configured bounded retry and
+/// jittered exponential backoff. Backoffs advance *simulated* time, so
+/// retry cost is visible in round latency without wall-clock stalls.
+/// Fatal (non-retryable) errors and exhausted budgets surface the typed
+/// error to the caller — nothing blocks indefinitely.
+fn submit_with_retry(
+    inner: &mut Inner,
+    clock: &statesman_net::SimClock,
+    dc: &DatacenterId,
+    cmd: LogCommand,
+) -> StateResult<()> {
+    let policy = inner.config.retry.clone();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let res = inner.check_online(dc).and_then(|()| {
+            let ring =
+                inner
+                    .partitions
+                    .get_mut(dc)
+                    .ok_or_else(|| StateError::StorageUnavailable {
+                        partition: dc.to_string(),
+                        reason: "unknown partition".into(),
+                    })?;
+            ring.submit(cmd.clone()).map(|_| ())
+        });
+        match res {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_retryable() && policy.should_retry(attempt) => {
+                inner.retries += 1;
+                let roll: f64 = inner.rng.gen();
+                clock.advance(policy.backoff_after(attempt, roll));
+            }
+            Err(e) => {
+                if e.is_retryable() {
+                    inner.retries_exhausted += 1;
+                }
+                return Err(e);
+            }
         }
     }
 }
@@ -654,6 +779,103 @@ mod tests {
         .unwrap();
         assert_eq!(s.pool_len(&dc, &Pool::Observed), 1);
         s.restart_replica(&dc, 0);
+    }
+
+    #[test]
+    fn offline_partition_fails_fast_with_retryable_error() {
+        let c = clock();
+        let s = svc(&c);
+        let dc = DatacenterId::new("dc1");
+        s.set_partition_available(&dc, false);
+        assert!(!s.partition_available(&dc));
+        let err = s
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![row("dc1", "a", "1", c.now())],
+            })
+            .unwrap_err();
+        assert!(matches!(err, StateError::StorageUnavailable { .. }));
+        assert!(err.is_retryable(), "partition outage must be retryable");
+        // The other partition is unaffected.
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc2", "a", "1", c.now())],
+        })
+        .unwrap();
+
+        // Back online: the same write now lands.
+        s.set_partition_available(&dc, true);
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "a", "1", c.now())],
+        })
+        .unwrap();
+        assert_eq!(s.pool_len(&dc, &Pool::Observed), 1);
+    }
+
+    #[test]
+    fn retries_are_bounded_and_counted() {
+        let c = clock();
+        let mut cfg = StorageConfig::default();
+        cfg.retry = statesman_types::RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_millis(100),
+            max_backoff: SimDuration::from_secs(1),
+            jitter_frac: 0.5,
+        };
+        let s = StorageService::new([DatacenterId::new("dc1")], c.clone(), cfg.clone());
+        let dc = DatacenterId::new("dc1");
+        s.set_partition_available(&dc, false);
+        let before = c.now();
+        let err = s
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![row("dc1", "a", "1", c.now())],
+            })
+            .unwrap_err();
+        assert!(matches!(err, StateError::StorageUnavailable { .. }));
+        let (retries, exhausted) = s.retry_stats();
+        assert_eq!(retries, 2, "max_attempts 3 = 2 retries");
+        assert_eq!(exhausted, 1);
+        // Backoff consumed simulated time, but no more than the policy's
+        // provable worst case.
+        let spent = c.now().saturating_since(before);
+        assert!(spent > SimDuration::ZERO, "backoff advances sim time");
+        assert!(
+            spent <= cfg.retry.worst_case_total_backoff(),
+            "{spent} exceeds bound {}",
+            cfg.retry.worst_case_total_backoff()
+        );
+    }
+
+    #[test]
+    fn bounded_stale_reads_survive_partition_outage_within_bound() {
+        let c = clock();
+        let s = svc(&c);
+        let dc = DatacenterId::new("dc1");
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "a", "1", c.now())],
+        })
+        .unwrap();
+        let rd = |fresh: Freshness| {
+            s.read(ReadRequest {
+                datacenter: dc.clone(),
+                pool: Pool::Observed,
+                freshness: fresh,
+                entity: None,
+                attribute: None,
+            })
+        };
+        // Warm the cache, then take the partition down.
+        assert_eq!(rd(Freshness::BoundedStale).unwrap().len(), 1);
+        s.set_partition_available(&dc, false);
+        // Leader reads fail fast; stale reads ride the cache.
+        assert!(rd(Freshness::UpToDate).is_err());
+        assert_eq!(rd(Freshness::BoundedStale).unwrap().len(), 1);
+        // Past the staleness bound the cache expires and the outage shows.
+        c.advance(SimDuration::from_mins(6));
+        assert!(rd(Freshness::BoundedStale).is_err());
     }
 
     #[test]

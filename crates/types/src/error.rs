@@ -111,6 +111,27 @@ impl StateError {
                 | StateError::Io { .. }
         )
     }
+
+    /// The retryable/fatal split every retry path (monitor, updater,
+    /// storage) keys on. Retryable = the same request may succeed if
+    /// reissued after a backoff, because the cause is elsewhere in the
+    /// system and transient. Everything else is fatal-as-issued: retrying
+    /// without changing the request (or the world) cannot succeed, so
+    /// retry loops must give up immediately rather than burn their
+    /// attempt budget.
+    ///
+    /// Today this coincides with [`StateError::is_transient`]; it is a
+    /// separate method because the contract differs — `is_transient`
+    /// describes the failure, `is_retryable` prescribes the reaction.
+    pub fn is_retryable(&self) -> bool {
+        self.is_transient()
+    }
+
+    /// Complement of [`StateError::is_retryable`], for call sites that
+    /// read better in the negative.
+    pub fn is_fatal(&self) -> bool {
+        !self.is_retryable()
+    }
 }
 
 impl fmt::Display for StateError {
@@ -175,6 +196,22 @@ mod tests {
             attribute: "DeviceFirmwareVersion".into()
         }
         .is_transient());
+    }
+
+    #[test]
+    fn retryable_tracks_transient_and_fatal_is_its_complement() {
+        let retryable = StateError::StorageUnavailable {
+            partition: "dc1".into(),
+            reason: "no quorum".into(),
+        };
+        assert!(retryable.is_retryable());
+        assert!(!retryable.is_fatal());
+        let fatal = StateError::NoCommandTemplate {
+            model: "vendorX-9k".into(),
+            attribute: "DeviceFirmwareVersion".into(),
+        };
+        assert!(!fatal.is_retryable());
+        assert!(fatal.is_fatal());
     }
 
     #[test]

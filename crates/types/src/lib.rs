@@ -29,6 +29,7 @@
 pub mod entity;
 pub mod error;
 pub mod lock;
+pub mod retry;
 pub mod state;
 pub mod time;
 pub mod value;
@@ -39,6 +40,7 @@ pub use entity::{
 };
 pub use error::{StateError, StateResult};
 pub use lock::{LockPriority, LockRecord};
+pub use retry::RetryPolicy;
 pub use state::{AppId, Freshness, NetworkState, Pool, StateKey, WriteOutcome, WriteReceipt};
 pub use time::{SimDuration, SimTime, Version};
 pub use value::{ControlPlaneMode, FlowLinkRule, OperStatus, PowerStatus, Value};

@@ -1,0 +1,150 @@
+//! Bounded retry with jittered exponential backoff.
+//!
+//! The paper's §6.2 observation — "because of scale and dynamism, network
+//! failures during updates are inevitable" — means every component that
+//! talks to something failable (the updater to devices, the monitor to
+//! devices, everyone to storage partitions) needs the same retry shape:
+//! a *bounded* number of attempts, exponentially spaced, with jitter so
+//! synchronized retries don't stampede. [`RetryPolicy`] captures that
+//! shape once.
+//!
+//! The policy is deliberately RNG-free: callers pass a uniform roll in
+//! `[0, 1)` drawn from their own seeded generator, so backoff schedules
+//! stay deterministic per simulation seed and this crate stays
+//! dependency-free.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A bounded retry schedule: up to `max_attempts` tries, exponentially
+/// backed off between them, with multiplicative jitter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: SimDuration,
+    /// Cap on any single backoff.
+    pub max_backoff: SimDuration,
+    /// Multiplicative jitter amplitude in `[0, 1]`: the computed backoff
+    /// is scaled by a factor uniform in `[1 - j, 1 + j]`.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_millis(200),
+            max_backoff: SimDuration::from_secs(5),
+            jitter_frac: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: fail on the first error.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: SimDuration::ZERO,
+            max_backoff: SimDuration::ZERO,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// Whether a failed `attempt` (1-based) leaves budget for another try.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+
+    /// The backoff to wait after failed `attempt` (1-based), given a
+    /// uniform jitter roll in `[0, 1)`. Exponential: `base * 2^(attempt-1)`,
+    /// capped at `max_backoff`, then jittered by `± jitter_frac`.
+    pub fn backoff_after(&self, attempt: u32, jitter_roll: f64) -> SimDuration {
+        let doublings = attempt.saturating_sub(1).min(32);
+        let raw = self.base_backoff.saturating_mul(1u64 << doublings);
+        let capped = raw.min(self.max_backoff);
+        let factor = 1.0 + self.jitter_frac * (2.0 * jitter_roll - 1.0);
+        SimDuration::from_millis((capped.as_millis() as f64 * factor.max(0.0)).round() as u64)
+    }
+
+    /// An upper bound on the total simulated time one operation can spend
+    /// backing off under this policy — the "provably bounded" number the
+    /// fault-tolerance tests assert against.
+    pub fn worst_case_total_backoff(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for attempt in 1..self.max_attempts.max(1) {
+            let doublings = attempt.saturating_sub(1).min(32);
+            let raw = self.base_backoff.saturating_mul(1u64 << doublings);
+            let capped = raw.min(self.max_backoff);
+            let worst = SimDuration::from_millis(
+                (capped.as_millis() as f64 * (1.0 + self.jitter_frac)).round() as u64,
+            );
+            total = total + worst;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: SimDuration::from_millis(100),
+            max_backoff: SimDuration::from_millis(450),
+            jitter_frac: 0.0,
+        };
+        assert_eq!(p.backoff_after(1, 0.5), SimDuration::from_millis(100));
+        assert_eq!(p.backoff_after(2, 0.5), SimDuration::from_millis(200));
+        assert_eq!(p.backoff_after(3, 0.5), SimDuration::from_millis(400));
+        assert_eq!(p.backoff_after(4, 0.5), SimDuration::from_millis(450));
+        assert_eq!(p.backoff_after(9, 0.5), SimDuration::from_millis(450));
+    }
+
+    #[test]
+    fn jitter_scales_symmetrically() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_millis(1000),
+            max_backoff: SimDuration::from_secs(60),
+            jitter_frac: 0.5,
+        };
+        assert_eq!(p.backoff_after(1, 0.0), SimDuration::from_millis(500));
+        assert_eq!(p.backoff_after(1, 0.5), SimDuration::from_millis(1000));
+        // roll → 1.0 approaches 1.5x
+        assert_eq!(p.backoff_after(1, 0.999), SimDuration::from_millis(1499));
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let p = RetryPolicy::default();
+        assert!(p.should_retry(1));
+        assert!(p.should_retry(3));
+        assert!(!p.should_retry(4));
+        assert!(!RetryPolicy::none().should_retry(1));
+    }
+
+    #[test]
+    fn worst_case_bound_dominates_any_schedule() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: SimDuration::from_millis(100),
+            max_backoff: SimDuration::from_millis(800),
+            jitter_frac: 0.3,
+        };
+        let bound = p.worst_case_total_backoff();
+        for roll10 in 0..10 {
+            let roll = roll10 as f64 / 10.0;
+            let mut total = SimDuration::ZERO;
+            for attempt in 1..p.max_attempts {
+                total = total + p.backoff_after(attempt, roll);
+            }
+            assert!(total <= bound, "roll {roll}: {total} > {bound}");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! The API front end's socket timeouts, observed on real TCP: a healthy
+//! request, a half-open connection (connects, never sends — the classic
+//! slow-client resource attack on thread-per-connection servers), and a
+//! garbage request, each answered appropriately.
+//!
+//! ```text
+//! cargo run --example api_timeouts
+//! ```
+
+use statesman::httpapi::ApiServer;
+use statesman::net::SimClock;
+use statesman::storage::StorageService;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let clock = SimClock::new();
+    let storage = StorageService::single_dc("dc1", clock);
+    let server = ApiServer::start_with_io_timeout(storage, Duration::from_millis(300)).unwrap();
+    let addr = server.addr();
+    println!("API on http://{addr}, per-socket io timeout 300ms\n");
+
+    // A well-formed request over a raw socket.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: demo\r\n\r\n")
+        .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    println!("--- healthz over raw TCP ---\n{buf}\n");
+
+    // Half-open: connect and send nothing. The server must answer 408
+    // and close rather than pin the worker thread forever.
+    let t0 = Instant::now();
+    let mut idle = TcpStream::connect(addr).unwrap();
+    let mut buf = String::new();
+    idle.read_to_string(&mut buf).unwrap();
+    println!(
+        "--- half-open connection, closed by server after {}ms ---\n{buf}\n",
+        t0.elapsed().as_millis()
+    );
+
+    // Garbage that did arrive stays a 400, not a 408.
+    let mut g = TcpStream::connect(addr).unwrap();
+    g.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    g.read_to_string(&mut buf).unwrap();
+    println!("--- garbage request ---\n{buf}");
+}

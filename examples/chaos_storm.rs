@@ -1,0 +1,64 @@
+//! A chaos storm, watched live: the standard multi-layer fault plan
+//! (device crash, management-plane outage, storage partition outage, app
+//! blackout, lossy commands, link flapping) against a full Statesman
+//! instance running an upgrade campaign.
+//!
+//! ```text
+//! cargo run --example chaos_storm -- [seed]
+//! ```
+//!
+//! Exits nonzero if the run violated ground-truth safety, aborted a
+//! round, or never converged — so it doubles as a one-shot chaos probe
+//! for any seed, not just the five pinned in the test suite.
+
+use statesman_chaos::ChaosScenario;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mut scenario = ChaosScenario::standard(seed);
+    scenario.verbose = true;
+
+    let plan = &scenario.plan;
+    println!("chaos plan (seed {seed}):");
+    for (d, at, down) in &plan.device_outages {
+        println!("  crash    {} at {at} for {down}", d.as_str());
+    }
+    for (d, at, down) in &plan.mgmt_outages {
+        println!("  mgmt-out {} at {at} for {down}", d.as_str());
+    }
+    for (dc, at, down) in &plan.partition_outages {
+        println!("  part-out {dc} at {at} for {down}");
+    }
+    if let Some((at, down)) = plan.app_blackout {
+        println!("  app-out  at {at} for {down}");
+    }
+    println!(
+        "  commands: {:.0}% reject, {:.0}% timeout; link flap {:.1}%/min for {}",
+        plan.command_failure_prob * 100.0,
+        plan.command_timeout_prob * 100.0,
+        plan.link_flap_prob_per_min * 100.0,
+        plan.link_flap_duration,
+    );
+    println!("  last heal at {}", plan.last_heal());
+    println!();
+
+    let outcome = scenario.run();
+    println!();
+    println!("{outcome:#?}");
+
+    let ok = outcome.safety_violations.is_empty()
+        && outcome.tick_errors == 0
+        && outcome.converged_at.is_some();
+    if !ok {
+        println!("CHAOS RUN FAILED");
+        std::process::exit(1);
+    }
+    println!(
+        "safe and live: converged at round {} of {}",
+        outcome.converged_at.unwrap(),
+        outcome.rounds_run
+    );
+}

@@ -48,10 +48,14 @@ fn main() {
     );
 
     println!("idle Fig-7 fabric; energy saver targets pods 1-2 (4 Aggs each)");
-    statesman.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+    statesman
+        .tick_and_advance(SimDuration::from_mins(5))
+        .unwrap();
     for round in 1..=12 {
         let report = app.step().unwrap();
-        statesman.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+        statesman
+            .tick_and_advance(SimDuration::from_mins(5))
+            .unwrap();
         net.step(SimDuration::from_mins(1));
         for note in &report.notes {
             println!("[round {round:>2}] {note}");

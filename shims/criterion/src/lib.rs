@@ -1,0 +1,150 @@
+//! Offline stand-in for `criterion` (0.5 API surface used here).
+//!
+//! No statistics, plots, or warm-up phases: each benchmark closure runs a
+//! small fixed number of iterations and the mean wall-clock time is
+//! printed. That keeps `cargo bench` functional (and fast) without
+//! registry access while preserving the upstream macro/API shape.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            group: name,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        run_one("", &id.into(), 10, &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of samples (we run a scaled-down count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&self.group, &id.into(), self.sample_size, &mut f);
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&self.group, &id.0, self.sample_size, &mut |b| f(b, input));
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// Build an id from a function name and parameter.
+    pub fn new(function: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{param}", function.into()))
+    }
+}
+
+/// Hands the measured closure to the benchmark body.
+pub struct Bencher {
+    iters: u64,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Time `f` over the configured iterations.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+    }
+}
+
+fn run_one(group: &str, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Scale the upstream sample count down: a handful of iterations is
+    // enough for the smoke-level timing this stub reports.
+    let iters = (sample_size as u64 / 5).clamp(1, 5);
+    let mut bencher = Bencher {
+        iters,
+        total_nanos: 0,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.total_nanos > 0 {
+        bencher.total_nanos / bencher.iters.max(1) as u128
+    } else {
+        0
+    };
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!("bench {label}: {} ns/iter ({iters} iters)", per_iter);
+}
+
+/// Collect benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $cfg;
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

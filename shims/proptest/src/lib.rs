@@ -1,0 +1,742 @@
+//! Offline stand-in for `proptest` (1.x): seeded random generation with
+//! the combinator and macro surface this workspace uses, but **no
+//! shrinking** — a failing case panics with the seed and iteration so it
+//! can be reproduced deterministically.
+//!
+//! Supported: `proptest!` (with optional `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, `prop_assume!`,
+//! `prop_oneof!`, `any::<T>()`, ranges as strategies, `&str` regex-subset
+//! strategies, `Just`, `proptest::collection::vec`,
+//! `proptest::option::of`, tuple strategies, and `.prop_map`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng, Union,
+    };
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; we keep suites fast while still
+        // exercising plenty of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The generator handed to strategies.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// Seeded constructor (used by the `proptest!` macro).
+    pub fn seeded(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject(String),
+    /// A `prop_assert*` failed; the test fails.
+    Fail(String),
+}
+
+/// A value generator. Unlike upstream there is no shrinking: `generate`
+/// produces the final value directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Arc::new(move |rng| inner.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.0.gen_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges, primitives, regex strings
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+/// `&str` as a strategy: the string is a regex subset pattern; generated
+/// values match it. Supported syntax: literals, escapes, `[...]` classes
+/// with ranges, and the quantifiers `{n}`, `{n,m}`, `?`, `*`, `+`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes = regex_lite::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported regex pattern {self:?}: {e}"));
+        regex_lite::sample(&nodes, rng)
+    }
+}
+
+mod regex_lite {
+    //! The tiny regex subset used for string strategies.
+
+    use super::TestRng;
+    use rand::Rng;
+
+    pub struct Node {
+        /// Candidate (inclusive) character ranges.
+        pub ranges: Vec<(char, char)>,
+        /// Repetition bounds (inclusive).
+        pub min: u32,
+        pub max: u32,
+    }
+
+    pub fn parse(pattern: &str) -> Result<Vec<Node>, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut nodes = Vec::new();
+        while i < chars.len() {
+            let ranges = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or("unterminated character class")?
+                        + i
+                        + 1;
+                    let body = &chars[i + 1..close];
+                    i = close + 1;
+                    parse_class(body)?
+                }
+                '\\' => {
+                    let c = *chars.get(i + 1).ok_or("dangling escape")?;
+                    i += 2;
+                    vec![(c, c)]
+                }
+                '(' | ')' | '|' | '^' | '$' => {
+                    return Err(format!("unsupported regex construct `{}`", chars[i]));
+                }
+                '.' => {
+                    i += 1;
+                    vec![(' ', '~')]
+                }
+                c => {
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or("unterminated quantifier")?
+                        + i
+                        + 1;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        let lo: u32 = lo.trim().parse().map_err(|_| "bad quantifier")?;
+                        let hi: u32 = hi.trim().parse().map_err(|_| "bad quantifier")?;
+                        (lo, hi)
+                    } else {
+                        let n: u32 = body.trim().parse().map_err(|_| "bad quantifier")?;
+                        (n, n)
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 6)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 6)
+                }
+                _ => (1, 1),
+            };
+            nodes.push(Node { ranges, min, max });
+        }
+        Ok(nodes)
+    }
+
+    fn parse_class(body: &[char]) -> Result<Vec<(char, char)>, String> {
+        let mut ranges = Vec::new();
+        let mut i = 0usize;
+        while i < body.len() {
+            let c = if body[i] == '\\' {
+                i += 1;
+                *body.get(i).ok_or("dangling escape in class")?
+            } else {
+                body[i]
+            };
+            // A `-` forms a range unless it is the last char of the class.
+            if body.get(i + 1) == Some(&'-') && i + 2 < body.len() {
+                let hi = body[i + 2];
+                if c > hi {
+                    return Err(format!("inverted range {c}-{hi}"));
+                }
+                ranges.push((c, hi));
+                i += 3;
+            } else {
+                ranges.push((c, c));
+                i += 1;
+            }
+        }
+        if ranges.is_empty() {
+            return Err("empty character class".into());
+        }
+        Ok(ranges)
+    }
+
+    pub fn sample(nodes: &[Node], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for node in nodes {
+            let count = rng.0.gen_range(node.min..=node.max);
+            for _ in 0..count {
+                let (lo, hi) = node.ranges[rng.0.gen_range(0..node.ranges.len())];
+                let span = hi as u32 - lo as u32 + 1;
+                let pick = lo as u32 + rng.0.gen_range(0..span);
+                out.push(char::from_u32(pick).unwrap_or(lo));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type `any::<T>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range draw for a primitive type.
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for FullRange<T> {
+    fn clone(&self) -> Self {
+        FullRange(std::marker::PhantomData)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::RngCore;
+                rng.0.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+            fn arbitrary() -> FullRange<$t> {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.0.gen::<bool>()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+
+    fn arbitrary() -> FullRange<bool> {
+        FullRange(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for FullRange<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite floats across a wide dynamic range.
+        let mantissa: f64 = rng.0.gen_range(-1.0..1.0);
+        let exp: i32 = rng.0.gen_range(-300..300);
+        mantissa * 10f64.powi(exp)
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = FullRange<f64>;
+
+    fn arbitrary() -> FullRange<f64> {
+        FullRange(std::marker::PhantomData)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);
+
+// ---------------------------------------------------------------------
+// collection / option modules
+// ---------------------------------------------------------------------
+
+pub mod collection {
+    //! `proptest::collection` subset.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec`].
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for vectors of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng
+                .0
+                .gen_range(self.size.lo..self.size.hi.max(self.size.lo + 1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `proptest::option` subset.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<T>` (~25% `None`, matching upstream's
+    /// default weighting).
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` or `Some(value)` from the inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.0.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Define property tests. Mirrors upstream's surface for the forms used
+/// in this workspace.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            // Deterministic per-test seed so failures reproduce.
+            let seed = {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                h
+            };
+            let mut rng = $crate::TestRng::seeded(seed);
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).saturating_add(100);
+            while passed < config.cases {
+                attempts += 1;
+                if attempts > max_attempts {
+                    panic!(
+                        "proptest {}: too many rejected cases ({} attempts, {} passed)",
+                        stringify!($name), attempts, passed
+                    );
+                }
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::TestCaseError::Reject(_)) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {} (seed {:#x}): {}",
+                            stringify!($name), passed, seed, msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Reject the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both: {:?}): {}",
+                stringify!($left), stringify!($right), l, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_strings_match_shape() {
+        let mut rng = TestRng::seeded(11);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9.-]{0,30}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 31);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-'),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_class_with_leading_space_range() {
+        let mut rng = TestRng::seeded(12);
+        for _ in 0..100 {
+            let s = "[ -~]{0,60}".generate(&mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_plumbing_works(
+            a in 0..100u64,
+            b in prop_oneof![Just(1u8), Just(2u8)],
+            opt in crate::option::of(0..5u32),
+            v in crate::collection::vec(0..10i32, 1..4),
+        ) {
+            prop_assume!(a != 99);
+            prop_assert!(a < 100);
+            prop_assert!(b == 1 || b == 2);
+            if let Some(x) = opt {
+                prop_assert!(x < 5);
+            }
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert_eq!(a + 1, 1 + a);
+            prop_assert_ne!(a, a + 1);
+        }
+    }
+}

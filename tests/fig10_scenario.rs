@@ -96,7 +96,11 @@ fn lock_dance_shape_is_seed_independent() {
         let c = result.event_time("C:").expect("C");
         let d = result.event_time("D:").expect("D");
         let e = result.event_time("E:").expect("E");
-        assert!(a <= c && c <= d && d <= e, "seed {seed}: {:?}", result.events);
+        assert!(
+            a <= c && c <= d && d <= e,
+            "seed {seed}: {:?}",
+            result.events
+        );
         assert_eq!(result.final_versions[0].1, "9.4.2", "seed {seed}");
         let br1 = DeviceName::new("br-1");
         for s in &result.samples {

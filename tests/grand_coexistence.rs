@@ -19,17 +19,15 @@
 //! * each application made progress (no starvation).
 
 use statesman_apps::{
-    upgrade::agg_pods_of, EnergyConfig, EnergySaverApp, FailureMitigationApp,
-    InterDcTeApp, ManagementApp, MitigationConfig, SwitchUpgradeApp, TeConfig, TrafficDemand,
-    UpgradeConfig, UpgradePlan,
+    upgrade::agg_pods_of, EnergyConfig, EnergySaverApp, FailureMitigationApp, InterDcTeApp,
+    ManagementApp, MitigationConfig, SwitchUpgradeApp, TeConfig, TrafficDemand, UpgradeConfig,
+    UpgradePlan,
 };
 use statesman_core::{Coordinator, CoordinatorConfig, StatesmanClient};
 use statesman_net::{FaultEvent, SimClock, SimConfig, SimNetwork};
 use statesman_storage::{StorageConfig, StorageService};
 use statesman_topology::{graph::connected, DcnSpec, DeploymentSpec, HealthView, WanSpec};
-use statesman_types::{
-    DatacenterId, DeviceName, DeviceRole, LinkName, SimDuration, SimTime,
-};
+use statesman_types::{DatacenterId, DeviceName, DeviceRole, LinkName, SimDuration, SimTime};
 
 fn ground_truth_health(net: &SimNetwork) -> HealthView {
     let mut h = HealthView::all_up();

@@ -97,6 +97,44 @@ fn stateless_updater_converges_under_failures() {
 }
 
 #[test]
+fn retry_enabled_updater_converges_under_failures() {
+    // In-round bounded retry (the robustness extension) composes with the
+    // §6.2 cross-round implicit retry: under the same 30% reject + 20%
+    // timeout injection, a retry-enabled updater still converges, spends
+    // actual in-round retries on the way, and the per-round work stays
+    // bounded by the policy's worst-case backoff.
+    let (net, storage, graph) = setup(99);
+    let monitor = Monitor::new(net.clone(), storage.clone(), graph.clone());
+    let policy = statesman_types::RetryPolicy {
+        max_attempts: 3,
+        base_backoff: SimDuration::from_secs(1),
+        max_backoff: SimDuration::from_secs(4),
+        jitter_frac: 0.5,
+    };
+    let updater = Updater::new(net.clone(), storage.clone(), graph.clone()).with_retry(policy);
+    monitor.run_round().unwrap();
+    write_targets(&storage, &graph);
+
+    let mut rounds = 0;
+    let mut total_retries = 0;
+    while !converged(&net) {
+        rounds += 1;
+        assert!(rounds <= 30, "did not converge in 30 rounds");
+        let r = updater.run_round().unwrap();
+        total_retries += r.retries;
+        net.step(SimDuration::from_mins(1));
+        monitor.run_round().unwrap();
+    }
+    assert!(
+        total_retries > 0,
+        "50% per-command failure odds must exercise the in-round retry path"
+    );
+
+    let r = updater.run_round().unwrap();
+    assert_eq!(r.diffs, 0);
+}
+
+#[test]
 fn fire_once_updater_does_not_converge() {
     // The wrong design: issue each command once, remember "done", never
     // rediff. Under the same failure injection it strands devices.
