@@ -10,6 +10,7 @@ use statesman_apps::{
 };
 use statesman_core::{Coordinator, CoordinatorConfig, StatesmanClient};
 use statesman_net::{SimClock, SimConfig, SimNetwork};
+use statesman_obs::Obs;
 use statesman_storage::{StorageConfig, StorageService};
 use statesman_topology::DcnSpec;
 use statesman_types::{DatacenterId, SimDuration};
@@ -68,11 +69,15 @@ pub fn measure_loop_breakdown(seed: u64) -> LoopBreakdown {
     sim_cfg.faults.reboot_window_ms = 8 * 60_000;
     let net = SimNetwork::new(&graph, clock.clone(), sim_cfg);
     let storage = StorageService::new([dc.clone()], clock.clone(), StorageConfig::default());
+    let obs = Obs::new();
     let coord = Coordinator::new(
         &graph,
         net.clone(),
         storage.clone(),
-        CoordinatorConfig::default(),
+        CoordinatorConfig {
+            obs: Some(obs.clone()),
+            ..CoordinatorConfig::default()
+        },
     );
 
     // Round 0 seeds the OS.
@@ -96,7 +101,17 @@ pub fn measure_loop_breakdown(seed: u64) -> LoopBreakdown {
     let app_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let round = coord.tick().expect("measured round");
-    let (monitor_ms, checker_ms, updater_ms) = round.latency_breakdown_ms();
+
+    // Read the split back through the observability subsystem — the
+    // round trace is the wire-visible record of the same stages — and
+    // hold it to the report's own accounting.
+    let trace = obs.traces.last().expect("obs trace for measured round");
+    let (monitor_ms, checker_ms, updater_ms) = trace.latency_breakdown_ms();
+    assert_eq!(
+        (monitor_ms, checker_ms, updater_ms),
+        round.latency_breakdown_ms(),
+        "round trace disagrees with the report's latency accounting"
+    );
     LoopBreakdown {
         app_ms,
         monitor_ms,

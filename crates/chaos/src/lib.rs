@@ -28,6 +28,7 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use statesman_core::{Coordinator, CoordinatorConfig, StatesmanClient};
+use statesman_obs::Obs;
 use statesman_net::{FaultPlan, SimClock, SimConfig, SimNetwork};
 use statesman_storage::{StorageConfig, StorageService};
 use statesman_topology::DcnSpec;
@@ -210,6 +211,20 @@ impl ChaosScenario {
     /// Run the scenario to completion and report what happened. Does not
     /// assert anything itself — tests decide which outcome fields matter.
     pub fn run(&self) -> ScenarioOutcome {
+        self.run_inner(None)
+    }
+
+    /// Like [`ChaosScenario::run`], but with an observability handle wired
+    /// through the whole stack: the coordinator records per-round metrics
+    /// and traces into `obs`, and attaches the same registry to the
+    /// storage service and network simulator. Afterwards the caller can
+    /// scrape `obs` (or serve it over `/v1/metrics`) and cross-check the
+    /// registry against the returned [`ScenarioOutcome`].
+    pub fn run_with_obs(&self, obs: &Obs) -> ScenarioOutcome {
+        self.run_inner(Some(obs.clone()))
+    }
+
+    fn run_inner(&self, obs: Option<Obs>) -> ScenarioOutcome {
         let clock = SimClock::new();
         let graph = DcnSpec::tiny("dc1").build();
         let mut cfg = SimConfig::ideal();
@@ -228,6 +243,7 @@ impl ChaosScenario {
             net.clone(),
             storage.clone(),
             CoordinatorConfig {
+                obs,
                 quarantine_cooldown: Some(SimDuration::from_mins(2)),
                 updater_retry: Some(RetryPolicy {
                     max_attempts: 2,
@@ -445,6 +461,52 @@ mod tests {
         let a = ChaosScenario::standard(3).run();
         let b = ChaosScenario::standard(3).run();
         assert_eq!(a, b);
+    }
+
+    /// An observed run is bit-identical to an unobserved one (metrics
+    /// must never perturb the control loop), and the registry's counters
+    /// agree exactly with the outcome the harness tallied independently.
+    #[test]
+    fn observed_runs_match_and_fill_the_registry() {
+        let obs = Obs::new();
+        let scenario = ChaosScenario::standard(3);
+        let outcome = scenario.run_with_obs(&obs);
+        assert_eq!(outcome, scenario.run(), "obs must not perturb the run");
+
+        let reg = &obs.registry;
+        assert_eq!(
+            reg.counter_value("coordinator_rounds_total"),
+            Some(outcome.rounds_run as u64)
+        );
+        assert_eq!(
+            reg.counter_value("coordinator_degraded_rounds_total"),
+            Some(outcome.degraded_rounds as u64)
+        );
+        assert_eq!(
+            reg.counter_value("checker_quarantine_rejected_total"),
+            Some(outcome.quarantine_rejections as u64)
+        );
+        assert_eq!(
+            reg.counter_value("updater_retries_total"),
+            Some(outcome.updater_retries as u64)
+        );
+        assert_eq!(
+            reg.counter_value("updater_commands_failed_total"),
+            Some(outcome.commands_failed as u64)
+        );
+        assert_eq!(
+            reg.counter_value("updater_breakers_opened_total"),
+            Some(outcome.breakers_opened as u64)
+        );
+        assert_eq!(
+            reg.counter_value("storage_retries_total"),
+            Some(outcome.storage_retries)
+        );
+        // The trace ring and status board were fed every round.
+        assert!(!obs.traces.is_empty());
+        assert_eq!(obs.status().last_round, Some(outcome.rounds_run as u64 - 1));
+        // The network simulator was attached too: chaos fired faults.
+        assert!(reg.counter_value("net_faults_fired_total").unwrap_or(0) > 0);
     }
 
     /// The quarantine-rejection path fires end to end: the app keeps

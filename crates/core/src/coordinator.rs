@@ -15,10 +15,12 @@ use crate::invariants::{ConnectivityInvariant, TorPairCapacityInvariant, WanLink
 use crate::monitor::{Monitor, MonitorReport};
 use crate::updater::{Updater, UpdaterReport};
 use statesman_net::SimNetwork;
+use statesman_obs::{Counter, Gauge, Histogram, Obs, RoundTrace, StatusBoard, LATENCY_BUCKETS_MS};
 use statesman_storage::StorageService;
 use statesman_topology::NetworkGraph;
 use statesman_types::{DatacenterId, RetryPolicy, SimDuration, StateResult};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Coordinator construction knobs.
 #[derive(Debug, Clone)]
@@ -49,6 +51,10 @@ pub struct CoordinatorConfig {
     /// Per-device updater circuit breaker: (consecutive-failure
     /// threshold, open cooldown). `None` disables breakers.
     pub updater_breaker: Option<(u32, SimDuration)>,
+    /// Observability handle. When set, every tick records stage metrics
+    /// into its registry, pushes a [`RoundTrace`] onto its ring, and
+    /// refreshes its status board. `None` records nothing.
+    pub obs: Option<Obs>,
 }
 
 impl Default for CoordinatorConfig {
@@ -63,6 +69,58 @@ impl Default for CoordinatorConfig {
             quarantine_cooldown: None,
             updater_retry: None,
             updater_breaker: None,
+            obs: None,
+        }
+    }
+}
+
+/// Cached metric handles for the control loop, one per series the
+/// coordinator records each tick (created once at construction).
+struct CoordObs {
+    rounds: Counter,
+    degraded_rounds: Counter,
+    monitor_polled: Counter,
+    monitor_unreachable: Counter,
+    monitor_quarantined: Gauge,
+    monitor_round_ms: Histogram,
+    checker_proposals: Counter,
+    checker_accepted: Counter,
+    checker_rejected: Counter,
+    checker_already_satisfied: Counter,
+    checker_quarantine_rejected: Counter,
+    checker_pass_ms: Histogram,
+    updater_diffs: Counter,
+    updater_applied: Counter,
+    updater_failed: Counter,
+    updater_retries: Counter,
+    updater_breaker_skips: Counter,
+    updater_breakers_opened: Counter,
+    updater_round_ms: Histogram,
+}
+
+impl CoordObs {
+    fn new(obs: &Obs) -> Self {
+        let r = &obs.registry;
+        CoordObs {
+            rounds: r.counter("coordinator_rounds_total"),
+            degraded_rounds: r.counter("coordinator_degraded_rounds_total"),
+            monitor_polled: r.counter("monitor_devices_polled_total"),
+            monitor_unreachable: r.counter("monitor_devices_unreachable_total"),
+            monitor_quarantined: r.gauge("monitor_devices_quarantined"),
+            monitor_round_ms: r.histogram("monitor_round_ms", LATENCY_BUCKETS_MS),
+            checker_proposals: r.counter("checker_proposals_seen_total"),
+            checker_accepted: r.counter("checker_accepted_total"),
+            checker_rejected: r.counter("checker_rejected_total"),
+            checker_already_satisfied: r.counter("checker_already_satisfied_total"),
+            checker_quarantine_rejected: r.counter("checker_quarantine_rejected_total"),
+            checker_pass_ms: r.histogram("checker_pass_ms", LATENCY_BUCKETS_MS),
+            updater_diffs: r.counter("updater_diffs_total"),
+            updater_applied: r.counter("updater_commands_applied_total"),
+            updater_failed: r.counter("updater_commands_failed_total"),
+            updater_retries: r.counter("updater_retries_total"),
+            updater_breaker_skips: r.counter("updater_breaker_skips_total"),
+            updater_breakers_opened: r.counter("updater_breakers_opened_total"),
+            updater_round_ms: r.histogram("updater_round_ms", LATENCY_BUCKETS_MS),
         }
     }
 }
@@ -160,6 +218,8 @@ pub struct Coordinator {
     net: SimNetwork,
     monitor_instances: Option<usize>,
     parallel_checkers: bool,
+    obs: Option<(Obs, CoordObs)>,
+    round: AtomicU64,
 }
 
 impl Coordinator {
@@ -237,6 +297,17 @@ impl Coordinator {
             updater = updater.with_circuit_breaker(threshold, cooldown);
         }
 
+        // Instrument the shared services against the same registry the
+        // loop records into, so one scrape covers every layer.
+        if let Some(obs) = &config.obs {
+            storage.attach_obs(&obs.registry);
+            net.attach_obs(&obs.registry);
+        }
+        let obs = config.obs.map(|o| {
+            let handles = CoordObs::new(&o);
+            (o, handles)
+        });
+
         Coordinator {
             monitor,
             checkers,
@@ -245,7 +316,14 @@ impl Coordinator {
             net,
             monitor_instances: config.monitor_instances,
             parallel_checkers: config.parallel_checkers,
+            obs,
+            round: AtomicU64::new(0),
         }
+    }
+
+    /// The observability handle, if one was configured.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_ref().map(|(o, _)| o)
     }
 
     /// The impact groups this coordinator runs checkers for.
@@ -328,14 +406,117 @@ impl Coordinator {
         // monitor of the fresh poll that would clear the diff.
         let updater = self.updater.run_round_excluding(&quarantined)?;
         let (storage_retries, storage_retries_exhausted) = self.storage.retry_stats();
-        Ok(RoundReport {
+        let report = RoundReport {
             monitor,
             checkers,
             updater,
             skipped_groups,
             storage_retries,
             storage_retries_exhausted,
-        })
+        };
+        self.record_round(&report);
+        Ok(report)
+    }
+
+    /// Record one finished round into the observability handle (metrics,
+    /// a [`RoundTrace`], and the status board). No-op without one.
+    fn record_round(&self, report: &RoundReport) {
+        let Some((obs, m)) = &self.obs else {
+            return;
+        };
+        let round = self.round.fetch_add(1, Ordering::Relaxed);
+        let now = self.net.clock().now();
+        let (monitor_ms, checker_ms, updater_ms) = report.latency_breakdown_ms();
+
+        m.rounds.inc();
+        if report.degraded() {
+            m.degraded_rounds.inc();
+        }
+        m.monitor_polled.add(report.monitor.devices_polled as u64);
+        m.monitor_unreachable
+            .add(report.monitor.devices_unreachable as u64);
+        m.monitor_quarantined
+            .set(report.monitor.devices_quarantined as i64);
+        m.monitor_round_ms.observe(monitor_ms);
+        let mut reject_reasons: BTreeMap<String, usize> = BTreeMap::new();
+        let mut proposals_seen = 0usize;
+        let mut already_satisfied = 0usize;
+        for pass in &report.checkers {
+            proposals_seen += pass.proposals_seen;
+            already_satisfied += pass.already_satisfied;
+            m.checker_pass_ms
+                .observe(pass.elapsed.as_secs_f64() * 1e3);
+            for receipt in &pass.receipts {
+                if receipt.outcome.is_rejected() {
+                    *reject_reasons
+                        .entry(receipt.outcome.tag().to_string())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        m.checker_proposals.add(proposals_seen as u64);
+        m.checker_accepted.add(report.accepted() as u64);
+        m.checker_rejected.add(report.rejected() as u64);
+        m.checker_already_satisfied.add(already_satisfied as u64);
+        m.checker_quarantine_rejected
+            .add(report.quarantine_rejected() as u64);
+        m.updater_diffs.add(report.updater.diffs as u64);
+        m.updater_applied.add(report.updater.commands_applied as u64);
+        m.updater_failed.add(report.updater.commands_failed as u64);
+        m.updater_retries.add(report.updater.retries as u64);
+        m.updater_breaker_skips
+            .add(report.updater.breaker_skips as u64);
+        m.updater_breakers_opened
+            .add(report.updater.breakers_opened as u64);
+        m.updater_round_ms.observe(updater_ms);
+
+        let quarantined: Vec<String> = self
+            .monitor
+            .quarantined_devices(now)
+            .into_iter()
+            .map(|d| d.to_string())
+            .collect();
+        let breakers_open: Vec<String> = self
+            .updater
+            .open_breakers(now)
+            .into_iter()
+            .map(|d| d.to_string())
+            .collect();
+
+        obs.traces.push(RoundTrace {
+            round,
+            at_ms: now.as_millis(),
+            monitor_ms,
+            checker_ms,
+            updater_ms,
+            devices_polled: report.monitor.devices_polled,
+            devices_unreachable: report.monitor.devices_unreachable,
+            devices_quarantined: report.monitor.devices_quarantined,
+            quarantined: quarantined.clone(),
+            skipped_groups: report.skipped_groups.clone(),
+            degraded: report.degraded(),
+            proposals_seen,
+            accepted: report.accepted(),
+            rejected: report.rejected(),
+            already_satisfied,
+            quarantine_rejected: report.quarantine_rejected(),
+            reject_reasons,
+            updater_diffs: report.updater.diffs,
+            commands_applied: report.updater.commands_applied,
+            commands_failed: report.updater.commands_failed,
+            updater_retries: report.updater.retries,
+            breaker_skips: report.updater.breaker_skips,
+            breakers_opened: report.updater.breakers_opened,
+            breakers_open: breakers_open.clone(),
+            storage_retries: report.storage_retries,
+            storage_retries_exhausted: report.storage_retries_exhausted,
+        });
+        obs.set_status(StatusBoard {
+            quarantined,
+            breakers_open,
+            degraded_partitions: report.skipped_groups.clone(),
+            last_round: Some(round),
+        });
     }
 
     /// Run one round and then advance the simulation by `step`, letting
@@ -523,6 +704,51 @@ mod tests {
             (0, 0, 0, 0),
             "quarantine kept the updater from ever touching the dead device"
         );
+    }
+
+    #[test]
+    fn obs_records_metrics_trace_and_status_each_tick() {
+        let (graph, net, storage, clock) = setup();
+        let obs = Obs::new();
+        let coord = Coordinator::new(
+            &graph,
+            net,
+            storage.clone(),
+            CoordinatorConfig {
+                obs: Some(obs.clone()),
+                ..Default::default()
+            },
+        );
+        let app = StatesmanClient::new("switch-upgrade", storage, clock);
+        coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        app.propose([(
+            EntityName::device("dc1", "agg-1-1"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("7.0"),
+        )])
+        .unwrap();
+        let r = coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+
+        // Metrics mirror the round reports.
+        let reg = &obs.registry;
+        assert_eq!(reg.counter_value("coordinator_rounds_total"), Some(2));
+        assert!(reg.counter_value("monitor_devices_polled_total").unwrap() > 0);
+        assert_eq!(reg.counter_value("checker_accepted_total"), Some(1));
+        assert!(reg.counter_value("updater_commands_applied_total").unwrap() >= 1);
+        // Storage was auto-attached to the same registry.
+        assert!(reg.counter_value("storage_reads_total").unwrap() > 0);
+
+        // The last trace matches the report's latency breakdown exactly.
+        let trace = obs.traces.last().unwrap();
+        assert_eq!(trace.round, 1);
+        assert_eq!(trace.latency_breakdown_ms(), r.latency_breakdown_ms());
+        assert_eq!(trace.accepted, 1);
+        assert_eq!(
+            trace.proposals_seen,
+            trace.accepted + trace.rejected + trace.already_satisfied
+        );
+        assert_eq!(obs.traces.len(), 2);
+        assert_eq!(obs.status().last_round, Some(1));
     }
 
     #[test]

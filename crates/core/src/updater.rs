@@ -429,6 +429,19 @@ impl Updater {
         self
     }
 
+    /// Devices whose circuit breaker is currently open (sorted), i.e.
+    /// commands to them are being skipped until the cooldown passes.
+    pub fn open_breakers(&self, now: SimTime) -> Vec<DeviceName> {
+        let breakers = self.breakers.lock();
+        let mut v: Vec<DeviceName> = breakers
+            .iter()
+            .filter(|(_, b)| b.open_until.map(|t| t > now).unwrap_or(false))
+            .map(|(d, _)| d.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
     /// Whether this instance acts on a difference for `device`/`attribute`.
     fn in_scope(&self, device: &DeviceName, attribute: Attribute) -> bool {
         match &self.scope {

@@ -1,30 +1,68 @@
-//! A blocking HTTP client for the Table-3 API.
+//! A blocking HTTP client for the v1 API.
 //!
 //! One TCP connection per request (`connection: close`), mirroring the
 //! stateless front end. Out-of-process applications use this client the
-//! way in-process ones use `StatesmanClient`.
+//! way in-process ones use `StatesmanClient` — and with
+//! [`ApiClient::with_app`] the surface matches: `read_os`, `propose`,
+//! `take_receipts` work over the wire with the same signatures' intent,
+//! so swapping transports is a one-line change.
+//!
+//! Errors round-trip: a non-2xx v1 response carries the unified
+//! `{code, message, retryable, source}` body, and the client hands back
+//! the same typed [`StateError`] the server raised — an out-of-process
+//! caller can match on `StateError::StorageUnavailable` exactly like an
+//! in-process one.
 
-use crate::http::{encode_component, read_response};
+use crate::error::decode_error;
+use crate::http::{encode_component, read_response_full};
+use crate::server::HealthResponse;
 use statesman_types::{
-    AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, StateError,
-    StateResult, WriteReceipt,
+    AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, SimTime,
+    StateError, StateResult, Value, WriteReceipt,
 };
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 
-/// Client handle (cheap; holds only the server address).
+/// Client handle (cheap; holds the server address and an optional bound
+/// application identity for the `StatesmanClient`-shaped helpers).
 #[derive(Debug, Clone)]
 pub struct ApiClient {
     addr: SocketAddr,
+    app: Option<AppId>,
 }
 
 impl ApiClient {
     /// Point at a server.
     pub fn new(addr: SocketAddr) -> Self {
-        ApiClient { addr }
+        ApiClient { addr, app: None }
+    }
+
+    /// Bind an application identity, enabling [`ApiClient::propose`] and
+    /// [`ApiClient::take_receipts`] (the `StatesmanClient` ergonomics).
+    pub fn with_app(mut self, app: impl Into<AppId>) -> Self {
+        self.app = Some(app.into());
+        self
+    }
+
+    /// The bound application identity, if any.
+    pub fn app(&self) -> Option<&AppId> {
+        self.app.as_ref()
     }
 
     fn request(&self, method: &str, target: &str, body: &[u8]) -> StateResult<(u16, Vec<u8>)> {
+        let (status, _headers, body) = self.raw_request(method, target, body)?;
+        Ok((status, body))
+    }
+
+    /// Issue one request and return the raw (status, headers, body)
+    /// triple. Header names are lowercased. For diagnostics, tests, and
+    /// endpoints without a typed wrapper.
+    pub fn raw_request(
+        &self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> StateResult<(u16, Vec<(String, String)>, Vec<u8>)> {
         let mut stream = TcpStream::connect(self.addr)?;
         let head = format!(
             "{method} {target} HTTP/1.1\r\nhost: statesman\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
@@ -34,21 +72,20 @@ impl ApiClient {
         if !body.is_empty() {
             stream.write_all(body)?;
         }
-        read_response(&mut stream)
+        read_response_full(&mut stream)
     }
 
+    /// On 2xx return the body; otherwise decode the unified error body
+    /// back into the typed [`StateError`] the server raised.
     fn expect_2xx(&self, (status, body): (u16, Vec<u8>)) -> StateResult<Vec<u8>> {
         if (200..300).contains(&status) {
             Ok(body)
         } else {
-            Err(StateError::protocol(format!(
-                "HTTP {status}: {}",
-                String::from_utf8_lossy(&body)
-            )))
+            Err(decode_error(status, &body))
         }
     }
 
-    /// `GET NetworkState/Read` (Table 3a).
+    /// `GET /v1/read` (Table 3a).
     pub fn read(
         &self,
         datacenter: &DatacenterId,
@@ -58,7 +95,7 @@ impl ApiClient {
         attribute: Option<Attribute>,
     ) -> StateResult<Vec<NetworkState>> {
         let mut target = format!(
-            "/NetworkState/Read?Datacenter={}&Pool={}&Freshness={}",
+            "/v1/read?Datacenter={}&Pool={}&Freshness={}",
             encode_component(datacenter.as_str()),
             encode_component(&pool.wire_name()),
             encode_component(freshness.wire_name()),
@@ -74,31 +111,84 @@ impl ApiClient {
             .map_err(|e| StateError::protocol(format!("bad response JSON: {e}")))
     }
 
-    /// `POST NetworkState/Write` (Table 3a): body is a JSON list of
-    /// NetworkState objects.
+    /// `POST /v1/write` (Table 3a): body is a JSON list of NetworkState
+    /// objects.
     pub fn write(&self, pool: &Pool, rows: &[NetworkState]) -> StateResult<()> {
-        let target = format!(
-            "/NetworkState/Write?Pool={}",
-            encode_component(&pool.wire_name())
-        );
+        let target = format!("/v1/write?Pool={}", encode_component(&pool.wire_name()));
         let body = serde_json::to_vec(rows)
             .map_err(|e| StateError::protocol(format!("serialize: {e}")))?;
         self.expect_2xx(self.request("POST", &target, &body)?)?;
         Ok(())
     }
 
-    /// Drain an application's receipts.
+    /// Drain an application's receipts (`GET /v1/receipts`).
     pub fn receipts(&self, app: &AppId) -> StateResult<Vec<WriteReceipt>> {
-        let target = format!(
-            "/NetworkState/Receipts?App={}",
-            encode_component(app.as_str())
-        );
+        let target = format!("/v1/receipts?App={}", encode_component(app.as_str()));
         let body = self.expect_2xx(self.request("GET", &target, &[])?)?;
         serde_json::from_slice(&body)
             .map_err(|e| StateError::protocol(format!("bad response JSON: {e}")))
     }
 
-    /// Raw GET for diagnostics/tests.
+    /// The server's simulated clock (`GET /v1/health`). Out-of-process
+    /// applications stamp proposals with this, like in-process ones use
+    /// `StatesmanClient::now`.
+    pub fn server_now(&self) -> StateResult<SimTime> {
+        let body = self.expect_2xx(self.request("GET", "/v1/health", &[])?)?;
+        let health: HealthResponse = serde_json::from_slice(&body)
+            .map_err(|e| StateError::protocol(format!("bad response JSON: {e}")))?;
+        Ok(SimTime::from_millis(health.now_ms))
+    }
+
+    fn bound_app(&self) -> StateResult<&AppId> {
+        self.app.as_ref().ok_or_else(|| {
+            StateError::invalid("no application identity bound (use ApiClient::with_app)")
+        })
+    }
+
+    /// Read the full observed state of one datacenter at the chosen
+    /// freshness (mirrors `StatesmanClient::read_os`).
+    pub fn read_os(
+        &self,
+        dc: &DatacenterId,
+        freshness: Freshness,
+    ) -> StateResult<Vec<NetworkState>> {
+        self.read(dc, &Pool::Observed, freshness, None, None)
+    }
+
+    /// Propose values under the bound application identity (mirrors
+    /// `StatesmanClient::propose`): one PS write, rows stamped with the
+    /// server's simulated time and this client's identity.
+    pub fn propose(
+        &self,
+        changes: impl IntoIterator<Item = (EntityName, Attribute, Value)>,
+    ) -> StateResult<()> {
+        let app = self.bound_app()?.clone();
+        let rows: Vec<(EntityName, Attribute, Value)> = changes.into_iter().collect();
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let now = self.server_now()?;
+        let rows: Vec<NetworkState> = rows
+            .into_iter()
+            .map(|(e, a, v)| NetworkState::new(e, a, v, now, app.clone()))
+            .collect();
+        self.write(&Pool::Proposed(app), &rows)
+    }
+
+    /// Poll (and consume) the bound application's receipts (mirrors
+    /// `StatesmanClient::take_receipts`).
+    pub fn take_receipts(&self) -> StateResult<Vec<WriteReceipt>> {
+        let app = self.bound_app()?.clone();
+        let mut all = self.receipts(&app)?;
+        all.sort_by(|a, b| {
+            a.decided_at
+                .cmp(&b.decided_at)
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        Ok(all)
+    }
+
+    /// Raw GET for diagnostics/tests: 2xx body or the decoded error.
     pub fn raw_get(&self, target: &str) -> StateResult<Vec<u8>> {
         self.expect_2xx(self.request("GET", target, &[])?)
     }

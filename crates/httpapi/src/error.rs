@@ -1,0 +1,171 @@
+//! The v1 API's unified JSON error body.
+//!
+//! Every non-2xx v1 response carries `{code, message, retryable, source}`:
+//! a stable machine-readable `code`, the human-readable `message`,
+//! whether retrying the same request may succeed, and the full typed
+//! [`StateError`] so [`crate::ApiClient`] can hand callers exactly the
+//! error an in-process `StatesmanClient` would have seen. HTTP status is
+//! derived from the error class (404 missing, 4xx caller bugs, 5xx
+//! service-side failures).
+
+use crate::http::HttpResponse;
+use serde::{Deserialize, Serialize};
+use statesman_types::StateError;
+
+/// The wire shape of a v1 error response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiErrorBody {
+    /// Stable machine-readable error code (snake_case).
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Whether reissuing the same request after a backoff may succeed.
+    pub retryable: bool,
+    /// The typed error, round-trippable into a [`StateError`].
+    pub source: StateError,
+}
+
+/// The stable wire code for an error class.
+pub fn error_code(e: &StateError) -> &'static str {
+    match e {
+        StateError::NotFound { .. } => "not_found",
+        StateError::StorageUnavailable { .. } => "storage_unavailable",
+        StateError::UnroutableEntity { .. } => "unroutable_entity",
+        StateError::DeviceTimeout { .. } => "device_timeout",
+        StateError::CommandFailed { .. } => "command_failed",
+        StateError::NoCommandTemplate { .. } => "no_command_template",
+        StateError::InvalidRequest { .. } => "invalid_request",
+        StateError::Protocol { .. } => "protocol_error",
+        StateError::Io { .. } => "io_error",
+    }
+}
+
+/// The HTTP status an error class maps to.
+pub fn error_status(e: &StateError) -> u16 {
+    match e {
+        StateError::NotFound { .. } => 404,
+        StateError::StorageUnavailable { .. } => 503,
+        StateError::UnroutableEntity { .. } => 400,
+        StateError::DeviceTimeout { .. } => 504,
+        StateError::CommandFailed { .. } => 502,
+        StateError::NoCommandTemplate { .. } => 400,
+        StateError::InvalidRequest { .. } => 400,
+        StateError::Protocol { .. } => 400,
+        StateError::Io { .. } => 500,
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        400 => "Bad Request",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Error",
+    }
+}
+
+/// Render a typed error as the unified v1 error response.
+pub fn error_response(e: StateError) -> HttpResponse {
+    let status = error_status(&e);
+    let body = ApiErrorBody {
+        code: error_code(&e).to_string(),
+        message: e.to_string(),
+        retryable: e.is_retryable(),
+        source: e,
+    };
+    let json = serde_json::to_vec(&body).unwrap_or_else(|_| b"{}".to_vec());
+    HttpResponse {
+        status,
+        reason: reason(status),
+        body: json,
+        content_type: "application/json",
+        headers: Vec::new(),
+    }
+}
+
+/// Decode a non-2xx response body back into the typed error the server
+/// raised. Falls back to a [`StateError::Protocol`] carrying the status
+/// and raw body when the body is not a v1 error (legacy endpoints,
+/// proxies, truncation).
+pub fn decode_error(status: u16, body: &[u8]) -> StateError {
+    match serde_json::from_slice::<ApiErrorBody>(body) {
+        Ok(parsed) => parsed.source,
+        Err(_) => StateError::protocol(format!(
+            "HTTP {status}: {}",
+            String::from_utf8_lossy(body)
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statesman_types::{Attribute, EntityName, Pool, StateKey};
+
+    #[test]
+    fn every_class_round_trips_through_the_wire_body() {
+        let cases = vec![
+            StateError::NotFound {
+                key: StateKey::new(
+                    EntityName::device("dc1", "tor-1-1"),
+                    Attribute::DeviceAdminPower,
+                ),
+                pool: Pool::Observed,
+            },
+            StateError::StorageUnavailable {
+                partition: "dc1".into(),
+                reason: "no quorum".into(),
+            },
+            StateError::UnroutableEntity {
+                entity: EntityName::device("dc9", "x"),
+            },
+            StateError::DeviceTimeout {
+                device: "agg-1-1".into(),
+                operation: "snmp-get".into(),
+            },
+            StateError::CommandFailed {
+                device: "agg-1-1".into(),
+                command: "reload".into(),
+                code: "E-1".into(),
+            },
+            StateError::NoCommandTemplate {
+                model: "vendorX-9k".into(),
+                attribute: "DeviceFirmwareVersion".into(),
+            },
+            StateError::invalid("bad pool"),
+            StateError::protocol("bad wire name"),
+            StateError::Io {
+                reason: "peer gone".into(),
+            },
+        ];
+        for e in cases {
+            let resp = error_response(e.clone());
+            assert_eq!(resp.status, error_status(&e));
+            let decoded = decode_error(resp.status, &resp.body);
+            assert_eq!(decoded, e, "decoded error must equal the original");
+            assert_eq!(decoded.is_retryable(), e.is_retryable());
+        }
+    }
+
+    #[test]
+    fn status_mapping_separates_caller_and_service_faults() {
+        assert_eq!(error_status(&StateError::invalid("x")), 400);
+        assert_eq!(
+            error_status(&StateError::StorageUnavailable {
+                partition: "dc1".into(),
+                reason: "quorum".into()
+            }),
+            503
+        );
+    }
+
+    #[test]
+    fn non_v1_bodies_fall_back_to_protocol_errors() {
+        let e = decode_error(500, b"Internal Server Error");
+        assert!(matches!(e, StateError::Protocol { .. }));
+        assert!(e.to_string().contains("500"));
+    }
+}

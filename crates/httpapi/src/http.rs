@@ -47,68 +47,88 @@ pub struct HttpResponse {
     pub body: Vec<u8>,
     /// Content type.
     pub content_type: &'static str,
+    /// Extra response headers (name, value) beyond the standard set.
+    pub headers: Vec<(String, String)>,
 }
 
 impl HttpResponse {
+    fn new(
+        status: u16,
+        reason: &'static str,
+        body: Vec<u8>,
+        content_type: &'static str,
+    ) -> Self {
+        HttpResponse {
+            status,
+            reason,
+            body,
+            content_type,
+            headers: Vec::new(),
+        }
+    }
+
     /// 200 with a JSON body.
     pub fn ok_json(body: impl Into<Vec<u8>>) -> Self {
-        HttpResponse {
-            status: 200,
-            reason: "OK",
-            body: body.into(),
-            content_type: "application/json",
-        }
+        HttpResponse::new(200, "OK", body.into(), "application/json")
+    }
+
+    /// 200 with a plain-text body (the Prometheus-style metrics export).
+    pub fn ok_text(body: impl Into<Vec<u8>>) -> Self {
+        HttpResponse::new(200, "OK", body.into(), "text/plain")
     }
 
     /// 204 (accepted writes).
     pub fn no_content() -> Self {
-        HttpResponse {
-            status: 204,
-            reason: "No Content",
-            body: Vec::new(),
-            content_type: "text/plain",
-        }
+        HttpResponse::new(204, "No Content", Vec::new(), "text/plain")
     }
 
     /// 400 with a plain-text reason.
     pub fn bad_request(msg: impl Into<String>) -> Self {
-        HttpResponse {
-            status: 400,
-            reason: "Bad Request",
-            body: msg.into().into_bytes(),
-            content_type: "text/plain",
-        }
+        HttpResponse::new(400, "Bad Request", msg.into().into_bytes(), "text/plain")
     }
 
     /// 408 (the connection idled past the server's socket read timeout
     /// before a full request arrived).
     pub fn request_timeout(msg: impl Into<String>) -> Self {
-        HttpResponse {
-            status: 408,
-            reason: "Request Timeout",
-            body: msg.into().into_bytes(),
-            content_type: "text/plain",
-        }
+        HttpResponse::new(
+            408,
+            "Request Timeout",
+            msg.into().into_bytes(),
+            "text/plain",
+        )
     }
 
     /// 404.
     pub fn not_found() -> Self {
-        HttpResponse {
-            status: 404,
-            reason: "Not Found",
-            body: b"no such endpoint".to_vec(),
-            content_type: "text/plain",
-        }
+        HttpResponse::new(404, "Not Found", b"no such endpoint".to_vec(), "text/plain")
+    }
+
+    /// 405: the path exists but not under this verb. `allow` lists the
+    /// verbs that do work, per RFC 9110 §15.5.6.
+    pub fn method_not_allowed(allow: &str) -> Self {
+        HttpResponse::new(
+            405,
+            "Method Not Allowed",
+            b"method not allowed on this path".to_vec(),
+            "text/plain",
+        )
+        .with_header("allow", allow)
     }
 
     /// 503 (storage unavailable).
     pub fn unavailable(msg: impl Into<String>) -> Self {
-        HttpResponse {
-            status: 503,
-            reason: "Service Unavailable",
-            body: msg.into().into_bytes(),
-            content_type: "text/plain",
-        }
+        HttpResponse::new(
+            503,
+            "Service Unavailable",
+            msg.into().into_bytes(),
+            "text/plain",
+        )
+    }
+
+    /// Attach an extra response header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 
     /// Serialize onto the wire.
@@ -116,7 +136,7 @@ impl HttpResponse {
         let mut buf = BytesMut::with_capacity(128 + self.body.len());
         buf.put_slice(
             format!(
-                "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+                "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
                 self.status,
                 self.reason,
                 self.content_type,
@@ -124,6 +144,10 @@ impl HttpResponse {
             )
             .as_bytes(),
         );
+        for (name, value) in &self.headers {
+            buf.put_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        buf.put_slice(b"\r\n");
         buf.put_slice(&self.body);
         stream.write_all(&buf)
     }
@@ -255,6 +279,15 @@ pub fn read_request(stream: &mut TcpStream) -> StateResult<HttpRequest> {
 /// Read one response from a connection (client side). Returns (status,
 /// body).
 pub fn read_response(stream: &mut TcpStream) -> StateResult<(u16, Vec<u8>)> {
+    let (status, _headers, body) = read_response_full(stream)?;
+    Ok((status, body))
+}
+
+/// Read one response including its headers (client side). Header names
+/// are lowercased; values are trimmed. Returns (status, headers, body).
+pub fn read_response_full(
+    stream: &mut TcpStream,
+) -> StateResult<(u16, Vec<(String, String)>, Vec<u8>)> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -264,6 +297,7 @@ pub fn read_response(stream: &mut TcpStream) -> StateResult<(u16, Vec<u8>)> {
         .next()
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| StateError::protocol("bad status line"))?;
+    let mut headers = Vec::new();
     let mut content_length = 0usize;
     loop {
         let mut h = String::new();
@@ -276,16 +310,19 @@ pub fn read_response(stream: &mut TcpStream) -> StateResult<(u16, Vec<u8>)> {
             break;
         }
         if let Some((name, value)) = h.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().unwrap_or(0);
             }
+            headers.push((name, value));
         }
     }
     let mut body = vec![0u8; content_length.min(MAX_BODY)];
     if !body.is_empty() {
         reader.read_exact(&mut body)?;
     }
-    Ok((status, body))
+    Ok((status, headers, body))
 }
 
 #[cfg(test)]

@@ -2,14 +2,22 @@
 
 //! # statesman-httpapi
 //!
-//! The read–write HTTP interface of Table 3, on real TCP sockets:
+//! The versioned v1 HTTP interface over real TCP sockets:
 //!
 //! ```text
-//! GET  /NetworkState/Read?Datacenter={dc}&Pool={p}&Freshness={c}&Entity={e}&Attribute={a}
-//! POST /NetworkState/Write?Pool={p}          (body: JSON list of NetworkState)
-//! GET  /NetworkState/Receipts?App={app}      (drain an application's receipts)
-//! GET  /healthz
+//! GET  /v1/read?Datacenter={dc}&Pool={p}&Freshness={c}&Entity={e}&Attribute={a}
+//! POST /v1/write?Pool={p}            (body: JSON list of NetworkState)
+//! GET  /v1/receipts?App={app}        (drain an application's receipts)
+//! GET  /v1/health                    ({ok, now_ms}: liveness + simulated clock)
+//! GET  /v1/metrics[?format=json]     (the metrics registry; text by default)
+//! GET  /v1/status[?rounds=N]         (status board + last N round traces)
 //! ```
+//!
+//! The Table-3 spellings (`/NetworkState/Read`, `/NetworkState/Write`,
+//! `/NetworkState/Receipts`, `/healthz`) remain as deprecated aliases:
+//! they answer identically plus a `deprecation: true` header and a
+//! `link: </v1/...>; rel="successor-version"` pointer, and each hit bumps
+//! `httpapi_deprecated_total` so operators can watch stragglers drain.
 //!
 //! The paper's storage front end "is implemented as a HTTP web service
 //! with RESTful APIs" (§6.4); applications, monitors, updaters, and
@@ -20,15 +28,24 @@
 //! exactly as the paper describes — including the `Freshness` parameter
 //! choosing between up-to-date and bounded-stale reads.
 //!
+//! Dispatch is a typed route table ([`server::ROUTES`]): unknown paths
+//! are 404, known paths under the wrong verb are 405 with an `allow`
+//! header. Every v1 error is the unified JSON body
+//! `{code, message, retryable, source}` ([`error::ApiErrorBody`]), and
+//! [`ApiClient`] decodes it back into the exact typed
+//! [`StateError`](statesman_types::StateError) the server raised.
+//!
 //! The HTTP/1.1 implementation is deliberately small: request-line +
 //! headers + `Content-Length` bodies, thread-per-connection, graceful
 //! shutdown. No external HTTP dependency — `bytes` for buffers, `serde_json`
 //! for payloads.
 
 pub mod client;
+pub mod error;
 pub mod http;
 pub mod server;
 
 pub use client::ApiClient;
+pub use error::ApiErrorBody;
 pub use http::{HttpRequest, HttpResponse};
-pub use server::ApiServer;
+pub use server::{ApiServer, HealthResponse, StatusResponse};

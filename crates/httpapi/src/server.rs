@@ -1,4 +1,12 @@
-//! The API server: Table-3 endpoints over a [`StorageService`].
+//! The API server: the versioned v1 API over a [`StorageService`],
+//! with the Table-3 paths kept as deprecated aliases.
+//!
+//! Dispatch is a typed route table ([`RouteSpec`]): each entry binds a
+//! method + path to a [`Route`], so an unknown path is a 404 while a
+//! known path under the wrong verb is a 405 with an `allow` header.
+//! Legacy aliases answer exactly like their v1 route but add a
+//! `deprecation` header, a `link` to the successor, and bump
+//! `httpapi_deprecated_total`.
 //!
 //! Thread-per-connection with `connection: close` semantics (each request
 //! is one TCP exchange — matching the paper's stateless REST front end
@@ -11,7 +19,10 @@
 //! thread-per-connection, unbounded pinned workers is a resource-exhaustion
 //! vector and would also wedge graceful shutdown's worker join).
 
+use crate::error::error_response;
 use crate::http::{read_request, HttpRequest, HttpResponse};
+use serde::{Deserialize, Serialize};
+use statesman_obs::{Obs, RoundTrace, StatusBoard};
 use statesman_storage::{ReadRequest, StorageService, WriteRequest};
 use statesman_types::{
     AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, StateError,
@@ -26,6 +37,172 @@ use std::time::Duration;
 /// Default per-socket read/write timeout for accepted connections.
 pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// The endpoints the server implements (each may be reachable through
+/// several [`RouteSpec`] entries: the v1 path and deprecated aliases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /v1/read` — pool rows at a chosen freshness (Table 3a).
+    Read,
+    /// `POST /v1/write` — upsert rows into a pool (Table 3a).
+    Write,
+    /// `GET /v1/receipts` — drain an application's receipts.
+    Receipts,
+    /// `GET /v1/health` — liveness plus the server's simulated clock.
+    Health,
+    /// `GET /v1/metrics` — the metrics registry (text or JSON).
+    Metrics,
+    /// `GET /v1/status` — recent round traces and the status board.
+    Status,
+}
+
+/// One row of the route table: a method + path bound to a [`Route`].
+#[derive(Debug, Clone, Copy)]
+pub struct RouteSpec {
+    /// HTTP method.
+    pub method: &'static str,
+    /// Exact request path.
+    pub path: &'static str,
+    /// The endpoint this row reaches.
+    pub route: Route,
+    /// Deprecated alias? (Table-3 spelling; answers with a
+    /// `deprecation` header and a `link` to `successor`.)
+    pub deprecated: bool,
+    /// The v1 path a deprecated alias forwards to (self for v1 rows).
+    pub successor: &'static str,
+}
+
+/// The route table. Order is irrelevant: lookup is exact-match on path,
+/// then on method.
+pub const ROUTES: &[RouteSpec] = &[
+    RouteSpec {
+        method: "GET",
+        path: "/v1/read",
+        route: Route::Read,
+        deprecated: false,
+        successor: "/v1/read",
+    },
+    RouteSpec {
+        method: "POST",
+        path: "/v1/write",
+        route: Route::Write,
+        deprecated: false,
+        successor: "/v1/write",
+    },
+    RouteSpec {
+        method: "GET",
+        path: "/v1/receipts",
+        route: Route::Receipts,
+        deprecated: false,
+        successor: "/v1/receipts",
+    },
+    RouteSpec {
+        method: "GET",
+        path: "/v1/health",
+        route: Route::Health,
+        deprecated: false,
+        successor: "/v1/health",
+    },
+    RouteSpec {
+        method: "GET",
+        path: "/v1/metrics",
+        route: Route::Metrics,
+        deprecated: false,
+        successor: "/v1/metrics",
+    },
+    RouteSpec {
+        method: "GET",
+        path: "/v1/status",
+        route: Route::Status,
+        deprecated: false,
+        successor: "/v1/status",
+    },
+    // Table-3 spellings, kept for one deprecation cycle.
+    RouteSpec {
+        method: "GET",
+        path: "/NetworkState/Read",
+        route: Route::Read,
+        deprecated: true,
+        successor: "/v1/read",
+    },
+    RouteSpec {
+        method: "POST",
+        path: "/NetworkState/Write",
+        route: Route::Write,
+        deprecated: true,
+        successor: "/v1/write",
+    },
+    RouteSpec {
+        method: "GET",
+        path: "/NetworkState/Receipts",
+        route: Route::Receipts,
+        deprecated: true,
+        successor: "/v1/receipts",
+    },
+    RouteSpec {
+        method: "GET",
+        path: "/healthz",
+        route: Route::Health,
+        deprecated: true,
+        successor: "/v1/health",
+    },
+];
+
+/// `GET /v1/health` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always true when the server answers.
+    pub ok: bool,
+    /// The server's simulated clock, milliseconds since scenario start
+    /// (out-of-process clients stamp proposals with this).
+    pub now_ms: u64,
+}
+
+/// `GET /v1/status` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusResponse {
+    /// The live status board (quarantine set, open breakers, degraded
+    /// partitions, last round index).
+    pub status: StatusBoard,
+    /// The most recent round traces, oldest first.
+    pub traces: Vec<RoundTrace>,
+}
+
+/// Shared per-server state handed to every connection worker.
+struct ServerContext {
+    storage: StorageService,
+    obs: Option<Obs>,
+}
+
+impl ServerContext {
+    /// Count one served request in the shared registry, labeled by route
+    /// path and status code, plus the byte/deprecation side counters.
+    fn record(&self, spec: Option<&RouteSpec>, resp: &HttpResponse, bytes_in: usize) {
+        let Some(obs) = &self.obs else { return };
+        let r = &obs.registry;
+        let route = spec.map(|s| s.path).unwrap_or("unmatched");
+        let status = resp.status.to_string();
+        r.counter_with(
+            "httpapi_requests_total",
+            &[("route", route), ("status", &status)],
+        )
+        .inc();
+        r.counter("httpapi_bytes_received_total")
+            .add(bytes_in as u64);
+        r.counter("httpapi_bytes_sent_total")
+            .add(resp.body.len() as u64);
+        if spec.map(|s| s.deprecated).unwrap_or(false) {
+            r.counter_with("httpapi_deprecated_total", &[("route", route)])
+                .inc();
+        }
+    }
+
+    fn record_io_timeout(&self) {
+        if let Some(obs) = &self.obs {
+            obs.registry.counter("httpapi_io_timeouts_total").inc();
+        }
+    }
+}
+
 /// The running API server.
 pub struct ApiServer {
     addr: SocketAddr,
@@ -38,7 +215,14 @@ impl ApiServer {
     /// Bind on 127.0.0.1 (ephemeral port) and start serving `storage`
     /// with the [`DEFAULT_IO_TIMEOUT`] on every accepted socket.
     pub fn start(storage: StorageService) -> StateResult<ApiServer> {
-        Self::start_with_io_timeout(storage, DEFAULT_IO_TIMEOUT)
+        Self::start_configured(storage, DEFAULT_IO_TIMEOUT, None)
+    }
+
+    /// Like [`ApiServer::start`] but additionally serving `obs` through
+    /// `/v1/metrics` and `/v1/status`, and recording request metrics
+    /// into its registry.
+    pub fn start_with_obs(storage: StorageService, obs: Obs) -> StateResult<ApiServer> {
+        Self::start_configured(storage, DEFAULT_IO_TIMEOUT, Some(obs))
     }
 
     /// Like [`ApiServer::start`] but with an explicit per-socket
@@ -48,10 +232,21 @@ impl ApiServer {
         storage: StorageService,
         io_timeout: Duration,
     ) -> StateResult<ApiServer> {
+        Self::start_configured(storage, io_timeout, None)
+    }
+
+    /// Fully explicit constructor: socket timeout and optional
+    /// observability handle.
+    pub fn start_configured(
+        storage: StorageService,
+        io_timeout: Duration,
+        obs: Option<Obs>,
+    ) -> StateResult<ApiServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let requests = Arc::new(AtomicU64::new(0));
+        let ctx = Arc::new(ServerContext { storage, obs });
         let accept_stop = stop.clone();
         let accept_requests = requests.clone();
         let accept_thread = std::thread::Builder::new()
@@ -69,14 +264,17 @@ impl ApiServer {
                     let t = io_timeout.max(Duration::from_millis(1));
                     let _ = stream.set_read_timeout(Some(t));
                     let _ = stream.set_write_timeout(Some(t));
-                    let storage = storage.clone();
+                    let ctx = ctx.clone();
                     let requests = accept_requests.clone();
                     workers.push(
                         std::thread::Builder::new()
                             .name("statesman-api-conn".into())
                             .spawn(move || {
-                                handle_connection(stream, &storage);
+                                // Count before answering so a client that
+                                // already has its response observes the
+                                // increment.
                                 requests.fetch_add(1, Ordering::Relaxed);
+                                handle_connection(stream, &ctx);
                             })
                             .expect("spawn connection thread"),
                     );
@@ -125,36 +323,74 @@ impl Drop for ApiServer {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, storage: &StorageService) {
-    let response = match read_request(&mut stream) {
-        Ok(req) => dispatch(&req, storage),
+fn handle_connection(mut stream: TcpStream, ctx: &ServerContext) {
+    let (spec, response, bytes_in) = match read_request(&mut stream) {
+        Ok(req) => {
+            let bytes = req.body.len();
+            let (spec, resp) = dispatch(&req, ctx);
+            (spec, resp, bytes)
+        }
         // Socket-level failures are overwhelmingly the read timeout
         // firing on an idle/half-open connection; answer 408 (the write
         // fails harmlessly if the peer is truly gone). Parse failures on
         // data that did arrive stay 400.
         Err(StateError::Io { .. }) => {
-            HttpResponse::request_timeout("connection idled past the server's read timeout")
+            ctx.record_io_timeout();
+            (
+                None,
+                HttpResponse::request_timeout(
+                    "connection idled past the server's read timeout",
+                ),
+                0,
+            )
         }
-        Err(e) => HttpResponse::bad_request(e.to_string()),
+        Err(e) => (None, HttpResponse::bad_request(e.to_string()), 0),
     };
+    ctx.record(spec, &response, bytes_in);
     let _ = response.write_to(&mut stream);
 }
 
-fn dispatch(req: &HttpRequest, storage: &StorageService) -> HttpResponse {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/NetworkState/Read") => handle_read(req, storage),
-        ("POST", "/NetworkState/Write") => handle_write(req, storage),
-        ("GET", "/NetworkState/Receipts") => handle_receipts(req, storage),
-        ("GET", "/healthz") => HttpResponse::ok_json(b"{\"ok\":true}".to_vec()),
-        _ => HttpResponse::not_found(),
+/// Route-table dispatch: exact path match picks the row set; method
+/// match picks the row. A known path under an unknown verb is 405 (with
+/// `allow`), an unknown path is 404. Deprecated aliases answer like
+/// their v1 route plus `deprecation`/`link` headers.
+fn dispatch(req: &HttpRequest, ctx: &ServerContext) -> (Option<&'static RouteSpec>, HttpResponse) {
+    let on_path: Vec<&'static RouteSpec> =
+        ROUTES.iter().filter(|s| s.path == req.path).collect();
+    if on_path.is_empty() {
+        return (None, HttpResponse::not_found());
     }
+    let Some(spec) = on_path.iter().find(|s| s.method == req.method) else {
+        let allow = on_path
+            .iter()
+            .map(|s| s.method)
+            .collect::<Vec<_>>()
+            .join(", ");
+        // Attribute the 405 to the path's first row so the metric lands
+        // on a real route.
+        return (
+            Some(on_path[0]),
+            HttpResponse::method_not_allowed(&allow),
+        );
+    };
+    let mut resp = match spec.route {
+        Route::Read => handle_read(req, &ctx.storage),
+        Route::Write => handle_write(req, &ctx.storage),
+        Route::Receipts => handle_receipts(req, &ctx.storage),
+        Route::Health => handle_health(ctx),
+        Route::Metrics => handle_metrics(req, ctx),
+        Route::Status => handle_status(req, ctx),
+    };
+    if spec.deprecated {
+        resp = resp
+            .with_header("deprecation", "true")
+            .with_header("link", format!("<{}>; rel=\"successor-version\"", spec.successor));
+    }
+    (Some(spec), resp)
 }
 
 fn storage_error(e: StateError) -> HttpResponse {
-    match e {
-        StateError::StorageUnavailable { .. } => HttpResponse::unavailable(e.to_string()),
-        other => HttpResponse::bad_request(other.to_string()),
-    }
+    error_response(e)
 }
 
 fn handle_read(req: &HttpRequest, storage: &StorageService) -> HttpResponse {
@@ -190,14 +426,14 @@ fn handle_read(req: &HttpRequest, storage: &StorageService) -> HttpResponse {
     };
     let request = match parse() {
         Ok(r) => r,
-        Err(e) => return HttpResponse::bad_request(e.to_string()),
+        Err(e) => return error_response(e),
     };
     match storage.read(request) {
         Ok(mut rows) => {
             rows.sort_by_key(|a| a.key());
             match serde_json::to_vec(&rows) {
                 Ok(json) => HttpResponse::ok_json(json),
-                Err(e) => HttpResponse::bad_request(format!("serialize: {e}")),
+                Err(e) => error_response(StateError::protocol(format!("serialize: {e}"))),
             }
         }
         Err(e) => storage_error(e),
@@ -210,11 +446,11 @@ fn handle_write(req: &HttpRequest, storage: &StorageService) -> HttpResponse {
         .and_then(|p| Pool::parse_wire_name(p).ok_or_else(|| StateError::protocol("bad Pool")))
     {
         Ok(p) => p,
-        Err(e) => return HttpResponse::bad_request(e.to_string()),
+        Err(e) => return error_response(e),
     };
     let rows: Vec<NetworkState> = match serde_json::from_slice(&req.body) {
         Ok(r) => r,
-        Err(e) => return HttpResponse::bad_request(format!("body: {e}")),
+        Err(e) => return error_response(StateError::protocol(format!("body: {e}"))),
     };
     match storage.write(WriteRequest { pool, rows }) {
         Ok(()) => HttpResponse::no_content(),
@@ -225,7 +461,7 @@ fn handle_write(req: &HttpRequest, storage: &StorageService) -> HttpResponse {
 fn handle_receipts(req: &HttpRequest, storage: &StorageService) -> HttpResponse {
     let app = match req.require("App") {
         Ok(a) => AppId::new(a),
-        Err(e) => return HttpResponse::bad_request(e.to_string()),
+        Err(e) => return error_response(e),
     };
     let mut all = Vec::new();
     for dc in storage.partitions() {
@@ -236,7 +472,60 @@ fn handle_receipts(req: &HttpRequest, storage: &StorageService) -> HttpResponse 
     }
     match serde_json::to_vec(&all) {
         Ok(json) => HttpResponse::ok_json(json),
-        Err(e) => HttpResponse::bad_request(format!("serialize: {e}")),
+        Err(e) => error_response(StateError::protocol(format!("serialize: {e}"))),
+    }
+}
+
+fn handle_health(ctx: &ServerContext) -> HttpResponse {
+    let body = HealthResponse {
+        ok: true,
+        now_ms: ctx.storage.clock().now().as_millis(),
+    };
+    match serde_json::to_vec(&body) {
+        Ok(json) => HttpResponse::ok_json(json),
+        Err(e) => error_response(StateError::protocol(format!("serialize: {e}"))),
+    }
+}
+
+fn handle_metrics(req: &HttpRequest, ctx: &ServerContext) -> HttpResponse {
+    let Some(obs) = &ctx.obs else {
+        return error_response(StateError::invalid(
+            "observability is not enabled on this server (start it with start_with_obs)",
+        ));
+    };
+    match req.param("format") {
+        Some("json") => HttpResponse::ok_json(obs.registry.render_json().into_bytes()),
+        None | Some("text") => HttpResponse::ok_text(obs.registry.render_text().into_bytes()),
+        Some(other) => error_response(StateError::invalid(format!(
+            "unknown metrics format {other:?} (use \"text\" or \"json\")"
+        ))),
+    }
+}
+
+fn handle_status(req: &HttpRequest, ctx: &ServerContext) -> HttpResponse {
+    let Some(obs) = &ctx.obs else {
+        return error_response(StateError::invalid(
+            "observability is not enabled on this server (start it with start_with_obs)",
+        ));
+    };
+    let rounds = match req.param("rounds") {
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return error_response(StateError::invalid(format!(
+                    "rounds must be a non-negative integer, got {n:?}"
+                )))
+            }
+        },
+        None => 1,
+    };
+    let body = StatusResponse {
+        status: obs.status(),
+        traces: obs.traces.recent(rounds),
+    };
+    match serde_json::to_vec(&body) {
+        Ok(json) => HttpResponse::ok_json(json),
+        Err(e) => error_response(StateError::protocol(format!("serialize: {e}"))),
     }
 }
 
@@ -313,25 +602,75 @@ mod tests {
     }
 
     #[test]
-    fn bad_requests_are_4xx() {
+    fn bad_requests_are_typed_4xx() {
         let (mut server, client, _clock) = server();
-        let err = client.raw_get("/NetworkState/Read?Pool=OS").unwrap_err();
-        assert!(err.to_string().contains("400"), "{err}");
+        let err = client.raw_get("/v1/read?Pool=OS").unwrap_err();
+        assert!(
+            matches!(err, StateError::Protocol { .. }),
+            "missing Datacenter is a protocol error: {err}"
+        );
         let err = client.raw_get("/nope").unwrap_err();
         assert!(err.to_string().contains("404"), "{err}");
         server.shutdown();
     }
 
     #[test]
-    fn health_endpoint() {
+    fn known_path_wrong_verb_is_405_with_allow() {
         let (mut server, client, _clock) = server();
-        let body = client.raw_get("/healthz").unwrap();
-        assert_eq!(body, b"{\"ok\":true}");
+        let (status, headers, _) = client.raw_request("POST", "/v1/read", &[]).unwrap();
+        assert_eq!(status, 405);
+        let allow = headers.iter().find(|(n, _)| n == "allow").cloned();
+        assert_eq!(allow, Some(("allow".to_string(), "GET".to_string())));
+        // Unknown path stays 404 even with a known verb.
+        let (status, _, _) = client.raw_request("GET", "/v2/read", &[]).unwrap();
+        assert_eq!(status, 404);
         server.shutdown();
     }
 
     #[test]
-    fn unroutable_write_is_4xx() {
+    fn health_endpoint_reports_sim_time() {
+        let (mut server, client, clock) = server();
+        clock.advance(statesman_types::SimDuration::from_mins(3));
+        let body = client.raw_get("/v1/health").unwrap();
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("\"ok\":true"), "{text}");
+        assert!(text.contains(&format!("\"now_ms\":{}", 3 * 60_000)), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn legacy_aliases_answer_with_deprecation_headers() {
+        let (mut server, client, clock) = server();
+        client
+            .write(&Pool::Observed, &[fw_row("agg-1-1", "6.0", clock.now())])
+            .unwrap();
+        for (method, path) in [
+            ("GET", "/NetworkState/Read?Datacenter=dc1&Pool=OS"),
+            ("GET", "/NetworkState/Receipts?App=switch-upgrade"),
+            ("GET", "/healthz"),
+        ] {
+            let (status, headers, _) = client.raw_request(method, path, &[]).unwrap();
+            assert_eq!(status, 200, "{path}");
+            assert!(
+                headers.iter().any(|(n, v)| n == "deprecation" && v == "true"),
+                "{path} must carry a deprecation header: {headers:?}"
+            );
+            assert!(
+                headers
+                    .iter()
+                    .any(|(n, v)| n == "link" && v.contains("successor-version")),
+                "{path} must link its successor: {headers:?}"
+            );
+        }
+        // The v1 spelling answers without them.
+        let (status, headers, _) = client.raw_request("GET", "/v1/health", &[]).unwrap();
+        assert_eq!(status, 200);
+        assert!(!headers.iter().any(|(n, _)| n == "deprecation"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unroutable_write_is_typed_4xx() {
         let (mut server, client, clock) = server();
         let row = NetworkState::new(
             EntityName::device("dc-unknown", "x"),
@@ -341,7 +680,18 @@ mod tests {
             AppId::monitor(),
         );
         let err = client.write(&Pool::Observed, &[row]).unwrap_err();
-        assert!(err.to_string().contains("400"), "{err}");
+        assert!(
+            matches!(err, StateError::UnroutableEntity { .. }),
+            "client decodes the typed error: {err:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_and_status_require_obs() {
+        let (mut server, client, _clock) = server();
+        let err = client.raw_get("/v1/metrics").unwrap_err();
+        assert!(matches!(err, StateError::InvalidRequest { .. }), "{err:?}");
         server.shutdown();
     }
 
@@ -358,8 +708,8 @@ mod tests {
         let mut idle = TcpStream::connect(server.addr()).unwrap();
 
         // ...other clients are still served meanwhile...
-        let body = client.raw_get("/healthz").unwrap();
-        assert_eq!(body, b"{\"ok\":true}");
+        let body = client.raw_get("/v1/health").unwrap();
+        assert!(String::from_utf8_lossy(&body).contains("\"ok\":true"));
 
         // ...and once the read timeout fires, the idle connection is
         // answered with 408 and closed rather than pinning its worker.

@@ -28,6 +28,7 @@ use crate::traffic::{route_flows, FlowSpec, ForwardingEnv, TrafficReport};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use statesman_obs::{Counter, Registry};
 use statesman_topology::NetworkGraph;
 use statesman_types::{DeviceName, DeviceRole, LinkName, SimDuration, SimTime};
 use std::collections::HashMap;
@@ -84,6 +85,27 @@ struct PendingEffect {
     seq: u64,
 }
 
+/// Cached metric handles for the simulator (created once at
+/// [`SimNetwork::attach_obs`]).
+#[derive(Clone)]
+struct NetObs {
+    commands_accepted: Counter,
+    commands_failed: Counter,
+    faults_fired: Counter,
+    link_flaps: Counter,
+}
+
+impl NetObs {
+    fn new(registry: &Registry) -> Self {
+        NetObs {
+            commands_accepted: registry.counter("net_commands_accepted_total"),
+            commands_failed: registry.counter("net_commands_failed_total"),
+            faults_fired: registry.counter("net_faults_fired_total"),
+            link_flaps: registry.counter("net_link_flaps_total"),
+        }
+    }
+}
+
 /// Inner mutable simulator state.
 struct SimState {
     devices: HashMap<DeviceName, SimDevice>,
@@ -99,6 +121,24 @@ struct SimState {
     commands_accepted: u64,
     /// Running count of commands rejected or timed out.
     commands_failed: u64,
+    /// Shared-registry handles, if a registry was attached.
+    obs: Option<NetObs>,
+}
+
+impl SimState {
+    fn note_command_accepted(&mut self) {
+        self.commands_accepted += 1;
+        if let Some(o) = &self.obs {
+            o.commands_accepted.inc();
+        }
+    }
+
+    fn note_command_failed(&mut self) {
+        self.commands_failed += 1;
+        if let Some(o) = &self.obs {
+            o.commands_failed.inc();
+        }
+    }
 }
 
 /// Cloneable handle to the simulated network.
@@ -148,6 +188,7 @@ impl SimNetwork {
                 next_seq: 0,
                 commands_accepted: 0,
                 commands_failed: 0,
+                obs: None,
             })),
             clock,
         }
@@ -156,6 +197,13 @@ impl SimNetwork {
     /// The shared clock handle.
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+
+    /// Mirror command/fault counters into a shared metrics registry.
+    /// All clones of this network report into it; attaching again
+    /// replaces the previous registry.
+    pub fn attach_obs(&self, registry: &Registry) {
+        self.state.lock().obs = Some(NetObs::new(registry));
     }
 
     /// Override a device's hardware model (call before the scenario runs).
@@ -182,18 +230,18 @@ impl SimNetwork {
         let timeout_p = s.faults.command_timeout_prob;
         let failure_p = s.faults.command_failure_prob;
         if timeout_p > 0.0 && s.rng.gen::<f64>() < timeout_p {
-            s.commands_failed += 1;
+            s.note_command_failed();
             return CommandOutcome::TimedOut;
         }
         if failure_p > 0.0 && s.rng.gen::<f64>() < failure_p {
-            s.commands_failed += 1;
+            s.note_command_failed();
             return CommandOutcome::Rejected {
                 code: "E-DEVICE-INTERNAL".to_string(),
             };
         }
 
         let Some(dev) = s.devices.get(device) else {
-            s.commands_failed += 1;
+            s.note_command_failed();
             return CommandOutcome::Rejected {
                 code: "E-NO-SUCH-DEVICE".to_string(),
             };
@@ -202,20 +250,20 @@ impl SimNetwork {
         // Reachability gates (the dependency model made physical).
         if command.is_out_of_band() {
             if !dev.power_unit_reachable {
-                s.commands_failed += 1;
+                s.note_command_failed();
                 return CommandOutcome::Rejected {
                     code: "E-PDU-UNREACHABLE".to_string(),
                 };
             }
         } else if command.is_routing() {
             if !dev.routing_controllable(now) {
-                s.commands_failed += 1;
+                s.note_command_failed();
                 return CommandOutcome::Rejected {
                     code: "E-CONTROL-PLANE-DOWN".to_string(),
                 };
             }
         } else if !dev.mgmt_reachable(now) {
-            s.commands_failed += 1;
+            s.note_command_failed();
             return CommandOutcome::TimedOut;
         }
 
@@ -235,7 +283,7 @@ impl SimNetwork {
             command,
             seq,
         });
-        s.commands_accepted += 1;
+        s.note_command_accepted();
         CommandOutcome::Applied { effective_at }
     }
 
@@ -294,13 +342,20 @@ impl SimNetwork {
                     let flap_len = SimDuration::from_millis(s.faults.link_flap_duration_ms);
                     let mut names: Vec<LinkName> = s.links.keys().cloned().collect();
                     names.sort();
+                    let mut flaps_started = 0u64;
                     for name in names {
                         let roll: f64 = s.rng.gen();
                         if roll < p_step {
                             let l = s.links.get_mut(&name).expect("link exists");
                             if !l.flapping(target) {
                                 l.flapping_until = Some(target + flap_len);
+                                flaps_started += 1;
                             }
+                        }
+                    }
+                    if flaps_started > 0 {
+                        if let Some(o) = &s.obs {
+                            o.link_flaps.add(flaps_started);
                         }
                     }
                 }
@@ -415,6 +470,9 @@ fn link_oper_up_inner(s: &SimState, name: &LinkName, now: SimTime) -> bool {
 }
 
 fn apply_fault(s: &mut SimState, at: SimTime, event: &FaultEvent) {
+    if let Some(o) = &s.obs {
+        o.faults_fired.inc();
+    }
     match event {
         FaultEvent::SetFcsErrorRate { link, rate } => {
             if let Some(l) = s.links.get_mut(link) {

@@ -1,0 +1,111 @@
+#![warn(missing_docs)]
+
+//! # statesman-obs
+//!
+//! The observability subsystem: a lock-cheap [`Registry`] of counters,
+//! gauges, and fixed-bucket histograms, plus a [`TraceRing`] of
+//! structured [`RoundTrace`]s — one per coordinator tick.
+//!
+//! The paper's operators run Statesman by watching latency breakdowns,
+//! pool sizes, and per-app proposal outcomes (§8, Figs 8–10). This crate
+//! is the single place those signals are collected: the monitor, checker,
+//! updater, coordinator, storage service, network simulator, and HTTP API
+//! all record into one shared [`Obs`] handle, and the redesigned v1 API
+//! exports it (`GET /v1/metrics`, `GET /v1/status`).
+//!
+//! There is deliberately **no global mutable singleton**: an [`Obs`] is an
+//! explicit, cheaply clonable value threaded into each component. Tests
+//! and scenarios run isolated instances side by side, and a component
+//! without an `Obs` simply records nothing.
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, MetricSample, Registry, LATENCY_BUCKETS_MS};
+pub use trace::{RoundTrace, TraceRing, DEFAULT_TRACE_CAPACITY};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Live control-loop status beyond the metrics: the current quarantine
+/// set, open circuit breakers, and degraded partitions. Updated by the
+/// coordinator each tick; served by `GET /v1/status`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatusBoard {
+    /// Devices currently quarantined by the monitor.
+    pub quarantined: Vec<String>,
+    /// Devices whose updater circuit breaker is currently open.
+    pub breakers_open: Vec<String>,
+    /// Storage partitions whose impact groups were skipped last round.
+    pub degraded_partitions: Vec<String>,
+    /// The last completed round index, if any round has run.
+    pub last_round: Option<u64>,
+}
+
+/// The shared observability handle: one registry, one trace ring, one
+/// status board. Cheap to clone; all clones share state.
+#[derive(Clone, Default)]
+pub struct Obs {
+    /// The metrics registry.
+    pub registry: Registry,
+    /// The round-trace ring buffer.
+    pub traces: TraceRing,
+    status: Arc<Mutex<StatusBoard>>,
+}
+
+impl Obs {
+    /// A fresh observability handle with default trace capacity.
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// A fresh handle with an explicit trace-ring capacity.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Obs {
+            registry: Registry::new(),
+            traces: TraceRing::new(capacity),
+            status: Arc::new(Mutex::new(StatusBoard::default())),
+        }
+    }
+
+    /// Replace the status board (coordinator, once per tick).
+    pub fn set_status(&self, board: StatusBoard) {
+        *self.status.lock() = board;
+    }
+
+    /// The current status board.
+    pub fn status(&self) -> StatusBoard {
+        self.status.lock().clone()
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("registry", &self.registry)
+            .field("traces", &self.traces.len())
+            .field("status", &self.status.lock())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_clones_share_everything() {
+        let a = Obs::new();
+        let b = a.clone();
+        a.registry.counter("x_total").inc();
+        a.traces.push(RoundTrace::default());
+        a.set_status(StatusBoard {
+            quarantined: vec!["agg-1-1".into()],
+            ..StatusBoard::default()
+        });
+        assert_eq!(b.registry.counter_value("x_total"), Some(1));
+        assert_eq!(b.traces.len(), 1);
+        assert_eq!(b.status().quarantined, vec!["agg-1-1".to_string()]);
+    }
+}

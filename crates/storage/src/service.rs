@@ -16,6 +16,7 @@ use crate::machine::LogCommand;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use statesman_obs::{Counter, Gauge, Registry};
 use statesman_types::{
     AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, RetryPolicy,
     SimDuration, SimTime, StateError, StateKey, StateResult, WriteReceipt,
@@ -84,6 +85,43 @@ struct CacheEntry {
     rows: Arc<Vec<NetworkState>>,
 }
 
+/// Cached metric handles for the storage service (created once at
+/// [`StorageService::attach_obs`]; increments are lock-free).
+#[derive(Clone)]
+struct StorageObs {
+    writes: Counter,
+    rows_written: Counter,
+    deletes: Counter,
+    reads: Counter,
+    leader_reads: Counter,
+    cache_hits: Counter,
+    retries: Counter,
+    retries_exhausted: Counter,
+    unavailable: Counter,
+    receipts_posted: Counter,
+    receipts_taken: Counter,
+    partitions_offline: Gauge,
+}
+
+impl StorageObs {
+    fn new(registry: &Registry) -> Self {
+        StorageObs {
+            writes: registry.counter("storage_writes_total"),
+            rows_written: registry.counter("storage_rows_written_total"),
+            deletes: registry.counter("storage_deletes_total"),
+            reads: registry.counter("storage_reads_total"),
+            leader_reads: registry.counter("storage_leader_reads_total"),
+            cache_hits: registry.counter("storage_cache_hits_total"),
+            retries: registry.counter("storage_retries_total"),
+            retries_exhausted: registry.counter("storage_retries_exhausted_total"),
+            unavailable: registry.counter("storage_unavailable_errors_total"),
+            receipts_posted: registry.counter("storage_receipts_posted_total"),
+            receipts_taken: registry.counter("storage_receipts_taken_total"),
+            partitions_offline: registry.gauge("storage_partitions_offline"),
+        }
+    }
+}
+
 struct Inner {
     partitions: HashMap<DatacenterId, PaxosCluster>,
     config: StorageConfig,
@@ -128,6 +166,10 @@ pub struct StorageService {
     cache: Arc<parking_lot::RwLock<HashMap<(DatacenterId, Pool), CacheEntry>>>,
     cache_hits: Arc<std::sync::atomic::AtomicU64>,
     clock: statesman_net::SimClock,
+    /// Metric handles, attached at most once via
+    /// [`StorageService::attach_obs`]. Outside the partition lock so the
+    /// bounded-stale cache-hit path can record without contending.
+    obs: Arc<std::sync::OnceLock<StorageObs>>,
 }
 
 impl StorageService {
@@ -168,7 +210,24 @@ impl StorageService {
             cache: Arc::new(parking_lot::RwLock::new(HashMap::new())),
             cache_hits: Arc::new(std::sync::atomic::AtomicU64::new(0)),
             clock,
+            obs: Arc::new(std::sync::OnceLock::new()),
         }
+    }
+
+    /// Attach a metrics registry. Handles are created once and shared by
+    /// every clone of this service; a second attach is a no-op (the
+    /// registry is process-wide plumbing, not per-call state).
+    pub fn attach_obs(&self, registry: &Registry) {
+        let _ = self.obs.set(StorageObs::new(registry));
+    }
+
+    fn obs(&self) -> Option<&StorageObs> {
+        self.obs.get()
+    }
+
+    /// The simulated clock this service stamps against.
+    pub fn clock(&self) -> &statesman_net::SimClock {
+        &self.clock
     }
 
     /// Convenience: a single-DC service with default config.
@@ -200,6 +259,10 @@ impl StorageService {
     /// Write rows (the proxy splits the batch by partition; each partition
     /// gets one consensus commit).
     pub fn write(&self, req: WriteRequest) -> StateResult<()> {
+        if let Some(o) = self.obs() {
+            o.writes.inc();
+            o.rows_written.add(req.rows.len() as u64);
+        }
         let mut by_dc: HashMap<DatacenterId, Vec<NetworkState>> = HashMap::new();
         for row in req.rows {
             if !row.is_well_formed() {
@@ -229,6 +292,7 @@ impl StorageService {
                     pool: req.pool.clone(),
                     rows,
                 },
+                self.obs(),
             )?;
         }
         Ok(())
@@ -236,6 +300,9 @@ impl StorageService {
 
     /// Delete keys from a pool (split by partition like writes).
     pub fn delete(&self, pool: Pool, keys: Vec<StateKey>) -> StateResult<()> {
+        if let Some(o) = self.obs() {
+            o.deletes.inc();
+        }
         let mut by_dc: HashMap<DatacenterId, Vec<StateKey>> = HashMap::new();
         for k in keys {
             by_dc
@@ -261,6 +328,7 @@ impl StorageService {
                     pool: pool.clone(),
                     keys,
                 },
+                self.obs(),
             )?;
         }
         Ok(())
@@ -268,12 +336,18 @@ impl StorageService {
 
     /// Read rows per the request's freshness mode.
     pub fn read(&self, req: ReadRequest) -> StateResult<Vec<NetworkState>> {
+        if let Some(o) = self.obs() {
+            o.reads.inc();
+        }
         let now = self.clock.now();
         let rows: Arc<Vec<NetworkState>> = match req.freshness {
             Freshness::UpToDate => {
                 let mut inner = self.inner.lock();
                 inner.check_online(&req.datacenter)?;
                 inner.leader_reads += 1;
+                if let Some(o) = self.obs() {
+                    o.leader_reads.inc();
+                }
                 let ring = inner.partitions.get_mut(&req.datacenter).ok_or_else(|| {
                     StateError::StorageUnavailable {
                         partition: req.datacenter.to_string(),
@@ -297,6 +371,9 @@ impl StorageService {
                     Some(rows) => {
                         self.cache_hits
                             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if let Some(o) = self.obs() {
+                            o.cache_hits.inc();
+                        }
                         rows
                     }
                     None => {
@@ -345,6 +422,9 @@ impl StorageService {
         let mut inner = self.inner.lock();
         inner.check_online(&key.entity.datacenter)?;
         inner.leader_reads += 1;
+        if let Some(o) = self.obs() {
+            o.leader_reads.inc();
+        }
         let ring = inner
             .partitions
             .get_mut(&key.entity.datacenter)
@@ -360,6 +440,9 @@ impl StorageService {
         if receipts.is_empty() {
             return Ok(());
         }
+        if let Some(o) = self.obs() {
+            o.receipts_posted.add(receipts.len() as u64);
+        }
         let mut inner = self.inner.lock();
         if !inner.partitions.contains_key(dc) {
             return Err(StateError::StorageUnavailable {
@@ -372,6 +455,7 @@ impl StorageService {
             &self.clock,
             dc,
             LogCommand::PostReceipts { receipts },
+            self.obs(),
         )
     }
 
@@ -386,7 +470,11 @@ impl StorageService {
                 partition: dc.to_string(),
                 reason: "unknown partition".into(),
             })?;
-        Ok(ring.leader_machine_mut()?.take_receipts(app))
+        let receipts = ring.leader_machine_mut()?.take_receipts(app);
+        if let Some(o) = self.obs() {
+            o.receipts_taken.add(receipts.len() as u64);
+        }
+        Ok(receipts)
     }
 
     /// Total rows across all partitions and pools (scale reporting).
@@ -478,6 +566,9 @@ impl StorageService {
         } else {
             inner.offline.insert(dc.clone());
         }
+        if let Some(o) = self.obs() {
+            o.partitions_offline.set(inner.offline.len() as i64);
+        }
     }
 
     /// Whether a partition is currently available (not fault-injected
@@ -505,6 +596,7 @@ fn submit_with_retry(
     clock: &statesman_net::SimClock,
     dc: &DatacenterId,
     cmd: LogCommand,
+    obs: Option<&StorageObs>,
 ) -> StateResult<()> {
     let policy = inner.config.retry.clone();
     let mut attempt = 0u32;
@@ -525,12 +617,19 @@ fn submit_with_retry(
             Ok(()) => return Ok(()),
             Err(e) if e.is_retryable() && policy.should_retry(attempt) => {
                 inner.retries += 1;
+                if let Some(o) = obs {
+                    o.retries.inc();
+                }
                 let roll: f64 = inner.rng.gen();
                 clock.advance(policy.backoff_after(attempt, roll));
             }
             Err(e) => {
                 if e.is_retryable() {
                     inner.retries_exhausted += 1;
+                    if let Some(o) = obs {
+                        o.retries_exhausted.inc();
+                        o.unavailable.inc();
+                    }
                 }
                 return Err(e);
             }
@@ -891,5 +990,63 @@ mod tests {
         .unwrap();
         s.delete(Pool::Target, vec![key.clone()]).unwrap();
         assert_eq!(s.read_row(&Pool::Target, &key).unwrap(), None);
+    }
+
+    #[test]
+    fn attached_registry_tracks_operations() {
+        let c = clock();
+        let s = svc(&c);
+        let registry = Registry::new();
+        s.attach_obs(&registry);
+        let dc = DatacenterId::new("dc1");
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "a", "1", c.now()), row("dc1", "b", "1", c.now())],
+        })
+        .unwrap();
+        s.read(ReadRequest {
+            datacenter: dc.clone(),
+            pool: Pool::Observed,
+            freshness: Freshness::BoundedStale,
+            entity: None,
+            attribute: None,
+        })
+        .unwrap();
+        // Second bounded-stale read hits the cache.
+        s.read(ReadRequest {
+            datacenter: dc.clone(),
+            pool: Pool::Observed,
+            freshness: Freshness::BoundedStale,
+            entity: None,
+            attribute: None,
+        })
+        .unwrap();
+        s.set_partition_available(&dc, false);
+        // Write against the offline partition burns the retry budget.
+        let _ = s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "c", "1", c.now())],
+        });
+        assert_eq!(registry.counter_value("storage_writes_total"), Some(2));
+        assert_eq!(registry.counter_value("storage_rows_written_total"), Some(3));
+        assert_eq!(registry.counter_value("storage_reads_total"), Some(2));
+        assert_eq!(registry.counter_value("storage_cache_hits_total"), Some(1));
+        let (retries, exhausted) = s.retry_stats();
+        assert_eq!(
+            registry.counter_value("storage_retries_total"),
+            Some(retries),
+            "registry mirrors the internal retry counter"
+        );
+        assert_eq!(
+            registry.counter_value("storage_retries_exhausted_total"),
+            Some(exhausted)
+        );
+        assert_eq!(
+            registry.gauge("storage_partitions_offline").get(),
+            1,
+            "offline gauge follows fault injection"
+        );
+        s.set_partition_available(&dc, true);
+        assert_eq!(registry.gauge("storage_partitions_offline").get(), 0);
     }
 }

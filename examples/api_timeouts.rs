@@ -21,13 +21,14 @@ fn main() {
     let addr = server.addr();
     println!("API on http://{addr}, per-socket io timeout 300ms\n");
 
-    // A well-formed request over a raw socket.
+    // A well-formed request over a raw socket — via the deprecated
+    // `/healthz` alias, so the deprecation + successor headers show up.
     let mut s = TcpStream::connect(addr).unwrap();
     s.write_all(b"GET /healthz HTTP/1.1\r\nhost: demo\r\n\r\n")
         .unwrap();
     let mut buf = String::new();
     s.read_to_string(&mut buf).unwrap();
-    println!("--- healthz over raw TCP ---\n{buf}\n");
+    println!("--- /healthz (deprecated alias of /v1/health) over raw TCP ---\n{buf}\n");
 
     // Half-open: connect and send nothing. The server must answer 408
     // and close rather than pin the worker thread forever.

@@ -12,7 +12,7 @@ use statesman::net::{SimClock, SimConfig, SimNetwork};
 use statesman::prelude::*;
 use statesman::storage::{StorageConfig, StorageService};
 use statesman::topology::DcnSpec;
-use statesman_types::NetworkState;
+use statesman::obs::Obs;
 
 fn main() {
     // Statesman side: simulator + service + control loop.
@@ -27,50 +27,53 @@ fn main() {
         clock.clone(),
         StorageConfig::default(),
     );
+    let obs = Obs::new();
     let statesman = Coordinator::new(
         &graph,
         net.clone(),
         storage.clone(),
-        CoordinatorConfig::default(),
+        CoordinatorConfig {
+            obs: Some(obs.clone()),
+            ..CoordinatorConfig::default()
+        },
     );
     statesman
         .tick_and_advance(SimDuration::from_mins(1))
         .unwrap();
 
-    // The RESTful front end (paper §6.4) on a real socket.
-    let server = ApiServer::start(storage).unwrap();
+    // The RESTful front end (paper §6.4) on a real socket, with the
+    // observability endpoints wired in.
+    let server = ApiServer::start_with_obs(storage, obs).unwrap();
     let addr = server.addr();
     println!("Statesman HTTP API listening on http://{addr}");
-    println!("  GET  /NetworkState/Read?Datacenter=dc1&Pool=OS&Freshness=bounded-stale");
-    println!("  POST /NetworkState/Write?Pool=PS:remote-app");
+    println!("  GET  /v1/read?Datacenter=dc1&Pool=OS&Freshness=bounded-stale");
+    println!("  POST /v1/write?Pool=PS:remote-app");
+    println!("  GET  /v1/metrics   GET /v1/status");
     println!();
 
     // An application living in its own thread, knowing nothing but the
-    // server address — exactly an out-of-process management app.
+    // server address — exactly an out-of-process management app. The
+    // client mirrors StatesmanClient: bind an identity, then
+    // read_os / propose / take_receipts.
     let app_thread = std::thread::spawn(move || {
-        let client = ApiClient::new(addr);
-        let app = AppId::new("remote-app");
+        let client = ApiClient::new(addr).with_app("remote-app");
         let dc = DatacenterId::new("dc1");
 
         // Pull the observed state (bounded-stale is fine for this app).
-        let os = client
-            .read(&dc, &Pool::Observed, Freshness::BoundedStale, None, None)
-            .unwrap();
+        let os = client.read_os(&dc, Freshness::BoundedStale).unwrap();
         println!("[remote-app] pulled {} OS rows over HTTP", os.len());
 
-        // Push a proposal.
-        let proposal = NetworkState::new(
-            EntityName::device("dc1", "agg-1-1"),
-            Attribute::DeviceBootImage,
-            Value::text("golden-image-v2"),
-            SimTime::ZERO,
-            app.clone(),
-        );
+        // Push a proposal (stamped with the server's clock and this
+        // client's identity, like StatesmanClient::propose).
         client
-            .write(&Pool::Proposed(app.clone()), &[proposal])
+            .propose([(
+                EntityName::device("dc1", "agg-1-1"),
+                Attribute::DeviceBootImage,
+                Value::text("golden-image-v2"),
+            )])
             .unwrap();
         println!("[remote-app] pushed 1 PS row");
-        app
+        client.app().unwrap().clone()
     });
     let app = app_thread.join().unwrap();
 
@@ -115,4 +118,12 @@ fn main() {
         .clone();
     println!("[network]   agg-1-1 boot image is now `{image}`");
     assert_eq!(image, "golden-image-v2");
+
+    // Anyone can scrape the control loop's vitals over the wire.
+    let metrics = String::from_utf8(client.raw_get("/v1/metrics").unwrap()).unwrap();
+    let rounds = metrics
+        .lines()
+        .find(|l| l.starts_with("coordinator_rounds_total"))
+        .unwrap_or("coordinator_rounds_total ?");
+    println!("[operator]  /v1/metrics says: {rounds}");
 }

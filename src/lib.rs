@@ -45,6 +45,7 @@ pub use statesman_apps as apps;
 pub use statesman_core as core;
 pub use statesman_httpapi as httpapi;
 pub use statesman_net as net;
+pub use statesman_obs as obs;
 pub use statesman_storage as storage;
 pub use statesman_topology as topology;
 pub use statesman_types as types;
