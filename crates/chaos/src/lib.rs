@@ -27,13 +27,15 @@
 //! quarantine-rejection path end to end).
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use statesman_core::{Coordinator, CoordinatorConfig, StatesmanClient};
-use statesman_obs::Obs;
+use statesman_core::{Coordinator, CoordinatorConfig, MapView, StatesmanClient};
+use statesman_httpapi::{ApiClient, ApiServer};
 use statesman_net::{FaultPlan, SimClock, SimConfig, SimNetwork};
+use statesman_obs::Obs;
 use statesman_storage::{StorageConfig, StorageService};
 use statesman_topology::DcnSpec;
 use statesman_types::{
-    Attribute, DatacenterId, DeviceName, EntityName, RetryPolicy, SimDuration, SimTime, Value,
+    Attribute, DatacenterId, DeviceName, EntityName, Freshness, RetryPolicy, SimDuration, SimTime,
+    Value, Version,
 };
 
 /// A seeded composition of faults across the network, storage, and
@@ -177,6 +179,27 @@ pub struct ScenarioOutcome {
     pub tick_errors: usize,
 }
 
+/// What the out-of-process changefeed consumer observed during a
+/// [`ChaosScenario::run_with_wire_reader`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireReaderOutcome {
+    /// Rounds where the delta-maintained view was cross-checked against a
+    /// full wire read.
+    pub rounds_compared: usize,
+    /// Cross-check failures, one message per diverged round. Must stay
+    /// empty: a delta-fed view that drifts from the full read is a
+    /// correctness bug, chaos or not.
+    pub mismatches: Vec<String>,
+    /// Reads the server answered as incremental deltas.
+    pub delta_reads: usize,
+    /// Reads the server answered as full snapshots (watermark out of the
+    /// change index's window).
+    pub snapshot_fallbacks: usize,
+    /// Rounds where the wire read failed outright (partition down); the
+    /// consumer just retries from the same watermark next round.
+    pub unavailable_rounds: usize,
+}
+
 /// Drives a full Statesman instance on the tiny 2-pod DCN against a
 /// [`ChaosPlan`] while an application pursues a fixed intent.
 #[derive(Debug, Clone)]
@@ -211,7 +234,7 @@ impl ChaosScenario {
     /// Run the scenario to completion and report what happened. Does not
     /// assert anything itself — tests decide which outcome fields matter.
     pub fn run(&self) -> ScenarioOutcome {
-        self.run_inner(None)
+        self.run_inner(None, None)
     }
 
     /// Like [`ChaosScenario::run`], but with an observability handle wired
@@ -221,10 +244,27 @@ impl ChaosScenario {
     /// scrape `obs` (or serve it over `/v1/metrics`) and cross-check the
     /// registry against the returned [`ScenarioOutcome`].
     pub fn run_with_obs(&self, obs: &Obs) -> ScenarioOutcome {
-        self.run_inner(Some(obs.clone()))
+        self.run_inner(Some(obs.clone()), None)
     }
 
-    fn run_inner(&self, obs: Option<Obs>) -> ScenarioOutcome {
+    /// Like [`ChaosScenario::run`], but with an out-of-process changefeed
+    /// consumer riding along: an [`ApiServer`] fronts the scenario's
+    /// storage, and every round a wire client advances a [`MapView`] of
+    /// the observed state via `GET /v1/read?since=<watermark>` and
+    /// cross-checks it against a full wire read. This is the §6.4 pull
+    /// path under chaos — partition outages, quarantines, and change-index
+    /// evictions all happen mid-feed.
+    pub fn run_with_wire_reader(&self) -> (ScenarioOutcome, WireReaderOutcome) {
+        let mut wire = WireReaderOutcome::default();
+        let outcome = self.run_inner(None, Some(&mut wire));
+        (outcome, wire)
+    }
+
+    fn run_inner(
+        &self,
+        obs: Option<Obs>,
+        mut wire: Option<&mut WireReaderOutcome>,
+    ) -> ScenarioOutcome {
         let clock = SimClock::new();
         let graph = DcnSpec::tiny("dc1").build();
         let mut cfg = SimConfig::ideal();
@@ -279,6 +319,16 @@ impl ChaosScenario {
             storage_retries: 0,
             tick_errors: 0,
         };
+
+        // The out-of-process changefeed consumer: an API server over the
+        // same storage, and a view advanced purely by `since=` reads.
+        let wire_rig = wire.as_ref().map(|_| {
+            let server = ApiServer::start(storage.clone()).expect("start api server");
+            let client = ApiClient::new(server.addr());
+            (server, client)
+        });
+        let mut wire_view = MapView::new();
+        let mut wire_watermark = Version::GENESIS;
 
         let fw_done = |net: &SimNetwork, d: &DeviceName| {
             net.device_snapshot(d)
@@ -377,6 +427,38 @@ impl ChaosScenario {
                     }
                 }
                 Err(_) => outcome.tick_errors += 1,
+            }
+
+            // Wire changefeed consumer: advance the delta-fed view, then
+            // cross-check it against a full read over the same transport.
+            if let (Some(w), Some((_server, wclient))) = (wire.as_deref_mut(), wire_rig.as_ref()) {
+                match wclient.read_os_since(&dc, wire_watermark) {
+                    Ok(delta) => {
+                        if delta.snapshot {
+                            w.snapshot_fallbacks += 1;
+                        } else {
+                            w.delta_reads += 1;
+                        }
+                        wire_watermark = delta.watermark;
+                        wire_view.apply_delta(delta);
+                        match wclient.read_os(&dc, Freshness::UpToDate) {
+                            Ok(mut full) => {
+                                full.sort_by_key(|r| r.key());
+                                let mine = wire_view.clone().into_sorted_rows();
+                                w.rounds_compared += 1;
+                                if mine != full {
+                                    w.mismatches.push(format!(
+                                        "round {round}: delta view has {} rows, full read {}",
+                                        mine.len(),
+                                        full.len()
+                                    ));
+                                }
+                            }
+                            Err(_) => w.unavailable_rounds += 1,
+                        }
+                    }
+                    Err(_) => w.unavailable_rounds += 1,
+                }
             }
 
             // Safety sample on ground truth, after the world advanced: no
@@ -519,6 +601,34 @@ mod tests {
         assert!(
             outcome.quarantine_rejections >= 1,
             "expected quarantine rejections: {outcome:?}"
+        );
+    }
+
+    /// An out-of-process changefeed consumer rides out the standard chaos
+    /// plan: its `since=`-maintained view never diverges from a full wire
+    /// read, and the chaos outcome itself is unperturbed by the extra
+    /// reader. The partition outage makes some reads fail (retried from
+    /// the same watermark) — divergence afterwards would mean the
+    /// changefeed lost changes across the outage.
+    #[test]
+    fn wire_changefeed_reader_survives_standard_chaos() {
+        let scenario = ChaosScenario::standard(3);
+        let (outcome, wire) = scenario.run_with_wire_reader();
+        assert_eq!(
+            outcome,
+            scenario.run(),
+            "wire reader must not perturb the run"
+        );
+        assert!(
+            wire.mismatches.is_empty(),
+            "delta view diverged: {:?}",
+            wire.mismatches
+        );
+        assert!(wire.rounds_compared >= 20, "{wire:?}");
+        assert!(wire.delta_reads >= 10, "{wire:?}");
+        assert!(
+            wire.unavailable_rounds >= 1,
+            "the partition outage should have cost the reader at least one round: {wire:?}"
         );
     }
 

@@ -30,13 +30,14 @@ use crate::groups::ImpactGroup;
 use crate::invariants::{Invariant, InvariantContext};
 use crate::locks;
 use crate::view::{project_health, MapView, OverlayView, StateView};
+use parking_lot::Mutex;
 use statesman_storage::{ReadRequest, StorageService, WriteRequest};
 use statesman_topology::NetworkGraph;
 use statesman_types::{
     AppId, DatacenterId, DeviceName, Freshness, NetworkState, Pool, SimTime, StateKey, StateResult,
-    Value, WriteOutcome, WriteReceipt,
+    Value, Version, WriteOutcome, WriteReceipt,
 };
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 /// How same-key conflicts between applications are resolved (§4.2: "one
@@ -92,12 +93,43 @@ impl CheckerPassReport {
     }
 }
 
+/// One partition's pool, mirrored checker-side and advanced by storage
+/// changefeed deltas between passes.
+#[derive(Default)]
+struct CachedPart {
+    view: MapView,
+    watermark: Version,
+}
+
+/// Evidence that the last pass was a pure no-op: the partition-level
+/// watermarks it ran against, and the variables it read. While every
+/// watermark stays put, re-running the pass is provably the same no-op
+/// (the pass is a deterministic function of pool contents), so it can be
+/// skipped outright. Lock rows are the one time-dependent input — a pass
+/// over a lock-bearing TS is never recorded as skippable.
+#[derive(PartialEq)]
+struct QuiescentMark {
+    marks: Vec<(DatacenterId, Version)>,
+    variables_read: usize,
+}
+
 /// The checker for one impact group.
 pub struct Checker {
     config: CheckerConfig,
     model: DependencyModel,
     invariants: Vec<Box<dyn Invariant>>,
     graph: NetworkGraph,
+    /// Read pools incrementally via `read_since` (default). Disabled, the
+    /// checker re-reads full pools every pass — the pre-delta behavior.
+    delta_reads: bool,
+    /// Per-(pool, partition) mirror advanced by deltas. Entries are
+    /// invalidated whenever a pass cannot use the delta path, so the next
+    /// delta pass re-seeds from a consistent `read_since` reply.
+    part_cache: Mutex<HashMap<(Pool, DatacenterId), CachedPart>>,
+    /// Set iff the previous pass was a recorded no-op (see
+    /// [`QuiescentMark`]); cleared by quarantine passes, disabled delta
+    /// reads, or any pass that did work.
+    quiescent: Mutex<Option<QuiescentMark>>,
 }
 
 impl Checker {
@@ -108,12 +140,21 @@ impl Checker {
             model: DependencyModel::standard(),
             invariants: Vec::new(),
             graph,
+            delta_reads: true,
+            part_cache: Mutex::new(HashMap::new()),
+            quiescent: Mutex::new(None),
         }
     }
 
     /// Replace the dependency model (ablations / extensions).
     pub fn with_model(mut self, model: DependencyModel) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Enable or disable incremental pool reads (`true` by default).
+    pub fn with_delta_reads(mut self, enabled: bool) -> Self {
+        self.delta_reads = enabled;
         self
     }
 
@@ -131,34 +172,72 @@ impl Checker {
         &self.config.group
     }
 
-    /// Read every row of `pool` that belongs to this group.
-    fn read_group_pool(
-        &self,
-        storage: &StorageService,
-        pool: &Pool,
-    ) -> StateResult<Vec<NetworkState>> {
-        let mut rows = Vec::new();
-        let partitions: Vec<DatacenterId> = match self.group_ref() {
+    /// Partition-level watermarks for every partition this group reads,
+    /// or `None` when any is unreadable (offline partitions make
+    /// quiescence unprovable — the pass must run and find out).
+    fn partition_marks(&self, storage: &StorageService) -> Option<Vec<(DatacenterId, Version)>> {
+        self.group_partitions(storage)
+            .into_iter()
+            .map(|dc| storage.partition_watermark(&dc).ok().map(|v| (dc, v)))
+            .collect()
+    }
+
+    /// The partitions this group's entities are homed in.
+    fn group_partitions(&self, storage: &StorageService) -> Vec<DatacenterId> {
+        match self.group_ref() {
             // A DC group's entities are all homed in its own partition.
             ImpactGroup::Datacenter(dc) => vec![dc.clone()],
             // The WAN group spans the WAN partition (inter-DC links) and
             // every DC partition (border routers are homed at home); the
             // global group spans everything by definition.
             ImpactGroup::Wan | ImpactGroup::Global => storage.partitions(),
-        };
-        for dc in partitions {
-            let part_rows = storage.read(ReadRequest {
-                datacenter: dc,
-                pool: pool.clone(),
-                freshness: Freshness::UpToDate,
-                entity: None,
-                attribute: None,
-            })?;
-            rows.extend(
-                part_rows
-                    .into_iter()
-                    .filter(|r| self.group_ref().contains(&r.entity)),
-            );
+        }
+    }
+
+    /// Read every row of `pool` that belongs to this group. With
+    /// `use_delta`, each partition's pool is mirrored checker-side and
+    /// advanced by `read_since` deltas — pass cost scales with churn, not
+    /// pool size. Without it (quarantine passes, or delta reads disabled)
+    /// the pool is re-read in full and the mirror invalidated, so the
+    /// next delta pass re-seeds from one consistent changefeed reply.
+    fn read_group_pool(
+        &self,
+        storage: &StorageService,
+        pool: &Pool,
+        use_delta: bool,
+    ) -> StateResult<Vec<NetworkState>> {
+        let mut rows = Vec::new();
+        for dc in self.group_partitions(storage) {
+            let key = (pool.clone(), dc.clone());
+            if use_delta {
+                let mut cache = self.part_cache.lock();
+                let since = cache.get(&key).map(|e| e.watermark).unwrap_or_default();
+                let delta = storage.read_since(&dc, pool, since)?;
+                let entry = cache.entry(key).or_default();
+                entry.watermark = delta.watermark;
+                entry.view.apply_delta(delta);
+                rows.extend(
+                    entry
+                        .view
+                        .rows()
+                        .filter(|r| self.group_ref().contains(&r.entity))
+                        .cloned(),
+                );
+            } else {
+                self.part_cache.lock().remove(&key);
+                let part_rows = storage.read(ReadRequest {
+                    datacenter: dc,
+                    pool: pool.clone(),
+                    freshness: Freshness::UpToDate,
+                    entity: None,
+                    attribute: None,
+                })?;
+                rows.extend(
+                    part_rows
+                        .into_iter()
+                        .filter(|r| self.group_ref().contains(&r.entity)),
+                );
+            }
         }
         Ok(rows)
     }
@@ -243,13 +322,43 @@ impl Checker {
     ) -> StateResult<CheckerPassReport> {
         let started = Instant::now();
 
+        // ---- 0. quiescence short-circuit ----
+        // If every partition's machine-wide watermark sits exactly where
+        // the last recorded no-op pass left it, nothing any pool read
+        // could return has changed, and this pass — a deterministic
+        // function of pool contents — would repeat that no-op. Skip it.
+        let use_delta = self.delta_reads && unreachable.is_empty();
+        let marks = if use_delta {
+            self.partition_marks(storage)
+        } else {
+            None
+        };
+        if let (Some(m), Some(prev)) = (marks.as_ref(), self.quiescent.lock().as_ref()) {
+            if *m == prev.marks {
+                return Ok(CheckerPassReport {
+                    group: self.group_ref().name(),
+                    proposals_seen: 0,
+                    accepted: 0,
+                    rejected: 0,
+                    already_satisfied: 0,
+                    ts_pruned: 0,
+                    quarantine_rejected: 0,
+                    receipts: Vec::new(),
+                    elapsed: started.elapsed(),
+                    variables_read: prev.variables_read,
+                });
+            }
+        }
+
         // ---- 1. read OS, TS, PSes ----
-        let os_rows = self.read_group_pool(storage, &Pool::Observed)?;
-        let ts_rows = self.read_group_pool(storage, &Pool::Target)?;
+        // Quarantine passes force the full-read fallback: stale-device
+        // rounds are exactly when the mirror must not drift from storage.
+        let os_rows = self.read_group_pool(storage, &Pool::Observed, use_delta)?;
+        let ts_rows = self.read_group_pool(storage, &Pool::Target, use_delta)?;
         let apps = self.proposing_apps(storage);
         let mut proposals: Vec<(AppId, Vec<NetworkState>)> = Vec::new();
         for app in &apps {
-            let ps = self.read_group_pool(storage, &Pool::Proposed(app.clone()))?;
+            let ps = self.read_group_pool(storage, &Pool::Proposed(app.clone()), use_delta)?;
             if !ps.is_empty() {
                 proposals.push((app.clone(), ps));
             }
@@ -259,6 +368,10 @@ impl Checker {
 
         let os = MapView::from_rows(os_rows);
         let mut ts = MapView::from_rows(ts_rows.clone());
+        // Lock rows expire on the wall clock, not on writes — a TS
+        // carrying any lock keeps the pass time-dependent and therefore
+        // never skippable (see the quiescence short-circuit above).
+        let ts_has_locks = ts_rows.iter().any(|r| r.attribute.is_lock());
 
         // ---- 2. TS ⁄ OS reconciliation ----
         let mut ts_deletes: Vec<StateKey> = Vec::new();
@@ -607,7 +720,7 @@ impl Checker {
             storage.post_receipts(&self.group_ref().primary_partition(), receipts.clone())?;
         }
 
-        Ok(CheckerPassReport {
+        let report = CheckerPassReport {
             group: self.group_ref().name(),
             proposals_seen,
             accepted,
@@ -618,7 +731,27 @@ impl Checker {
             receipts,
             elapsed: started.elapsed(),
             variables_read,
-        })
+        };
+
+        // Record provable no-ops for the quiescence short-circuit. A pass
+        // that persisted nothing (no proposals consumed, no TS pruned, no
+        // receipts posted) left its start-of-pass watermarks intact, so
+        // those marks certify "this exact pass, again, does nothing".
+        *self.quiescent.lock() = match marks {
+            Some(marks)
+                if report.proposals_seen == 0
+                    && report.ts_pruned == 0
+                    && report.receipts.is_empty()
+                    && !ts_has_locks =>
+            {
+                Some(QuiescentMark {
+                    marks,
+                    variables_read: report.variables_read,
+                })
+            }
+            _ => None,
+        };
+        Ok(report)
     }
 }
 
@@ -1064,6 +1197,79 @@ mod tests {
         propose_upgrade(&storage, &app, "agg-1-3", "7.0", clock.now());
         let r2 = chk.run_pass(&storage, clock.now()).unwrap();
         assert_eq!(r2.accepted, 2, "{:?}", r2.receipts);
+    }
+
+    #[test]
+    fn delta_passes_match_full_read_passes() {
+        // Two identical worlds driven through the same multi-pass history:
+        // one checker mirrors pools via deltas, the other re-reads in
+        // full. Reports and the resulting TS must be identical.
+        let run = |delta: bool| {
+            let (graph, storage, clock) = setup();
+            seed_os(&graph, &storage, clock.now());
+            let chk = checker(&graph, MergePolicy::LastWriterWins).with_delta_reads(delta);
+            let app = AppId::new("switch-upgrade");
+            let mut history = Vec::new();
+            // Pass 1: parallel proposals, one rejected by the invariant.
+            for a in 1..=3 {
+                propose_upgrade(&storage, &app, &format!("agg-1-{a}"), "7.0", clock.now());
+            }
+            history.push(chk.run_pass(&storage, clock.now()).unwrap());
+            // OS catches up on one device; re-propose the rejected one.
+            storage
+                .write(WriteRequest {
+                    pool: Pool::Observed,
+                    rows: vec![os_row(
+                        EntityName::device("dc1", "agg-1-1"),
+                        Attribute::DeviceFirmwareVersion,
+                        Value::text("7.0"),
+                        clock.now(),
+                    )],
+                })
+                .unwrap();
+            propose_upgrade(&storage, &app, "agg-1-3", "7.0", clock.now());
+            history.push(chk.run_pass(&storage, clock.now()).unwrap());
+            // A quarantine pass in the middle forces the full-read path.
+            let q: BTreeSet<DeviceName> = [DeviceName::new("agg-1-2")].into_iter().collect();
+            propose_upgrade(&storage, &app, "agg-1-2", "8.0", clock.now());
+            history.push(
+                chk.run_pass_with_unreachable(&storage, clock.now(), &q)
+                    .unwrap(),
+            );
+            // And a final clean pass back on the delta path.
+            propose_upgrade(&storage, &app, "agg-1-4", "7.0", clock.now());
+            history.push(chk.run_pass(&storage, clock.now()).unwrap());
+            let mut ts = storage
+                .read(ReadRequest {
+                    datacenter: DatacenterId::new("dc1"),
+                    pool: Pool::Target,
+                    freshness: Freshness::UpToDate,
+                    entity: None,
+                    attribute: None,
+                })
+                .unwrap();
+            ts.sort_by_key(|r| r.key());
+            let summary: Vec<_> = history
+                .iter()
+                .map(|r| {
+                    (
+                        r.proposals_seen,
+                        r.accepted,
+                        r.rejected,
+                        r.already_satisfied,
+                        r.ts_pruned,
+                        r.quarantine_rejected,
+                    )
+                })
+                .collect();
+            (
+                summary,
+                ts.into_iter()
+                    .map(|r| (r.key(), r.value))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

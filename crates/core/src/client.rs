@@ -11,7 +11,7 @@ use statesman_net::SimClock;
 use statesman_storage::{ReadRequest, StorageService, WriteRequest};
 use statesman_types::{
     AppId, Attribute, DatacenterId, EntityName, Freshness, LockPriority, NetworkState, Pool,
-    SimTime, StateKey, StateResult, Value, WriteReceipt,
+    SimTime, StateDelta, StateKey, StateResult, Value, Version, WriteReceipt,
 };
 
 /// A Statesman client bound to one application identity.
@@ -56,6 +56,16 @@ impl StatesmanClient {
             entity: None,
             attribute: None,
         })
+    }
+
+    /// Read the observed-state changes of one datacenter since a
+    /// previously returned watermark (§6.4's bounded-stale pull, but
+    /// incremental). Pass [`Version::GENESIS`] on the first call; feed
+    /// the returned `watermark` back in on the next. When the change
+    /// index no longer covers `since`, the reply is a full snapshot
+    /// (`delta.snapshot == true`) — apply it the same way.
+    pub fn read_os_since(&self, dc: &DatacenterId, since: Version) -> StateResult<StateDelta> {
+        self.storage.read_since(dc, &Pool::Observed, since)
     }
 
     /// Read one observed variable (always up-to-date).
@@ -221,6 +231,48 @@ mod tests {
         te.acquire_lock(&br, LockPriority::Low, None).unwrap();
         checker.run_pass(&storage, clock.now()).unwrap();
         assert!(te.holds_lock(&br).unwrap());
+    }
+
+    #[test]
+    fn read_os_since_tracks_the_observed_pool() {
+        let (storage, clock, _checker) = setup();
+        let c = StatesmanClient::new("app", storage.clone(), clock.clone());
+        let dc = DatacenterId::new("dc1");
+        let row = |name: &str, fw: &str| {
+            NetworkState::new(
+                EntityName::device("dc1", name),
+                Attribute::DeviceFirmwareVersion,
+                Value::text(fw),
+                clock.now(),
+                AppId::new("monitor"),
+            )
+        };
+        storage
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![row("agg-1-1", "6.0"), row("agg-1-2", "6.0")],
+            })
+            .unwrap();
+
+        let d0 = c.read_os_since(&dc, Version::GENESIS).unwrap();
+        assert_eq!(d0.upserts.len(), 2);
+
+        // Nothing new: the delta at the watermark is empty.
+        let d1 = c.read_os_since(&dc, d0.watermark).unwrap();
+        assert!(d1.is_empty());
+        assert_eq!(d1.watermark, d0.watermark);
+
+        // One more write: exactly one upsert since the last watermark.
+        storage
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![row("agg-1-1", "7.0")],
+            })
+            .unwrap();
+        let d2 = c.read_os_since(&dc, d1.watermark).unwrap();
+        assert_eq!(d2.upserts.len(), 1);
+        assert_eq!(d2.upserts[0].value, Value::text("7.0"));
+        assert!(!d2.snapshot);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use statesman_net::SimNetwork;
 use statesman_obs::{Counter, Gauge, Histogram, Obs, RoundTrace, StatusBoard, LATENCY_BUCKETS_MS};
 use statesman_storage::StorageService;
 use statesman_topology::NetworkGraph;
-use statesman_types::{DatacenterId, RetryPolicy, SimDuration, StateResult};
+use statesman_types::{DatacenterId, Pool, RetryPolicy, SimDuration, StateResult};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -51,6 +51,16 @@ pub struct CoordinatorConfig {
     /// Per-device updater circuit breaker: (consecutive-failure
     /// threshold, open cooldown). `None` disables breakers.
     pub updater_breaker: Option<(u32, SimDuration)>,
+    /// Run the delta-driven state plane: the monitor diffs against its
+    /// last-written view and writes only changed rows, and the checker
+    /// and updater advance cached views via `read_since` changefeeds.
+    /// `false` restores the seed's snapshot-per-round behavior (every
+    /// stage reads and writes full pools every round).
+    pub delta_state_plane: bool,
+    /// How often the monitor rewrites its full view even when nothing
+    /// changed (`None` = monitor default). Ignored when
+    /// `delta_state_plane` is false (every round is a full write).
+    pub monitor_resync_every: Option<u64>,
     /// Observability handle. When set, every tick records stage metrics
     /// into its registry, pushes a [`RoundTrace`] onto its ring, and
     /// refreshes its status board. `None` records nothing.
@@ -69,6 +79,8 @@ impl Default for CoordinatorConfig {
             quarantine_cooldown: None,
             updater_retry: None,
             updater_breaker: None,
+            delta_state_plane: true,
+            monitor_resync_every: None,
             obs: None,
         }
     }
@@ -96,6 +108,9 @@ struct CoordObs {
     updater_breaker_skips: Counter,
     updater_breakers_opened: Counter,
     updater_round_ms: Histogram,
+    monitor_rows_written: Counter,
+    monitor_writes_suppressed: Counter,
+    watermark_lag: Gauge,
 }
 
 impl CoordObs {
@@ -121,6 +136,9 @@ impl CoordObs {
             updater_breaker_skips: r.counter("updater_breaker_skips_total"),
             updater_breakers_opened: r.counter("updater_breakers_opened_total"),
             updater_round_ms: r.histogram("updater_round_ms", LATENCY_BUCKETS_MS),
+            monitor_rows_written: r.counter("monitor_rows_written_total"),
+            monitor_writes_suppressed: r.counter("monitor_writes_suppressed_total"),
+            watermark_lag: r.gauge("state_watermark_lag"),
         }
     }
 }
@@ -142,6 +160,18 @@ pub struct RoundReport {
     pub storage_retries: u64,
     /// Cumulative storage submits that exhausted their retry budget.
     pub storage_retries_exhausted: u64,
+    /// OS rows the monitor actually wrote this round.
+    pub rows_written: usize,
+    /// OS rows the monitor skipped as value-identical this round.
+    pub writes_suppressed: usize,
+    /// Cumulative storage reads served from the change index at round end.
+    pub delta_reads: u64,
+    /// Cumulative delta reads that fell back to a full snapshot.
+    pub full_fallbacks: u64,
+    /// Worst-case version gap between a live partition's OS watermark and
+    /// the updater's cached view of it at round end (0 when the delta
+    /// plane is off or every cache is current).
+    pub watermark_lag: u64,
 }
 
 impl RoundReport {
@@ -269,7 +299,7 @@ impl Coordinator {
                     c.add_invariant(Box::new(inv));
                 }
             }
-            checkers.push(c);
+            checkers.push(c.with_delta_reads(config.delta_state_plane));
         }
         if has_wan {
             let mut c = Checker::new(
@@ -282,14 +312,24 @@ impl Coordinator {
             if let Some(min) = config.wan_invariant {
                 c.add_invariant(Box::new(WanLinkInvariant::new(min)));
             }
-            checkers.push(c);
+            checkers.push(c.with_delta_reads(config.delta_state_plane));
         }
 
         let mut monitor = Monitor::new(net.clone(), storage.clone(), graph.clone());
         if let Some(cooldown) = config.quarantine_cooldown {
             monitor = monitor.with_quarantine_cooldown(cooldown);
         }
-        let mut updater = Updater::new(net.clone(), storage.clone(), graph.clone());
+        monitor = if config.delta_state_plane {
+            match config.monitor_resync_every {
+                Some(every) => monitor.with_resync_every(every),
+                None => monitor,
+            }
+        } else {
+            // Snapshot mode: every round is a full rewrite.
+            monitor.with_resync_every(1)
+        };
+        let mut updater = Updater::new(net.clone(), storage.clone(), graph.clone())
+            .with_delta_reads(config.delta_state_plane);
         if let Some(policy) = config.updater_retry.clone() {
             updater = updater.with_retry(policy);
         }
@@ -406,13 +446,34 @@ impl Coordinator {
         // monitor of the fresh poll that would clear the diff.
         let updater = self.updater.run_round_excluding(&quarantined)?;
         let (storage_retries, storage_retries_exhausted) = self.storage.retry_stats();
+        let (delta_reads, full_fallbacks, _suppressed) = self.storage.delta_stats();
+        // How far behind the freshest OS is the updater's cached mirror,
+        // in versions, across live partitions. A healthy delta plane
+        // keeps this at 0; a gap means the next round falls back.
+        let watermark_lag = self
+            .storage
+            .partitions()
+            .into_iter()
+            .filter(|dc| self.storage.partition_available(dc))
+            .filter_map(|dc| {
+                let head = self.storage.pool_watermark(&dc, &Pool::Observed).ok()?;
+                let cached = self.updater.cached_watermark(&Pool::Observed, &dc)?;
+                Some(head.0.saturating_sub(cached.0))
+            })
+            .max()
+            .unwrap_or(0);
         let report = RoundReport {
+            rows_written: monitor.rows_written,
+            writes_suppressed: monitor.writes_suppressed,
             monitor,
             checkers,
             updater,
             skipped_groups,
             storage_retries,
             storage_retries_exhausted,
+            delta_reads,
+            full_fallbacks,
+            watermark_lag,
         };
         self.record_round(&report);
         Ok(report)
@@ -444,8 +505,7 @@ impl Coordinator {
         for pass in &report.checkers {
             proposals_seen += pass.proposals_seen;
             already_satisfied += pass.already_satisfied;
-            m.checker_pass_ms
-                .observe(pass.elapsed.as_secs_f64() * 1e3);
+            m.checker_pass_ms.observe(pass.elapsed.as_secs_f64() * 1e3);
             for receipt in &pass.receipts {
                 if receipt.outcome.is_rejected() {
                     *reject_reasons
@@ -461,7 +521,8 @@ impl Coordinator {
         m.checker_quarantine_rejected
             .add(report.quarantine_rejected() as u64);
         m.updater_diffs.add(report.updater.diffs as u64);
-        m.updater_applied.add(report.updater.commands_applied as u64);
+        m.updater_applied
+            .add(report.updater.commands_applied as u64);
         m.updater_failed.add(report.updater.commands_failed as u64);
         m.updater_retries.add(report.updater.retries as u64);
         m.updater_breaker_skips
@@ -469,6 +530,10 @@ impl Coordinator {
         m.updater_breakers_opened
             .add(report.updater.breakers_opened as u64);
         m.updater_round_ms.observe(updater_ms);
+        m.monitor_rows_written.add(report.rows_written as u64);
+        m.monitor_writes_suppressed
+            .add(report.writes_suppressed as u64);
+        m.watermark_lag.set(report.watermark_lag as i64);
 
         let quarantined: Vec<String> = self
             .monitor
@@ -510,6 +575,11 @@ impl Coordinator {
             breakers_open: breakers_open.clone(),
             storage_retries: report.storage_retries,
             storage_retries_exhausted: report.storage_retries_exhausted,
+            rows_written: report.rows_written,
+            writes_suppressed: report.writes_suppressed,
+            delta_reads: report.delta_reads,
+            full_fallbacks: report.full_fallbacks,
+            watermark_lag: report.watermark_lag,
         });
         obs.set_status(StatusBoard {
             quarantined,
@@ -749,6 +819,113 @@ mod tests {
         );
         assert_eq!(obs.traces.len(), 2);
         assert_eq!(obs.status().last_round, Some(1));
+    }
+
+    #[test]
+    fn quiescent_rounds_ride_the_delta_plane() {
+        let (graph, net, storage, _clock) = setup();
+        let obs = Obs::new();
+        let coord = Coordinator::new(
+            &graph,
+            net,
+            storage.clone(),
+            CoordinatorConfig {
+                obs: Some(obs.clone()),
+                ..Default::default()
+            },
+        );
+
+        // Round 0 seeds the OS: everything is new, nothing suppressed.
+        let r0 = coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        assert!(r0.rows_written > 0);
+        assert_eq!(r0.writes_suppressed, 0);
+
+        // Quiescent round: no topology or config changed, so only live
+        // telemetry (cpu/mem utilization) is rewritten and everything
+        // else is suppressed.
+        let r1 = coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        assert_eq!(r1.rows_written + r1.writes_suppressed, r0.rows_written);
+        assert!(
+            r1.rows_written * 4 < r0.rows_written,
+            "quiescent round rewrote most of the pool: {r1:?}"
+        );
+        assert!(r1.delta_reads > r0.delta_reads);
+        assert_eq!(r1.watermark_lag, 0);
+
+        // All of it is visible on the trace ring (and thus /v1/status).
+        let trace = obs.traces.last().unwrap();
+        assert_eq!(trace.rows_written, r1.rows_written);
+        assert_eq!(trace.writes_suppressed, r1.writes_suppressed);
+        assert_eq!(trace.delta_reads, r1.delta_reads);
+        assert_eq!(trace.full_fallbacks, r1.full_fallbacks);
+        assert_eq!(trace.watermark_lag, 0);
+        let reg = &obs.registry;
+        assert_eq!(
+            reg.counter_value("monitor_writes_suppressed_total"),
+            Some(r1.writes_suppressed as u64)
+        );
+        assert!(reg.counter_value("monitor_rows_written_total").unwrap() > 0);
+        assert_eq!(reg.gauge("state_watermark_lag").get(), 0);
+    }
+
+    #[test]
+    fn disabling_the_delta_plane_restores_snapshot_rounds() {
+        let (graph, net, storage, _clock) = setup();
+        let coord = Coordinator::new(
+            &graph,
+            net,
+            storage,
+            CoordinatorConfig {
+                delta_state_plane: false,
+                ..Default::default()
+            },
+        );
+        let r0 = coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        let r1 = coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        // Snapshot mode: the quiescent round still rewrites everything
+        // and never touches the change index.
+        assert_eq!(r1.rows_written, r0.rows_written);
+        assert_eq!(r1.writes_suppressed, 0);
+        assert_eq!(r1.delta_reads, 0);
+        assert_eq!(r1.watermark_lag, 0);
+    }
+
+    #[test]
+    fn delta_plane_converges_like_the_snapshot_plane() {
+        // The end-to-end upgrade scenario, once per plane; both must land
+        // the same final device state and proposal outcome.
+        for delta in [true, false] {
+            let (graph, net, storage, clock) = setup();
+            let coord = Coordinator::new(
+                &graph,
+                net.clone(),
+                storage.clone(),
+                CoordinatorConfig {
+                    delta_state_plane: delta,
+                    ..Default::default()
+                },
+            );
+            let app = StatesmanClient::new("switch-upgrade", storage, clock);
+            coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+            app.propose([(
+                EntityName::device("dc1", "agg-1-1"),
+                Attribute::DeviceFirmwareVersion,
+                Value::text("7.0"),
+            )])
+            .unwrap();
+            let r = coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+            assert_eq!(r.accepted(), 1, "delta={delta}");
+            coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+            let r3 = coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+            assert_eq!(r3.updater.diffs, 0, "delta={delta}: {:?}", r3.updater);
+            assert_eq!(
+                net.device_snapshot(&"agg-1-1".into())
+                    .unwrap()
+                    .observed_firmware(),
+                "7.0",
+                "delta={delta}"
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ use statesman_storage::{StorageService, WriteRequest};
 use statesman_topology::NetworkGraph;
 use statesman_types::{
     AppId, Attribute, DatacenterId, DeviceName, EntityName, NetworkState, Pool, SimDuration,
-    SimTime, StateResult, Value,
+    SimTime, StateKey, StateResult, Value,
 };
 use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
@@ -41,6 +41,10 @@ const CONCURRENCY_PER_SHARD: u64 = 64;
 pub const SHARD_SIZE: usize = 1_000;
 /// Default quarantine cooldown after a failed device poll.
 pub const DEFAULT_QUARANTINE_COOLDOWN: SimDuration = SimDuration::from_mins(5);
+/// Default full-resync cadence: every Nth round writes the whole OS view
+/// regardless of the diff cache, healing any drift between the monitor's
+/// memory of what it wrote and what storage actually holds.
+pub const DEFAULT_RESYNC_EVERY: u64 = 16;
 
 /// One collection round's outcome.
 #[derive(Debug, Clone)]
@@ -57,6 +61,10 @@ pub struct MonitorReport {
     pub links_polled: usize,
     /// OS rows written.
     pub rows_written: usize,
+    /// Polled rows *not* written because they match the monitor's last
+    /// written value (the delta path; quiescent rounds suppress nearly
+    /// everything).
+    pub writes_suppressed: usize,
     /// Number of monitor instances (shards) this round used.
     pub shards: usize,
     /// Modeled wall time of the collection round in simulated terms
@@ -77,6 +85,16 @@ pub struct Monitor {
     /// Devices under quarantine, mapped to when their cooldown expires.
     quarantine: Mutex<HashMap<DeviceName, SimTime>>,
     quarantine_cooldown: SimDuration,
+    /// What this monitor last wrote per key: the diff base that lets a
+    /// round write only rows whose value actually changed. Cleared on any
+    /// write failure so the next round rewrites everything (the cache may
+    /// no longer match what storage holds).
+    last_written: Mutex<HashMap<StateKey, NetworkState>>,
+    /// Rounds completed (drives the periodic full resync).
+    rounds: Mutex<u64>,
+    /// Every Nth round ignores the diff cache and writes the full view
+    /// (1 = the pre-delta behavior: every round writes everything).
+    resync_every: u64,
 }
 
 impl Monitor {
@@ -91,6 +109,9 @@ impl Monitor {
             graph,
             quarantine: Mutex::new(HashMap::new()),
             quarantine_cooldown: DEFAULT_QUARANTINE_COOLDOWN,
+            last_written: Mutex::new(HashMap::new()),
+            rounds: Mutex::new(0),
+            resync_every: DEFAULT_RESYNC_EVERY,
         }
     }
 
@@ -98,6 +119,13 @@ impl Monitor {
     /// unpolled before a half-open re-probe).
     pub fn with_quarantine_cooldown(mut self, cooldown: SimDuration) -> Self {
         self.quarantine_cooldown = cooldown;
+        self
+    }
+
+    /// Replace the full-resync cadence. `1` disables the delta path
+    /// entirely: every round writes the whole view, as before deltas.
+    pub fn with_resync_every(mut self, every: u64) -> Self {
+        self.resync_every = every.max(1);
         self
     }
 
@@ -238,22 +266,69 @@ impl Monitor {
         devices_quarantined: usize,
         links_polled: usize,
         entities_polled: u64,
+        skipped_dcs: bool,
         started: Instant,
     ) -> StateResult<MonitorReport> {
         // De-duplicate: a link may get an inferred down row (from a dead
         // endpoint) *and* a polled row (from the live peer); polled rows
         // already report oper-down for dead-endpoint links, so shadowing
-        // is consistent either way.
-        let rows = crate::view::MapView::from_rows(rows).into_sorted_rows();
-        let rows_written = rows.len();
+        // is consistent either way. A hash map (not the full sort) keeps
+        // the quiescent-round cost linear.
+        let mut dedup: HashMap<StateKey, NetworkState> = HashMap::with_capacity(rows.len());
+        for r in rows {
+            dedup.insert(r.key(), r);
+        }
+        let round = {
+            let mut r = self.rounds.lock();
+            let current = *r;
+            *r += 1;
+            current
+        };
+        let force_full = round % self.resync_every == 0;
+        let mut last = self.last_written.lock();
+        let mut changed: Vec<NetworkState> = Vec::new();
+        let mut writes_suppressed = 0usize;
+        for row in dedup.values() {
+            let unchanged = last
+                .get(&row.key())
+                .map(|p| p.value == row.value && p.writer == row.writer)
+                .unwrap_or(false);
+            if unchanged && !force_full {
+                writes_suppressed += 1;
+                continue;
+            }
+            changed.push(row.clone());
+        }
+        // Only the changed rows need the deterministic write order.
+        changed.sort_by_key(|a| a.key());
+        let rows_written = changed.len();
         // Chunk large rounds: one consensus commit per ~50K rows keeps
         // per-message payloads bounded at DC scale (§8: 394K variables).
-        for chunk in rows.chunks(50_000) {
-            self.storage.write(WriteRequest {
+        for chunk in changed.chunks(50_000) {
+            if let Err(e) = self.storage.write(WriteRequest {
                 pool: Pool::Observed,
                 rows: chunk.to_vec(),
-            })?;
+            }) {
+                // The diff base may no longer match storage; rewrite
+                // everything next round.
+                last.clear();
+                return Err(e);
+            }
         }
+        // Everything this round observed — written or suppressed — is the
+        // diff base for the next round. A round that polled everything
+        // replaces the base wholesale (the common case, and free); keys in
+        // skipped DCs or on quarantined/unreachable devices were not
+        // polled, so those rounds must merge to carry their entries over.
+        let full_coverage = !skipped_dcs && devices_quarantined == 0 && devices_unreachable == 0;
+        if full_coverage {
+            *last = dedup;
+        } else {
+            for (k, row) in dedup {
+                last.insert(k, row);
+            }
+        }
+        drop(last);
 
         let shards = self.graph.node_count().div_ceil(SHARD_SIZE).max(1);
         let lanes = shards as u64 * CONCURRENCY_PER_SHARD;
@@ -265,6 +340,7 @@ impl Monitor {
             devices_quarantined,
             links_polled,
             rows_written,
+            writes_suppressed,
             shards,
             sim_io,
             elapsed: started.elapsed(),
@@ -329,6 +405,7 @@ impl Monitor {
             devices_quarantined,
             links_polled,
             entities_polled,
+            !skip_dcs.is_empty(),
             started,
         )
     }
@@ -422,6 +499,7 @@ impl Monitor {
             devices_quarantined,
             links_polled,
             entities_polled,
+            false,
             started,
         )
     }
@@ -554,13 +632,17 @@ mod tests {
     fn repeated_rounds_update_in_place() {
         let (net, storage, graph, clock) = setup();
         let m = Monitor::new(net, storage.clone(), graph);
-        m.run_round().unwrap();
+        let r1 = m.run_round().unwrap();
+        assert_eq!(r1.writes_suppressed, 0, "first round writes everything");
         let n1 = storage.pool_len(&DatacenterId::new("dc1"), &Pool::Observed);
         clock.advance(SimDuration::from_mins(5));
-        m.run_round().unwrap();
+        let r2 = m.run_round().unwrap();
         let n2 = storage.pool_len(&DatacenterId::new("dc1"), &Pool::Observed);
         assert_eq!(n1, n2, "rows are upserts, not appends");
-        // Freshness: an up-to-date read reflects the newest timestamps.
+        // A quiescent round suppresses the unchanged rows instead of
+        // rewriting them; the stored row keeps its original timestamp.
+        assert!(r2.writes_suppressed > 0);
+        assert!(r2.rows_written < r1.rows_written);
         let rows = storage
             .read(statesman_storage::ReadRequest {
                 datacenter: DatacenterId::new("dc1"),
@@ -570,7 +652,57 @@ mod tests {
                 attribute: Some(Attribute::DeviceFirmwareVersion),
             })
             .unwrap();
-        assert_eq!(rows[0].updated_at, clock.now());
+        assert!(
+            rows[0].updated_at < clock.now(),
+            "unchanged value not rewritten"
+        );
+    }
+
+    #[test]
+    fn resync_round_rewrites_the_full_view() {
+        let (net, storage, graph, clock) = setup();
+        let m = Monitor::new(net, storage.clone(), graph).with_resync_every(2);
+        let r1 = m.run_round().unwrap(); // round 0: forced full
+        clock.advance(SimDuration::from_mins(5));
+        let r2 = m.run_round().unwrap(); // round 1: delta
+        clock.advance(SimDuration::from_mins(5));
+        let r3 = m.run_round().unwrap(); // round 2: forced full again
+        assert!(r2.rows_written < r1.rows_written);
+        assert_eq!(r3.rows_written, r1.rows_written);
+        assert_eq!(r3.writes_suppressed, 0);
+    }
+
+    #[test]
+    fn resync_every_one_disables_the_delta_path() {
+        let (net, storage, graph, clock) = setup();
+        let m = Monitor::new(net, storage.clone(), graph).with_resync_every(1);
+        let r1 = m.run_round().unwrap();
+        clock.advance(SimDuration::from_mins(5));
+        let r2 = m.run_round().unwrap();
+        assert_eq!(r1.rows_written, r2.rows_written);
+        assert_eq!(r2.writes_suppressed, 0);
+    }
+
+    #[test]
+    fn write_failure_clears_the_diff_base() {
+        let (net, storage, graph, clock) = setup();
+        let m = Monitor::new(net, storage.clone(), graph).with_resync_every(2);
+        let dc = DatacenterId::new("dc1");
+        let r0 = m.run_round().unwrap(); // round 0: full
+        clock.advance(SimDuration::from_mins(5));
+        m.run_round().unwrap(); // round 1: delta
+        storage.set_partition_available(&dc, false);
+        clock.advance(SimDuration::from_mins(5));
+        // Round 2 is a forced resync: the write fails against the offline
+        // partition and must clear the diff base.
+        assert!(m.run_round().is_err());
+        storage.set_partition_available(&dc, true);
+        clock.advance(SimDuration::from_mins(5));
+        // Round 3 would normally be a delta round, but with the base
+        // cleared it rewrites the whole view.
+        let r3 = m.run_round().unwrap();
+        assert_eq!(r3.rows_written, r0.rows_written);
+        assert_eq!(r3.writes_suppressed, 0);
     }
 
     #[test]

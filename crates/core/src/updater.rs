@@ -25,8 +25,8 @@ use statesman_net::{
 use statesman_storage::{ReadRequest, StorageService};
 use statesman_topology::NetworkGraph;
 use statesman_types::{
-    Attribute, DeviceName, EntityName, FlowLinkRule, Freshness, LinkName, NetworkState, Pool,
-    RetryPolicy, SimDuration, SimTime, StateError, StateResult, Value,
+    Attribute, DatacenterId, DeviceName, EntityName, FlowLinkRule, Freshness, LinkName,
+    NetworkState, Pool, RetryPolicy, SimDuration, SimTime, StateError, StateResult, Value, Version,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
@@ -336,6 +336,31 @@ pub struct Updater {
     breaker: Option<(u32, SimDuration)>,
     breakers: Mutex<HashMap<DeviceName, BreakerState>>,
     jitter_rng: Mutex<StdRng>,
+    /// Read pools incrementally via `read_since` (default). This is a
+    /// *read-path optimization only*: the mirror is a verbatim copy of
+    /// storage, advanced by the changefeed, and the updater still rediffs
+    /// OS−TS from scratch every round — §6.2's memoryless property is
+    /// observable behavior, property-tested bit-equal to full reads.
+    delta_reads: bool,
+    /// Per-(pool, partition) mirror and its watermark. Entries are
+    /// dropped whenever a round cannot use the delta path (quarantine
+    /// rounds, unavailable partitions), forcing a clean re-seed.
+    part_cache: Mutex<HashMap<(Pool, DatacenterId), CachedPart>>,
+    /// Partition-level watermarks from the last zero-diff delta round.
+    /// The updater is a deterministic function of pool contents; while
+    /// every partition's machine-wide watermark is unchanged, the rediff
+    /// would find the same zero differences, so the round short-circuits.
+    /// A round that *found* diffs never records marks — failed commands
+    /// must be rediffed next round (§6.2's implicit cross-round retry),
+    /// even though the storage state did not move.
+    quiescent: Mutex<Option<Vec<(DatacenterId, Version)>>>,
+}
+
+/// One partition's pool mirrored updater-side (see `Updater::part_cache`).
+#[derive(Default)]
+struct CachedPart {
+    view: crate::view::MapView,
+    watermark: Version,
 }
 
 /// Per-device circuit-breaker bookkeeping. This is deliberately *not*
@@ -395,7 +420,27 @@ impl Updater {
             breaker: None,
             breakers: Mutex::new(HashMap::new()),
             jitter_rng: Mutex::new(StdRng::seed_from_u64(0xC1AC)),
+            delta_reads: true,
+            part_cache: Mutex::new(HashMap::new()),
+            quiescent: Mutex::new(None),
         }
+    }
+
+    /// Enable or disable incremental pool reads (`true` by default).
+    /// Disabled, every round re-reads full pools — the pre-delta behavior.
+    pub fn with_delta_reads(mut self, enabled: bool) -> Self {
+        self.delta_reads = enabled;
+        self
+    }
+
+    /// The watermark of this updater's mirrored (pool, partition), if the
+    /// mirror is live. The coordinator reports the gap to the leader's
+    /// watermark as `state_watermark_lag`.
+    pub fn cached_watermark(&self, pool: &Pool, dc: &DatacenterId) -> Option<Version> {
+        self.part_cache
+            .lock()
+            .get(&(pool.clone(), dc.clone()))
+            .map(|e| e.watermark)
     }
 
     /// Replace the template pool.
@@ -467,20 +512,37 @@ impl Updater {
 
     /// Read a full pool across all partitions. Unavailable partitions are
     /// skipped (degraded mode): their entities simply produce no diffs
-    /// this round rather than aborting everyone else's work.
-    fn read_all(&self, pool: Pool) -> StateResult<Vec<NetworkState>> {
+    /// this round rather than aborting everyone else's work — and their
+    /// mirror entries are dropped, since the partition may move on while
+    /// unobserved. With `use_delta`, available partitions are served by
+    /// the mirrored view advanced via `read_since`; otherwise they are
+    /// re-read in full and the mirror invalidated.
+    fn read_all(&self, pool: Pool, use_delta: bool) -> StateResult<Vec<NetworkState>> {
         let mut rows = Vec::new();
         for dc in self.storage.partitions() {
+            let key = (pool.clone(), dc.clone());
             if !self.storage.partition_available(&dc) {
+                self.part_cache.lock().remove(&key);
                 continue;
             }
-            rows.extend(self.storage.read(ReadRequest {
-                datacenter: dc,
-                pool: pool.clone(),
-                freshness: Freshness::UpToDate,
-                entity: None,
-                attribute: None,
-            })?);
+            if use_delta {
+                let mut cache = self.part_cache.lock();
+                let since = cache.get(&key).map(|e| e.watermark).unwrap_or_default();
+                let delta = self.storage.read_since(&dc, &pool, since)?;
+                let entry = cache.entry(key).or_default();
+                entry.watermark = delta.watermark;
+                entry.view.apply_delta(delta);
+                rows.extend(entry.view.rows().cloned());
+            } else {
+                self.part_cache.lock().remove(&key);
+                rows.extend(self.storage.read(ReadRequest {
+                    datacenter: dc,
+                    pool: pool.clone(),
+                    freshness: Freshness::UpToDate,
+                    entity: None,
+                    attribute: None,
+                })?);
+            }
         }
         Ok(rows)
     }
@@ -506,8 +568,29 @@ impl Updater {
     pub fn run_round_excluding(&self, skip: &BTreeSet<DeviceName>) -> StateResult<UpdaterReport> {
         let started = Instant::now();
         let now = self.net.clock().now();
-        let os = crate::view::MapView::from_rows(self.read_all(Pool::Observed)?);
-        let ts_rows = self.read_all(Pool::Target)?;
+        // Quarantine rounds force the full-read fallback (and drop the
+        // mirrors): rounds with stale devices in play are exactly when
+        // the updater must provably act on what storage holds.
+        let use_delta = self.delta_reads && skip.is_empty();
+
+        // Quiescence short-circuit: unchanged partition watermarks since
+        // the last zero-diff round prove the rediff would find nothing.
+        let marks = if use_delta {
+            self.partition_marks()
+        } else {
+            None
+        };
+        if let (Some(m), Some(prev)) = (marks.as_ref(), self.quiescent.lock().as_ref()) {
+            if m == prev {
+                return Ok(UpdaterReport {
+                    elapsed: started.elapsed(),
+                    ..UpdaterReport::default()
+                });
+            }
+        }
+
+        let os = crate::view::MapView::from_rows(self.read_all(Pool::Observed, use_delta)?);
+        let ts_rows = self.read_all(Pool::Target, use_delta)?;
 
         let mut report = UpdaterReport::default();
         // Track cumulative simulated latency per device (sequential per
@@ -641,7 +724,24 @@ impl Updater {
         report.sim_io =
             SimDuration::from_millis(per_device_ms.values().copied().max().unwrap_or(0));
         report.elapsed = started.elapsed();
+        // The updater writes nothing to storage, so a zero-diff round's
+        // start-of-round marks are still its end-of-round marks.
+        *self.quiescent.lock() = match marks {
+            Some(marks) if report.diffs == 0 => Some(marks),
+            _ => None,
+        };
         Ok(report)
+    }
+
+    /// Partition-level watermarks for every partition, or `None` when any
+    /// is unavailable (degraded rounds drop entities from the diff, so
+    /// quiescence cannot be proven against them).
+    fn partition_marks(&self) -> Option<Vec<(DatacenterId, Version)>> {
+        self.storage
+            .partitions()
+            .into_iter()
+            .map(|dc| self.storage.partition_watermark(&dc).ok().map(|v| (dc, v)))
+            .collect()
     }
 
     /// The device that carries the commands realizing a row's difference.
@@ -1209,6 +1309,63 @@ mod tests {
         let r = u.run_round().unwrap();
         assert_eq!(r.unrenderable, 1);
         assert_eq!(r.retries, 0);
+    }
+
+    #[test]
+    fn delta_rounds_match_full_read_rounds() {
+        // Identical worlds, one updater mirroring pools via deltas and
+        // one re-reading in full: every round's observable outcome must
+        // match, including across a quarantine round and a TS delete.
+        let run = |delta: bool| {
+            let (net, storage, graph, clock) = setup();
+            seed_os(&net, &storage, &graph);
+            let u =
+                Updater::new(net.clone(), storage.clone(), graph.clone()).with_delta_reads(delta);
+            let mut outcomes = Vec::new();
+            let key = |r: &UpdaterReport| (r.diffs, r.commands_applied, r.quarantine_skips);
+            storage
+                .write(WriteRequest {
+                    pool: Pool::Target,
+                    rows: vec![ts_row(
+                        EntityName::device("dc1", "agg-1-1"),
+                        Attribute::DeviceFirmwareVersion,
+                        Value::text("7.0"),
+                        clock.now(),
+                    )],
+                })
+                .unwrap();
+            outcomes.push(key(&u.run_round().unwrap()));
+            net.step(SimDuration::from_secs(100));
+            seed_os(&net, &storage, &graph);
+            // Quarantine round (forces the full-read path) with a second
+            // pending diff.
+            storage
+                .write(WriteRequest {
+                    pool: Pool::Target,
+                    rows: vec![ts_row(
+                        EntityName::device("dc1", "agg-1-2"),
+                        Attribute::DeviceBootImage,
+                        Value::text("img-x"),
+                        clock.now(),
+                    )],
+                })
+                .unwrap();
+            let skip: BTreeSet<DeviceName> = [DeviceName::new("agg-1-2")].into_iter().collect();
+            outcomes.push(key(&u.run_round_excluding(&skip).unwrap()));
+            // TS row deleted: the diff must vanish through the mirror too.
+            storage
+                .delete(
+                    Pool::Target,
+                    vec![statesman_types::StateKey::new(
+                        EntityName::device("dc1", "agg-1-2"),
+                        Attribute::DeviceBootImage,
+                    )],
+                )
+                .unwrap();
+            outcomes.push(key(&u.run_round().unwrap()));
+            outcomes
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

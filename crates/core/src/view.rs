@@ -86,6 +86,24 @@ impl MapView {
         v.sort_by_key(|a| a.key());
         v
     }
+
+    /// Advance the view by a storage changefeed delta: deletes remove,
+    /// upserts replace, and a `snapshot: true` delta rebuilds the view
+    /// wholesale (the storage fallback when the change index cannot serve
+    /// the gap). Applying deltas in watermark order keeps the view
+    /// bit-equal to a fresh full read — the property the delta-driven
+    /// state plane is tested against.
+    pub fn apply_delta(&mut self, delta: statesman_types::StateDelta) {
+        if delta.snapshot {
+            self.rows.clear();
+        }
+        for key in &delta.deletes {
+            self.rows.remove(key);
+        }
+        for row in delta.upserts {
+            self.rows.insert(row.key(), row);
+        }
+    }
 }
 
 impl StateView for MapView {
@@ -420,6 +438,46 @@ mod tests {
         let ts = MapView::from_rows([os_row(le, Attribute::LinkAdminPower, Value::power(false))]);
         let h2 = project_health(&g, &os2, Some(&ts));
         assert!(!h2.link_up(&link));
+    }
+
+    #[test]
+    fn apply_delta_upserts_deletes_and_snapshots() {
+        let mut v = MapView::from_rows([
+            os_row(dev("a"), Attribute::DeviceFirmwareVersion, Value::text("1")),
+            os_row(dev("b"), Attribute::DeviceFirmwareVersion, Value::text("1")),
+        ]);
+        // Incremental: update a, delete b, add c.
+        v.apply_delta(statesman_types::StateDelta::incremental(
+            vec![
+                os_row(dev("a"), Attribute::DeviceFirmwareVersion, Value::text("2")),
+                os_row(dev("c"), Attribute::DeviceFirmwareVersion, Value::text("1")),
+            ],
+            vec![StateKey::new(dev("b"), Attribute::DeviceFirmwareVersion)],
+            statesman_types::Version(7),
+        ));
+        assert_eq!(v.len(), 2);
+        assert_eq!(
+            v.value_of(&dev("a"), Attribute::DeviceFirmwareVersion),
+            Some(&Value::text("2"))
+        );
+        assert_eq!(
+            v.value_of(&dev("b"), Attribute::DeviceFirmwareVersion),
+            None
+        );
+        // Snapshot: wholesale replacement.
+        v.apply_delta(statesman_types::StateDelta::full_snapshot(
+            vec![os_row(
+                dev("z"),
+                Attribute::DeviceFirmwareVersion,
+                Value::text("9"),
+            )],
+            statesman_types::Version(9),
+        ));
+        assert_eq!(v.len(), 1);
+        assert_eq!(
+            v.value_of(&dev("z"), Attribute::DeviceFirmwareVersion),
+            Some(&Value::text("9"))
+        );
     }
 
     #[test]

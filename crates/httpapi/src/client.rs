@@ -15,10 +15,10 @@
 
 use crate::error::decode_error;
 use crate::http::{encode_component, read_response_full};
-use crate::server::HealthResponse;
+use crate::server::{HealthResponse, WATERMARK_HEADER};
 use statesman_types::{
-    AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, SimTime,
-    StateError, StateResult, Value, WriteReceipt,
+    AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, SimTime, StateDelta,
+    StateError, StateResult, Value, Version, WriteReceipt,
 };
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
@@ -109,6 +109,48 @@ impl ApiClient {
         let body = self.expect_2xx(self.request("GET", &target, &[])?)?;
         serde_json::from_slice(&body)
             .map_err(|e| StateError::protocol(format!("bad response JSON: {e}")))
+    }
+
+    /// `GET /v1/read?since=<version>`: the changefeed read. Returns the
+    /// pool's changes past `since` as a [`StateDelta`] (or a full
+    /// snapshot when the change index no longer covers `since`), and
+    /// verifies the body against the `x-statesman-watermark` header the
+    /// server stamps on every delta reply.
+    pub fn read_since(
+        &self,
+        datacenter: &DatacenterId,
+        pool: &Pool,
+        since: Version,
+    ) -> StateResult<StateDelta> {
+        let target = format!(
+            "/v1/read?Datacenter={}&Pool={}&since={}",
+            encode_component(datacenter.as_str()),
+            encode_component(&pool.wire_name()),
+            since.0,
+        );
+        let (status, headers, body) = self.raw_request("GET", &target, &[])?;
+        if !(200..300).contains(&status) {
+            return Err(decode_error(status, &body));
+        }
+        let delta: StateDelta = serde_json::from_slice(&body)
+            .map_err(|e| StateError::protocol(format!("bad response JSON: {e}")))?;
+        let header = headers
+            .iter()
+            .find(|(n, _)| n == WATERMARK_HEADER)
+            .ok_or_else(|| StateError::protocol("delta reply missing watermark header"))?;
+        if header.1 != delta.watermark.0.to_string() {
+            return Err(StateError::protocol(format!(
+                "watermark header {} disagrees with body {}",
+                header.1, delta.watermark.0
+            )));
+        }
+        Ok(delta)
+    }
+
+    /// Read the observed-state changes of one datacenter since a prior
+    /// watermark (mirrors `StatesmanClient::read_os_since`).
+    pub fn read_os_since(&self, dc: &DatacenterId, since: Version) -> StateResult<StateDelta> {
+        self.read_since(dc, &Pool::Observed, since)
     }
 
     /// `POST /v1/write` (Table 3a): body is a JSON list of NetworkState

@@ -93,10 +93,7 @@ pub fn error_response(e: StateError) -> HttpResponse {
 pub fn decode_error(status: u16, body: &[u8]) -> StateError {
     match serde_json::from_slice::<ApiErrorBody>(body) {
         Ok(parsed) => parsed.source,
-        Err(_) => StateError::protocol(format!(
-            "HTTP {status}: {}",
-            String::from_utf8_lossy(body)
-        )),
+        Err(_) => StateError::protocol(format!("HTTP {status}: {}", String::from_utf8_lossy(body))),
     }
 }
 

@@ -52,12 +52,7 @@ pub struct HttpResponse {
 }
 
 impl HttpResponse {
-    fn new(
-        status: u16,
-        reason: &'static str,
-        body: Vec<u8>,
-        content_type: &'static str,
-    ) -> Self {
+    fn new(status: u16, reason: &'static str, body: Vec<u8>, content_type: &'static str) -> Self {
         HttpResponse {
             status,
             reason,

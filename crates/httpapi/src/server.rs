@@ -26,7 +26,7 @@ use statesman_obs::{Obs, RoundTrace, StatusBoard};
 use statesman_storage::{ReadRequest, StorageService, WriteRequest};
 use statesman_types::{
     AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, StateError,
-    StateResult,
+    StateResult, Version,
 };
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,11 +37,19 @@ use std::time::Duration;
 /// Default per-socket read/write timeout for accepted connections.
 pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Response header carrying the pool watermark on delta reads
+/// (`GET /v1/read?since=...`). Clients feed its value back as the next
+/// `since` to resume the changefeed.
+pub const WATERMARK_HEADER: &str = "x-statesman-watermark";
+
 /// The endpoints the server implements (each may be reachable through
 /// several [`RouteSpec`] entries: the v1 path and deprecated aliases).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
     /// `GET /v1/read` — pool rows at a chosen freshness (Table 3a).
+    /// With `since=<version>`, a [`statesman_types::StateDelta`] of
+    /// changes past that watermark instead (the changefeed read; the
+    /// reply carries the new watermark in [`WATERMARK_HEADER`]).
     Read,
     /// `POST /v1/write` — upsert rows into a pool (Table 3a).
     Write,
@@ -338,9 +346,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServerContext) {
             ctx.record_io_timeout();
             (
                 None,
-                HttpResponse::request_timeout(
-                    "connection idled past the server's read timeout",
-                ),
+                HttpResponse::request_timeout("connection idled past the server's read timeout"),
                 0,
             )
         }
@@ -355,8 +361,7 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServerContext) {
 /// `allow`), an unknown path is 404. Deprecated aliases answer like
 /// their v1 route plus `deprecation`/`link` headers.
 fn dispatch(req: &HttpRequest, ctx: &ServerContext) -> (Option<&'static RouteSpec>, HttpResponse) {
-    let on_path: Vec<&'static RouteSpec> =
-        ROUTES.iter().filter(|s| s.path == req.path).collect();
+    let on_path: Vec<&'static RouteSpec> = ROUTES.iter().filter(|s| s.path == req.path).collect();
     if on_path.is_empty() {
         return (None, HttpResponse::not_found());
     }
@@ -368,10 +373,7 @@ fn dispatch(req: &HttpRequest, ctx: &ServerContext) -> (Option<&'static RouteSpe
             .join(", ");
         // Attribute the 405 to the path's first row so the metric lands
         // on a real route.
-        return (
-            Some(on_path[0]),
-            HttpResponse::method_not_allowed(&allow),
-        );
+        return (Some(on_path[0]), HttpResponse::method_not_allowed(&allow));
     };
     let mut resp = match spec.route {
         Route::Read => handle_read(req, &ctx.storage),
@@ -382,9 +384,10 @@ fn dispatch(req: &HttpRequest, ctx: &ServerContext) -> (Option<&'static RouteSpe
         Route::Status => handle_status(req, ctx),
     };
     if spec.deprecated {
-        resp = resp
-            .with_header("deprecation", "true")
-            .with_header("link", format!("<{}>; rel=\"successor-version\"", spec.successor));
+        resp = resp.with_header("deprecation", "true").with_header(
+            "link",
+            format!("<{}>; rel=\"successor-version\"", spec.successor),
+        );
     }
     (Some(spec), resp)
 }
@@ -394,6 +397,9 @@ fn storage_error(e: StateError) -> HttpResponse {
 }
 
 fn handle_read(req: &HttpRequest, storage: &StorageService) -> HttpResponse {
+    if req.param("since").is_some() {
+        return handle_read_since(req, storage);
+    }
     let parse = || -> StateResult<ReadRequest> {
         let dc = DatacenterId::new(req.require("Datacenter")?);
         let pool = Pool::parse_wire_name(req.require("Pool")?)
@@ -433,6 +439,46 @@ fn handle_read(req: &HttpRequest, storage: &StorageService) -> HttpResponse {
             rows.sort_by_key(|a| a.key());
             match serde_json::to_vec(&rows) {
                 Ok(json) => HttpResponse::ok_json(json),
+                Err(e) => error_response(StateError::protocol(format!("serialize: {e}"))),
+            }
+        }
+        Err(e) => storage_error(e),
+    }
+}
+
+/// `GET /v1/read?since=<version>`: the changefeed read. Always a leader
+/// read; the reply body is a [`statesman_types::StateDelta`] and the new
+/// watermark rides in [`WATERMARK_HEADER`].
+fn handle_read_since(req: &HttpRequest, storage: &StorageService) -> HttpResponse {
+    let parse = || -> StateResult<(DatacenterId, Pool, Version)> {
+        let dc = DatacenterId::new(req.require("Datacenter")?);
+        let pool = Pool::parse_wire_name(req.require("Pool")?)
+            .ok_or_else(|| StateError::protocol("bad Pool"))?;
+        let since = req
+            .param("since")
+            .expect("checked by caller")
+            .parse::<u64>()
+            .map_err(|_| StateError::protocol("since must be a non-negative integer version"))?;
+        // A delta is the whole pool's change set: row filters and
+        // staleness bounds don't compose with it.
+        for incompatible in ["Entity", "Attribute", "Freshness"] {
+            if req.param(incompatible).is_some() {
+                return Err(StateError::protocol(format!(
+                    "{incompatible} cannot be combined with since"
+                )));
+            }
+        }
+        Ok((dc, pool, Version(since)))
+    };
+    let (dc, pool, since) = match parse() {
+        Ok(p) => p,
+        Err(e) => return error_response(e),
+    };
+    match storage.read_since(&dc, &pool, since) {
+        Ok(delta) => {
+            let watermark = delta.watermark.0.to_string();
+            match serde_json::to_vec(&delta) {
+                Ok(json) => HttpResponse::ok_json(json).with_header(WATERMARK_HEADER, watermark),
                 Err(e) => error_response(StateError::protocol(format!("serialize: {e}"))),
             }
         }
@@ -602,6 +648,73 @@ mod tests {
     }
 
     #[test]
+    fn read_since_serves_the_changefeed_over_the_wire() {
+        let (mut server, client, clock) = server();
+        let dc = DatacenterId::new("dc1");
+        client
+            .write(
+                &Pool::Observed,
+                &[
+                    fw_row("agg-1-1", "6.0", clock.now()),
+                    fw_row("agg-1-2", "6.0", clock.now()),
+                ],
+            )
+            .unwrap();
+
+        // From genesis: both rows arrive as one delta, watermark echoed
+        // in the header (checked inside read_since).
+        let d0 = client
+            .read_os_since(&dc, statesman_types::Version::GENESIS)
+            .unwrap();
+        assert_eq!(d0.upserts.len(), 2);
+        assert!(d0.deletes.is_empty());
+
+        // Caught up: empty delta at the same watermark.
+        let d1 = client.read_os_since(&dc, d0.watermark).unwrap();
+        assert!(d1.is_empty());
+        assert_eq!(d1.watermark, d0.watermark);
+
+        // One change: exactly one upsert rides the feed.
+        client
+            .write(&Pool::Observed, &[fw_row("agg-1-1", "7.0", clock.now())])
+            .unwrap();
+        let d2 = client.read_os_since(&dc, d1.watermark).unwrap();
+        assert_eq!(d2.upserts.len(), 1);
+        assert_eq!(d2.upserts[0].value, Value::text("7.0"));
+        assert!(!d2.snapshot);
+
+        // The raw reply really carries the watermark header.
+        let (status, headers, _) = client
+            .raw_request("GET", "/v1/read?Datacenter=dc1&Pool=OS&since=0", &[])
+            .unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            headers.iter().any(|(n, _)| n == WATERMARK_HEADER),
+            "{headers:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn read_since_rejects_bad_and_incompatible_params() {
+        let (mut server, client, _clock) = server();
+        for target in [
+            "/v1/read?Datacenter=dc1&Pool=OS&since=banana",
+            "/v1/read?Datacenter=dc1&Pool=OS&since=-1",
+            "/v1/read?Datacenter=dc1&Pool=OS&since=0&Entity=device:dc1:agg-1-1",
+            "/v1/read?Datacenter=dc1&Pool=OS&since=0&Attribute=DeviceFirmwareVersion",
+            "/v1/read?Datacenter=dc1&Pool=OS&since=0&Freshness=UpToDate",
+        ] {
+            let err = client.raw_get(target).unwrap_err();
+            assert!(
+                matches!(err, StateError::Protocol { .. }),
+                "{target}: {err:?}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
     fn bad_requests_are_typed_4xx() {
         let (mut server, client, _clock) = server();
         let err = client.raw_get("/v1/read?Pool=OS").unwrap_err();
@@ -634,7 +747,10 @@ mod tests {
         let body = client.raw_get("/v1/health").unwrap();
         let text = String::from_utf8(body).unwrap();
         assert!(text.contains("\"ok\":true"), "{text}");
-        assert!(text.contains(&format!("\"now_ms\":{}", 3 * 60_000)), "{text}");
+        assert!(
+            text.contains(&format!("\"now_ms\":{}", 3 * 60_000)),
+            "{text}"
+        );
         server.shutdown();
     }
 
@@ -652,7 +768,9 @@ mod tests {
             let (status, headers, _) = client.raw_request(method, path, &[]).unwrap();
             assert_eq!(status, 200, "{path}");
             assert!(
-                headers.iter().any(|(n, v)| n == "deprecation" && v == "true"),
+                headers
+                    .iter()
+                    .any(|(n, v)| n == "deprecation" && v == "true"),
                 "{path} must carry a deprecation header: {headers:?}"
             );
             assert!(

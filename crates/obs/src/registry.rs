@@ -142,12 +142,7 @@ impl Histogram {
         let mut out = Vec::with_capacity(self.0.bounds.len() + 1);
         for (i, c) in self.0.counts.iter().enumerate() {
             acc += c.load(Ordering::Relaxed);
-            let bound = self
-                .0
-                .bounds
-                .get(i)
-                .copied()
-                .unwrap_or(f64::INFINITY);
+            let bound = self.0.bounds.get(i).copied().unwrap_or(f64::INFINITY);
             out.push((bound, acc));
         }
         out

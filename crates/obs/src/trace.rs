@@ -73,6 +73,22 @@ pub struct RoundTrace {
     pub storage_retries: u64,
     /// Cumulative storage submits that exhausted their budget.
     pub storage_retries_exhausted: u64,
+    /// OS rows the monitor actually wrote this round (delta path).
+    #[serde(default)]
+    pub rows_written: usize,
+    /// OS rows the monitor suppressed as value-identical this round.
+    #[serde(default)]
+    pub writes_suppressed: usize,
+    /// Cumulative storage reads served from the change index.
+    #[serde(default)]
+    pub delta_reads: u64,
+    /// Cumulative delta reads that fell back to a full snapshot.
+    #[serde(default)]
+    pub full_fallbacks: u64,
+    /// Worst-case versions between a leader OS watermark and the
+    /// updater's cached view of it at round end.
+    #[serde(default)]
+    pub watermark_lag: u64,
 }
 
 impl RoundTrace {

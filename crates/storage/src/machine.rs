@@ -7,8 +7,16 @@
 //! checker uses to detect stale-basis proposals.
 
 use serde::{Deserialize, Serialize};
-use statesman_types::{AppId, NetworkState, Pool, StateKey, Version, WriteReceipt};
-use std::collections::HashMap;
+use statesman_types::{AppId, NetworkState, Pool, StateDelta, StateKey, Version, WriteReceipt};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Bound on the per-pool change index. Entries beyond it are compacted
+/// away (oldest first), raising the pool's compaction floor; `read_since`
+/// requests from before the floor fall back to a full snapshot. Sized so
+/// steady-state churn (a few thousand rows per round) keeps weeks of
+/// history, while a full 394K-variable resync immediately compacts to the
+/// newest window instead of hoarding memory.
+pub const CHANGE_INDEX_CAPACITY: usize = 65_536;
 
 /// A command in the replicated log.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,6 +72,33 @@ impl LogCommand {
     }
 }
 
+/// One pool's bounded changefeed: (version, key) pairs in commit order,
+/// plus the compaction floor and the pool watermark.
+#[derive(Debug, Clone, Default)]
+struct ChangeIndex {
+    /// Effective changes, oldest first. Keys only — `read_since`
+    /// materializes current row values at read time, so the index stays
+    /// memory-cheap no matter how large the rows are.
+    entries: VecDeque<(u64, StateKey)>,
+    /// Version of the newest compacted-away entry; requests at or below
+    /// it cannot be served incrementally.
+    floor: u64,
+    /// Version of the newest effective change to this pool.
+    watermark: u64,
+}
+
+impl ChangeIndex {
+    fn record(&mut self, version: u64, key: StateKey) {
+        if self.entries.len() == CHANGE_INDEX_CAPACITY {
+            if let Some((v, _)) = self.entries.pop_front() {
+                self.floor = v;
+            }
+        }
+        self.entries.push_back((version, key));
+        self.watermark = version;
+    }
+}
+
 /// The materialized store one replica derives from the committed log.
 #[derive(Debug, Clone, Default)]
 pub struct StateMachine {
@@ -73,6 +108,11 @@ pub struct StateMachine {
     applied: u64,
     /// Request ids already applied (dedupe for failover re-submission).
     applied_ids: std::collections::HashSet<u64>,
+    /// Per-pool bounded changefeeds (deterministic replica state: derived
+    /// purely from the committed log, like the pools themselves).
+    changes: HashMap<Pool, ChangeIndex>,
+    /// Value-identical writes suppressed so far (cumulative).
+    suppressed: u64,
 }
 
 impl StateMachine {
@@ -87,19 +127,38 @@ impl StateMachine {
         match cmd {
             LogCommand::WriteBatch { pool, rows } => {
                 let p = self.pools.entry(pool.clone()).or_default();
+                let idx = self.changes.entry(pool.clone()).or_default();
+                let mut effective = 0;
                 for row in rows {
+                    let key = row.key();
+                    // Value-identical re-writes are complete no-ops: no
+                    // version bump, no watermark move, no index entry, and
+                    // the stored row keeps its original timestamp. This is
+                    // what lets delta-maintained views stay bit-equal to
+                    // full reads while quiescent rounds write nothing new.
+                    if let Some(existing) = p.get(&key) {
+                        if existing.value == row.value && existing.writer == row.writer {
+                            self.suppressed += 1;
+                            continue;
+                        }
+                    }
                     self.next_version += 1;
                     let mut stamped = row.clone();
                     stamped.version = Version(self.next_version);
-                    p.insert(stamped.key(), stamped);
+                    p.insert(key.clone(), stamped);
+                    idx.record(self.next_version, key);
+                    effective += 1;
                 }
-                rows.len()
+                effective
             }
             LogCommand::DeleteBatch { pool, keys } => {
                 let mut removed = 0;
                 if let Some(p) = self.pools.get_mut(pool) {
+                    let idx = self.changes.entry(pool.clone()).or_default();
                     for k in keys {
                         if p.remove(k).is_some() {
+                            self.next_version += 1;
+                            idx.record(self.next_version, k.clone());
                             removed += 1;
                         }
                     }
@@ -191,6 +250,58 @@ impl StateMachine {
     /// The highest version stamped so far.
     pub fn current_version(&self) -> Version {
         Version(self.next_version)
+    }
+
+    /// The version of the newest effective change to one pool (GENESIS if
+    /// the pool has never changed).
+    pub fn pool_watermark(&self, pool: &Pool) -> Version {
+        Version(self.changes.get(pool).map(|c| c.watermark).unwrap_or(0))
+    }
+
+    /// Value-identical writes suppressed so far (cumulative).
+    pub fn suppressed_count(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Everything that changed in one pool after `since`, or `None` when
+    /// the change index cannot serve the request — `since` predates the
+    /// compaction floor, or is ahead of this replica's watermark (a
+    /// behind follower). Callers fall back to a full snapshot.
+    ///
+    /// Upserts carry the row's *current* value (keys touched several
+    /// times appear once); keys no longer present are tombstone deletes.
+    pub fn changes_since(&self, pool: &Pool, since: Version) -> Option<StateDelta> {
+        let idx = self.changes.get(pool);
+        let (floor, watermark) = idx.map(|c| (c.floor, c.watermark)).unwrap_or((0, 0));
+        if since.0 < floor || since.0 > watermark {
+            return None;
+        }
+        if since.0 == watermark {
+            return Some(StateDelta::incremental(vec![], vec![], Version(watermark)));
+        }
+        let idx = idx.expect("watermark > since >= 0 implies a change index");
+        let rows = self.pools.get(pool);
+        let mut seen: HashSet<&StateKey> = HashSet::new();
+        let mut upserts = Vec::new();
+        let mut deletes = Vec::new();
+        // Newest-first so the dedupe keeps each key's latest disposition.
+        for (v, key) in idx.entries.iter().rev() {
+            if *v <= since.0 {
+                break;
+            }
+            if !seen.insert(key) {
+                continue;
+            }
+            match rows.and_then(|p| p.get(key)) {
+                Some(row) => upserts.push(row.clone()),
+                None => deletes.push(key.clone()),
+            }
+        }
+        Some(StateDelta::incremental(
+            upserts,
+            deletes,
+            Version(watermark),
+        ))
     }
 }
 
@@ -306,6 +417,94 @@ mod tests {
                 .unwrap_or(false)
         });
         assert_eq!(aggs.len(), 1);
+    }
+
+    #[test]
+    fn value_identical_writes_are_complete_noops() {
+        let mut m = StateMachine::new();
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Observed,
+            rows: vec![row("a", "1")],
+        });
+        let before = m.get(&Pool::Observed, &row("a", "").key()).unwrap().clone();
+        // Same value+writer, later timestamp: suppressed entirely.
+        let mut later = row("a", "1");
+        later.updated_at = SimTime::from_secs(300);
+        let touched = m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Observed,
+            rows: vec![later],
+        });
+        assert_eq!(touched, 0);
+        assert_eq!(m.suppressed_count(), 1);
+        assert_eq!(
+            m.get(&Pool::Observed, &row("a", "").key()).unwrap(),
+            &before,
+            "suppressed writes leave the row bit-identical"
+        );
+        assert_eq!(m.pool_watermark(&Pool::Observed), Version(1));
+        // A real change still lands and moves the watermark.
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Observed,
+            rows: vec![row("a", "2")],
+        });
+        assert_eq!(m.pool_watermark(&Pool::Observed), Version(2));
+    }
+
+    #[test]
+    fn changes_since_returns_current_rows_and_tombstones() {
+        let mut m = StateMachine::new();
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Observed,
+            rows: vec![row("a", "1"), row("b", "1")],
+        });
+        let w0 = m.pool_watermark(&Pool::Observed);
+        assert_eq!(w0, Version(2));
+        // Touch `a` twice and delete `b`: the delta dedupes to the final
+        // disposition of each key.
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Observed,
+            rows: vec![row("a", "2")],
+        });
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Observed,
+            rows: vec![row("a", "3")],
+        });
+        m.apply(&LogCommand::DeleteBatch {
+            pool: Pool::Observed,
+            keys: vec![row("b", "").key()],
+        });
+        let d = m.changes_since(&Pool::Observed, w0).unwrap();
+        assert_eq!(d.upserts.len(), 1);
+        assert_eq!(d.upserts[0].value, Value::text("3"));
+        assert_eq!(d.deletes, vec![row("b", "").key()]);
+        assert_eq!(d.watermark, Version(5), "deletes bump versions too");
+        assert!(!d.snapshot);
+        // Reading at the watermark is an empty delta; reading ahead of it
+        // (a behind replica) cannot be served.
+        assert!(m
+            .changes_since(&Pool::Observed, Version(5))
+            .unwrap()
+            .is_empty());
+        assert!(m.changes_since(&Pool::Observed, Version(9)).is_none());
+    }
+
+    #[test]
+    fn compaction_floor_forces_fallback() {
+        let mut m = StateMachine::new();
+        let rows: Vec<NetworkState> = (0..CHANGE_INDEX_CAPACITY + 10)
+            .map(|i| row(&format!("d{i}"), "1"))
+            .collect();
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Observed,
+            rows,
+        });
+        // The oldest 10 entries were compacted away: genesis reads fall
+        // back, reads above the floor still work.
+        assert!(m.changes_since(&Pool::Observed, Version::GENESIS).is_none());
+        let d = m.changes_since(&Pool::Observed, Version(10 + 100)).unwrap();
+        assert_eq!(d.upserts.len(), CHANGE_INDEX_CAPACITY - 100);
+        // Pool contents are unaffected by index compaction.
+        assert_eq!(m.pool_len(&Pool::Observed), CHANGE_INDEX_CAPACITY + 10);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 use statesman_obs::{Counter, Gauge, Registry};
 use statesman_types::{
     AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, RetryPolicy,
-    SimDuration, SimTime, StateError, StateKey, StateResult, WriteReceipt,
+    SimDuration, SimTime, StateDelta, StateError, StateKey, StateResult, Version, WriteReceipt,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -79,9 +79,13 @@ pub struct WriteRequest {
 }
 
 /// Cached pool snapshot for bounded-stale reads. Rows are shared via
-/// `Arc` so concurrent cache readers never copy under the lock.
+/// `Arc` so concurrent cache readers never copy under the lock. The
+/// watermark records which pool version the snapshot reflects, so an
+/// expired entry can be refreshed by applying a small delta to its own
+/// rows instead of recopying the pool out of a replica.
 struct CacheEntry {
     fetched_at: SimTime,
+    watermark: Version,
     rows: Arc<Vec<NetworkState>>,
 }
 
@@ -101,6 +105,10 @@ struct StorageObs {
     receipts_posted: Counter,
     receipts_taken: Counter,
     partitions_offline: Gauge,
+    delta_reads: Counter,
+    full_fallbacks: Counter,
+    writes_suppressed: Counter,
+    cache_delta_refreshes: Counter,
 }
 
 impl StorageObs {
@@ -118,6 +126,10 @@ impl StorageObs {
             receipts_posted: registry.counter("storage_receipts_posted_total"),
             receipts_taken: registry.counter("storage_receipts_taken_total"),
             partitions_offline: registry.gauge("storage_partitions_offline"),
+            delta_reads: registry.counter("storage_delta_reads_total"),
+            full_fallbacks: registry.counter("storage_full_fallbacks_total"),
+            writes_suppressed: registry.counter("storage_writes_suppressed_total"),
+            cache_delta_refreshes: registry.counter("storage_cache_delta_refreshes_total"),
         }
     }
 }
@@ -138,6 +150,12 @@ struct Inner {
     retries: u64,
     /// Operations that exhausted their retry budget.
     retries_exhausted: u64,
+    /// `read_since` requests served incrementally from the change index.
+    delta_reads: u64,
+    /// `read_since` requests that fell back to a full snapshot.
+    full_fallbacks: u64,
+    /// Value-identical rows suppressed at apply time (leader tally).
+    writes_suppressed: u64,
 }
 
 impl Inner {
@@ -206,6 +224,9 @@ impl StorageService {
                 rng,
                 retries: 0,
                 retries_exhausted: 0,
+                delta_reads: 0,
+                full_fallbacks: 0,
+                writes_suppressed: 0,
             })),
             cache: Arc::new(parking_lot::RwLock::new(HashMap::new())),
             cache_hits: Arc::new(std::sync::atomic::AtomicU64::new(0)),
@@ -284,6 +305,7 @@ impl StorageService {
                     entity: rows[0].entity.clone(),
                 });
             }
+            let before = leader_suppressed(&mut inner, &dc);
             submit_with_retry(
                 &mut inner,
                 &self.clock,
@@ -294,6 +316,13 @@ impl StorageService {
                 },
                 self.obs(),
             )?;
+            let suppressed = leader_suppressed(&mut inner, &dc).saturating_sub(before);
+            if suppressed > 0 {
+                inner.writes_suppressed += suppressed;
+                if let Some(o) = self.obs() {
+                    o.writes_suppressed.add(suppressed);
+                }
+            }
         }
         Ok(())
     }
@@ -340,6 +369,10 @@ impl StorageService {
             o.reads.inc();
         }
         let now = self.clock.now();
+        let matches = |r: &NetworkState| {
+            req.entity.as_ref().map(|e| &r.entity == e).unwrap_or(true)
+                && req.attribute.map(|a| r.attribute == a).unwrap_or(true)
+        };
         let rows: Arc<Vec<NetworkState>> = match req.freshness {
             Freshness::UpToDate => {
                 let mut inner = self.inner.lock();
@@ -354,7 +387,13 @@ impl StorageService {
                         reason: "unknown partition".into(),
                     }
                 })?;
-                Arc::new(ring.leader_machine()?.pool_rows(&req.pool))
+                let machine = ring.leader_machine()?;
+                if req.entity.is_some() || req.attribute.is_some() {
+                    // Filter before cloning: a single-entity read copies
+                    // its handful of rows, not the whole pool.
+                    return Ok(machine.pool_rows_where(&req.pool, matches));
+                }
+                Arc::new(machine.pool_rows(&req.pool))
             }
             Freshness::BoundedStale => {
                 let key = (req.datacenter.clone(), req.pool.clone());
@@ -377,44 +416,92 @@ impl StorageService {
                         rows
                     }
                     None => {
-                        // Refresh from a follower replica: cheap, and
-                        // possibly behind the leader — both forms of
-                        // staleness the 5-minute bound covers. (A cache
-                        // hit above deliberately skips the online check:
-                        // bounded-stale reads ride out partition outages
-                        // for as long as the staleness bound allows.)
-                        let rows = {
-                            let mut inner = self.inner.lock();
-                            inner.check_online(&req.datacenter)?;
-                            let ring =
-                                inner.partitions.get_mut(&req.datacenter).ok_or_else(|| {
-                                    StateError::StorageUnavailable {
-                                        partition: req.datacenter.to_string(),
-                                        reason: "unknown partition".into(),
-                                    }
-                                })?;
-                            Arc::new(ring.any_machine().pool_rows(&req.pool))
+                        // The expired snapshot (if any) seeds a delta
+                        // refresh: apply the changefeed since its
+                        // watermark instead of recopying the pool.
+                        let prior = {
+                            let cache = self.cache.read();
+                            cache.get(&key).map(|c| (Arc::clone(&c.rows), c.watermark))
                         };
-                        self.cache.write().insert(
-                            key,
-                            CacheEntry {
-                                fetched_at: now,
-                                rows: Arc::clone(&rows),
-                            },
-                        );
+                        let rows = self.refresh_cache_entry(&req, now, key, prior)?;
                         rows
                     }
                 }
             }
         };
-        Ok(rows
-            .iter()
-            .filter(|r| {
-                req.entity.as_ref().map(|e| &r.entity == e).unwrap_or(true)
-                    && req.attribute.map(|a| r.attribute == a).unwrap_or(true)
-            })
-            .cloned()
-            .collect())
+        Ok(rows.iter().filter(|r| matches(r)).cloned().collect())
+    }
+
+    /// Refresh one bounded-stale cache entry from a (possibly behind)
+    /// replica: extract the small delta under the partition lock, apply
+    /// it to the held snapshot *outside* the lock, fall back to a full
+    /// pool copy when the changefeed cannot serve the gap. (Refreshes
+    /// check partition health: cache *hits* deliberately skip the online
+    /// check so bounded-stale reads ride out outages within the bound.)
+    fn refresh_cache_entry(
+        &self,
+        req: &ReadRequest,
+        now: SimTime,
+        key: (DatacenterId, Pool),
+        prior: Option<(Arc<Vec<NetworkState>>, Version)>,
+    ) -> StateResult<Arc<Vec<NetworkState>>> {
+        enum Refresh {
+            Delta(Arc<Vec<NetworkState>>, StateDelta),
+            Full(Vec<NetworkState>, Version),
+        }
+        let refresh = {
+            let mut inner = self.inner.lock();
+            inner.check_online(&req.datacenter)?;
+            let ring = inner.partitions.get_mut(&req.datacenter).ok_or_else(|| {
+                StateError::StorageUnavailable {
+                    partition: req.datacenter.to_string(),
+                    reason: "unknown partition".into(),
+                }
+            })?;
+            // A follower replica: cheap, and possibly behind the leader —
+            // both forms of staleness the 5-minute bound covers.
+            let machine = ring.any_machine();
+            let delta = prior.and_then(|(rows, since)| {
+                machine
+                    .changes_since(&req.pool, since)
+                    .filter(|d| !d.snapshot)
+                    .map(|d| (rows, d))
+            });
+            match delta {
+                Some((rows, delta)) => Refresh::Delta(rows, delta),
+                None => Refresh::Full(
+                    machine.pool_rows(&req.pool),
+                    machine.pool_watermark(&req.pool),
+                ),
+            }
+        };
+        let (rows, watermark) = match refresh {
+            Refresh::Delta(old, delta) => {
+                if let Some(o) = self.obs() {
+                    o.cache_delta_refreshes.inc();
+                }
+                let watermark = delta.watermark;
+                let mut map: HashMap<StateKey, NetworkState> =
+                    old.iter().map(|r| (r.key(), r.clone())).collect();
+                for k in &delta.deletes {
+                    map.remove(k);
+                }
+                for r in delta.upserts {
+                    map.insert(r.key(), r);
+                }
+                (Arc::new(map.into_values().collect()), watermark)
+            }
+            Refresh::Full(rows, watermark) => (Arc::new(rows), watermark),
+        };
+        self.cache.write().insert(
+            key,
+            CacheEntry {
+                fetched_at: now,
+                watermark,
+                rows: Arc::clone(&rows),
+            },
+        );
+        Ok(rows)
     }
 
     /// Read one row up-to-date (checker fast path).
@@ -584,6 +671,114 @@ impl StorageService {
         let inner = self.inner.lock();
         (inner.retries, inner.retries_exhausted)
     }
+
+    /// Everything that changed in one partition's pool after `since`
+    /// (Table 3's GET with a version cursor). Served by the leader so the
+    /// watermark in the reply is linearizable with respect to commits
+    /// through this service. When the change index cannot serve the gap —
+    /// `since` predates the compaction floor or outruns the watermark —
+    /// the reply degrades to a full snapshot (`snapshot: true`): the
+    /// paper's semantics are always recoverable, deltas are only an
+    /// optimization.
+    pub fn read_since(
+        &self,
+        dc: &DatacenterId,
+        pool: &Pool,
+        since: Version,
+    ) -> StateResult<StateDelta> {
+        if let Some(o) = self.obs() {
+            o.reads.inc();
+            o.leader_reads.inc();
+        }
+        let mut inner = self.inner.lock();
+        inner.check_online(dc)?;
+        inner.leader_reads += 1;
+        let ring = inner
+            .partitions
+            .get_mut(dc)
+            .ok_or_else(|| StateError::StorageUnavailable {
+                partition: dc.to_string(),
+                reason: "unknown partition".into(),
+            })?;
+        let machine = ring.leader_machine()?;
+        match machine.changes_since(pool, since) {
+            Some(delta) => {
+                inner.delta_reads += 1;
+                if let Some(o) = self.obs() {
+                    o.delta_reads.inc();
+                }
+                Ok(delta)
+            }
+            None => {
+                let delta = StateDelta::full_snapshot(
+                    machine.pool_rows(pool),
+                    machine.pool_watermark(pool),
+                );
+                inner.full_fallbacks += 1;
+                if let Some(o) = self.obs() {
+                    o.full_fallbacks.inc();
+                }
+                Ok(delta)
+            }
+        }
+    }
+
+    /// The leader's current watermark for one partition's pool: the
+    /// version of its newest effective change. `read_since` from this
+    /// point returns an empty delta until something actually changes.
+    pub fn pool_watermark(&self, dc: &DatacenterId, pool: &Pool) -> StateResult<Version> {
+        let mut inner = self.inner.lock();
+        inner.check_online(dc)?;
+        let ring = inner
+            .partitions
+            .get_mut(dc)
+            .ok_or_else(|| StateError::StorageUnavailable {
+                partition: dc.to_string(),
+                reason: "unknown partition".into(),
+            })?;
+        Ok(ring.leader_machine()?.pool_watermark(pool))
+    }
+
+    /// The leader's current version counter for one partition, across
+    /// *all* pools (versions are stamped machine-wide). Any effective
+    /// write to any pool moves it, so an unchanged partition watermark
+    /// proves the partition's entire state is unchanged — consumers use
+    /// it as a cheap quiescence signal before paying for reads.
+    pub fn partition_watermark(&self, dc: &DatacenterId) -> StateResult<Version> {
+        let mut inner = self.inner.lock();
+        inner.check_online(dc)?;
+        let ring = inner
+            .partitions
+            .get_mut(dc)
+            .ok_or_else(|| StateError::StorageUnavailable {
+                partition: dc.to_string(),
+                reason: "unknown partition".into(),
+            })?;
+        Ok(ring.leader_machine()?.current_version())
+    }
+
+    /// (delta reads served, full-snapshot fallbacks, writes suppressed) —
+    /// cumulative, for `RoundReport` and benches.
+    pub fn delta_stats(&self) -> (u64, u64, u64) {
+        let inner = self.inner.lock();
+        (
+            inner.delta_reads,
+            inner.full_fallbacks,
+            inner.writes_suppressed,
+        )
+    }
+}
+
+/// Cumulative value-identical writes suppressed by `dc`'s leader (0 when
+/// no leader is reachable — callers diff before/after the same commit, so
+/// a mid-write leader change at worst undercounts).
+fn leader_suppressed(inner: &mut Inner, dc: &DatacenterId) -> u64 {
+    inner
+        .partitions
+        .get_mut(dc)
+        .and_then(|ring| ring.leader_machine().ok())
+        .map(|m| m.suppressed_count())
+        .unwrap_or(0)
 }
 
 /// Submit one consensus command with the configured bounded retry and
@@ -1028,7 +1223,10 @@ mod tests {
             rows: vec![row("dc1", "c", "1", c.now())],
         });
         assert_eq!(registry.counter_value("storage_writes_total"), Some(2));
-        assert_eq!(registry.counter_value("storage_rows_written_total"), Some(3));
+        assert_eq!(
+            registry.counter_value("storage_rows_written_total"),
+            Some(3)
+        );
         assert_eq!(registry.counter_value("storage_reads_total"), Some(2));
         assert_eq!(registry.counter_value("storage_cache_hits_total"), Some(1));
         let (retries, exhausted) = s.retry_stats();
@@ -1048,5 +1246,174 @@ mod tests {
         );
         s.set_partition_available(&dc, true);
         assert_eq!(registry.gauge("storage_partitions_offline").get(), 0);
+    }
+
+    #[test]
+    fn read_since_returns_incremental_deltas() {
+        let c = clock();
+        let s = svc(&c);
+        let dc = DatacenterId::new("dc1");
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "a", "1", c.now())],
+        })
+        .unwrap();
+        let wm0 = s.pool_watermark(&dc, &Pool::Observed).unwrap();
+        assert!(wm0 > Version::GENESIS);
+        // Nothing changed: empty delta at the same watermark.
+        let quiet = s.read_since(&dc, &Pool::Observed, wm0).unwrap();
+        assert!(quiet.is_empty() && !quiet.snapshot);
+        assert_eq!(quiet.watermark, wm0);
+        // One new row and one delete show up as exactly that.
+        let r = row("dc1", "b", "2", c.now());
+        let a_key = row("dc1", "a", "1", c.now()).key();
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![r.clone()],
+        })
+        .unwrap();
+        s.delete(Pool::Observed, vec![a_key.clone()]).unwrap();
+        let delta = s.read_since(&dc, &Pool::Observed, wm0).unwrap();
+        assert!(!delta.snapshot);
+        assert_eq!(delta.upserts.len(), 1);
+        assert_eq!(delta.upserts[0].key(), r.key());
+        assert_eq!(delta.deletes, vec![a_key]);
+        assert!(delta.watermark > wm0);
+        let (delta_reads, full_fallbacks, _) = s.delta_stats();
+        assert_eq!((delta_reads, full_fallbacks), (2, 0));
+    }
+
+    #[test]
+    fn read_since_from_genesis_of_fresh_pool_is_full_snapshotless_delta() {
+        let c = clock();
+        let s = svc(&c);
+        let dc = DatacenterId::new("dc1");
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "a", "1", c.now()), row("dc1", "b", "1", c.now())],
+        })
+        .unwrap();
+        // GENESIS is at the floor of an uncompacted index, so even a
+        // cold start is served incrementally.
+        let delta = s
+            .read_since(&dc, &Pool::Observed, Version::GENESIS)
+            .unwrap();
+        assert!(!delta.snapshot);
+        assert_eq!(delta.upserts.len(), 2);
+    }
+
+    #[test]
+    fn suppressed_writes_move_no_watermark_and_are_counted() {
+        let c = clock();
+        let s = svc(&c);
+        let dc = DatacenterId::new("dc1");
+        let registry = Registry::new();
+        s.attach_obs(&registry);
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "a", "1", c.now())],
+        })
+        .unwrap();
+        let wm = s.pool_watermark(&dc, &Pool::Observed).unwrap();
+        // Same value, same writer, later timestamp: a complete no-op.
+        c.advance(SimDuration::from_secs(30));
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "a", "1", c.now())],
+        })
+        .unwrap();
+        assert_eq!(s.pool_watermark(&dc, &Pool::Observed).unwrap(), wm);
+        let (_, _, suppressed) = s.delta_stats();
+        assert_eq!(suppressed, 1);
+        assert_eq!(
+            registry.counter_value("storage_writes_suppressed_total"),
+            Some(1)
+        );
+        let quiet = s.read_since(&dc, &Pool::Observed, wm).unwrap();
+        assert!(quiet.is_empty());
+    }
+
+    #[test]
+    fn bounded_stale_cache_refreshes_via_delta() {
+        let c = clock();
+        let s = svc(&c);
+        let dc = DatacenterId::new("dc1");
+        let registry = Registry::new();
+        s.attach_obs(&registry);
+        let rd = || {
+            s.read(ReadRequest {
+                datacenter: dc.clone(),
+                pool: Pool::Observed,
+                freshness: Freshness::BoundedStale,
+                entity: None,
+                attribute: None,
+            })
+            .unwrap()
+        };
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "a", "1", c.now()), row("dc1", "b", "1", c.now())],
+        })
+        .unwrap();
+        assert_eq!(rd().len(), 2, "first read fills the cache in full");
+        // Churn one row and delete another past the staleness bound.
+        let b_key = row("dc1", "b", "1", c.now()).key();
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "a", "2", c.now()), row("dc1", "c", "1", c.now())],
+        })
+        .unwrap();
+        s.delete(Pool::Observed, vec![b_key]).unwrap();
+        c.advance(SimDuration::from_mins(6));
+        let rows = rd();
+        assert_eq!(rows.len(), 2, "a (updated) and c; b deleted");
+        let a = rows
+            .iter()
+            .find(|r| r.entity == EntityName::device("dc1", "a"))
+            .unwrap();
+        assert_eq!(a.value, Value::text("2"));
+        assert_eq!(
+            registry.counter_value("storage_cache_delta_refreshes_total"),
+            Some(1),
+            "second fill applied the changefeed to the held snapshot"
+        );
+    }
+
+    #[test]
+    fn filtered_uptodate_reads_do_not_copy_the_pool() {
+        let c = clock();
+        let s = svc(&c);
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            rows.push(row("dc1", &format!("dev-{i}"), "1", c.now()));
+        }
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows,
+        })
+        .unwrap();
+        let got = s
+            .read(ReadRequest {
+                datacenter: DatacenterId::new("dc1"),
+                pool: Pool::Observed,
+                freshness: Freshness::UpToDate,
+                entity: Some(EntityName::device("dc1", "dev-7")),
+                attribute: None,
+            })
+            .unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].entity, EntityName::device("dc1", "dev-7"));
+    }
+
+    #[test]
+    fn read_since_fails_fast_when_partition_offline() {
+        let c = clock();
+        let s = svc(&c);
+        let dc = DatacenterId::new("dc1");
+        s.set_partition_available(&dc, false);
+        let err = s
+            .read_since(&dc, &Pool::Observed, Version::GENESIS)
+            .unwrap_err();
+        assert!(matches!(err, StateError::StorageUnavailable { .. }));
     }
 }

@@ -41,7 +41,9 @@ pub use entity::{
 pub use error::{StateError, StateResult};
 pub use lock::{LockPriority, LockRecord};
 pub use retry::RetryPolicy;
-pub use state::{AppId, Freshness, NetworkState, Pool, StateKey, WriteOutcome, WriteReceipt};
+pub use state::{
+    AppId, Freshness, NetworkState, Pool, StateDelta, StateKey, WriteOutcome, WriteReceipt,
+};
 pub use time::{SimDuration, SimTime, Version};
 pub use value::{ControlPlaneMode, FlowLinkRule, OperStatus, PowerStatus, Value};
 pub use vars::{Attribute, DependencyLevel, Permission};

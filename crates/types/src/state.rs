@@ -250,6 +250,84 @@ impl fmt::Display for StateKey {
     }
 }
 
+/// A versioned change set for one pool: everything that happened after
+/// some watermark, as upserts plus tombstone deletes.
+///
+/// Produced by the storage layer's `read_since` path. Consumers hold a
+/// snapshot of the pool plus the watermark it reflects; applying a delta
+/// (deletes first, then upserts) advances the snapshot to `watermark`.
+/// When the requested watermark has been compacted out of the change
+/// index, the storage layer falls back to a full snapshot and sets
+/// [`StateDelta::snapshot`] — the consumer must replace its view instead
+/// of patching it. Either way the paper's semantics stay recoverable:
+/// a delta-maintained view is always reconstructible from a full read.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StateDelta {
+    /// Rows created or modified after the watermark the caller supplied,
+    /// at their *current* values. On a snapshot fallback: the whole pool.
+    pub upserts: Vec<NetworkState>,
+    /// Keys removed after the caller's watermark (empty on snapshots).
+    pub deletes: Vec<StateKey>,
+    /// The pool watermark this delta advances the consumer to.
+    pub watermark: Version,
+    /// True when the change index could not serve the request (the
+    /// caller's watermark predates the compaction floor, or is ahead of
+    /// this replica) and `upserts` is a complete pool snapshot.
+    pub snapshot: bool,
+}
+
+impl StateDelta {
+    /// An incremental delta (deterministically ordered by key).
+    pub fn incremental(
+        mut upserts: Vec<NetworkState>,
+        mut deletes: Vec<StateKey>,
+        watermark: Version,
+    ) -> Self {
+        upserts.sort_by(|a, b| a.key().cmp(&b.key()));
+        deletes.sort();
+        StateDelta {
+            upserts,
+            deletes,
+            watermark,
+            snapshot: false,
+        }
+    }
+
+    /// A full-snapshot fallback (deterministically ordered by key).
+    pub fn full_snapshot(mut rows: Vec<NetworkState>, watermark: Version) -> Self {
+        rows.sort_by(|a, b| a.key().cmp(&b.key()));
+        StateDelta {
+            upserts: rows,
+            deletes: Vec::new(),
+            watermark,
+            snapshot: true,
+        }
+    }
+
+    /// True when applying this delta would change nothing.
+    pub fn is_empty(&self) -> bool {
+        !self.snapshot && self.upserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Rows touched (upserts + deletes; a snapshot counts its rows).
+    pub fn changes(&self) -> usize {
+        self.upserts.len() + self.deletes.len()
+    }
+}
+
+impl fmt::Display for StateDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delta(+{} -{} @{}{})",
+            self.upserts.len(),
+            self.deletes.len(),
+            self.watermark,
+            if self.snapshot { ", snapshot" } else { "" }
+        )
+    }
+}
+
 /// The fate of one proposed row after a checker pass (§3: acceptance or
 /// rejection results written back for applications to react to).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -438,6 +516,40 @@ mod tests {
         };
         assert!(rej.is_rejected());
         assert_eq!(rej.tag(), "rejected-conflict");
+    }
+
+    #[test]
+    fn delta_orders_rows_and_round_trips_json() {
+        let a = NetworkState::new(
+            EntityName::device("dc1", "agg-1-1"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("7.0"),
+            SimTime::ZERO,
+            AppId::monitor(),
+        );
+        let b = NetworkState::new(
+            EntityName::device("dc1", "agg-1-2"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("7.0"),
+            SimTime::ZERO,
+            AppId::monitor(),
+        );
+        let d = StateDelta::incremental(
+            vec![b.clone(), a.clone()],
+            vec![b.key(), a.key()],
+            Version(9),
+        );
+        assert_eq!(d.upserts, vec![a.clone(), b.clone()]);
+        assert_eq!(d.deletes, vec![a.key(), b.key()]);
+        assert!(!d.is_empty());
+        assert_eq!(d.changes(), 4);
+        let back: StateDelta = serde_json::from_slice(&serde_json::to_vec(&d).unwrap()).unwrap();
+        assert_eq!(back, d);
+
+        let s = StateDelta::full_snapshot(vec![b, a], Version(9));
+        assert!(s.snapshot);
+        assert!(!s.is_empty(), "snapshots always replace the view");
+        assert!(StateDelta::incremental(vec![], vec![], Version(9)).is_empty());
     }
 
     #[test]

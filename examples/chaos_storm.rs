@@ -80,9 +80,10 @@ fn main() {
     let client = ApiClient::new(server.addr());
     let text = String::from_utf8(client.raw_get("/v1/metrics").expect("scrape metrics"))
         .expect("metrics are UTF-8");
-    let status_body = client.raw_get("/v1/status?rounds=3").expect("scrape status");
-    let status: StatusResponse =
-        serde_json::from_slice(&status_body).expect("status decodes");
+    let status_body = client
+        .raw_get("/v1/status?rounds=3")
+        .expect("scrape status");
+    let status: StatusResponse = serde_json::from_slice(&status_body).expect("status decodes");
 
     let value = |name: &str| -> u64 {
         text.lines()

@@ -9,10 +9,10 @@
 use statesman::core::{Coordinator, CoordinatorConfig};
 use statesman::httpapi::{ApiClient, ApiServer};
 use statesman::net::{SimClock, SimConfig, SimNetwork};
+use statesman::obs::Obs;
 use statesman::prelude::*;
 use statesman::storage::{StorageConfig, StorageService};
 use statesman::topology::DcnSpec;
-use statesman::obs::Obs;
 
 fn main() {
     // Statesman side: simulator + service + control loop.

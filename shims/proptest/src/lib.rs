@@ -446,7 +446,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Length specification for [`vec`].
+    /// Length specification for [`vec()`](fn@vec).
     pub struct SizeRange {
         lo: usize,
         hi: usize,

@@ -1,0 +1,265 @@
+//! The delta state plane's load-bearing property: a view maintained
+//! purely by applying `read_since` changefeeds is **bit-equal** to a
+//! fresh full read at every step — across random churn, value-identical
+//! rewrites (suppressed writes), deletes, partition outages, and
+//! change-index evictions that force snapshot fallbacks.
+//!
+//! This is what makes the paper's §6.2 statelessness argument carry over
+//! to the delta plane: any component's cached view can be discarded and
+//! rebuilt at any time, because the delta-fed view *is* the full read.
+
+use proptest::prelude::*;
+use statesman_core::MapView;
+use statesman_net::SimClock;
+use statesman_storage::{ReadRequest, StorageConfig, StorageService, WriteRequest};
+use statesman_types::{
+    AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, SimDuration,
+    StateKey, Value, Version,
+};
+
+fn full_sorted(storage: &StorageService, dc: &DatacenterId) -> Vec<NetworkState> {
+    let mut rows = storage
+        .read(ReadRequest {
+            datacenter: dc.clone(),
+            pool: Pool::Observed,
+            freshness: Freshness::UpToDate,
+            entity: None,
+            attribute: None,
+        })
+        .unwrap();
+    rows.sort_by_key(|r| r.key());
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random op soup: upserts, value-identical rewrites, deletes, and
+    /// partition outages, with the delta-fed view checked for
+    /// bit-equality against a full read after every single op.
+    #[test]
+    fn delta_view_matches_full_reads_across_churn(
+        ops in proptest::collection::vec((0..6u8, 0..48u16, 0..6u8), 1..60)
+    ) {
+        let clock = SimClock::new();
+        let dc = DatacenterId::new("dc1");
+        let storage = StorageService::new([dc.clone()], clock.clone(), StorageConfig::default());
+        let writer = AppId::monitor();
+        let key = |idx: u16| StateKey::new(
+            EntityName::device("dc1", format!("dev-{idx}")),
+            Attribute::DeviceBootImage,
+        );
+        let row = |idx: u16, val: u8, at| NetworkState::new(
+            EntityName::device("dc1", format!("dev-{idx}")),
+            Attribute::DeviceBootImage,
+            Value::text(format!("img-{val}")),
+            at,
+            writer.clone(),
+        );
+
+        let mut view = MapView::new();
+        let mut watermark = Version::GENESIS;
+
+        for (kind, idx, val) in ops {
+            clock.advance(SimDuration::from_secs(1));
+            match kind {
+                // Upsert (possibly overwriting with a new value).
+                0 | 1 | 2 => {
+                    storage.write(WriteRequest {
+                        pool: Pool::Observed,
+                        rows: vec![row(idx, val, clock.now())],
+                    }).unwrap();
+                }
+                // Value-identical rewrite: a suppressed write must move
+                // neither the watermark nor the stored row.
+                3 => {
+                    if let Some(existing) = storage
+                        .read_row(&Pool::Observed, &key(idx))
+                        .unwrap()
+                    {
+                        let before = storage.pool_watermark(&dc, &Pool::Observed).unwrap();
+                        storage.write(WriteRequest {
+                            pool: Pool::Observed,
+                            rows: vec![NetworkState::new(
+                                existing.entity.clone(),
+                                existing.attribute,
+                                existing.value.clone(),
+                                clock.now(),
+                                existing.writer.clone(),
+                            )],
+                        }).unwrap();
+                        let after = storage.pool_watermark(&dc, &Pool::Observed).unwrap();
+                        prop_assert_eq!(before, after, "suppressed write moved the watermark");
+                    }
+                }
+                // Delete (tombstone rides the changefeed).
+                4 => {
+                    let _ = storage.delete(Pool::Observed, vec![key(idx)]);
+                }
+                // Partition outage: the changefeed read fails fast and
+                // the consumer resumes from the same watermark after the
+                // heal — no changes may be lost across the gap.
+                _ => {
+                    storage.set_partition_available(&dc, false);
+                    prop_assert!(
+                        storage.read_since(&dc, &Pool::Observed, watermark).is_err(),
+                        "offline partition must fail delta reads fast"
+                    );
+                    storage.set_partition_available(&dc, true);
+                }
+            }
+
+            let delta = storage.read_since(&dc, &Pool::Observed, watermark).unwrap();
+            watermark = delta.watermark;
+            view.apply_delta(delta);
+            prop_assert_eq!(
+                view.clone().into_sorted_rows(),
+                full_sorted(&storage, &dc),
+                "delta-fed view diverged from the full read"
+            );
+        }
+    }
+
+    /// A consumer that skips ahead (reads from an arbitrary future/past
+    /// version) still converges: whatever `since` it presents, applying
+    /// the reply to a view seeded from a full read at that watermark
+    /// matches the current full read.
+    #[test]
+    fn any_starting_watermark_is_recoverable(
+        writes in proptest::collection::vec((0..32u16, 0..6u8), 1..40),
+        resume_at in 0..64u64
+    ) {
+        let clock = SimClock::new();
+        let dc = DatacenterId::new("dc1");
+        let storage = StorageService::new([dc.clone()], clock.clone(), StorageConfig::default());
+        for (idx, val) in writes {
+            clock.advance(SimDuration::from_secs(1));
+            storage.write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![NetworkState::new(
+                    EntityName::device("dc1", format!("dev-{idx}")),
+                    Attribute::DeviceBootImage,
+                    Value::text(format!("img-{val}")),
+                    clock.now(),
+                    AppId::monitor(),
+                )],
+            }).unwrap();
+        }
+        let head = storage.pool_watermark(&dc, &Pool::Observed).unwrap();
+        // `since` past the head is out of the index's window and must be
+        // answered with a snapshot rather than garbage.
+        let delta = storage.read_since(&dc, &Pool::Observed, Version(resume_at)).unwrap();
+        prop_assert_eq!(delta.watermark, head);
+        if resume_at > head.0 {
+            prop_assert!(delta.snapshot, "future since must snapshot-fallback");
+        }
+        let mut view = MapView::new();
+        if !delta.snapshot {
+            // Seed as a consumer that had a correct view at `resume_at`
+            // would be seeded: with the rows current at that version —
+            // approximated by the current full read minus the delta's
+            // changed keys (the delta rewrites exactly those).
+            let changed: std::collections::HashSet<StateKey> = delta
+                .upserts
+                .iter()
+                .map(|r| r.key())
+                .chain(delta.deletes.iter().cloned())
+                .collect();
+            for r in full_sorted(&storage, &dc) {
+                if !changed.contains(&r.key()) {
+                    view.upsert(r);
+                }
+            }
+        }
+        view.apply_delta(delta);
+        prop_assert_eq!(view.into_sorted_rows(), full_sorted(&storage, &dc));
+    }
+}
+
+/// Crossing the change index's compaction floor over the service API: a
+/// churn burst larger than the index forces the next `read_since` into a
+/// full snapshot, after which the feed resumes incrementally. The view
+/// stays bit-equal to a full read through the whole crossing.
+#[test]
+fn compaction_floor_crossing_falls_back_to_snapshot_and_recovers() {
+    let clock = SimClock::new();
+    let dc = DatacenterId::new("dc1");
+    let storage = StorageService::new([dc.clone()], clock.clone(), StorageConfig::default());
+    let write_burst = |start: u32, n: u32, tag: &str| {
+        let rows: Vec<NetworkState> = (start..start + n)
+            .map(|i| {
+                NetworkState::new(
+                    EntityName::device("dc1", format!("dev-{i}")),
+                    Attribute::DeviceBootImage,
+                    Value::text(format!("img-{tag}")),
+                    clock.now(),
+                    AppId::monitor(),
+                )
+            })
+            .collect();
+        storage
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows,
+            })
+            .unwrap();
+    };
+
+    // Seed a small pool and catch the consumer up incrementally.
+    write_burst(0, 100, "a");
+    let mut view = MapView::new();
+    let d0 = storage
+        .read_since(&dc, &Pool::Observed, Version::GENESIS)
+        .unwrap();
+    let mut watermark = d0.watermark;
+    view.apply_delta(d0);
+    assert_eq!(view.len(), 100);
+
+    // Churn far past the index capacity (65,536 entries) while the
+    // consumer isn't looking.
+    clock.advance(SimDuration::from_secs(60));
+    for burst in 0..3u32 {
+        write_burst(0, 30_000, &format!("b{burst}"));
+    }
+
+    // The consumer's watermark is now below the compaction floor: the
+    // reply must be a snapshot, and applying it must resynchronize.
+    let d1 = storage.read_since(&dc, &Pool::Observed, watermark).unwrap();
+    assert!(d1.snapshot, "below-floor read must be a full snapshot");
+    watermark = d1.watermark;
+    view.apply_delta(d1);
+    assert_eq!(view.clone().into_sorted_rows(), full_sorted(&storage, &dc));
+
+    // And the feed resumes incrementally afterwards.
+    clock.advance(SimDuration::from_secs(60));
+    write_burst(7, 1, "c");
+    let d2 = storage.read_since(&dc, &Pool::Observed, watermark).unwrap();
+    assert!(!d2.snapshot, "post-recovery read should be incremental");
+    assert_eq!(d2.upserts.len(), 1);
+    view.apply_delta(d2);
+    assert_eq!(view.into_sorted_rows(), full_sorted(&storage, &dc));
+}
+
+/// Quarantine rounds force the full-read fallback in the live loop and
+/// must not desynchronize anything: the same chaotic history driven
+/// through a delta-plane coordinator and a snapshot-plane coordinator
+/// converges identically (the chaos harness runs quarantines, degraded
+/// rounds, and command faults; seed fixed for reproducibility).
+#[test]
+fn chaotic_delta_plane_matches_snapshot_plane_outcomes() {
+    use statesman_chaos::ChaosScenario;
+    let scenario = ChaosScenario::standard(4);
+    let (outcome, wire) = scenario.run_with_wire_reader();
+    assert!(
+        wire.mismatches.is_empty(),
+        "wire delta view diverged under chaos: {:?}",
+        wire.mismatches
+    );
+    assert!(outcome.safety_violations.is_empty());
+    assert_eq!(outcome.tick_errors, 0);
+    assert!(
+        outcome.converged_at.is_some(),
+        "never converged: {outcome:?}"
+    );
+    assert!(wire.delta_reads > 0, "{wire:?}");
+}

@@ -188,7 +188,10 @@ fn legacy_aliases_deprecate_but_keep_answering() {
             .map(|(_, v)| v.as_str())
     };
     assert_eq!(header("deprecation"), Some("true"));
-    assert_eq!(header("link"), Some("</v1/read>; rel=\"successor-version\""));
+    assert_eq!(
+        header("link"),
+        Some("</v1/read>; rel=\"successor-version\"")
+    );
 
     // And each legacy hit is counted, labeled by route.
     let text = String::from_utf8(api.raw_get("/v1/metrics").unwrap()).unwrap();
