@@ -18,6 +18,43 @@ use statesman_net::{SimClock, SimConfig, SimNetwork};
 use statesman_storage::{ClusterConfig, StorageConfig, StorageService};
 use statesman_topology::DcnSpec;
 use statesman_types::{DatacenterId, SimDuration};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counting wrapper around the system allocator, so each round shape can
+/// report (and bound) its heap allocations per tick alongside its wall
+/// time. The interned state plane is required to allocate strictly less
+/// per tick than the string-keyed plane it replaced; the recorded
+/// pre-refactor numbers live in EXPERIMENTS.md.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations performed by `f`, as seen by the global counter.
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
 
 fn target_vars() -> usize {
     std::env::var("STATESMAN_BENCH_VARS")
@@ -86,6 +123,10 @@ fn bench_quiescent(c: &mut Criterion) {
                 r
             });
         });
+        let per_tick = allocs_during(|| {
+            coord.tick().unwrap();
+        });
+        println!("delta_pipeline_quiescent/{name} allocs/tick: {per_tick}");
     }
     group.finish();
 }
@@ -102,6 +143,10 @@ fn bench_low_churn(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| coord.tick_and_advance(SimDuration::from_mins(1)).unwrap());
         });
+        let per_tick = allocs_during(|| {
+            coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+        });
+        println!("delta_pipeline_low_churn/{name} allocs/tick: {per_tick}");
     }
     group.finish();
 }

@@ -385,7 +385,7 @@ impl Checker {
                     .map(|l| l.is_expired(now))
                     .unwrap_or(true)
                 {
-                    ts.remove(&row.key());
+                    ts.remove_var(row.var_id());
                     ts_deletes.push(row.key());
                     ts_pruned += 1;
                 }
@@ -408,7 +408,7 @@ impl Checker {
                 .check_controllable(&row.key(), &row.value, &os)
                 .is_err()
             {
-                ts.remove(&row.key());
+                ts.remove_var(row.var_id());
                 ts_deletes.push(row.key());
                 ts_pruned += 1;
             }
@@ -431,7 +431,7 @@ impl Checker {
                 by_entity.entry(r.entity.clone()).or_default().push(r);
             }
             for (_, mut rows) in by_entity {
-                rows.sort_by_key(|r| r.key());
+                rows.sort_by(|a, b| a.key_ref().cmp(&b.key_ref()));
                 let earliest = rows.iter().map(|r| r.updated_at).min().unwrap();
                 groups.push(Group {
                     app: app.clone(),
@@ -444,7 +444,7 @@ impl Checker {
             a.earliest
                 .cmp(&b.earliest)
                 .then_with(|| a.app.cmp(&b.app))
-                .then_with(|| a.rows[0].key().cmp(&b.rows[0].key()))
+                .then_with(|| a.rows[0].key_ref().cmp(&b.rows[0].key_ref()))
         });
 
         let mut receipts: Vec<WriteReceipt> = Vec::new();

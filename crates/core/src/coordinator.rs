@@ -111,6 +111,15 @@ struct CoordObs {
     monitor_rows_written: Counter,
     monitor_writes_suppressed: Counter,
     watermark_lag: Gauge,
+    /// Distinct entity names in the process-wide interner.
+    interned_entities: Gauge,
+    /// Id → name resolutions (edge resolutions: delta tombstones,
+    /// receipts). Counted per round as the delta of the process-wide
+    /// total against `last_resolutions`.
+    key_resolutions: Counter,
+    /// The process-wide resolution total at the end of the last recorded
+    /// round.
+    last_resolutions: std::sync::atomic::AtomicU64,
 }
 
 impl CoordObs {
@@ -139,6 +148,9 @@ impl CoordObs {
             monitor_rows_written: r.counter("monitor_rows_written_total"),
             monitor_writes_suppressed: r.counter("monitor_writes_suppressed_total"),
             watermark_lag: r.gauge("state_watermark_lag"),
+            interned_entities: r.gauge("interned_entities"),
+            key_resolutions: r.counter("key_resolutions_total"),
+            last_resolutions: std::sync::atomic::AtomicU64::new(statesman_types::key_resolutions()),
         }
     }
 }
@@ -534,6 +546,12 @@ impl Coordinator {
         m.monitor_writes_suppressed
             .add(report.writes_suppressed as u64);
         m.watermark_lag.set(report.watermark_lag as i64);
+        let interned = statesman_types::interned_count() as u64;
+        m.interned_entities.set(interned as i64);
+        let total = statesman_types::key_resolutions();
+        let prev = m.last_resolutions.swap(total, Ordering::Relaxed);
+        let resolved_this_round = total.saturating_sub(prev);
+        m.key_resolutions.add(resolved_this_round);
 
         let quarantined: Vec<String> = self
             .monitor
@@ -586,6 +604,8 @@ impl Coordinator {
             breakers_open,
             degraded_partitions: report.skipped_groups.clone(),
             last_round: Some(round),
+            interned_entities: interned,
+            key_resolutions_last_round: resolved_this_round,
         });
     }
 
@@ -866,6 +886,24 @@ mod tests {
         );
         assert!(reg.counter_value("monitor_rows_written_total").unwrap() > 0);
         assert_eq!(reg.gauge("state_watermark_lag").get(), 0);
+
+        // The interned state plane is observable: every entity this
+        // deployment touched sits in the symbol table, and the gauge and
+        // status board both report it.
+        let interned = reg.gauge("interned_entities").get();
+        assert!(
+            interned >= (graph.node_count() + graph.edge_count()) as i64,
+            "every polled entity should be interned: {interned}"
+        );
+        assert_eq!(obs.status().interned_entities, interned as u64);
+        // Edge resolutions stay rare on the hot path: the counter exists
+        // and quiescent rounds resolve (at most) a handful of keys.
+        assert!(reg.counter_value("key_resolutions_total").is_some());
+        assert!(
+            obs.status().key_resolutions_last_round < 100,
+            "resolution crept into a hot loop: {}",
+            obs.status().key_resolutions_last_round
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ use statesman_storage::{StorageService, WriteRequest};
 use statesman_topology::NetworkGraph;
 use statesman_types::{
     AppId, Attribute, DatacenterId, DeviceName, EntityName, NetworkState, Pool, SimDuration,
-    SimTime, StateKey, StateResult, Value,
+    SimTime, StateResult, Value, VarId,
 };
 use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
@@ -85,11 +85,13 @@ pub struct Monitor {
     /// Devices under quarantine, mapped to when their cooldown expires.
     quarantine: Mutex<HashMap<DeviceName, SimTime>>,
     quarantine_cooldown: SimDuration,
-    /// What this monitor last wrote per key: the diff base that lets a
-    /// round write only rows whose value actually changed. Cleared on any
-    /// write failure so the next round rewrites everything (the cache may
-    /// no longer match what storage holds).
-    last_written: Mutex<HashMap<StateKey, NetworkState>>,
+    /// What this monitor last wrote per variable: the diff base that lets
+    /// a round write only rows whose value actually changed. Keyed by
+    /// compact [`VarId`]s — the diff loop hashes one word per row instead
+    /// of entity strings. Cleared on any write failure so the next round
+    /// rewrites everything (the cache may no longer match what storage
+    /// holds).
+    last_written: Mutex<HashMap<VarId, NetworkState>>,
     /// Rounds completed (drives the periodic full resync).
     rounds: Mutex<u64>,
     /// Every Nth round ignores the diff cache and writes the full view
@@ -274,9 +276,9 @@ impl Monitor {
         // already report oper-down for dead-endpoint links, so shadowing
         // is consistent either way. A hash map (not the full sort) keeps
         // the quiescent-round cost linear.
-        let mut dedup: HashMap<StateKey, NetworkState> = HashMap::with_capacity(rows.len());
+        let mut dedup: HashMap<VarId, NetworkState> = HashMap::with_capacity(rows.len());
         for r in rows {
-            dedup.insert(r.key(), r);
+            dedup.insert(r.var_id(), r);
         }
         let round = {
             let mut r = self.rounds.lock();
@@ -288,9 +290,9 @@ impl Monitor {
         let mut last = self.last_written.lock();
         let mut changed: Vec<NetworkState> = Vec::new();
         let mut writes_suppressed = 0usize;
-        for row in dedup.values() {
+        for (vid, row) in &dedup {
             let unchanged = last
-                .get(&row.key())
+                .get(vid)
                 .map(|p| p.value == row.value && p.writer == row.writer)
                 .unwrap_or(false);
             if unchanged && !force_full {
@@ -299,8 +301,9 @@ impl Monitor {
             }
             changed.push(row.clone());
         }
-        // Only the changed rows need the deterministic write order.
-        changed.sort_by_key(|a| a.key());
+        // Only the changed rows need the deterministic write order —
+        // string-key order, not id order (ids follow interning order).
+        changed.sort_by(|a, b| a.key_ref().cmp(&b.key_ref()));
         let rows_written = changed.len();
         // Chunk large rounds: one consensus commit per ~50K rows keeps
         // per-message payloads bounded at DC scale (§8: 394K variables).

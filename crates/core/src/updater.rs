@@ -636,9 +636,10 @@ impl Updater {
 
         // ---- per-variable diff ----
         let mut routing_devices: BTreeMap<DeviceName, Option<Vec<FlowLinkRule>>> = BTreeMap::new();
-        let mut sorted_ts = ts_rows.clone();
-        sorted_ts.sort_by_key(|a| a.key());
-        for row in &sorted_ts {
+        // Borrow-sort by string-key order: no row clones, no key clones.
+        let mut sorted_ts: Vec<&NetworkState> = ts_rows.iter().collect();
+        sorted_ts.sort_by(|a, b| a.key_ref().cmp(&b.key_ref()));
+        for &row in &sorted_ts {
             if row.attribute.is_lock() || row.entity.as_path().is_some() {
                 continue; // locks are metadata; paths handled via expansion
             }

@@ -19,25 +19,35 @@
 //!   issued.
 
 use statesman_topology::{HealthView, NetworkGraph};
-use statesman_types::{Attribute, EntityName, NetworkState, StateKey, Value};
+use statesman_types::{Attribute, EntityName, NetworkState, StateKey, Value, VarId};
 use std::collections::HashMap;
 
 /// Anything that can answer point lookups over one pool of rows.
+///
+/// The primitive is [`StateView::get_var`] on a compact [`VarId`]; the
+/// string-key and (entity, attribute) conveniences intern once and
+/// delegate, so no lookup clones an entity name.
 pub trait StateView {
+    /// The row stored for the variable, if any.
+    fn get_var(&self, var: VarId) -> Option<&NetworkState>;
+
     /// The row stored for `key`, if any.
-    fn get(&self, key: &StateKey) -> Option<&NetworkState>;
+    fn get(&self, key: &StateKey) -> Option<&NetworkState> {
+        self.get_var(key.var_id())
+    }
 
     /// Convenience: the value stored for (entity, attribute).
     fn value_of(&self, entity: &EntityName, attribute: Attribute) -> Option<&Value> {
-        self.get(&StateKey::new(entity.clone(), attribute))
-            .map(|r| &r.value)
+        self.get_var(VarId::of(entity, attribute)).map(|r| &r.value)
     }
 }
 
-/// A materialized snapshot of one pool.
+/// A materialized snapshot of one pool, keyed by compact [`VarId`]s (the
+/// rows themselves keep their entity names, so draining back to a sorted
+/// row list never consults the interner).
 #[derive(Debug, Clone, Default)]
 pub struct MapView {
-    rows: HashMap<StateKey, NetworkState>,
+    rows: HashMap<VarId, NetworkState>,
 }
 
 impl MapView {
@@ -50,19 +60,24 @@ impl MapView {
     pub fn from_rows(rows: impl IntoIterator<Item = NetworkState>) -> Self {
         let mut v = MapView::new();
         for r in rows {
-            v.rows.insert(r.key(), r);
+            v.rows.insert(r.var_id(), r);
         }
         v
     }
 
     /// Insert or replace one row.
     pub fn upsert(&mut self, row: NetworkState) {
-        self.rows.insert(row.key(), row);
+        self.rows.insert(row.var_id(), row);
+    }
+
+    /// Remove one row by variable id.
+    pub fn remove_var(&mut self, var: VarId) -> Option<NetworkState> {
+        self.rows.remove(&var)
     }
 
     /// Remove one row.
     pub fn remove(&mut self, key: &StateKey) -> Option<NetworkState> {
-        self.rows.remove(key)
+        self.remove_var(key.var_id())
     }
 
     /// Number of rows.
@@ -80,10 +95,11 @@ impl MapView {
         self.rows.values()
     }
 
-    /// Drain into a row list, sorted by key for determinism.
+    /// Drain into a row list, sorted by string-key order for determinism
+    /// (id order is execution-dependent; see `statesman_types::intern`).
     pub fn into_sorted_rows(self) -> Vec<NetworkState> {
         let mut v: Vec<NetworkState> = self.rows.into_values().collect();
-        v.sort_by_key(|a| a.key());
+        v.sort_by(|a, b| a.key_ref().cmp(&b.key_ref()));
         v
     }
 
@@ -98,17 +114,17 @@ impl MapView {
             self.rows.clear();
         }
         for key in &delta.deletes {
-            self.rows.remove(key);
+            self.rows.remove(&key.var_id());
         }
         for row in delta.upserts {
-            self.rows.insert(row.key(), row);
+            self.rows.insert(row.var_id(), row);
         }
     }
 }
 
 impl StateView for MapView {
-    fn get(&self, key: &StateKey) -> Option<&NetworkState> {
-        self.rows.get(key)
+    fn get_var(&self, var: VarId) -> Option<&NetworkState> {
+        self.rows.get(&var)
     }
 }
 
@@ -126,8 +142,8 @@ impl<'a, B: StateView + ?Sized> OverlayView<'a, B> {
 }
 
 impl<B: StateView + ?Sized> StateView for OverlayView<'_, B> {
-    fn get(&self, key: &StateKey) -> Option<&NetworkState> {
-        self.overlay.get(key).or_else(|| self.base.get(key))
+    fn get_var(&self, var: VarId) -> Option<&NetworkState> {
+        self.overlay.get_var(var).or_else(|| self.base.get_var(var))
     }
 }
 

@@ -14,7 +14,7 @@
 //! in-process one.
 
 use crate::error::decode_error;
-use crate::http::{encode_component, read_response_full};
+use crate::http::{encode_component, read_response_full, RawResponse};
 use crate::server::{HealthResponse, WATERMARK_HEADER};
 use statesman_types::{
     AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, SimTime, StateDelta,
@@ -57,12 +57,7 @@ impl ApiClient {
     /// Issue one request and return the raw (status, headers, body)
     /// triple. Header names are lowercased. For diagnostics, tests, and
     /// endpoints without a typed wrapper.
-    pub fn raw_request(
-        &self,
-        method: &str,
-        target: &str,
-        body: &[u8],
-    ) -> StateResult<(u16, Vec<(String, String)>, Vec<u8>)> {
+    pub fn raw_request(&self, method: &str, target: &str, body: &[u8]) -> StateResult<RawResponse> {
         let mut stream = TcpStream::connect(self.addr)?;
         let head = format!(
             "{method} {target} HTTP/1.1\r\nhost: statesman\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",

@@ -278,11 +278,13 @@ pub fn read_response(stream: &mut TcpStream) -> StateResult<(u16, Vec<u8>)> {
     Ok((status, body))
 }
 
+/// A raw HTTP response: status code, lowercased (name, value) header
+/// pairs, and the body bytes.
+pub type RawResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
 /// Read one response including its headers (client side). Header names
 /// are lowercased; values are trimmed. Returns (status, headers, body).
-pub fn read_response_full(
-    stream: &mut TcpStream,
-) -> StateResult<(u16, Vec<(String, String)>, Vec<u8>)> {
+pub fn read_response_full(stream: &mut TcpStream) -> StateResult<RawResponse> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;

@@ -216,7 +216,7 @@ impl FaultPlan {
     /// Enable probabilistic link flapping (builder style).
     pub fn with_link_flapping(mut self, prob_per_min: f64, duration: SimDuration) -> Self {
         self.link_flap_prob_per_min = prob_per_min;
-        self.link_flap_duration_ms = duration.as_millis() as u64;
+        self.link_flap_duration_ms = duration.as_millis();
         self
     }
 }

@@ -41,6 +41,15 @@ pub struct StatusBoard {
     pub degraded_partitions: Vec<String>,
     /// The last completed round index, if any round has run.
     pub last_round: Option<u64>,
+    /// Distinct entity names in the process-wide interner (the compact
+    /// state-plane symbol table).
+    #[serde(default)]
+    pub interned_entities: u64,
+    /// Id → name resolutions performed during the last round (edge
+    /// resolutions only: delta tombstones, receipts). A large value flags
+    /// resolution creeping into a hot loop.
+    #[serde(default)]
+    pub key_resolutions_last_round: u64,
 }
 
 /// The shared observability handle: one registry, one trace ring, one

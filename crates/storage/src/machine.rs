@@ -7,7 +7,9 @@
 //! checker uses to detect stale-basis proposals.
 
 use serde::{Deserialize, Serialize};
-use statesman_types::{AppId, NetworkState, Pool, StateDelta, StateKey, Version, WriteReceipt};
+use statesman_types::{
+    AppId, NetworkState, Pool, StateDelta, StateKey, VarId, Version, WriteReceipt,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Bound on the per-pool change index. Entries beyond it are compacted
@@ -72,14 +74,16 @@ impl LogCommand {
     }
 }
 
-/// One pool's bounded changefeed: (version, key) pairs in commit order,
-/// plus the compaction floor and the pool watermark.
+/// One pool's bounded changefeed: (version, variable id) pairs in commit
+/// order, plus the compaction floor and the pool watermark.
 #[derive(Debug, Clone, Default)]
 struct ChangeIndex {
-    /// Effective changes, oldest first. Keys only — `read_since`
-    /// materializes current row values at read time, so the index stays
-    /// memory-cheap no matter how large the rows are.
-    entries: VecDeque<(u64, StateKey)>,
+    /// Effective changes, oldest first. Compact [`VarId`]s only —
+    /// `read_since` materializes current row values at read time, and
+    /// tombstones resolve back to string keys at the wire edge, so the
+    /// index stays two words per entry no matter how large keys or rows
+    /// are.
+    entries: VecDeque<(u64, VarId)>,
     /// Version of the newest compacted-away entry; requests at or below
     /// it cannot be served incrementally.
     floor: u64,
@@ -88,7 +92,7 @@ struct ChangeIndex {
 }
 
 impl ChangeIndex {
-    fn record(&mut self, version: u64, key: StateKey) {
+    fn record(&mut self, version: u64, key: VarId) {
         if self.entries.len() == CHANGE_INDEX_CAPACITY {
             if let Some((v, _)) = self.entries.pop_front() {
                 self.floor = v;
@@ -100,9 +104,16 @@ impl ChangeIndex {
 }
 
 /// The materialized store one replica derives from the committed log.
+///
+/// Pools are keyed by compact [`VarId`]s (the interned state plane): every
+/// upsert, delete, and point read hashes one `u64` instead of the full
+/// entity strings, and the rows themselves still carry their names — so
+/// everything wire-visible (reads, deltas, receipts) is produced without
+/// consulting the interner, except delta *tombstones*, whose keys are
+/// resolved back to strings at the read edge.
 #[derive(Debug, Clone, Default)]
 pub struct StateMachine {
-    pools: HashMap<Pool, HashMap<StateKey, NetworkState>>,
+    pools: HashMap<Pool, HashMap<VarId, NetworkState>>,
     receipts: HashMap<AppId, Vec<WriteReceipt>>,
     next_version: u64,
     applied: u64,
@@ -130,7 +141,7 @@ impl StateMachine {
                 let idx = self.changes.entry(pool.clone()).or_default();
                 let mut effective = 0;
                 for row in rows {
-                    let key = row.key();
+                    let key = row.var_id();
                     // Value-identical re-writes are complete no-ops: no
                     // version bump, no watermark move, no index entry, and
                     // the stored row keeps its original timestamp. This is
@@ -145,7 +156,7 @@ impl StateMachine {
                     self.next_version += 1;
                     let mut stamped = row.clone();
                     stamped.version = Version(self.next_version);
-                    p.insert(key.clone(), stamped);
+                    p.insert(key, stamped);
                     idx.record(self.next_version, key);
                     effective += 1;
                 }
@@ -156,9 +167,10 @@ impl StateMachine {
                 if let Some(p) = self.pools.get_mut(pool) {
                     let idx = self.changes.entry(pool.clone()).or_default();
                     for k in keys {
-                        if p.remove(k).is_some() {
+                        let vid = k.var_id();
+                        if p.remove(&vid).is_some() {
                             self.next_version += 1;
-                            idx.record(self.next_version, k.clone());
+                            idx.record(self.next_version, vid);
                             removed += 1;
                         }
                     }
@@ -190,7 +202,7 @@ impl StateMachine {
 
     /// Read one row.
     pub fn get(&self, pool: &Pool, key: &StateKey) -> Option<&NetworkState> {
-        self.pools.get(pool)?.get(key)
+        self.pools.get(pool)?.get(&key.var_id())
     }
 
     /// All rows of a pool, unordered.
@@ -281,7 +293,7 @@ impl StateMachine {
         }
         let idx = idx.expect("watermark > since >= 0 implies a change index");
         let rows = self.pools.get(pool);
-        let mut seen: HashSet<&StateKey> = HashSet::new();
+        let mut seen: HashSet<VarId> = HashSet::new();
         let mut upserts = Vec::new();
         let mut deletes = Vec::new();
         // Newest-first so the dedupe keeps each key's latest disposition.
@@ -289,12 +301,15 @@ impl StateMachine {
             if *v <= since.0 {
                 break;
             }
-            if !seen.insert(key) {
+            if !seen.insert(*key) {
                 continue;
             }
             match rows.and_then(|p| p.get(key)) {
                 Some(row) => upserts.push(row.clone()),
-                None => deletes.push(key.clone()),
+                // Tombstones are the one place the read edge consults the
+                // interner: the deleted row is gone, so its string key is
+                // rebuilt from the id (counted as a key resolution).
+                None => deletes.push(key.resolve_key()),
             }
         }
         Some(StateDelta::incremental(

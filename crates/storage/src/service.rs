@@ -19,7 +19,8 @@ use rand::{Rng, SeedableRng};
 use statesman_obs::{Counter, Gauge, Registry};
 use statesman_types::{
     AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, RetryPolicy,
-    SimDuration, SimTime, StateDelta, StateError, StateKey, StateResult, Version, WriteReceipt,
+    SimDuration, SimTime, StateDelta, StateError, StateKey, StateResult, VarId, Version,
+    WriteReceipt,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -393,7 +394,10 @@ impl StorageService {
                     // its handful of rows, not the whole pool.
                     return Ok(machine.pool_rows_where(&req.pool, matches));
                 }
-                Arc::new(machine.pool_rows(&req.pool))
+                // Full-pool leader read: hand the copy straight back
+                // rather than re-cloning every row through the no-op
+                // filter below (full scans pay this per round).
+                return Ok(machine.pool_rows(&req.pool));
             }
             Freshness::BoundedStale => {
                 let key = (req.datacenter.clone(), req.pool.clone());
@@ -423,8 +427,7 @@ impl StorageService {
                             let cache = self.cache.read();
                             cache.get(&key).map(|c| (Arc::clone(&c.rows), c.watermark))
                         };
-                        let rows = self.refresh_cache_entry(&req, now, key, prior)?;
-                        rows
+                        self.refresh_cache_entry(&req, now, key, prior)?
                     }
                 }
             }
@@ -481,13 +484,13 @@ impl StorageService {
                     o.cache_delta_refreshes.inc();
                 }
                 let watermark = delta.watermark;
-                let mut map: HashMap<StateKey, NetworkState> =
-                    old.iter().map(|r| (r.key(), r.clone())).collect();
+                let mut map: HashMap<VarId, NetworkState> =
+                    old.iter().map(|r| (r.var_id(), r.clone())).collect();
                 for k in &delta.deletes {
-                    map.remove(k);
+                    map.remove(&k.var_id());
                 }
                 for r in delta.upserts {
-                    map.insert(r.key(), r);
+                    map.insert(r.var_id(), r);
                 }
                 (Arc::new(map.into_values().collect()), watermark)
             }
@@ -1110,12 +1113,14 @@ mod tests {
     #[test]
     fn retries_are_bounded_and_counted() {
         let c = clock();
-        let mut cfg = StorageConfig::default();
-        cfg.retry = statesman_types::RetryPolicy {
-            max_attempts: 3,
-            base_backoff: SimDuration::from_millis(100),
-            max_backoff: SimDuration::from_secs(1),
-            jitter_frac: 0.5,
+        let cfg = StorageConfig {
+            retry: statesman_types::RetryPolicy {
+                max_attempts: 3,
+                base_backoff: SimDuration::from_millis(100),
+                max_backoff: SimDuration::from_secs(1),
+                jitter_frac: 0.5,
+            },
+            ..Default::default()
         };
         let s = StorageService::new([DatacenterId::new("dc1")], c.clone(), cfg.clone());
         let dc = DatacenterId::new("dc1");

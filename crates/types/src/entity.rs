@@ -371,13 +371,12 @@ impl EntityName {
     }
 
     /// Canonical wire form: `<dc>/<kind>/<name>`. Used by the HTTP API and
-    /// as the storage key prefix.
+    /// as the storage key prefix. Allocates one `String`; serialization
+    /// paths that already hold a formatter should use `Display` instead,
+    /// which writes the same bytes component-by-component without an
+    /// intermediate allocation.
     pub fn wire_name(&self) -> String {
-        match &self.body {
-            EntityBody::Device(d) => format!("{}/device/{}", self.datacenter, d),
-            EntityBody::Link(l) => format!("{}/link/{}", self.datacenter, l),
-            EntityBody::Path(p) => format!("{}/path/{}", self.datacenter, p),
-        }
+        self.to_string()
     }
 
     /// Parse the wire form produced by [`EntityName::wire_name`].
@@ -401,7 +400,11 @@ impl EntityName {
 
 impl fmt::Display for EntityName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.wire_name())
+        match &self.body {
+            EntityBody::Device(d) => write!(f, "{}/device/{}", self.datacenter, d),
+            EntityBody::Link(l) => write!(f, "{}/link/{}", self.datacenter, l),
+            EntityBody::Path(p) => write!(f, "{}/path/{}", self.datacenter, p),
+        }
     }
 }
 

@@ -1,0 +1,251 @@
+//! The entity interner and compact variable ids.
+//!
+//! Statesman's state plane walks every variable of a datacenter each round
+//! (paper §4.2, §6.2). Keying the hot maps — storage pools, change
+//! indexes, monitor diff bases, checker/updater mirrors — on the fully
+//! structured [`EntityName`] means every insert, lookup, and comparison
+//! hashes (and often clones) datacenter + device/link/path strings. This
+//! module provides the compact alternative:
+//!
+//! * [`EntityId`] — a dense `u32` handle minted by a process-wide,
+//!   append-only symbol table. Interning the same name always yields the
+//!   same id for the lifetime of the process.
+//! * [`VarId`] — one state variable: an (entity, attribute) pair packed
+//!   into a single `u64` (entity id in the high 48 bits, attribute
+//!   discriminant in the low 16). `Copy`, hashes as one word.
+//!
+//! **The edge-resolution rule.** Ids never appear on the wire. Interning
+//! order depends on execution order (which round touched an entity first),
+//! so `VarId`'s numeric order is *not* canonical: every wire-observable
+//! ordering in the workspace sorts by the string [`StateKey`] order (via
+//! the allocation-free [`StateKeyRef`](crate::StateKeyRef)), and ids are
+//! resolved back to names only where a wire artifact needs one (delta
+//! tombstones, receipts). Those resolutions are counted — the
+//! `key_resolutions` metric — so a refactor that accidentally drags
+//! resolution into a hot loop is observable. Within one process, ids *are*
+//! order-compatible with names after a canonicalizing pass: interning
+//! names in sorted order first makes `VarId` order agree with `StateKey`
+//! order (property-tested in `tests/proptests.rs`).
+
+use crate::entity::EntityName;
+use crate::state::StateKey;
+use crate::vars::Attribute;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A dense handle for one interned [`EntityName`]. Stable for the process
+/// lifetime; never serialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityId(pub u32);
+
+/// One state variable — an interned entity plus an attribute — packed into
+/// a single `u64` (entity id `<< 16 | attribute` discriminant).
+///
+/// `VarId` is a *hash key*, not an ordering key: its numeric order follows
+/// interning order, which is execution-dependent. Sort wire-visible output
+/// by [`StateKeyRef`](crate::StateKeyRef) instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u64);
+
+impl VarId {
+    /// Pack an already-interned entity with an attribute.
+    pub fn new(entity: EntityId, attribute: Attribute) -> Self {
+        VarId(((entity.0 as u64) << 16) | attribute as u16 as u64)
+    }
+
+    /// The variable id of (entity, attribute), interning the entity in the
+    /// process-wide table on first sight. Allocation-free for entities
+    /// already interned.
+    pub fn of(entity: &EntityName, attribute: Attribute) -> Self {
+        VarId::new(interner().intern(entity), attribute)
+    }
+
+    /// The interned entity.
+    pub fn entity_id(self) -> EntityId {
+        EntityId((self.0 >> 16) as u32)
+    }
+
+    /// The attribute (recovered from the packed discriminant).
+    pub fn attribute(self) -> Attribute {
+        Attribute::catalogue()[(self.0 & 0xFFFF) as usize]
+    }
+
+    /// Resolve back to the owning entity's name via the process-wide
+    /// table. This is an *edge* operation (wire tombstones, receipts) and
+    /// is counted by [`key_resolutions`].
+    pub fn resolve_entity(self) -> Arc<EntityName> {
+        interner().resolve(self.entity_id())
+    }
+
+    /// Resolve to the string [`StateKey`] (edge resolution; counted).
+    pub fn resolve_key(self) -> StateKey {
+        StateKey::new((*self.resolve_entity()).clone(), self.attribute())
+    }
+}
+
+/// A concurrent, append-only symbol table of entity names. One process-wide
+/// instance backs [`VarId::of`]; independent instances exist only for tests
+/// (ordering properties need a table whose insertion order they control).
+#[derive(Default)]
+pub struct Interner {
+    inner: RwLock<InternerInner>,
+}
+
+#[derive(Default)]
+struct InternerInner {
+    /// Name → id. Keyed by the same `Arc`s `names` holds, so each distinct
+    /// entity is stored once.
+    lookup: HashMap<Arc<EntityName>, u32>,
+    /// Id → name, append-only: `names[id.0 as usize]`.
+    names: Vec<Arc<EntityName>>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id for `name`, minting one on first sight. Lookups for known
+    /// names take a shared read lock and allocate nothing.
+    pub fn intern(&self, name: &EntityName) -> EntityId {
+        if let Some(&id) = self
+            .inner
+            .read()
+            .expect("interner poisoned")
+            .lookup
+            .get(name)
+        {
+            return EntityId(id);
+        }
+        let mut inner = self.inner.write().expect("interner poisoned");
+        if let Some(&id) = inner.lookup.get(name) {
+            return EntityId(id); // raced: another thread minted it first
+        }
+        let id = u32::try_from(inner.names.len()).expect("interner overflow");
+        let arc = Arc::new(name.clone());
+        inner.names.push(Arc::clone(&arc));
+        inner.lookup.insert(arc, id);
+        EntityId(id)
+    }
+
+    /// The name behind `id`. Panics on a foreign id (ids are only minted
+    /// by [`Interner::intern`]). Each call counts as one key resolution.
+    pub fn resolve(&self, id: EntityId) -> Arc<EntityName> {
+        RESOLUTIONS.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(&self.inner.read().expect("interner poisoned").names[id.0 as usize])
+    }
+
+    /// Number of distinct entities interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("interner poisoned").names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Id → name resolutions performed so far, process-wide (both the global
+/// table and test-local ones count; the metric watches for resolution
+/// creeping into hot loops anywhere).
+static RESOLUTIONS: AtomicU64 = AtomicU64::new(0);
+
+static GLOBAL: OnceLock<Interner> = OnceLock::new();
+
+/// The process-wide symbol table backing [`VarId::of`].
+pub fn interner() -> &'static Interner {
+    GLOBAL.get_or_init(Interner::new)
+}
+
+/// Distinct entities in the process-wide table (the `interned_entities`
+/// gauge).
+pub fn interned_count() -> usize {
+    interner().len()
+}
+
+/// Cumulative id → name resolutions (the `key_resolutions` counter's
+/// source; monotone, process-wide).
+pub fn key_resolutions() -> u64 {
+    RESOLUTIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(n: &str) -> EntityName {
+        EntityName::device("dc1", n)
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let t = Interner::new();
+        let a = t.intern(&dev("a"));
+        let b = t.intern(&dev("b"));
+        assert_ne!(a, b);
+        assert_eq!(t.intern(&dev("a")), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!((a.0, b.0), (0, 1), "ids are dense, in first-sight order");
+    }
+
+    #[test]
+    fn var_id_packs_and_unpacks() {
+        for attr in Attribute::catalogue() {
+            let vid = VarId::new(EntityId(12345), *attr);
+            assert_eq!(vid.entity_id(), EntityId(12345));
+            assert_eq!(vid.attribute(), *attr);
+        }
+    }
+
+    #[test]
+    fn attribute_discriminants_index_the_catalogue() {
+        // VarId::attribute depends on `catalogue()[a as usize] == a`:
+        // declaration order, discriminant order, and catalogue order are
+        // all the same order.
+        for (i, attr) in Attribute::catalogue().iter().enumerate() {
+            assert_eq!(*attr as u16 as usize, i, "{attr}");
+        }
+        assert!(
+            Attribute::catalogue().len() <= u16::MAX as usize,
+            "attribute discriminant must fit the packed 16 bits"
+        );
+    }
+
+    #[test]
+    fn global_round_trip_resolves_and_counts() {
+        let entity = dev("round-trip-probe");
+        let vid = VarId::of(&entity, Attribute::DeviceFirmwareVersion);
+        let before = key_resolutions();
+        assert_eq!(*vid.resolve_entity(), entity);
+        let key = vid.resolve_key();
+        assert_eq!(key, StateKey::new(entity, Attribute::DeviceFirmwareVersion));
+        assert!(key_resolutions() >= before + 2, "resolutions are counted");
+    }
+
+    #[test]
+    fn cross_thread_interning_is_deterministic() {
+        // Many threads interning the same names concurrently must agree on
+        // one id per name, and every id must resolve back to its name.
+        let t = Arc::new(Interner::new());
+        let names: Vec<EntityName> = (0..64).map(|i| dev(&format!("d{i}"))).collect();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                let names = names.clone();
+                std::thread::spawn(move || names.iter().map(|n| t.intern(n)).collect::<Vec<_>>())
+            })
+            .collect();
+        let per_thread: Vec<Vec<EntityId>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for ids in &per_thread {
+            assert_eq!(ids, &per_thread[0], "all threads see the same mapping");
+        }
+        assert_eq!(t.len(), names.len());
+        for (name, id) in names.iter().zip(&per_thread[0]) {
+            assert_eq!(*t.resolve(*id), *name);
+        }
+    }
+}

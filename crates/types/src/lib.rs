@@ -28,6 +28,7 @@
 
 pub mod entity;
 pub mod error;
+pub mod intern;
 pub mod lock;
 pub mod retry;
 pub mod state;
@@ -39,10 +40,12 @@ pub use entity::{
     DatacenterId, DeviceName, DeviceRole, EntityKind, EntityName, LinkName, PathName,
 };
 pub use error::{StateError, StateResult};
+pub use intern::{interned_count, interner, key_resolutions, EntityId, VarId};
 pub use lock::{LockPriority, LockRecord};
 pub use retry::RetryPolicy;
 pub use state::{
-    AppId, Freshness, NetworkState, Pool, StateDelta, StateKey, WriteOutcome, WriteReceipt,
+    AppId, Freshness, NetworkState, Pool, StateDelta, StateKey, StateKeyRef, WriteOutcome,
+    WriteReceipt,
 };
 pub use time::{SimDuration, SimTime, Version};
 pub use value::{ControlPlaneMode, FlowLinkRule, OperStatus, PowerStatus, Value};

@@ -13,10 +13,12 @@
 //! accordingly" (§3).
 
 use crate::entity::EntityName;
+use crate::intern::VarId;
 use crate::time::{SimTime, Version};
 use crate::value::Value;
 use crate::vars::Attribute;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::fmt;
 
 /// Identifier of a management application (e.g. `"switch-upgrade"`,
@@ -87,12 +89,13 @@ pub enum Pool {
 }
 
 impl Pool {
-    /// Wire encoding used by the HTTP API: `OS`, `PS:<app>`, `TS`.
-    pub fn wire_name(&self) -> String {
+    /// Wire encoding used by the HTTP API: `OS`, `PS:<app>`, `TS`. The
+    /// fixed pools borrow — only `PS:<app>` genuinely needs to allocate.
+    pub fn wire_name(&self) -> Cow<'static, str> {
         match self {
-            Pool::Observed => "OS".to_string(),
-            Pool::Proposed(app) => format!("PS:{app}"),
-            Pool::Target => "TS".to_string(),
+            Pool::Observed => Cow::Borrowed("OS"),
+            Pool::Proposed(app) => Cow::Owned(format!("PS:{app}")),
+            Pool::Target => Cow::Borrowed("TS"),
         }
     }
 
@@ -114,7 +117,11 @@ impl Pool {
 
 impl fmt::Display for Pool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.wire_name())
+        match self {
+            Pool::Observed => f.write_str("OS"),
+            Pool::Proposed(app) => write!(f, "PS:{app}"),
+            Pool::Target => f.write_str("TS"),
+        }
     }
 }
 
@@ -198,11 +205,30 @@ impl NetworkState {
 
     /// The storage key of this row: entity + attribute. Two rows with the
     /// same key in the same pool shadow each other (last committed wins).
+    ///
+    /// This clones the entity; hot paths should use the allocation-free
+    /// [`NetworkState::key_ref`] (comparisons, sorts) or
+    /// [`NetworkState::var_id`] (map keys) instead.
     pub fn key(&self) -> StateKey {
         StateKey {
             entity: self.entity.clone(),
             attribute: self.attribute,
         }
+    }
+
+    /// The borrowed form of [`NetworkState::key`]: orders and compares
+    /// exactly like [`StateKey`] without cloning the entity.
+    pub fn key_ref(&self) -> StateKeyRef<'_> {
+        StateKeyRef {
+            entity: &self.entity,
+            attribute: self.attribute,
+        }
+    }
+
+    /// The compact id of this row's variable (interning the entity on
+    /// first sight). See [`crate::intern`] for the edge-resolution rule.
+    pub fn var_id(&self) -> VarId {
+        VarId::of(&self.entity, self.attribute)
     }
 
     /// Whether the row is well-formed: the attribute must apply to the
@@ -242,9 +268,50 @@ impl StateKey {
     pub fn new(entity: EntityName, attribute: Attribute) -> Self {
         StateKey { entity, attribute }
     }
+
+    /// Borrow as a [`StateKeyRef`] (orders identically, no clone).
+    pub fn as_ref(&self) -> StateKeyRef<'_> {
+        StateKeyRef {
+            entity: &self.entity,
+            attribute: self.attribute,
+        }
+    }
+
+    /// The compact id of this variable (interning the entity on first
+    /// sight).
+    pub fn var_id(&self) -> VarId {
+        VarId::of(&self.entity, self.attribute)
+    }
 }
 
 impl fmt::Display for StateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.entity, self.attribute)
+    }
+}
+
+/// The borrowed (entity, attribute) pair: compares and orders exactly like
+/// [`StateKey`] — the fields are declared in the same order, so the
+/// derived `Ord` agrees — without owning (or cloning) the entity. This is
+/// what hot sorts and comparisons use; the canonical *wire* ordering of
+/// the workspace is `StateKeyRef` order, never `VarId` numeric order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateKeyRef<'a> {
+    /// The owning entity, borrowed.
+    pub entity: &'a EntityName,
+    /// The variable name.
+    pub attribute: Attribute,
+}
+
+impl StateKeyRef<'_> {
+    /// Materialize an owned [`StateKey`] (clones the entity — an edge
+    /// operation, not for hot loops).
+    pub fn to_owned(self) -> StateKey {
+        StateKey::new(self.entity.clone(), self.attribute)
+    }
+}
+
+impl fmt::Display for StateKeyRef<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}#{}", self.entity, self.attribute)
     }
@@ -283,7 +350,7 @@ impl StateDelta {
         mut deletes: Vec<StateKey>,
         watermark: Version,
     ) -> Self {
-        upserts.sort_by(|a, b| a.key().cmp(&b.key()));
+        upserts.sort_by(|a, b| a.key_ref().cmp(&b.key_ref()));
         deletes.sort();
         StateDelta {
             upserts,
@@ -295,7 +362,7 @@ impl StateDelta {
 
     /// A full-snapshot fallback (deterministically ordered by key).
     pub fn full_snapshot(mut rows: Vec<NetworkState>, watermark: Version) -> Self {
-        rows.sort_by(|a, b| a.key().cmp(&b.key()));
+        rows.sort_by(|a, b| a.key_ref().cmp(&b.key_ref()));
         StateDelta {
             upserts: rows,
             deletes: Vec::new(),

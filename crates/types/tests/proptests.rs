@@ -2,9 +2,10 @@
 //! trips, canonicalization, and time arithmetic hold for arbitrary inputs.
 
 use proptest::prelude::*;
+use statesman_types::intern::Interner;
 use statesman_types::{
     AppId, Attribute, EntityName, LinkName, LockPriority, LockRecord, NetworkState, Pool,
-    SimDuration, SimTime, Value,
+    SimDuration, SimTime, StateKey, Value, VarId,
 };
 
 /// Names that survive the wire format: non-empty, no separator bytes.
@@ -93,6 +94,59 @@ proptest! {
         prop_assert_eq!(t2.saturating_since(t), span);
         prop_assert_eq!(t.saturating_since(t2), SimDuration::ZERO);
         prop_assert!(t2 >= t);
+    }
+
+    #[test]
+    fn interner_round_trip_is_identity(
+        dc in name_strategy(),
+        dev in name_strategy(),
+        attr_idx in 0..Attribute::catalogue().len(),
+    ) {
+        let attr = Attribute::catalogue()[attr_idx];
+        let entity = EntityName::device(dc, dev);
+        let vid = VarId::of(&entity, attr);
+        // resolve ∘ intern is the identity on names…
+        let name = vid.resolve_entity();
+        prop_assert_eq!(&*name, &entity);
+        // …and intern ∘ resolve is the identity on ids.
+        prop_assert_eq!(VarId::of(&name, attr), vid);
+        prop_assert_eq!(vid.attribute(), attr);
+        prop_assert_eq!(vid.resolve_key(), StateKey::new(entity, attr));
+    }
+
+    #[test]
+    fn var_id_order_matches_state_key_order_after_canonical_interning(
+        names in proptest::collection::vec(name_strategy(), 1..16),
+        attrs in proptest::collection::vec(0..Attribute::catalogue().len(), 1..8),
+    ) {
+        // Ids follow interning order, so VarId order is only meaningful
+        // after a canonicalizing pass: intern entities in sorted order
+        // into a fresh table, and id order must then agree with the
+        // string StateKey order everywhere.
+        let mut names = names;
+        names.sort();
+        names.dedup();
+        let mut attrs = attrs;
+        attrs.sort();
+        attrs.dedup();
+        let table = Interner::new();
+        let entities: Vec<EntityName> = names
+            .iter()
+            .map(|n| EntityName::device("dc1", n.as_str()))
+            .collect();
+        let ids: Vec<_> = entities.iter().map(|e| table.intern(e)).collect();
+        let mut pairs: Vec<(StateKey, VarId)> = Vec::new();
+        for (e, id) in entities.iter().zip(&ids) {
+            for &ai in &attrs {
+                let attr = Attribute::catalogue()[ai];
+                pairs.push((StateKey::new(e.clone(), attr), VarId::new(*id, attr)));
+            }
+        }
+        let mut by_key = pairs.clone();
+        by_key.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut by_vid = pairs;
+        by_vid.sort_by(|a, b| a.1.cmp(&b.1));
+        prop_assert_eq!(by_key, by_vid);
     }
 
     #[test]

@@ -64,7 +64,7 @@ proptest! {
             clock.advance(SimDuration::from_secs(1));
             match kind {
                 // Upsert (possibly overwriting with a new value).
-                0 | 1 | 2 => {
+                0..=2 => {
                     storage.write(WriteRequest {
                         pool: Pool::Observed,
                         rows: vec![row(idx, val, clock.now())],
