@@ -1,0 +1,143 @@
+//! Multi-group round scaling over the sharded storage plane: full-scan
+//! coordinator rounds at a fixed total variable count, split across
+//! 1/2/4/8 datacenter partitions (= impact groups).
+//!
+//! The claim under test: with per-partition ring locks, the parallel
+//! checker threads, the updater's per-partition diff fan-out, and the
+//! proxy's concurrent sub-batch dispatch actually overlap — so the same
+//! total state costs less per round as groups are added. Under the old
+//! global storage mutex the threads serialized on every read and write,
+//! and added groups bought nothing.
+//!
+//! The state plane runs in snapshot mode (`delta_state_plane: false`):
+//! full pool rewrites + full re-reads every round maximize under-lock
+//! traffic, which is exactly the contention being measured. Invariants
+//! are off so the measurement isolates state-plane cost.
+//!
+//! ```text
+//! STATESMAN_BENCH_VARS=394000 STATESMAN_BENCH_GROUPS=1,2,4,8 \
+//!     cargo run --release -p statesman-bench --bin parallel_rounds
+//! ```
+//!
+//! Emits `BENCH_parallel_rounds.json` (groups → round latency) in the
+//! working directory, and a `csv,`-prefixed line per group.
+//!
+//! Alongside wall time, each group count reports `lock_wait_ms`: the
+//! cumulative time round threads spent blocked on partition ring locks
+//! (from `StorageService::lock_wait_stats`). Wall-clock speedup needs
+//! multiple cores; vanishing lock wait under concurrent round stages is
+//! the lock-sharding property itself, observable on any host.
+
+use statesman_core::{Coordinator, CoordinatorConfig};
+use statesman_net::{SimClock, SimConfig, SimNetwork};
+use statesman_storage::{ClusterConfig, StorageConfig, StorageService};
+use statesman_topology::{DcnSpec, DeploymentSpec};
+use statesman_types::{DatacenterId, SimDuration};
+
+const ROUNDS: usize = 3;
+
+fn main() {
+    let vars: usize = std::env::var("STATESMAN_BENCH_VARS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(394_000);
+    let groups: Vec<usize> = std::env::var("STATESMAN_BENCH_GROUPS")
+        .ok()
+        .unwrap_or_else(|| "1,2,4,8".to_string())
+        .split(',')
+        .filter_map(|g| g.trim().parse().ok())
+        .filter(|&g| g >= 1)
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut base_ms: Option<f64> = None;
+    for &g in &groups {
+        let (round_ms, lock_wait_ms) = measure(vars, g);
+        let speedup = base_ms.get_or_insert(round_ms).max(f64::MIN_POSITIVE) / round_ms;
+        println!("csv,parallel_rounds,{vars},{g},{round_ms:.1},{speedup:.2},{lock_wait_ms:.1}");
+        rows.push(vec![
+            g.to_string(),
+            format!("{round_ms:.1}"),
+            format!("{speedup:.2}x"),
+            format!("{lock_wait_ms:.1}"),
+        ]);
+        json_rows.push(format!(
+            "    {{ \"groups\": {g}, \"round_ms\": {round_ms:.1}, \"speedup\": {speedup:.2}, \
+             \"lock_wait_ms\": {lock_wait_ms:.1} }}"
+        ));
+    }
+    println!();
+    println!("parallel_rounds: {vars} total variables, full-scan plane, {ROUNDS}-round median");
+    print!(
+        "{}",
+        statesman_bench::report::table(&["groups", "round_ms", "speedup", "lock_wait_ms"], &rows)
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_rounds\",\n  \"vars\": {vars},\n  \"rounds\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_parallel_rounds.json", json).expect("write BENCH_parallel_rounds.json");
+}
+
+/// Median round latency (ms) and mean per-round partition-lock wait (ms)
+/// for `vars` total variables split across `g` equally sized datacenter
+/// partitions.
+fn measure(vars: usize, g: usize) -> (f64, f64) {
+    let clock = SimClock::new();
+    let dcns: Vec<DcnSpec> = (1..=g)
+        .map(|i| DcnSpec::sized_for_variables(format!("dc{i}"), vars / g))
+        .collect();
+    let dc_ids: Vec<DatacenterId> = dcns.iter().map(|d| DatacenterId::new(&d.name)).collect();
+    let graph = DeploymentSpec {
+        dcns,
+        wan: None,
+        br_core_mbps: 100_000.0,
+    }
+    .build();
+    let net = SimNetwork::new(&graph, clock.clone(), SimConfig::ideal());
+    let storage = StorageService::new(
+        dc_ids,
+        clock.clone(),
+        StorageConfig {
+            replicas_per_ring: 1,
+            ring: ClusterConfig {
+                replicas: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    // StorageService clones share state: the bench keeps a handle so it
+    // can read contention stats without going through the coordinator.
+    let storage_probe = storage.clone();
+    let coord = Coordinator::new(
+        &graph,
+        net,
+        storage,
+        CoordinatorConfig {
+            connectivity_invariant: false,
+            capacity_invariant: None,
+            wan_invariant: None,
+            delta_state_plane: false,
+            parallel_checkers: true,
+            monitor_instances: Some(g),
+            ..Default::default()
+        },
+    );
+    coord.tick().expect("seed round");
+    let wait_before = storage_probe.lock_wait_stats();
+    let mut samples: Vec<f64> = (0..ROUNDS)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            coord
+                .tick_and_advance(SimDuration::from_mins(1))
+                .expect("round");
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    let lock_wait_ms = (storage_probe.lock_wait_stats() - wait_before) as f64 / 1e3 / ROUNDS as f64;
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (samples[samples.len() / 2], lock_wait_ms)
+}

@@ -120,10 +120,13 @@ struct CoordObs {
     /// The process-wide resolution total at the end of the last recorded
     /// round.
     last_resolutions: std::sync::atomic::AtomicU64,
+    /// Cumulative storage partition-lock wait (µs) at the end of the last
+    /// recorded round, for the per-round delta in `/v1/status`.
+    last_lock_wait_us: std::sync::atomic::AtomicU64,
 }
 
 impl CoordObs {
-    fn new(obs: &Obs) -> Self {
+    fn new(obs: &Obs, storage: &StorageService) -> Self {
         let r = &obs.registry;
         CoordObs {
             rounds: r.counter("coordinator_rounds_total"),
@@ -151,6 +154,10 @@ impl CoordObs {
             interned_entities: r.gauge("interned_entities"),
             key_resolutions: r.counter("key_resolutions_total"),
             last_resolutions: std::sync::atomic::AtomicU64::new(statesman_types::key_resolutions()),
+            // Seed from the live counter, like `last_resolutions` above:
+            // obs attached after the service has already done work must
+            // not fold pre-attach lock wait into the first round's delta.
+            last_lock_wait_us: std::sync::atomic::AtomicU64::new(storage.lock_wait_stats()),
         }
     }
 }
@@ -356,7 +363,7 @@ impl Coordinator {
             net.attach_obs(&obs.registry);
         }
         let obs = config.obs.map(|o| {
-            let handles = CoordObs::new(&o);
+            let handles = CoordObs::new(&o, &storage);
             (o, handles)
         });
 
@@ -552,6 +559,9 @@ impl Coordinator {
         let prev = m.last_resolutions.swap(total, Ordering::Relaxed);
         let resolved_this_round = total.saturating_sub(prev);
         m.key_resolutions.add(resolved_this_round);
+        let lock_wait_total = self.storage.lock_wait_stats();
+        let prev_wait = m.last_lock_wait_us.swap(lock_wait_total, Ordering::Relaxed);
+        let lock_wait_this_round = lock_wait_total.saturating_sub(prev_wait);
 
         let quarantined: Vec<String> = self
             .monitor
@@ -606,6 +616,7 @@ impl Coordinator {
             last_round: Some(round),
             interned_entities: interned,
             key_resolutions_last_round: resolved_this_round,
+            storage_lock_wait_us_last_round: lock_wait_this_round,
         });
     }
 

@@ -30,7 +30,7 @@ use statesman_types::{
     AppId, Attribute, DatacenterId, DeviceName, EntityName, NetworkState, Pool, SimDuration,
     SimTime, StateResult, Value, VarId,
 };
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 /// Modeled per-entity poll cost (SNMP walk + parse), milliseconds.
@@ -305,12 +305,37 @@ impl Monitor {
         // string-key order, not id order (ids follow interning order).
         changed.sort_by(|a, b| a.key_ref().cmp(&b.key_ref()));
         let rows_written = changed.len();
-        // Chunk large rounds: one consensus commit per ~50K rows keeps
-        // per-message payloads bounded at DC scale (§8: 394K variables).
-        for chunk in changed.chunks(50_000) {
+        // Chunk large rounds: one consensus commit per ~50K rows *per
+        // partition* keeps per-message payloads bounded at DC scale (§8:
+        // 394K variables). Chunks are ranked within each partition and
+        // every write batch carries each partition's same-rank chunk, so
+        // the storage proxy's per-partition fan-out commits them
+        // concurrently — while each ring still sees its own rows in the
+        // exact order the serial loop fed them, keeping versions,
+        // watermarks, and the wire format byte-identical.
+        let mut by_part: BTreeMap<&DatacenterId, Vec<&NetworkState>> = BTreeMap::new();
+        for row in &changed {
+            by_part.entry(&row.entity.datacenter).or_default().push(row);
+        }
+        let max_chunks = by_part
+            .values()
+            .map(|rows| rows.len().div_ceil(50_000))
+            .max()
+            .unwrap_or(0);
+        for rank in 0..max_chunks {
+            let batch: Vec<NetworkState> = by_part
+                .values()
+                .flat_map(|rows| {
+                    rows.chunks(50_000)
+                        .nth(rank)
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(|&r| r.clone())
+                })
+                .collect();
             if let Err(e) = self.storage.write(WriteRequest {
                 pool: Pool::Observed,
-                rows: chunk.to_vec(),
+                rows: batch,
             }) {
                 // The diff base may no longer match storage; rewrite
                 // everything next round.

@@ -335,7 +335,6 @@ pub struct Updater {
     /// cooldown); `None` disables breakers entirely.
     breaker: Option<(u32, SimDuration)>,
     breakers: Mutex<HashMap<DeviceName, BreakerState>>,
-    jitter_rng: Mutex<StdRng>,
     /// Read pools incrementally via `read_since` (default). This is a
     /// *read-path optimization only*: the mirror is a verbatim copy of
     /// storage, advanced by the changefeed, and the updater still rediffs
@@ -361,6 +360,31 @@ pub struct Updater {
 struct CachedPart {
     view: crate::view::MapView,
     watermark: Version,
+}
+
+/// One storage partition's share of a round's diff work: its non-routing
+/// TS rows (in global key order) and its routing-device diffs (in device
+/// name order), both carrying entities homed in that partition.
+#[derive(Default)]
+struct PartitionWork<'a> {
+    ts: Vec<&'a NetworkState>,
+    routing: Vec<(DeviceName, Option<Vec<FlowLinkRule>>, EntityName)>,
+}
+
+/// One differing variable found by the parallel diff stage, queued for
+/// the round's serial execute stage (scope filtering, breaker checks,
+/// template rendering, and device interaction all happen there, on one
+/// thread, in deterministic partition order).
+enum PendingDiff<'a> {
+    /// A non-routing TS row whose OS value differs.
+    Row(&'a NetworkState),
+    /// A device whose normalized desired routing rule-set (device-level
+    /// TS rules ∪ path-derived rules) differs from its OS rule-set.
+    Routing {
+        dev: &'a DeviceName,
+        entity: &'a EntityName,
+        desired: Vec<FlowLinkRule>,
+    },
 }
 
 /// Per-device circuit-breaker bookkeeping. This is deliberately *not*
@@ -419,7 +443,6 @@ impl Updater {
             retry: RetryPolicy::none(),
             breaker: None,
             breakers: Mutex::new(HashMap::new()),
-            jitter_rng: Mutex::new(StdRng::seed_from_u64(0xC1AC)),
             delta_reads: true,
             part_cache: Mutex::new(HashMap::new()),
             quiescent: Mutex::new(None),
@@ -516,35 +539,81 @@ impl Updater {
     /// mirror entries are dropped, since the partition may move on while
     /// unobserved. With `use_delta`, available partitions are served by
     /// the mirrored view advanced via `read_since`; otherwise they are
-    /// re-read in full and the mirror invalidated.
+    /// re-read in full and the mirror invalidated. Multi-partition
+    /// services read every partition **concurrently** — each read only
+    /// touches its own partition's ring, so there is nothing to serialize
+    /// on; rows merge in sorted-partition order, same as the serial path.
     fn read_all(&self, pool: Pool, use_delta: bool) -> StateResult<Vec<NetworkState>> {
+        let dcs = self.storage.partitions();
+        if dcs.len() <= 1 {
+            let mut rows = Vec::new();
+            for dc in dcs {
+                rows.extend(self.read_partition(&pool, dc, use_delta)?);
+            }
+            return Ok(rows);
+        }
+        let results: Vec<StateResult<Vec<NetworkState>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = dcs
+                .into_iter()
+                .map(|dc| {
+                    let pool = pool.clone();
+                    scope.spawn(move || self.read_partition(&pool, dc, use_delta))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("updater read thread panicked"))
+                .collect()
+        });
         let mut rows = Vec::new();
-        for dc in self.storage.partitions() {
-            let key = (pool.clone(), dc.clone());
-            if !self.storage.partition_available(&dc) {
-                self.part_cache.lock().remove(&key);
-                continue;
-            }
-            if use_delta {
-                let mut cache = self.part_cache.lock();
-                let since = cache.get(&key).map(|e| e.watermark).unwrap_or_default();
-                let delta = self.storage.read_since(&dc, &pool, since)?;
-                let entry = cache.entry(key).or_default();
-                entry.watermark = delta.watermark;
-                entry.view.apply_delta(delta);
-                rows.extend(entry.view.rows().cloned());
-            } else {
-                self.part_cache.lock().remove(&key);
-                rows.extend(self.storage.read(ReadRequest {
-                    datacenter: dc,
-                    pool: pool.clone(),
-                    freshness: Freshness::UpToDate,
-                    entity: None,
-                    attribute: None,
-                })?);
-            }
+        for r in results {
+            rows.extend(r?);
         }
         Ok(rows)
+    }
+
+    /// One partition's share of `read_all`. The mirror entry moves out of
+    /// the shared map while in use, so concurrent partition readers never
+    /// hold the map lock across a storage call.
+    fn read_partition(
+        &self,
+        pool: &Pool,
+        dc: DatacenterId,
+        use_delta: bool,
+    ) -> StateResult<Vec<NetworkState>> {
+        let key = (pool.clone(), dc.clone());
+        if !self.storage.partition_available(&dc) {
+            self.part_cache.lock().remove(&key);
+            return Ok(Vec::new());
+        }
+        if use_delta {
+            let mut entry = self.part_cache.lock().remove(&key).unwrap_or_default();
+            match self.storage.read_since(&dc, pool, entry.watermark) {
+                Ok(delta) => {
+                    entry.watermark = delta.watermark;
+                    entry.view.apply_delta(delta);
+                    let rows: Vec<NetworkState> = entry.view.rows().cloned().collect();
+                    self.part_cache.lock().insert(key, entry);
+                    Ok(rows)
+                }
+                Err(e) => {
+                    // Put the mirror back untouched: its watermark still
+                    // matches its contents, so the next round resumes
+                    // cleanly from where this one left off.
+                    self.part_cache.lock().insert(key, entry);
+                    Err(e)
+                }
+            }
+        } else {
+            self.part_cache.lock().remove(&key);
+            self.storage.read(ReadRequest {
+                datacenter: dc,
+                pool: pool.clone(),
+                freshness: Freshness::UpToDate,
+                entity: None,
+                attribute: None,
+            })
+        }
     }
 
     /// Run one update round.
@@ -634,11 +703,25 @@ impl Updater {
             }
         }
 
-        // ---- per-variable diff ----
+        // ---- per-variable diff, grouped by storage partition ----
+        // Each entity belongs to exactly one datacenter partition, and so
+        // does the device carrying its commands — the same impact-group
+        // boundary the checker's parallel stage cuts on. The round runs
+        // in two stages: a *pure* diff stage fans out one thread per
+        // partition with work (value comparisons against the frozen OS
+        // and TS snapshots — never the simulated network), then a single
+        // serial stage executes every pending diff against the network
+        // in sorted-partition order. Keeping all network interaction on
+        // one thread is what preserves determinism: the sim's one seeded
+        // RNG (command jitter, link flaps, counter walks), its effect
+        // sequence numbers, and the shared clock are consumed in an
+        // order that is a pure function of the inputs, never of thread
+        // scheduling — and retry backoffs can never race the clock.
         let mut routing_devices: BTreeMap<DeviceName, Option<Vec<FlowLinkRule>>> = BTreeMap::new();
         // Borrow-sort by string-key order: no row clones, no key clones.
         let mut sorted_ts: Vec<&NetworkState> = ts_rows.iter().collect();
         sorted_ts.sort_by(|a, b| a.key_ref().cmp(&b.key_ref()));
+        let mut work: BTreeMap<DatacenterId, PartitionWork<'_>> = BTreeMap::new();
         for &row in &sorted_ts {
             if row.attribute.is_lock() || row.entity.as_path().is_some() {
                 continue; // locks are metadata; paths handled via expansion
@@ -650,19 +733,10 @@ impl Updater {
                 }
                 continue;
             }
-            let current = os.value_of(&row.entity, row.attribute);
-            if current == Some(&row.value) {
-                continue;
-            }
-            // Scoped instances skip work outside their partition
-            // (another specialized instance owns it).
-            if let Some(dev) = self.carrier_device(row) {
-                if !self.in_scope(&dev, row.attribute) {
-                    continue;
-                }
-            }
-            report.diffs += 1;
-            self.execute_for_row(row, skip, &mut report, &mut per_device_ms, now);
+            work.entry(row.entity.datacenter.clone())
+                .or_default()
+                .ts
+                .push(row);
         }
 
         // Devices with path-derived routes but no device-level TS row.
@@ -685,14 +759,7 @@ impl Updater {
                 }
             }
         }
-
-        // ---- routing diffs (device rules ∪ path rules) ----
         for (dev, device_rules) in routing_devices {
-            let mut desired: Vec<FlowLinkRule> = device_rules.unwrap_or_default();
-            if let Some(extra) = desired_routes.get(&dev) {
-                desired.extend(extra.iter().cloned());
-            }
-            normalize_rules(&mut desired);
             let entity = match self.graph.node_id(&dev) {
                 Some(id) => {
                     let info = self.graph.node(id);
@@ -700,26 +767,84 @@ impl Updater {
                 }
                 None => continue,
             };
-            let mut current = os
-                .value_of(&entity, Attribute::DeviceRoutingRules)
-                .and_then(|v| v.as_routes().map(|r| r.to_vec()))
-                .unwrap_or_default();
-            normalize_rules(&mut current);
-            if current == desired {
-                continue;
+            work.entry(entity.datacenter.clone())
+                .or_default()
+                .routing
+                .push((dev, device_rules, entity));
+        }
+
+        let parts: Vec<PartitionWork<'_>> = work.into_values().collect();
+        let pending: Vec<Vec<PendingDiff<'_>>> = if parts.len() <= 1 {
+            parts
+                .iter()
+                .map(|w| self.collect_partition_diffs(w, &os, &desired_routes))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .iter()
+                    .map(|w| scope.spawn(|| self.collect_partition_diffs(w, &os, &desired_routes)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("updater diff thread panicked"))
+                    .collect()
+            })
+        };
+
+        // Serial execute stage. One jitter RNG for the whole round, the
+        // historical `0xC1AC` stream: backoff draws happen in the same
+        // deterministic order as the diffs they serve.
+        let mut rng = StdRng::seed_from_u64(0xC1AC);
+        for diffs in pending {
+            for diff in diffs {
+                match diff {
+                    PendingDiff::Row(row) => {
+                        // Scoped instances skip work outside their
+                        // partition (another specialized instance owns
+                        // it).
+                        if let Some(dev) = self.carrier_device(row) {
+                            if !self.in_scope(&dev, row.attribute) {
+                                continue;
+                            }
+                        }
+                        report.diffs += 1;
+                        self.execute_for_row(
+                            row,
+                            skip,
+                            &mut report,
+                            &mut per_device_ms,
+                            now,
+                            &mut rng,
+                        );
+                    }
+                    PendingDiff::Routing {
+                        dev,
+                        entity,
+                        desired,
+                    } => {
+                        if !self.in_scope(dev, Attribute::DeviceRoutingRules) {
+                            continue;
+                        }
+                        report.diffs += 1;
+                        let row = NetworkState::new(
+                            entity.clone(),
+                            Attribute::DeviceRoutingRules,
+                            Value::Routes(desired),
+                            now,
+                            statesman_types::AppId::updater(),
+                        );
+                        self.execute_for_row(
+                            &row,
+                            skip,
+                            &mut report,
+                            &mut per_device_ms,
+                            now,
+                            &mut rng,
+                        );
+                    }
+                }
             }
-            if !self.in_scope(&dev, Attribute::DeviceRoutingRules) {
-                continue;
-            }
-            report.diffs += 1;
-            let row = NetworkState::new(
-                entity,
-                Attribute::DeviceRoutingRules,
-                Value::Routes(desired),
-                now,
-                statesman_types::AppId::updater(),
-            );
-            self.execute_for_row(&row, skip, &mut report, &mut per_device_ms, now);
         }
 
         report.sim_io =
@@ -799,6 +924,53 @@ impl Updater {
         }
     }
 
+    /// One partition's share of the diff stage: compare its TS rows
+    /// (global key order) and routing rule-sets (device-name order)
+    /// against the OS, emitting the differing variables in that same
+    /// order. **Pure with respect to the simulated network** — this runs
+    /// one thread per partition, so it must never touch `self.net`: no
+    /// command execution, no clock stepping, no sim RNG draws, no
+    /// breaker state. Everything it reads (`os`, the partition's work
+    /// list, `desired_routes`) is frozen for the round, so its output is
+    /// a pure function of the inputs, independent of thread scheduling;
+    /// all device interaction happens afterwards on the round's single
+    /// execute thread.
+    fn collect_partition_diffs<'a>(
+        &self,
+        work: &'a PartitionWork<'a>,
+        os: &crate::view::MapView,
+        desired_routes: &BTreeMap<DeviceName, Vec<FlowLinkRule>>,
+    ) -> Vec<PendingDiff<'a>> {
+        let mut pending = Vec::new();
+        for &row in &work.ts {
+            if os.value_of(&row.entity, row.attribute) != Some(&row.value) {
+                pending.push(PendingDiff::Row(row));
+            }
+        }
+
+        // ---- routing diffs (device rules ∪ path rules) ----
+        for (dev, device_rules, entity) in &work.routing {
+            let mut desired: Vec<FlowLinkRule> = device_rules.clone().unwrap_or_default();
+            if let Some(extra) = desired_routes.get(dev) {
+                desired.extend(extra.iter().cloned());
+            }
+            normalize_rules(&mut desired);
+            let mut current = os
+                .value_of(entity, Attribute::DeviceRoutingRules)
+                .and_then(|v| v.as_routes().map(|r| r.to_vec()))
+                .unwrap_or_default();
+            normalize_rules(&mut current);
+            if current != desired {
+                pending.push(PendingDiff::Routing {
+                    dev,
+                    entity,
+                    desired,
+                });
+            }
+        }
+        pending
+    }
+
     /// Render and execute the command(s) realizing one differing row.
     fn execute_for_row(
         &self,
@@ -807,6 +979,7 @@ impl Updater {
         report: &mut UpdaterReport,
         per_device_ms: &mut HashMap<DeviceName, u64>,
         now: statesman_types::SimTime,
+        rng: &mut StdRng,
     ) {
         let Some(device) = self.carrier_device(row) else {
             report.unrenderable += 1;
@@ -842,7 +1015,7 @@ impl Updater {
             }
         };
         for action in actions {
-            self.execute_action(&action, report, per_device_ms, now);
+            self.execute_action(&action, report, per_device_ms, now, rng);
         }
     }
 
@@ -856,6 +1029,7 @@ impl Updater {
         report: &mut UpdaterReport,
         per_device_ms: &mut HashMap<DeviceName, u64>,
         now: statesman_types::SimTime,
+        rng: &mut StdRng,
     ) {
         let mut attempt = 0u32;
         loop {
@@ -884,7 +1058,7 @@ impl Updater {
                     };
                     if retryable && self.retry.should_retry(attempt) {
                         report.retries += 1;
-                        let roll: f64 = self.jitter_rng.lock().gen();
+                        let roll: f64 = rng.gen();
                         self.net.step(self.retry.backoff_after(attempt, roll));
                         continue;
                     }

@@ -50,6 +50,12 @@ pub struct StatusBoard {
     /// resolution creeping into a hot loop.
     #[serde(default)]
     pub key_resolutions_last_round: u64,
+    /// Microseconds spent waiting for storage partition locks during the
+    /// last round, summed across partitions. Near-zero when the sharded
+    /// lock plan holds (each thread owns its partition); growth flags
+    /// cross-partition contention sneaking back in.
+    #[serde(default)]
+    pub storage_lock_wait_us_last_round: u64,
 }
 
 /// The shared observability handle: one registry, one trace ring, one

@@ -10,20 +10,29 @@
 //! * `BoundedStale` — served from a per-partition cache refreshed from a
 //!   follower replica no more often than the staleness bound (5 minutes in
 //!   the paper), trading freshness for read throughput.
+//!
+//! Locking is sharded to match the paper's partitioning: each partition
+//! owns its own ring mutex and bookkeeping, so operations against
+//! different datacenters never contend (§6.1: partitions are independent
+//! consensus groups). The partition map itself is immutable after
+//! construction, so routing, health checks, and counter reads take no
+//! lock at all.
 
 use crate::cluster::{ClusterConfig, PaxosCluster};
 use crate::machine::LogCommand;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use statesman_obs::{Counter, Gauge, Registry};
+use statesman_obs::{Counter, Gauge, Histogram, Registry};
 use statesman_types::{
     AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, RetryPolicy,
     SimDuration, SimTime, StateDelta, StateError, StateKey, StateResult, VarId, Version,
     WriteReceipt,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Service construction knobs.
 #[derive(Debug, Clone)]
@@ -90,6 +99,13 @@ struct CacheEntry {
     rows: Arc<Vec<NetworkState>>,
 }
 
+/// µs buckets for the per-partition ring-lock wait histogram. An
+/// uncontended `parking_lot` acquisition lands in the first bucket; the
+/// tail buckets only fill when callers pile onto one partition.
+const LOCK_WAIT_BUCKETS_US: &[f64] = &[
+    1.0, 10.0, 50.0, 250.0, 1_000.0, 5_000.0, 25_000.0, 100_000.0,
+];
+
 /// Cached metric handles for the storage service (created once at
 /// [`StorageService::attach_obs`]; increments are lock-free).
 #[derive(Clone)]
@@ -110,10 +126,29 @@ struct StorageObs {
     full_fallbacks: Counter,
     writes_suppressed: Counter,
     cache_delta_refreshes: Counter,
+    /// Per-partition contention series, labeled
+    /// `storage_lock_wait_us{partition="..."}` /
+    /// `storage_partition_inflight{partition="..."}`.
+    lock_wait: HashMap<DatacenterId, Histogram>,
+    partition_inflight: HashMap<DatacenterId, Gauge>,
 }
 
 impl StorageObs {
-    fn new(registry: &Registry) -> Self {
+    fn new(registry: &Registry, partitions: &[DatacenterId]) -> Self {
+        let mut lock_wait = HashMap::new();
+        let mut partition_inflight = HashMap::new();
+        for dc in partitions {
+            let name = dc.to_string();
+            let labels = [("partition", name.as_str())];
+            lock_wait.insert(
+                dc.clone(),
+                registry.histogram_with("storage_lock_wait_us", &labels, LOCK_WAIT_BUCKETS_US),
+            );
+            partition_inflight.insert(
+                dc.clone(),
+                registry.gauge_with("storage_partition_inflight", &labels),
+            );
+        }
         StorageObs {
             writes: registry.counter("storage_writes_total"),
             rows_written: registry.counter("storage_rows_written_total"),
@@ -131,38 +166,69 @@ impl StorageObs {
             full_fallbacks: registry.counter("storage_full_fallbacks_total"),
             writes_suppressed: registry.counter("storage_writes_suppressed_total"),
             cache_delta_refreshes: registry.counter("storage_cache_delta_refreshes_total"),
+            lock_wait,
+            partition_inflight,
         }
     }
 }
 
-struct Inner {
-    partitions: HashMap<DatacenterId, PaxosCluster>,
-    config: StorageConfig,
-    /// Monotone counter of reads served by a leader.
-    leader_reads: u64,
-    /// Partitions taken wholesale offline by fault injection: operations
-    /// against them fail fast with a retryable
-    /// [`StateError::StorageUnavailable`] instead of grinding through
-    /// consensus timeouts.
-    offline: HashSet<DatacenterId>,
-    /// Jitter source for retry backoff (seeded; deterministic per run).
-    rng: StdRng,
-    /// Retries performed across all operations (observability).
-    retries: u64,
-    /// Operations that exhausted their retry budget.
-    retries_exhausted: u64,
+/// One storage partition: a consensus ring plus everything the proxy
+/// tracks about it. Each partition has its own mutex, so operations
+/// against different datacenters run concurrently end to end; the
+/// counters are atomics so stats reads never touch the ring lock; the
+/// offline flag is an atomic so `check_online` is lock-free.
+struct Partition {
+    ring: Mutex<PaxosCluster>,
+    /// Jitter source for this partition's retry backoff, seeded from the
+    /// partition's own ring seed (`config.seed + idx`) so retry schedules
+    /// stay deterministic per partition no matter how concurrent
+    /// operations interleave across partitions.
+    rng: Mutex<StdRng>,
+    /// Fault-injected offline (degraded-mode / chaos scenarios).
+    offline: AtomicBool,
+    /// Reads served by this partition's leader.
+    leader_reads: AtomicU64,
+    /// Retries performed against this partition.
+    retries: AtomicU64,
+    /// Operations that exhausted their retry budget here.
+    retries_exhausted: AtomicU64,
     /// `read_since` requests served incrementally from the change index.
-    delta_reads: u64,
+    delta_reads: AtomicU64,
     /// `read_since` requests that fell back to a full snapshot.
-    full_fallbacks: u64,
+    full_fallbacks: AtomicU64,
     /// Value-identical rows suppressed at apply time (leader tally).
-    writes_suppressed: u64,
+    writes_suppressed: AtomicU64,
+    /// Cumulative wall-clock µs spent waiting to acquire the ring lock
+    /// (contention observability; zero when partitions never collide).
+    lock_wait_us: AtomicU64,
+    /// Operations currently holding or waiting for the ring lock.
+    inflight: AtomicU64,
 }
 
-impl Inner {
-    /// Fail fast if `dc` is fault-injected offline.
+impl Partition {
+    fn new(rc: ClusterConfig) -> Self {
+        // Same derivation the old global jitter source used, applied to
+        // the per-partition ring seed instead of the service seed.
+        let rng_seed = rc.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+        Partition {
+            ring: Mutex::new(PaxosCluster::new(rc)),
+            rng: Mutex::new(StdRng::seed_from_u64(rng_seed)),
+            offline: AtomicBool::new(false),
+            leader_reads: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            retries_exhausted: AtomicU64::new(0),
+            delta_reads: AtomicU64::new(0),
+            full_fallbacks: AtomicU64::new(0),
+            writes_suppressed: AtomicU64::new(0),
+            lock_wait_us: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+        }
+    }
+
+    /// Fail fast if this partition is fault-injected offline. Lock-free:
+    /// health checks never wait behind in-flight commits.
     fn check_online(&self, dc: &DatacenterId) -> StateResult<()> {
-        if self.offline.contains(dc) {
+        if self.offline.load(Ordering::Relaxed) {
             Err(StateError::StorageUnavailable {
                 partition: dc.to_string(),
                 reason: "partition offline".into(),
@@ -173,20 +239,57 @@ impl Inner {
     }
 }
 
+/// A held partition ring lock that keeps the inflight gauge honest: the
+/// gauge counts from lock request to release, so it shows pile-ups while
+/// they happen rather than after.
+struct RingGuard<'a> {
+    guard: parking_lot::MutexGuard<'a, PaxosCluster>,
+    part: &'a Partition,
+    gauge: Option<Gauge>,
+}
+
+impl Drop for RingGuard<'_> {
+    fn drop(&mut self) {
+        self.part.inflight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(g) = &self.gauge {
+            g.add(-1);
+        }
+    }
+}
+
+impl std::ops::Deref for RingGuard<'_> {
+    type Target = PaxosCluster;
+    fn deref(&self) -> &PaxosCluster {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for RingGuard<'_> {
+    fn deref_mut(&mut self) -> &mut PaxosCluster {
+        &mut self.guard
+    }
+}
+
 /// The partitioned, proxied storage service. Cheap to clone; all clones
 /// share state.
 #[derive(Clone)]
 pub struct StorageService {
-    inner: Arc<Mutex<Inner>>,
+    /// The partition map, immutable after construction: lookups, routing,
+    /// and health checks are lock-free reads of an `Arc`.
+    parts: Arc<HashMap<DatacenterId, Partition>>,
+    /// Partition names in sorted order (the deterministic iteration order
+    /// every multi-partition operation uses).
+    names: Arc<Vec<DatacenterId>>,
+    config: Arc<StorageConfig>,
     /// Bounded-stale read cache, deliberately *outside* the partition
-    /// lock: cache hits are concurrent reads that never contend with
+    /// locks: cache hits are concurrent reads that never contend with
     /// writes or leader reads — the architectural point of §6.4 (cache
     /// replicas scale out; leaders do not).
     cache: Arc<parking_lot::RwLock<HashMap<(DatacenterId, Pool), CacheEntry>>>,
-    cache_hits: Arc<std::sync::atomic::AtomicU64>,
+    cache_hits: Arc<AtomicU64>,
     clock: statesman_net::SimClock,
     /// Metric handles, attached at most once via
-    /// [`StorageService::attach_obs`]. Outside the partition lock so the
+    /// [`StorageService::attach_obs`]. Outside the partition locks so the
     /// bounded-stale cache-hit path can record without contending.
     obs: Arc<std::sync::OnceLock<StorageObs>>,
 }
@@ -199,38 +302,29 @@ impl StorageService {
         clock: statesman_net::SimClock,
         config: StorageConfig,
     ) -> Self {
-        let mut partitions = HashMap::new();
+        let mut parts = HashMap::new();
         let mut idx = 0u64;
         for dc in datacenters {
             let mut rc = config.ring.clone();
             rc.replicas = config.replicas_per_ring;
             rc.seed = config.seed.wrapping_add(idx);
             idx += 1;
-            partitions.insert(dc, PaxosCluster::new(rc));
+            parts.insert(dc, Partition::new(rc));
         }
-        let wan = DatacenterId::wan();
-        partitions.entry(wan).or_insert_with(|| {
+        if let std::collections::hash_map::Entry::Vacant(e) = parts.entry(DatacenterId::wan()) {
             let mut rc = config.ring.clone();
             rc.replicas = config.replicas_per_ring;
             rc.seed = config.seed.wrapping_add(idx);
-            PaxosCluster::new(rc)
-        });
-        let rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+            e.insert(Partition::new(rc));
+        }
+        let mut names: Vec<DatacenterId> = parts.keys().cloned().collect();
+        names.sort();
         StorageService {
-            inner: Arc::new(Mutex::new(Inner {
-                partitions,
-                config,
-                leader_reads: 0,
-                offline: HashSet::new(),
-                rng,
-                retries: 0,
-                retries_exhausted: 0,
-                delta_reads: 0,
-                full_fallbacks: 0,
-                writes_suppressed: 0,
-            })),
+            parts: Arc::new(parts),
+            names: Arc::new(names),
+            config: Arc::new(config),
             cache: Arc::new(parking_lot::RwLock::new(HashMap::new())),
-            cache_hits: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            cache_hits: Arc::new(AtomicU64::new(0)),
             clock,
             obs: Arc::new(std::sync::OnceLock::new()),
         }
@@ -240,7 +334,7 @@ impl StorageService {
     /// every clone of this service; a second attach is a no-op (the
     /// registry is process-wide plumbing, not per-call state).
     pub fn attach_obs(&self, registry: &Registry) {
-        let _ = self.obs.set(StorageObs::new(registry));
+        let _ = self.obs.set(StorageObs::new(registry, &self.names));
     }
 
     fn obs(&self) -> Option<&StorageObs> {
@@ -257,19 +351,48 @@ impl StorageService {
         StorageService::new([dc.into()], clock, StorageConfig::default())
     }
 
-    /// The partition (datacenter) names, sorted.
+    /// The partition owning `dc`, or the typed unavailable error.
+    fn part(&self, dc: &DatacenterId) -> StateResult<&Partition> {
+        self.parts
+            .get(dc)
+            .ok_or_else(|| StateError::StorageUnavailable {
+                partition: dc.to_string(),
+                reason: "unknown partition".into(),
+            })
+    }
+
+    /// Acquire one partition's ring lock, recording how long the
+    /// acquisition waited (contention observability) and keeping the
+    /// inflight gauge up while the guard lives.
+    fn lock_ring<'a>(&'a self, dc: &DatacenterId, part: &'a Partition) -> RingGuard<'a> {
+        part.inflight.fetch_add(1, Ordering::Relaxed);
+        let gauge = self
+            .obs()
+            .and_then(|o| o.partition_inflight.get(dc))
+            .cloned();
+        if let Some(g) = &gauge {
+            g.add(1);
+        }
+        let started = Instant::now();
+        let guard = part.ring.lock();
+        let waited = started.elapsed().as_micros() as u64;
+        part.lock_wait_us.fetch_add(waited, Ordering::Relaxed);
+        if let Some(h) = self.obs().and_then(|o| o.lock_wait.get(dc)) {
+            h.observe(waited as f64);
+        }
+        RingGuard { guard, part, gauge }
+    }
+
+    /// The partition (datacenter) names, sorted. Lock-free: the partition
+    /// set is fixed at construction.
     pub fn partitions(&self) -> Vec<DatacenterId> {
-        let inner = self.inner.lock();
-        let mut v: Vec<DatacenterId> = inner.partitions.keys().cloned().collect();
-        v.sort();
-        v
+        self.names.as_ref().clone()
     }
 
     /// Proxy routing: the partition owning an entity (its home DC).
-    /// Errors if no ring exists for that DC.
+    /// Errors if no ring exists for that DC. Lock-free.
     pub fn route(&self, entity: &EntityName) -> StateResult<DatacenterId> {
-        let inner = self.inner.lock();
-        if inner.partitions.contains_key(&entity.datacenter) {
+        if self.parts.contains_key(&entity.datacenter) {
             Ok(entity.datacenter.clone())
         } else {
             Err(StateError::UnroutableEntity {
@@ -278,8 +401,22 @@ impl StorageService {
         }
     }
 
-    /// Write rows (the proxy splits the batch by partition; each partition
-    /// gets one consensus commit).
+    /// Write rows. The proxy splits the batch by partition; each partition
+    /// gets one consensus commit, and when the batch spans partitions the
+    /// sub-batches commit **concurrently** — partitions share no state
+    /// (§6.1), so there is nothing to serialize on.
+    ///
+    /// A multi-partition batch is **not a transaction**: each sub-batch
+    /// is an independent single-partition commit, so when one partition
+    /// fails (offline, no quorum) every healthy partition's sub-batch
+    /// still lands. On error the result covers *all* failures — the
+    /// partition's own typed error when exactly one failed, or an
+    /// aggregate [`StateError::StorageUnavailable`] naming every failed
+    /// partition. (The pre-shard proxy committed sequentially in sorted
+    /// partition order and stopped at the first failure; callers must
+    /// not infer a committed sorted prefix from an error.) Malformed or
+    /// unroutable rows are still rejected up front, before *any*
+    /// partition commits.
     pub fn write(&self, req: WriteRequest) -> StateResult<()> {
         if let Some(o) = self.obs() {
             o.writes.inc();
@@ -295,40 +432,70 @@ impl StorageService {
                 .or_default()
                 .push(row);
         }
-        let mut inner = self.inner.lock();
-        // Deterministic partition order.
+        // Deterministic partition order, and routability validated up
+        // front so a bad row cannot land part of the batch.
         let mut dcs: Vec<DatacenterId> = by_dc.keys().cloned().collect();
         dcs.sort();
-        for dc in dcs {
-            let rows = by_dc.remove(&dc).expect("key exists");
-            if !inner.partitions.contains_key(&dc) {
+        for dc in &dcs {
+            if !self.parts.contains_key(dc) {
                 return Err(StateError::UnroutableEntity {
-                    entity: rows[0].entity.clone(),
+                    entity: by_dc[dc][0].entity.clone(),
                 });
             }
-            let before = leader_suppressed(&mut inner, &dc);
-            submit_with_retry(
-                &mut inner,
-                &self.clock,
-                &dc,
-                LogCommand::WriteBatch {
-                    pool: req.pool.clone(),
-                    rows,
-                },
-                self.obs(),
-            )?;
-            let suppressed = leader_suppressed(&mut inner, &dc).saturating_sub(before);
-            if suppressed > 0 {
-                inner.writes_suppressed += suppressed;
-                if let Some(o) = self.obs() {
-                    o.writes_suppressed.add(suppressed);
-                }
+        }
+        let pool = req.pool;
+        if dcs.len() <= 1 {
+            if let Some(dc) = dcs.first() {
+                let rows = by_dc.remove(dc).expect("key exists");
+                self.write_partition(dc, pool, rows)?;
+            }
+            return Ok(());
+        }
+        let results: Vec<StateResult<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = dcs
+                .iter()
+                .map(|dc| {
+                    let rows = by_dc.remove(dc).expect("key exists");
+                    let pool = pool.clone();
+                    scope.spawn(move || self.write_partition(dc, pool, rows))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition write thread panicked"))
+                .collect()
+        });
+        partition_results(&dcs, results)
+    }
+
+    /// One partition's share of a write: a single consensus commit under
+    /// that partition's lock only.
+    fn write_partition(
+        &self,
+        dc: &DatacenterId,
+        pool: Pool,
+        rows: Vec<NetworkState>,
+    ) -> StateResult<()> {
+        let part = self.parts.get(dc).expect("routability validated");
+        let mut ring = self.lock_ring(dc, part);
+        let before = leader_suppressed(&mut ring);
+        self.submit_with_retry(part, &mut ring, dc, LogCommand::WriteBatch { pool, rows })?;
+        let suppressed = leader_suppressed(&mut ring).saturating_sub(before);
+        if suppressed > 0 {
+            part.writes_suppressed
+                .fetch_add(suppressed, Ordering::Relaxed);
+            if let Some(o) = self.obs() {
+                o.writes_suppressed.add(suppressed);
             }
         }
         Ok(())
     }
 
-    /// Delete keys from a pool (split by partition like writes).
+    /// Delete keys from a pool (split by partition like writes, with the
+    /// same concurrent multi-partition dispatch and the same
+    /// independent-sub-batch failure semantics: healthy partitions
+    /// commit even when others fail, and the error aggregates every
+    /// failed partition — see [`StorageService::write`]).
     pub fn delete(&self, pool: Pool, keys: Vec<StateKey>) -> StateResult<()> {
         if let Some(o) = self.obs() {
             o.deletes.inc();
@@ -340,28 +507,48 @@ impl StorageService {
                 .or_default()
                 .push(k);
         }
-        let mut inner = self.inner.lock();
         let mut dcs: Vec<DatacenterId> = by_dc.keys().cloned().collect();
         dcs.sort();
-        for dc in dcs {
-            let keys = by_dc.remove(&dc).expect("key exists");
-            if !inner.partitions.contains_key(&dc) {
+        for dc in &dcs {
+            if !self.parts.contains_key(dc) {
                 return Err(StateError::UnroutableEntity {
-                    entity: keys[0].entity.clone(),
+                    entity: by_dc[dc][0].entity.clone(),
                 });
             }
-            submit_with_retry(
-                &mut inner,
-                &self.clock,
-                &dc,
-                LogCommand::DeleteBatch {
-                    pool: pool.clone(),
-                    keys,
-                },
-                self.obs(),
-            )?;
         }
-        Ok(())
+        if dcs.len() <= 1 {
+            if let Some(dc) = dcs.first() {
+                let keys = by_dc.remove(dc).expect("key exists");
+                self.delete_partition(dc, pool, keys)?;
+            }
+            return Ok(());
+        }
+        let results: Vec<StateResult<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = dcs
+                .iter()
+                .map(|dc| {
+                    let keys = by_dc.remove(dc).expect("key exists");
+                    let pool = pool.clone();
+                    scope.spawn(move || self.delete_partition(dc, pool, keys))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition delete thread panicked"))
+                .collect()
+        });
+        partition_results(&dcs, results)
+    }
+
+    fn delete_partition(
+        &self,
+        dc: &DatacenterId,
+        pool: Pool,
+        keys: Vec<StateKey>,
+    ) -> StateResult<()> {
+        let part = self.parts.get(dc).expect("routability validated");
+        let mut ring = self.lock_ring(dc, part);
+        self.submit_with_retry(part, &mut ring, dc, LogCommand::DeleteBatch { pool, keys })
     }
 
     /// Read rows per the request's freshness mode.
@@ -376,18 +563,13 @@ impl StorageService {
         };
         let rows: Arc<Vec<NetworkState>> = match req.freshness {
             Freshness::UpToDate => {
-                let mut inner = self.inner.lock();
-                inner.check_online(&req.datacenter)?;
-                inner.leader_reads += 1;
+                let part = self.part(&req.datacenter)?;
+                part.check_online(&req.datacenter)?;
+                part.leader_reads.fetch_add(1, Ordering::Relaxed);
                 if let Some(o) = self.obs() {
                     o.leader_reads.inc();
                 }
-                let ring = inner.partitions.get_mut(&req.datacenter).ok_or_else(|| {
-                    StateError::StorageUnavailable {
-                        partition: req.datacenter.to_string(),
-                        reason: "unknown partition".into(),
-                    }
-                })?;
+                let mut ring = self.lock_ring(&req.datacenter, part);
                 let machine = ring.leader_machine()?;
                 if req.entity.is_some() || req.attribute.is_some() {
                     // Filter before cloning: a single-entity read copies
@@ -401,7 +583,9 @@ impl StorageService {
             }
             Freshness::BoundedStale => {
                 let key = (req.datacenter.clone(), req.pool.clone());
-                let bound = { self.inner.lock().config.staleness_bound };
+                // The config is immutable and outside every lock: the
+                // staleness-bound peek costs nothing.
+                let bound = self.config.staleness_bound;
                 // Fast path: a shared read lock and an Arc clone — no
                 // partition contention, no row copies.
                 let hit = {
@@ -412,8 +596,7 @@ impl StorageService {
                 };
                 match hit {
                     Some(rows) => {
-                        self.cache_hits
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
                         if let Some(o) = self.obs() {
                             o.cache_hits.inc();
                         }
@@ -453,14 +636,9 @@ impl StorageService {
             Full(Vec<NetworkState>, Version),
         }
         let refresh = {
-            let mut inner = self.inner.lock();
-            inner.check_online(&req.datacenter)?;
-            let ring = inner.partitions.get_mut(&req.datacenter).ok_or_else(|| {
-                StateError::StorageUnavailable {
-                    partition: req.datacenter.to_string(),
-                    reason: "unknown partition".into(),
-                }
-            })?;
+            let part = self.part(&req.datacenter)?;
+            part.check_online(&req.datacenter)?;
+            let ring = self.lock_ring(&req.datacenter, part);
             // A follower replica: cheap, and possibly behind the leader —
             // both forms of staleness the 5-minute bound covers.
             let machine = ring.any_machine();
@@ -507,20 +685,21 @@ impl StorageService {
         Ok(rows)
     }
 
-    /// Read one row up-to-date (checker fast path).
+    /// Read one row up-to-date (checker fast path). Touches only the
+    /// owning partition's lock.
     pub fn read_row(&self, pool: &Pool, key: &StateKey) -> StateResult<Option<NetworkState>> {
-        let mut inner = self.inner.lock();
-        inner.check_online(&key.entity.datacenter)?;
-        inner.leader_reads += 1;
+        let part =
+            self.parts
+                .get(&key.entity.datacenter)
+                .ok_or_else(|| StateError::UnroutableEntity {
+                    entity: key.entity.clone(),
+                })?;
+        part.check_online(&key.entity.datacenter)?;
+        part.leader_reads.fetch_add(1, Ordering::Relaxed);
         if let Some(o) = self.obs() {
             o.leader_reads.inc();
         }
-        let ring = inner
-            .partitions
-            .get_mut(&key.entity.datacenter)
-            .ok_or_else(|| StateError::UnroutableEntity {
-                entity: key.entity.clone(),
-            })?;
+        let mut ring = self.lock_ring(&key.entity.datacenter, part);
         Ok(ring.leader_machine()?.get(pool, key).cloned())
     }
 
@@ -533,33 +712,16 @@ impl StorageService {
         if let Some(o) = self.obs() {
             o.receipts_posted.add(receipts.len() as u64);
         }
-        let mut inner = self.inner.lock();
-        if !inner.partitions.contains_key(dc) {
-            return Err(StateError::StorageUnavailable {
-                partition: dc.to_string(),
-                reason: "unknown partition".into(),
-            });
-        }
-        submit_with_retry(
-            &mut inner,
-            &self.clock,
-            dc,
-            LogCommand::PostReceipts { receipts },
-            self.obs(),
-        )
+        let part = self.part(dc)?;
+        let mut ring = self.lock_ring(dc, part);
+        self.submit_with_retry(part, &mut ring, dc, LogCommand::PostReceipts { receipts })
     }
 
     /// Drain the receipts queued for an application in one partition.
     pub fn take_receipts(&self, dc: &DatacenterId, app: &AppId) -> StateResult<Vec<WriteReceipt>> {
-        let mut inner = self.inner.lock();
-        inner.check_online(dc)?;
-        let ring = inner
-            .partitions
-            .get_mut(dc)
-            .ok_or_else(|| StateError::StorageUnavailable {
-                partition: dc.to_string(),
-                reason: "unknown partition".into(),
-            })?;
+        let part = self.part(dc)?;
+        part.check_online(dc)?;
+        let mut ring = self.lock_ring(dc, part);
         let receipts = ring.leader_machine_mut()?.take_receipts(app);
         if let Some(o) = self.obs() {
             o.receipts_taken.add(receipts.len() as u64);
@@ -569,11 +731,10 @@ impl StorageService {
 
     /// Total rows across all partitions and pools (scale reporting).
     pub fn total_rows(&self) -> usize {
-        let mut inner = self.inner.lock();
-        let dcs: Vec<DatacenterId> = inner.partitions.keys().cloned().collect();
         let mut total = 0;
-        for dc in dcs {
-            let ring = inner.partitions.get_mut(&dc).expect("key exists");
+        for dc in self.names.iter() {
+            let part = self.parts.get(dc).expect("name maps to partition");
+            let mut ring = self.lock_ring(dc, part);
             if let Ok(m) = ring.leader_machine() {
                 total += m.pool_len(&Pool::Observed) + m.pool_len(&Pool::Target);
             }
@@ -583,63 +744,96 @@ impl StorageService {
 
     /// Applications with a non-empty proposed state in one partition.
     pub fn proposing_apps(&self, dc: &DatacenterId) -> Vec<AppId> {
-        let mut inner = self.inner.lock();
-        match inner.partitions.get_mut(dc) {
-            Some(ring) => match ring.leader_machine() {
-                Ok(m) => m
-                    .pools()
-                    .into_iter()
-                    .filter_map(|p| match p {
-                        Pool::Proposed(app) => Some(app),
-                        _ => None,
-                    })
-                    .collect(),
-                Err(_) => Vec::new(),
-            },
+        match self.parts.get(dc) {
+            Some(part) => {
+                let mut ring = self.lock_ring(dc, part);
+                match ring.leader_machine() {
+                    Ok(m) => m
+                        .pools()
+                        .into_iter()
+                        .filter_map(|p| match p {
+                            Pool::Proposed(app) => Some(app),
+                            _ => None,
+                        })
+                        .collect(),
+                    Err(_) => Vec::new(),
+                }
+            }
             None => Vec::new(),
         }
     }
 
     /// Rows in one pool of one partition.
     pub fn pool_len(&self, dc: &DatacenterId, pool: &Pool) -> usize {
-        let mut inner = self.inner.lock();
-        match inner.partitions.get_mut(dc) {
-            Some(ring) => ring.leader_machine().map(|m| m.pool_len(pool)).unwrap_or(0),
+        match self.parts.get(dc) {
+            Some(part) => {
+                let mut ring = self.lock_ring(dc, part);
+                ring.leader_machine().map(|m| m.pool_len(pool)).unwrap_or(0)
+            }
             None => 0,
         }
     }
 
     /// (cache_hits, leader_reads) counters for the freshness bench.
+    /// Lock-free: both are atomics (leader reads aggregate per partition).
     pub fn read_stats(&self) -> (u64, u64) {
-        let hits = self.cache_hits.load(std::sync::atomic::Ordering::Relaxed);
-        let inner = self.inner.lock();
-        (hits, inner.leader_reads)
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let leader_reads = self
+            .parts
+            .values()
+            .map(|p| p.leader_reads.load(Ordering::Relaxed))
+            .sum();
+        (hits, leader_reads)
     }
 
     /// Mean consensus commit latency per partition, µs.
     pub fn commit_latency_by_partition(&self) -> Vec<(DatacenterId, f64)> {
-        let inner = self.inner.lock();
-        let mut v: Vec<(DatacenterId, f64)> = inner
-            .partitions
+        self.names
             .iter()
-            .map(|(dc, ring)| (dc.clone(), ring.mean_commit_latency()))
-            .collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
-        v
+            .map(|dc| {
+                let part = self.parts.get(dc).expect("name maps to partition");
+                let ring = self.lock_ring(dc, part);
+                (dc.clone(), ring.mean_commit_latency())
+            })
+            .collect()
+    }
+
+    /// Cumulative wall-clock µs operations spent waiting on partition
+    /// ring locks, summed across partitions. Zero while callers stay on
+    /// disjoint partitions — the number the sharded plane is supposed to
+    /// keep near zero. The coordinator diffs it per round into
+    /// `/v1/status`.
+    pub fn lock_wait_stats(&self) -> u64 {
+        self.parts
+            .values()
+            .map(|p| p.lock_wait_us.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-partition cumulative ring-lock wait (µs), sorted by partition
+    /// name (contention observability for benches and debugging).
+    pub fn lock_wait_by_partition(&self) -> Vec<(DatacenterId, u64)> {
+        self.names
+            .iter()
+            .map(|dc| {
+                let part = self.parts.get(dc).expect("name maps to partition");
+                (dc.clone(), part.lock_wait_us.load(Ordering::Relaxed))
+            })
+            .collect()
     }
 
     /// Crash a replica in one partition (failure injection for tests).
     pub fn crash_replica(&self, dc: &DatacenterId, replica: u8) {
-        let mut inner = self.inner.lock();
-        if let Some(ring) = inner.partitions.get_mut(dc) {
+        if let Some(part) = self.parts.get(dc) {
+            let mut ring = self.lock_ring(dc, part);
             ring.crash(crate::bus::ReplicaId(replica));
         }
     }
 
     /// Restart a crashed replica.
     pub fn restart_replica(&self, dc: &DatacenterId, replica: u8) {
-        let mut inner = self.inner.lock();
-        if let Some(ring) = inner.partitions.get_mut(dc) {
+        if let Some(part) = self.parts.get(dc) {
+            let mut ring = self.lock_ring(dc, part);
             ring.restart(crate::bus::ReplicaId(replica));
         }
     }
@@ -650,29 +844,39 @@ impl StorageService {
     /// retryable [`StateError::StorageUnavailable`]; bounded-stale reads
     /// keep serving cached snapshots within the staleness bound.
     pub fn set_partition_available(&self, dc: &DatacenterId, available: bool) {
-        let mut inner = self.inner.lock();
-        if available {
-            inner.offline.remove(dc);
-        } else {
-            inner.offline.insert(dc.clone());
+        if let Some(part) = self.parts.get(dc) {
+            part.offline.store(!available, Ordering::Relaxed);
         }
         if let Some(o) = self.obs() {
-            o.partitions_offline.set(inner.offline.len() as i64);
+            let offline = self
+                .parts
+                .values()
+                .filter(|p| p.offline.load(Ordering::Relaxed))
+                .count();
+            o.partitions_offline.set(offline as i64);
         }
     }
 
     /// Whether a partition is currently available (not fault-injected
     /// offline). The coordinator polls this to decide which impact
-    /// groups a degraded round can still process.
+    /// groups a degraded round can still process. Lock-free.
     pub fn partition_available(&self, dc: &DatacenterId) -> bool {
-        let inner = self.inner.lock();
-        !inner.offline.contains(dc) && inner.partitions.contains_key(dc)
+        self.parts
+            .get(dc)
+            .map(|p| !p.offline.load(Ordering::Relaxed))
+            .unwrap_or(false)
     }
 
     /// (retries performed, operations that exhausted their retry budget).
+    /// Lock-free aggregation over the per-partition atomics.
     pub fn retry_stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
-        (inner.retries, inner.retries_exhausted)
+        let mut retries = 0;
+        let mut exhausted = 0;
+        for p in self.parts.values() {
+            retries += p.retries.load(Ordering::Relaxed);
+            exhausted += p.retries_exhausted.load(Ordering::Relaxed);
+        }
+        (retries, exhausted)
     }
 
     /// Everything that changed in one partition's pool after `since`
@@ -693,20 +897,14 @@ impl StorageService {
             o.reads.inc();
             o.leader_reads.inc();
         }
-        let mut inner = self.inner.lock();
-        inner.check_online(dc)?;
-        inner.leader_reads += 1;
-        let ring = inner
-            .partitions
-            .get_mut(dc)
-            .ok_or_else(|| StateError::StorageUnavailable {
-                partition: dc.to_string(),
-                reason: "unknown partition".into(),
-            })?;
+        let part = self.part(dc)?;
+        part.check_online(dc)?;
+        part.leader_reads.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.lock_ring(dc, part);
         let machine = ring.leader_machine()?;
         match machine.changes_since(pool, since) {
             Some(delta) => {
-                inner.delta_reads += 1;
+                part.delta_reads.fetch_add(1, Ordering::Relaxed);
                 if let Some(o) = self.obs() {
                     o.delta_reads.inc();
                 }
@@ -717,7 +915,7 @@ impl StorageService {
                     machine.pool_rows(pool),
                     machine.pool_watermark(pool),
                 );
-                inner.full_fallbacks += 1;
+                part.full_fallbacks.fetch_add(1, Ordering::Relaxed);
                 if let Some(o) = self.obs() {
                     o.full_fallbacks.inc();
                 }
@@ -730,15 +928,9 @@ impl StorageService {
     /// version of its newest effective change. `read_since` from this
     /// point returns an empty delta until something actually changes.
     pub fn pool_watermark(&self, dc: &DatacenterId, pool: &Pool) -> StateResult<Version> {
-        let mut inner = self.inner.lock();
-        inner.check_online(dc)?;
-        let ring = inner
-            .partitions
-            .get_mut(dc)
-            .ok_or_else(|| StateError::StorageUnavailable {
-                partition: dc.to_string(),
-                reason: "unknown partition".into(),
-            })?;
+        let part = self.part(dc)?;
+        part.check_online(dc)?;
+        let mut ring = self.lock_ring(dc, part);
         Ok(ring.leader_machine()?.pool_watermark(pool))
     }
 
@@ -748,91 +940,114 @@ impl StorageService {
     /// proves the partition's entire state is unchanged — consumers use
     /// it as a cheap quiescence signal before paying for reads.
     pub fn partition_watermark(&self, dc: &DatacenterId) -> StateResult<Version> {
-        let mut inner = self.inner.lock();
-        inner.check_online(dc)?;
-        let ring = inner
-            .partitions
-            .get_mut(dc)
-            .ok_or_else(|| StateError::StorageUnavailable {
-                partition: dc.to_string(),
-                reason: "unknown partition".into(),
-            })?;
+        let part = self.part(dc)?;
+        part.check_online(dc)?;
+        let mut ring = self.lock_ring(dc, part);
         Ok(ring.leader_machine()?.current_version())
     }
 
     /// (delta reads served, full-snapshot fallbacks, writes suppressed) —
-    /// cumulative, for `RoundReport` and benches.
+    /// cumulative, for `RoundReport` and benches. Lock-free aggregation.
     pub fn delta_stats(&self) -> (u64, u64, u64) {
-        let inner = self.inner.lock();
-        (
-            inner.delta_reads,
-            inner.full_fallbacks,
-            inner.writes_suppressed,
-        )
+        let mut delta_reads = 0;
+        let mut full_fallbacks = 0;
+        let mut suppressed = 0;
+        for p in self.parts.values() {
+            delta_reads += p.delta_reads.load(Ordering::Relaxed);
+            full_fallbacks += p.full_fallbacks.load(Ordering::Relaxed);
+            suppressed += p.writes_suppressed.load(Ordering::Relaxed);
+        }
+        (delta_reads, full_fallbacks, suppressed)
     }
-}
 
-/// Cumulative value-identical writes suppressed by `dc`'s leader (0 when
-/// no leader is reachable — callers diff before/after the same commit, so
-/// a mid-write leader change at worst undercounts).
-fn leader_suppressed(inner: &mut Inner, dc: &DatacenterId) -> u64 {
-    inner
-        .partitions
-        .get_mut(dc)
-        .and_then(|ring| ring.leader_machine().ok())
-        .map(|m| m.suppressed_count())
-        .unwrap_or(0)
-}
-
-/// Submit one consensus command with the configured bounded retry and
-/// jittered exponential backoff. Backoffs advance *simulated* time, so
-/// retry cost is visible in round latency without wall-clock stalls.
-/// Fatal (non-retryable) errors and exhausted budgets surface the typed
-/// error to the caller — nothing blocks indefinitely.
-fn submit_with_retry(
-    inner: &mut Inner,
-    clock: &statesman_net::SimClock,
-    dc: &DatacenterId,
-    cmd: LogCommand,
-    obs: Option<&StorageObs>,
-) -> StateResult<()> {
-    let policy = inner.config.retry.clone();
-    let mut attempt = 0u32;
-    loop {
-        attempt += 1;
-        let res = inner.check_online(dc).and_then(|()| {
-            let ring =
-                inner
-                    .partitions
-                    .get_mut(dc)
-                    .ok_or_else(|| StateError::StorageUnavailable {
-                        partition: dc.to_string(),
-                        reason: "unknown partition".into(),
-                    })?;
-            ring.submit(cmd.clone()).map(|_| ())
-        });
-        match res {
-            Ok(()) => return Ok(()),
-            Err(e) if e.is_retryable() && policy.should_retry(attempt) => {
-                inner.retries += 1;
-                if let Some(o) = obs {
-                    o.retries.inc();
-                }
-                let roll: f64 = inner.rng.gen();
-                clock.advance(policy.backoff_after(attempt, roll));
-            }
-            Err(e) => {
-                if e.is_retryable() {
-                    inner.retries_exhausted += 1;
-                    if let Some(o) = obs {
-                        o.retries_exhausted.inc();
-                        o.unavailable.inc();
+    /// Submit one consensus command with the configured bounded retry and
+    /// jittered exponential backoff. Backoffs advance *simulated* time, so
+    /// retry cost is visible in round latency without wall-clock stalls.
+    /// Fatal (non-retryable) errors and exhausted budgets surface the
+    /// typed error to the caller — nothing blocks indefinitely. The
+    /// partition's ring lock is held across the whole retry loop, so each
+    /// partition's commits stay atomic with respect to each other exactly
+    /// as they were under the global lock; other partitions are
+    /// unaffected, and concurrent backoffs compose (clock advances are
+    /// commutative).
+    fn submit_with_retry(
+        &self,
+        part: &Partition,
+        ring: &mut PaxosCluster,
+        dc: &DatacenterId,
+        cmd: LogCommand,
+    ) -> StateResult<()> {
+        let policy = &self.config.retry;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let res = part
+                .check_online(dc)
+                .and_then(|()| ring.submit(cmd.clone()).map(|_| ()));
+            match res {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_retryable() && policy.should_retry(attempt) => {
+                    part.retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = self.obs() {
+                        o.retries.inc();
                     }
+                    let roll: f64 = part.rng.lock().gen();
+                    self.clock.advance(policy.backoff_after(attempt, roll));
                 }
-                return Err(e);
+                Err(e) => {
+                    if e.is_retryable() {
+                        part.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                        if let Some(o) = self.obs() {
+                            o.retries_exhausted.inc();
+                            o.unavailable.inc();
+                        }
+                    }
+                    return Err(e);
+                }
             }
         }
     }
+}
+
+/// Collapse a multi-partition fan-out's per-partition results (in sorted
+/// partition order). Sub-batches commit independently, so an error here
+/// never means "nothing landed": `Ok` when every partition committed;
+/// the partition's own typed error when exactly one failed; an aggregate
+/// [`StateError::StorageUnavailable`] naming every failed partition when
+/// several did, so callers see the full damage rather than only the
+/// sorted-first casualty.
+fn partition_results(dcs: &[DatacenterId], results: Vec<StateResult<()>>) -> StateResult<()> {
+    let mut failures: Vec<(&DatacenterId, StateError)> = dcs
+        .iter()
+        .zip(results)
+        .filter_map(|(dc, r)| r.err().map(|e| (dc, e)))
+        .collect();
+    match failures.len() {
+        0 => Ok(()),
+        1 => Err(failures.pop().expect("length checked").1),
+        _ => Err(StateError::StorageUnavailable {
+            partition: failures
+                .iter()
+                .map(|(dc, _)| dc.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            reason: failures
+                .iter()
+                .map(|(dc, e)| format!("{dc}: {e}"))
+                .collect::<Vec<_>>()
+                .join("; "),
+        }),
+    }
+}
+
+/// Cumulative value-identical writes suppressed by this ring's leader (0
+/// when no leader is reachable — callers diff before/after the same
+/// commit, so a mid-write leader change at worst undercounts).
+fn leader_suppressed(ring: &mut PaxosCluster) -> u64 {
+    ring.leader_machine()
+        .ok()
+        .map(|m| m.suppressed_count())
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -914,6 +1129,25 @@ mod tests {
         assert!(matches!(err, StateError::UnroutableEntity { .. }));
         assert!(s.route(&EntityName::device("dc9", "x")).is_err());
         assert!(s.route(&EntityName::device("dc1", "x")).is_ok());
+    }
+
+    #[test]
+    fn unroutable_rows_poison_the_whole_batch() {
+        // Routability is validated before any partition commits: a batch
+        // with one bad row lands nothing, even in routable partitions.
+        let c = clock();
+        let s = svc(&c);
+        let err = s
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![
+                    row("dc1", "agg-1-1", "6.0", c.now()),
+                    row("dc9", "agg-1-1", "6.0", c.now()),
+                ],
+            })
+            .unwrap_err();
+        assert!(matches!(err, StateError::UnroutableEntity { .. }));
+        assert_eq!(s.pool_len(&DatacenterId::new("dc1"), &Pool::Observed), 0);
     }
 
     #[test]
@@ -1111,6 +1345,55 @@ mod tests {
     }
 
     #[test]
+    fn multi_partition_failure_commits_healthy_partitions_and_names_all_failed() {
+        // A batch spanning three partitions with two of them dark: the
+        // healthy partition's sub-batch lands (sub-batches are
+        // independent commits, not a transaction) and the error
+        // aggregates *both* failed partitions, not just the sorted-first.
+        let c = clock();
+        let s = svc(&c); // dc1, dc2, wan
+        s.set_partition_available(&DatacenterId::new("dc1"), false);
+        s.set_partition_available(&DatacenterId::wan(), false);
+        let err = s
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![
+                    row("dc1", "a", "1", c.now()),
+                    row("dc2", "a", "1", c.now()),
+                    row("wan", "br-1", "1", c.now()),
+                ],
+            })
+            .unwrap_err();
+        assert_eq!(s.pool_len(&DatacenterId::new("dc2"), &Pool::Observed), 1);
+        assert_eq!(s.pool_len(&DatacenterId::new("dc1"), &Pool::Observed), 0);
+        match &err {
+            StateError::StorageUnavailable { partition, reason } => {
+                assert!(partition.contains("dc1"), "missing dc1 in {partition}");
+                assert!(partition.contains("wan"), "missing wan in {partition}");
+                assert!(reason.contains("dc1") && reason.contains("wan"));
+            }
+            other => panic!("expected aggregate StorageUnavailable, got {other:?}"),
+        }
+        assert!(err.is_retryable());
+
+        // Exactly one failed partition surfaces its own typed error.
+        s.set_partition_available(&DatacenterId::wan(), true);
+        let err = s
+            .write(WriteRequest {
+                pool: Pool::Observed,
+                rows: vec![
+                    row("dc1", "b", "1", c.now()),
+                    row("dc2", "b", "1", c.now()),
+                ],
+            })
+            .unwrap_err();
+        assert!(
+            matches!(&err, StateError::StorageUnavailable { partition, .. } if partition == "dc1")
+        );
+        assert_eq!(s.pool_len(&DatacenterId::new("dc2"), &Pool::Observed), 2);
+    }
+
+    #[test]
     fn retries_are_bounded_and_counted() {
         let c = clock();
         let cfg = StorageConfig {
@@ -1251,6 +1534,62 @@ mod tests {
         );
         s.set_partition_available(&dc, true);
         assert_eq!(registry.gauge("storage_partitions_offline").get(), 0);
+    }
+
+    #[test]
+    fn contention_metrics_cover_every_partition() {
+        let c = clock();
+        let s = svc(&c);
+        let registry = Registry::new();
+        s.attach_obs(&registry);
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![
+                row("dc1", "a", "1", c.now()),
+                row("dc2", "a", "1", c.now()),
+                row("wan", "br-1", "1", c.now()),
+            ],
+        })
+        .unwrap();
+        // Every partition got a commit, so every labeled lock-wait series
+        // has at least one observation; the inflight gauges are back to 0.
+        for dc in ["dc1", "dc2", "wan"] {
+            let labels = [("partition", dc)];
+            let h = registry.histogram_with("storage_lock_wait_us", &labels, LOCK_WAIT_BUCKETS_US);
+            assert!(h.count() >= 1, "{dc} recorded no lock acquisitions");
+            let g = registry.gauge_with("storage_partition_inflight", &labels);
+            assert_eq!(g.get(), 0, "{dc} leaked an inflight op");
+        }
+        // The aggregate accessor matches the per-partition breakdown.
+        let total: u64 = s.lock_wait_by_partition().iter().map(|(_, us)| us).sum();
+        assert_eq!(s.lock_wait_stats(), total);
+    }
+
+    #[test]
+    fn concurrent_partition_writers_do_not_interfere() {
+        // Hammer disjoint partitions from many threads through one shared
+        // service: every write lands exactly once, nothing deadlocks, and
+        // the per-partition counts come out exact.
+        let c = clock();
+        let s = svc(&c);
+        std::thread::scope(|scope| {
+            for (t, dc) in ["dc1", "dc2", "wan"].iter().enumerate() {
+                let s = s.clone();
+                let c = c.clone();
+                scope.spawn(move || {
+                    for i in 0..20 {
+                        s.write(WriteRequest {
+                            pool: Pool::Observed,
+                            rows: vec![row(dc, &format!("dev-{t}-{i}"), "1", c.now())],
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.pool_len(&DatacenterId::new("dc1"), &Pool::Observed), 20);
+        assert_eq!(s.pool_len(&DatacenterId::new("dc2"), &Pool::Observed), 20);
+        assert_eq!(s.pool_len(&DatacenterId::wan(), &Pool::Observed), 20);
     }
 
     #[test]
