@@ -31,12 +31,33 @@ use statesman_core::{Coordinator, CoordinatorConfig, MapView, StatesmanClient};
 use statesman_httpapi::{ApiClient, ApiServer};
 use statesman_net::{FaultPlan, SimClock, SimConfig, SimNetwork};
 use statesman_obs::Obs;
-use statesman_storage::{StorageConfig, StorageService};
+use statesman_storage::{
+    DurabilityMode, HashChainChecker, RecoverySafetyChecker, StorageConfig, StorageService,
+    WalCorruption,
+};
 use statesman_topology::DcnSpec;
 use statesman_types::{
     Attribute, DatacenterId, DeviceName, EntityName, Freshness, RetryPolicy, SimDuration, SimTime,
     Value, Version,
 };
+
+/// A kill -9-style crash of one storage replica: process state is
+/// dropped on the floor, durable WAL/snapshot files survive, and the
+/// replica restarts through the recovery path at `at + down` — after
+/// the scheduled `corruption` (if any) has been injected into its
+/// durable files, which recovery must repair (torn tail) or refuse
+/// (mid-log bit flip) without losing acknowledged writes.
+#[derive(Debug, Clone)]
+pub struct ReplicaKill {
+    /// Which replica of the partition's ring to kill.
+    pub replica: u8,
+    /// When the kill fires (absolute simulated time).
+    pub at: SimTime,
+    /// How long the replica stays down before recovery runs.
+    pub down: SimDuration,
+    /// Durable-file corruption injected while the replica is down.
+    pub corruption: WalCorruption,
+}
 
 /// A seeded composition of faults across the network, storage, and
 /// application layers. All windows are absolute simulated times.
@@ -55,6 +76,8 @@ pub struct ChaosPlan {
     /// Application blackout: the proposing app is down in this window and
     /// neither proposes nor drains receipts (crash/restart).
     pub app_blackout: Option<(SimTime, SimDuration)>,
+    /// Storage replica kill -9 + restart events (durable-storage chaos).
+    pub replica_kills: Vec<ReplicaKill>,
     /// Probability each device command is rejected outright.
     pub command_failure_prob: f64,
     /// Probability each device command times out.
@@ -74,6 +97,7 @@ impl ChaosPlan {
             mgmt_outages: Vec::new(),
             partition_outages: Vec::new(),
             app_blackout: None,
+            replica_kills: Vec::new(),
             command_failure_prob: 0.0,
             command_timeout_prob: 0.0,
             link_flap_prob_per_min: 0.0,
@@ -103,6 +127,7 @@ impl ChaosPlan {
             )],
             partition_outages: vec![(DatacenterId::new("dc1"), part_at, SimDuration::from_mins(2))],
             app_blackout: Some((app_at, SimDuration::from_mins(3))),
+            replica_kills: Vec::new(),
             command_failure_prob: 0.1,
             command_timeout_prob: 0.1,
             link_flap_prob_per_min: 0.01,
@@ -144,6 +169,9 @@ impl ChaosPlan {
         if let Some((at, down)) = self.app_blackout {
             heal = heal.max(at + down);
         }
+        for k in &self.replica_kills {
+            heal = heal.max(k.at + k.down);
+        }
         heal
     }
 }
@@ -177,6 +205,26 @@ pub struct ScenarioOutcome {
     /// Coordinator ticks that returned an error (must stay 0: faults are
     /// supposed to degrade rounds, not abort them).
     pub tick_errors: usize,
+    /// Storage replicas kill -9'd by the plan.
+    pub replicas_killed: usize,
+    /// Replicas restarted through the recovery path.
+    pub recoveries_completed: usize,
+    /// Torn tail records truncated and repaired across all recoveries.
+    pub recovery_truncated_records: u64,
+    /// Recoveries that refused a corrupted log and restarted from the
+    /// snapshot alone (rejoining via leader catch-up).
+    pub recovery_refusals: usize,
+    /// Recovery-safety violations: a restarted replica came back below
+    /// its highest observed committed decree. Must stay empty.
+    pub recovery_violations: Vec<String>,
+    /// Hash-chain violations found by the continuous per-round store
+    /// verification. Must stay empty (injected corruption is only ever
+    /// present on a killed replica, whose window is excluded).
+    pub chain_violations: Vec<String>,
+    /// Partition watermark regressions across a kill + recovery: the
+    /// post-recovery watermark fell below the pre-kill one, i.e. an
+    /// acknowledged write was lost. Must stay empty.
+    pub watermark_regressions: Vec<String>,
 }
 
 /// What the out-of-process changefeed consumer observed during a
@@ -214,6 +262,11 @@ pub struct ChaosScenario {
     /// inside the fault windows, so the upgrade campaign has to run
     /// *through* the chaos rather than finishing before it starts.
     pub intent_at: SimTime,
+    /// Storage durability backend for the scenario's rings. `Memory` (the
+    /// default) keeps the historical logical event store; crash-restart
+    /// scenarios use `FramedMemory` or `Dir` so kills exercise the real
+    /// byte-framed WAL + snapshot + recovery path.
+    pub durability: DurabilityMode,
     /// Print a one-line summary per round (for debugging chaos runs).
     pub verbose: bool,
 }
@@ -227,6 +280,52 @@ impl ChaosScenario {
             rounds: 30,
             step: SimDuration::from_mins(1),
             intent_at: SimTime::from_secs(3 * 60),
+            durability: DurabilityMode::Memory,
+            verbose: false,
+        }
+    }
+
+    /// The crash-restart scenario: the standard multi-layer plan plus a
+    /// kill -9 of *each* storage replica once the other fault windows
+    /// have healed — one with a torn-tail injection (recovery repairs
+    /// it), one with a mid-log bit flip (recovery refuses the log and
+    /// the replica rejoins via leader catch-up), one clean. Kills are
+    /// spaced so the windows never overlap, and the run gets extra
+    /// rounds so convergence is re-checked after the last restart.
+    pub fn crash_restart(seed: u64, durability: DurabilityMode) -> Self {
+        let mut plan = ChaosPlan::standard(seed);
+        let minute = |m: u64| SimTime::from_secs(60 * m);
+        let down = SimDuration::from_mins(1);
+        plan.replica_kills = vec![
+            ReplicaKill {
+                replica: 0,
+                at: minute(14),
+                down,
+                // Seed-varied torn length, derived without consuming RNG
+                // draws (the standard plan's derivation must not shift).
+                corruption: WalCorruption::TornTail {
+                    bytes: 7 + (seed % 17) as usize,
+                },
+            },
+            ReplicaKill {
+                replica: 1,
+                at: minute(16),
+                down,
+                corruption: WalCorruption::BitFlip,
+            },
+            ReplicaKill {
+                replica: 2,
+                at: minute(18),
+                down,
+                corruption: WalCorruption::None,
+            },
+        ];
+        ChaosScenario {
+            plan,
+            rounds: 36,
+            step: SimDuration::from_mins(1),
+            intent_at: SimTime::from_secs(3 * 60),
+            durability,
             verbose: false,
         }
     }
@@ -273,11 +372,14 @@ impl ChaosScenario {
         cfg.faults.reboot_window_ms = 90_000;
         cfg.faults = self.plan.install(cfg.faults);
         let net = SimNetwork::new(&graph, clock.clone(), cfg);
-        let storage = StorageService::new(
-            [DatacenterId::new("dc1")],
-            clock.clone(),
-            StorageConfig::default(),
-        );
+        let mut scfg = StorageConfig::default();
+        scfg.ring.durability = self.durability.clone();
+        if !self.plan.replica_kills.is_empty() {
+            // Tight snapshot cadence so kill windows land on logs that
+            // have both a snapshot and a tail to replay.
+            scfg.ring.snapshot_every = 24;
+        }
+        let storage = StorageService::new([DatacenterId::new("dc1")], clock.clone(), scfg);
         let coordinator = Coordinator::new(
             &graph,
             net.clone(),
@@ -318,7 +420,24 @@ impl ChaosScenario {
             breakers_opened: 0,
             storage_retries: 0,
             tick_errors: 0,
+            replicas_killed: 0,
+            recoveries_completed: 0,
+            recovery_truncated_records: 0,
+            recovery_refusals: 0,
+            recovery_violations: Vec::new(),
+            chain_violations: Vec::new(),
+            watermark_regressions: Vec::new(),
         };
+
+        // Durable-storage chaos state: per-kill lifecycle phase
+        // (0 = pending, 1 = down, 2 = recovered), the pre-kill partition
+        // watermark each recovery is checked against, and the two
+        // continuously asserted invariant checkers.
+        let mut kill_phase = vec![0u8; self.plan.replica_kills.len()];
+        let mut pre_watermarks: Vec<Option<Version>> = vec![None; self.plan.replica_kills.len()];
+        let mut recovery_checker = RecoverySafetyChecker::default();
+        let mut chain_checker = HashChainChecker::default();
+        let replicas_per_ring = 3u8;
 
         // The out-of-process changefeed consumer: an API server over the
         // same storage, and a view advanced purely by `since=` reads.
@@ -349,6 +468,56 @@ impl ChaosScenario {
             // schedule (the storage service has no scheduler of its own).
             for (part, at, down) in &self.plan.partition_outages {
                 storage.set_partition_available(part, !(now >= *at && now < *at + *down));
+            }
+
+            // Durable-storage faults: kill -9, corrupt, and restart
+            // replicas per the schedule. Completions run before new kills
+            // so back-to-back windows never overlap.
+            for (k, kill) in self.plan.replica_kills.iter().enumerate() {
+                if kill_phase[k] == 1 && now >= kill.at + kill.down {
+                    kill_phase[k] = 2;
+                    if let Some(summary) = storage.complete_replica_recovery(&dc, kill.replica) {
+                        outcome.recoveries_completed += 1;
+                        outcome.recovery_truncated_records += summary.truncated_records;
+                        if summary.refused {
+                            outcome.recovery_refusals += 1;
+                        }
+                    }
+                    // Post-rejoin safety: the replica must be back at or
+                    // above the highest committed decree observed live.
+                    let through = storage.replica_applied_through(&dc, kill.replica);
+                    recovery_checker.check_recovery("dc1", kill.replica, through);
+                    // Zero acknowledged-write loss, end to end: the
+                    // partition watermark never regresses across a
+                    // kill + recovery.
+                    if let (Some(pre), Ok(post)) =
+                        (pre_watermarks[k], storage.partition_watermark(&dc))
+                    {
+                        if post < pre {
+                            outcome.watermark_regressions.push(format!(
+                                "kill {k}: partition watermark regressed {pre:?} -> {post:?} \
+                                 across replica {} recovery",
+                                kill.replica
+                            ));
+                        }
+                    }
+                }
+                if kill_phase[k] == 0 && now >= kill.at {
+                    kill_phase[k] = 1;
+                    outcome.replicas_killed += 1;
+                    pre_watermarks[k] = storage.partition_watermark(&dc).ok();
+                    for r in 0..replicas_per_ring {
+                        recovery_checker.observe_committed(
+                            "dc1",
+                            r,
+                            storage.replica_applied_through(&dc, r),
+                        );
+                    }
+                    storage.begin_replica_recovery(&dc, kill.replica);
+                    if kill.corruption != WalCorruption::None {
+                        storage.corrupt_replica_wal(&dc, kill.replica, &kill.corruption);
+                    }
+                }
             }
 
             // Application layer: while alive, drain receipts and re-propose
@@ -479,8 +648,29 @@ impl ChaosScenario {
                     ));
                 }
             }
+
+            // Continuous durable-plane assertions: every live replica's
+            // committed frontier feeds the recovery-safety watermark, and
+            // every store's snapshot + hash chain verifies end to end —
+            // except while an injected corruption deliberately sits on a
+            // killed replica's files.
+            if !self.plan.replica_kills.is_empty() {
+                for r in 0..replicas_per_ring {
+                    recovery_checker.observe_committed(
+                        "dc1",
+                        r,
+                        storage.replica_applied_through(&dc, r),
+                    );
+                }
+                let mid_kill = kill_phase.contains(&1);
+                if !mid_kill {
+                    chain_checker.record("dc1", storage.verify_wal_chains(&dc));
+                }
+            }
         }
 
+        outcome.recovery_violations = recovery_checker.violations.clone();
+        outcome.chain_violations = chain_checker.violations.clone();
         outcome
     }
 }
@@ -488,6 +678,86 @@ impl ChaosScenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Unique-per-test scratch directory for directory-backed WAL runs:
+    /// removed on success, kept (with the path printed) when the test
+    /// panics so the durable files can be inspected.
+    struct ChaosTempDir {
+        path: std::path::PathBuf,
+    }
+
+    impl ChaosTempDir {
+        fn new(tag: &str) -> Self {
+            let path =
+                std::env::temp_dir().join(format!("statesman-chaos-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            ChaosTempDir { path }
+        }
+    }
+
+    impl Drop for ChaosTempDir {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!("chaos tempdir kept for inspection: {}", self.path.display());
+            } else {
+                let _ = std::fs::remove_dir_all(&self.path);
+            }
+        }
+    }
+
+    /// The durable-storage headline, across five fixed seeds on real
+    /// directory-backed WALs: every replica is kill -9'd and restarted at
+    /// least once (one torn-tail injection repaired, one bit-flip refusal
+    /// surviving via catch-up, one clean restart), zero acknowledged-write
+    /// loss, both invariant checkers clean throughout, convergence still
+    /// reached — and the whole run bit-identical when replayed.
+    #[test]
+    fn crash_restart_chaos_recovers_durably_across_seeds() {
+        for seed in 1..=5u64 {
+            let dir = ChaosTempDir::new(&format!("crash-restart-{seed}"));
+            let run = |suffix: &str| {
+                let d = dir.path.join(suffix);
+                ChaosScenario::crash_restart(seed, DurabilityMode::Dir(d)).run()
+            };
+            let a = run("a");
+            let b = run("b");
+            assert_eq!(
+                a, b,
+                "seed {seed}: crash-restart chaos must replay bit-identically"
+            );
+            assert_eq!(a.replicas_killed, 3, "seed {seed}: {a:?}");
+            assert_eq!(a.recoveries_completed, 3, "seed {seed}: {a:?}");
+            assert!(
+                a.recovery_truncated_records >= 1,
+                "seed {seed}: torn-tail injection never repaired: {a:?}"
+            );
+            assert!(
+                a.recovery_refusals >= 1,
+                "seed {seed}: bit-flip injection never refused: {a:?}"
+            );
+            assert!(
+                a.recovery_violations.is_empty(),
+                "seed {seed}: recovery safety violated: {:?}",
+                a.recovery_violations
+            );
+            assert!(
+                a.chain_violations.is_empty(),
+                "seed {seed}: hash chain violated: {:?}",
+                a.chain_violations
+            );
+            assert!(
+                a.watermark_regressions.is_empty(),
+                "seed {seed}: acknowledged writes lost: {:?}",
+                a.watermark_regressions
+            );
+            assert!(a.safety_violations.is_empty(), "seed {seed}: {a:?}");
+            assert_eq!(a.tick_errors, 0, "seed {seed}: rounds aborted: {a:?}");
+            assert!(
+                a.converged_at.is_some(),
+                "seed {seed}: never converged: {a:?}"
+            );
+        }
+    }
 
     /// The headline chaos property, across five fixed seeds: zero
     /// ground-truth invariant violations, zero aborted rounds, and bounded
@@ -645,6 +915,7 @@ mod tests {
             rounds: 15,
             step: SimDuration::from_mins(1),
             intent_at: SimTime::ZERO,
+            durability: DurabilityMode::Memory,
             verbose: false,
         };
         let outcome = scenario.run();

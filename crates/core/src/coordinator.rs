@@ -617,6 +617,7 @@ impl Coordinator {
             interned_entities: interned,
             key_resolutions_last_round: resolved_this_round,
             storage_lock_wait_us_last_round: lock_wait_this_round,
+            last_recovery: self.storage.last_recovery(),
         });
     }
 

@@ -28,6 +28,30 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
+/// Summary of the most recent storage-replica crash recovery, surfaced
+/// in `GET /v1/status` so operators can see what the last restart did
+/// (repaired a torn tail, refused a corrupt log, replayed N events)
+/// without scraping replica logs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoverySummary {
+    /// The storage partition (datacenter) the replica belongs to.
+    pub partition: String,
+    /// The recovered replica's id within its ring.
+    pub replica: u8,
+    /// Whether acknowledged durable state was refused as corrupt (the
+    /// replica restarted from its snapshot alone and relied on leader
+    /// catch-up).
+    pub refused: bool,
+    /// Torn tail records truncated and repaired during load.
+    pub truncated_records: u64,
+    /// WAL events replayed above the snapshot.
+    pub replayed_events: u64,
+    /// Apply frontier restored from the snapshot (1 when none existed).
+    pub snapshot_frontier: u64,
+    /// Decrees applied through after local replay, before leader catch-up.
+    pub recovered_frontier: u64,
+}
+
 /// Live control-loop status beyond the metrics: the current quarantine
 /// set, open circuit breakers, and degraded partitions. Updated by the
 /// coordinator each tick; served by `GET /v1/status`.
@@ -56,6 +80,10 @@ pub struct StatusBoard {
     /// cross-partition contention sneaking back in.
     #[serde(default)]
     pub storage_lock_wait_us_last_round: u64,
+    /// The most recent storage-replica crash recovery, if any replica has
+    /// restarted since boot.
+    #[serde(default)]
+    pub last_recovery: Option<RecoverySummary>,
 }
 
 /// The shared observability handle: one registry, one trace ring, one

@@ -10,6 +10,8 @@
 use crate::bus::{LatencyModel, MessageBus, Micros, ReplicaId};
 use crate::machine::{LogCommand, StateMachine};
 use crate::paxos::{PaxosMsg, Replica, Slot};
+use crate::recovery::{self, RecoveryReport};
+use crate::wal::{DurabilityMode, ReplicaStore, WalCorruption, WalStats};
 use statesman_types::{StateError, StateResult};
 
 /// Ring construction knobs.
@@ -25,6 +27,10 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Max submit retries (each retransmits uncommitted accepts).
     pub max_retries: usize,
+    /// WAL backend for every replica in this ring.
+    pub durability: DurabilityMode,
+    /// Snapshot-compaction cadence in committed decrees.
+    pub snapshot_every: u64,
 }
 
 impl Default for ClusterConfig {
@@ -35,6 +41,8 @@ impl Default for ClusterConfig {
             drop_prob: 0.0,
             seed: 1,
             max_retries: 8,
+            durability: DurabilityMode::Memory,
+            snapshot_every: 256,
         }
     }
 }
@@ -66,6 +74,9 @@ const LOG_KEEP_LAST: u64 = 128;
 /// One replicated storage ring.
 pub struct PaxosCluster {
     replicas: Vec<Replica>,
+    /// Per-replica durable stores. Held by the cluster (not only by the
+    /// replica) so the "disk" survives a kill -9 dropping the replica.
+    stores: Vec<ReplicaStore>,
     bus: MessageBus<PaxosMsg>,
     leader: Option<ReplicaId>,
     config: ClusterConfig,
@@ -73,23 +84,35 @@ pub struct PaxosCluster {
     commit_latencies: Vec<Micros>,
     /// Next client request id (ring-unique; used for failover dedupe).
     next_request_id: u64,
+    /// Report from the most recent replica recovery.
+    last_recovery: Option<RecoveryReport>,
 }
 
 impl PaxosCluster {
-    /// Build and immediately elect replica 0.
+    /// Build and immediately elect replica 0. Every replica is constructed
+    /// through the recovery path, so a ring pointed at a directory with
+    /// pre-existing WAL/snapshot files resumes from them (a full-process
+    /// restart).
     pub fn new(config: ClusterConfig) -> Self {
-        let replicas = (0..config.replicas as u8)
-            .map(|i| Replica::new(ReplicaId(i), config.replicas))
+        let stores: Vec<ReplicaStore> = (0..config.replicas as u8)
+            .map(|i| ReplicaStore::new(&config.durability, ReplicaId(i)))
+            .collect();
+        let replicas = stores
+            .iter()
+            .enumerate()
+            .map(|(i, s)| recovery::recover(ReplicaId(i as u8), config.replicas, s).0)
             .collect();
         let mut bus = MessageBus::new(config.latency.clone(), config.seed);
         bus.drop_prob = config.drop_prob;
         let mut cluster = PaxosCluster {
             replicas,
+            stores,
             bus,
             leader: None,
             config,
             commit_latencies: Vec::new(),
             next_request_id: 1,
+            last_recovery: None,
         };
         cluster.ensure_leader();
         cluster
@@ -165,10 +188,16 @@ impl PaxosCluster {
             match self.try_commit(tagged.clone()) {
                 Ok(slot) => {
                     self.commit_latencies.push(self.bus.now() - started);
-                    // Bound log growth: retain a catch-up window,
-                    // snapshot below it.
-                    for r in &mut self.replicas {
-                        r.compact(LOG_KEEP_LAST);
+                    // Bound log growth: retain an in-RAM catch-up window,
+                    // and let each live replica fold its durable log into
+                    // a snapshot when the compaction cadence is due.
+                    // Crashed replicas are frozen: their stores must stay
+                    // exactly as the dying process left them.
+                    for (i, r) in self.replicas.iter_mut().enumerate() {
+                        if !self.bus.is_crashed(ReplicaId(i as u8)) {
+                            r.compact(LOG_KEEP_LAST);
+                            r.maybe_snapshot(self.config.snapshot_every);
+                        }
                     }
                     return Ok(slot);
                 }
@@ -257,13 +286,17 @@ impl PaxosCluster {
     /// A follower's (possibly stale) machine — models reading a cache
     /// replica.
     pub fn any_machine(&self) -> &StateMachine {
-        // Prefer a non-leader replica to make staleness observable.
+        // Prefer a non-leader replica to make staleness observable — but
+        // never a crashed one: a killed replica's in-RAM husk is empty,
+        // not stale, and must not serve bounded-stale reads.
         for (i, r) in self.replicas.iter().enumerate() {
-            if Some(ReplicaId(i as u8)) != self.leader {
+            let id = ReplicaId(i as u8);
+            if Some(id) != self.leader && !self.bus.is_crashed(id) {
                 return &r.machine;
             }
         }
-        &self.replicas[0].machine
+        let fallback = self.leader.map(|l| l.0 as usize).unwrap_or(0);
+        &self.replicas[fallback].machine
     }
 
     /// Sever the network between two replicas (both directions); messages
@@ -285,12 +318,39 @@ impl PaxosCluster {
         }
     }
 
-    /// Restart a crashed replica. If the ring has compacted past the
-    /// replica's apply frontier, the leader ships a snapshot (state
-    /// transfer) before the replica rejoins.
+    /// Kill -9 a replica: traffic drops AND every byte of in-RAM state is
+    /// gone — the slot holds an empty store-less husk until
+    /// [`PaxosCluster::restart`] rebuilds it from the durable store, which
+    /// is the only thing that survives.
+    pub fn kill9(&mut self, id: ReplicaId) {
+        self.bus.crash(id);
+        self.replicas[id.0 as usize] = Replica::new(id, self.config.replicas);
+        if self.leader == Some(id) {
+            self.leader = None;
+        }
+    }
+
+    /// Inject corruption into a crashed replica's durable store (chaos
+    /// harness; models what recovery finds on disk after the crash).
+    pub fn corrupt_store(&mut self, id: ReplicaId, corruption: &WalCorruption) {
+        debug_assert!(
+            self.bus.is_crashed(id),
+            "corruption is only injected into crashed replicas"
+        );
+        self.stores[id.0 as usize].inject(corruption);
+    }
+
+    /// Restart a crashed replica through the recovery module: replay
+    /// snapshot + WAL tail (repairing a torn final record, refusing a
+    /// corrupted log), then rejoin the ring — if the ring has moved past
+    /// the recovered frontier, the leader ships a snapshot (state
+    /// transfer) exactly as before.
     pub fn restart(&mut self, id: ReplicaId) {
         self.bus.restart(id);
-        self.replicas[id.0 as usize].on_restart();
+        let (replica, report) =
+            recovery::recover(id, self.config.replicas, &self.stores[id.0 as usize]);
+        self.replicas[id.0 as usize] = replica;
+        self.last_recovery = Some(report);
         self.ensure_leader();
         if let Some(leader) = self.leader {
             if leader != id {
@@ -303,6 +363,52 @@ impl PaxosCluster {
                 }
             }
         }
+    }
+
+    /// Whether a replica is currently crashed.
+    pub fn is_crashed(&self, id: ReplicaId) -> bool {
+        self.bus.is_crashed(id)
+    }
+
+    /// Aggregated WAL counters across all replica stores.
+    pub fn wal_stats(&self) -> WalStats {
+        let mut total = WalStats::default();
+        for s in &self.stores {
+            total.merge(&s.stats());
+        }
+        total
+    }
+
+    /// One replica's WAL counters (per-replica `wal_tail_decree` gauge).
+    pub fn replica_wal_stats(&self, id: ReplicaId) -> WalStats {
+        self.stores[id.0 as usize].stats()
+    }
+
+    /// Verify every store's snapshot + log pair end to end; returns total
+    /// records verified. Callers should skip stores of currently-crashed
+    /// replicas if corruption was injected and not yet recovered.
+    pub fn verify_chains(&self) -> Result<u64, String> {
+        let mut n = 0;
+        for (i, s) in self.stores.iter().enumerate() {
+            n += s.verify_chain().map_err(|e| format!("r{i}: {e}"))?;
+        }
+        Ok(n)
+    }
+
+    /// A clone-handle to one replica's durable store (tests).
+    pub fn store(&self, id: ReplicaId) -> ReplicaStore {
+        self.stores[id.0 as usize].clone()
+    }
+
+    /// Report from the most recent replica recovery, if any.
+    pub fn last_recovery(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
+    }
+
+    /// Direct read access to one replica's machine (recovery-equivalence
+    /// tests).
+    pub fn replica_machine(&self, id: ReplicaId) -> &StateMachine {
+        &self.replicas[id.0 as usize].machine
     }
 
     /// Recorded virtual commit latencies, µs.
@@ -511,6 +617,105 @@ mod tests {
         assert_ne!(new_leader, old_leader);
         let m = c.leader_machine().unwrap();
         assert_eq!(m.pool_len(&Pool::Observed), 2, "history preserved");
+    }
+
+    #[test]
+    fn kill9_drops_ram_and_restart_recovers_from_wal() {
+        let mut cfg = ClusterConfig::intra_dc(3);
+        cfg.durability = DurabilityMode::FramedMemory;
+        cfg.snapshot_every = 4;
+        let mut c = PaxosCluster::new(cfg);
+        for i in 0..10 {
+            c.submit(wb(&format!("d{i}"), "v")).unwrap();
+        }
+        let before = c.applied_through(ReplicaId(2));
+        assert!(before >= 8, "replica 2 tracked the commits");
+        c.kill9(ReplicaId(2));
+        assert_eq!(c.applied_through(ReplicaId(2)), 0, "kill -9 drops RAM");
+        c.submit(wb("x", "v")).unwrap();
+        c.restart(ReplicaId(2));
+        assert!(
+            c.applied_through(ReplicaId(2)) >= before,
+            "recovery never lands below the pre-crash committed decree"
+        );
+        assert!(c.wal_stats().compactions > 0, "snapshot cadence fired");
+        c.verify_chains().expect("chains intact after recovery");
+        let rec = c.last_recovery().unwrap();
+        assert!(!rec.refused);
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_on_restart() {
+        let mut cfg = ClusterConfig::intra_dc(11);
+        cfg.durability = DurabilityMode::FramedMemory;
+        let mut c = PaxosCluster::new(cfg);
+        for i in 0..5 {
+            c.submit(wb(&format!("d{i}"), "v")).unwrap();
+        }
+        let before = c.applied_through(ReplicaId(1));
+        c.kill9(ReplicaId(1));
+        c.corrupt_store(ReplicaId(1), &WalCorruption::TornTail { bytes: 13 });
+        c.restart(ReplicaId(1));
+        let rec = c.last_recovery().unwrap();
+        assert_eq!(rec.truncated_records, 1, "the torn junk was truncated");
+        assert!(!rec.refused);
+        assert!(c.applied_through(ReplicaId(1)) >= before);
+        c.verify_chains().expect("medium repaired in place");
+    }
+
+    #[test]
+    fn bit_flip_is_refused_and_replica_rejoins_via_catchup() {
+        let mut cfg = ClusterConfig::intra_dc(13);
+        cfg.durability = DurabilityMode::FramedMemory;
+        cfg.snapshot_every = 3;
+        let mut c = PaxosCluster::new(cfg);
+        for i in 0..9 {
+            c.submit(wb(&format!("d{i}"), "v")).unwrap();
+        }
+        let before = c.applied_through(ReplicaId(2));
+        c.kill9(ReplicaId(2));
+        c.corrupt_store(ReplicaId(2), &WalCorruption::BitFlip);
+        c.restart(ReplicaId(2));
+        let rec = c.last_recovery().unwrap().clone();
+        assert!(rec.refused, "acknowledged-state damage must be refused");
+        // Leader catch-up restored everything the refused log lost.
+        assert!(c.applied_through(ReplicaId(2)) >= before);
+        c.verify_chains().expect("refused log was reset cleanly");
+        let m = &c.replica_machine(ReplicaId(2));
+        assert_eq!(m.pool_len(&Pool::Observed), 9);
+    }
+
+    #[test]
+    fn any_machine_never_serves_a_killed_husk() {
+        let mut c = PaxosCluster::new(ClusterConfig::intra_dc(4));
+        c.submit(wb("a", "1")).unwrap();
+        let leader = c.leader().unwrap();
+        let follower = (0..3u8).map(ReplicaId).find(|r| *r != leader).unwrap();
+        c.kill9(follower);
+        // The killed husk has an empty machine; bounded-stale reads must
+        // fall through to a live replica.
+        assert_eq!(c.any_machine().pool_len(&Pool::Observed), 1);
+    }
+
+    #[test]
+    fn dir_backed_ring_survives_full_process_restart() {
+        let dir =
+            std::env::temp_dir().join(format!("statesman-wal-test-{}-cluster", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = ClusterConfig::intra_dc(5);
+        cfg.durability = DurabilityMode::Dir(dir.clone());
+        let applied = {
+            let mut c = PaxosCluster::new(cfg.clone());
+            for i in 0..6 {
+                c.submit(wb(&format!("d{i}"), "v")).unwrap();
+            }
+            c.applied_through(c.leader().unwrap())
+        }; // the whole cluster object (every replica's RAM) is dropped here
+        let mut c = PaxosCluster::new(cfg);
+        let m = c.leader_machine().unwrap();
+        assert_eq!(m.pool_len(&Pool::Observed), 6, "state came back from disk");
+        assert!(c.applied_through(c.leader().unwrap()) >= applied);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

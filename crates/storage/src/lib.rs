@@ -24,14 +24,26 @@
 //!   versioned rows plus checker receipts;
 //! * [`service`] — the per-DC partitioning, the proxy that routes entities
 //!   to rings, and the §6.4 freshness modes (up-to-date reads served from
-//!   the ring; bounded-stale reads served from a cache).
+//!   the ring; bounded-stale reads served from a cache);
+//! * [`wal`] — the per-replica durable write-ahead log: CRC32 + length
+//!   framing, a `prev_hash` chain, and snapshot compaction;
+//! * [`snapshot`] — durable pool-state snapshots at committed decree
+//!   boundaries;
+//! * [`recovery`] — crash-restart reconstruction (repair a torn tail,
+//!   refuse corruption) plus the recovery-safety and hash-chain checkers
+//!   the chaos harness asserts.
 
 pub mod bus;
 pub mod cluster;
 pub mod machine;
 pub mod paxos;
+pub mod recovery;
 pub mod service;
+pub mod snapshot;
+pub mod wal;
 
 pub use cluster::{ClusterConfig, PaxosCluster};
 pub use machine::{LogCommand, StateMachine};
+pub use recovery::{HashChainChecker, RecoveryReport, RecoverySafetyChecker};
 pub use service::{ReadRequest, StorageConfig, StorageService, WriteRequest};
+pub use wal::{DurabilityMode, ReplicaStore, WalCorruption, WalStats};

@@ -318,6 +318,132 @@ impl StateMachine {
             Version(watermark),
         ))
     }
+
+    /// A canonical, serializable image of this machine for durable
+    /// snapshots and recovery-equivalence checks. Hash-map contents are
+    /// emitted in a deterministic order (pools by wire name, rows by key,
+    /// receipts by application id) and interned [`VarId`]s are resolved
+    /// back to string keys, so two machines with identical logical
+    /// contents produce bit-identical snapshots — including across
+    /// processes with differently populated interners.
+    pub fn to_snapshot(&self) -> MachineSnapshot {
+        let mut pools: Vec<(Pool, Vec<NetworkState>)> = self
+            .pools
+            .iter()
+            .map(|(p, rows)| {
+                let mut rows: Vec<NetworkState> = rows.values().cloned().collect();
+                rows.sort_by_key(|r| r.key());
+                (p.clone(), rows)
+            })
+            .collect();
+        pools.sort_by_key(|(p, _)| p.wire_name());
+        let mut receipts: Vec<(AppId, Vec<WriteReceipt>)> = self
+            .receipts
+            .iter()
+            .map(|(a, r)| (a.clone(), r.clone()))
+            .collect();
+        receipts.sort_by(|(a, _), (b, _)| a.0.cmp(&b.0));
+        let mut applied_ids: Vec<u64> = self.applied_ids.iter().copied().collect();
+        applied_ids.sort_unstable();
+        let mut changes: Vec<(Pool, ChangeIndexSnapshot)> = self
+            .changes
+            .iter()
+            .map(|(p, idx)| {
+                (
+                    p.clone(),
+                    ChangeIndexSnapshot {
+                        entries: idx
+                            .entries
+                            .iter()
+                            .map(|(v, id)| (*v, id.resolve_key()))
+                            .collect(),
+                        floor: idx.floor,
+                        watermark: idx.watermark,
+                    },
+                )
+            })
+            .collect();
+        changes.sort_by_key(|(p, _)| p.wire_name());
+        MachineSnapshot {
+            pools,
+            receipts,
+            next_version: self.next_version,
+            applied: self.applied,
+            applied_ids,
+            changes,
+            suppressed: self.suppressed,
+        }
+    }
+
+    /// Rebuild a machine from a [`MachineSnapshot`] (the recovery path).
+    /// String keys are re-interned into [`VarId`]s on load.
+    pub fn from_snapshot(snap: &MachineSnapshot) -> StateMachine {
+        let pools = snap
+            .pools
+            .iter()
+            .map(|(p, rows)| {
+                (
+                    p.clone(),
+                    rows.iter().map(|r| (r.var_id(), r.clone())).collect(),
+                )
+            })
+            .collect();
+        let receipts = snap.receipts.iter().cloned().collect();
+        let changes = snap
+            .changes
+            .iter()
+            .map(|(p, idx)| {
+                (
+                    p.clone(),
+                    ChangeIndex {
+                        entries: idx
+                            .entries
+                            .iter()
+                            .map(|(v, key)| (*v, key.var_id()))
+                            .collect(),
+                        floor: idx.floor,
+                        watermark: idx.watermark,
+                    },
+                )
+            })
+            .collect();
+        StateMachine {
+            pools,
+            receipts,
+            next_version: snap.next_version,
+            applied: snap.applied,
+            applied_ids: snap.applied_ids.iter().copied().collect(),
+            changes,
+            suppressed: snap.suppressed,
+        }
+    }
+}
+
+/// Serializable image of one pool's change index (see
+/// [`StateMachine::to_snapshot`]). Interned ids are resolved to string
+/// keys so the image is self-contained across process restarts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChangeIndexSnapshot {
+    entries: Vec<(u64, StateKey)>,
+    floor: u64,
+    watermark: u64,
+}
+
+/// A canonical, serializable image of a [`StateMachine`].
+///
+/// Produced by [`StateMachine::to_snapshot`]; all collections are in a
+/// deterministic order, so `PartialEq` on two images is a bit-equality
+/// check of the logical machine state (the recovery-equivalence tests
+/// rely on this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSnapshot {
+    pools: Vec<(Pool, Vec<NetworkState>)>,
+    receipts: Vec<(AppId, Vec<WriteReceipt>)>,
+    next_version: u64,
+    applied: u64,
+    applied_ids: Vec<u64>,
+    changes: Vec<(Pool, ChangeIndexSnapshot)>,
+    suppressed: u64,
 }
 
 #[cfg(test)]

@@ -18,15 +18,19 @@
 //! A replica is a pure message-driven state machine: [`Replica::handle`]
 //! consumes one message and emits outbound messages; the surrounding
 //! [`crate::cluster::PaxosCluster`] owns the bus and pumps deliveries.
-//! Crash/restart keeps the durable acceptor/learner state and clears
-//! volatile leadership, mirroring real deployments with stable storage.
+//! Durable state (promises, accepts, commits) is appended to the
+//! replica's write-ahead log ([`crate::wal`]) *before* the corresponding
+//! message is acknowledged; a crash drops everything in RAM, and restart
+//! reconstructs the replica from the log alone ([`crate::recovery`]).
 
 use crate::bus::ReplicaId;
 use crate::machine::{LogCommand, StateMachine};
+use crate::wal::{ReplicaStore, WalEvent};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// A Paxos ballot: totally ordered, unique per (round, replica).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Ballot {
     /// Round number.
     pub n: u64,
@@ -146,13 +150,39 @@ pub struct Replica {
     pending: VecDeque<LogCommand>,
     /// Highest ballot round observed anywhere (for picking fresh ballots).
     max_round_seen: u64,
+
+    // ---- durability plumbing ----
+    /// Write-ahead log; `None` only for store-less unit-test replicas.
+    store: Option<ReplicaStore>,
+    /// Apply frontier at the last durable snapshot (compaction cadence).
+    last_snap_frontier: Slot,
+    /// Row-weight appended since the last snapshot (compaction cadence).
+    wal_weight_since_snap: usize,
+}
+
+/// Durable state reconstructed by [`crate::recovery::recover`], handed to
+/// [`Replica::from_recovery`].
+pub(crate) struct RecoveredState {
+    /// Highest promised ballot (snapshot ∨ replayed promise/accept events).
+    pub promised: Ballot,
+    /// Accepted values above the snapshot frontier.
+    pub accepted: BTreeMap<Slot, (Ballot, LogCommand)>,
+    /// Chosen values above the snapshot frontier.
+    pub chosen: BTreeMap<Slot, LogCommand>,
+    /// The machine restored from the snapshot image.
+    pub machine: StateMachine,
+    /// The snapshot's apply frontier (1 when no snapshot).
+    pub frontier: Slot,
+    /// Total weight of replayed events (re-seeds the compaction cadence).
+    pub replayed_weight: usize,
 }
 
 /// Outbound messages produced by one handle step.
 pub type Outbox = Vec<(ReplicaId, PaxosMsg)>;
 
 impl Replica {
-    /// A fresh replica in a ring of `n_replicas`.
+    /// A fresh replica in a ring of `n_replicas`, with no durable store
+    /// (unit tests, and the husk left behind by a kill -9).
     pub fn new(id: ReplicaId, n_replicas: usize) -> Self {
         Replica {
             id,
@@ -169,7 +199,46 @@ impl Replica {
             next_slot: 1,
             pending: VecDeque::new(),
             max_round_seen: 0,
+            store: None,
+            last_snap_frontier: 1,
+            wal_weight_since_snap: 0,
         }
+    }
+
+    /// A fresh replica writing to the given durable store.
+    pub fn with_store(id: ReplicaId, n_replicas: usize, store: ReplicaStore) -> Self {
+        let mut r = Replica::new(id, n_replicas);
+        r.store = Some(store);
+        r
+    }
+
+    /// Rebuild a replica from recovered durable state. Volatile
+    /// leadership is gone by construction; `max_round_seen` is seeded from
+    /// the promised ballot so any future election outranks the past.
+    pub(crate) fn from_recovery(
+        id: ReplicaId,
+        n_replicas: usize,
+        store: Option<ReplicaStore>,
+        state: RecoveredState,
+    ) -> Self {
+        let mut r = Replica::new(id, n_replicas);
+        r.store = store;
+        r.promised = state.promised;
+        r.max_round_seen = state.promised.n;
+        r.accepted = state.accepted;
+        r.chosen = state.chosen;
+        r.machine = state.machine;
+        r.apply_frontier = state.frontier;
+        r.last_snap_frontier = state.frontier;
+        r.wal_weight_since_snap = state.replayed_weight;
+        // Re-apply committed decrees above the snapshot. These commits are
+        // already durable, so no WAL re-append happens here.
+        while let Some(cmd) = r.chosen.get(&r.apply_frontier) {
+            let cmd = cmd.clone();
+            r.machine.apply(&cmd);
+            r.apply_frontier += 1;
+        }
+        r
     }
 
     /// Majority size for this ring.
@@ -207,20 +276,72 @@ impl Replica {
     }
 
     /// Install a state snapshot (leader catch-up for a replica that fell
-    /// below the compaction horizon).
+    /// below the compaction horizon). The received state is persisted as a
+    /// durable snapshot too, so a subsequent crash recovers from here
+    /// instead of repeating the catch-up.
     pub fn install_snapshot(&mut self, machine: StateMachine, frontier: Slot) {
         self.machine = machine;
         self.apply_frontier = frontier;
         self.chosen = self.chosen.split_off(&frontier);
         self.accepted = self.accepted.split_off(&frontier);
+        if let Some(store) = self.store.clone() {
+            let tail = self.wal_tail(frontier);
+            store.write_snapshot(frontier, self.promised, &self.machine, &tail);
+            self.last_snap_frontier = frontier;
+            self.wal_weight_since_snap = tail.iter().map(|e| e.weight()).sum();
+        }
     }
 
-    /// Crash recovery: durable state survives, leadership does not.
-    pub fn on_restart(&mut self) {
-        self.role = Role::Follower;
-        self.promises.clear();
-        self.inflight.clear();
-        self.pending.clear();
+    /// Write a durable snapshot at the current apply frontier when the
+    /// compaction cadence is due: `every` decrees since the last snapshot,
+    /// or enough appended row-weight that the log tail is worth folding
+    /// regardless (large seeding batches).
+    pub fn maybe_snapshot(&mut self, every: u64) {
+        /// Row-weight appended since the last snapshot that forces
+        /// compaction regardless of decree count.
+        const SNAPSHOT_WEIGHT_BUDGET: usize = 131_072;
+        let Some(store) = self.store.clone() else {
+            return;
+        };
+        let frontier = self.apply_frontier;
+        let due = frontier > self.last_snap_frontier
+            && (frontier - self.last_snap_frontier >= every
+                || self.wal_weight_since_snap >= SNAPSHOT_WEIGHT_BUDGET);
+        if !due {
+            return;
+        }
+        let tail = self.wal_tail(frontier);
+        store.write_snapshot(frontier, self.promised, &self.machine, &tail);
+        self.last_snap_frontier = frontier;
+        self.wal_weight_since_snap = tail.iter().map(|e| e.weight()).sum();
+    }
+
+    /// The WAL events that must survive a compaction at `frontier`:
+    /// accepted and chosen values at slots the snapshot does not cover.
+    fn wal_tail(&self, frontier: Slot) -> Vec<WalEvent> {
+        let mut tail = Vec::new();
+        for (slot, (ballot, cmd)) in self.accepted.range(frontier..) {
+            tail.push(WalEvent::Accept {
+                slot: *slot,
+                ballot: *ballot,
+                cmd: cmd.clone(),
+            });
+        }
+        for (slot, cmd) in self.chosen.range(frontier..) {
+            tail.push(WalEvent::Commit {
+                slot: *slot,
+                cmd: cmd.clone(),
+            });
+        }
+        tail
+    }
+
+    /// Append one event to the durable log (before acknowledgment).
+    fn wal_append(&mut self, ev: WalEvent) {
+        if let Some(store) = &self.store {
+            self.wal_weight_since_snap += ev.weight();
+            store.append(&ev);
+        }
     }
 
     /// Begin an election: bump the ballot above everything seen and
@@ -234,8 +355,11 @@ impl Replica {
         self.role = Role::Candidate;
         self.promises.clear();
         self.inflight.clear();
-        // Self-promise.
+        // Self-promise (durable before any Prepare leaves this replica).
         self.promised = self.ballot;
+        self.wal_append(WalEvent::Promise {
+            ballot: self.ballot,
+        });
         let own: Vec<(Slot, Ballot, LogCommand)> = self
             .accepted
             .iter()
@@ -323,6 +447,8 @@ impl Replica {
                 self.observe_round(ballot.n);
                 if ballot > self.promised {
                     self.promised = ballot;
+                    // Durable before the Promise is acknowledged.
+                    self.wal_append(WalEvent::Promise { ballot });
                     if self.role != Role::Follower && ballot.id != self.id {
                         // Someone outranks us; step down.
                         self.step_down();
@@ -361,6 +487,12 @@ impl Replica {
                     if self.role != Role::Follower && ballot.id != self.id {
                         self.step_down();
                     }
+                    // Durable before the Accepted ack is sent.
+                    self.wal_append(WalEvent::Accept {
+                        slot,
+                        ballot,
+                        cmd: cmd.clone(),
+                    });
                     self.accepted.insert(slot, (ballot, cmd));
                     out.push((from, PaxosMsg::Accepted { ballot, slot }));
                 } else {
@@ -420,6 +552,13 @@ impl Replica {
     }
 
     fn accept_self(&mut self, slot: Slot, cmd: LogCommand) {
+        // The leader's own accept is durable before it counts toward the
+        // quorum it is about to tally.
+        self.wal_append(WalEvent::Accept {
+            slot,
+            ballot: self.ballot,
+            cmd: cmd.clone(),
+        });
         self.accepted.insert(slot, (self.ballot, cmd));
     }
 
@@ -504,7 +643,14 @@ impl Replica {
     }
 
     fn learn(&mut self, slot: Slot, cmd: LogCommand) {
-        self.chosen.entry(slot).or_insert(cmd);
+        if !self.chosen.contains_key(&slot) {
+            // Durable before the commit is applied (and thus observable).
+            self.wal_append(WalEvent::Commit {
+                slot,
+                cmd: cmd.clone(),
+            });
+            self.chosen.insert(slot, cmd);
+        }
         while let Some(cmd) = self.chosen.get(&self.apply_frontier) {
             let cmd = cmd.clone();
             self.machine.apply(&cmd);
@@ -667,8 +813,15 @@ mod tests {
     }
 
     #[test]
-    fn restart_clears_leadership_keeps_log() {
-        let mut rs = ring(3);
+    fn restart_recovers_log_from_wal_not_ram() {
+        use crate::recovery;
+        use crate::wal::{DurabilityMode, ReplicaStore};
+        let stores: Vec<ReplicaStore> = (0..3u8)
+            .map(|i| ReplicaStore::new(&DurabilityMode::FramedMemory, ReplicaId(i)))
+            .collect();
+        let mut rs: Vec<Replica> = (0..3u8)
+            .map(|i| Replica::with_store(ReplicaId(i), 3, stores[i as usize].clone()))
+            .collect();
         elect(&mut rs, 0);
         let mut out = Outbox::new();
         let slot = rs[0].propose(LogCommand::Noop, &mut out).unwrap();
@@ -678,9 +831,14 @@ mod tests {
                 .map(|(to, m)| (ReplicaId(0), to, m))
                 .collect(),
         );
-        rs[0].on_restart();
-        assert!(!rs[0].is_leader());
+        // kill -9: the in-RAM replica is gone; recovery rebuilds it from
+        // the durable store alone.
+        let (recovered, report) = recovery::recover(ReplicaId(0), 3, &stores[0]);
+        rs[0] = recovered;
+        assert!(!rs[0].is_leader(), "leadership is volatile");
         assert!(rs[0].slot_committed(slot), "durable log survives restart");
+        assert_eq!(rs[0].applied_through(), slot);
+        assert!(!report.refused);
     }
 
     #[test]

@@ -447,3 +447,88 @@ fn chaos_seeds_remain_deterministic() {
         );
     }
 }
+
+/// Regression: a partition with a replica mid-recovery must report
+/// retryable unavailability on every watermark/read/commit path — the
+/// same typed `StateError` path as outages — rather than serving a
+/// stale pre-crash watermark. Other partitions stay fully available
+/// throughout (recovery is partition-local, like everything else in
+/// the sharded plane).
+#[test]
+fn mid_recovery_partition_is_retryably_unavailable_not_stale() {
+    use statesman_storage::DurabilityMode;
+    use statesman_types::StateError;
+
+    let mut cfg = StorageConfig::default();
+    cfg.ring.durability = DurabilityMode::FramedMemory;
+    let storage = StorageService::new(
+        [DatacenterId::new("dc1"), DatacenterId::new("dc2")],
+        SimClock::new(),
+        cfg,
+    );
+    let dc1 = DatacenterId::new("dc1");
+    let dc2 = DatacenterId::new("dc2");
+    for sel in [0u8, 1] {
+        let dc = dc_for(sel);
+        for i in 0..6u16 {
+            apply(
+                &storage,
+                &dc,
+                &Op::Upsert {
+                    idx: i,
+                    val: sel,
+                    at: SimTime::from_secs(i as u64 + 1),
+                },
+            );
+        }
+    }
+    let pre = storage.partition_watermark(&dc1).unwrap();
+
+    storage.begin_replica_recovery(&dc1, 1);
+    // Watermark, reads, and changefeed reads all take the typed
+    // retryable error — none may answer from pre-crash state.
+    let err = storage.partition_watermark(&dc1).unwrap_err();
+    assert!(
+        matches!(err, StateError::StorageUnavailable { .. }),
+        "{err:?}"
+    );
+    assert!(
+        err.is_retryable(),
+        "mid-recovery must be retryable: {err:?}"
+    );
+    assert!(storage
+        .read(ReadRequest {
+            datacenter: dc1.clone(),
+            pool: Pool::Observed,
+            freshness: Freshness::UpToDate,
+            entity: None,
+            attribute: None,
+        })
+        .is_err());
+    assert!(storage
+        .read_since(&dc1, &Pool::Observed, Version::GENESIS)
+        .is_err());
+    assert!(!storage.partition_available(&dc1));
+    // The sibling partition is untouched: recovery is partition-local.
+    assert!(storage.partition_available(&dc2));
+    storage.partition_watermark(&dc2).unwrap();
+
+    let summary = storage
+        .complete_replica_recovery(&dc1, 1)
+        .expect("recovery summary");
+    assert!(!summary.refused);
+    // No acknowledged write lost: the watermark never regresses.
+    assert!(storage.partition_watermark(&dc1).unwrap() >= pre);
+    apply(
+        &storage,
+        &dc1,
+        &Op::Upsert {
+            idx: 99,
+            val: 7,
+            at: SimTime::from_secs(100),
+        },
+    );
+    assert!(full_sorted(&storage, &dc1)
+        .iter()
+        .any(|r| r.entity == EntityName::device(dc1.clone(), "dev-99")));
+}
