@@ -1,0 +1,293 @@
+//! Wire-client swarm against the thread-pool API front end: 100 → 1,000
+//! → 10,000 concurrent keep-alive clients hammer `/v1/health` on one
+//! server, reporting per-request p50/p99/p999 latency, saturation
+//! throughput, and how the server degrades — 429 + `retry-after` sheds,
+//! never connection errors. The server's thread count is asserted flat
+//! (`workers + 2`) at every level: connections scale, threads do not.
+//!
+//! The swarm runs in child **shard processes** (the binary re-execs
+//! itself with `STATESMAN_SWARM_SHARD` set): each shard owns its own
+//! file-descriptor budget, so the server process only pays one fd per
+//! connection and 10,000 concurrent sockets fit under common `ulimit -n`
+//! values that an all-in-one-process rig would blow through.
+//!
+//! ```text
+//! STATESMAN_BENCH_CLIENTS=100,1000,10000 STATESMAN_BENCH_REQUESTS=20 \
+//!     cargo run --release -p statesman-bench --bin api_swarm
+//! ```
+//!
+//! Emits `BENCH_api_swarm.json` in the working directory and a
+//! `csv,`-prefixed line per level.
+
+use statesman_httpapi::{ApiClient, ApiServer, ServerConfig};
+use statesman_net::SimClock;
+use statesman_storage::StorageService;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Apps the swarm stripes its clients across (the server's ready-queue
+/// is deficit-round-robin per app).
+const APP_STRIPES: usize = 32;
+
+fn main() {
+    if std::env::var("STATESMAN_SWARM_SHARD").is_ok() {
+        run_shard();
+        return;
+    }
+
+    let levels: Vec<usize> = std::env::var("STATESMAN_BENCH_CLIENTS")
+        .ok()
+        .unwrap_or_else(|| "100,1000,10000".to_string())
+        .split(',')
+        .filter_map(|g| g.trim().parse().ok())
+        .filter(|&g| g >= 1)
+        .collect();
+    let requests: usize = std::env::var("STATESMAN_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let shard_size: usize = std::env::var("STATESMAN_SWARM_SHARD_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2500)
+        .max(1);
+
+    // The server pays one fd per connection; refuse to ask for more
+    // concurrent clients than the process could even accept, and say so.
+    let fd_budget = fd_limit().saturating_sub(64);
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut server_threads = 0usize;
+    for &requested in &levels {
+        let clients = requested.min(fd_budget);
+        if clients < requested {
+            println!(
+                "note: level {requested} clamped to {clients} by the fd limit ({})",
+                fd_limit()
+            );
+        }
+        let m = measure(clients, requests, shard_size);
+        server_threads = m.server_threads;
+        println!(
+            "csv,api_swarm,{clients},{},{},{},{:.0},{},{}",
+            m.p50_us, m.p99_us, m.p999_us, m.throughput_rps, m.sheds, m.connect_failures
+        );
+        rows.push(vec![
+            clients.to_string(),
+            m.p50_us.to_string(),
+            m.p99_us.to_string(),
+            m.p999_us.to_string(),
+            format!("{:.0}", m.throughput_rps),
+            m.sheds.to_string(),
+            m.connect_failures.to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{ \"clients\": {clients}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+             \"throughput_rps\": {:.0}, \"ok\": {}, \"sheds\": {}, \"errors\": {}, \
+             \"connect_failures\": {} }}",
+            m.p50_us,
+            m.p99_us,
+            m.p999_us,
+            m.throughput_rps,
+            m.ok,
+            m.sheds,
+            m.errors,
+            m.connect_failures
+        ));
+    }
+    println!();
+    println!(
+        "api_swarm: {requests} requests/client over keep-alive, \
+         server threads fixed at {server_threads}"
+    );
+    print!(
+        "{}",
+        statesman_bench::report::table(
+            &[
+                "clients",
+                "p50_us",
+                "p99_us",
+                "p999_us",
+                "rps",
+                "sheds",
+                "conn_fail"
+            ],
+            &rows
+        )
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"api_swarm\",\n  \"requests_per_client\": {requests},\n  \
+         \"server_threads\": {server_threads},\n  \"levels\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_api_swarm.json", json).expect("write BENCH_api_swarm.json");
+}
+
+struct LevelResult {
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+    throughput_rps: f64,
+    ok: usize,
+    sheds: usize,
+    errors: usize,
+    connect_failures: usize,
+    server_threads: usize,
+}
+
+/// One level: a fresh server, `clients` concurrent keep-alive wire
+/// clients split across shard processes, `requests` requests each.
+fn measure(clients: usize, requests: usize, shard_size: usize) -> LevelResult {
+    let clock = SimClock::new();
+    let storage = StorageService::single_dc("dc1", clock);
+    let server = ApiServer::start_with_config(storage, ServerConfig::default(), None)
+        .expect("start api server");
+    let expected_threads = server.thread_count();
+    let exe = std::env::current_exe().expect("current_exe");
+
+    let t0 = Instant::now();
+    let mut children = Vec::new();
+    let mut remaining = clients;
+    let mut stripe = 0usize;
+    while remaining > 0 {
+        let n = remaining.min(shard_size);
+        remaining -= n;
+        children.push(
+            std::process::Command::new(&exe)
+                .env("STATESMAN_SWARM_SHARD", n.to_string())
+                .env("STATESMAN_SWARM_ADDR", server.addr().to_string())
+                .env("STATESMAN_SWARM_REQUESTS", requests.to_string())
+                .env("STATESMAN_SWARM_STRIPE", stripe.to_string())
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn swarm shard"),
+        );
+        stripe += n;
+    }
+    let mut samples: Vec<u64> = Vec::new();
+    let (mut ok, mut sheds, mut errors, mut connect_failures) = (0, 0, 0, 0);
+    for child in children {
+        let out = child.wait_with_output().expect("join swarm shard");
+        assert!(out.status.success(), "swarm shard failed");
+        for line in String::from_utf8_lossy(&out.stdout).lines() {
+            if let Some(rest) = line.strip_prefix("result,") {
+                let mut f = rest.split(',').filter_map(|v| v.parse::<usize>().ok());
+                ok += f.next().unwrap_or(0);
+                sheds += f.next().unwrap_or(0);
+                errors += f.next().unwrap_or(0);
+                connect_failures += f.next().unwrap_or(0);
+            } else if let Some(rest) = line.strip_prefix("samples,") {
+                samples.extend(rest.split(',').filter_map(|v| v.parse::<u64>().ok()));
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    // The headline property: connections scaled, the thread pool did not.
+    assert_eq!(
+        server.thread_count(),
+        expected_threads,
+        "server thread count must stay fixed under {clients} clients"
+    );
+
+    samples.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if samples.is_empty() {
+            return 0;
+        }
+        samples[((samples.len() - 1) as f64 * q) as usize]
+    };
+    LevelResult {
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+        throughput_rps: ok as f64 / wall.max(f64::MIN_POSITIVE),
+        ok,
+        sheds,
+        errors,
+        connect_failures,
+        server_threads: expected_threads,
+    }
+}
+
+/// Child-process mode: run `STATESMAN_SWARM_SHARD` keep-alive clients
+/// against `STATESMAN_SWARM_ADDR` and report tallies + latency samples
+/// on stdout.
+fn run_shard() {
+    let n: usize = std::env::var("STATESMAN_SWARM_SHARD")
+        .unwrap()
+        .parse()
+        .expect("shard size");
+    let addr: std::net::SocketAddr = std::env::var("STATESMAN_SWARM_ADDR")
+        .expect("swarm addr")
+        .parse()
+        .expect("swarm addr");
+    let requests: usize = std::env::var("STATESMAN_SWARM_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let stripe: usize = std::env::var("STATESMAN_SWARM_STRIPE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    let mut threads = Vec::with_capacity(n);
+    for i in 0..n {
+        threads.push(
+            std::thread::Builder::new()
+                .stack_size(96 << 10)
+                .spawn(move || {
+                    // Smooth the SYN storm so the listener backlog holds.
+                    std::thread::sleep(Duration::from_millis((i % 500) as u64));
+                    let client = ApiClient::new(addr)
+                        .with_app(format!("swarm-{}", (stripe + i) % APP_STRIPES));
+                    let mut lat = Vec::with_capacity(requests);
+                    let (mut ok, mut sheds, mut errors, mut connect_failures) = (0, 0, 0, 0);
+                    for _ in 0..requests {
+                        let t = Instant::now();
+                        match client.raw_request("GET", "/v1/health", &[]) {
+                            Ok(resp) if resp.status == 200 => {
+                                lat.push(t.elapsed().as_micros() as u64);
+                                ok += 1;
+                            }
+                            Ok(resp) if resp.status == 429 => sheds += 1,
+                            Ok(_) => errors += 1,
+                            Err(_) => connect_failures += 1,
+                        }
+                    }
+                    (lat, ok, sheds, errors, connect_failures)
+                })
+                .expect("spawn swarm client"),
+        );
+    }
+    let mut samples = Vec::with_capacity(n * requests);
+    let (mut ok, mut sheds, mut errors, mut connect_failures) = (0, 0, 0, 0);
+    for t in threads {
+        let (lat, o, s, e, c) = t.join().expect("swarm client");
+        samples.extend(lat);
+        ok += o;
+        sheds += s;
+        errors += e;
+        connect_failures += c;
+    }
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    writeln!(w, "result,{ok},{sheds},{errors},{connect_failures}").unwrap();
+    let joined: Vec<String> = samples.iter().map(|v| v.to_string()).collect();
+    writeln!(w, "samples,{}", joined.join(",")).unwrap();
+}
+
+/// The soft `RLIMIT_NOFILE` ceiling, from `/proc/self/limits` (no libc
+/// binding needed); generous fallback when unreadable.
+fn fd_limit() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3)?.parse().ok())
+        })
+        .unwrap_or(1 << 20)
+}

@@ -28,7 +28,7 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use statesman_core::{Coordinator, CoordinatorConfig, MapView, StatesmanClient};
-use statesman_httpapi::{ApiClient, ApiServer};
+use statesman_httpapi::{ApiClient, ApiServer, ServerConfig};
 use statesman_net::{FaultPlan, SimClock, SimConfig, SimNetwork};
 use statesman_obs::Obs;
 use statesman_storage::{
@@ -227,6 +227,226 @@ pub struct ScenarioOutcome {
     pub watermark_regressions: Vec<String>,
 }
 
+/// What the HTTP-layer stress rig observed during a
+/// [`ChaosScenario::run_with_api_stress`] run: slow-loris connections,
+/// connection churn, and overload bursts hammer an [`ApiServer`] fronting
+/// the scenario's storage while the control loop runs. The stress
+/// traffic is read-only (health probes and half-sent requests), so the
+/// [`ScenarioOutcome`] must stay bit-identical to an unstressed run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ApiStressOutcome {
+    /// Health probes answered 200 during the stress (liveness under load).
+    pub health_ok: usize,
+    /// Requests shed 429 with a `retry-after` header (admission control
+    /// answering instead of the OS accept backlog silently dropping).
+    pub sheds: usize,
+    /// 429 sheds missing the `retry-after` header. Must stay 0.
+    pub sheds_missing_retry_after: usize,
+    /// TCP connects or mid-request socket failures. Must stay 0: overload
+    /// is signalled with responses, not resets.
+    pub connect_failures: usize,
+    /// Connections opened and immediately dropped by the churn thread.
+    pub churned: usize,
+    /// Slow-loris connections opened (partial request head, then stall).
+    pub loris_conns: usize,
+    /// Slow-loris connections the server answered `408` and closed —
+    /// the reactor reclaimed them without pinning any worker.
+    pub loris_answered_408: usize,
+    /// The server still answered a health probe after all stress threads
+    /// were joined (the front end survived).
+    pub final_health_ok: bool,
+}
+
+/// Shared tallies the attack threads bump while the control loop runs.
+#[derive(Default)]
+struct StressCounters {
+    health_ok: std::sync::atomic::AtomicUsize,
+    sheds: std::sync::atomic::AtomicUsize,
+    sheds_missing_retry_after: std::sync::atomic::AtomicUsize,
+    connect_failures: std::sync::atomic::AtomicUsize,
+    churned: std::sync::atomic::AtomicUsize,
+    loris_conns: std::sync::atomic::AtomicUsize,
+    loris_answered_408: std::sync::atomic::AtomicUsize,
+}
+
+/// The live half of the stress rig: a deliberately tight [`ApiServer`]
+/// over the scenario's storage, plus the three attack threads hammering
+/// it — slow-loris, connection churn, and overload bursts.
+struct StressRig {
+    server: ApiServer,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    counters: std::sync::Arc<StressCounters>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl StressRig {
+    /// Start the stressed server (2 workers, 8-deep queue, 16-connection
+    /// limit, 150 ms idle timeout — tight enough that the attacks
+    /// actually hit every admission edge) and launch the attack threads.
+    fn start(storage: StorageService) -> StressRig {
+        use std::io::{Read, Write};
+        use std::net::TcpStream;
+        use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let server = ApiServer::start_with_config(
+            storage,
+            ServerConfig {
+                workers: 2,
+                queue_depth: 8,
+                max_connections: 16,
+                idle_timeout: Duration::from_millis(150),
+                retry_after: Duration::from_millis(200),
+                ..ServerConfig::default()
+            },
+            None,
+        )
+        .expect("start stress api server");
+        let addr = server.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(StressCounters::default());
+        let mut threads = Vec::new();
+
+        // Slow-loris: half-sent request heads that stall past the idle
+        // timeout. The reactor must answer each with 408 and reclaim the
+        // socket — no worker ever sees these. One pass: connect while
+        // slots are still free (the overload thread waits 100 ms), stall,
+        // then read the verdicts.
+        {
+            let c = counters.clone();
+            threads.push(std::thread::spawn(move || {
+                let mut conns = Vec::new();
+                for _ in 0..8 {
+                    match TcpStream::connect(addr) {
+                        Ok(mut s) => {
+                            if s.write_all(b"GET /v1/health HTT").is_ok() {
+                                c.loris_conns.fetch_add(1, Relaxed);
+                                conns.push(s);
+                            }
+                        }
+                        Err(_) => {
+                            c.connect_failures.fetch_add(1, Relaxed);
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(400));
+                for mut s in conns {
+                    let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                    let mut buf = Vec::new();
+                    let _ = s.read_to_end(&mut buf);
+                    if buf.starts_with(b"HTTP/1.1 408") {
+                        c.loris_answered_408.fetch_add(1, Relaxed);
+                    }
+                }
+            }));
+        }
+
+        // Connection churn: connect and drop as fast as possible; the
+        // reactor sees EOF and reclaims each slot.
+        {
+            let c = counters.clone();
+            let stop = stop.clone();
+            threads.push(std::thread::spawn(move || {
+                while !stop.load(Relaxed) {
+                    match TcpStream::connect(addr) {
+                        Ok(s) => {
+                            drop(s);
+                            c.churned.fetch_add(1, Relaxed);
+                        }
+                        Err(_) => {
+                            c.connect_failures.fetch_add(1, Relaxed);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }));
+        }
+
+        // Overload bursts: 32 simultaneous clients against a 16-connection
+        // limit. Every client must get a real response — 200, or 429
+        // carrying retry-after — never a reset. The initial sleep leaves
+        // the first free slots to the loris so its 408s are deterministic.
+        {
+            let c = counters.clone();
+            let stop = stop.clone();
+            threads.push(std::thread::spawn(move || loop {
+                std::thread::sleep(Duration::from_millis(if c.health_ok.load(Relaxed) == 0 {
+                    100
+                } else {
+                    50
+                }));
+                std::thread::scope(|scope| {
+                    for _ in 0..32 {
+                        scope.spawn(|| {
+                            let Ok(mut s) = TcpStream::connect(addr) else {
+                                c.connect_failures.fetch_add(1, Relaxed);
+                                return;
+                            };
+                            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                            let req =
+                                b"GET /v1/health HTTP/1.1\r\nhost: chaos\r\nconnection: close\r\n\r\n";
+                            if s.write_all(req).is_err() {
+                                c.connect_failures.fetch_add(1, Relaxed);
+                                return;
+                            }
+                            let mut buf = Vec::new();
+                            if s.read_to_end(&mut buf).is_err() || buf.is_empty() {
+                                c.connect_failures.fetch_add(1, Relaxed);
+                                return;
+                            }
+                            if buf.starts_with(b"HTTP/1.1 200") {
+                                c.health_ok.fetch_add(1, Relaxed);
+                            } else if buf.starts_with(b"HTTP/1.1 429") {
+                                c.sheds.fetch_add(1, Relaxed);
+                                let head = String::from_utf8_lossy(&buf).to_lowercase();
+                                if !head.contains("\r\nretry-after:") {
+                                    c.sheds_missing_retry_after.fetch_add(1, Relaxed);
+                                }
+                            }
+                        });
+                    }
+                });
+                if stop.load(Relaxed) {
+                    break;
+                }
+            }));
+        }
+
+        StressRig {
+            server,
+            stop,
+            counters,
+            threads,
+        }
+    }
+
+    /// Stop the attacks, join every thread, probe the survivor, and fold
+    /// the counters into an [`ApiStressOutcome`].
+    fn finish(self) -> ApiStressOutcome {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.stop.store(true, Relaxed);
+        for t in self.threads {
+            let _ = t.join();
+        }
+        let final_health_ok = ApiClient::new(self.server.addr())
+            .raw_request("GET", "/v1/health", &[])
+            .map(|r| r.status == 200)
+            .unwrap_or(false);
+        let c = &self.counters;
+        ApiStressOutcome {
+            health_ok: c.health_ok.load(Relaxed),
+            sheds: c.sheds.load(Relaxed),
+            sheds_missing_retry_after: c.sheds_missing_retry_after.load(Relaxed),
+            connect_failures: c.connect_failures.load(Relaxed),
+            churned: c.churned.load(Relaxed),
+            loris_conns: c.loris_conns.load(Relaxed),
+            loris_answered_408: c.loris_answered_408.load(Relaxed),
+            final_health_ok,
+        }
+    }
+}
+
 /// What the out-of-process changefeed consumer observed during a
 /// [`ChaosScenario::run_with_wire_reader`] run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -333,7 +553,7 @@ impl ChaosScenario {
     /// Run the scenario to completion and report what happened. Does not
     /// assert anything itself — tests decide which outcome fields matter.
     pub fn run(&self) -> ScenarioOutcome {
-        self.run_inner(None, None)
+        self.run_inner(None, None, None)
     }
 
     /// Like [`ChaosScenario::run`], but with an observability handle wired
@@ -343,7 +563,7 @@ impl ChaosScenario {
     /// scrape `obs` (or serve it over `/v1/metrics`) and cross-check the
     /// registry against the returned [`ScenarioOutcome`].
     pub fn run_with_obs(&self, obs: &Obs) -> ScenarioOutcome {
-        self.run_inner(Some(obs.clone()), None)
+        self.run_inner(Some(obs.clone()), None, None)
     }
 
     /// Like [`ChaosScenario::run`], but with an out-of-process changefeed
@@ -355,14 +575,32 @@ impl ChaosScenario {
     /// evictions all happen mid-feed.
     pub fn run_with_wire_reader(&self) -> (ScenarioOutcome, WireReaderOutcome) {
         let mut wire = WireReaderOutcome::default();
-        let outcome = self.run_inner(None, Some(&mut wire));
+        let outcome = self.run_inner(None, Some(&mut wire), None);
         (outcome, wire)
+    }
+
+    /// Like [`ChaosScenario::run`], but with an HTTP-layer stress rig
+    /// riding along: an [`ApiServer`] (small pool, tight admission
+    /// limits, short idle timeout) fronts the scenario's storage, and
+    /// real threads run three attack shapes against it for the duration
+    /// of the run — **slow-loris** (half-sent request heads that stall),
+    /// **connection churn** (connect/close as fast as possible), and
+    /// **overload bursts** (more simultaneous keep-alive clients than
+    /// the connection limit admits). All stress traffic is read-only, so
+    /// the control loop's [`ScenarioOutcome`] must stay bit-identical to
+    /// an unstressed run — the assertion that wire-layer abuse cannot
+    /// leak into control-plane behavior.
+    pub fn run_with_api_stress(&self) -> (ScenarioOutcome, ApiStressOutcome) {
+        let mut stress = ApiStressOutcome::default();
+        let outcome = self.run_inner(None, None, Some(&mut stress));
+        (outcome, stress)
     }
 
     fn run_inner(
         &self,
         obs: Option<Obs>,
         mut wire: Option<&mut WireReaderOutcome>,
+        api_stress: Option<&mut ApiStressOutcome>,
     ) -> ScenarioOutcome {
         let clock = SimClock::new();
         let graph = DcnSpec::tiny("dc1").build();
@@ -448,6 +686,12 @@ impl ChaosScenario {
         });
         let mut wire_view = MapView::new();
         let mut wire_watermark = Version::GENESIS;
+
+        // The HTTP stress rig: real attack threads against a tight API
+        // server fronting the same storage, for the whole round loop.
+        let stress_rig = api_stress
+            .as_ref()
+            .map(|_| StressRig::start(storage.clone()));
 
         let fw_done = |net: &SimNetwork, d: &DeviceName| {
             net.device_snapshot(d)
@@ -669,6 +913,9 @@ impl ChaosScenario {
             }
         }
 
+        if let (Some(out), Some(rig)) = (api_stress, stress_rig) {
+            *out = rig.finish();
+        }
         outcome.recovery_violations = recovery_checker.violations.clone();
         outcome.chain_violations = chain_checker.violations.clone();
         outcome
@@ -900,6 +1147,41 @@ mod tests {
             wire.unavailable_rounds >= 1,
             "the partition outage should have cost the reader at least one round: {wire:?}"
         );
+    }
+
+    /// The API front end under attack while standard chaos runs: slow-loris
+    /// heads are 408'd by the reactor, overload bursts shed 429 + retry-after
+    /// (never a reset), churn is absorbed — and the control loop's outcome
+    /// stays bit-identical to an unstressed run.
+    #[test]
+    fn api_stress_does_not_perturb_the_control_loop() {
+        let scenario = ChaosScenario::standard(3);
+        let (outcome, stress) = scenario.run_with_api_stress();
+        assert_eq!(
+            outcome,
+            scenario.run(),
+            "HTTP stress must not perturb the run"
+        );
+        assert!(stress.health_ok >= 1, "{stress:?}");
+        assert!(
+            stress.sheds >= 1,
+            "32-client bursts against 16 slots must shed: {stress:?}"
+        );
+        assert_eq!(
+            stress.sheds_missing_retry_after, 0,
+            "every 429 carries retry-after: {stress:?}"
+        );
+        assert_eq!(
+            stress.connect_failures, 0,
+            "overload answers, it never resets: {stress:?}"
+        );
+        assert!(stress.churned >= 1, "{stress:?}");
+        assert_eq!(stress.loris_conns, 8, "{stress:?}");
+        assert!(
+            stress.loris_answered_408 >= 1,
+            "the reactor reclaims stalled heads with 408: {stress:?}"
+        );
+        assert!(stress.final_health_ok, "{stress:?}");
     }
 
     /// A fault-free plan converges quickly with no failed commands, no

@@ -1,46 +1,86 @@
 //! A blocking HTTP client for the v1 API.
 //!
-//! One TCP connection per request (`connection: close`), mirroring the
-//! stateless front end. Out-of-process applications use this client the
-//! way in-process ones use `StatesmanClient` — and with
-//! [`ApiClient::with_app`] the surface matches: `read_os`, `propose`,
-//! `take_receipts` work over the wire with the same signatures' intent,
-//! so swapping transports is a one-line change.
+//! **Keep-alive by default**: the client holds one persistent TCP
+//! connection and pipelines requests over it sequentially, reconnecting
+//! transparently when a pooled connection has gone stale (the server
+//! rotated it, an idle timeout closed it, or the process restarted).
+//! Out-of-process applications use this client the way in-process ones
+//! use `StatesmanClient` — and with [`ApiClient::with_app`] the surface
+//! matches: `read_os`, `propose`, `take_receipts` work over the wire
+//! with the same signatures' intent, so swapping transports is a
+//! one-line change.
 //!
 //! Errors round-trip: a non-2xx v1 response carries the unified
 //! `{code, message, retryable, source}` body, and the client hands back
 //! the same typed [`StateError`] the server raised — an out-of-process
-//! caller can match on `StateError::StorageUnavailable` exactly like an
-//! in-process one.
+//! caller can match on `StateError::StorageUnavailable` (or a 429
+//! shed's `StateError::Overloaded`) exactly like an in-process one.
+//!
+//! Every response surfaces the v1.1 header contract through
+//! [`RawResponse`]: `x-statesman-watermark`, `x-statesman-cursor`,
+//! `x-statesman-server`, and `retry-after` have typed accessors.
 
 use crate::error::decode_error;
-use crate::http::{encode_component, read_response_full, RawResponse};
+use crate::http::{encode_component, read_response_buffered, RawResponse};
 use crate::server::{HealthResponse, WATERMARK_HEADER};
 use statesman_types::{
     AppId, Attribute, DatacenterId, EntityName, Freshness, NetworkState, Pool, SimTime, StateDelta,
     StateError, StateResult, Value, Version, WriteReceipt,
 };
-use std::io::Write;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
 
-/// Client handle (cheap; holds the server address and an optional bound
-/// application identity for the `StatesmanClient`-shaped helpers).
+/// Receipts pulled per page by the transparent pagination in
+/// [`ApiClient::receipts`].
+const RECEIPT_PAGE: usize = 512;
+
+/// One pooled keep-alive connection: the write half plus a persistent
+/// buffered reader (buffered bytes survive across responses).
+#[derive(Debug)]
+struct ClientConn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ClientConn {
+    fn open(addr: SocketAddr) -> StateResult<ClientConn> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ClientConn { stream, reader })
+    }
+}
+
+/// Client handle: the server address, an optional bound application
+/// identity for the `StatesmanClient`-shaped helpers, and the pooled
+/// keep-alive connection. Cloning shares the connection; requests on it
+/// are serialized.
 #[derive(Debug, Clone)]
 pub struct ApiClient {
     addr: SocketAddr,
     app: Option<AppId>,
+    conn: Arc<Mutex<Option<ClientConn>>>,
 }
 
 impl ApiClient {
     /// Point at a server.
     pub fn new(addr: SocketAddr) -> Self {
-        ApiClient { addr, app: None }
+        ApiClient {
+            addr,
+            app: None,
+            conn: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// Bind an application identity, enabling [`ApiClient::propose`] and
     /// [`ApiClient::take_receipts`] (the `StatesmanClient` ergonomics).
+    /// Requests carry it as `x-statesman-app`, which the server's fair
+    /// queue uses for per-app scheduling. The pooled connection is NOT
+    /// shared with the unbound handle.
     pub fn with_app(mut self, app: impl Into<AppId>) -> Self {
         self.app = Some(app.into());
+        self.conn = Arc::new(Mutex::new(None));
         self
     }
 
@@ -49,25 +89,80 @@ impl ApiClient {
         self.app.as_ref()
     }
 
-    fn request(&self, method: &str, target: &str, body: &[u8]) -> StateResult<(u16, Vec<u8>)> {
-        let (status, _headers, body) = self.raw_request(method, target, body)?;
-        Ok((status, body))
+    /// Drop the pooled connection; the next request reconnects.
+    pub fn close(&self) {
+        *self.guard() = None;
     }
 
-    /// Issue one request and return the raw (status, headers, body)
-    /// triple. Header names are lowercased. For diagnostics, tests, and
-    /// endpoints without a typed wrapper.
-    pub fn raw_request(&self, method: &str, target: &str, body: &[u8]) -> StateResult<RawResponse> {
-        let mut stream = TcpStream::connect(self.addr)?;
-        let head = format!(
-            "{method} {target} HTTP/1.1\r\nhost: statesman\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    fn guard(&self) -> std::sync::MutexGuard<'_, Option<ClientConn>> {
+        self.conn.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Write one request and read its response on the pooled connection.
+    fn round_trip(
+        conn: &mut ClientConn,
+        method: &str,
+        target: &str,
+        app: Option<&AppId>,
+        body: &[u8],
+    ) -> StateResult<RawResponse> {
+        let mut head = format!(
+            "{method} {target} HTTP/1.1\r\nhost: statesman\r\ncontent-length: {}\r\n",
             body.len()
         );
-        stream.write_all(head.as_bytes())?;
-        if !body.is_empty() {
-            stream.write_all(body)?;
+        if let Some(app) = app {
+            head.push_str(&format!("x-statesman-app: {}\r\n", app.as_str()));
         }
-        read_response_full(&mut stream)
+        head.push_str("\r\n");
+        conn.stream.write_all(head.as_bytes())?;
+        if !body.is_empty() {
+            conn.stream.write_all(body)?;
+        }
+        read_response_buffered(&mut conn.reader)
+    }
+
+    fn request(&self, method: &str, target: &str, body: &[u8]) -> StateResult<(u16, Vec<u8>)> {
+        let r = self.raw_request(method, target, body)?;
+        Ok((r.status, r.body))
+    }
+
+    /// Issue one request over the pooled keep-alive connection and
+    /// return the raw response. A request that fails on a **reused**
+    /// connection is retried once on a fresh one (the stale-keep-alive
+    /// race: the server closed between our requests); a failure on a
+    /// fresh connection is the caller's error. For diagnostics, tests,
+    /// and endpoints without a typed wrapper.
+    pub fn raw_request(&self, method: &str, target: &str, body: &[u8]) -> StateResult<RawResponse> {
+        let mut guard = self.guard();
+        let reused = guard.is_some();
+        if guard.is_none() {
+            *guard = Some(ClientConn::open(self.addr)?);
+        }
+        let conn = guard.as_mut().expect("just ensured");
+        let result = Self::round_trip(conn, method, target, self.app.as_ref(), body);
+        let resp = match result {
+            Ok(resp) => resp,
+            Err(_) if reused => {
+                // Stale pooled connection; reconnect once and replay.
+                *guard = Some(ClientConn::open(self.addr)?);
+                let conn = guard.as_mut().expect("just replaced");
+                match Self::round_trip(conn, method, target, self.app.as_ref(), body) {
+                    Ok(resp) => resp,
+                    Err(e) => {
+                        *guard = None;
+                        return Err(e);
+                    }
+                }
+            }
+            Err(e) => {
+                *guard = None;
+                return Err(e);
+            }
+        };
+        if resp.connection_close() {
+            *guard = None;
+        }
+        Ok(resp)
     }
 
     /// On 2xx return the body; otherwise decode the unified error body
@@ -123,20 +218,19 @@ impl ApiClient {
             encode_component(&pool.wire_name()),
             since.0,
         );
-        let (status, headers, body) = self.raw_request("GET", &target, &[])?;
-        if !(200..300).contains(&status) {
-            return Err(decode_error(status, &body));
+        let resp = self.raw_request("GET", &target, &[])?;
+        if !(200..300).contains(&resp.status) {
+            return Err(decode_error(resp.status, &resp.body));
         }
-        let delta: StateDelta = serde_json::from_slice(&body)
+        let delta: StateDelta = serde_json::from_slice(&resp.body)
             .map_err(|e| StateError::protocol(format!("bad response JSON: {e}")))?;
-        let header = headers
-            .iter()
-            .find(|(n, _)| n == WATERMARK_HEADER)
+        let header = resp
+            .header(WATERMARK_HEADER)
             .ok_or_else(|| StateError::protocol("delta reply missing watermark header"))?;
-        if header.1 != delta.watermark.0.to_string() {
+        if header != delta.watermark.0.to_string() {
             return Err(StateError::protocol(format!(
                 "watermark header {} disagrees with body {}",
-                header.1, delta.watermark.0
+                header, delta.watermark.0
             )));
         }
         Ok(delta)
@@ -158,12 +252,39 @@ impl ApiClient {
         Ok(())
     }
 
-    /// Drain an application's receipts (`GET /v1/receipts`).
+    /// Drain an application's receipts (`GET /v1/receipts`), walking the
+    /// cursor pages transparently: 512-receipt pages are pulled with
+    /// `limit=`, each page is acknowledged by feeding its cursor
+    /// back as `after=`, and the final empty page acks the last batch.
+    /// A crash mid-drain never loses receipts — unacked pages replay.
     pub fn receipts(&self, app: &AppId) -> StateResult<Vec<WriteReceipt>> {
-        let target = format!("/v1/receipts?App={}", encode_component(app.as_str()));
-        let body = self.expect_2xx(self.request("GET", &target, &[])?)?;
-        serde_json::from_slice(&body)
-            .map_err(|e| StateError::protocol(format!("bad response JSON: {e}")))
+        let mut all = Vec::new();
+        let mut after: Option<u64> = None;
+        loop {
+            let mut target = format!(
+                "/v1/receipts?App={}&limit={RECEIPT_PAGE}",
+                encode_component(app.as_str())
+            );
+            if let Some(c) = after {
+                target.push_str(&format!("&after={c}"));
+            }
+            let resp = self.raw_request("GET", &target, &[])?;
+            if !(200..300).contains(&resp.status) {
+                return Err(decode_error(resp.status, &resp.body));
+            }
+            let page: Vec<WriteReceipt> = serde_json::from_slice(&resp.body)
+                .map_err(|e| StateError::protocol(format!("bad response JSON: {e}")))?;
+            if page.is_empty() {
+                return Ok(all);
+            }
+            all.extend(page);
+            match resp.cursor() {
+                Some(c) => after = Some(c),
+                // A server without a cursor (shouldn't happen on a
+                // paginated read) already drained; don't loop forever.
+                None => return Ok(all),
+            }
+        }
     }
 
     /// The server's simulated clock (`GET /v1/health`). Out-of-process

@@ -37,6 +37,7 @@ pub fn error_code(e: &StateError) -> &'static str {
         StateError::InvalidRequest { .. } => "invalid_request",
         StateError::Protocol { .. } => "protocol_error",
         StateError::Io { .. } => "io_error",
+        StateError::Overloaded { .. } => "overloaded",
     }
 }
 
@@ -52,13 +53,20 @@ pub fn error_status(e: &StateError) -> u16 {
         StateError::InvalidRequest { .. } => 400,
         StateError::Protocol { .. } => 400,
         StateError::Io { .. } => 500,
+        StateError::Overloaded { .. } => 429,
     }
 }
 
-fn reason(status: u16) -> &'static str {
+/// The reason phrase for a status code.
+pub fn reason(status: u16) -> &'static str {
     match status {
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
+        410 => "Gone",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         502 => "Bad Gateway",
         503 => "Service Unavailable",
@@ -67,9 +75,25 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Render a typed error as the unified v1 error response.
+/// The `retry-after` value (whole seconds, rounded up) an error advises,
+/// if it is retryable at all. Overload sheds carry their configured
+/// backoff; other retryable classes get a conventional 1 s.
+fn retry_after_secs(e: &StateError) -> Option<u64> {
+    if !e.is_retryable() {
+        return None;
+    }
+    Some(match e {
+        StateError::Overloaded { retry_after_ms } => retry_after_ms.div_ceil(1000).max(1),
+        _ => 1,
+    })
+}
+
+/// Render a typed error as the unified v1 error response. Every
+/// retryable error carries a `retry-after` header (seconds) so clients
+/// never need to invent a backoff.
 pub fn error_response(e: StateError) -> HttpResponse {
     let status = error_status(&e);
+    let retry_after = retry_after_secs(&e);
     let body = ApiErrorBody {
         code: error_code(&e).to_string(),
         message: e.to_string(),
@@ -77,13 +101,17 @@ pub fn error_response(e: StateError) -> HttpResponse {
         source: e,
     };
     let json = serde_json::to_vec(&body).unwrap_or_else(|_| b"{}".to_vec());
-    HttpResponse {
+    let mut resp = HttpResponse {
         status,
         reason: reason(status),
         body: json,
         content_type: "application/json",
         headers: Vec::new(),
+    };
+    if let Some(secs) = retry_after {
+        resp = resp.with_header("retry-after", secs.to_string());
     }
+    resp
 }
 
 /// Decode a non-2xx response body back into the typed error the server
@@ -137,6 +165,9 @@ mod tests {
             StateError::Io {
                 reason: "peer gone".into(),
             },
+            StateError::Overloaded {
+                retry_after_ms: 1500,
+            },
         ];
         for e in cases {
             let resp = error_response(e.clone());
@@ -144,7 +175,35 @@ mod tests {
             let decoded = decode_error(resp.status, &resp.body);
             assert_eq!(decoded, e, "decoded error must equal the original");
             assert_eq!(decoded.is_retryable(), e.is_retryable());
+            let retry_header = resp
+                .headers
+                .iter()
+                .find(|(n, _)| n == "retry-after")
+                .map(|(_, v)| v.as_str());
+            assert_eq!(
+                retry_header.is_some(),
+                e.is_retryable(),
+                "retry-after iff retryable: {e}"
+            );
         }
+    }
+
+    #[test]
+    fn overload_sheds_advise_their_backoff_rounded_up() {
+        let resp = error_response(StateError::Overloaded {
+            retry_after_ms: 1500,
+        });
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.reason, "Too Many Requests");
+        let retry = resp
+            .headers
+            .iter()
+            .find(|(n, _)| n == "retry-after")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        assert_eq!(retry, "2", "1500ms rounds up to 2s");
+        let decoded = decode_error(resp.status, &resp.body);
+        assert!(decoded.is_retryable());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! A deliberately small HTTP/1.1 codec: request-line + headers +
-//! `Content-Length` bodies. Enough for the Table-3 API; nothing more.
+//! `Content-Length` bodies, parsed **incrementally** from a byte buffer
+//! so the server's reactor can feed connections nonblockingly and only
+//! hand complete requests to the worker pool.
 //!
 //! Query values are percent-encoded because entity wire names contain
 //! `/` and `~` (e.g. `dc1/link/agg-1-1~tor-1-1`).
@@ -15,10 +17,12 @@ use std::net::TcpStream;
 pub struct HttpRequest {
     /// `GET`, `POST`, …
     pub method: String,
-    /// Path without the query string, e.g. `/NetworkState/Read`.
+    /// Path without the query string, e.g. `/v1/read`.
     pub path: String,
     /// Decoded query parameters.
     pub query: BTreeMap<String, String>,
+    /// Request headers, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
     /// Raw body bytes.
     pub body: Vec<u8>,
 }
@@ -34,6 +38,179 @@ impl HttpRequest {
         self.param(key)
             .ok_or_else(|| StateError::protocol(format!("missing query parameter {key}")))
     }
+
+    /// A request header by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for this connection to close after the
+    /// response (`connection: close`). HTTP/1.1 defaults to keep-alive.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+
+    /// The application identity the request rides under, if the client
+    /// stamped one (`x-statesman-app`); used for per-app fairness.
+    pub fn app_label(&self) -> &str {
+        self.header("x-statesman-app").unwrap_or("")
+    }
+}
+
+/// Size limits the incremental parser enforces. Violations map to
+/// distinct HTTP statuses (431 for headers, 413 for bodies) so a client
+/// can tell "shrink your header block" from "shrink your payload".
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum bytes of request-line + headers (terminator included).
+    pub max_header_bytes: usize,
+    /// Maximum accepted `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            // Generous for a query-string API; a legitimate request head
+            // is a few hundred bytes.
+            max_header_bytes: 16 << 10,
+            // A monitor round for a large DC is a few MB of JSON; anything
+            // beyond 64 MB is abuse, not a workload.
+            max_body_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Why a buffered byte sequence cannot become a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// The header block exceeded [`HttpLimits::max_header_bytes`] without
+    /// terminating (answer 431).
+    HeadersTooLarge,
+    /// The declared `Content-Length` exceeded
+    /// [`HttpLimits::max_body_bytes`] (answer 413).
+    BodyTooLarge,
+    /// The bytes that did arrive are not HTTP (answer 400).
+    Malformed(StateError),
+}
+
+/// The parsed head of an in-flight request: everything but the body,
+/// plus how many bytes the head consumed and how many the body needs.
+/// Cached by the connection so completeness checks after the head has
+/// parsed are O(1) instead of re-scanning the buffer.
+#[derive(Debug, Clone)]
+pub struct RequestHead {
+    /// Parsed request minus the body.
+    pub request: HttpRequest,
+    /// Bytes of the buffer the head consumed (terminator included).
+    pub head_len: usize,
+    /// Declared `Content-Length`.
+    pub content_length: usize,
+}
+
+impl RequestHead {
+    /// Total buffered bytes needed for the full request.
+    pub fn total_len(&self) -> usize {
+        self.head_len + self.content_length
+    }
+}
+
+/// Locate the end of the header block: byte length through the
+/// `\r\n\r\n` (or bare `\n\n`) terminator.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            // "\n\r\n" or "\n\n" both end the block.
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Try to parse a request head out of `buf`. `Ok(None)` means the head
+/// is still incomplete — read more bytes and try again.
+pub fn parse_head(buf: &[u8], limits: &HttpLimits) -> Result<Option<RequestHead>, RequestError> {
+    let Some(head_len) = find_head_end(buf) else {
+        if buf.len() > limits.max_header_bytes {
+            return Err(RequestError::HeadersTooLarge);
+        }
+        return Ok(None);
+    };
+    if head_len > limits.max_header_bytes {
+        return Err(RequestError::HeadersTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| RequestError::Malformed(StateError::protocol("request head is not UTF-8")))?;
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let line = lines
+        .next()
+        .ok_or_else(|| RequestError::Malformed(StateError::protocol("empty request line")))?;
+    let mut parts = line.split_whitespace();
+    let malformed = |what: &str| RequestError::Malformed(StateError::protocol(what.to_string()));
+    let method = parts
+        .next()
+        .ok_or_else(|| malformed("empty request line"))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| malformed("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(StateError::protocol(format!(
+            "unsupported version {version}"
+        ))));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (
+            p.to_string(),
+            parse_query(q).map_err(RequestError::Malformed)?,
+        ),
+        None => (target.to_string(), BTreeMap::new()),
+    };
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for h in lines {
+        if h.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
+                    RequestError::Malformed(StateError::protocol("bad content-length"))
+                })?;
+            }
+            headers.push((name, value));
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(RequestError::BodyTooLarge);
+    }
+    Ok(Some(RequestHead {
+        request: HttpRequest {
+            method: method.to_string(),
+            path,
+            query,
+            headers,
+            body: Vec::new(),
+        },
+        head_len,
+        content_length,
+    }))
 }
 
 /// An HTTP response under construction.
@@ -82,8 +259,8 @@ impl HttpResponse {
         HttpResponse::new(400, "Bad Request", msg.into().into_bytes(), "text/plain")
     }
 
-    /// 408 (the connection idled past the server's socket read timeout
-    /// before a full request arrived).
+    /// 408 (the connection idled past the server's read timeout before a
+    /// full request arrived — half-open sockets and slow-loris clients).
     pub fn request_timeout(msg: impl Into<String>) -> Self {
         HttpResponse::new(
             408,
@@ -126,16 +303,19 @@ impl HttpResponse {
         self
     }
 
-    /// Serialize onto the wire.
-    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
-        let mut buf = BytesMut::with_capacity(128 + self.body.len());
+    /// Serialize onto the wire. `keep_alive` chooses the `connection`
+    /// header; pass `false` when the server will close after this
+    /// response (shutdown, errors, budget exhausted, client asked).
+    pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut buf = BytesMut::with_capacity(160 + self.body.len());
         buf.put_slice(
             format!(
-                "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+                "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
                 self.status,
                 self.reason,
                 self.content_type,
-                self.body.len()
+                self.body.len(),
+                if keep_alive { "keep-alive" } else { "close" },
             )
             .as_bytes(),
         );
@@ -204,88 +384,76 @@ fn parse_query(q: &str) -> StateResult<BTreeMap<String, String>> {
     Ok(map)
 }
 
-/// Maximum accepted body size (a monitor round for a large DC is a few MB
-/// of JSON; anything beyond 64 MB is a protocol error, not a workload).
+/// Body-size cap for client-side response reads.
 const MAX_BODY: usize = 64 << 20;
 
-/// Read one request from a connection.
-pub fn read_request(stream: &mut TcpStream) -> StateResult<HttpRequest> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| StateError::protocol("empty request line"))?
-        .to_string();
-    let target = parts
-        .next()
-        .ok_or_else(|| StateError::protocol("missing request target"))?;
-    let version = parts
-        .next()
-        .ok_or_else(|| StateError::protocol("missing HTTP version"))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(StateError::protocol(format!(
-            "unsupported version {version}"
-        )));
-    }
-
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), parse_query(q)?),
-        None => (target.to_string(), BTreeMap::new()),
-    };
-
-    // Headers: we only care about content-length.
-    let mut content_length = 0usize;
-    loop {
-        let mut h = String::new();
-        let n = reader.read_line(&mut h)?;
-        if n == 0 {
-            return Err(StateError::protocol("connection closed mid-headers"));
-        }
-        let h = h.trim_end();
-        if h.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = h.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| StateError::protocol("bad content-length"))?;
-            }
-        }
-    }
-    if content_length > MAX_BODY {
-        return Err(StateError::protocol("body too large"));
-    }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        reader.read_exact(&mut body)?;
-    }
-    Ok(HttpRequest {
-        method,
-        path,
-        query,
-        body,
-    })
-}
-
-/// Read one response from a connection (client side). Returns (status,
-/// body).
+/// Read one response from a connection (client side, `connection: close`
+/// style sockets). Returns (status, body).
 pub fn read_response(stream: &mut TcpStream) -> StateResult<(u16, Vec<u8>)> {
-    let (status, _headers, body) = read_response_full(stream)?;
-    Ok((status, body))
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let r = read_response_buffered(&mut reader)?;
+    Ok((r.status, r.body))
 }
 
 /// A raw HTTP response: status code, lowercased (name, value) header
-/// pairs, and the body bytes.
-pub type RawResponse = (u16, Vec<(String, String)>, Vec<u8>);
+/// pairs, and the body bytes. The v1.1 response-header contract rides
+/// here uniformly: [`RawResponse::watermark`], [`RawResponse::cursor`],
+/// [`RawResponse::retry_after`], and [`RawResponse::server_version`]
+/// expose the standard `x-statesman-*`/`retry-after` headers without
+/// callers grepping the header list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
 
-/// Read one response including its headers (client side). Header names
-/// are lowercased; values are trimmed. Returns (status, headers, body).
-pub fn read_response_full(stream: &mut TcpStream) -> StateResult<RawResponse> {
-    let mut reader = BufReader::new(stream);
+impl RawResponse {
+    /// A response header by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `x-statesman-watermark` header (delta and pool reads).
+    pub fn watermark(&self) -> Option<u64> {
+        self.header(crate::server::WATERMARK_HEADER)?.parse().ok()
+    }
+
+    /// The `x-statesman-cursor` header (receipt pagination).
+    pub fn cursor(&self) -> Option<u64> {
+        self.header(crate::server::CURSOR_HEADER)?.parse().ok()
+    }
+
+    /// The `retry-after` header in seconds (429 sheds and every
+    /// retryable error).
+    pub fn retry_after(&self) -> Option<u64> {
+        self.header("retry-after")?.parse().ok()
+    }
+
+    /// The `x-statesman-server` version header (every response).
+    pub fn server_version(&self) -> Option<&str> {
+        self.header(crate::server::SERVER_HEADER)
+    }
+
+    /// Whether the server will close the connection after this response.
+    pub fn connection_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+}
+
+/// Read one response including its headers from a buffered stream
+/// (client side). Header names are lowercased; values are trimmed. The
+/// reader persists across calls so keep-alive connections can pull many
+/// responses without losing buffered bytes.
+pub fn read_response_buffered(reader: &mut BufReader<TcpStream>) -> StateResult<RawResponse> {
     let mut line = String::new();
     reader.read_line(&mut line)?;
     let mut parts = line.split_whitespace();
@@ -319,12 +487,32 @@ pub fn read_response_full(stream: &mut TcpStream) -> StateResult<RawResponse> {
     if !body.is_empty() {
         reader.read_exact(&mut body)?;
     }
-    Ok((status, headers, body))
+    Ok(RawResponse {
+        status,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse_all(buf: &[u8]) -> Result<Option<(HttpRequest, usize)>, RequestError> {
+        let limits = HttpLimits::default();
+        match parse_head(buf, &limits)? {
+            None => Ok(None),
+            Some(head) => {
+                if buf.len() < head.total_len() {
+                    return Ok(None);
+                }
+                let total = head.total_len();
+                let mut req = head.request;
+                req.body = buf[head.head_len..total].to_vec();
+                Ok(Some((req, total)))
+            }
+        }
+    }
 
     #[test]
     fn component_round_trip() {
@@ -358,14 +546,83 @@ mod tests {
     }
 
     #[test]
+    fn incremental_parse_waits_for_full_head_then_body() {
+        let wire = b"POST /v1/write?Pool=OS HTTP/1.1\r\nhost: x\r\ncontent-length: 5\r\n\r\nhello";
+        // Every strict prefix short of the full request parses to None.
+        for cut in [10usize, 30, wire.len() - 6, wire.len() - 1] {
+            assert!(
+                parse_all(&wire[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let (req, consumed) = parse_all(wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/write");
+        assert_eq!(req.param("Pool"), Some("OS"));
+        assert_eq!(req.body, b"hello");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let wire =
+            b"GET /v1/health HTTP/1.1\r\n\r\nGET /v1/status HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let (first, consumed) = parse_all(wire).unwrap().unwrap();
+        assert_eq!(first.path, "/v1/health");
+        let (second, rest) = parse_all(&wire[consumed..]).unwrap().unwrap();
+        assert_eq!(second.path, "/v1/status");
+        assert!(second.wants_close());
+        assert_eq!(consumed + rest, wire.len());
+    }
+
+    #[test]
+    fn oversized_heads_and_bodies_are_distinct_errors() {
+        let mut huge_head = b"GET /v1/health HTTP/1.1\r\nx-pad: ".to_vec();
+        huge_head.extend(std::iter::repeat(b'a').take(17 << 10));
+        assert_eq!(
+            parse_all(&huge_head).unwrap_err(),
+            RequestError::HeadersTooLarge
+        );
+
+        let huge_body = format!(
+            "POST /v1/write HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            65 << 20
+        );
+        assert_eq!(
+            parse_all(huge_body.as_bytes()).unwrap_err(),
+            RequestError::BodyTooLarge
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_malformed() {
+        assert!(matches!(
+            parse_all(b"NOT HTTP AT ALL\r\n\r\n").unwrap_err(),
+            RequestError::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_all(b"GET /x SPDY/9\r\n\r\n").unwrap_err(),
+            RequestError::Malformed(_)
+        ));
+    }
+
+    #[test]
     fn response_serializes() {
         let r = HttpResponse::ok_json(br#"{"x":1}"#.to_vec());
         let mut buf = Vec::new();
-        r.write_to(&mut buf).unwrap();
+        r.write_to(&mut buf, false).unwrap();
         let s = String::from_utf8(buf).unwrap();
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
         assert!(s.contains("content-length: 7"), "{s}");
+        assert!(s.contains("connection: close"), "{s}");
         assert!(s.ends_with(r#"{"x":1}"#), "{s}");
+
+        let mut buf = Vec::new();
+        r.write_to(&mut buf, true).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("connection: keep-alive"), "{s}");
     }
 
     #[test]
@@ -374,12 +631,33 @@ mod tests {
         query.insert("Pool".to_string(), "TS".to_string());
         let req = HttpRequest {
             method: "GET".into(),
-            path: "/NetworkState/Read".into(),
+            path: "/v1/read".into(),
             query,
+            headers: vec![("x-statesman-app".into(), "te-app".into())],
             body: vec![],
         };
         assert_eq!(req.param("Pool"), Some("TS"));
         assert!(req.require("Pool").is_ok());
         assert!(req.require("Freshness").is_err());
+        assert_eq!(req.app_label(), "te-app");
+    }
+
+    #[test]
+    fn raw_response_header_accessors() {
+        let r = RawResponse {
+            status: 429,
+            headers: vec![
+                ("retry-after".into(), "2".into()),
+                ("x-statesman-server".into(), "statesman/0.1.0".into()),
+                ("x-statesman-watermark".into(), "41".into()),
+                ("connection".into(), "close".into()),
+            ],
+            body: Vec::new(),
+        };
+        assert_eq!(r.retry_after(), Some(2));
+        assert_eq!(r.server_version(), Some("statesman/0.1.0"));
+        assert_eq!(r.watermark(), Some(41));
+        assert_eq!(r.cursor(), None);
+        assert!(r.connection_close());
     }
 }

@@ -6,18 +6,43 @@
 //!
 //! ```text
 //! GET  /v1/read?Datacenter={dc}&Pool={p}&Freshness={c}&Entity={e}&Attribute={a}
+//! GET  /v1/read?Datacenter={dc}&Pool={p}&since={v}   (changefeed delta)
 //! POST /v1/write?Pool={p}            (body: JSON list of NetworkState)
-//! GET  /v1/receipts?App={app}        (drain an application's receipts)
+//! GET  /v1/receipts?App={app}[&limit=N&after=C]      (drain or paginate receipts)
 //! GET  /v1/health                    ({ok, now_ms}: liveness + simulated clock)
 //! GET  /v1/metrics[?format=json]     (the metrics registry; text by default)
 //! GET  /v1/status[?rounds=N]         (status board + last N round traces)
 //! ```
 //!
+//! ## The front end
+//!
+//! The server ([`ApiServer`]) is a **fixed worker thread-pool** behind a
+//! readiness-driven reactor: an accept thread feeds connections to one
+//! reactor that owns them nonblockingly (`poll(2)`), parses requests
+//! incrementally, and queues complete requests into a bounded
+//! **per-app-fair** ready queue drained by the workers. Thread count is
+//! `workers + 2` no matter how many thousands of keep-alive connections
+//! are open. Admission control is explicit: past
+//! [`ServerConfig::max_connections`] or a full ready queue the server
+//! sheds with `429` + `retry-after` + the typed JSON error body — load
+//! is signalled to callers, not absorbed silently by the OS accept
+//! backlog. Workers drain pipelined requests (budget-capped) and
+//! coalesce queued same-pool `/v1/write` bodies into one storage batch.
+//!
+//! Every response carries `x-statesman-server`; every retryable error
+//! carries `retry-after`; delta and pool reads carry
+//! `x-statesman-watermark`; paginated receipts carry
+//! `x-statesman-cursor`. [`ApiClient`] keeps one persistent keep-alive
+//! connection (reconnecting transparently when it goes stale) and
+//! exposes the header contract on [`RawResponse`].
+//!
 //! The Table-3 spellings (`/NetworkState/Read`, `/NetworkState/Write`,
-//! `/NetworkState/Receipts`, `/healthz`) remain as deprecated aliases:
-//! they answer identically plus a `deprecation: true` header and a
-//! `link: </v1/...>; rel="successor-version"` pointer, and each hit bumps
-//! `httpapi_deprecated_total` so operators can watch stragglers drain.
+//! `/NetworkState/Receipts`, `/healthz`) are **sunset**: by default they
+//! answer `410 Gone` with a `link: </v1/...>; rel="successor-version"`
+//! pointer; [`ServerConfig::legacy_aliases`] restores them for one more
+//! deprecation cycle (with `deprecation: true` headers, each hit bumping
+//! `httpapi_deprecated_total`). They live in a cold table outside the
+//! hot dispatch path either way.
 //!
 //! The paper's storage front end "is implemented as a HTTP web service
 //! with RESTful APIs" (§6.4); applications, monitors, updaters, and
@@ -33,12 +58,13 @@
 //! header. Every v1 error is the unified JSON body
 //! `{code, message, retryable, source}` ([`error::ApiErrorBody`]), and
 //! [`ApiClient`] decodes it back into the exact typed
-//! [`StateError`](statesman_types::StateError) the server raised.
+//! [`StateError`](statesman_types::StateError) the server raised — a
+//! `429` shed round-trips into a retryable `StateError::Overloaded`.
 //!
 //! The HTTP/1.1 implementation is deliberately small: request-line +
-//! headers + `Content-Length` bodies, thread-per-connection, graceful
-//! shutdown. No external HTTP dependency — `bytes` for buffers, `serde_json`
-//! for payloads.
+//! headers + `Content-Length` bodies, keep-alive with pipelining,
+//! graceful drain-then-join shutdown. No external HTTP dependency —
+//! `bytes` for buffers, `serde_json` for payloads.
 
 pub mod client;
 pub mod error;
@@ -47,5 +73,5 @@ pub mod server;
 
 pub use client::ApiClient;
 pub use error::ApiErrorBody;
-pub use http::{HttpRequest, HttpResponse};
-pub use server::{ApiServer, HealthResponse, StatusResponse};
+pub use http::{HttpRequest, HttpResponse, RawResponse};
+pub use server::{ApiServer, HealthResponse, ServerConfig, StatusResponse};

@@ -21,7 +21,9 @@
 pub mod registry;
 pub mod trace;
 
-pub use registry::{Counter, Gauge, Histogram, MetricSample, Registry, LATENCY_BUCKETS_MS};
+pub use registry::{
+    Counter, Gauge, Histogram, MetricSample, Registry, LATENCY_BUCKETS_MS, LATENCY_BUCKETS_US,
+};
 pub use trace::{RoundTrace, TraceRing, DEFAULT_TRACE_CAPACITY};
 
 use parking_lot::Mutex;

@@ -87,6 +87,24 @@ pub const LATENCY_BUCKETS_MS: &[f64] = &[
     1.0, 5.0, 25.0, 100.0, 500.0, 2_500.0, 10_000.0, 60_000.0, 240_000.0,
 ];
 
+/// Microsecond latency buckets for wire-level request timing: 50µs .. 1s,
+/// roughly 2–4× steps. The HTTP front end's per-worker request histograms
+/// use these (a served read is tens of microseconds; millisecond buckets
+/// would collapse the whole distribution into the first bucket).
+pub const LATENCY_BUCKETS_US: &[f64] = &[
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    100_000.0,
+    1_000_000.0,
+];
+
 impl Histogram {
     fn new(bounds: &[f64]) -> Self {
         let mut b: Vec<f64> = bounds.to_vec();

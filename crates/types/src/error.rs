@@ -81,6 +81,13 @@ pub enum StateError {
         /// Stringified `std::io::Error`.
         reason: String,
     },
+    /// The service shed the request under admission control (queue full /
+    /// connection limit). Retryable by definition: the request was never
+    /// looked at, so reissuing it after the advised backoff is safe.
+    Overloaded {
+        /// How long the caller should wait before retrying.
+        retry_after_ms: u64,
+    },
 }
 
 impl StateError {
@@ -109,6 +116,7 @@ impl StateError {
                 | StateError::DeviceTimeout { .. }
                 | StateError::CommandFailed { .. }
                 | StateError::Io { .. }
+                | StateError::Overloaded { .. }
         )
     }
 
@@ -158,6 +166,9 @@ impl fmt::Display for StateError {
             StateError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
             StateError::Protocol { reason } => write!(f, "protocol error: {reason}"),
             StateError::Io { reason } => write!(f, "io error: {reason}"),
+            StateError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms}ms")
+            }
         }
     }
 }

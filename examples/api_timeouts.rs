@@ -1,13 +1,14 @@
-//! The API front end's socket timeouts, observed on real TCP: a healthy
-//! request, a half-open connection (connects, never sends — the classic
-//! slow-client resource attack on thread-per-connection servers), and a
-//! garbage request, each answered appropriately.
+//! The API front end's admission and timeout edges, observed on real
+//! TCP: a sunset legacy alias (410 Gone), the same alias re-enabled for
+//! a deprecation cycle, a half-open connection (connects, never sends —
+//! the classic slow-client attack), and a garbage request, each answered
+//! appropriately — all without a thread per connection.
 //!
 //! ```text
 //! cargo run --example api_timeouts
 //! ```
 
-use statesman::httpapi::ApiServer;
+use statesman::httpapi::{ApiServer, ServerConfig};
 use statesman::net::SimClock;
 use statesman::storage::StorageService;
 use std::io::{Read, Write};
@@ -17,21 +18,48 @@ use std::time::{Duration, Instant};
 fn main() {
     let clock = SimClock::new();
     let storage = StorageService::single_dc("dc1", clock);
-    let server = ApiServer::start_with_io_timeout(storage, Duration::from_millis(300)).unwrap();
+    let server = ApiServer::start_with_config(
+        storage.clone(),
+        ServerConfig {
+            idle_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+        None,
+    )
+    .unwrap();
     let addr = server.addr();
-    println!("API on http://{addr}, per-socket io timeout 300ms\n");
+    println!("API on http://{addr}, idle timeout 300ms\n");
 
-    // A well-formed request over a raw socket — via the deprecated
-    // `/healthz` alias, so the deprecation + successor headers show up.
+    // The Table-3 alias is sunset: 410 Gone with a successor link.
     let mut s = TcpStream::connect(addr).unwrap();
-    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: demo\r\n\r\n")
+    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: demo\r\nconnection: close\r\n\r\n")
         .unwrap();
     let mut buf = String::new();
     s.read_to_string(&mut buf).unwrap();
-    println!("--- /healthz (deprecated alias of /v1/health) over raw TCP ---\n{buf}\n");
+    println!("--- /healthz on a default server (sunset alias) ---\n{buf}\n");
 
-    // Half-open: connect and send nothing. The server must answer 408
-    // and close rather than pin the worker thread forever.
+    // Re-enable the aliases for one more deprecation cycle: the alias
+    // answers, flagged with deprecation + successor headers.
+    let legacy = ApiServer::start_with_config(
+        storage,
+        ServerConfig {
+            legacy_aliases: true,
+            idle_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+        None,
+    )
+    .unwrap();
+    let mut s = TcpStream::connect(legacy.addr()).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\nhost: demo\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    println!("--- /healthz with legacy_aliases enabled ---\n{buf}\n");
+    drop(legacy);
+
+    // Half-open: connect and send nothing. The reactor answers 408 and
+    // closes rather than pinning anything (no thread is waiting on it).
     let t0 = Instant::now();
     let mut idle = TcpStream::connect(addr).unwrap();
     let mut buf = String::new();

@@ -81,19 +81,105 @@ fn full_loop_through_the_wire() {
 
 #[test]
 fn oversized_bodies_are_rejected() {
-    // The server caps bodies at 64 MB (a protocol error, not a workload).
+    // The server caps bodies at 64 MB; the violation is its own status
+    // (413) so clients can tell "shrink your payload" from "not HTTP".
     use std::io::Write;
     let clock = SimClock::new();
     let storage = StorageService::single_dc("dc1", clock);
     let server = ApiServer::start(storage).unwrap();
     let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
     let head = format!(
-        "POST /NetworkState/Write?Pool=OS HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n",
+        "POST /v1/write?Pool=OS HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n",
         65 << 20
     );
     stream.write_all(head.as_bytes()).unwrap();
     let (status, body) = statesman_httpapi::http::read_response(&mut stream).unwrap();
-    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(status, 413, "{}", String::from_utf8_lossy(&body));
+}
+
+#[test]
+fn oversized_headers_are_rejected_with_431() {
+    use std::io::Write;
+    let clock = SimClock::new();
+    let storage = StorageService::single_dc("dc1", clock);
+    let server = ApiServer::start(storage).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"GET /v1/health HTTP/1.1\r\nx-pad: ")
+        .unwrap();
+    stream.write_all(&vec![b'a'; 17 << 10]).unwrap();
+    let (status, _) = statesman_httpapi::http::read_response(&mut stream).unwrap();
+    assert_eq!(status, 431);
+}
+
+#[test]
+fn keep_alive_survives_interleaved_partial_writes() {
+    // Two requests on one socket, each dribbled out in fragments with
+    // pauses between them: the reactor must assemble each request from
+    // partial reads and keep the connection alive between responses.
+    use statesman_httpapi::http::read_response_buffered;
+    use std::io::{BufReader, Write};
+    let clock = SimClock::new();
+    let storage = StorageService::single_dc("dc1", clock);
+    let server = ApiServer::start(storage).unwrap();
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    let wire: &[u8] = b"GET /v1/health HTTP/1.1\r\nhost: x\r\n\r\n";
+    for _ in 0..2 {
+        for chunk in wire.chunks(7) {
+            writer.write_all(chunk).unwrap();
+            writer.flush().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let resp = read_response_buffered(&mut reader).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(
+            !resp.connection_close(),
+            "keep-alive persists across partial writes"
+        );
+        assert!(String::from_utf8_lossy(&resp.body).contains("\"ok\":true"));
+    }
+    assert_eq!(server.request_count(), 2);
+}
+
+#[test]
+fn overload_sheds_round_trip_into_typed_retryable_errors() {
+    use statesman_httpapi::{error::decode_error, ServerConfig};
+    use statesman_types::StateError;
+    let clock = SimClock::new();
+    let storage = StorageService::single_dc("dc1", clock);
+    // One connection slot: the second simultaneous connection is shed at
+    // the accept edge with 429 + retry-after.
+    let server = ApiServer::start_with_config(
+        storage,
+        ServerConfig {
+            max_connections: 1,
+            retry_after: std::time::Duration::from_secs(2),
+            ..ServerConfig::default()
+        },
+        None,
+    )
+    .unwrap();
+    let _held = std::net::TcpStream::connect(server.addr()).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let resp = ApiClient::new(server.addr())
+        .raw_request("GET", "/v1/health", &[])
+        .unwrap();
+    assert_eq!(resp.status, 429, "shed with a response, not a reset");
+    assert_eq!(resp.retry_after(), Some(2));
+    let err = decode_error(resp.status, &resp.body);
+    assert!(
+        matches!(
+            err,
+            StateError::Overloaded {
+                retry_after_ms: 2000
+            }
+        ),
+        "shed decodes into the typed overload error: {err:?}"
+    );
+    assert!(err.is_retryable());
 }
 
 #[test]
@@ -111,7 +197,7 @@ fn garbage_requests_get_400_not_a_hang() {
 #[test]
 fn concurrent_wire_clients() {
     // Several clients hammer the same server from threads; every request
-    // must be answered coherently (thread-per-connection server).
+    // must be answered coherently by the fixed worker pool.
     let clock = SimClock::new();
     let dc = DatacenterId::new("dc1");
     let storage = StorageService::new([dc.clone()], clock.clone(), StorageConfig::default());

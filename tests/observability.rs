@@ -8,7 +8,7 @@
 //! counter.
 
 use statesman::core::{Coordinator, CoordinatorConfig, StatesmanClient};
-use statesman::httpapi::{ApiClient, ApiServer, StatusResponse};
+use statesman::httpapi::{ApiClient, ApiServer, ServerConfig, StatusResponse};
 use statesman::net::{SimClock, SimConfig, SimNetwork};
 use statesman::obs::Obs;
 use statesman::prelude::*;
@@ -166,30 +166,46 @@ fn legacy_aliases_deprecate_but_keep_answering() {
     )
     .tick_and_advance(SimDuration::from_mins(1))
     .unwrap();
-    let server = ApiServer::start_with_obs(storage, obs.clone()).unwrap();
+    // Sunset by default: a plain server answers the alias 410 Gone with
+    // a successor link.
+    let plain = ApiServer::start(storage.clone()).unwrap();
+    let gone = ApiClient::new(plain.addr())
+        .raw_request("GET", "/healthz", &[])
+        .unwrap();
+    assert_eq!(gone.status, 410);
+    assert_eq!(
+        gone.header("link"),
+        Some("</v1/health>; rel=\"successor-version\"")
+    );
+    drop(plain);
+
+    // Opting in restores the aliases for one more deprecation cycle.
+    let server = ApiServer::start_with_config(
+        storage,
+        ServerConfig {
+            legacy_aliases: true,
+            ..ServerConfig::default()
+        },
+        Some(obs.clone()),
+    )
+    .unwrap();
     let api = ApiClient::new(server.addr());
 
     // The Table-3 spelling still answers with the same rows as /v1/read…
     let target = "?Datacenter=dc1&Pool=OS&Freshness=up-to-date";
-    let (status, headers, legacy_body) = api
+    let legacy = api
         .raw_request("GET", &format!("/NetworkState/Read{target}"), &[])
         .unwrap();
-    assert_eq!(status, 200);
-    let (_, _, v1_body) = api
+    assert_eq!(legacy.status, 200);
+    let v1 = api
         .raw_request("GET", &format!("/v1/read{target}"), &[])
         .unwrap();
-    assert_eq!(legacy_body, v1_body);
+    assert_eq!(legacy.body, v1.body);
 
     // …plus the deprecation marker and a successor pointer.
-    let header = |name: &str| {
-        headers
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
-    };
-    assert_eq!(header("deprecation"), Some("true"));
+    assert_eq!(legacy.header("deprecation"), Some("true"));
     assert_eq!(
-        header("link"),
+        legacy.header("link"),
         Some("</v1/read>; rel=\"successor-version\"")
     );
 
