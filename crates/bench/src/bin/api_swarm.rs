@@ -5,6 +5,13 @@
 //! never connection errors. The server's thread count is asserted flat
 //! (`workers + 2`) at every level: connections scale, threads do not.
 //!
+//! A second sweep drives `POST /v1/write` at the same levels: every
+//! client proposes one distinct row per request into its stripe's PS
+//! pool, exercising the server's same-pool write coalescing and the
+//! columnar storage plane's slot allocation under swarm concurrency.
+//! Every acknowledged write must be a landed row — the level asserts
+//! `ok == rows landed` after the swarm drains.
+//!
 //! The swarm runs in child **shard processes** (the binary re-execs
 //! itself with `STATESMAN_SWARM_SHARD` set): each shard owns its own
 //! file-descriptor budget, so the server process only pays one fd per
@@ -22,6 +29,7 @@
 use statesman_httpapi::{ApiClient, ApiServer, ServerConfig};
 use statesman_net::SimClock;
 use statesman_storage::StorageService;
+use statesman_types::{AppId, Attribute, EntityName, NetworkState, SimTime, Value};
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
@@ -56,71 +64,80 @@ fn main() {
     // concurrent clients than the process could even accept, and say so.
     let fd_budget = fd_limit().saturating_sub(64);
 
-    let mut rows = Vec::new();
-    let mut json_rows = Vec::new();
     let mut server_threads = 0usize;
-    for &requested in &levels {
-        let clients = requested.min(fd_budget);
-        if clients < requested {
+    let mut sections = Vec::new();
+    for mode in ["health", "write"] {
+        let mut rows = Vec::new();
+        let mut json_rows = Vec::new();
+        for &requested in &levels {
+            let clients = requested.min(fd_budget);
+            if clients < requested {
+                println!(
+                    "note: level {requested} clamped to {clients} by the fd limit ({})",
+                    fd_limit()
+                );
+            }
+            let m = measure(clients, requests, shard_size, mode);
+            server_threads = m.server_threads;
             println!(
-                "note: level {requested} clamped to {clients} by the fd limit ({})",
-                fd_limit()
+                "csv,api_swarm_{mode},{clients},{},{},{},{:.0},{},{}",
+                m.p50_us, m.p99_us, m.p999_us, m.throughput_rps, m.sheds, m.connect_failures
             );
+            rows.push(vec![
+                clients.to_string(),
+                m.p50_us.to_string(),
+                m.p99_us.to_string(),
+                m.p999_us.to_string(),
+                format!("{:.0}", m.throughput_rps),
+                m.sheds.to_string(),
+                m.connect_failures.to_string(),
+            ]);
+            json_rows.push(format!(
+                "    {{ \"clients\": {clients}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+                 \"throughput_rps\": {:.0}, \"ok\": {}, \"sheds\": {}, \"errors\": {}, \
+                 \"connect_failures\": {} }}",
+                m.p50_us,
+                m.p99_us,
+                m.p999_us,
+                m.throughput_rps,
+                m.ok,
+                m.sheds,
+                m.errors,
+                m.connect_failures
+            ));
         }
-        let m = measure(clients, requests, shard_size);
-        server_threads = m.server_threads;
+        println!();
         println!(
-            "csv,api_swarm,{clients},{},{},{},{:.0},{},{}",
-            m.p50_us, m.p99_us, m.p999_us, m.throughput_rps, m.sheds, m.connect_failures
+            "api_swarm/{mode}: {requests} requests/client over keep-alive, \
+             server threads fixed at {server_threads}"
         );
-        rows.push(vec![
-            clients.to_string(),
-            m.p50_us.to_string(),
-            m.p99_us.to_string(),
-            m.p999_us.to_string(),
-            format!("{:.0}", m.throughput_rps),
-            m.sheds.to_string(),
-            m.connect_failures.to_string(),
-        ]);
-        json_rows.push(format!(
-            "    {{ \"clients\": {clients}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
-             \"throughput_rps\": {:.0}, \"ok\": {}, \"sheds\": {}, \"errors\": {}, \
-             \"connect_failures\": {} }}",
-            m.p50_us,
-            m.p99_us,
-            m.p999_us,
-            m.throughput_rps,
-            m.ok,
-            m.sheds,
-            m.errors,
-            m.connect_failures
-        ));
+        print!(
+            "{}",
+            statesman_bench::report::table(
+                &[
+                    "clients",
+                    "p50_us",
+                    "p99_us",
+                    "p999_us",
+                    "rps",
+                    "sheds",
+                    "conn_fail"
+                ],
+                &rows
+            )
+        );
+        let key = if mode == "health" {
+            "levels"
+        } else {
+            "write_levels"
+        };
+        sections.push(format!("  \"{key}\": [\n{}\n  ]", json_rows.join(",\n")));
     }
-    println!();
-    println!(
-        "api_swarm: {requests} requests/client over keep-alive, \
-         server threads fixed at {server_threads}"
-    );
-    print!(
-        "{}",
-        statesman_bench::report::table(
-            &[
-                "clients",
-                "p50_us",
-                "p99_us",
-                "p999_us",
-                "rps",
-                "sheds",
-                "conn_fail"
-            ],
-            &rows
-        )
-    );
 
     let json = format!(
         "{{\n  \"bench\": \"api_swarm\",\n  \"requests_per_client\": {requests},\n  \
-         \"server_threads\": {server_threads},\n  \"levels\": [\n{}\n  ]\n}}\n",
-        json_rows.join(",\n")
+         \"server_threads\": {server_threads},\n{}\n}}\n",
+        sections.join(",\n")
     );
     std::fs::write("BENCH_api_swarm.json", json).expect("write BENCH_api_swarm.json");
 }
@@ -139,10 +156,10 @@ struct LevelResult {
 
 /// One level: a fresh server, `clients` concurrent keep-alive wire
 /// clients split across shard processes, `requests` requests each.
-fn measure(clients: usize, requests: usize, shard_size: usize) -> LevelResult {
+fn measure(clients: usize, requests: usize, shard_size: usize, mode: &str) -> LevelResult {
     let clock = SimClock::new();
     let storage = StorageService::single_dc("dc1", clock);
-    let server = ApiServer::start_with_config(storage, ServerConfig::default(), None)
+    let server = ApiServer::start_with_config(storage.clone(), ServerConfig::default(), None)
         .expect("start api server");
     let expected_threads = server.thread_count();
     let exe = std::env::current_exe().expect("current_exe");
@@ -160,6 +177,7 @@ fn measure(clients: usize, requests: usize, shard_size: usize) -> LevelResult {
                 .env("STATESMAN_SWARM_ADDR", server.addr().to_string())
                 .env("STATESMAN_SWARM_REQUESTS", requests.to_string())
                 .env("STATESMAN_SWARM_STRIPE", stripe.to_string())
+                .env("STATESMAN_SWARM_MODE", mode)
                 .stdout(std::process::Stdio::piped())
                 .spawn()
                 .expect("spawn swarm shard"),
@@ -184,6 +202,17 @@ fn measure(clients: usize, requests: usize, shard_size: usize) -> LevelResult {
         }
     }
     let wall = t0.elapsed().as_secs_f64();
+
+    // Write sweep: every acknowledged write landed exactly one distinct
+    // row (writes are acked only after the coalesced batch commits), so
+    // coalescing may batch but never drop or double-apply.
+    if mode == "write" {
+        let landed: u64 = storage.pool_row_stats().iter().map(|(_, n)| n).sum();
+        assert_eq!(
+            landed as usize, ok,
+            "acked /v1/write requests must equal landed rows"
+        );
+    }
 
     // The headline property: connections scaled, the thread pool did not.
     assert_eq!(
@@ -232,6 +261,7 @@ fn run_shard() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
+    let write_mode = std::env::var("STATESMAN_SWARM_MODE").as_deref() == Ok("write");
 
     let mut threads = Vec::with_capacity(n);
     for i in 0..n {
@@ -241,14 +271,32 @@ fn run_shard() {
                 .spawn(move || {
                     // Smooth the SYN storm so the listener backlog holds.
                     std::thread::sleep(Duration::from_millis((i % 500) as u64));
-                    let client = ApiClient::new(addr)
-                        .with_app(format!("swarm-{}", (stripe + i) % APP_STRIPES));
+                    let global = stripe + i;
+                    let app = format!("swarm-{}", global % APP_STRIPES);
+                    let client = ApiClient::new(addr).with_app(app.clone());
+                    // PS pool wire name, ':' percent-encoded.
+                    let write_target = format!("/v1/write?Pool=PS%3A{app}");
                     let mut lat = Vec::with_capacity(requests);
                     let (mut ok, mut sheds, mut errors, mut connect_failures) = (0, 0, 0, 0);
-                    for _ in 0..requests {
+                    for r in 0..requests {
+                        let (method, target, body) = if write_mode {
+                            // One distinct row per request: landed rows
+                            // must equal acks at the level's end.
+                            let row = NetworkState::new(
+                                EntityName::device("dc1", format!("sw-{global}-{r}")),
+                                Attribute::DeviceFirmwareVersion,
+                                Value::text("fw-swarm"),
+                                SimTime(r as u64),
+                                AppId::new(app.clone()),
+                            );
+                            let body = serde_json::to_vec(&vec![row]).expect("serialize row");
+                            ("POST", write_target.clone(), body)
+                        } else {
+                            ("GET", "/v1/health".to_string(), Vec::new())
+                        };
                         let t = Instant::now();
-                        match client.raw_request("GET", "/v1/health", &[]) {
-                            Ok(resp) if resp.status == 200 => {
+                        match client.raw_request(method, &target, &body) {
+                            Ok(resp) if (200..300).contains(&resp.status) => {
                                 lat.push(t.elapsed().as_micros() as u64);
                                 ok += 1;
                             }

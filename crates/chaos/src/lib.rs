@@ -489,6 +489,10 @@ pub struct ChaosScenario {
     pub durability: DurabilityMode,
     /// Print a one-line summary per round (for debugging chaos runs).
     pub verbose: bool,
+    /// State-plane representation for the scenario's coordinator: dense
+    /// columnar slots (the default) or the hashmap reference. Equivalence
+    /// tests run the same seed under both and demand identical outcomes.
+    pub columnar_state: bool,
 }
 
 impl ChaosScenario {
@@ -502,6 +506,7 @@ impl ChaosScenario {
             intent_at: SimTime::from_secs(3 * 60),
             durability: DurabilityMode::Memory,
             verbose: false,
+            columnar_state: true,
         }
     }
 
@@ -547,6 +552,7 @@ impl ChaosScenario {
             intent_at: SimTime::from_secs(3 * 60),
             durability,
             verbose: false,
+            columnar_state: true,
         }
     }
 
@@ -632,6 +638,7 @@ impl ChaosScenario {
                     jitter_frac: 0.5,
                 }),
                 updater_breaker: Some((3, SimDuration::from_mins(3))),
+                columnar_state: self.columnar_state,
                 ..CoordinatorConfig::default()
             },
         );
@@ -1199,6 +1206,7 @@ mod tests {
             intent_at: SimTime::ZERO,
             durability: DurabilityMode::Memory,
             verbose: false,
+            columnar_state: true,
         };
         let outcome = scenario.run();
         assert!(outcome.safety_violations.is_empty());

@@ -25,17 +25,17 @@
 //! The pass is synchronous and deterministic; its wall-clock time is the
 //! checker latency the paper reports (<10 s at 394K variables, §8).
 
-use crate::deps::DependencyModel;
+use crate::deps::{blast_radius, DependencyModel};
 use crate::groups::ImpactGroup;
-use crate::invariants::{Invariant, InvariantContext};
+use crate::invariants::{Invariant, InvariantContext, Violation};
 use crate::locks;
-use crate::view::{project_health, MapView, OverlayView, StateView};
+use crate::view::{project_health, reproject_entities, MapView, OverlayView, StateView};
 use parking_lot::Mutex;
 use statesman_storage::{ReadRequest, StorageService, WriteRequest};
-use statesman_topology::NetworkGraph;
+use statesman_topology::{HealthView, NetworkGraph};
 use statesman_types::{
-    AppId, DatacenterId, DeviceName, Freshness, NetworkState, Pool, SimTime, StateKey, StateResult,
-    Value, Version, WriteOutcome, WriteReceipt,
+    AppId, DatacenterId, DependencyLevel, DeviceName, Freshness, NetworkState, Pool, SimTime,
+    StateKey, StateResult, Value, VarId, Version, WriteOutcome, WriteReceipt,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::time::{Duration, Instant};
@@ -94,11 +94,72 @@ impl CheckerPassReport {
 }
 
 /// One partition's pool, mirrored checker-side and advanced by storage
-/// changefeed deltas between passes.
+/// changefeed deltas between passes. `group_rows` counts the mirror rows
+/// that belong to this checker's group — maintained incrementally so the
+/// zero-copy columnar read path can report `variables_read` without a
+/// scan.
 #[derive(Default)]
 struct CachedPart {
     view: MapView,
     watermark: Version,
+    group_rows: usize,
+}
+
+/// The change footprint accumulated while advancing mirrors for one pass:
+/// the group rows the round's deltas upserted (current values) and
+/// deleted (keys). Feeds [`blast_radius`]. `full` means tracking was
+/// abandoned — a snapshot-fallback delta arrived (the mirror was
+/// rebuilt wholesale, e.g. after a change-index compaction) or the churn
+/// exceeded [`SEED_TRACK_LIMIT`] — and the pass must reseed from scratch.
+#[derive(Default)]
+struct ChangeTrack {
+    rows: Vec<NetworkState>,
+    keys: Vec<StateKey>,
+    full: bool,
+}
+
+/// Above this many tracked changes a full reseed is cheaper than
+/// radius-by-radius re-projection.
+const SEED_TRACK_LIMIT: usize = 8_192;
+
+/// The previous pass's seed, carried across passes by the incremental
+/// checker: the projected health of the whole group and every
+/// invariant's verdict against it. A pass whose change track is exact
+/// re-projects only the blast radius and re-evaluates only the affected
+/// invariants; everything else keeps these cached values. Taken (and
+/// thus invalidated) at the start of every non-skipped pass and only
+/// stored back after the pass fully persists, so an error mid-pass
+/// forces the next pass to reseed.
+struct SeedCache {
+    health: HealthView,
+    verdicts: Vec<Option<Violation>>,
+}
+
+/// The observed-state view a pass reasons over: an owned copy (hash
+/// path, quarantine fallback) or zero-copy references into the columnar
+/// partition mirrors. The mirrors hold every row of their partitions, so
+/// the zero-copy lookup re-applies the group filter per hit — DC groups
+/// exclude border devices homed in their own partition.
+enum OsView<'a> {
+    Owned(MapView),
+    Mirrors(Vec<&'a MapView>, &'a ImpactGroup),
+}
+
+impl StateView for OsView<'_> {
+    fn get_var(&self, var: VarId) -> Option<&NetworkState> {
+        match self {
+            OsView::Owned(v) => v.get_var(var),
+            OsView::Mirrors(parts, group) => {
+                for p in parts {
+                    if let Some(r) = p.get_var(var) {
+                        // A variable is homed in exactly one partition.
+                        return group.contains(&r.entity).then_some(r);
+                    }
+                }
+                None
+            }
+        }
+    }
 }
 
 /// Evidence that the last pass was a pure no-op: the partition-level
@@ -122,10 +183,19 @@ pub struct Checker {
     /// Read pools incrementally via `read_since` (default). Disabled, the
     /// checker re-reads full pools every pass — the pre-delta behavior.
     delta_reads: bool,
+    /// Columnar state plane (default). Partition mirrors are slot-indexed
+    /// [`Column`](statesman_types::Column)s read zero-copy, and the seed
+    /// evaluation is blast-radius incremental. Disabled, mirrors are hash
+    /// maps, the OS is copied out per pass, and every pass seeds with a
+    /// full projection + invariant sweep — the pre-columnar behavior the
+    /// equivalence suite compares against.
+    columnar_state: bool,
     /// Per-(pool, partition) mirror advanced by deltas. Entries are
     /// invalidated whenever a pass cannot use the delta path, so the next
     /// delta pass re-seeds from a consistent `read_since` reply.
     part_cache: Mutex<HashMap<(Pool, DatacenterId), CachedPart>>,
+    /// Carried-over seed for the blast-radius incremental checker.
+    seed_cache: Mutex<Option<SeedCache>>,
     /// Set iff the previous pass was a recorded no-op (see
     /// [`QuiescentMark`]); cleared by quarantine passes, disabled delta
     /// reads, or any pass that did work.
@@ -141,7 +211,9 @@ impl Checker {
             invariants: Vec::new(),
             graph,
             delta_reads: true,
+            columnar_state: true,
             part_cache: Mutex::new(HashMap::new()),
+            seed_cache: Mutex::new(None),
             quiescent: Mutex::new(None),
         }
     }
@@ -155,6 +227,13 @@ impl Checker {
     /// Enable or disable incremental pool reads (`true` by default).
     pub fn with_delta_reads(mut self, enabled: bool) -> Self {
         self.delta_reads = enabled;
+        self
+    }
+
+    /// Enable or disable the columnar state plane — slot-indexed zero-copy
+    /// mirrors plus the blast-radius incremental seed (`true` by default).
+    pub fn with_columnar_state(mut self, enabled: bool) -> Self {
+        self.columnar_state = enabled;
         self
     }
 
@@ -202,20 +281,17 @@ impl Checker {
     /// next delta pass re-seeds from one consistent changefeed reply.
     fn read_group_pool(
         &self,
+        cache: &mut HashMap<(Pool, DatacenterId), CachedPart>,
         storage: &StorageService,
         pool: &Pool,
         use_delta: bool,
+        mut track: Option<&mut ChangeTrack>,
     ) -> StateResult<Vec<NetworkState>> {
         let mut rows = Vec::new();
         for dc in self.group_partitions(storage) {
-            let key = (pool.clone(), dc.clone());
             if use_delta {
-                let mut cache = self.part_cache.lock();
-                let since = cache.get(&key).map(|e| e.watermark).unwrap_or_default();
-                let delta = storage.read_since(&dc, pool, since)?;
-                let entry = cache.entry(key).or_default();
-                entry.watermark = delta.watermark;
-                entry.view.apply_delta(delta);
+                self.advance_partition(cache, storage, pool, &dc, track.as_deref_mut())?;
+                let entry = &cache[&(pool.clone(), dc)];
                 rows.extend(
                     entry
                         .view
@@ -224,7 +300,7 @@ impl Checker {
                         .cloned(),
                 );
             } else {
-                self.part_cache.lock().remove(&key);
+                cache.remove(&(pool.clone(), dc.clone()));
                 let part_rows = storage.read(ReadRequest {
                     datacenter: dc,
                     pool: pool.clone(),
@@ -240,6 +316,91 @@ impl Checker {
             }
         }
         Ok(rows)
+    }
+
+    /// Advance one partition mirror by its `read_since` delta, keeping the
+    /// group-row count exact and (when `track` is given) recording the
+    /// group rows the delta changed — the input to [`blast_radius`]. A
+    /// snapshot-fallback delta rebuilds the mirror wholesale and abandons
+    /// tracking: the change set is unknowable, so the pass must reseed.
+    fn advance_partition(
+        &self,
+        cache: &mut HashMap<(Pool, DatacenterId), CachedPart>,
+        storage: &StorageService,
+        pool: &Pool,
+        dc: &DatacenterId,
+        mut track: Option<&mut ChangeTrack>,
+    ) -> StateResult<()> {
+        let key = (pool.clone(), dc.clone());
+        let since = cache.get(&key).map(|e| e.watermark).unwrap_or_default();
+        let delta = storage.read_since(dc, pool, since)?;
+        let entry = cache.entry(key).or_insert_with(|| CachedPart {
+            view: if self.columnar_state {
+                MapView::columnar(pool.clone())
+            } else {
+                MapView::new()
+            },
+            watermark: Version::default(),
+            group_rows: 0,
+        });
+        entry.watermark = delta.watermark;
+        if delta.snapshot {
+            if let Some(t) = track.as_deref_mut() {
+                t.full = true;
+                t.rows.clear();
+                t.keys.clear();
+            }
+            entry.view.apply_delta(delta);
+            entry.group_rows = entry
+                .view
+                .rows()
+                .filter(|r| self.group_ref().contains(&r.entity))
+                .count();
+            return Ok(());
+        }
+        // Counter-level variables (cpu/mem telemetry) never enter the
+        // health projection or any invariant — see `project_health` —
+        // so they contribute nothing to the blast radius. Filtering
+        // them here keeps the steady-state radius empty under pure
+        // telemetry churn (every device's counters walk every round,
+        // which would otherwise touch every pod and re-solve the whole
+        // capacity panel) and keeps heavy telemetry rounds under
+        // `SEED_TRACK_LIMIT`.
+        let radius_relevant =
+            |attr: statesman_types::Attribute| attr.dependency_level() != DependencyLevel::Counter;
+        for k in &delta.deletes {
+            if let Some(old) = entry.view.get_var(k.var_id()) {
+                if self.group_ref().contains(&old.entity) {
+                    entry.group_rows -= 1;
+                    if let Some(t) = track.as_deref_mut() {
+                        if !t.full && radius_relevant(k.attribute) {
+                            t.keys.push(k.clone());
+                        }
+                    }
+                }
+            }
+        }
+        for row in &delta.upserts {
+            if self.group_ref().contains(&row.entity) {
+                if entry.view.get_var(row.var_id()).is_none() {
+                    entry.group_rows += 1;
+                }
+                if let Some(t) = track.as_deref_mut() {
+                    if !t.full && radius_relevant(row.attribute) {
+                        t.rows.push(row.clone());
+                    }
+                }
+            }
+        }
+        if let Some(t) = track {
+            if t.rows.len() + t.keys.len() > SEED_TRACK_LIMIT {
+                t.full = true;
+                t.rows.clear();
+                t.keys.clear();
+            }
+        }
+        entry.view.apply_delta(delta);
+        Ok(())
     }
 
     /// The set of applications with proposals touching this group.
@@ -353,20 +514,70 @@ impl Checker {
         // ---- 1. read OS, TS, PSes ----
         // Quarantine passes force the full-read fallback: stale-device
         // rounds are exactly when the mirror must not drift from storage.
-        let os_rows = self.read_group_pool(storage, &Pool::Observed, use_delta)?;
-        let ts_rows = self.read_group_pool(storage, &Pool::Target, use_delta)?;
+        // The part-cache lock is held for the whole pass: the columnar
+        // path reads the OS zero-copy out of the partition mirrors.
+        let columnar_inc = use_delta && self.columnar_state;
+        let mut cache = self.part_cache.lock();
+        let mut track = ChangeTrack::default();
+        let partitions = self.group_partitions(storage);
+
+        let os_rows: Option<Vec<NetworkState>> = if columnar_inc {
+            // Zero-copy OS: advance the mirrors in place, tracking the
+            // changed group rows for the blast radius; the view is built
+            // over mirror references below.
+            for dc in &partitions {
+                self.advance_partition(&mut cache, storage, &Pool::Observed, dc, Some(&mut track))?;
+            }
+            None
+        } else {
+            Some(self.read_group_pool(&mut cache, storage, &Pool::Observed, use_delta, None)?)
+        };
+        let ts_rows = self.read_group_pool(
+            &mut cache,
+            storage,
+            &Pool::Target,
+            use_delta,
+            if columnar_inc { Some(&mut track) } else { None },
+        )?;
         let apps = self.proposing_apps(storage);
         let mut proposals: Vec<(AppId, Vec<NetworkState>)> = Vec::new();
         for app in &apps {
-            let ps = self.read_group_pool(storage, &Pool::Proposed(app.clone()), use_delta)?;
+            let ps = self.read_group_pool(
+                &mut cache,
+                storage,
+                &Pool::Proposed(app.clone()),
+                use_delta,
+                None,
+            )?;
             if !ps.is_empty() {
                 proposals.push((app.clone(), ps));
             }
         }
+        let os_vars = match &os_rows {
+            Some(rows) => rows.len(),
+            None => partitions
+                .iter()
+                .map(|dc| {
+                    cache
+                        .get(&(Pool::Observed, dc.clone()))
+                        .map_or(0, |e| e.group_rows)
+                })
+                .sum(),
+        };
         let variables_read =
-            os_rows.len() + ts_rows.len() + proposals.iter().map(|(_, p)| p.len()).sum::<usize>();
+            os_vars + ts_rows.len() + proposals.iter().map(|(_, p)| p.len()).sum::<usize>();
 
-        let os = MapView::from_rows(os_rows);
+        let os: OsView<'_> = match os_rows {
+            Some(rows) => OsView::Owned(MapView::from_rows(rows)),
+            None => OsView::Mirrors(
+                partitions
+                    .iter()
+                    .filter_map(|dc| cache.get(&(Pool::Observed, dc.clone())))
+                    .map(|e| &e.view)
+                    .collect(),
+                self.group_ref(),
+            ),
+        };
         let mut ts = MapView::from_rows(ts_rows.clone());
         // Lock rows expire on the wall clock, not on writes — a TS
         // carrying any lock keeps the pass time-dependent and therefore
@@ -386,6 +597,9 @@ impl Checker {
                     .unwrap_or(true)
                 {
                     ts.remove_var(row.var_id());
+                    if columnar_inc && !track.full {
+                        track.keys.push(row.key());
+                    }
                     ts_deletes.push(row.key());
                     ts_pruned += 1;
                 }
@@ -409,6 +623,9 @@ impl Checker {
                 .is_err()
             {
                 ts.remove_var(row.var_id());
+                if columnar_inc && !track.full {
+                    track.keys.push(row.key());
+                }
                 ts_deletes.push(row.key());
                 ts_pruned += 1;
             }
@@ -459,20 +676,67 @@ impl Checker {
         // The working projection: OS + reconciled TS, maintained
         // incrementally per candidate via HealthDelta (full recomputation
         // per candidate would make the pass quadratic in topology size).
-        // Seed invariant caches with one full evaluation; remember whether
-        // incremental evaluation is trustworthy.
-        let mut health = project_health(&self.graph, &os, Some(&ts as &dyn StateView));
-        let mut incremental_ok = true;
-        for inv in &self.invariants {
-            let ctx = InvariantContext {
-                graph: &self.graph,
-                projected: &health,
-                touched_pods: None,
-            };
-            if inv.check(&ctx).is_err() {
-                incremental_ok = false;
+        //
+        // Seeding is where a 4M-variable round lives or dies. The
+        // columnar path carries the previous pass's seed forward: from
+        // the round's deltas it computes the Fig-4 blast radius,
+        // re-projects only the entities inside it, re-evaluates only the
+        // invariants it can reach, and keeps cached verdicts for the
+        // rest. Taken up front so any failed pass forces a full reseed.
+        let cached_seed = self.seed_cache.lock().take();
+        let (mut health, verdicts) = match cached_seed {
+            Some(seed)
+                if columnar_inc && !track.full && seed.verdicts.len() == self.invariants.len() =>
+            {
+                let radius = blast_radius(
+                    &self.graph,
+                    track
+                        .rows
+                        .iter()
+                        .map(|r| (&r.entity, Some(&r.value)))
+                        .chain(track.keys.iter().map(|k| (&k.entity, None))),
+                );
+                let mut health = seed.health;
+                reproject_entities(&self.graph, &os, &ts, &radius.entities, &mut health);
+                let mut verdicts = seed.verdicts;
+                for (slot, inv) in verdicts.iter_mut().zip(&self.invariants) {
+                    if !inv.affected_by(&radius) {
+                        continue;
+                    }
+                    // A passing cached verdict licenses pod-scoped
+                    // re-evaluation (the same contract candidate checks
+                    // use); a failing one demands a full look.
+                    let ctx = InvariantContext {
+                        graph: &self.graph,
+                        projected: &health,
+                        touched_pods: if slot.is_none() {
+                            radius.pods.as_ref()
+                        } else {
+                            None
+                        },
+                    };
+                    *slot = inv.check(&ctx).err();
+                }
+                (health, verdicts)
             }
-        }
+            _ => {
+                let health = project_health(&self.graph, &os, Some(&ts as &dyn StateView));
+                let verdicts = self
+                    .invariants
+                    .iter()
+                    .map(|inv| {
+                        inv.check(&InvariantContext {
+                            graph: &self.graph,
+                            projected: &health,
+                            touched_pods: None,
+                        })
+                        .err()
+                    })
+                    .collect();
+                (health, verdicts)
+            }
+        };
+        let incremental_ok = verdicts.iter().all(|v| v.is_none());
 
         for group in groups {
             proposals_seen += group.rows.len();
@@ -751,6 +1015,15 @@ impl Checker {
             }
             _ => None,
         };
+
+        // Carry the seed forward: `health` reflects every accepted
+        // candidate (rejected ones were reverted) and matches the TS just
+        // persisted; verdicts are the seed's. The next delta pass covers
+        // this pass's own writes via its changefeed, so re-projection
+        // over them is an idempotent no-op.
+        if columnar_inc {
+            *self.seed_cache.lock() = Some(SeedCache { health, verdicts });
+        }
         Ok(report)
     }
 }

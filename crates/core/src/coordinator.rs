@@ -32,6 +32,15 @@ pub struct CoordinatorConfig {
     /// Install the ToR-pair capacity invariant in every DC group:
     /// (capacity threshold, pair fraction, sampled ToRs per pod).
     pub capacity_invariant: Option<(f64, f64, Option<u32>)>,
+    /// Cap the capacity invariant's evaluated pair panel per DC
+    /// (seeded, deterministic downsample). Sampling one ToR per pod
+    /// still grows the panel quadratically in pods — a 4,096-pod fabric
+    /// yields 16.8M directional pairs, hours of max-flow per sweep — so
+    /// production-scale fabrics must evaluate a fixed-size panel, which
+    /// preserves the invariant's statistical phrasing ("99% of pairs").
+    /// `None` evaluates every selected pair. The default (65,536) only
+    /// bites beyond ~256 pods; fabrics below that are unaffected.
+    pub capacity_max_pairs: Option<usize>,
     /// Install the WAN-link invariant on the WAN group with this minimum.
     pub wan_invariant: Option<usize>,
     /// Collect with this many concurrent monitor instances (`None` =
@@ -57,6 +66,13 @@ pub struct CoordinatorConfig {
     /// `false` restores the seed's snapshot-per-round behavior (every
     /// stage reads and writes full pools every round).
     pub delta_state_plane: bool,
+    /// Run the columnar state plane: storage pools, checker/updater
+    /// mirrors, and the monitor diff base use dense slot-indexed columns,
+    /// and the checker seeds each pass blast-radius-incrementally from
+    /// the round's deltas. `false` restores hash-map mirrors and a full
+    /// projection + invariant sweep per pass — the reference behavior the
+    /// columnar plane is property-tested bit-equal against.
+    pub columnar_state: bool,
     /// How often the monitor rewrites its full view even when nothing
     /// changed (`None` = monitor default). Ignored when
     /// `delta_state_plane` is false (every round is a full write).
@@ -73,6 +89,7 @@ impl Default for CoordinatorConfig {
             policy: MergePolicy::PriorityLock,
             connectivity_invariant: true,
             capacity_invariant: Some((0.5, 0.99, Some(1))),
+            capacity_max_pairs: Some(65_536),
             wan_invariant: Some(1),
             monitor_instances: None,
             parallel_checkers: false,
@@ -80,11 +97,17 @@ impl Default for CoordinatorConfig {
             updater_retry: None,
             updater_breaker: None,
             delta_state_plane: true,
+            columnar_state: true,
             monitor_resync_every: None,
             obs: None,
         }
     }
 }
+
+/// Seed for the capacity invariant's deterministic pair-panel
+/// downsample: fixed so every coordinator over the same fabric — and
+/// both state planes in an equivalence run — evaluates the same panel.
+const CAPACITY_PANEL_SEED: u64 = 0x57A7E;
 
 /// Cached metric handles for the control loop, one per series the
 /// coordinator records each tick (created once at construction).
@@ -113,6 +136,11 @@ struct CoordObs {
     watermark_lag: Gauge,
     /// Distinct entity names in the process-wide interner.
     interned_entities: Gauge,
+    /// Live rows across every pool of every storage partition.
+    state_rows: Gauge,
+    /// Approximate resident bytes per state variable in the columnar
+    /// storage plane (whole bytes; `/v1/status` carries the fraction).
+    state_bytes_per_var: Gauge,
     /// Id → name resolutions (edge resolutions: delta tombstones,
     /// receipts). Counted per round as the delta of the process-wide
     /// total against `last_resolutions`.
@@ -152,6 +180,8 @@ impl CoordObs {
             monitor_writes_suppressed: r.counter("monitor_writes_suppressed_total"),
             watermark_lag: r.gauge("state_watermark_lag"),
             interned_entities: r.gauge("interned_entities"),
+            state_rows: r.gauge("state_rows"),
+            state_bytes_per_var: r.gauge("state_bytes_per_var"),
             key_resolutions: r.counter("key_resolutions_total"),
             last_resolutions: std::sync::atomic::AtomicU64::new(statesman_types::key_resolutions()),
             // Seed from the live counter, like `last_resolutions` above:
@@ -312,13 +342,32 @@ impl Coordinator {
                 c.add_invariant(Box::new(ConnectivityInvariant::new(dc.clone())));
             }
             if let Some((threshold, fraction, sample)) = config.capacity_invariant {
-                let inv =
-                    TorPairCapacityInvariant::new(graph, dc.clone(), threshold, fraction, sample);
+                let inv = match config.capacity_max_pairs {
+                    Some(cap) => TorPairCapacityInvariant::sampled(
+                        graph,
+                        dc.clone(),
+                        threshold,
+                        fraction,
+                        sample,
+                        cap,
+                        CAPACITY_PANEL_SEED,
+                    ),
+                    None => TorPairCapacityInvariant::new(
+                        graph,
+                        dc.clone(),
+                        threshold,
+                        fraction,
+                        sample,
+                    ),
+                };
                 if inv.pair_count() > 0 {
                     c.add_invariant(Box::new(inv));
                 }
             }
-            checkers.push(c.with_delta_reads(config.delta_state_plane));
+            checkers.push(
+                c.with_delta_reads(config.delta_state_plane)
+                    .with_columnar_state(config.columnar_state),
+            );
         }
         if has_wan {
             let mut c = Checker::new(
@@ -331,10 +380,14 @@ impl Coordinator {
             if let Some(min) = config.wan_invariant {
                 c.add_invariant(Box::new(WanLinkInvariant::new(min)));
             }
-            checkers.push(c.with_delta_reads(config.delta_state_plane));
+            checkers.push(
+                c.with_delta_reads(config.delta_state_plane)
+                    .with_columnar_state(config.columnar_state),
+            );
         }
 
-        let mut monitor = Monitor::new(net.clone(), storage.clone(), graph.clone());
+        let mut monitor = Monitor::new(net.clone(), storage.clone(), graph.clone())
+            .with_columnar_state(config.columnar_state);
         if let Some(cooldown) = config.quarantine_cooldown {
             monitor = monitor.with_quarantine_cooldown(cooldown);
         }
@@ -348,7 +401,8 @@ impl Coordinator {
             monitor.with_resync_every(1)
         };
         let mut updater = Updater::new(net.clone(), storage.clone(), graph.clone())
-            .with_delta_reads(config.delta_state_plane);
+            .with_delta_reads(config.delta_state_plane)
+            .with_columnar_state(config.columnar_state);
         if let Some(policy) = config.updater_retry.clone() {
             updater = updater.with_retry(policy);
         }
@@ -562,6 +616,20 @@ impl Coordinator {
         let lock_wait_total = self.storage.lock_wait_stats();
         let prev_wait = m.last_lock_wait_us.swap(lock_wait_total, Ordering::Relaxed);
         let lock_wait_this_round = lock_wait_total.saturating_sub(prev_wait);
+        let (state_bytes, state_rows) = self.storage.state_bytes();
+        let state_bytes_per_var = if state_rows > 0 {
+            state_bytes as f64 / state_rows as f64
+        } else {
+            0.0
+        };
+        m.state_rows.set(state_rows as i64);
+        m.state_bytes_per_var.set(state_bytes_per_var as i64);
+        let pool_rows: Vec<(String, u64)> = self
+            .storage
+            .pool_row_stats()
+            .into_iter()
+            .map(|(p, n)| (p.wire_name().into_owned(), n))
+            .collect();
 
         let quarantined: Vec<String> = self
             .monitor
@@ -618,6 +686,8 @@ impl Coordinator {
             key_resolutions_last_round: resolved_this_round,
             storage_lock_wait_us_last_round: lock_wait_this_round,
             last_recovery: self.storage.last_recovery(),
+            pool_rows,
+            state_bytes_per_var,
         });
     }
 

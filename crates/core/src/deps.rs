@@ -402,6 +402,158 @@ pub mod rules {
     }
 }
 
+/// The blast radius of one round's state changes, derived from the Fig-4
+/// dependency model: a changed variable can only shift the health
+/// projection of its own entity, and through it the invariants scoped to
+/// the pods and datacenters that entity (or, for links and paths, its
+/// endpoint devices) lives in. The incremental checker re-projects only
+/// [`BlastRadius::entities`] and re-evaluates only the invariants for
+/// which [`crate::invariants::Invariant::affected_by`] returns true;
+/// everything outside the radius keeps its cached verdict.
+#[derive(Debug, Default)]
+pub struct BlastRadius {
+    /// Device and link entities whose projection inputs changed
+    /// (deduplicated; paths never enter — they carry no health).
+    pub entities: Vec<EntityName>,
+    /// Pods the changes can reach, mirroring the checker's touched-pod
+    /// attribution; `None` when any changed device is pod-less
+    /// (core/border) or unknown — fabric-wide reach.
+    pub pods: Option<std::collections::HashSet<(statesman_types::DatacenterId, u32)>>,
+    /// Datacenters the changes can reach. Complete even when `pods` is
+    /// `None`, so DC-scoped invariants outside it stay safely skippable.
+    pub dcs: std::collections::HashSet<statesman_types::DatacenterId>,
+    /// True when a WAN-homed entity or a border device changed — the WAN
+    /// link invariant's support.
+    pub wan: bool,
+}
+
+impl BlastRadius {
+    /// Can the changes reach `dc`?
+    pub fn affects_dc(&self, dc: &statesman_types::DatacenterId) -> bool {
+        self.dcs.contains(dc)
+    }
+
+    /// Can the changes reach the WAN plane?
+    pub fn affects_wan(&self) -> bool {
+        self.wan
+    }
+}
+
+/// Compute the blast radius of a set of changed variables. Each item is
+/// the variable's entity plus its current value when known (`None` for
+/// deletes); path values contribute their on-path device lists, exactly
+/// like the checker's per-candidate touched-pod attribution.
+pub fn blast_radius<'a>(
+    graph: &statesman_topology::NetworkGraph,
+    changed: impl IntoIterator<Item = (&'a EntityName, Option<&'a Value>)>,
+) -> BlastRadius {
+    use statesman_types::entity::EntityBody;
+    use statesman_types::DeviceRole;
+
+    let mut entities: Vec<EntityName> = Vec::new();
+    let mut seen: std::collections::BTreeSet<EntityName> = std::collections::BTreeSet::new();
+    let mut pods = std::collections::HashSet::new();
+    let mut unbounded = false;
+    let mut dcs = std::collections::HashSet::new();
+    let mut wan = false;
+
+    fn add_device(
+        graph: &statesman_topology::NetworkGraph,
+        name: &statesman_types::DeviceName,
+        home: &statesman_types::DatacenterId,
+        pods: &mut std::collections::HashSet<(statesman_types::DatacenterId, u32)>,
+        unbounded: &mut bool,
+        dcs: &mut std::collections::HashSet<statesman_types::DatacenterId>,
+        wan: &mut bool,
+    ) {
+        match graph.node_id(name) {
+            Some(id) => {
+                let info = graph.node(id);
+                dcs.insert(info.datacenter.clone());
+                if info.datacenter.is_wan() || info.role == DeviceRole::Border {
+                    *wan = true;
+                }
+                match info.pod {
+                    Some(pod) => {
+                        pods.insert((info.datacenter.clone(), pod));
+                    }
+                    None => *unbounded = true,
+                }
+            }
+            None => {
+                // Unknown to the topology: it cannot shift any projection,
+                // but stay conservative about reach.
+                dcs.insert(home.clone());
+                *unbounded = true;
+            }
+        }
+    }
+
+    for (entity, value) in changed {
+        match &entity.body {
+            EntityBody::Device(d) => {
+                add_device(
+                    graph,
+                    d,
+                    &entity.datacenter,
+                    &mut pods,
+                    &mut unbounded,
+                    &mut dcs,
+                    &mut wan,
+                );
+                if seen.insert(entity.clone()) {
+                    entities.push(entity.clone());
+                }
+            }
+            EntityBody::Link(l) => {
+                for end in [&l.a, &l.b] {
+                    add_device(
+                        graph,
+                        end,
+                        &entity.datacenter,
+                        &mut pods,
+                        &mut unbounded,
+                        &mut dcs,
+                        &mut wan,
+                    );
+                }
+                if entity.datacenter.is_wan() {
+                    wan = true;
+                } else {
+                    dcs.insert(entity.datacenter.clone());
+                }
+                if seen.insert(entity.clone()) {
+                    entities.push(entity.clone());
+                }
+            }
+            EntityBody::Path(_) => {
+                // Paths carry no device/link health; their reach is the
+                // on-path switch list when the value still has one.
+                if let Some(list) = value.and_then(|v| v.as_device_list()) {
+                    for d in list {
+                        add_device(
+                            graph,
+                            d,
+                            &entity.datacenter,
+                            &mut pods,
+                            &mut unbounded,
+                            &mut dcs,
+                            &mut wan,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    BlastRadius {
+        entities,
+        pods: if unbounded { None } else { Some(pods) },
+        dcs,
+        wan,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

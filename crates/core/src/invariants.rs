@@ -50,6 +50,13 @@ pub trait Invariant: Send + Sync {
     fn name(&self) -> &str;
     /// Check the projected network state.
     fn check(&self, ctx: &InvariantContext<'_>) -> Result<(), Violation>;
+    /// Can this invariant's verdict change when only the variables inside
+    /// `radius` changed? The incremental checker skips re-evaluation (and
+    /// keeps the cached verdict) when this returns false. The default is
+    /// conservative: any change may affect the invariant.
+    fn affected_by(&self, _radius: &crate::deps::BlastRadius) -> bool {
+        true
+    }
 }
 
 /// No operational ToR may be disconnected from every core router.
@@ -70,6 +77,10 @@ impl ConnectivityInvariant {
 impl Invariant for ConnectivityInvariant {
     fn name(&self) -> &str {
         "connectivity"
+    }
+
+    fn affected_by(&self, radius: &crate::deps::BlastRadius) -> bool {
+        radius.affects_dc(&self.datacenter)
     }
 
     fn check(&self, ctx: &InvariantContext<'_>) -> Result<(), Violation> {
@@ -252,6 +263,10 @@ impl Invariant for TorPairCapacityInvariant {
         "tor-pair-capacity"
     }
 
+    fn affected_by(&self, radius: &crate::deps::BlastRadius) -> bool {
+        radius.affects_dc(&self.datacenter)
+    }
+
     fn check(&self, ctx: &InvariantContext<'_>) -> Result<(), Violation> {
         let mut cache = self.last_report.lock();
         let report = match (&*cache, ctx.touched_pods) {
@@ -322,6 +337,10 @@ impl Invariant for MaintenanceBudgetInvariant {
         "maintenance-budget"
     }
 
+    fn affected_by(&self, radius: &crate::deps::BlastRadius) -> bool {
+        radius.affects_dc(&self.datacenter)
+    }
+
     fn check(&self, ctx: &InvariantContext<'_>) -> Result<(), Violation> {
         let down = ctx
             .graph
@@ -358,6 +377,10 @@ impl WanLinkInvariant {
 impl Invariant for WanLinkInvariant {
     fn name(&self) -> &str {
         "wan-links"
+    }
+
+    fn affected_by(&self, radius: &crate::deps::BlastRadius) -> bool {
+        radius.affects_wan()
     }
 
     fn check(&self, ctx: &InvariantContext<'_>) -> Result<(), Violation> {

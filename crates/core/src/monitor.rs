@@ -86,12 +86,13 @@ pub struct Monitor {
     quarantine: Mutex<HashMap<DeviceName, SimTime>>,
     quarantine_cooldown: SimDuration,
     /// What this monitor last wrote per variable: the diff base that lets
-    /// a round write only rows whose value actually changed. Keyed by
-    /// compact [`VarId`]s — the diff loop hashes one word per row instead
-    /// of entity strings. Cleared on any write failure so the next round
+    /// a round write only rows whose value actually changed. Columnar by
+    /// default — the base lives in the process-wide OS slot space, so a
+    /// full-coverage round clears and refills the same arena instead of
+    /// reallocating a map. Cleared on any write failure so the next round
     /// rewrites everything (the cache may no longer match what storage
     /// holds).
-    last_written: Mutex<HashMap<VarId, NetworkState>>,
+    last_written: Mutex<crate::view::MapView>,
     /// Rounds completed (drives the periodic full resync).
     rounds: Mutex<u64>,
     /// Every Nth round ignores the diff cache and writes the full view
@@ -111,10 +112,22 @@ impl Monitor {
             graph,
             quarantine: Mutex::new(HashMap::new()),
             quarantine_cooldown: DEFAULT_QUARANTINE_COOLDOWN,
-            last_written: Mutex::new(HashMap::new()),
+            last_written: Mutex::new(crate::view::MapView::columnar(Pool::Observed)),
             rounds: Mutex::new(0),
             resync_every: DEFAULT_RESYNC_EVERY,
         }
+    }
+
+    /// Enable or disable the columnar diff base (`true` by default).
+    /// Disabled, the base is a plain hash map — the reference layout the
+    /// columnar plane is property-tested against.
+    pub fn with_columnar_state(mut self, enabled: bool) -> Self {
+        *self.last_written.get_mut() = if enabled {
+            crate::view::MapView::columnar(Pool::Observed)
+        } else {
+            crate::view::MapView::new()
+        };
+        self
     }
 
     /// Replace the quarantine cooldown (how long a failed device is left
@@ -291,8 +304,7 @@ impl Monitor {
         let mut changed: Vec<NetworkState> = Vec::new();
         let mut writes_suppressed = 0usize;
         for (vid, row) in &dedup {
-            let unchanged = last
-                .get(vid)
+            let unchanged = crate::view::StateView::get_var(&*last, *vid)
                 .map(|p| p.value == row.value && p.writer == row.writer)
                 .unwrap_or(false);
             if unchanged && !force_full {
@@ -350,11 +362,12 @@ impl Monitor {
         // polled, so those rounds must merge to carry their entries over.
         let full_coverage = !skipped_dcs && devices_quarantined == 0 && devices_unreachable == 0;
         if full_coverage {
-            *last = dedup;
-        } else {
-            for (k, row) in dedup {
-                last.insert(k, row);
-            }
+            // Wholesale replacement; a columnar base keeps its slots and
+            // arena, so this writes straight back into place.
+            last.clear();
+        }
+        for (_, row) in dedup {
+            last.upsert(row);
         }
         drop(last);
 
@@ -763,7 +776,7 @@ mod tests {
                     attribute: None,
                 })
                 .unwrap();
-            rows.sort_by(|a, b| a.key().cmp(&b.key()));
+            rows.sort_by_key(|a| a.key());
             rows.into_iter()
                 .map(|r| (r.key(), r.value))
                 .collect::<Vec<_>>()

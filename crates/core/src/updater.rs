@@ -341,6 +341,10 @@ pub struct Updater {
     /// OS−TS from scratch every round — §6.2's memoryless property is
     /// observable behavior, property-tested bit-equal to full reads.
     delta_reads: bool,
+    /// Columnar mirrors (default): each partition mirror is a
+    /// slot-indexed column, so delta application writes straight into
+    /// slots. Disabled, mirrors are hash maps — the reference layout.
+    columnar_state: bool,
     /// Per-(pool, partition) mirror and its watermark. Entries are
     /// dropped whenever a round cannot use the delta path (quarantine
     /// rounds, unavailable partitions), forcing a clean re-seed.
@@ -444,6 +448,7 @@ impl Updater {
             breaker: None,
             breakers: Mutex::new(HashMap::new()),
             delta_reads: true,
+            columnar_state: true,
             part_cache: Mutex::new(HashMap::new()),
             quiescent: Mutex::new(None),
         }
@@ -453,6 +458,13 @@ impl Updater {
     /// Disabled, every round re-reads full pools — the pre-delta behavior.
     pub fn with_delta_reads(mut self, enabled: bool) -> Self {
         self.delta_reads = enabled;
+        self
+    }
+
+    /// Enable or disable columnar (slot-indexed) partition mirrors
+    /// (`true` by default).
+    pub fn with_columnar_state(mut self, enabled: bool) -> Self {
+        self.columnar_state = enabled;
         self
     }
 
@@ -587,7 +599,18 @@ impl Updater {
             return Ok(Vec::new());
         }
         if use_delta {
-            let mut entry = self.part_cache.lock().remove(&key).unwrap_or_default();
+            let mut entry = self
+                .part_cache
+                .lock()
+                .remove(&key)
+                .unwrap_or_else(|| CachedPart {
+                    view: if self.columnar_state {
+                        crate::view::MapView::columnar(pool.clone())
+                    } else {
+                        crate::view::MapView::new()
+                    },
+                    watermark: Version::default(),
+                });
             match self.storage.read_since(&dc, pool, entry.watermark) {
                 Ok(delta) => {
                     entry.watermark = delta.watermark;

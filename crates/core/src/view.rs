@@ -19,7 +19,7 @@
 //!   issued.
 
 use statesman_topology::{HealthView, NetworkGraph};
-use statesman_types::{Attribute, EntityName, NetworkState, StateKey, Value, VarId};
+use statesman_types::{Attribute, Column, EntityName, NetworkState, Pool, StateKey, Value, VarId};
 use std::collections::HashMap;
 
 /// Anything that can answer point lookups over one pool of rows.
@@ -42,37 +42,97 @@ pub trait StateView {
     }
 }
 
-/// A materialized snapshot of one pool, keyed by compact [`VarId`]s (the
-/// rows themselves keep their entity names, so draining back to a sorted
-/// row list never consults the interner).
-#[derive(Debug, Clone, Default)]
+/// A materialized snapshot of one pool, in one of two representations:
+///
+/// * **hash** — `HashMap<VarId, NetworkState>`, the default for small
+///   ephemeral views (candidate overlays, per-pass TS upsert staging) and
+///   the reference the columnar plane is property-tested against;
+/// * **columnar** — a [`Column`] over the process-wide per-pool slot
+///   space, used for the long-lived delta-maintained mirrors (checker
+///   part cache, updater read mirrors, monitor diff base):
+///   [`MapView::apply_delta`] writes straight into slots, deletes are
+///   tombstones, and iteration is bitmap-driven.
+///
+/// Either way the rows keep their entity names, so draining back to a
+/// sorted row list never consults the interner.
+#[derive(Debug, Clone)]
+enum ViewRepr {
+    Hash(HashMap<VarId, NetworkState>),
+    Columnar(Column),
+}
+
+/// A materialized snapshot of one pool. See the representation notes on
+/// [`ViewRepr`]: hash-backed by default, columnar (slot-indexed) when
+/// built with [`MapView::columnar`].
+#[derive(Debug, Clone)]
 pub struct MapView {
-    rows: HashMap<VarId, NetworkState>,
+    repr: ViewRepr,
+}
+
+impl Default for MapView {
+    fn default() -> Self {
+        MapView {
+            repr: ViewRepr::Hash(HashMap::new()),
+        }
+    }
 }
 
 impl MapView {
-    /// An empty view.
+    /// An empty hash-backed view.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Build from a row list (later duplicates shadow earlier ones).
+    /// An empty columnar view over `pool`'s slot space.
+    pub fn columnar(pool: Pool) -> Self {
+        MapView {
+            repr: ViewRepr::Columnar(Column::new(pool)),
+        }
+    }
+
+    /// True when this view is columnar (slot-indexed).
+    pub fn is_columnar(&self) -> bool {
+        matches!(self.repr, ViewRepr::Columnar(_))
+    }
+
+    /// Build a hash-backed view from a row list (later duplicates shadow
+    /// earlier ones).
     pub fn from_rows(rows: impl IntoIterator<Item = NetworkState>) -> Self {
         let mut v = MapView::new();
         for r in rows {
-            v.rows.insert(r.var_id(), r);
+            v.upsert(r);
+        }
+        v
+    }
+
+    /// Build a columnar view over `pool` from a row list.
+    pub fn columnar_from_rows(pool: Pool, rows: impl IntoIterator<Item = NetworkState>) -> Self {
+        let mut v = MapView::columnar(pool);
+        for r in rows {
+            v.upsert(r);
         }
         v
     }
 
     /// Insert or replace one row.
     pub fn upsert(&mut self, row: NetworkState) {
-        self.rows.insert(row.var_id(), row);
+        match &mut self.repr {
+            ViewRepr::Hash(rows) => {
+                rows.insert(row.var_id(), row);
+            }
+            ViewRepr::Columnar(col) => {
+                col.upsert(row);
+            }
+        }
     }
 
-    /// Remove one row by variable id.
+    /// Remove one row by variable id (a tombstone on columnar views: the
+    /// slot is never reclaimed).
     pub fn remove_var(&mut self, var: VarId) -> Option<NetworkState> {
-        self.rows.remove(&var)
+        match &mut self.repr {
+            ViewRepr::Hash(rows) => rows.remove(&var),
+            ViewRepr::Columnar(col) => col.remove_var(var),
+        }
     }
 
     /// Remove one row.
@@ -82,25 +142,53 @@ impl MapView {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.repr {
+            ViewRepr::Hash(rows) => rows.len(),
+            ViewRepr::Columnar(col) => col.len(),
+        }
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
-    /// Iterate all rows (unordered).
-    pub fn rows(&self) -> impl Iterator<Item = &NetworkState> {
-        self.rows.values()
+    /// Remove every row (columnar views keep their slots and arena, so a
+    /// rebuild writes straight back into place).
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            ViewRepr::Hash(rows) => rows.clear(),
+            ViewRepr::Columnar(col) => col.clear(),
+        }
+    }
+
+    /// Iterate all rows (hash: unordered; columnar: slot order).
+    pub fn rows(&self) -> RowsIter<'_> {
+        match &self.repr {
+            ViewRepr::Hash(rows) => RowsIter::Hash(rows.values()),
+            ViewRepr::Columnar(col) => RowsIter::Columnar(col.iter()),
+        }
     }
 
     /// Drain into a row list, sorted by string-key order for determinism
-    /// (id order is execution-dependent; see `statesman_types::intern`).
+    /// (id and slot order are execution-dependent; see
+    /// `statesman_types::intern`).
     pub fn into_sorted_rows(self) -> Vec<NetworkState> {
-        let mut v: Vec<NetworkState> = self.rows.into_values().collect();
+        let mut v: Vec<NetworkState> = match self.repr {
+            ViewRepr::Hash(rows) => rows.into_values().collect(),
+            ViewRepr::Columnar(col) => col.rows().cloned().collect(),
+        };
         v.sort_by(|a, b| a.key_ref().cmp(&b.key_ref()));
         v
+    }
+
+    /// Approximate resident bytes (columnar views only; hash views report
+    /// zero — the gauge tracks the columnar plane).
+    pub fn approx_bytes(&self) -> usize {
+        match &self.repr {
+            ViewRepr::Hash(_) => 0,
+            ViewRepr::Columnar(col) => col.approx_bytes(),
+        }
     }
 
     /// Advance the view by a storage changefeed delta: deletes remove,
@@ -108,23 +196,46 @@ impl MapView {
     /// wholesale (the storage fallback when the change index cannot serve
     /// the gap). Applying deltas in watermark order keeps the view
     /// bit-equal to a fresh full read — the property the delta-driven
-    /// state plane is tested against.
+    /// state plane is tested against. On columnar views this writes
+    /// straight into slots; a snapshot rebuild keeps the arena.
     pub fn apply_delta(&mut self, delta: statesman_types::StateDelta) {
         if delta.snapshot {
-            self.rows.clear();
+            self.clear();
         }
         for key in &delta.deletes {
-            self.rows.remove(&key.var_id());
+            self.remove_var(key.var_id());
         }
         for row in delta.upserts {
-            self.rows.insert(row.var_id(), row);
+            self.upsert(row);
+        }
+    }
+}
+
+/// Iterator over a [`MapView`]'s rows, either representation.
+pub enum RowsIter<'a> {
+    /// Hash-backed iteration (unordered).
+    Hash(std::collections::hash_map::Values<'a, VarId, NetworkState>),
+    /// Columnar iteration (slot order, bitmap-driven).
+    Columnar(statesman_types::ColumnIter<'a>),
+}
+
+impl<'a> Iterator for RowsIter<'a> {
+    type Item = &'a NetworkState;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            RowsIter::Hash(it) => it.next(),
+            RowsIter::Columnar(it) => it.next().map(|(_, r)| r),
         }
     }
 }
 
 impl StateView for MapView {
     fn get_var(&self, var: VarId) -> Option<&NetworkState> {
-        self.rows.get(&var)
+        match &self.repr {
+            ViewRepr::Hash(rows) => rows.get(&var),
+            ViewRepr::Columnar(col) => col.get_var(var),
+        }
     }
 }
 
@@ -238,6 +349,51 @@ pub fn link_projected_down(
         }
     }
     false
+}
+
+/// Re-run the projection rules for just `entities` against the current
+/// OS/TS views, updating `health` in place — the blast-radius analogue of
+/// a full [`project_health`]. Entities absent from the graph (and paths,
+/// which carry no health) are skipped. Re-projection is idempotent, so
+/// covering an entity that did not actually change is harmless.
+pub fn reproject_entities(
+    graph: &NetworkGraph,
+    os: &dyn StateView,
+    ts: &dyn StateView,
+    entities: &[EntityName],
+    health: &mut HealthView,
+) {
+    for entity in entities {
+        match entity.kind() {
+            statesman_types::EntityKind::Device => {
+                let Some(dev) = entity.as_device() else {
+                    continue;
+                };
+                if graph.node_id(dev).is_none() {
+                    continue;
+                }
+                if device_projected_down(entity, os, Some(ts)) {
+                    health.set_device_down(dev.clone());
+                } else {
+                    health.set_device_up(dev);
+                }
+            }
+            statesman_types::EntityKind::Link => {
+                let Some(link) = entity.as_link() else {
+                    continue;
+                };
+                if graph.edge_id(link).is_none() {
+                    continue;
+                }
+                if link_projected_down(entity, os, Some(ts)) {
+                    health.set_link_down(link.clone());
+                } else {
+                    health.set_link_up(link);
+                }
+            }
+            statesman_types::EntityKind::Path => {}
+        }
+    }
 }
 
 /// A reversible, entity-scoped health update: re-evaluate the projection
@@ -359,6 +515,81 @@ mod tests {
             Some(&Value::text("2"))
         );
         assert_eq!(v.value_of(&dev("a"), Attribute::DeviceBootImage), None);
+    }
+
+    #[test]
+    fn columnar_view_round_trip() {
+        let mut v = MapView::columnar(Pool::Observed);
+        assert!(v.is_columnar() && v.is_empty());
+        v.upsert(os_row(
+            dev("a"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("1"),
+        ));
+        v.upsert(os_row(
+            dev("a"),
+            Attribute::DeviceFirmwareVersion,
+            Value::text("2"),
+        ));
+        v.upsert(os_row(
+            dev("b"),
+            Attribute::DeviceBootImage,
+            Value::text("x"),
+        ));
+        assert_eq!(v.len(), 2);
+        assert_eq!(
+            v.value_of(&dev("a"), Attribute::DeviceFirmwareVersion),
+            Some(&Value::text("2"))
+        );
+        assert!(v.approx_bytes() > 0);
+
+        // Tombstone via var id (the mirror-delete path) and via key.
+        let var = StateKey::new(dev("a"), Attribute::DeviceFirmwareVersion).var_id();
+        assert_eq!(v.remove_var(var).map(|r| r.value), Some(Value::text("2")));
+        assert_eq!(v.remove_var(var), None);
+        let removed = v.remove(&StateKey::new(dev("b"), Attribute::DeviceBootImage));
+        assert_eq!(removed.map(|r| r.value), Some(Value::text("x")));
+        assert!(v.is_empty());
+
+        // Clear keeps the representation columnar.
+        v.upsert(os_row(
+            dev("c"),
+            Attribute::DeviceBootImage,
+            Value::text("y"),
+        ));
+        v.clear();
+        assert!(v.is_columnar() && v.is_empty());
+    }
+
+    #[test]
+    fn columnar_view_snapshot_delta_replaces_contents() {
+        let mut v = MapView::columnar_from_rows(
+            Pool::Observed,
+            [os_row(
+                dev("a"),
+                Attribute::DeviceFirmwareVersion,
+                Value::text("1"),
+            )],
+        );
+        let snap = statesman_types::StateDelta::full_snapshot(
+            vec![os_row(
+                dev("b"),
+                Attribute::DeviceBootImage,
+                Value::text("x"),
+            )],
+            statesman_types::Version(9),
+        );
+        v.apply_delta(snap);
+        assert!(v.is_columnar());
+        assert_eq!(v.len(), 1);
+        assert_eq!(
+            v.value_of(&dev("a"), Attribute::DeviceFirmwareVersion),
+            None
+        );
+        assert_eq!(
+            v.value_of(&dev("b"), Attribute::DeviceBootImage),
+            Some(&Value::text("x"))
+        );
     }
 
     #[test]

@@ -580,7 +580,7 @@ mod tests {
     #[test]
     fn oversized_heads_and_bodies_are_distinct_errors() {
         let mut huge_head = b"GET /v1/health HTTP/1.1\r\nx-pad: ".to_vec();
-        huge_head.extend(std::iter::repeat(b'a').take(17 << 10));
+        huge_head.extend(std::iter::repeat_n(b'a', 17 << 10));
         assert_eq!(
             parse_all(&huge_head).unwrap_err(),
             RequestError::HeadersTooLarge

@@ -86,6 +86,16 @@ pub struct StatusBoard {
     /// restarted since boot.
     #[serde(default)]
     pub last_recovery: Option<RecoverySummary>,
+    /// Live row counts per pool (wire name → rows), summed across storage
+    /// partitions. OS tracks the variable count; `PS:*` pools drain to
+    /// zero as the checker consumes proposals.
+    #[serde(default)]
+    pub pool_rows: Vec<(String, u64)>,
+    /// Approximate resident bytes per state variable in the columnar
+    /// storage plane (slot vectors + occupancy bitmaps + row arenas,
+    /// including string payloads). Zero when the plane is empty.
+    #[serde(default)]
+    pub state_bytes_per_var: f64,
 }
 
 /// The shared observability handle: one registry, one trace ring, one

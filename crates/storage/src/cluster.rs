@@ -31,6 +31,12 @@ pub struct ClusterConfig {
     pub durability: DurabilityMode,
     /// Snapshot-compaction cadence in committed decrees.
     pub snapshot_every: u64,
+    /// Per-pool change-index bound on every replica's state machine.
+    /// Size it above the fabric's per-round churn (a 4M-variable fabric
+    /// walks ~164K telemetry rows a round) or every `read_since` falls
+    /// back to the snapshot path and the incremental checker reseeds
+    /// from scratch each pass.
+    pub change_index_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -43,6 +49,7 @@ impl Default for ClusterConfig {
             max_retries: 8,
             durability: DurabilityMode::Memory,
             snapshot_every: 256,
+            change_index_capacity: crate::machine::CHANGE_INDEX_CAPACITY,
         }
     }
 }
@@ -100,7 +107,12 @@ impl PaxosCluster {
         let replicas = stores
             .iter()
             .enumerate()
-            .map(|(i, s)| recovery::recover(ReplicaId(i as u8), config.replicas, s).0)
+            .map(|(i, s)| {
+                let mut r = recovery::recover(ReplicaId(i as u8), config.replicas, s).0;
+                r.machine
+                    .set_change_index_capacity(config.change_index_capacity);
+                r
+            })
             .collect();
         let mut bus = MessageBus::new(config.latency.clone(), config.seed);
         bus.drop_prob = config.drop_prob;
@@ -347,8 +359,11 @@ impl PaxosCluster {
     /// transfer) exactly as before.
     pub fn restart(&mut self, id: ReplicaId) {
         self.bus.restart(id);
-        let (replica, report) =
+        let (mut replica, report) =
             recovery::recover(id, self.config.replicas, &self.stores[id.0 as usize]);
+        replica
+            .machine
+            .set_change_index_capacity(self.config.change_index_capacity);
         self.replicas[id.0 as usize] = replica;
         self.last_recovery = Some(report);
         self.ensure_leader();

@@ -8,16 +8,23 @@
 
 use serde::{Deserialize, Serialize};
 use statesman_types::{
-    AppId, NetworkState, Pool, StateDelta, StateKey, VarId, Version, WriteReceipt,
+    slot_registry, AppId, Column, NetworkState, Pool, SlotId, StateDelta, StateKey, Version,
+    WriteReceipt,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 
-/// Bound on the per-pool change index. Entries beyond it are compacted
-/// away (oldest first), raising the pool's compaction floor; `read_since`
-/// requests from before the floor fall back to a full snapshot. Sized so
-/// steady-state churn (a few thousand rows per round) keeps weeks of
-/// history, while a full 394K-variable resync immediately compacts to the
-/// newest window instead of hoarding memory.
+/// Default bound on the per-pool change index. Entries beyond it are
+/// compacted away (oldest first), raising the pool's compaction floor;
+/// `read_since` requests from before the floor fall back to a full
+/// snapshot. Sized so steady-state churn (a few thousand rows per round)
+/// keeps weeks of history, while a full 394K-variable resync immediately
+/// compacts to the newest window instead of hoarding memory. Fabrics
+/// whose per-round churn exceeds this (4M variables ≈ 164K telemetry
+/// rows a round) must raise it via
+/// [`ClusterConfig::change_index_capacity`](crate::ClusterConfig) or
+/// every round degenerates to the snapshot fallback; entries are two
+/// words each, so the memory cost of a larger window is modest and only
+/// materializes under real churn.
 pub const CHANGE_INDEX_CAPACITY: usize = 65_536;
 
 /// A command in the replicated log.
@@ -74,16 +81,16 @@ impl LogCommand {
     }
 }
 
-/// One pool's bounded changefeed: (version, variable id) pairs in commit
+/// One pool's bounded changefeed: (version, slot id) pairs in commit
 /// order, plus the compaction floor and the pool watermark.
 #[derive(Debug, Clone, Default)]
 struct ChangeIndex {
-    /// Effective changes, oldest first. Compact [`VarId`]s only —
-    /// `read_since` materializes current row values at read time, and
-    /// tombstones resolve back to string keys at the wire edge, so the
-    /// index stays two words per entry no matter how large keys or rows
-    /// are.
-    entries: VecDeque<(u64, VarId)>,
+    /// Effective changes, oldest first. Compact [`SlotId`]s only —
+    /// `read_since` materializes current row values straight from the
+    /// column at read time, and tombstones resolve slot → var → string
+    /// key at the wire edge, so the index stays a word and a half per
+    /// entry no matter how large keys or rows are.
+    entries: VecDeque<(u64, SlotId)>,
     /// Version of the newest compacted-away entry; requests at or below
     /// it cannot be served incrementally.
     floor: u64,
@@ -92,8 +99,8 @@ struct ChangeIndex {
 }
 
 impl ChangeIndex {
-    fn record(&mut self, version: u64, key: VarId) {
-        if self.entries.len() == CHANGE_INDEX_CAPACITY {
+    fn record(&mut self, version: u64, key: SlotId, capacity: usize) {
+        if self.entries.len() >= capacity {
             if let Some((v, _)) = self.entries.pop_front() {
                 self.floor = v;
             }
@@ -105,15 +112,16 @@ impl ChangeIndex {
 
 /// The materialized store one replica derives from the committed log.
 ///
-/// Pools are keyed by compact [`VarId`]s (the interned state plane): every
-/// upsert, delete, and point read hashes one `u64` instead of the full
-/// entity strings, and the rows themselves still carry their names — so
+/// Pools are columnar [`Column`]s over the process-wide slot space: every
+/// upsert, delete, and point read resolves one dense slot index instead
+/// of hashing entity strings, row payloads sit contiguously in each
+/// column's arena, and the rows themselves still carry their names — so
 /// everything wire-visible (reads, deltas, receipts) is produced without
 /// consulting the interner, except delta *tombstones*, whose keys are
 /// resolved back to strings at the read edge.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct StateMachine {
-    pools: HashMap<Pool, HashMap<VarId, NetworkState>>,
+    pools: HashMap<Pool, Column>,
     receipts: HashMap<AppId, Vec<WriteReceipt>>,
     next_version: u64,
     applied: u64,
@@ -124,6 +132,24 @@ pub struct StateMachine {
     changes: HashMap<Pool, ChangeIndex>,
     /// Value-identical writes suppressed so far (cumulative).
     suppressed: u64,
+    /// Per-pool change-index bound (runtime sizing, not logical state —
+    /// snapshots do not carry it; recovery paths must re-apply it).
+    change_index_cap: usize,
+}
+
+impl Default for StateMachine {
+    fn default() -> Self {
+        StateMachine {
+            pools: HashMap::new(),
+            receipts: HashMap::new(),
+            next_version: 0,
+            applied: 0,
+            applied_ids: std::collections::HashSet::new(),
+            changes: HashMap::new(),
+            suppressed: 0,
+            change_index_cap: CHANGE_INDEX_CAPACITY,
+        }
+    }
 }
 
 impl StateMachine {
@@ -132,22 +158,32 @@ impl StateMachine {
         Self::default()
     }
 
+    /// Override the per-pool change-index bound (see
+    /// [`CHANGE_INDEX_CAPACITY`] for the default and sizing guidance).
+    /// A shrunk bound takes effect on subsequent writes.
+    pub fn set_change_index_capacity(&mut self, capacity: usize) {
+        self.change_index_cap = capacity.max(1);
+    }
+
     /// Apply one committed command. Returns the number of rows touched.
     pub fn apply(&mut self, cmd: &LogCommand) -> usize {
         self.applied += 1;
         match cmd {
             LogCommand::WriteBatch { pool, rows } => {
-                let p = self.pools.entry(pool.clone()).or_default();
+                let p = self
+                    .pools
+                    .entry(pool.clone())
+                    .or_insert_with(|| Column::new(pool.clone()));
                 let idx = self.changes.entry(pool.clone()).or_default();
                 let mut effective = 0;
                 for row in rows {
-                    let key = row.var_id();
+                    let slot = slot_registry().slot_of(pool, row.var_id());
                     // Value-identical re-writes are complete no-ops: no
                     // version bump, no watermark move, no index entry, and
                     // the stored row keeps its original timestamp. This is
                     // what lets delta-maintained views stay bit-equal to
                     // full reads while quiescent rounds write nothing new.
-                    if let Some(existing) = p.get(&key) {
+                    if let Some(existing) = p.get_slot(slot) {
                         if existing.value == row.value && existing.writer == row.writer {
                             self.suppressed += 1;
                             continue;
@@ -156,8 +192,8 @@ impl StateMachine {
                     self.next_version += 1;
                     let mut stamped = row.clone();
                     stamped.version = Version(self.next_version);
-                    p.insert(key, stamped);
-                    idx.record(self.next_version, key);
+                    p.upsert_at(slot, stamped);
+                    idx.record(self.next_version, slot, self.change_index_cap);
                     effective += 1;
                 }
                 effective
@@ -167,10 +203,12 @@ impl StateMachine {
                 if let Some(p) = self.pools.get_mut(pool) {
                     let idx = self.changes.entry(pool.clone()).or_default();
                     for k in keys {
-                        let vid = k.var_id();
-                        if p.remove(&vid).is_some() {
+                        let Some(slot) = slot_registry().lookup(pool, k.var_id()) else {
+                            continue;
+                        };
+                        if p.remove_slot(slot).is_some() {
                             self.next_version += 1;
-                            idx.record(self.next_version, vid);
+                            idx.record(self.next_version, slot, self.change_index_cap);
                             removed += 1;
                         }
                     }
@@ -202,14 +240,14 @@ impl StateMachine {
 
     /// Read one row.
     pub fn get(&self, pool: &Pool, key: &StateKey) -> Option<&NetworkState> {
-        self.pools.get(pool)?.get(&key.var_id())
+        self.pools.get(pool)?.get_var(key.var_id())
     }
 
-    /// All rows of a pool, unordered.
+    /// All rows of a pool, in slot order.
     pub fn pool_rows(&self, pool: &Pool) -> Vec<NetworkState> {
         self.pools
             .get(pool)
-            .map(|p| p.values().cloned().collect())
+            .map(|p| p.rows().cloned().collect())
             .unwrap_or_default()
     }
 
@@ -221,13 +259,34 @@ impl StateMachine {
     ) -> Vec<NetworkState> {
         self.pools
             .get(pool)
-            .map(|p| p.values().filter(|r| pred(r)).cloned().collect())
+            .map(|p| p.rows().filter(|r| pred(r)).cloned().collect())
             .unwrap_or_default()
     }
 
     /// Number of rows in a pool.
     pub fn pool_len(&self, pool: &Pool) -> usize {
         self.pools.get(pool).map(|p| p.len()).unwrap_or(0)
+    }
+
+    /// Live row count per pool, sorted by wire name. O(pools), not
+    /// O(rows): columns track their live count.
+    pub fn pool_stats(&self) -> Vec<(Pool, u64)> {
+        let mut v: Vec<(Pool, u64)> = self
+            .pools
+            .iter()
+            .map(|(p, col)| (p.clone(), col.len() as u64))
+            .collect();
+        v.sort_by_key(|(p, _)| p.wire_name());
+        v
+    }
+
+    /// Approximate resident bytes of all columns (slot vectors, bitmaps,
+    /// arena reservations, live payloads) and the live rows they hold —
+    /// the source of the `state_bytes_per_var` gauge.
+    pub fn state_bytes(&self) -> (u64, u64) {
+        let bytes: usize = self.pools.values().map(|c| c.approx_bytes()).sum();
+        let rows: usize = self.pools.values().map(|c| c.len()).sum();
+        (bytes as u64, rows as u64)
     }
 
     /// All non-empty pools, sorted by wire name (stable enumeration for
@@ -293,23 +352,24 @@ impl StateMachine {
         }
         let idx = idx.expect("watermark > since >= 0 implies a change index");
         let rows = self.pools.get(pool);
-        let mut seen: HashSet<VarId> = HashSet::new();
+        let mut seen: HashSet<SlotId> = HashSet::new();
         let mut upserts = Vec::new();
         let mut deletes = Vec::new();
         // Newest-first so the dedupe keeps each key's latest disposition.
-        for (v, key) in idx.entries.iter().rev() {
+        for (v, slot) in idx.entries.iter().rev() {
             if *v <= since.0 {
                 break;
             }
-            if !seen.insert(*key) {
+            if !seen.insert(*slot) {
                 continue;
             }
-            match rows.and_then(|p| p.get(key)) {
+            match rows.and_then(|p| p.get_slot(*slot)) {
                 Some(row) => upserts.push(row.clone()),
                 // Tombstones are the one place the read edge consults the
                 // interner: the deleted row is gone, so its string key is
-                // rebuilt from the id (counted as a key resolution).
-                None => deletes.push(key.resolve_key()),
+                // rebuilt from the slot's variable (counted as a key
+                // resolution).
+                None => deletes.push(slot_registry().var_of(pool, *slot).resolve_key()),
             }
         }
         Some(StateDelta::incremental(
@@ -330,8 +390,8 @@ impl StateMachine {
         let mut pools: Vec<(Pool, Vec<NetworkState>)> = self
             .pools
             .iter()
-            .map(|(p, rows)| {
-                let mut rows: Vec<NetworkState> = rows.values().cloned().collect();
+            .map(|(p, col)| {
+                let mut rows: Vec<NetworkState> = col.rows().cloned().collect();
                 rows.sort_by_key(|r| r.key());
                 (p.clone(), rows)
             })
@@ -355,7 +415,7 @@ impl StateMachine {
                         entries: idx
                             .entries
                             .iter()
-                            .map(|(v, id)| (*v, id.resolve_key()))
+                            .map(|(v, slot)| (*v, slot_registry().var_of(p, *slot).resolve_key()))
                             .collect(),
                         floor: idx.floor,
                         watermark: idx.watermark,
@@ -382,10 +442,11 @@ impl StateMachine {
             .pools
             .iter()
             .map(|(p, rows)| {
-                (
-                    p.clone(),
-                    rows.iter().map(|r| (r.var_id(), r.clone())).collect(),
-                )
+                let mut col = Column::new(p.clone());
+                for r in rows {
+                    col.upsert(r.clone());
+                }
+                (p.clone(), col)
             })
             .collect();
         let receipts = snap.receipts.iter().cloned().collect();
@@ -399,7 +460,7 @@ impl StateMachine {
                         entries: idx
                             .entries
                             .iter()
-                            .map(|(v, key)| (*v, key.var_id()))
+                            .map(|(v, key)| (*v, slot_registry().slot_of(p, key.var_id())))
                             .collect(),
                         floor: idx.floor,
                         watermark: idx.watermark,
@@ -415,6 +476,7 @@ impl StateMachine {
             applied_ids: snap.applied_ids.iter().copied().collect(),
             changes,
             suppressed: snap.suppressed,
+            change_index_cap: CHANGE_INDEX_CAPACITY,
         }
     }
 }

@@ -879,6 +879,46 @@ impl StorageService {
         }
     }
 
+    /// Per-pool row counts summed across every partition, sorted by pool
+    /// wire name — the `/v1/status` state-plane breakdown. Unreadable
+    /// partitions contribute nothing (degraded mode must not fail a
+    /// status scrape).
+    pub fn pool_row_stats(&self) -> Vec<(Pool, u64)> {
+        let mut totals: std::collections::BTreeMap<String, (Pool, u64)> =
+            std::collections::BTreeMap::new();
+        for dc in self.names.iter() {
+            let part = self.parts.get(dc).expect("name maps to partition");
+            let mut ring = self.lock_ring(dc, part);
+            if let Ok(m) = ring.leader_machine() {
+                for (pool, n) in m.pool_stats() {
+                    totals
+                        .entry(pool.wire_name().into_owned())
+                        .and_modify(|e| e.1 += n)
+                        .or_insert((pool, n));
+                }
+            }
+        }
+        totals.into_values().collect()
+    }
+
+    /// (approximate resident bytes, live rows) of the columnar state
+    /// plane, summed across partitions — the source of the
+    /// `state_bytes_per_var` gauge.
+    pub fn state_bytes(&self) -> (u64, u64) {
+        let mut bytes = 0u64;
+        let mut rows = 0u64;
+        for dc in self.names.iter() {
+            let part = self.parts.get(dc).expect("name maps to partition");
+            let mut ring = self.lock_ring(dc, part);
+            if let Ok(m) = ring.leader_machine() {
+                let (b, r) = m.state_bytes();
+                bytes += b;
+                rows += r;
+            }
+        }
+        (bytes, rows)
+    }
+
     /// (cache_hits, leader_reads) counters for the freshness bench.
     /// Lock-free: both are atomics (leader reads aggregate per partition).
     pub fn read_stats(&self) -> (u64, u64) {

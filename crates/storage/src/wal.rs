@@ -476,6 +476,8 @@ impl Media {
 
 // ---- the store ----
 
+// One store per replica, so the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
 enum StoreInner {
     /// Logical event store: an ideal medium that never tears or flips.
     Logical {

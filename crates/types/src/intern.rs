@@ -28,7 +28,7 @@
 //! order (property-tested in `tests/proptests.rs`).
 
 use crate::entity::EntityName;
-use crate::state::StateKey;
+use crate::state::{Pool, StateKey};
 use crate::vars::Attribute;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -148,6 +148,125 @@ impl Interner {
     }
 }
 
+/// A dense, per-pool slot index for one state variable — the columnar
+/// companion of [`VarId`].
+///
+/// Where [`EntityId`] names an entity in the process-wide symbol table,
+/// `SlotId` names a *row position* in one pool's column: the first
+/// variable a pool ever sees gets slot 0, the next slot 1, and so on.
+/// Slots are append-only and **never reused** — deleting a variable
+/// tombstones its slot, and re-inserting the same variable lands in the
+/// same slot again — so a slot id, once handed out, is a stable row
+/// address for the process lifetime. Like every interned id, slots are
+/// never serialized; snapshots and deltas carry string keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u32);
+
+impl SlotId {
+    /// The slot as a vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The per-pool slot tables: for each pool, a bijection between the
+/// [`VarId`]s the pool has ever stored and dense [`SlotId`]s in
+/// first-sight order. One process-wide instance backs the columnar state
+/// plane (storage columns and core mirrors agree on slot addressing
+/// because they consult the same registry); independent instances exist
+/// only for tests.
+#[derive(Default)]
+pub struct SlotRegistry {
+    inner: RwLock<SlotRegistryInner>,
+}
+
+#[derive(Default)]
+struct SlotRegistryInner {
+    pools: HashMap<Pool, PoolSlots>,
+}
+
+#[derive(Default)]
+struct PoolSlots {
+    /// Var → slot.
+    lookup: HashMap<VarId, u32>,
+    /// Slot → var, append-only: `vars[slot.0 as usize]`.
+    vars: Vec<VarId>,
+}
+
+impl SlotRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The slot of `var` in `pool`, minting one on first sight. Lookups
+    /// for known variables take a shared read lock and allocate nothing.
+    pub fn slot_of(&self, pool: &Pool, var: VarId) -> SlotId {
+        if let Some(&slot) = self
+            .inner
+            .read()
+            .expect("slot registry poisoned")
+            .pools
+            .get(pool)
+            .and_then(|p| p.lookup.get(&var))
+        {
+            return SlotId(slot);
+        }
+        let mut inner = self.inner.write().expect("slot registry poisoned");
+        let pool_slots = inner.pools.entry(pool.clone()).or_default();
+        if let Some(&slot) = pool_slots.lookup.get(&var) {
+            return SlotId(slot); // raced: another thread minted it first
+        }
+        let slot = u32::try_from(pool_slots.vars.len()).expect("slot registry overflow");
+        pool_slots.vars.push(var);
+        pool_slots.lookup.insert(var, slot);
+        SlotId(slot)
+    }
+
+    /// The slot of `var` in `pool`, if one has been minted (never mints —
+    /// the read-path counterpart of [`SlotRegistry::slot_of`]).
+    pub fn lookup(&self, pool: &Pool, var: VarId) -> Option<SlotId> {
+        self.inner
+            .read()
+            .expect("slot registry poisoned")
+            .pools
+            .get(pool)?
+            .lookup
+            .get(&var)
+            .map(|&s| SlotId(s))
+    }
+
+    /// The variable behind a slot. Panics on a foreign slot (slots are
+    /// only minted by [`SlotRegistry::slot_of`]).
+    pub fn var_of(&self, pool: &Pool, slot: SlotId) -> VarId {
+        self.inner
+            .read()
+            .expect("slot registry poisoned")
+            .pools
+            .get(pool)
+            .map(|p| p.vars[slot.index()])
+            .expect("slot registry: unknown pool")
+    }
+
+    /// Slots minted for `pool` so far (the pool's column high-water mark).
+    pub fn pool_slots(&self, pool: &Pool) -> usize {
+        self.inner
+            .read()
+            .expect("slot registry poisoned")
+            .pools
+            .get(pool)
+            .map(|p| p.vars.len())
+            .unwrap_or(0)
+    }
+}
+
+static SLOTS: OnceLock<SlotRegistry> = OnceLock::new();
+
+/// The process-wide slot registry backing the columnar state plane.
+pub fn slot_registry() -> &'static SlotRegistry {
+    SLOTS.get_or_init(SlotRegistry::new)
+}
+
 /// Id → name resolutions performed so far, process-wide (both the global
 /// table and test-local ones count; the metric watches for resolution
 /// creeping into hot loops anywhere).
@@ -223,6 +342,49 @@ mod tests {
         let key = vid.resolve_key();
         assert_eq!(key, StateKey::new(entity, Attribute::DeviceFirmwareVersion));
         assert!(key_resolutions() >= before + 2, "resolutions are counted");
+    }
+
+    #[test]
+    fn slots_are_dense_per_pool_and_never_reused() {
+        let reg = SlotRegistry::new();
+        let a = VarId::of(&dev("slot-a"), Attribute::DeviceFirmwareVersion);
+        let b = VarId::of(&dev("slot-b"), Attribute::DeviceFirmwareVersion);
+        let os = Pool::Observed;
+        let ts = Pool::Target;
+        assert_eq!(reg.lookup(&os, a), None, "lookup never mints");
+        let sa = reg.slot_of(&os, a);
+        let sb = reg.slot_of(&os, b);
+        assert_eq!((sa.0, sb.0), (0, 1), "dense, first-sight order");
+        // Re-interning yields the same slot; pools are independent spaces.
+        assert_eq!(reg.slot_of(&os, a), sa);
+        assert_eq!(reg.slot_of(&ts, b).0, 0);
+        assert_eq!(reg.var_of(&os, sb), b);
+        assert_eq!(reg.pool_slots(&os), 2);
+        assert_eq!(reg.pool_slots(&ts), 1);
+    }
+
+    #[test]
+    fn cross_thread_slot_minting_is_consistent() {
+        let reg = Arc::new(SlotRegistry::new());
+        let vars: Vec<VarId> = (0..64)
+            .map(|i| VarId::of(&dev(&format!("s{i}")), Attribute::DeviceAdminPower))
+            .collect();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let vars = vars.clone();
+                std::thread::spawn(move || {
+                    vars.iter()
+                        .map(|v| reg.slot_of(&Pool::Observed, *v))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let per_thread: Vec<Vec<SlotId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for slots in &per_thread {
+            assert_eq!(slots, &per_thread[0], "all threads see the same slots");
+        }
+        assert_eq!(reg.pool_slots(&Pool::Observed), vars.len());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! simulated network, the Paxos-backed store, the checker, the HTTP API —
 //! can share it without cycles.
 
+pub mod columnar;
 pub mod entity;
 pub mod error;
 pub mod intern;
@@ -36,11 +37,14 @@ pub mod time;
 pub mod value;
 pub mod vars;
 
+pub use columnar::{Column, ColumnIter, RowArena};
 pub use entity::{
     DatacenterId, DeviceName, DeviceRole, EntityKind, EntityName, LinkName, PathName,
 };
 pub use error::{StateError, StateResult};
-pub use intern::{interned_count, interner, key_resolutions, EntityId, VarId};
+pub use intern::{
+    interned_count, interner, key_resolutions, slot_registry, EntityId, SlotId, SlotRegistry, VarId,
+};
 pub use lock::{LockPriority, LockRecord};
 pub use retry::RetryPolicy;
 pub use state::{

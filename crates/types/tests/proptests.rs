@@ -145,7 +145,7 @@ proptest! {
         let mut by_key = pairs.clone();
         by_key.sort_by(|a, b| a.0.cmp(&b.0));
         let mut by_vid = pairs;
-        by_vid.sort_by(|a, b| a.1.cmp(&b.1));
+        by_vid.sort_by_key(|a| a.1);
         prop_assert_eq!(by_key, by_vid);
     }
 
