@@ -30,11 +30,16 @@
 
 use statesman_core::{Coordinator, CoordinatorConfig};
 use statesman_net::{SimClock, SimConfig, SimNetwork};
-use statesman_storage::{ClusterConfig, StorageConfig, StorageService};
+use statesman_storage::{ClusterConfig, StorageConfig, StorageService, WriteRequest};
 use statesman_topology::{DcnSpec, DeploymentSpec};
-use statesman_types::{DatacenterId, SimDuration};
+use statesman_types::{
+    AppId, Attribute, DatacenterId, EntityName, NetworkState, Pool, SimDuration, Value,
+};
 
 const ROUNDS: usize = 3;
+
+/// Update-plan shape of one TS-churn round: (steps, waves, max_width).
+type PlanShape = (usize, usize, usize);
 
 fn main() {
     let vars: usize = std::env::var("STATESMAN_BENCH_VARS")
@@ -53,25 +58,39 @@ fn main() {
     let mut json_rows = Vec::new();
     let mut base_ms: Option<f64> = None;
     for &g in &groups {
-        let (round_ms, lock_wait_ms) = measure(vars, g);
+        let (round_ms, lock_wait_ms, (plan_steps, plan_waves, plan_width)) = measure(vars, g);
         let speedup = base_ms.get_or_insert(round_ms).max(f64::MIN_POSITIVE) / round_ms;
-        println!("csv,parallel_rounds,{vars},{g},{round_ms:.1},{speedup:.2},{lock_wait_ms:.1}");
+        println!(
+            "csv,parallel_rounds,{vars},{g},{round_ms:.1},{speedup:.2},{lock_wait_ms:.1},\
+             {plan_steps},{plan_waves},{plan_width}"
+        );
         rows.push(vec![
             g.to_string(),
             format!("{round_ms:.1}"),
             format!("{speedup:.2}x"),
             format!("{lock_wait_ms:.1}"),
+            format!("{plan_steps}/{plan_waves}/{plan_width}"),
         ]);
         json_rows.push(format!(
             "    {{ \"groups\": {g}, \"round_ms\": {round_ms:.1}, \"speedup\": {speedup:.2}, \
-             \"lock_wait_ms\": {lock_wait_ms:.1} }}"
+             \"lock_wait_ms\": {lock_wait_ms:.1}, \"plan_steps\": {plan_steps}, \
+             \"plan_waves\": {plan_waves}, \"plan_max_width\": {plan_width} }}"
         ));
     }
     println!();
     println!("parallel_rounds: {vars} total variables, full-scan plane, {ROUNDS}-round median");
     print!(
         "{}",
-        statesman_bench::report::table(&["groups", "round_ms", "speedup", "lock_wait_ms"], &rows)
+        statesman_bench::report::table(
+            &[
+                "groups",
+                "round_ms",
+                "speedup",
+                "lock_wait_ms",
+                "plan s/w/width"
+            ],
+            &rows
+        )
     );
 
     let json = format!(
@@ -81,10 +100,10 @@ fn main() {
     std::fs::write("BENCH_parallel_rounds.json", json).expect("write BENCH_parallel_rounds.json");
 }
 
-/// Median round latency (ms) and mean per-round partition-lock wait (ms)
-/// for `vars` total variables split across `g` equally sized datacenter
-/// partitions.
-fn measure(vars: usize, g: usize) -> (f64, f64) {
+/// Median round latency (ms), mean per-round partition-lock wait (ms),
+/// and the update-plan shape of a trailing TS-churn round, for `vars`
+/// total variables split across `g` equally sized datacenter partitions.
+fn measure(vars: usize, g: usize) -> (f64, f64, PlanShape) {
     let clock = SimClock::new();
     let dcns: Vec<DcnSpec> = (1..=g)
         .map(|i| DcnSpec::sized_for_variables(format!("dc{i}"), vars / g))
@@ -139,5 +158,57 @@ fn measure(vars: usize, g: usize) -> (f64, f64) {
         .collect();
     let lock_wait_ms = (storage_probe.lock_wait_stats() - wait_before) as f64 / 1e3 / ROUNDS as f64;
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    (samples[samples.len() / 2], lock_wait_ms)
+
+    // Trailing TS-churn round: retarget firmware on one agg per pod (up
+    // to 8 pods per DC), then let the planned updater compile and run
+    // the difference set. The reported shape is the plan's available
+    // parallelism — pods and DCs are independent segments, so max_width
+    // must reach the step count (and in particular grow with `g`).
+    let mut targets: Vec<(DatacenterId, EntityName)> = graph
+        .nodes()
+        .filter_map(|(_, n)| {
+            let local = n.name.as_str().rsplit('.').next().unwrap_or("");
+            (local.starts_with("agg-") && local.ends_with("-1")).then(|| {
+                (
+                    n.datacenter.clone(),
+                    EntityName::device(n.datacenter.clone(), n.name.clone()),
+                )
+            })
+        })
+        .collect();
+    targets.sort();
+    let mut per_dc = std::collections::HashMap::new();
+    targets.retain(|(dc, _)| {
+        let seen = per_dc.entry(dc.clone()).or_insert(0usize);
+        *seen += 1;
+        *seen <= 8
+    });
+    let now = clock.now();
+    let rows: Vec<NetworkState> = targets
+        .iter()
+        .map(|(_, e)| {
+            NetworkState::new(
+                e.clone(),
+                Attribute::DeviceFirmwareVersion,
+                Value::text("bench-9"),
+                now,
+                AppId::new("bench-plan"),
+            )
+        })
+        .collect();
+    storage_probe
+        .write(WriteRequest {
+            pool: Pool::Target,
+            rows,
+        })
+        .expect("write churn TS");
+    let report = coord
+        .tick_and_advance(SimDuration::from_mins(1))
+        .expect("churn round");
+    let plan = (
+        report.updater.plan_steps,
+        report.updater.plan_waves,
+        report.updater.plan_max_width,
+    );
+    (samples[samples.len() / 2], lock_wait_ms, plan)
 }

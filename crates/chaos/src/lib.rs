@@ -135,6 +135,19 @@ impl ChaosPlan {
         }
     }
 
+    /// The upgrade-race plan: the standard multi-layer composition with
+    /// link flapping turned up hard (4%/minute, 90-second outages), so
+    /// the rolling firmware reboots race real link failures. This is the
+    /// scenario the updater's in-flight checks exist for: the checker
+    /// validated each upgrade against an observed state that flaps keep
+    /// invalidating between acceptance and execution.
+    pub fn upgrade_race(seed: u64) -> Self {
+        let mut plan = ChaosPlan::standard(seed);
+        plan.link_flap_prob_per_min = 0.04;
+        plan.link_flap_duration = SimDuration::from_secs(90);
+        plan
+    }
+
     /// Install the network-layer slice of this plan into a [`FaultPlan`].
     /// (Partition outages and the app blackout live above the simulator
     /// and are driven by [`ChaosScenario::run`].)
@@ -225,6 +238,14 @@ pub struct ScenarioOutcome {
     /// post-recovery watermark fell below the pre-kill one, i.e. an
     /// acknowledged write was lost. Must stay empty.
     pub watermark_regressions: Vec<String>,
+    /// Update-plan steps synthesized across the run (0 with planning off).
+    pub plan_steps: usize,
+    /// Peak single-round plan width (available update parallelism).
+    pub plan_max_width: usize,
+    /// Steps withheld by an in-flight invariant check across the run.
+    pub plan_inflight_rejections: usize,
+    /// Steps rolled back after every rendered command failed.
+    pub plan_rollbacks: usize,
 }
 
 /// What the HTTP-layer stress rig observed during a
@@ -493,6 +514,15 @@ pub struct ChaosScenario {
     /// columnar slots (the default) or the hashmap reference. Equivalence
     /// tests run the same seed under both and demand identical outcomes.
     pub columnar_state: bool,
+    /// Run the updater's plan synthesizer (dependency-ordered waves with
+    /// in-flight invariant checks) instead of the legacy chain walk.
+    /// Equivalence tests run the same seed under both.
+    pub plan_synthesis: bool,
+    /// Flash-crowd TE churn: while the upgrade campaign runs, a traffic
+    /// app keeps re-routing a pod-1 path between the two aggs (the
+    /// devices mid-reboot), alternating every other round until a fixed
+    /// cutoff, so routing updates race the firmware rolls.
+    pub te_churn: bool,
 }
 
 impl ChaosScenario {
@@ -507,6 +537,27 @@ impl ChaosScenario {
             durability: DurabilityMode::Memory,
             verbose: false,
             columnar_state: true,
+            plan_synthesis: true,
+            te_churn: false,
+        }
+    }
+
+    /// The upgrade-race scenario: [`ChaosPlan::upgrade_race`] (heavy
+    /// link flapping under the rolling firmware campaign) plus
+    /// flash-crowd TE churn re-routing traffic between the rebooting
+    /// aggs, with extra rounds so convergence is still reachable after
+    /// the churn cutoff.
+    pub fn upgrade_race(seed: u64) -> Self {
+        ChaosScenario {
+            plan: ChaosPlan::upgrade_race(seed),
+            rounds: 36,
+            step: SimDuration::from_mins(1),
+            intent_at: SimTime::from_secs(3 * 60),
+            durability: DurabilityMode::Memory,
+            verbose: false,
+            columnar_state: true,
+            plan_synthesis: true,
+            te_churn: true,
         }
     }
 
@@ -553,6 +604,8 @@ impl ChaosScenario {
             durability,
             verbose: false,
             columnar_state: true,
+            plan_synthesis: true,
+            te_churn: false,
         }
     }
 
@@ -639,6 +692,7 @@ impl ChaosScenario {
                 }),
                 updater_breaker: Some((3, SimDuration::from_mins(3))),
                 columnar_state: self.columnar_state,
+                plan_synthesis: self.plan_synthesis,
                 ..CoordinatorConfig::default()
             },
         );
@@ -672,6 +726,10 @@ impl ChaosScenario {
             recovery_violations: Vec::new(),
             chain_violations: Vec::new(),
             watermark_regressions: Vec::new(),
+            plan_steps: 0,
+            plan_max_width: 0,
+            plan_inflight_rejections: 0,
+            plan_rollbacks: 0,
         };
 
         // Durable-storage chaos state: per-kill lifecycle phase
@@ -802,6 +860,31 @@ impl ChaosScenario {
                 if !wanted.is_empty() {
                     let _ = app.propose(wanted);
                 }
+                // Flash-crowd TE churn: a traffic app keeps re-routing a
+                // pod-1 path between the two aggs mid-upgrade, flipping
+                // the middle hop (and the allocation) every other round
+                // until a fixed cutoff so convergence stays reachable.
+                if self.te_churn && round < 14 {
+                    let flip = (round / 2) % 2;
+                    let mid = if flip == 0 { "agg-1-1" } else { "agg-1-2" };
+                    let path = EntityName::path(dc.clone(), "te:flash-crowd");
+                    let _ = app.propose([
+                        (
+                            path.clone(),
+                            Attribute::PathSwitches,
+                            Value::DeviceList(vec![
+                                DeviceName::new("tor-1-1"),
+                                DeviceName::new(mid),
+                                DeviceName::new("tor-1-2"),
+                            ]),
+                        ),
+                        (
+                            path,
+                            Attribute::PathTrafficAllocation,
+                            Value::Float(if flip == 0 { 500.0 } else { 900.0 }),
+                        ),
+                    ]);
+                }
             }
 
             // One control-loop round, then advance the world.
@@ -835,6 +918,11 @@ impl ChaosScenario {
                     outcome.updater_retries += retries;
                     outcome.breakers_opened += opened;
                     outcome.storage_retries = report.storage_retries;
+                    outcome.plan_steps += report.updater.plan_steps;
+                    outcome.plan_max_width =
+                        outcome.plan_max_width.max(report.updater.plan_max_width);
+                    outcome.plan_inflight_rejections += report.updater.plan_inflight_rejections;
+                    outcome.plan_rollbacks += report.updater.plan_rollbacks;
 
                     // Liveness sample: target realized on ground truth and
                     // the updater has nothing left to do.
@@ -1207,6 +1295,8 @@ mod tests {
             durability: DurabilityMode::Memory,
             verbose: false,
             columnar_state: true,
+            plan_synthesis: true,
+            te_churn: false,
         };
         let outcome = scenario.run();
         assert!(outcome.safety_violations.is_empty());

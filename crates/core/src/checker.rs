@@ -200,6 +200,12 @@ pub struct Checker {
     /// [`QuiescentMark`]); cleared by quarantine passes, disabled delta
     /// reads, or any pass that did work.
     quiescent: Mutex<Option<QuiescentMark>>,
+    /// Times a pass's [`ChangeTrack`] silently degraded to a full reseed:
+    /// churn beyond [`SEED_TRACK_LIMIT`], or a snapshot-fallback delta on
+    /// an established mirror. Cumulative; surfaced by the coordinator as
+    /// `checker_full_degrades_total` and on `/v1/status`, so blast-radius
+    /// scoped checks can't quietly go whole-network.
+    full_degrades: std::sync::atomic::AtomicU64,
 }
 
 impl Checker {
@@ -215,7 +221,15 @@ impl Checker {
             part_cache: Mutex::new(HashMap::new()),
             seed_cache: Mutex::new(None),
             quiescent: Mutex::new(None),
+            full_degrades: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Cumulative count of change-track degradations to a full reseed
+    /// (see the `full_degrades` field). Monotone over this checker's life.
+    pub fn full_degrades(&self) -> u64 {
+        self.full_degrades
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Replace the dependency model (ablations / extensions).
@@ -346,6 +360,13 @@ impl Checker {
         entry.watermark = delta.watermark;
         if delta.snapshot {
             if let Some(t) = track.as_deref_mut() {
+                // A snapshot on an established mirror (change-index
+                // compaction fallback) is a silent whole-network degrade;
+                // the very first seed of a fresh mirror is not.
+                if !t.full && since != Version::default() {
+                    self.full_degrades
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
                 t.full = true;
                 t.rows.clear();
                 t.keys.clear();
@@ -393,7 +414,9 @@ impl Checker {
             }
         }
         if let Some(t) = track {
-            if t.rows.len() + t.keys.len() > SEED_TRACK_LIMIT {
+            if !t.full && t.rows.len() + t.keys.len() > SEED_TRACK_LIMIT {
+                self.full_degrades
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 t.full = true;
                 t.rows.clear();
                 t.keys.clear();

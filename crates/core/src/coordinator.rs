@@ -60,6 +60,12 @@ pub struct CoordinatorConfig {
     /// Per-device updater circuit breaker: (consecutive-failure
     /// threshold, open cooldown). `None` disables breakers.
     pub updater_breaker: Option<(u32, SimDuration)>,
+    /// Run the updater's plan synthesizer: compile each round's
+    /// difference set into a dependency-ordered, maximally-parallel
+    /// update plan and gate every step on in-flight invariant checks
+    /// against the projected intermediate state. `false` restores the
+    /// legacy per-device chain walk (no plan, no in-flight checks).
+    pub plan_synthesis: bool,
     /// Run the delta-driven state plane: the monitor diffs against its
     /// last-written view and writes only changed rows, and the checker
     /// and updater advance cached views via `read_since` changefeeds.
@@ -96,6 +102,7 @@ impl Default for CoordinatorConfig {
             quarantine_cooldown: None,
             updater_retry: None,
             updater_breaker: None,
+            plan_synthesis: true,
             delta_state_plane: true,
             columnar_state: true,
             monitor_resync_every: None,
@@ -131,6 +138,20 @@ struct CoordObs {
     updater_breaker_skips: Counter,
     updater_breakers_opened: Counter,
     updater_round_ms: Histogram,
+    updater_plan_steps: Counter,
+    updater_plan_waves: Counter,
+    /// Widest wave of the last recorded round's update plan (0 when plan
+    /// synthesis is off or the round planned nothing).
+    updater_plan_max_width: Gauge,
+    updater_plan_inflight_rejections: Counter,
+    updater_plan_rollbacks: Counter,
+    /// Checker change-track full-degrade events (silent fallbacks to a
+    /// full reseed). Counted per round as the delta of the summed
+    /// per-checker totals against `last_full_degrades`.
+    checker_full_degrades: Counter,
+    /// The summed per-checker full-degrade total at the end of the last
+    /// recorded round.
+    last_full_degrades: std::sync::atomic::AtomicU64,
     monitor_rows_written: Counter,
     monitor_writes_suppressed: Counter,
     watermark_lag: Gauge,
@@ -176,6 +197,13 @@ impl CoordObs {
             updater_breaker_skips: r.counter("updater_breaker_skips_total"),
             updater_breakers_opened: r.counter("updater_breakers_opened_total"),
             updater_round_ms: r.histogram("updater_round_ms", LATENCY_BUCKETS_MS),
+            updater_plan_steps: r.counter("updater_plan_steps_total"),
+            updater_plan_waves: r.counter("updater_plan_waves_total"),
+            updater_plan_max_width: r.gauge("updater_plan_max_width"),
+            updater_plan_inflight_rejections: r.counter("updater_plan_inflight_rejections_total"),
+            updater_plan_rollbacks: r.counter("updater_plan_rollbacks_total"),
+            checker_full_degrades: r.counter("checker_full_degrades_total"),
+            last_full_degrades: std::sync::atomic::AtomicU64::new(0),
             monitor_rows_written: r.counter("monitor_rows_written_total"),
             monitor_writes_suppressed: r.counter("monitor_writes_suppressed_total"),
             watermark_lag: r.gauge("state_watermark_lag"),
@@ -409,6 +437,49 @@ impl Coordinator {
         if let Some((threshold, cooldown)) = config.updater_breaker {
             updater = updater.with_circuit_breaker(threshold, cooldown);
         }
+        updater = updater.with_plan_synthesis(config.plan_synthesis);
+        if config.plan_synthesis {
+            // The updater gets its own invariant instances (mirroring the
+            // checker set) for the per-step in-flight checks: the checker
+            // validated the full target state, but the observed state can
+            // shift between acceptance and execution, so each step is
+            // re-checked against the projected intermediate network.
+            let mut invs: Vec<Box<dyn crate::invariants::Invariant>> = Vec::new();
+            for dc in &dcs {
+                if config.connectivity_invariant {
+                    invs.push(Box::new(ConnectivityInvariant::new(dc.clone())));
+                }
+                if let Some((threshold, fraction, sample)) = config.capacity_invariant {
+                    let inv = match config.capacity_max_pairs {
+                        Some(cap) => TorPairCapacityInvariant::sampled(
+                            graph,
+                            dc.clone(),
+                            threshold,
+                            fraction,
+                            sample,
+                            cap,
+                            CAPACITY_PANEL_SEED,
+                        ),
+                        None => TorPairCapacityInvariant::new(
+                            graph,
+                            dc.clone(),
+                            threshold,
+                            fraction,
+                            sample,
+                        ),
+                    };
+                    if inv.pair_count() > 0 {
+                        invs.push(Box::new(inv));
+                    }
+                }
+            }
+            if has_wan {
+                if let Some(min) = config.wan_invariant {
+                    invs.push(Box::new(WanLinkInvariant::new(min)));
+                }
+            }
+            updater = updater.with_plan_invariants(invs);
+        }
 
         // Instrument the shared services against the same registry the
         // loop records into, so one scrape covers every layer.
@@ -602,7 +673,21 @@ impl Coordinator {
             .add(report.updater.breaker_skips as u64);
         m.updater_breakers_opened
             .add(report.updater.breakers_opened as u64);
+        m.updater_plan_steps.add(report.updater.plan_steps as u64);
+        m.updater_plan_waves.add(report.updater.plan_waves as u64);
+        m.updater_plan_max_width
+            .set(report.updater.plan_max_width as i64);
+        m.updater_plan_inflight_rejections
+            .add(report.updater.plan_inflight_rejections as u64);
+        m.updater_plan_rollbacks
+            .add(report.updater.plan_rollbacks as u64);
         m.updater_round_ms.observe(updater_ms);
+        let full_degrades_total: u64 = self.checkers.iter().map(|c| c.full_degrades()).sum();
+        let prev_degrades = m
+            .last_full_degrades
+            .swap(full_degrades_total, Ordering::Relaxed);
+        m.checker_full_degrades
+            .add(full_degrades_total.saturating_sub(prev_degrades));
         m.monitor_rows_written.add(report.rows_written as u64);
         m.monitor_writes_suppressed
             .add(report.writes_suppressed as u64);
@@ -676,6 +761,11 @@ impl Coordinator {
             delta_reads: report.delta_reads,
             full_fallbacks: report.full_fallbacks,
             watermark_lag: report.watermark_lag,
+            plan_steps: report.updater.plan_steps,
+            plan_waves: report.updater.plan_waves,
+            plan_max_width: report.updater.plan_max_width,
+            plan_inflight_rejections: report.updater.plan_inflight_rejections,
+            plan_rollbacks: report.updater.plan_rollbacks,
         });
         obs.set_status(StatusBoard {
             quarantined,
@@ -688,6 +778,12 @@ impl Coordinator {
             last_recovery: self.storage.last_recovery(),
             pool_rows,
             state_bytes_per_var,
+            plan_steps_last_round: report.updater.plan_steps,
+            plan_waves_last_round: report.updater.plan_waves,
+            plan_max_width_last_round: report.updater.plan_max_width,
+            plan_inflight_rejections_last_round: report.updater.plan_inflight_rejections,
+            plan_rollbacks_last_round: report.updater.plan_rollbacks,
+            checker_full_degrades: full_degrades_total,
         });
     }
 
@@ -1044,6 +1140,52 @@ mod tests {
                     .observed_firmware(),
                 "7.0",
                 "delta={delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_synthesis_converges_like_the_chain_walk() {
+        // The end-to-end upgrade scenario, once per execution mode; both
+        // must land the same final device state, and the planned run must
+        // report its plan shape.
+        for planned in [true, false] {
+            let (graph, net, storage, clock) = setup();
+            let coord = Coordinator::new(
+                &graph,
+                net.clone(),
+                storage.clone(),
+                CoordinatorConfig {
+                    plan_synthesis: planned,
+                    ..Default::default()
+                },
+            );
+            let app = StatesmanClient::new("switch-upgrade", storage, clock);
+            coord.tick_and_advance(SimDuration::from_mins(1)).unwrap();
+            app.propose([(
+                EntityName::device("dc1", "agg-1-1"),
+                Attribute::DeviceFirmwareVersion,
+                Value::text("7.0"),
+            )])
+            .unwrap();
+            let r = coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+            assert_eq!(r.accepted(), 1, "planned={planned}");
+            if planned {
+                assert!(r.updater.plan_steps >= 1, "planned: {:?}", r.updater);
+                assert!(r.updater.plan_waves >= 1);
+                assert_eq!(r.updater.plan_inflight_rejections, 0);
+            } else {
+                assert_eq!(r.updater.plan_steps, 0);
+            }
+            coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+            let r3 = coord.tick_and_advance(SimDuration::from_mins(5)).unwrap();
+            assert_eq!(r3.updater.diffs, 0, "planned={planned}: {:?}", r3.updater);
+            assert_eq!(
+                net.device_snapshot(&"agg-1-1".into())
+                    .unwrap()
+                    .observed_firmware(),
+                "7.0",
+                "planned={planned}"
             );
         }
     }

@@ -410,7 +410,7 @@ pub mod rules {
 /// [`BlastRadius::entities`] and re-evaluates only the invariants for
 /// which [`crate::invariants::Invariant::affected_by`] returns true;
 /// everything outside the radius keeps its cached verdict.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BlastRadius {
     /// Device and link entities whose projection inputs changed
     /// (deduplicated; paths never enter — they carry no health).

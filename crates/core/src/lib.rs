@@ -25,6 +25,10 @@
 //! * [`updater`] — the memoryless OS→TS difference engine: renders state
 //!   deltas into device commands via a per-model command-template pool and
 //!   relies on rediffing (not memory) to survive failures;
+//! * [`plan`] — the update-plan synthesizer: compiles a round's
+//!   difference set into a DAG of command steps ordered along the Fig-4
+//!   chains, maximally parallel across independent segments, executed in
+//!   deterministic waves with per-step in-flight invariant checks;
 //! * [`groups`] — impact groups: one checker scope per datacenter plus one
 //!   for border routers and WAN links;
 //! * [`coordinator`] — wires monitor → checker → updater into one control
@@ -40,6 +44,7 @@ pub mod groups;
 pub mod invariants;
 pub mod locks;
 pub mod monitor;
+pub mod plan;
 pub mod updater;
 pub mod view;
 
@@ -52,5 +57,6 @@ pub use invariants::{
     ConnectivityInvariant, Invariant, InvariantContext, TorPairCapacityInvariant, WanLinkInvariant,
 };
 pub use monitor::{Monitor, MonitorReport};
+pub use plan::{PlanStep, UpdatePlan};
 pub use updater::{CommandTemplatePool, Updater, UpdaterReport, UpdaterScope};
 pub use view::{MapView, StateView};

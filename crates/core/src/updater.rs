@@ -310,6 +310,20 @@ pub struct UpdaterReport {
     pub quarantine_skips: usize,
     /// Circuit breakers tripped open this round.
     pub breakers_opened: usize,
+    /// Steps in this round's synthesized [`crate::plan::UpdatePlan`]
+    /// (zero on the legacy chain-walk path).
+    pub plan_steps: usize,
+    /// Execution waves the plan layered into (the DAG's depth).
+    pub plan_waves: usize,
+    /// The widest wave — the measured parallelism the dependency
+    /// structure permits across independent segments.
+    pub plan_max_width: usize,
+    /// Steps deferred because their projected intermediate state failed
+    /// an in-flight invariant check (they rediff next round).
+    pub plan_inflight_rejections: usize,
+    /// Steps whose projected transition was rolled back because every
+    /// command for them failed (folding into the breaker/retry paths).
+    pub plan_rollbacks: usize,
     /// Modeled device-interaction time: commands run concurrently across
     /// devices, sequentially per device, so this is the per-device max.
     pub sim_io: SimDuration,
@@ -357,6 +371,14 @@ pub struct Updater {
     /// must be rediffed next round (§6.2's implicit cross-round retry),
     /// even though the storage state did not move.
     quiescent: Mutex<Option<Vec<(DatacenterId, Version)>>>,
+    /// Execute through a synthesized [`crate::plan::UpdatePlan`] (Fig-4
+    /// ordered waves + per-step in-flight checks) instead of the legacy
+    /// serial chain walk. Off by default for a raw updater; the
+    /// coordinator threads its `plan_synthesis` config knob through.
+    plan_synthesis: bool,
+    /// Invariants re-checked against the projected intermediate state
+    /// before each plan step commits (empty = no in-flight checks).
+    plan_invariants: Vec<Box<dyn crate::invariants::Invariant>>,
 }
 
 /// One partition's pool mirrored updater-side (see `Updater::part_cache`).
@@ -451,7 +473,30 @@ impl Updater {
             columnar_state: true,
             part_cache: Mutex::new(HashMap::new()),
             quiescent: Mutex::new(None),
+            plan_synthesis: false,
+            plan_invariants: Vec::new(),
         }
+    }
+
+    /// Enable or disable plan-driven execution (`false` by default for a
+    /// raw updater). Enabled, each round's difference set is compiled
+    /// into an [`crate::plan::UpdatePlan`] and executed in deterministic
+    /// Fig-4-ordered waves; disabled, the legacy serial chain walk runs.
+    pub fn with_plan_synthesis(mut self, enabled: bool) -> Self {
+        self.plan_synthesis = enabled;
+        self
+    }
+
+    /// Install the invariants evaluated in flight — against the projected
+    /// intermediate state — before each plan step commits. Only
+    /// invariants whose [`crate::invariants::Invariant::affected_by`]
+    /// intersects a step's blast radius are re-checked for that step.
+    pub fn with_plan_invariants(
+        mut self,
+        invariants: Vec<Box<dyn crate::invariants::Invariant>>,
+    ) -> Self {
+        self.plan_invariants = invariants;
+        self
     }
 
     /// Enable or disable incremental pool reads (`true` by default).
@@ -817,8 +862,57 @@ impl Updater {
 
         // Serial execute stage. One jitter RNG for the whole round, the
         // historical `0xC1AC` stream: backoff draws happen in the same
-        // deterministic order as the diffs they serve.
+        // deterministic order as the diffs they serve. Plan-driven
+        // execution reorders steps along the Fig-4 chains but stays on
+        // this one thread with this one RNG, so determinism holds on
+        // both paths.
         let mut rng = StdRng::seed_from_u64(0xC1AC);
+        if self.plan_synthesis {
+            self.execute_plan(
+                pending,
+                &os,
+                skip,
+                &mut report,
+                &mut per_device_ms,
+                now,
+                &mut rng,
+            );
+        } else {
+            self.execute_chain_walk(
+                pending,
+                skip,
+                &mut report,
+                &mut per_device_ms,
+                now,
+                &mut rng,
+            );
+        }
+
+        report.sim_io =
+            SimDuration::from_millis(per_device_ms.values().copied().max().unwrap_or(0));
+        report.elapsed = started.elapsed();
+        // The updater writes nothing to storage, so a zero-diff round's
+        // start-of-round marks are still its end-of-round marks.
+        *self.quiescent.lock() = match marks {
+            Some(marks) if report.diffs == 0 => Some(marks),
+            _ => None,
+        };
+        Ok(report)
+    }
+
+    /// The legacy serial execute stage: walk the pending diffs in
+    /// partition order, then key order, issuing commands as they come.
+    /// Kept as the `plan_synthesis = false` path for equivalence testing.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_chain_walk(
+        &self,
+        pending: Vec<Vec<PendingDiff<'_>>>,
+        skip: &BTreeSet<DeviceName>,
+        report: &mut UpdaterReport,
+        per_device_ms: &mut HashMap<DeviceName, u64>,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) {
         for diffs in pending {
             for diff in diffs {
                 match diff {
@@ -832,14 +926,7 @@ impl Updater {
                             }
                         }
                         report.diffs += 1;
-                        self.execute_for_row(
-                            row,
-                            skip,
-                            &mut report,
-                            &mut per_device_ms,
-                            now,
-                            &mut rng,
-                        );
+                        self.execute_for_row(row, skip, report, per_device_ms, now, rng);
                     }
                     PendingDiff::Routing {
                         dev,
@@ -857,29 +944,143 @@ impl Updater {
                             now,
                             statesman_types::AppId::updater(),
                         );
-                        self.execute_for_row(
-                            &row,
-                            skip,
-                            &mut report,
-                            &mut per_device_ms,
-                            now,
-                            &mut rng,
-                        );
+                        self.execute_for_row(&row, skip, report, per_device_ms, now, rng);
                     }
                 }
             }
         }
+    }
 
-        report.sim_io =
-            SimDuration::from_millis(per_device_ms.values().copied().max().unwrap_or(0));
-        report.elapsed = started.elapsed();
-        // The updater writes nothing to storage, so a zero-diff round's
-        // start-of-round marks are still its end-of-round marks.
-        *self.quiescent.lock() = match marks {
-            Some(marks) if report.diffs == 0 => Some(marks),
-            _ => None,
+    /// The plan-driven execute stage: compile the pending diffs into an
+    /// [`UpdatePlan`] and commit it wave by wave. Steps stay on this one
+    /// thread in deterministic order (wave index, then step index — which
+    /// is partition order, then key order, for dependency-free plans),
+    /// but each step first has its projected intermediate state checked
+    /// against the configured in-flight invariants:
+    ///
+    /// * a violation **defers** the step — its projected transition is
+    ///   rolled back, no command is issued, and the memoryless rediff
+    ///   retries it next round once the network has moved;
+    /// * a step whose commands all fail has its projected transition
+    ///   **rolled back** too (the device never started it), folding into
+    ///   the existing circuit-breaker and cross-round retry paths.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_plan(
+        &self,
+        pending: Vec<Vec<PendingDiff<'_>>>,
+        os: &crate::view::MapView,
+        skip: &BTreeSet<DeviceName>,
+        report: &mut UpdaterReport,
+        per_device_ms: &mut HashMap<DeviceName, u64>,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) {
+        // Materialize the diffs as owned rows, preserving the legacy
+        // deterministic order (partition order, then key order) as the
+        // synthesis input order. Scope filtering happens here so scoped
+        // instances never plan work another instance owns.
+        let mut rows: Vec<(NetworkState, Option<DeviceName>)> = Vec::new();
+        for diffs in pending {
+            for diff in diffs {
+                match diff {
+                    PendingDiff::Row(row) => {
+                        let device = self.carrier_device(row);
+                        if let Some(dev) = &device {
+                            if !self.in_scope(dev, row.attribute) {
+                                continue;
+                            }
+                        }
+                        rows.push((row.clone(), device));
+                    }
+                    PendingDiff::Routing {
+                        dev,
+                        entity,
+                        desired,
+                    } => {
+                        if !self.in_scope(dev, Attribute::DeviceRoutingRules) {
+                            continue;
+                        }
+                        let row = NetworkState::new(
+                            entity.clone(),
+                            Attribute::DeviceRoutingRules,
+                            Value::Routes(desired),
+                            now,
+                            statesman_types::AppId::updater(),
+                        );
+                        rows.push((row, Some(dev.clone())));
+                    }
+                }
+            }
+        }
+        report.diffs += rows.len();
+        let plan = crate::plan::UpdatePlan::synthesize(&self.graph, rows);
+        report.plan_steps = plan.step_count();
+        report.plan_waves = plan.wave_count();
+        report.plan_max_width = plan.max_width();
+
+        // In-flight projection state: the round's observed health, moved
+        // forward step by step as transitions commit. `committed` is the
+        // TS-overlay of in-flight transitions; a step's candidate health
+        // is checked with its own row included, pessimistically (a
+        // pending firmware/boot transition projects its device down).
+        let mut committed = crate::view::MapView::new();
+        let mut health = if self.plan_invariants.is_empty() {
+            None
+        } else {
+            Some(crate::view::project_health(&self.graph, os, None))
         };
-        Ok(report)
+
+        for wave in &plan.waves {
+            for &idx in wave {
+                let step = &plan.steps[idx];
+                let key =
+                    statesman_types::StateKey::new(step.row.entity.clone(), step.row.attribute);
+                let mut delta = None;
+                if let Some(health) = health.as_mut() {
+                    committed.upsert(step.row.clone());
+                    let d = crate::view::HealthDelta::apply(
+                        &self.graph,
+                        os,
+                        &committed,
+                        std::slice::from_ref(&step.row),
+                        health,
+                    );
+                    let ctx = crate::invariants::InvariantContext {
+                        graph: &self.graph,
+                        projected: health,
+                        touched_pods: step.radius.pods.as_ref(),
+                    };
+                    let violated = self
+                        .plan_invariants
+                        .iter()
+                        .filter(|inv| inv.affected_by(&step.radius))
+                        .any(|inv| inv.check(&ctx).is_err());
+                    if violated {
+                        d.revert(health);
+                        committed.remove(&key);
+                        report.plan_inflight_rejections += 1;
+                        continue;
+                    }
+                    delta = Some(d);
+                }
+                let applied_before = report.commands_applied;
+                let failed_before = report.commands_failed;
+                self.execute_for_row(&step.row, skip, report, per_device_ms, now, rng);
+                if report.commands_applied == applied_before {
+                    // Nothing landed (skipped, unrenderable, or every
+                    // command failed): the projected transition is not in
+                    // flight — roll it back so later steps are not
+                    // checked against a phantom outage.
+                    if let (Some(d), Some(health)) = (delta, health.as_mut()) {
+                        d.revert(health);
+                        committed.remove(&key);
+                        if report.commands_failed > failed_before {
+                            report.plan_rollbacks += 1;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Partition-level watermarks for every partition, or `None` when any
@@ -1564,6 +1765,137 @@ mod tests {
             outcomes
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn plan_rounds_match_chain_walk_rounds() {
+        // Identical worlds, one updater executing through a synthesized
+        // plan and one through the legacy chain walk: with no in-flight
+        // invariants configured, every round's observable outcome must
+        // match, including across a quarantine round.
+        let run = |plan: bool| {
+            let (net, storage, graph, clock) = setup();
+            seed_os(&net, &storage, &graph);
+            let u =
+                Updater::new(net.clone(), storage.clone(), graph.clone()).with_plan_synthesis(plan);
+            let mut outcomes = Vec::new();
+            let key = |r: &UpdaterReport| (r.diffs, r.commands_applied, r.quarantine_skips);
+            storage
+                .write(WriteRequest {
+                    pool: Pool::Target,
+                    rows: vec![
+                        ts_row(
+                            EntityName::device("dc1", "agg-1-1"),
+                            Attribute::DeviceFirmwareVersion,
+                            Value::text("7.0"),
+                            clock.now(),
+                        ),
+                        ts_row(
+                            EntityName::device("dc1", "agg-1-2"),
+                            Attribute::DeviceBootImage,
+                            Value::text("img-x"),
+                            clock.now(),
+                        ),
+                    ],
+                })
+                .unwrap();
+            outcomes.push(key(&u.run_round().unwrap()));
+            let skip: BTreeSet<DeviceName> = [DeviceName::new("agg-1-2")].into_iter().collect();
+            outcomes.push(key(&u.run_round_excluding(&skip).unwrap()));
+            net.step(SimDuration::from_secs(200));
+            seed_os(&net, &storage, &graph);
+            outcomes.push(key(&u.run_round().unwrap()));
+            outcomes
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn plan_round_reports_waves_and_width() {
+        let (net, storage, graph, clock) = setup();
+        seed_os(&net, &storage, &graph);
+        let u = Updater::new(net.clone(), storage.clone(), graph.clone()).with_plan_synthesis(true);
+        storage
+            .write(WriteRequest {
+                pool: Pool::Target,
+                rows: vec![
+                    ts_row(
+                        EntityName::device("dc1", "agg-1-1"),
+                        Attribute::DeviceFirmwareVersion,
+                        Value::text("7.0"),
+                        clock.now(),
+                    ),
+                    ts_row(
+                        EntityName::device("dc1", "agg-2-1"),
+                        Attribute::DeviceFirmwareVersion,
+                        Value::text("7.0"),
+                        clock.now(),
+                    ),
+                ],
+            })
+            .unwrap();
+        let r = u.run_round().unwrap();
+        // Two independent devices in different pods: one wave, width 2.
+        assert_eq!(r.diffs, 2);
+        assert_eq!(r.plan_steps, 2);
+        assert_eq!(r.plan_waves, 1);
+        assert_eq!(r.plan_max_width, 2);
+        assert_eq!(r.plan_inflight_rejections, 0);
+        assert_eq!(r.commands_applied, 2);
+        // The legacy path leaves the plan metrics at zero.
+        let legacy = Updater::new(net, storage, graph);
+        let r2 = legacy.run_round().unwrap();
+        assert_eq!(r2.plan_steps, 0);
+        assert_eq!(r2.plan_waves, 0);
+    }
+
+    #[test]
+    fn inflight_budget_check_serializes_a_rolling_upgrade() {
+        use crate::invariants::MaintenanceBudgetInvariant;
+        let (net, storage, graph, clock) = setup();
+        seed_os(&net, &storage, &graph);
+        // Budget of one device down at a time: the second pending
+        // firmware transition must be deferred in flight, not issued.
+        let u = Updater::new(net.clone(), storage.clone(), graph.clone())
+            .with_plan_synthesis(true)
+            .with_plan_invariants(vec![Box::new(MaintenanceBudgetInvariant::new("dc1", 1))]);
+        storage
+            .write(WriteRequest {
+                pool: Pool::Target,
+                rows: vec![
+                    ts_row(
+                        EntityName::device("dc1", "agg-1-1"),
+                        Attribute::DeviceFirmwareVersion,
+                        Value::text("7.0"),
+                        clock.now(),
+                    ),
+                    ts_row(
+                        EntityName::device("dc1", "agg-1-2"),
+                        Attribute::DeviceFirmwareVersion,
+                        Value::text("7.0"),
+                        clock.now(),
+                    ),
+                ],
+            })
+            .unwrap();
+        let r1 = u.run_round().unwrap();
+        assert_eq!(r1.diffs, 2);
+        assert_eq!(r1.commands_applied, 1);
+        assert_eq!(r1.plan_inflight_rejections, 1);
+
+        // Once the first upgrade lands and the OS reflects it, the
+        // deferred step passes its in-flight check and commits.
+        net.step(SimDuration::from_secs(100));
+        seed_os(&net, &storage, &graph);
+        let r2 = u.run_round().unwrap();
+        assert_eq!(r2.diffs, 1);
+        assert_eq!(r2.commands_applied, 1);
+        assert_eq!(r2.plan_inflight_rejections, 0);
+
+        net.step(SimDuration::from_secs(100));
+        seed_os(&net, &storage, &graph);
+        let r3 = u.run_round().unwrap();
+        assert_eq!(r3.diffs, 0);
     }
 
     #[test]

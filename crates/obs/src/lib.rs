@@ -96,6 +96,25 @@ pub struct StatusBoard {
     /// including string payloads). Zero when the plane is empty.
     #[serde(default)]
     pub state_bytes_per_var: f64,
+    /// Update-plan steps synthesized last round (0 with planning off).
+    #[serde(default)]
+    pub plan_steps_last_round: usize,
+    /// Dependency waves in last round's update plan.
+    #[serde(default)]
+    pub plan_waves_last_round: usize,
+    /// Widest wave of last round's plan — its available parallelism.
+    #[serde(default)]
+    pub plan_max_width_last_round: usize,
+    /// Steps withheld by an in-flight invariant check last round.
+    #[serde(default)]
+    pub plan_inflight_rejections_last_round: usize,
+    /// Steps rolled back last round after every rendered command failed.
+    #[serde(default)]
+    pub plan_rollbacks_last_round: usize,
+    /// Cumulative checker change-track full degrades (silent fallbacks
+    /// to a full reseed) across every impact group since construction.
+    #[serde(default)]
+    pub checker_full_degrades: u64,
 }
 
 /// The shared observability handle: one registry, one trace ring, one

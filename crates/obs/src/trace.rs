@@ -89,6 +89,21 @@ pub struct RoundTrace {
     /// updater's cached view of it at round end.
     #[serde(default)]
     pub watermark_lag: u64,
+    /// Update-plan steps synthesized this round (0 with planning off).
+    #[serde(default)]
+    pub plan_steps: usize,
+    /// Dependency waves in this round's update plan.
+    #[serde(default)]
+    pub plan_waves: usize,
+    /// Widest wave — the plan's available parallelism.
+    #[serde(default)]
+    pub plan_max_width: usize,
+    /// Steps withheld by an in-flight invariant check this round.
+    #[serde(default)]
+    pub plan_inflight_rejections: usize,
+    /// Steps rolled back after every rendered command failed.
+    #[serde(default)]
+    pub plan_rollbacks: usize,
 }
 
 impl RoundTrace {

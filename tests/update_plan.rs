@@ -1,0 +1,151 @@
+//! Property tests for the update-plan synthesizer (ordered, minimal,
+//! maximally-parallel transitions with in-flight invariant checks).
+//!
+//! Three properties, checked across chaos seeds:
+//!
+//! * **Intermediate-state safety** — under the upgrade-race plan (rolling
+//!   firmware reboots racing heavy link flapping, plus flash-crowd TE
+//!   churn), the ground truth sampled every round never loses a pod's
+//!   aggregation capacity. The per-step in-flight checks are what gate
+//!   transitions whose checker-time validation went stale.
+//! * **Plan/chain-walk equivalence** — a run with plan synthesis on
+//!   converges exactly like the legacy chain walk: on a fault-free plan
+//!   the two outcomes are bit-identical (the plan degenerates to legacy
+//!   order when nothing depends on anything), and under multi-layer
+//!   chaos both stay safe and converge to the same realized intent.
+//! * **Determinism** — the same seed replays to a bit-identical outcome,
+//!   plan tallies included.
+
+use proptest::prelude::*;
+use statesman_chaos::{ChaosPlan, ChaosScenario, ScenarioOutcome};
+
+/// Strip the tallies only the planned executor produces, so a planned
+/// outcome can be compared bit-for-bit against a chain-walk outcome.
+fn without_plan_tallies(mut o: ScenarioOutcome) -> ScenarioOutcome {
+    o.plan_steps = 0;
+    o.plan_max_width = 0;
+    o.plan_inflight_rejections = 0;
+    o.plan_rollbacks = 0;
+    o
+}
+
+/// The headline: rolling upgrades racing link failures and TE churn,
+/// across five fixed seeds. Every round's ground truth keeps at least
+/// one aggregation switch per pod, no round aborts, the campaign still
+/// converges, and the plan actually planned something.
+#[test]
+fn upgrade_race_intermediate_states_stay_safe_across_seeds() {
+    for seed in 1..=5u64 {
+        let scenario = ChaosScenario::upgrade_race(seed);
+        let outcome = scenario.run();
+        assert!(
+            outcome.safety_violations.is_empty(),
+            "seed {seed}: intermediate state violated pod capacity: {:?}",
+            outcome.safety_violations
+        );
+        assert_eq!(outcome.tick_errors, 0, "seed {seed}: rounds aborted");
+        assert!(
+            outcome.converged_at.is_some(),
+            "seed {seed}: never converged: {outcome:?}"
+        );
+        assert!(
+            outcome.plan_steps >= 1,
+            "seed {seed}: the planned executor never planned: {outcome:?}"
+        );
+        println!(
+            "seed {seed}: converged at {:?}, plan_steps={}, max_width={}, \
+             inflight_rejections={}, rollbacks={}",
+            outcome.converged_at,
+            outcome.plan_steps,
+            outcome.plan_max_width,
+            outcome.plan_inflight_rejections,
+            outcome.plan_rollbacks
+        );
+    }
+}
+
+/// Fault-free equivalence: with no chaos, the plan degenerates to the
+/// legacy execution order (independent steps keep their chain-walk
+/// order inside one wave), so a planned run is bit-identical to a
+/// chain-walk run once the plan-only tallies are stripped.
+#[test]
+fn quiet_planned_runs_match_the_chain_walk_bit_for_bit() {
+    for seed in 1..=5u64 {
+        let run = |planned: bool| {
+            let mut scenario = ChaosScenario::standard(seed);
+            scenario.plan = ChaosPlan::quiet(seed);
+            scenario.plan_synthesis = planned;
+            scenario.run()
+        };
+        let planned = run(true);
+        let walked = run(false);
+        assert!(planned.plan_steps >= 1, "seed {seed}: {planned:?}");
+        assert_eq!(walked.plan_steps, 0, "seed {seed}: {walked:?}");
+        assert_eq!(
+            without_plan_tallies(planned),
+            without_plan_tallies(walked),
+            "seed {seed}: planned execution diverged from the chain walk"
+        );
+    }
+}
+
+/// Multi-layer chaos equivalence: under the standard plan both executors
+/// must stay safe, never abort a round, and converge to the realized
+/// intent (convergence is sampled on ground truth, so agreeing on it
+/// means agreeing on the final network state).
+#[test]
+fn chaos_planned_runs_converge_like_the_chain_walk() {
+    for seed in 1..=5u64 {
+        let run = |planned: bool| {
+            let mut scenario = ChaosScenario::standard(seed);
+            scenario.plan_synthesis = planned;
+            scenario.run()
+        };
+        let planned = run(true);
+        let walked = run(false);
+        for (mode, o) in [("planned", &planned), ("chain-walk", &walked)] {
+            assert!(
+                o.safety_violations.is_empty(),
+                "seed {seed} ({mode}): {:?}",
+                o.safety_violations
+            );
+            assert_eq!(o.tick_errors, 0, "seed {seed} ({mode}): rounds aborted");
+            assert!(
+                o.converged_at.is_some(),
+                "seed {seed} ({mode}): never converged: {o:?}"
+            );
+        }
+    }
+}
+
+/// Double-run determinism, on the richest scenario: the upgrade-race run
+/// (plan synthesis, in-flight checks, TE churn, heavy flapping) replays
+/// bit-identically — plan tallies included.
+#[test]
+fn upgrade_race_runs_are_deterministic() {
+    let a = ChaosScenario::upgrade_race(3).run();
+    let b = ChaosScenario::upgrade_race(3).run();
+    assert_eq!(a, b, "upgrade-race chaos must replay bit-identically");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized seeds beyond the fixed panel: whatever the seed, the
+    /// upgrade-race scenario never exhibits an unsafe intermediate state
+    /// and never aborts a round. (Convergence is asserted only on the
+    /// fixed panel above — a random seed may legitimately schedule its
+    /// heal too late in the round budget.)
+    #[test]
+    fn upgrade_race_safety_holds_for_arbitrary_seeds(seed in 6..10_000u64) {
+        let outcome = ChaosScenario::upgrade_race(seed).run();
+        prop_assert!(
+            outcome.safety_violations.is_empty(),
+            "seed {}: {:?}",
+            seed,
+            outcome.safety_violations
+        );
+        prop_assert_eq!(outcome.tick_errors, 0);
+        prop_assert!(outcome.plan_steps >= 1);
+    }
+}
