@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the delta-pipeline CI smoke.
+
+Compares the freshly produced BENCH_delta_pipeline.json against the
+committed baseline and fails when the columnar plane's churn_round_ms
+regresses by more than the threshold (default 25%, override with
+STATESMAN_PERF_THRESHOLD, e.g. 0.25).
+
+Usage: check_perf_regression.py <current.json> <baseline.json>
+"""
+
+import json
+import os
+import sys
+
+
+def columnar(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for plane in doc["planes"]:
+        if plane["plane"] == "columnar":
+            return plane
+    sys.exit(f"{path}: no columnar plane in {doc!r}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    current, baseline = columnar(sys.argv[1]), columnar(sys.argv[2])
+    threshold = float(os.environ.get("STATESMAN_PERF_THRESHOLD", "0.25"))
+
+    cur, base = current["churn_round_ms"], baseline["churn_round_ms"]
+    limit = base * (1.0 + threshold)
+    ratio = cur / base if base > 0 else float("inf")
+    print(
+        f"churn_round_ms: current {cur:.1f} vs baseline {base:.1f} "
+        f"({ratio:.2f}x, limit {limit:.1f})"
+    )
+    if cur > limit:
+        sys.exit(
+            f"PERF REGRESSION: columnar churn_round_ms {cur:.1f} ms exceeds "
+            f"baseline {base:.1f} ms by more than {threshold:.0%}"
+        )
+    # Informational only — seed regressions get flagged but don't gate,
+    # since the CI smoke's seed path is dominated by fixed setup cost.
+    s_cur, s_base = current.get("seed_ms"), baseline.get("seed_ms")
+    if s_cur is not None and s_base:
+        print(f"seed_ms: current {s_cur:.1f} vs baseline {s_base:.1f}")
+    print("perf gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -67,8 +67,18 @@ fn main() {
             format!("{:.0}", m.churn_round_ms),
             format!("{:.1}", m.bytes_per_var),
         ]);
+        let seed_stages = match &m.seed_stages {
+            Some(s) => format!(
+                "{{ \"rows\": {}, \"partitions\": {}, \"intern_ms\": {:.1}, \
+                 \"arena_fill_ms\": {:.1}, \"index_build_ms\": {:.1}, \
+                 \"paxos_commit_ms\": {:.1}, \"bulk_wall_ms\": {:.1} }}",
+                s.rows, s.partitions, s.intern_ms, s.fill_ms, s.index_ms, s.commit_ms, s.wall_ms
+            ),
+            None => "null".to_string(),
+        };
         json_planes.push(format!(
             "    {{ \"plane\": \"{plane}\", \"vars\": {}, \"seed_ms\": {:.1}, \
+             \"seed_stages\": {seed_stages}, \
              \"quiescent_checker_ms\": {:.2}, \"churn_checker_ms\": {:.2}, \
              \"churn_round_ms\": {:.1}, \"bytes_per_var\": {:.1} }}",
             m.vars_seeded,
@@ -121,6 +131,7 @@ fn main() {
 struct PlaneResult {
     vars_seeded: usize,
     seed_ms: f64,
+    seed_stages: Option<statesman_storage::SeedStats>,
     quiescent_checker_ms: f64,
     churn_checker_ms: f64,
     churn_round_ms: f64,
@@ -176,6 +187,22 @@ fn measure(vars: usize, rounds: usize, columnar: bool) -> PlaneResult {
         if columnar { "columnar" } else { "hash" },
         seed_ms - m_ms - c_ms - u_ms
     );
+    eprintln!(
+        "seed monitor stages ({}): poll {:.0} / diff {:.0} / write {:.0} ms wall",
+        if columnar { "columnar" } else { "hash" },
+        seed_round.monitor.stage_poll.as_secs_f64() * 1e3,
+        seed_round.monitor.stage_diff.as_secs_f64() * 1e3,
+        seed_round.monitor.stage_write.as_secs_f64() * 1e3,
+    );
+    let seed_stages = seed_round.monitor.seed;
+    if let Some(s) = &seed_stages {
+        eprintln!(
+            "seed stages: {} rows over {} partitions — intern {:.0} ms, \
+             arena fill {:.0} ms, index build {:.0} ms, paxos commit {:.0} ms \
+             (bulk wall {:.0} ms)",
+            s.rows, s.partitions, s.intern_ms, s.fill_ms, s.index_ms, s.commit_ms, s.wall_ms
+        );
+    }
     let (state_bytes, state_rows) = storage.state_bytes();
     let bytes_per_var = if state_rows > 0 {
         state_bytes as f64 / state_rows as f64
@@ -199,11 +226,24 @@ fn measure(vars: usize, rounds: usize, columnar: bool) -> PlaneResult {
         let r = coord.tick().expect("churn round");
         churn_round_ms += t.elapsed().as_secs_f64() * 1e3;
         churn_checker_ms += r.latency_breakdown_ms().1;
+        eprintln!(
+            "churn round ({}): monitor poll {:.0} / diff {:.0} / write {:.0} ms, \
+             checker {:.0} ms, updater read {:.0} / diff {:.0} / exec {:.0} ms",
+            if columnar { "columnar" } else { "hash" },
+            r.monitor.stage_poll.as_secs_f64() * 1e3,
+            r.monitor.stage_diff.as_secs_f64() * 1e3,
+            r.monitor.stage_write.as_secs_f64() * 1e3,
+            r.latency_breakdown_ms().1,
+            r.updater.stage_read.as_secs_f64() * 1e3,
+            r.updater.stage_diff.as_secs_f64() * 1e3,
+            r.updater.stage_exec.as_secs_f64() * 1e3,
+        );
     }
 
     PlaneResult {
         vars_seeded: state_rows as usize,
         seed_ms,
+        seed_stages,
         quiescent_checker_ms: quiescent_checker_ms / rounds as f64,
         churn_checker_ms: churn_checker_ms / rounds as f64,
         churn_round_ms: churn_round_ms / rounds as f64,

@@ -41,6 +41,21 @@ const ROUNDS: usize = 3;
 /// Update-plan shape of one TS-churn round: (steps, waves, max_width).
 type PlanShape = (usize, usize, usize);
 
+/// Mean per-round stage latencies (ms): where a round actually spends
+/// its wall clock, so scaling regressions point at a stage instead of a
+/// guess. Monitor and updater split into their pipeline stages; the
+/// checker is one measured compute block.
+#[derive(Default, Clone, Copy)]
+struct StageBreakdown {
+    monitor_poll_ms: f64,
+    monitor_diff_ms: f64,
+    monitor_write_ms: f64,
+    checker_ms: f64,
+    updater_read_ms: f64,
+    updater_diff_ms: f64,
+    updater_exec_ms: f64,
+}
+
 fn main() {
     let vars: usize = std::env::var("STATESMAN_BENCH_VARS")
         .ok()
@@ -54,31 +69,70 @@ fn main() {
         .filter(|&g| g >= 1)
         .collect();
 
+    let workers = statesman_core::default_worker_threads();
+    // CI scaling gate: with STATESMAN_BENCH_MIN_SPEEDUP set (e.g. 0.95),
+    // the binary fails if any group count's speedup over the 1-group
+    // baseline falls below it — negative scaling becomes a red build
+    // instead of a number in an artifact nobody reads.
+    let min_speedup: Option<f64> = std::env::var("STATESMAN_BENCH_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok());
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
     let mut base_ms: Option<f64> = None;
     for &g in &groups {
-        let (round_ms, lock_wait_ms, (plan_steps, plan_waves, plan_width)) = measure(vars, g);
+        let (round_ms, lock_wait_ms, stages, (plan_steps, plan_waves, plan_width)) =
+            measure(vars, g);
         let speedup = base_ms.get_or_insert(round_ms).max(f64::MIN_POSITIVE) / round_ms;
         println!(
             "csv,parallel_rounds,{vars},{g},{round_ms:.1},{speedup:.2},{lock_wait_ms:.1},\
              {plan_steps},{plan_waves},{plan_width}"
         );
+        if let Some(min) = min_speedup {
+            assert!(
+                speedup >= min,
+                "negative scaling: {g} groups at {speedup:.2}x \
+                 (below the {min:.2}x gate)"
+            );
+        }
         rows.push(vec![
             g.to_string(),
             format!("{round_ms:.1}"),
             format!("{speedup:.2}x"),
             format!("{lock_wait_ms:.1}"),
+            format!(
+                "{:.0}/{:.0}/{:.0}",
+                stages.monitor_poll_ms, stages.monitor_diff_ms, stages.monitor_write_ms
+            ),
+            format!("{:.0}", stages.checker_ms),
+            format!(
+                "{:.0}/{:.0}/{:.0}",
+                stages.updater_read_ms, stages.updater_diff_ms, stages.updater_exec_ms
+            ),
             format!("{plan_steps}/{plan_waves}/{plan_width}"),
         ]);
         json_rows.push(format!(
             "    {{ \"groups\": {g}, \"round_ms\": {round_ms:.1}, \"speedup\": {speedup:.2}, \
-             \"lock_wait_ms\": {lock_wait_ms:.1}, \"plan_steps\": {plan_steps}, \
-             \"plan_waves\": {plan_waves}, \"plan_max_width\": {plan_width} }}"
+             \"lock_wait_ms\": {lock_wait_ms:.1}, \
+             \"stages\": {{ \"monitor_poll_ms\": {:.1}, \"monitor_diff_ms\": {:.1}, \
+             \"monitor_write_ms\": {:.1}, \"checker_ms\": {:.1}, \"updater_read_ms\": {:.1}, \
+             \"updater_diff_ms\": {:.1}, \"updater_exec_ms\": {:.1} }}, \
+             \"plan_steps\": {plan_steps}, \
+             \"plan_waves\": {plan_waves}, \"plan_max_width\": {plan_width} }}",
+            stages.monitor_poll_ms,
+            stages.monitor_diff_ms,
+            stages.monitor_write_ms,
+            stages.checker_ms,
+            stages.updater_read_ms,
+            stages.updater_diff_ms,
+            stages.updater_exec_ms,
         ));
     }
     println!();
-    println!("parallel_rounds: {vars} total variables, full-scan plane, {ROUNDS}-round median");
+    println!(
+        "parallel_rounds: {vars} total variables, full-scan plane, {ROUNDS}-round median, \
+         {workers} worker threads"
+    );
     print!(
         "{}",
         statesman_bench::report::table(
@@ -87,6 +141,9 @@ fn main() {
                 "round_ms",
                 "speedup",
                 "lock_wait_ms",
+                "mon p/d/w",
+                "chk_ms",
+                "upd r/d/x",
                 "plan s/w/width"
             ],
             &rows
@@ -94,16 +151,18 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"parallel_rounds\",\n  \"vars\": {vars},\n  \"rounds\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"parallel_rounds\",\n  \"vars\": {vars},\n  \
+         \"worker_threads\": {workers},\n  \"rounds\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_parallel_rounds.json", json).expect("write BENCH_parallel_rounds.json");
 }
 
 /// Median round latency (ms), mean per-round partition-lock wait (ms),
-/// and the update-plan shape of a trailing TS-churn round, for `vars`
-/// total variables split across `g` equally sized datacenter partitions.
-fn measure(vars: usize, g: usize) -> (f64, f64, PlanShape) {
+/// mean per-round stage breakdown, and the update-plan shape of a
+/// trailing TS-churn round, for `vars` total variables split across `g`
+/// equally sized datacenter partitions.
+fn measure(vars: usize, g: usize) -> (f64, f64, StageBreakdown, PlanShape) {
     let clock = SimClock::new();
     let dcns: Vec<DcnSpec> = (1..=g)
         .map(|i| DcnSpec::sized_for_variables(format!("dc{i}"), vars / g))
@@ -147,15 +206,36 @@ fn measure(vars: usize, g: usize) -> (f64, f64, PlanShape) {
     );
     coord.tick().expect("seed round");
     let wait_before = storage_probe.lock_wait_stats();
+    let mut stages = StageBreakdown::default();
     let mut samples: Vec<f64> = (0..ROUNDS)
         .map(|_| {
             let t = std::time::Instant::now();
-            coord
+            let r = coord
                 .tick_and_advance(SimDuration::from_mins(1))
                 .expect("round");
+            let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+            stages.monitor_poll_ms += ms(r.monitor.stage_poll);
+            stages.monitor_diff_ms += ms(r.monitor.stage_diff);
+            stages.monitor_write_ms += ms(r.monitor.stage_write);
+            stages.checker_ms += r.latency_breakdown_ms().1;
+            stages.updater_read_ms += ms(r.updater.stage_read);
+            stages.updater_diff_ms += ms(r.updater.stage_diff);
+            stages.updater_exec_ms += ms(r.updater.stage_exec);
             t.elapsed().as_secs_f64() * 1e3
         })
         .collect();
+    let n = ROUNDS as f64;
+    for s in [
+        &mut stages.monitor_poll_ms,
+        &mut stages.monitor_diff_ms,
+        &mut stages.monitor_write_ms,
+        &mut stages.checker_ms,
+        &mut stages.updater_read_ms,
+        &mut stages.updater_diff_ms,
+        &mut stages.updater_exec_ms,
+    ] {
+        *s /= n;
+    }
     let lock_wait_ms = (storage_probe.lock_wait_stats() - wait_before) as f64 / 1e3 / ROUNDS as f64;
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
 
@@ -210,5 +290,5 @@ fn measure(vars: usize, g: usize) -> (f64, f64, PlanShape) {
         report.updater.plan_waves,
         report.updater.plan_max_width,
     );
-    (samples[samples.len() / 2], lock_wait_ms, plan)
+    (samples[samples.len() / 2], lock_wait_ms, stages, plan)
 }

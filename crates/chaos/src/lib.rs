@@ -523,6 +523,10 @@ pub struct ChaosScenario {
     /// devices mid-reboot), alternating every other round until a fixed
     /// cutoff, so routing updates race the firmware rolls.
     pub te_churn: bool,
+    /// Pin the round engine's worker pool (`None`: the coordinator
+    /// default). Determinism tests run the same seed at 1 and N workers
+    /// and demand identical outcomes.
+    pub worker_threads: Option<usize>,
 }
 
 impl ChaosScenario {
@@ -539,6 +543,7 @@ impl ChaosScenario {
             columnar_state: true,
             plan_synthesis: true,
             te_churn: false,
+            worker_threads: None,
         }
     }
 
@@ -558,6 +563,7 @@ impl ChaosScenario {
             columnar_state: true,
             plan_synthesis: true,
             te_churn: true,
+            worker_threads: None,
         }
     }
 
@@ -606,6 +612,7 @@ impl ChaosScenario {
             columnar_state: true,
             plan_synthesis: true,
             te_churn: false,
+            worker_threads: None,
         }
     }
 
@@ -693,6 +700,7 @@ impl ChaosScenario {
                 updater_breaker: Some((3, SimDuration::from_mins(3))),
                 columnar_state: self.columnar_state,
                 plan_synthesis: self.plan_synthesis,
+                worker_threads: self.worker_threads,
                 ..CoordinatorConfig::default()
             },
         );
@@ -1297,6 +1305,7 @@ mod tests {
             columnar_state: true,
             plan_synthesis: true,
             te_churn: false,
+            worker_threads: None,
         };
         let outcome = scenario.run();
         assert!(outcome.safety_violations.is_empty());

@@ -26,6 +26,7 @@
 //! checker latency the paper reports (<10 s at 394K variables, §8).
 
 use crate::deps::{blast_radius, DependencyModel};
+use crate::engine::WorkerPool;
 use crate::groups::ImpactGroup;
 use crate::invariants::{Invariant, InvariantContext, Violation};
 use crate::locks;
@@ -194,6 +195,12 @@ pub struct Checker {
     /// invalidated whenever a pass cannot use the delta path, so the next
     /// delta pass re-seeds from a consistent `read_since` reply.
     part_cache: Mutex<HashMap<(Pool, DatacenterId), CachedPart>>,
+    /// Pool for the pure fan-out stages (seed invariant sweeps). The
+    /// per-candidate gate below stays serial: invariant caches make
+    /// evaluation *order* observable once a candidate is rejected, and
+    /// the determinism contract forbids that. Seed sweeps evaluate every
+    /// invariant unconditionally, so order cannot leak there.
+    workers: WorkerPool,
     /// Carried-over seed for the blast-radius incremental checker.
     seed_cache: Mutex<Option<SeedCache>>,
     /// Set iff the previous pass was a recorded no-op (see
@@ -218,6 +225,7 @@ impl Checker {
             graph,
             delta_reads: true,
             columnar_state: true,
+            workers: WorkerPool::default(),
             part_cache: Mutex::new(HashMap::new()),
             seed_cache: Mutex::new(None),
             quiescent: Mutex::new(None),
@@ -248,6 +256,14 @@ impl Checker {
     /// mirrors plus the blast-radius incremental seed (`true` by default).
     pub fn with_columnar_state(mut self, enabled: bool) -> Self {
         self.columnar_state = enabled;
+        self
+    }
+
+    /// Set the worker-thread count for the pure parallel stages (seed
+    /// invariant sweeps). Defaults to `STATESMAN_WORKER_THREADS` / host
+    /// parallelism; `1` forces the serial reference path.
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.workers = WorkerPool::new(threads);
         self
     }
 
@@ -707,56 +723,70 @@ impl Checker {
         // invariants it can reach, and keeps cached verdicts for the
         // rest. Taken up front so any failed pass forces a full reseed.
         let cached_seed = self.seed_cache.lock().take();
-        let (mut health, verdicts) = match cached_seed {
-            Some(seed)
-                if columnar_inc && !track.full && seed.verdicts.len() == self.invariants.len() =>
-            {
-                let radius = blast_radius(
-                    &self.graph,
-                    track
-                        .rows
-                        .iter()
-                        .map(|r| (&r.entity, Some(&r.value)))
-                        .chain(track.keys.iter().map(|k| (&k.entity, None))),
-                );
-                let mut health = seed.health;
-                reproject_entities(&self.graph, &os, &ts, &radius.entities, &mut health);
-                let mut verdicts = seed.verdicts;
-                for (slot, inv) in verdicts.iter_mut().zip(&self.invariants) {
-                    if !inv.affected_by(&radius) {
-                        continue;
+        let (mut health, verdicts) = if self.invariants.is_empty() {
+            // With no invariants installed, nothing ever consults the
+            // projection — skip the whole-graph sweep here and every
+            // per-candidate health delta below. (This was the
+            // parallel-rounds scaling leak: g checkers × one full
+            // projection per pass, all of it dead work.)
+            (HealthView::all_up(), Vec::new())
+        } else {
+            match cached_seed {
+                Some(seed)
+                    if columnar_inc
+                        && !track.full
+                        && seed.verdicts.len() == self.invariants.len() =>
+                {
+                    let radius = blast_radius(
+                        &self.graph,
+                        track
+                            .rows
+                            .iter()
+                            .map(|r| (&r.entity, Some(&r.value)))
+                            .chain(track.keys.iter().map(|k| (&k.entity, None))),
+                    );
+                    let mut health = seed.health;
+                    reproject_entities(&self.graph, &os, &ts, &radius.entities, &mut health);
+                    let mut verdicts = seed.verdicts;
+                    // Affected invariants re-check concurrently: each is
+                    // a distinct instance (own cache), every one runs
+                    // unconditionally, and results land back in invariant
+                    // order — bit-identical to the serial loop.
+                    let affected: Vec<usize> = (0..self.invariants.len())
+                        .filter(|&i| self.invariants[i].affected_by(&radius))
+                        .collect();
+                    let rechecked = self.workers.run(&affected, |_, &i| {
+                        // A passing cached verdict licenses pod-scoped
+                        // re-evaluation (the same contract candidate
+                        // checks use); a failing one demands a full look.
+                        let ctx = InvariantContext {
+                            graph: &self.graph,
+                            projected: &health,
+                            touched_pods: if verdicts[i].is_none() {
+                                radius.pods.as_ref()
+                            } else {
+                                None
+                            },
+                        };
+                        self.invariants[i].check(&ctx).err()
+                    });
+                    for (&i, v) in affected.iter().zip(rechecked) {
+                        verdicts[i] = v;
                     }
-                    // A passing cached verdict licenses pod-scoped
-                    // re-evaluation (the same contract candidate checks
-                    // use); a failing one demands a full look.
-                    let ctx = InvariantContext {
-                        graph: &self.graph,
-                        projected: &health,
-                        touched_pods: if slot.is_none() {
-                            radius.pods.as_ref()
-                        } else {
-                            None
-                        },
-                    };
-                    *slot = inv.check(&ctx).err();
+                    (health, verdicts)
                 }
-                (health, verdicts)
-            }
-            _ => {
-                let health = project_health(&self.graph, &os, Some(&ts as &dyn StateView));
-                let verdicts = self
-                    .invariants
-                    .iter()
-                    .map(|inv| {
+                _ => {
+                    let health = project_health(&self.graph, &os, Some(&ts as &dyn StateView));
+                    let verdicts = self.workers.run(&self.invariants, |_, inv| {
                         inv.check(&InvariantContext {
                             graph: &self.graph,
                             projected: &health,
                             touched_pods: None,
                         })
                         .err()
-                    })
-                    .collect();
-                (health, verdicts)
+                    });
+                    (health, verdicts)
+                }
             }
         };
         let incremental_ok = verdicts.iter().all(|v| v.is_none());
@@ -921,17 +951,30 @@ impl Checker {
             }
 
             // -- 3f: invariants on the projected candidate --
-            let candidate = MapView::from_rows(survivors.iter().cloned());
-            let refs: Vec<&NetworkState> = survivors.iter().collect();
-            let touched = self.touched_pods(&refs);
-            // Update the working projection for just the touched entities
-            // (reversible if the candidate is rejected).
-            let delta = {
-                let overlay = OverlayView::new(&ts, &candidate);
-                crate::view::HealthDelta::apply(&self.graph, &os, &overlay, &survivors, &mut health)
-            };
-            let mut violation = None;
-            for inv in &self.invariants {
+            // The first violation (in invariant order) is the one that
+            // reaches receipts; `first_violation` preserves that while
+            // fanning pure invariants out and gating order-sensitive
+            // ones exactly as the serial loop would. With no invariants,
+            // the projection is never read, so the delta is skipped
+            // outright.
+            let (delta, violation) = if self.invariants.is_empty() {
+                (None, None)
+            } else {
+                let candidate = MapView::from_rows(survivors.iter().cloned());
+                let refs: Vec<&NetworkState> = survivors.iter().collect();
+                let touched = self.touched_pods(&refs);
+                // Update the working projection for just the touched
+                // entities (reversible if the candidate is rejected).
+                let delta = {
+                    let overlay = OverlayView::new(&ts, &candidate);
+                    crate::view::HealthDelta::apply(
+                        &self.graph,
+                        &os,
+                        &overlay,
+                        &survivors,
+                        &mut health,
+                    )
+                };
                 let ctx = InvariantContext {
                     graph: &self.graph,
                     projected: &health,
@@ -941,15 +984,17 @@ impl Checker {
                         None
                     },
                 };
-                if let Err(v) = inv.check(&ctx) {
-                    violation = Some(v);
-                    break;
-                }
-            }
+                let invs: Vec<&dyn Invariant> =
+                    self.invariants.iter().map(|b| b.as_ref()).collect();
+                let violation = crate::engine::first_violation(&self.workers, &invs, &ctx);
+                (Some(delta), violation)
+            };
 
             match violation {
                 Some(v) => {
-                    delta.revert(&mut health);
+                    if let Some(delta) = delta {
+                        delta.revert(&mut health);
+                    }
                     for row in survivors {
                         receipts.push(WriteReceipt {
                             app: group.app.clone(),

@@ -50,8 +50,16 @@ pub struct CoordinatorConfig {
     /// Run the per-group checker passes on concurrent threads. Groups are
     /// independent by construction (§5 — disjoint entities, disjoint
     /// invariant scopes), so their passes commute; the report order stays
-    /// deterministic (group order) either way.
+    /// deterministic (group order) either way. Concurrency is bounded by
+    /// the round engine's worker pool (`worker_threads`), not one thread
+    /// per group.
     pub parallel_checkers: bool,
+    /// Worker threads for the round engine's pure fan-out stages
+    /// (invariant evaluation, partition diffing, wave pre-rendering, and
+    /// the `parallel_checkers` pool). `None` resolves via
+    /// `STATESMAN_WORKER_THREADS`, then host parallelism. Results are
+    /// bit-identical at every setting; only wall time changes.
+    pub worker_threads: Option<usize>,
     /// Monitor quarantine cooldown override (`None` = monitor default).
     pub quarantine_cooldown: Option<SimDuration>,
     /// In-round retry schedule for the updater (`None` = §6.2's pure
@@ -99,6 +107,7 @@ impl Default for CoordinatorConfig {
             wan_invariant: Some(1),
             monitor_instances: None,
             parallel_checkers: false,
+            worker_threads: None,
             quarantine_cooldown: None,
             updater_retry: None,
             updater_breaker: None,
@@ -325,6 +334,9 @@ pub struct Coordinator {
     net: SimNetwork,
     monitor_instances: Option<usize>,
     parallel_checkers: bool,
+    /// Bounds the `parallel_checkers` fan-out (no thread-per-group
+    /// spawning on large fleets).
+    workers: crate::engine::WorkerPool,
     obs: Option<(Obs, CoordObs)>,
     round: AtomicU64,
 }
@@ -392,10 +404,13 @@ impl Coordinator {
                     c.add_invariant(Box::new(inv));
                 }
             }
-            checkers.push(
-                c.with_delta_reads(config.delta_state_plane)
-                    .with_columnar_state(config.columnar_state),
-            );
+            let mut c = c
+                .with_delta_reads(config.delta_state_plane)
+                .with_columnar_state(config.columnar_state);
+            if let Some(n) = config.worker_threads {
+                c = c.with_worker_threads(n);
+            }
+            checkers.push(c);
         }
         if has_wan {
             let mut c = Checker::new(
@@ -408,10 +423,13 @@ impl Coordinator {
             if let Some(min) = config.wan_invariant {
                 c.add_invariant(Box::new(WanLinkInvariant::new(min)));
             }
-            checkers.push(
-                c.with_delta_reads(config.delta_state_plane)
-                    .with_columnar_state(config.columnar_state),
-            );
+            let mut c = c
+                .with_delta_reads(config.delta_state_plane)
+                .with_columnar_state(config.columnar_state);
+            if let Some(n) = config.worker_threads {
+                c = c.with_worker_threads(n);
+            }
+            checkers.push(c);
         }
 
         let mut monitor = Monitor::new(net.clone(), storage.clone(), graph.clone())
@@ -431,6 +449,9 @@ impl Coordinator {
         let mut updater = Updater::new(net.clone(), storage.clone(), graph.clone())
             .with_delta_reads(config.delta_state_plane)
             .with_columnar_state(config.columnar_state);
+        if let Some(n) = config.worker_threads {
+            updater = updater.with_worker_threads(n);
+        }
         if let Some(policy) = config.updater_retry.clone() {
             updater = updater.with_retry(policy);
         }
@@ -500,6 +521,10 @@ impl Coordinator {
             net,
             monitor_instances: config.monitor_instances,
             parallel_checkers: config.parallel_checkers,
+            workers: config
+                .worker_threads
+                .map(crate::engine::WorkerPool::new)
+                .unwrap_or_default(),
             obs,
             round: AtomicU64::new(0),
         }
@@ -562,20 +587,10 @@ impl Coordinator {
             .collect();
 
         let checkers = if self.parallel_checkers {
-            // One thread per impact group; results collected in group
-            // order so the report stays deterministic.
-            let results: Vec<StateResult<CheckerPassReport>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = live
-                    .iter()
-                    .map(|c| {
-                        scope
-                            .spawn(|| c.run_pass_with_unreachable(&self.storage, now, &quarantined))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("checker thread panicked"))
-                    .collect()
+            // Groups fan out across the bounded worker pool; results
+            // come back in group order so the report stays deterministic.
+            let results: Vec<StateResult<CheckerPassReport>> = self.workers.run(&live, |_, c| {
+                c.run_pass_with_unreachable(&self.storage, now, &quarantined)
             });
             results.into_iter().collect::<StateResult<Vec<_>>>()?
         } else {
@@ -766,6 +781,12 @@ impl Coordinator {
             plan_max_width: report.updater.plan_max_width,
             plan_inflight_rejections: report.updater.plan_inflight_rejections,
             plan_rollbacks: report.updater.plan_rollbacks,
+            updater_stage_read_ms: report.updater.stage_read.as_secs_f64() * 1e3,
+            updater_stage_diff_ms: report.updater.stage_diff.as_secs_f64() * 1e3,
+            updater_stage_exec_ms: report.updater.stage_exec.as_secs_f64() * 1e3,
+            monitor_stage_poll_ms: report.monitor.stage_poll.as_secs_f64() * 1e3,
+            monitor_stage_diff_ms: report.monitor.stage_diff.as_secs_f64() * 1e3,
+            monitor_stage_write_ms: report.monitor.stage_write.as_secs_f64() * 1e3,
         });
         obs.set_status(StatusBoard {
             quarantined,

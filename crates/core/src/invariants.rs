@@ -57,6 +57,15 @@ pub trait Invariant: Send + Sync {
     fn affected_by(&self, _radius: &crate::deps::BlastRadius) -> bool {
         true
     }
+    /// Does calling [`Invariant::check`] mutate internal state that later
+    /// checks observe (e.g. a cached report reused for incremental
+    /// evaluation)? The parallel round engine evaluates order-insensitive
+    /// (pure) invariants concurrently and speculatively; order-sensitive
+    /// ones are evaluated exactly when the serial first-violation loop
+    /// would, preserving bit-identical cache trajectories.
+    fn order_sensitive(&self) -> bool {
+        false
+    }
 }
 
 /// No operational ToR may be disconnected from every core router.
@@ -265,6 +274,12 @@ impl Invariant for TorPairCapacityInvariant {
 
     fn affected_by(&self, radius: &crate::deps::BlastRadius) -> bool {
         radius.affects_dc(&self.datacenter)
+    }
+
+    fn order_sensitive(&self) -> bool {
+        // `check` reuses (and rewrites) `last_report` for incremental
+        // evaluation, so whether a given check runs is observable later.
+        true
     }
 
     fn check(&self, ctx: &InvariantContext<'_>) -> Result<(), Violation> {

@@ -40,6 +40,7 @@ pub mod checker;
 pub mod client;
 pub mod coordinator;
 pub mod deps;
+pub mod engine;
 pub mod groups;
 pub mod invariants;
 pub mod locks;
@@ -52,6 +53,7 @@ pub use checker::{Checker, CheckerConfig, CheckerPassReport, MergePolicy};
 pub use client::StatesmanClient;
 pub use coordinator::{Coordinator, CoordinatorConfig, RoundReport};
 pub use deps::DependencyModel;
+pub use engine::{default_worker_threads, WorkerPool};
 pub use groups::ImpactGroup;
 pub use invariants::{
     ConnectivityInvariant, Invariant, InvariantContext, TorPairCapacityInvariant, WanLinkInvariant,

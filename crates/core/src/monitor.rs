@@ -39,6 +39,12 @@ const POLL_MS: u64 = 50;
 const CONCURRENCY_PER_SHARD: u64 = 64;
 /// Switches per monitor instance (§6.3: "roughly 1,000 switches").
 pub const SHARD_SIZE: usize = 1_000;
+/// Changed-row count above which a bootstrap round (empty diff base)
+/// routes through the storage bulk-ingest path instead of chunked
+/// steady-state writes. Matches the 50K chunk size: below it the
+/// chunked path is a single WriteBatch per partition anyway, so the
+/// switch only replaces rounds that would otherwise multi-chunk.
+pub const BULK_SEED_THRESHOLD: usize = 50_000;
 /// Default quarantine cooldown after a failed device poll.
 pub const DEFAULT_QUARANTINE_COOLDOWN: SimDuration = SimDuration::from_mins(5);
 /// Default full-resync cadence: every Nth round writes the whole OS view
@@ -72,6 +78,18 @@ pub struct MonitorReport {
     pub sim_io: SimDuration,
     /// Host wall-clock time of the round (compute only).
     pub elapsed: Duration,
+    /// Wall time spent polling devices and links (including shard
+    /// fan-in on the parallel path).
+    pub stage_poll: Duration,
+    /// Wall time spent deduplicating and diffing against the last
+    /// written base.
+    pub stage_diff: Duration,
+    /// Wall time spent on storage writes and diff-base maintenance.
+    pub stage_write: Duration,
+    /// Stage breakdown of the bulk-ingest seed write, present only on
+    /// rounds routed through [`StorageService::write_bulk`] (an empty
+    /// diff base plus a seed-sized changed set — bootstrap).
+    pub seed: Option<statesman_storage::SeedStats>,
 }
 
 /// The monitor over one simulated network.
@@ -284,6 +302,7 @@ impl Monitor {
         skipped_dcs: bool,
         started: Instant,
     ) -> StateResult<MonitorReport> {
+        let stage_poll = started.elapsed();
         // De-duplicate: a link may get an inferred down row (from a dead
         // endpoint) *and* a polled row (from the live peer); polled rows
         // already report oper-down for dead-endpoint links, so shadowing
@@ -301,6 +320,7 @@ impl Monitor {
         };
         let force_full = round % self.resync_every == 0;
         let mut last = self.last_written.lock();
+        let base_empty = last.rows().next().is_none();
         let mut changed: Vec<NetworkState> = Vec::new();
         let mut writes_suppressed = 0usize;
         for (vid, row) in &dedup {
@@ -317,6 +337,8 @@ impl Monitor {
         // string-key order, not id order (ids follow interning order).
         changed.sort_by(|a, b| a.key_ref().cmp(&b.key_ref()));
         let rows_written = changed.len();
+        let diff_done = started.elapsed();
+        let stage_diff = diff_done - stage_poll;
         // Chunk large rounds: one consensus commit per ~50K rows *per
         // partition* keeps per-message payloads bounded at DC scale (§8:
         // 394K variables). Chunks are ranked within each partition and
@@ -325,49 +347,104 @@ impl Monitor {
         // concurrently — while each ring still sees its own rows in the
         // exact order the serial loop fed them, keeping versions,
         // watermarks, and the wire format byte-identical.
-        let mut by_part: BTreeMap<&DatacenterId, Vec<&NetworkState>> = BTreeMap::new();
-        for row in &changed {
-            by_part.entry(&row.entity.datacenter).or_default().push(row);
-        }
-        let max_chunks = by_part
-            .values()
-            .map(|rows| rows.len().div_ceil(50_000))
-            .max()
-            .unwrap_or(0);
-        for rank in 0..max_chunks {
-            let batch: Vec<NetworkState> = by_part
-                .values()
-                .flat_map(|rows| {
-                    rows.chunks(50_000)
-                        .nth(rank)
-                        .unwrap_or(&[])
-                        .iter()
-                        .map(|&r| r.clone())
-                })
-                .collect();
-            if let Err(e) = self.storage.write(WriteRequest {
+        let mut seed = None;
+        if base_empty && changed.len() >= BULK_SEED_THRESHOLD {
+            // Bootstrap: the diff base has never been written, so every
+            // row is new and each partition's pool is being seeded from
+            // empty. One BulkBatch per partition (batched slot minting,
+            // pre-sized columns, single watermark bump) replaces the
+            // chunked steady-state commits — below the threshold the
+            // chunked path degenerates to one WriteBatch per partition
+            // anyway, so small fabrics keep their exact prior behavior.
+            // The write consumes `changed` instead of cloning it — at
+            // seed scale that clone is millions of rows — and the diff
+            // base below refills from `dedup`, which at seed holds the
+            // same set (an empty base suppresses nothing).
+            match self.storage.write_bulk(WriteRequest {
                 pool: Pool::Observed,
-                rows: batch,
+                rows: std::mem::take(&mut changed),
             }) {
-                // The diff base may no longer match storage; rewrite
-                // everything next round.
-                last.clear();
-                return Err(e);
+                Ok(stats) => seed = Some(stats),
+                Err(e) => {
+                    // The diff base may no longer match storage; rewrite
+                    // everything next round.
+                    last.clear();
+                    return Err(e);
+                }
+            }
+        } else {
+            let mut by_part: BTreeMap<&DatacenterId, Vec<&NetworkState>> = BTreeMap::new();
+            for row in &changed {
+                by_part.entry(&row.entity.datacenter).or_default().push(row);
+            }
+            let max_chunks = by_part
+                .values()
+                .map(|rows| rows.len().div_ceil(50_000))
+                .max()
+                .unwrap_or(0);
+            for rank in 0..max_chunks {
+                let batch: Vec<NetworkState> = by_part
+                    .values()
+                    .flat_map(|rows| {
+                        rows.chunks(50_000)
+                            .nth(rank)
+                            .unwrap_or(&[])
+                            .iter()
+                            .map(|&r| r.clone())
+                    })
+                    .collect();
+                if let Err(e) = self.storage.write(WriteRequest {
+                    pool: Pool::Observed,
+                    rows: batch,
+                }) {
+                    // The diff base may no longer match storage; rewrite
+                    // everything next round.
+                    last.clear();
+                    return Err(e);
+                }
             }
         }
         // Everything this round observed — written or suppressed — is the
-        // diff base for the next round. A round that polled everything
-        // replaces the base wholesale (the common case, and free); keys in
-        // skipped DCs or on quarantined/unreachable devices were not
-        // polled, so those rounds must merge to carry their entries over.
+        // diff base for the next round. Keys in skipped DCs or on
+        // quarantined/unreachable devices were not polled, so those
+        // rounds must merge to carry their entries over.
         let full_coverage = !skipped_dcs && devices_quarantined == 0 && devices_unreachable == 0;
-        if full_coverage {
-            // Wholesale replacement; a columnar base keeps its slots and
-            // arena, so this writes straight back into place.
-            last.clear();
-        }
-        for (_, row) in dedup {
-            last.upsert(row);
+        if seed.is_some() {
+            // Bulk seed: the base was empty and every polled row was
+            // written (the write consumed `changed`), so the refill
+            // comes from the dedup map — the same rows, and upserting
+            // into a map is order-independent.
+            for (_, row) in dedup {
+                last.upsert(row);
+            }
+        } else if full_coverage && !force_full {
+            // Full coverage, delta round: the base already holds every
+            // polled key with its last-written value, so upserting only
+            // the changed rows and dropping keys that vanished from the
+            // poll is equivalent to the wholesale refill — minus cloning
+            // millions of unchanged rows back into place. Unchanged base
+            // rows keep their older timestamps; the diff above compares
+            // value + writer only, so that is invisible.
+            let stale: Vec<statesman_types::StateKey> = last
+                .rows()
+                .filter(|r| !dedup.contains_key(&r.var_id()))
+                .map(|r| statesman_types::StateKey::new(r.entity.clone(), r.attribute))
+                .collect();
+            for key in &stale {
+                last.remove(key);
+            }
+            for row in changed {
+                last.upsert(row);
+            }
+        } else {
+            if full_coverage {
+                // Wholesale replacement; a columnar base keeps its slots
+                // and arena, so this writes straight back into place.
+                last.clear();
+            }
+            for (_, row) in dedup {
+                last.upsert(row);
+            }
         }
         drop(last);
 
@@ -375,6 +452,7 @@ impl Monitor {
         let lanes = shards as u64 * CONCURRENCY_PER_SHARD;
         let sim_io = SimDuration::from_millis(entities_polled.div_ceil(lanes) * POLL_MS);
 
+        let elapsed = started.elapsed();
         Ok(MonitorReport {
             devices_polled,
             devices_unreachable,
@@ -384,7 +462,11 @@ impl Monitor {
             writes_suppressed,
             shards,
             sim_io,
-            elapsed: started.elapsed(),
+            elapsed,
+            stage_poll,
+            stage_diff,
+            stage_write: elapsed.saturating_sub(diff_done),
+            seed,
         })
     }
 

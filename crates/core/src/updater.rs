@@ -26,7 +26,8 @@ use statesman_storage::{ReadRequest, StorageService};
 use statesman_topology::NetworkGraph;
 use statesman_types::{
     Attribute, DatacenterId, DeviceName, EntityName, FlowLinkRule, Freshness, LinkName,
-    NetworkState, Pool, RetryPolicy, SimDuration, SimTime, StateError, StateResult, Value, Version,
+    NetworkState, Pool, RetryPolicy, SimDuration, SimTime, StateError, StateResult, Value, VarId,
+    Version,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
@@ -329,6 +330,15 @@ pub struct UpdaterReport {
     pub sim_io: SimDuration,
     /// Host wall-clock compute time.
     pub elapsed: Duration,
+    /// Host wall time of the read stage: mirror advance (zero-copy
+    /// rounds) or full pool reads.
+    pub stage_read: Duration,
+    /// Host wall time of the pure diff stage: path expansion, TS sort,
+    /// and the per-partition OS−TS comparisons.
+    pub stage_diff: Duration,
+    /// Host wall time of the execute stage: plan synthesis, in-flight
+    /// checks, rendering, and command issue.
+    pub stage_exec: Duration,
 }
 
 /// The updater over one simulated network.
@@ -379,6 +389,11 @@ pub struct Updater {
     /// Invariants re-checked against the projected intermediate state
     /// before each plan step commits (empty = no in-flight checks).
     plan_invariants: Vec<Box<dyn crate::invariants::Invariant>>,
+    /// Pool for the round's pure fan-out stages: per-partition diffs and
+    /// per-wave command pre-rendering. All effectful work (command
+    /// issue, RNG draws, clock stepping) stays on the round's one
+    /// execute thread regardless of this pool's size.
+    workers: crate::engine::WorkerPool,
 }
 
 /// One partition's pool mirrored updater-side (see `Updater::part_cache`).
@@ -411,6 +426,50 @@ enum PendingDiff<'a> {
         entity: &'a EntityName,
         desired: Vec<FlowLinkRule>,
     },
+}
+
+/// The observed-state view a round diffs against: an owned snapshot
+/// (hash plane, quarantine fallback) or zero-copy references into the
+/// columnar partition mirrors, held under the part-cache lock for the
+/// whole round. The zero-copy path removes the per-round full-pool clone
+/// and hash-map rebuild that dominated 4M-variable churn rounds; a
+/// variable is homed in exactly one partition, so the mirror probe order
+/// cannot change any lookup's answer.
+enum RoundOs<'a> {
+    Owned(crate::view::MapView),
+    Mirrors(Vec<&'a crate::view::MapView>),
+}
+
+impl StateView for RoundOs<'_> {
+    fn get_var(&self, var: VarId) -> Option<&NetworkState> {
+        match self {
+            RoundOs::Owned(v) => v.get_var(var),
+            RoundOs::Mirrors(parts) => parts.iter().find_map(|p| p.get_var(var)),
+        }
+    }
+}
+
+impl RoundOs<'_> {
+    /// Iterate every row. Only order-insensitive consumers may use this
+    /// (the routing-withdrawal scan folds into a `BTreeMap`), since the
+    /// mirror iteration order differs from the owned hash order.
+    fn rows(&self) -> Box<dyn Iterator<Item = &NetworkState> + '_> {
+        match self {
+            RoundOs::Owned(v) => Box::new(v.rows()),
+            RoundOs::Mirrors(parts) => Box::new(parts.iter().flat_map(|p| p.rows())),
+        }
+    }
+}
+
+/// A step's commands rendered ahead of the serial issue point, tagged
+/// with the carrier device and model they were rendered for. The issue
+/// path re-derives both and uses these actions only when they still
+/// match — rendering is a pure function of (row, device, model), so a
+/// matching pre-render is bit-identical to rendering at issue time.
+struct PreRender {
+    device: DeviceName,
+    model: DeviceModel,
+    actions: Vec<RenderedAction>,
 }
 
 /// Per-device circuit-breaker bookkeeping. This is deliberately *not*
@@ -475,7 +534,17 @@ impl Updater {
             quiescent: Mutex::new(None),
             plan_synthesis: false,
             plan_invariants: Vec::new(),
+            workers: crate::engine::WorkerPool::default(),
         }
+    }
+
+    /// Set the worker-thread count for the round's pure fan-out stages
+    /// (per-partition diffs, per-wave command pre-rendering, pure
+    /// invariant evaluation). Defaults to `STATESMAN_WORKER_THREADS` /
+    /// host parallelism; `1` forces the serial reference path.
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.workers = crate::engine::WorkerPool::new(threads);
+        self
     }
 
     /// Enable or disable plan-driven execution (`false` by default for a
@@ -684,6 +753,38 @@ impl Updater {
         }
     }
 
+    /// Advance (or create) the mirror for one `(pool, partition)` in
+    /// place, under the caller-held cache lock — the zero-copy analogue
+    /// of [`Updater::read_partition`]. Returns whether the partition is
+    /// available; an unavailable partition drops its mirror (it may move
+    /// on while unobserved). On a read error the mirror is left
+    /// untouched, so its watermark still matches its contents and the
+    /// next round resumes cleanly.
+    fn advance_mirror(
+        &self,
+        cache: &mut HashMap<(Pool, DatacenterId), CachedPart>,
+        pool: &Pool,
+        dc: &DatacenterId,
+    ) -> StateResult<bool> {
+        let key = (pool.clone(), dc.clone());
+        if !self.storage.partition_available(dc) {
+            cache.remove(&key);
+            return Ok(false);
+        }
+        let entry = cache.entry(key).or_insert_with(|| CachedPart {
+            view: if self.columnar_state {
+                crate::view::MapView::columnar(pool.clone())
+            } else {
+                crate::view::MapView::new()
+            },
+            watermark: Version::default(),
+        });
+        let delta = self.storage.read_since(dc, pool, entry.watermark)?;
+        entry.watermark = delta.watermark;
+        entry.view.apply_delta(delta);
+        Ok(true)
+    }
+
     /// Run one update round.
     pub fn run_round(&self) -> StateResult<UpdaterReport> {
         self.run_round_excluding(&BTreeSet::new())
@@ -726,8 +827,53 @@ impl Updater {
             }
         }
 
-        let os = crate::view::MapView::from_rows(self.read_all(Pool::Observed, use_delta)?);
-        let ts_rows = self.read_all(Pool::Target, use_delta)?;
+        // ---- read stage ----
+        // Zero-copy fast path: hold the mirror-cache lock for the whole
+        // round and diff directly against the partition mirrors, advanced
+        // in place by `read_since` deltas. This removes the per-round
+        // full-pool row clone and hash-map rebuild that dominated large
+        // churn rounds. The fallback (quarantine rounds, delta reads
+        // disabled) re-reads full pools into an owned snapshot as before.
+        // While the guard is held, `read_all`/`read_partition` must not
+        // be called — they take the same lock.
+        let read_started = Instant::now();
+        let dcs = self.storage.partitions();
+        let mut cache_guard = if use_delta {
+            Some(self.part_cache.lock())
+        } else {
+            None
+        };
+        let mut owned_os = None;
+        let ts_rows = match cache_guard.as_mut() {
+            Some(cache) => {
+                let mut ts_rows: Vec<NetworkState> = Vec::new();
+                for dc in &dcs {
+                    self.advance_mirror(cache, &Pool::Observed, dc)?;
+                    if self.advance_mirror(cache, &Pool::Target, dc)? {
+                        if let Some(entry) = cache.get(&(Pool::Target, dc.clone())) {
+                            ts_rows.extend(entry.view.rows().cloned());
+                        }
+                    }
+                }
+                ts_rows
+            }
+            None => {
+                owned_os = Some(crate::view::MapView::from_rows(
+                    self.read_all(Pool::Observed, use_delta)?,
+                ));
+                self.read_all(Pool::Target, use_delta)?
+            }
+        };
+        let os = match cache_guard.as_ref() {
+            Some(cache) => RoundOs::Mirrors(
+                dcs.iter()
+                    .filter_map(|dc| cache.get(&(Pool::Observed, dc.clone())).map(|e| &e.view))
+                    .collect(),
+            ),
+            None => RoundOs::Owned(owned_os.take().expect("owned snapshot present")),
+        };
+        let stage_read = read_started.elapsed();
+        let diff_started = Instant::now();
 
         let mut report = UpdaterReport::default();
         // Track cumulative simulated latency per device (sequential per
@@ -842,23 +988,15 @@ impl Updater {
         }
 
         let parts: Vec<PartitionWork<'_>> = work.into_values().collect();
-        let pending: Vec<Vec<PendingDiff<'_>>> = if parts.len() <= 1 {
-            parts
-                .iter()
-                .map(|w| self.collect_partition_diffs(w, &os, &desired_routes))
-                .collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = parts
-                    .iter()
-                    .map(|w| scope.spawn(|| self.collect_partition_diffs(w, &os, &desired_routes)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("updater diff thread panicked"))
-                    .collect()
-            })
-        };
+        // Fan out by index so the borrowed diffs tie to `parts`, not to
+        // the per-worker reference the pool hands the closure.
+        let part_idx: Vec<usize> = (0..parts.len()).collect();
+        let pending: Vec<Vec<PendingDiff<'_>>> = self.workers.run(&part_idx, |_, &i| {
+            self.collect_partition_diffs(&parts[i], &os, &desired_routes)
+        });
+        report.stage_read = stage_read;
+        report.stage_diff = diff_started.elapsed();
+        let exec_started = Instant::now();
 
         // Serial execute stage. One jitter RNG for the whole round, the
         // historical `0xC1AC` stream: backoff draws happen in the same
@@ -888,6 +1026,7 @@ impl Updater {
             );
         }
 
+        report.stage_exec = exec_started.elapsed();
         report.sim_io =
             SimDuration::from_millis(per_device_ms.values().copied().max().unwrap_or(0));
         report.elapsed = started.elapsed();
@@ -968,7 +1107,7 @@ impl Updater {
     fn execute_plan(
         &self,
         pending: Vec<Vec<PendingDiff<'_>>>,
-        os: &crate::view::MapView,
+        os: &RoundOs<'_>,
         skip: &BTreeSet<DeviceName>,
         report: &mut UpdaterReport,
         per_device_ms: &mut HashMap<DeviceName, u64>,
@@ -1024,14 +1163,33 @@ impl Updater {
         // is checked with its own row included, pessimistically (a
         // pending firmware/boot transition projects its device down).
         let mut committed = crate::view::MapView::new();
-        let mut health = if self.plan_invariants.is_empty() {
+        // Lazy projection: the full-graph health projection is only
+        // needed if some step will actually be checked against it.
+        // Churn rounds synthesize empty plans, so skipping the
+        // projection there is unobservable — and removes a full
+        // every-entity scan per round.
+        let mut health = if self.plan_invariants.is_empty() || plan.step_count() == 0 {
             None
         } else {
             Some(crate::view::project_health(&self.graph, os, None))
         };
 
         for wave in &plan.waves {
-            for &idx in wave {
+            // Pre-render the wave's commands in parallel (pure: no
+            // issue, no RNG, no breaker state), then issue serially in
+            // step order below. A wave's steps are pairwise independent
+            // by construction, but issuing a step can still change a
+            // later step's carrier or model (a link endpoint reboots),
+            // so each pre-render is used only if it still matches at
+            // issue time.
+            let pre: Vec<Option<PreRender>> = if self.workers.threads() > 1 && wave.len() > 1 {
+                self.workers.run(wave, |_, &idx| {
+                    self.prerender_step(&plan.steps[idx].row, skip)
+                })
+            } else {
+                Vec::new()
+            };
+            for (wi, &idx) in wave.iter().enumerate() {
                 let step = &plan.steps[idx];
                 let key =
                     statesman_types::StateKey::new(step.row.entity.clone(), step.row.attribute);
@@ -1050,11 +1208,14 @@ impl Updater {
                         projected: health,
                         touched_pods: step.radius.pods.as_ref(),
                     };
-                    let violated = self
+                    let affected: Vec<&dyn crate::invariants::Invariant> = self
                         .plan_invariants
                         .iter()
                         .filter(|inv| inv.affected_by(&step.radius))
-                        .any(|inv| inv.check(&ctx).is_err());
+                        .map(|b| b.as_ref())
+                        .collect();
+                    let violated =
+                        crate::engine::first_violation(&self.workers, &affected, &ctx).is_some();
                     if violated {
                         d.revert(health);
                         committed.remove(&key);
@@ -1065,7 +1226,15 @@ impl Updater {
                 }
                 let applied_before = report.commands_applied;
                 let failed_before = report.commands_failed;
-                self.execute_for_row(&step.row, skip, report, per_device_ms, now, rng);
+                self.execute_for_row_with(
+                    &step.row,
+                    pre.get(wi).and_then(|p| p.as_ref()),
+                    skip,
+                    report,
+                    per_device_ms,
+                    now,
+                    rng,
+                );
                 if report.commands_applied == applied_before {
                     // Nothing landed (skipped, unrenderable, or every
                     // command failed): the projected transition is not in
@@ -1162,7 +1331,7 @@ impl Updater {
     fn collect_partition_diffs<'a>(
         &self,
         work: &'a PartitionWork<'a>,
-        os: &crate::view::MapView,
+        os: &RoundOs<'_>,
         desired_routes: &BTreeMap<DeviceName, Vec<FlowLinkRule>>,
     ) -> Vec<PendingDiff<'a>> {
         let mut pending = Vec::new();
@@ -1195,10 +1364,61 @@ impl Updater {
         pending
     }
 
+    /// Render a step's commands ahead of its issue point. **Pure with
+    /// respect to the round's effect order**: it reads the carrier
+    /// device and model but issues nothing, draws no RNG, and never
+    /// touches breaker state (inspecting a breaker mutates it via the
+    /// half-open probe, so breakers are checked only serially at issue
+    /// time). Returns `None` when the step renders to nothing from this
+    /// vantage; the issue path re-derives everything anyway, so `None`
+    /// only means "no shortcut", never "skip".
+    fn prerender_step(&self, row: &NetworkState, skip: &BTreeSet<DeviceName>) -> Option<PreRender> {
+        let device = self.carrier_device(row)?;
+        if skip.contains(&device) {
+            return None;
+        }
+        let model = self.net.device_snapshot(&device)?.model;
+        let actions = self
+            .pool
+            .render(&TemplateCtx {
+                entity: &row.entity,
+                attribute: row.attribute,
+                target: &row.value,
+                device: &device,
+                model,
+            })
+            .ok()?;
+        Some(PreRender {
+            device,
+            model,
+            actions,
+        })
+    }
+
     /// Render and execute the command(s) realizing one differing row.
     fn execute_for_row(
         &self,
         row: &NetworkState,
+        skip: &BTreeSet<DeviceName>,
+        report: &mut UpdaterReport,
+        per_device_ms: &mut HashMap<DeviceName, u64>,
+        now: statesman_types::SimTime,
+        rng: &mut StdRng,
+    ) {
+        self.execute_for_row_with(row, None, skip, report, per_device_ms, now, rng)
+    }
+
+    /// Like [`Updater::execute_for_row`], but may reuse a wave
+    /// pre-render. The carrier device and model are always re-derived
+    /// here (wave-mates executed since the pre-render and may have
+    /// changed both); the pre-rendered actions are used only when both
+    /// still match, in which case they are bit-identical to rendering
+    /// now — a template is a pure function of (row, device, model).
+    #[allow(clippy::too_many_arguments)]
+    fn execute_for_row_with(
+        &self,
+        row: &NetworkState,
+        pre: Option<&PreRender>,
         skip: &BTreeSet<DeviceName>,
         report: &mut UpdaterReport,
         per_device_ms: &mut HashMap<DeviceName, u64>,
@@ -1224,22 +1444,29 @@ impl Updater {
                 return;
             }
         };
-        let ctx = TemplateCtx {
-            entity: &row.entity,
-            attribute: row.attribute,
-            target: &row.value,
-            device: &device,
-            model,
-        };
-        let actions = match self.pool.render(&ctx) {
-            Ok(a) => a,
-            Err(_) => {
-                report.unrenderable += 1;
-                return;
+        let rendered;
+        let actions: &[RenderedAction] = match pre {
+            Some(p) if p.device == device && p.model == model => &p.actions,
+            _ => {
+                let ctx = TemplateCtx {
+                    entity: &row.entity,
+                    attribute: row.attribute,
+                    target: &row.value,
+                    device: &device,
+                    model,
+                };
+                rendered = match self.pool.render(&ctx) {
+                    Ok(a) => a,
+                    Err(_) => {
+                        report.unrenderable += 1;
+                        return;
+                    }
+                };
+                &rendered
             }
         };
         for action in actions {
-            self.execute_action(&action, report, per_device_ms, now, rng);
+            self.execute_action(action, report, per_device_ms, now, rng);
         }
     }
 

@@ -259,6 +259,15 @@ pub struct ServerConfig {
     /// Maximum queued same-pool `/v1/write` jobs coalesced into one
     /// storage batch (1 disables coalescing).
     pub write_coalesce: usize,
+    /// Hard bound on the write-coalescing gather window, measured from
+    /// the moment the *popped* write entered the queue. A worker holding
+    /// an under-filled batch may wait for more same-pool writes only
+    /// until `enqueued_at + write_coalesce_max_delay`; a write that
+    /// already aged past that in the queue commits immediately, so under
+    /// backlog the window is zero and no write ever waits on an
+    /// unbounded batch window. `Duration::ZERO` disables gathering
+    /// (coalescing then only picks up writes already queued).
+    pub write_coalesce_max_delay: Duration,
     /// Pipelined requests a worker drains per queue visit before the
     /// connection is re-queued through the fair queue.
     pub pipeline_burst: usize,
@@ -281,6 +290,7 @@ impl Default for ServerConfig {
             max_body_bytes: 64 << 20,
             retry_after: Duration::from_secs(1),
             write_coalesce: 8,
+            write_coalesce_max_delay: Duration::from_millis(2),
             pipeline_burst: 32,
             stop_grace: Duration::from_secs(3),
         }
@@ -380,6 +390,20 @@ impl Drop for Conn {
 struct Job {
     conn: Conn,
     req: HttpRequest,
+    /// When the job entered the fair queue. Bounds the write-coalescing
+    /// gather window: a write that already aged in the queue gets no
+    /// further delay.
+    enqueued_at: Instant,
+}
+
+impl Job {
+    fn new(conn: Conn, req: HttpRequest) -> Job {
+        Job {
+            conn,
+            req,
+            enqueued_at: Instant::now(),
+        }
+    }
 }
 
 /// Pop the next complete request out of a connection's buffer, if one is
@@ -462,7 +486,11 @@ impl FairQueue {
         q.len += 1;
         self.set_gauge(q.len);
         drop(q);
-        self.cv.notify_one();
+        // notify_all, not notify_one: a worker gathering a write batch in
+        // `take_writes_until` waits on the same condvar, and a single
+        // notification it consumes for a non-write job would leave a
+        // popper asleep with work queued.
+        self.cv.notify_all();
         Ok(())
     }
 
@@ -499,14 +527,38 @@ impl FairQueue {
     }
 
     /// Pull up to `max` queued plain `/v1/write` jobs targeting `pool`
-    /// (wire spelling), across all apps, for batch coalescing. The
-    /// rotation self-heals in `pop`.
-    fn take_writes(&self, pool: &str, max: usize) -> Vec<Job> {
+    /// (wire spelling), across all apps, for batch coalescing, waiting
+    /// for late arrivals until `deadline` if the batch is under-filled.
+    /// A `deadline` at or before now degenerates to a single non-blocking
+    /// sweep, so callers bound the gather window per job. The rotation
+    /// self-heals in `pop`.
+    fn take_writes_until(&self, pool: &str, max: usize, deadline: Instant) -> Vec<Job> {
         if max == 0 {
             return Vec::new();
         }
         let mut q = self.inner.lock().expect("queue poisoned");
         let mut taken = Vec::new();
+        loop {
+            Self::sweep_writes(&mut q, pool, max, &mut taken);
+            self.set_gauge(q.len);
+            if taken.len() >= max || q.closed {
+                return taken;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return taken;
+            }
+            q = self
+                .cv
+                .wait_timeout(q, deadline - now)
+                .expect("queue poisoned")
+                .0;
+        }
+    }
+
+    /// One locked sweep moving matching write jobs from the queue into
+    /// `taken` (capped at `max` total) and updating `q.len`.
+    fn sweep_writes(q: &mut FairQueueInner, pool: &str, max: usize, taken: &mut Vec<Job>) {
         for per_app in q.by_app.values_mut() {
             let mut i = 0;
             while i < per_app.len() && taken.len() < max {
@@ -516,6 +568,7 @@ impl FairQueue {
                     && j.req.param("Pool") == Some(pool)
                 {
                     taken.push(per_app.remove(i).expect("index checked"));
+                    q.len -= 1;
                 } else {
                     i += 1;
                 }
@@ -524,9 +577,6 @@ impl FairQueue {
                 break;
             }
         }
-        q.len -= taken.len();
-        self.set_gauge(q.len);
-        taken
     }
 
     fn close(&self) {
@@ -1076,7 +1126,7 @@ fn reactor_loop(
                     match next_buffered_request(&mut c, &limits) {
                         Ok(Some(req)) => {
                             let _ = c.stream.set_nonblocking(false);
-                            if let Err(job) = queue.push(Job { conn: c, req }) {
+                            if let Err(job) = queue.push(Job::new(c, req)) {
                                 shed_job(job, &ctx);
                             }
                         }
@@ -1199,14 +1249,20 @@ impl Worker {
         let coalesce = self.ctx.cfg.write_coalesce;
         if coalesce > 1 && job.req.method == "POST" && job.req.path == "/v1/write" {
             if let Some(pool) = job.req.param("Pool") {
-                let extras = self.queue.take_writes(pool, coalesce - 1);
+                // The gather window is anchored at the job's *enqueue*
+                // time: a write popped off a backlog has already aged
+                // past the deadline and commits with whatever is queued
+                // right now, so coalescing never adds delay on top of
+                // queueing delay — it only spends idle time.
+                let deadline = job.enqueued_at + self.ctx.cfg.write_coalesce_max_delay;
+                let extras = self.queue.take_writes_until(pool, coalesce - 1, deadline);
                 if !extras.is_empty() {
                     self.serve_write_batch(job, extras);
                     return;
                 }
             }
         }
-        let Job { mut conn, req } = job;
+        let Job { mut conn, req, .. } = job;
         let closing = self.serve_one(&mut conn, req);
         self.finish_conn(conn, closing);
     }
@@ -1271,7 +1327,7 @@ impl Worker {
         // back through the fair queue instead of hogging this worker.
         match next_buffered_request(&mut conn, &limits) {
             Ok(Some(req)) => {
-                if let Err(job) = self.queue.push(Job { conn, req }) {
+                if let Err(job) = self.queue.push(Job::new(conn, req)) {
                     shed_job(job, &self.ctx);
                 }
             }
@@ -1338,7 +1394,7 @@ impl Worker {
         }
 
         for (job, rows) in parsed.drain(..) {
-            let Job { mut conn, req } = job;
+            let Job { mut conn, req, .. } = job;
             let resp = match rows {
                 Err(e) => error_response(e),
                 Ok(rows) if batched => {
@@ -2136,6 +2192,67 @@ mod tests {
         // clients it is effectively guaranteed, but don't flake if the
         // machine serializes the flood.
         let _ = shed;
+        server.shutdown();
+    }
+
+    #[test]
+    fn gather_window_coalesces_staggered_writes_and_stays_bounded() {
+        let clock = SimClock::new();
+        let storage = StorageService::single_dc("dc1", clock.clone());
+        let obs = Obs::new();
+        let mut server = ApiServer::start_with_config(
+            storage,
+            ServerConfig {
+                workers: 1,
+                write_coalesce: 8,
+                write_coalesce_max_delay: Duration::from_millis(500),
+                ..ServerConfig::default()
+            },
+            Some(obs.clone()),
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        // Two near-simultaneous writes on a single worker: whichever is
+        // popped first opens a gather window, and the other joins its
+        // batch inside it instead of waiting for a second storage trip.
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let clock = clock.clone();
+                std::thread::spawn(move || {
+                    let client = ApiClient::new(addr);
+                    client
+                        .write(
+                            &Pool::Observed,
+                            &[fw_row(&format!("agg-1-{}", i + 1), "6.0", clock.now())],
+                        )
+                        .unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            obs.registry.counter("httpapi_write_batches_total").get(),
+            1,
+            "the two writes commit as one storage batch"
+        );
+        assert_eq!(
+            obs.registry.counter("httpapi_writes_coalesced_total").get(),
+            1
+        );
+
+        // A lone write's window is bounded: it commits after at most the
+        // configured delay, not an open-ended wait for company.
+        let started = Instant::now();
+        ApiClient::new(addr)
+            .write(&Pool::Observed, &[fw_row("agg-1-3", "7.0", clock.now())])
+            .unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "lone write answered within the bounded window"
+        );
         server.shutdown();
     }
 

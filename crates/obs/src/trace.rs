@@ -104,6 +104,27 @@ pub struct RoundTrace {
     /// Steps rolled back after every rendered command failed.
     #[serde(default)]
     pub plan_rollbacks: usize,
+    /// Updater wall time in the read stage (mirror advance or full pool
+    /// reads), ms.
+    #[serde(default)]
+    pub updater_stage_read_ms: f64,
+    /// Updater wall time in the diff stage (path expansion, TS sort,
+    /// per-partition comparisons), ms.
+    #[serde(default)]
+    pub updater_stage_diff_ms: f64,
+    /// Updater wall time in the execute stage (plan synthesis, in-flight
+    /// checks, rendering, command issue), ms.
+    #[serde(default)]
+    pub updater_stage_exec_ms: f64,
+    /// Monitor wall time polling devices and links, ms.
+    #[serde(default)]
+    pub monitor_stage_poll_ms: f64,
+    /// Monitor wall time deduplicating and diffing against its base, ms.
+    #[serde(default)]
+    pub monitor_stage_diff_ms: f64,
+    /// Monitor wall time writing storage and maintaining the base, ms.
+    #[serde(default)]
+    pub monitor_stage_write_ms: f64,
 }
 
 impl RoundTrace {

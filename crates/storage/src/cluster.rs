@@ -187,6 +187,26 @@ impl PaxosCluster {
     /// through the new leader — should the original instance *also*
     /// survive via recovery, the state machine deduplicates the apply.
     pub fn submit(&mut self, cmd: LogCommand) -> StateResult<Slot> {
+        // Group commit: a single submit drives many WAL appends per
+        // replica (promises, accepts, the commit record). Buffer them and
+        // land each replica's group with one fsync when the submit
+        // resolves — the caller is only acknowledged after end_group, so
+        // durability at ack time is unchanged.
+        for (i, s) in self.stores.iter().enumerate() {
+            if !self.bus.is_crashed(ReplicaId(i as u8)) {
+                s.begin_group();
+            }
+        }
+        let result = self.submit_inner(cmd);
+        for (i, s) in self.stores.iter().enumerate() {
+            if !self.bus.is_crashed(ReplicaId(i as u8)) {
+                s.end_group();
+            }
+        }
+        result
+    }
+
+    fn submit_inner(&mut self, cmd: LogCommand) -> StateResult<Slot> {
         let id = self.next_request_id;
         self.next_request_id += 1;
         let tagged = LogCommand::Tagged {
@@ -657,6 +677,39 @@ mod tests {
         c.verify_chains().expect("chains intact after recovery");
         let rec = c.last_recovery().unwrap();
         assert!(!rec.refused);
+    }
+
+    #[test]
+    fn group_commit_bounds_fsyncs_per_submit() {
+        let mut cfg = ClusterConfig::intra_dc(5);
+        cfg.durability = DurabilityMode::FramedMemory;
+        // Keep compaction out of the way so the counters isolate submits.
+        cfg.snapshot_every = u64::MAX;
+        let mut c = PaxosCluster::new(cfg);
+        for i in 0..20 {
+            c.submit(wb(&format!("d{i}"), "v")).unwrap();
+        }
+        let stats = c.wal_stats();
+        assert!(
+            stats.appends > stats.fsyncs,
+            "a submit appends several WAL records per replica \
+             (appends={}, fsyncs={})",
+            stats.appends,
+            stats.fsyncs
+        );
+        // 3 replicas × (1 election group + 20 submit groups), with a small
+        // allowance for retries: far below one fsync per append.
+        assert!(
+            stats.fsyncs <= 3 * 21 + 6,
+            "grouped submits flush once per replica per submit, got {}",
+            stats.fsyncs
+        );
+        c.verify_chains().expect("grouped chains verify end to end");
+        // Recovery still replays everything the grouped log holds.
+        c.kill9(ReplicaId(2));
+        c.restart(ReplicaId(2));
+        assert_eq!(c.applied_through(ReplicaId(2)), 20);
+        assert!(!c.last_recovery().unwrap().refused);
     }
 
     #[test]

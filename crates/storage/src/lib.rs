@@ -43,7 +43,7 @@ pub mod snapshot;
 pub mod wal;
 
 pub use cluster::{ClusterConfig, PaxosCluster};
-pub use machine::{LogCommand, StateMachine};
+pub use machine::{BulkStats, LogCommand, StateMachine};
 pub use recovery::{HashChainChecker, RecoveryReport, RecoverySafetyChecker};
-pub use service::{ReadRequest, StorageConfig, StorageService, WriteRequest};
+pub use service::{ReadRequest, SeedStats, StorageConfig, StorageService, WriteRequest};
 pub use wal::{DurabilityMode, ReplicaStore, WalCorruption, WalStats};

@@ -12,6 +12,7 @@ use statesman_types::{
     WriteReceipt,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
 
 /// Default bound on the per-pool change index. Entries beyond it are
 /// compacted away (oldest first), raising the pool's compaction floor;
@@ -47,6 +48,31 @@ pub enum LogCommand {
         /// Keys to remove.
         keys: Vec<StateKey>,
     },
+    /// Bootstrap bulk ingest: upsert a large batch with batched slot
+    /// minting, pre-sized column storage, and a **single** change-index
+    /// watermark bump instead of one changefeed entry per row. Applies
+    /// the fast path only when the destination pool is empty (the seed
+    /// case); over a non-empty pool it degrades to [`WriteBatch`]
+    /// semantics, so replaying a recovered `BulkBatch` over
+    /// snapshot-restored rows stays deterministic.
+    ///
+    /// Incremental readers from before the bulk load observe a raised
+    /// compaction floor and fall back to a full snapshot — exactly what
+    /// a seed-sized `WriteBatch` would force anyway by blowing through
+    /// the change-index capacity.
+    ///
+    /// [`WriteBatch`]: LogCommand::WriteBatch
+    BulkBatch {
+        /// Destination pool.
+        pool: Pool,
+        /// The rows to upsert. Shared, not owned: a seed batch is
+        /// millions of rows, and the commit path copies the command
+        /// several times (the submit retry clone, the WAL accept and
+        /// commit records, replica catch-up). Behind an `Arc` every copy
+        /// is a refcount bump; the wire format is unchanged
+        /// (serialization is transparent over the pointer).
+        rows: std::sync::Arc<Vec<NetworkState>>,
+    },
     /// Record checker receipts for an application to poll.
     PostReceipts {
         /// The receipts.
@@ -73,6 +99,7 @@ impl LogCommand {
     pub fn weight(&self) -> usize {
         match self {
             LogCommand::WriteBatch { rows, .. } => rows.len().max(1),
+            LogCommand::BulkBatch { rows, .. } => rows.len().max(1),
             LogCommand::DeleteBatch { keys, .. } => keys.len().max(1),
             LogCommand::PostReceipts { receipts } => receipts.len().max(1),
             LogCommand::Noop => 1,
@@ -135,6 +162,37 @@ pub struct StateMachine {
     /// Per-pool change-index bound (runtime sizing, not logical state —
     /// snapshots do not carry it; recovery paths must re-apply it).
     change_index_cap: usize,
+    /// Cumulative bulk-ingest stage timings (runtime observability, not
+    /// logical state — excluded from snapshots and replica equality).
+    bulk: BulkStats,
+}
+
+/// Cumulative stage timings of every [`LogCommand::BulkBatch`] this
+/// machine has applied: wall time minting slots (including entity
+/// interning via `var_id`), filling column arenas, and maintaining the
+/// change index. Runtime observability only — never part of snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BulkStats {
+    /// Rows bulk-ingested so far.
+    pub rows: u64,
+    /// Nanoseconds spent in batched slot minting (the intern stage).
+    pub intern_nanos: u64,
+    /// Nanoseconds spent stamping versions and filling the column arena.
+    pub fill_nanos: u64,
+    /// Nanoseconds spent on change-index/watermark maintenance.
+    pub index_nanos: u64,
+}
+
+impl BulkStats {
+    /// Field-wise difference against an earlier reading (saturating).
+    pub fn since(&self, earlier: &BulkStats) -> BulkStats {
+        BulkStats {
+            rows: self.rows.saturating_sub(earlier.rows),
+            intern_nanos: self.intern_nanos.saturating_sub(earlier.intern_nanos),
+            fill_nanos: self.fill_nanos.saturating_sub(earlier.fill_nanos),
+            index_nanos: self.index_nanos.saturating_sub(earlier.index_nanos),
+        }
+    }
 }
 
 impl Default for StateMachine {
@@ -148,11 +206,46 @@ impl Default for StateMachine {
             changes: HashMap::new(),
             suppressed: 0,
             change_index_cap: CHANGE_INDEX_CAPACITY,
+            bulk: BulkStats::default(),
         }
     }
 }
 
 impl StateMachine {
+    /// Upsert `rows` into `pool` with per-row slot resolution, version
+    /// stamping, value-identical suppression, and changefeed recording —
+    /// the [`LogCommand::WriteBatch`] semantics, shared with the
+    /// non-empty-pool fallback of [`LogCommand::BulkBatch`].
+    fn apply_write_rows(&mut self, pool: &Pool, rows: &[NetworkState]) -> usize {
+        let p = self
+            .pools
+            .entry(pool.clone())
+            .or_insert_with(|| Column::new(pool.clone()));
+        let idx = self.changes.entry(pool.clone()).or_default();
+        let mut effective = 0;
+        for row in rows {
+            let slot = slot_registry().slot_of(pool, row.var_id());
+            // Value-identical re-writes are complete no-ops: no
+            // version bump, no watermark move, no index entry, and
+            // the stored row keeps its original timestamp. This is
+            // what lets delta-maintained views stay bit-equal to
+            // full reads while quiescent rounds write nothing new.
+            if let Some(existing) = p.get_slot(slot) {
+                if existing.value == row.value && existing.writer == row.writer {
+                    self.suppressed += 1;
+                    continue;
+                }
+            }
+            self.next_version += 1;
+            let mut stamped = row.clone();
+            stamped.version = Version(self.next_version);
+            p.upsert_at(slot, stamped);
+            idx.record(self.next_version, slot, self.change_index_cap);
+            effective += 1;
+        }
+        effective
+    }
+
     /// An empty machine.
     pub fn new() -> Self {
         Self::default()
@@ -169,34 +262,45 @@ impl StateMachine {
     pub fn apply(&mut self, cmd: &LogCommand) -> usize {
         self.applied += 1;
         match cmd {
-            LogCommand::WriteBatch { pool, rows } => {
+            LogCommand::WriteBatch { pool, rows } => self.apply_write_rows(pool, rows),
+            LogCommand::BulkBatch { pool, rows } => {
+                if self.pools.get(pool).map(|p| !p.is_empty()).unwrap_or(false) {
+                    // Replay safety: over a non-empty pool (e.g. a log
+                    // tail replayed atop a snapshot that post-dates the
+                    // original bulk apply on another replica's timeline),
+                    // fall back to ordinary per-row semantics.
+                    return self.apply_write_rows(pool, rows);
+                }
+                let minted = Instant::now();
+                let vars: Vec<statesman_types::VarId> = rows.iter().map(|r| r.var_id()).collect();
+                let slots = slot_registry().slots_of_batch(pool, &vars);
+                let filled = Instant::now();
                 let p = self
                     .pools
                     .entry(pool.clone())
                     .or_insert_with(|| Column::new(pool.clone()));
-                let idx = self.changes.entry(pool.clone()).or_default();
-                let mut effective = 0;
-                for row in rows {
-                    let slot = slot_registry().slot_of(pool, row.var_id());
-                    // Value-identical re-writes are complete no-ops: no
-                    // version bump, no watermark move, no index entry, and
-                    // the stored row keeps its original timestamp. This is
-                    // what lets delta-maintained views stay bit-equal to
-                    // full reads while quiescent rounds write nothing new.
-                    if let Some(existing) = p.get_slot(slot) {
-                        if existing.value == row.value && existing.writer == row.writer {
-                            self.suppressed += 1;
-                            continue;
-                        }
-                    }
+                p.reserve(slot_registry().pool_slots(pool), rows.len());
+                for (slot, row) in slots.iter().zip(rows.iter()) {
                     self.next_version += 1;
                     let mut stamped = row.clone();
                     stamped.version = Version(self.next_version);
-                    p.upsert_at(slot, stamped);
-                    idx.record(self.next_version, slot, self.change_index_cap);
-                    effective += 1;
+                    p.upsert_at(*slot, stamped);
                 }
-                effective
+                let indexed = Instant::now();
+                // One watermark bump for the whole batch. Raising the
+                // floor with it declares the pre-seed history unservable,
+                // which is what per-row recording would have converged to
+                // after compaction at seed scale.
+                let idx = self.changes.entry(pool.clone()).or_default();
+                idx.entries.clear();
+                idx.floor = self.next_version;
+                idx.watermark = self.next_version;
+                let done = Instant::now();
+                self.bulk.rows += rows.len() as u64;
+                self.bulk.intern_nanos += (filled - minted).as_nanos() as u64;
+                self.bulk.fill_nanos += (indexed - filled).as_nanos() as u64;
+                self.bulk.index_nanos += (done - indexed).as_nanos() as u64;
+                rows.len()
             }
             LogCommand::DeleteBatch { pool, keys } => {
                 let mut removed = 0;
@@ -268,6 +372,12 @@ impl StateMachine {
         self.pools.get(pool).map(|p| p.len()).unwrap_or(0)
     }
 
+    /// Total live rows across every pool. O(pools): columns track their
+    /// live count.
+    pub fn total_rows(&self) -> usize {
+        self.pools.values().map(|p| p.len()).sum()
+    }
+
     /// Live row count per pool, sorted by wire name. O(pools), not
     /// O(rows): columns track their live count.
     pub fn pool_stats(&self) -> Vec<(Pool, u64)> {
@@ -332,6 +442,11 @@ impl StateMachine {
     /// Value-identical writes suppressed so far (cumulative).
     pub fn suppressed_count(&self) -> u64 {
         self.suppressed
+    }
+
+    /// Cumulative bulk-ingest stage timings (see [`BulkStats`]).
+    pub fn bulk_stats(&self) -> BulkStats {
+        self.bulk
     }
 
     /// Everything that changed in one pool after `since`, or `None` when
@@ -477,6 +592,7 @@ impl StateMachine {
             changes,
             suppressed: snap.suppressed,
             change_index_cap: CHANGE_INDEX_CAPACITY,
+            bulk: BulkStats::default(),
         }
     }
 }
@@ -708,6 +824,75 @@ mod tests {
         assert_eq!(d.upserts.len(), CHANGE_INDEX_CAPACITY - 100);
         // Pool contents are unaffected by index compaction.
         assert_eq!(m.pool_len(&Pool::Observed), CHANGE_INDEX_CAPACITY + 10);
+    }
+
+    #[test]
+    fn bulk_batch_seeds_empty_pool_with_single_watermark_bump() {
+        let mut m = StateMachine::new();
+        let rows: Vec<NetworkState> = (0..100).map(|i| row(&format!("bulk{i}"), "1")).collect();
+        let touched = m.apply(&LogCommand::BulkBatch {
+            pool: Pool::Observed,
+            rows: rows.clone().into(),
+        });
+        assert_eq!(touched, 100);
+        assert_eq!(m.pool_len(&Pool::Observed), 100);
+        assert_eq!(m.pool_watermark(&Pool::Observed), Version(100));
+        assert_eq!(m.bulk_stats().rows, 100);
+        // Versions stamped per row, ascending, like a WriteBatch would.
+        let v0 = m.get(&Pool::Observed, &rows[0].key()).unwrap().version;
+        let v99 = m.get(&Pool::Observed, &rows[99].key()).unwrap().version;
+        assert!(v99.is_newer_than(v0));
+        // Pre-seed history is unservable (floor raised); reads at the
+        // watermark are an empty delta, exactly like post-compaction.
+        assert!(m.changes_since(&Pool::Observed, Version::GENESIS).is_none());
+        assert!(m
+            .changes_since(&Pool::Observed, Version(100))
+            .unwrap()
+            .is_empty());
+        // Subsequent incremental writes are served normally.
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Observed,
+            rows: vec![row("bulk0", "2")],
+        });
+        let d = m.changes_since(&Pool::Observed, Version(100)).unwrap();
+        assert_eq!(d.upserts.len(), 1);
+        assert_eq!(d.upserts[0].value, Value::text("2"));
+    }
+
+    #[test]
+    fn bulk_batch_over_non_empty_pool_degrades_to_write_semantics() {
+        let mut m = StateMachine::new();
+        m.apply(&LogCommand::WriteBatch {
+            pool: Pool::Observed,
+            rows: vec![row("a", "1")],
+        });
+        let touched = m.apply(&LogCommand::BulkBatch {
+            pool: Pool::Observed,
+            rows: vec![row("a", "1"), row("b", "2")].into(),
+        });
+        // Value-identical row suppressed, new row recorded in the index.
+        assert_eq!(touched, 1);
+        assert_eq!(m.suppressed_count(), 1);
+        assert_eq!(m.bulk_stats().rows, 0, "fast path did not run");
+        let d = m.changes_since(&Pool::Observed, Version(1)).unwrap();
+        assert_eq!(d.upserts.len(), 1);
+        assert_eq!(d.upserts[0].value, Value::text("2"));
+    }
+
+    #[test]
+    fn bulk_batch_snapshot_round_trips_like_any_write() {
+        let mut m = StateMachine::new();
+        m.apply(&LogCommand::BulkBatch {
+            pool: Pool::Observed,
+            rows: std::sync::Arc::new((0..50).map(|i| row(&format!("s{i}"), "1")).collect()),
+        });
+        let snap = m.to_snapshot();
+        let back = StateMachine::from_snapshot(&snap);
+        assert_eq!(back.to_snapshot(), snap, "snapshot round-trip is exact");
+        assert_eq!(back.pool_watermark(&Pool::Observed), Version(50));
+        assert!(back
+            .changes_since(&Pool::Observed, Version::GENESIS)
+            .is_none());
     }
 
     #[test]

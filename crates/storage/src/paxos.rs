@@ -303,10 +303,19 @@ impl Replica {
         let Some(store) = self.store.clone() else {
             return;
         };
+        // A snapshot costs O(machine rows) — cloning (logical stores) or
+        // serializing (framed stores) the full image. Against a fixed
+        // absolute budget, steady telemetry churn over an N-row machine
+        // pays that O(N) image every round: quadratic compaction work
+        // over time (at 4M variables, a multi-second machine clone per
+        // round). Scaling the budget with the machine amortizes
+        // compaction to O(1) per appended row and still bounds the
+        // replayable tail to ~1/8 of a full image.
+        let weight_budget = SNAPSHOT_WEIGHT_BUDGET.max(self.machine.total_rows() / 8);
         let frontier = self.apply_frontier;
         let due = frontier > self.last_snap_frontier
             && (frontier - self.last_snap_frontier >= every
-                || self.wal_weight_since_snap >= SNAPSHOT_WEIGHT_BUDGET);
+                || self.wal_weight_since_snap >= weight_budget);
         if !due {
             return;
         }

@@ -90,6 +90,30 @@ pub struct WriteRequest {
     pub rows: Vec<NetworkState>,
 }
 
+/// Stage breakdown of one [`StorageService::write_bulk`] call. Stage
+/// times are summed across partitions (leader-replica apply time); the
+/// consensus/WAL remainder is `wall_ms` minus the stages — with
+/// partitions committing concurrently the stage sum can exceed the
+/// wall clock, so treat `commit_ms` as a floor of zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SeedStats {
+    /// Rows ingested.
+    pub rows: u64,
+    /// Partitions that committed a sub-batch.
+    pub partitions: usize,
+    /// Batched slot minting (including entity interning), ms.
+    pub intern_ms: f64,
+    /// Version stamping + column arena fill, ms.
+    pub fill_ms: f64,
+    /// Change-index/watermark maintenance, ms.
+    pub index_ms: f64,
+    /// Consensus + replication + WAL remainder (wall minus stages,
+    /// clamped at zero), ms.
+    pub commit_ms: f64,
+    /// End-to-end wall time of the bulk write, ms.
+    pub wall_ms: f64,
+}
+
 /// Cached pool snapshot for bounded-stale reads. Rows are shared via
 /// `Arc` so concurrent cache readers never copy under the lock. The
 /// watermark records which pool version the snapshot reflects, so an
@@ -594,6 +618,126 @@ impl StorageService {
             }
         }
         Ok(())
+    }
+
+    /// Bulk-ingest write for bootstrap seeding: identical routing,
+    /// validation, and failure semantics to [`StorageService::write`],
+    /// but each partition's sub-batch commits as a single
+    /// [`LogCommand::BulkBatch`] — batched slot minting, pre-sized
+    /// column storage, one watermark bump — and the call reports a
+    /// per-stage [`SeedStats`] breakdown. Partitions commit
+    /// concurrently, one consensus commit each, regardless of size;
+    /// callers accept the unbounded per-message payload that the
+    /// chunked steady-state write path deliberately avoids.
+    pub fn write_bulk(&self, req: WriteRequest) -> StateResult<SeedStats> {
+        let started = Instant::now();
+        if let Some(o) = self.obs() {
+            o.writes.inc();
+            o.rows_written.add(req.rows.len() as u64);
+        }
+        let mut by_dc: HashMap<DatacenterId, Vec<NetworkState>> = HashMap::new();
+        for row in req.rows {
+            if !row.is_well_formed() {
+                return Err(StateError::invalid(format!("malformed row {row}")));
+            }
+            by_dc
+                .entry(row.entity.datacenter.clone())
+                .or_default()
+                .push(row);
+        }
+        let mut dcs: Vec<DatacenterId> = by_dc.keys().cloned().collect();
+        dcs.sort();
+        for dc in &dcs {
+            if !self.parts.contains_key(dc) {
+                return Err(StateError::UnroutableEntity {
+                    entity: by_dc[dc][0].entity.clone(),
+                });
+            }
+        }
+        let pool = req.pool;
+        let per_part: Vec<StateResult<crate::machine::BulkStats>> = if dcs.len() <= 1 {
+            match dcs.first() {
+                Some(dc) => {
+                    let rows = by_dc.remove(dc).expect("key exists");
+                    vec![self.write_bulk_partition(dc, pool, rows)]
+                }
+                None => Vec::new(),
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = dcs
+                    .iter()
+                    .map(|dc| {
+                        let rows = by_dc.remove(dc).expect("key exists");
+                        let pool = pool.clone();
+                        scope.spawn(move || self.write_bulk_partition(dc, pool, rows))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("partition bulk-write thread panicked"))
+                    .collect()
+            })
+        };
+        let unit_results: Vec<StateResult<()>> = per_part
+            .iter()
+            .map(|r| r.as_ref().map(|_| ()).map_err(|e| e.clone()))
+            .collect();
+        partition_results(&dcs, unit_results)?;
+        let mut stats = SeedStats {
+            partitions: dcs.len(),
+            ..SeedStats::default()
+        };
+        for bulk in per_part.into_iter().flatten() {
+            stats.rows += bulk.rows;
+            stats.intern_ms += bulk.intern_nanos as f64 / 1e6;
+            stats.fill_ms += bulk.fill_nanos as f64 / 1e6;
+            stats.index_ms += bulk.index_nanos as f64 / 1e6;
+        }
+        stats.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        stats.commit_ms =
+            (stats.wall_ms - stats.intern_ms - stats.fill_ms - stats.index_ms).max(0.0);
+        Ok(stats)
+    }
+
+    /// One partition's share of a bulk write: a single `BulkBatch`
+    /// consensus commit, returning the leader machine's stage-timing
+    /// delta for this batch.
+    fn write_bulk_partition(
+        &self,
+        dc: &DatacenterId,
+        pool: Pool,
+        rows: Vec<NetworkState>,
+    ) -> StateResult<crate::machine::BulkStats> {
+        let part = self.parts.get(dc).expect("routability validated");
+        let mut ring = self.lock_ring(dc, part);
+        let before_stats = ring
+            .leader_machine()
+            .map(|m| m.bulk_stats())
+            .unwrap_or_default();
+        let before_suppressed = leader_suppressed(&mut ring);
+        self.submit_with_retry(
+            part,
+            &mut ring,
+            dc,
+            LogCommand::BulkBatch {
+                pool,
+                rows: std::sync::Arc::new(rows),
+            },
+        )?;
+        let suppressed = leader_suppressed(&mut ring).saturating_sub(before_suppressed);
+        if suppressed > 0 {
+            part.writes_suppressed
+                .fetch_add(suppressed, Ordering::Relaxed);
+            if let Some(o) = self.obs() {
+                o.writes_suppressed.add(suppressed);
+            }
+        }
+        Ok(ring
+            .leader_machine()
+            .map(|m| m.bulk_stats())
+            .unwrap_or_default()
+            .since(&before_stats))
     }
 
     /// Delete keys from a pool (split by partition like writes, with the
@@ -1829,6 +1973,58 @@ mod tests {
         assert_eq!(s.pool_len(&DatacenterId::new("dc1"), &Pool::Observed), 20);
         assert_eq!(s.pool_len(&DatacenterId::new("dc2"), &Pool::Observed), 20);
         assert_eq!(s.pool_len(&DatacenterId::wan(), &Pool::Observed), 20);
+    }
+
+    #[test]
+    fn write_bulk_seeds_partitions_and_reports_stages() {
+        let c = clock();
+        let s = svc(&c);
+        let rows: Vec<NetworkState> = (0..200)
+            .flat_map(|i| {
+                [
+                    row("dc1", &format!("bulk-d{i}"), "1", c.now()),
+                    row("dc2", &format!("bulk-d{i}"), "1", c.now()),
+                ]
+            })
+            .collect();
+        let stats = s
+            .write_bulk(WriteRequest {
+                pool: Pool::Observed,
+                rows: rows.clone(),
+            })
+            .unwrap();
+        assert_eq!(stats.rows, 400);
+        assert_eq!(stats.partitions, 2);
+        assert!(stats.wall_ms > 0.0);
+        // Reads see exactly the seeded rows.
+        for dc in ["dc1", "dc2"] {
+            let got = s
+                .read(ReadRequest {
+                    datacenter: DatacenterId::new(dc),
+                    pool: Pool::Observed,
+                    freshness: Freshness::UpToDate,
+                    entity: None,
+                    attribute: None,
+                })
+                .unwrap();
+            assert_eq!(got.len(), 200, "{dc}");
+        }
+        // Incremental reads from before the seed fall back to a full
+        // snapshot; writes after it are served as deltas.
+        let dc1 = DatacenterId::new("dc1");
+        let seeded = s.pool_watermark(&dc1, &Pool::Observed).unwrap();
+        let d = s
+            .read_since(&dc1, &Pool::Observed, Version::GENESIS)
+            .unwrap();
+        assert!(d.snapshot);
+        s.write(WriteRequest {
+            pool: Pool::Observed,
+            rows: vec![row("dc1", "bulk-d0", "2", c.now())],
+        })
+        .unwrap();
+        let d = s.read_since(&dc1, &Pool::Observed, seeded).unwrap();
+        assert!(!d.snapshot);
+        assert_eq!(d.upserts.len(), 1);
     }
 
     #[test]

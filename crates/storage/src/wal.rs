@@ -494,6 +494,12 @@ enum StoreInner {
         next_seq: u64,
         last_hash: u64,
         stats: WalStats,
+        /// Framed records buffered by an open commit group (group commit:
+        /// one media write + one fsync at [`ReplicaStore::end_group`]
+        /// instead of per-append). Always empty between groups.
+        pending: Vec<u8>,
+        /// Open group nesting depth; appends hit the media directly at 0.
+        group_depth: u32,
     },
 }
 
@@ -521,6 +527,8 @@ impl ReplicaStore {
                 next_seq: 0,
                 last_hash: 0,
                 stats: WalStats::default(),
+                pending: Vec::new(),
+                group_depth: 0,
             },
             DurabilityMode::Dir(base) => {
                 std::fs::create_dir_all(base)
@@ -533,6 +541,8 @@ impl ReplicaStore {
                     next_seq: 0,
                     last_hash: 0,
                     stats: WalStats::default(),
+                    pending: Vec::new(),
+                    group_depth: 0,
                 }
             }
         };
@@ -568,10 +578,19 @@ impl ReplicaStore {
                 next_seq,
                 last_hash,
                 stats,
+                pending,
+                group_depth,
             } => {
                 let payload = serde_json::to_vec(ev).expect("wal event serializes");
                 let rec = encode_record(*next_seq, *last_hash, &payload);
-                stats.fsyncs += media.append_wal(&rec);
+                if *group_depth > 0 {
+                    // Group commit: buffer the framed record; the group's
+                    // single media write + fsync happens at end_group,
+                    // before the client's commit is acknowledged.
+                    pending.extend_from_slice(&rec);
+                } else {
+                    stats.fsyncs += media.append_wal(&rec);
+                }
                 stats.appends += 1;
                 stats.bytes_written += rec.len() as u64;
                 *last_hash = chain_hash(*last_hash, &payload);
@@ -579,6 +598,41 @@ impl ReplicaStore {
                 if let WalEvent::Commit { slot, .. } = ev {
                     stats.tail_decree = stats.tail_decree.max(*slot);
                 }
+            }
+        }
+    }
+
+    /// Open a commit group: subsequent appends buffer their framed
+    /// records instead of writing + flushing the medium one at a time.
+    /// The whole group lands with **one** media write and one fsync at
+    /// the matching [`ReplicaStore::end_group`] — the classic group
+    /// commit, sound here because the client's acknowledgment (the
+    /// return from the ring's `submit`) is deferred until after the
+    /// group closes. Logical stores model an ideal medium and ignore
+    /// grouping. Groups nest; only the outermost close flushes.
+    pub fn begin_group(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if let StoreInner::Framed { group_depth, .. } = &mut *inner {
+            *group_depth += 1;
+        }
+    }
+
+    /// Close a commit group, flushing every buffered record with a single
+    /// media write + fsync. No-op when nothing was buffered.
+    pub fn end_group(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if let StoreInner::Framed {
+            media,
+            stats,
+            pending,
+            group_depth,
+            ..
+        } = &mut *inner
+        {
+            *group_depth = group_depth.saturating_sub(1);
+            if *group_depth == 0 && !pending.is_empty() {
+                stats.fsyncs += media.append_wal(pending);
+                pending.clear();
             }
         }
     }
@@ -603,7 +657,18 @@ impl ReplicaStore {
                 next_seq,
                 last_hash,
                 stats,
+                pending,
+                group_depth,
             } => {
+                // A load with an open group means the caller abandoned the
+                // group (e.g. a crash-restart mid-submit): flush whatever
+                // was buffered so the chain on the medium matches the
+                // in-memory seq/hash cursor before replaying it.
+                if !pending.is_empty() {
+                    stats.fsyncs += media.append_wal(pending);
+                    pending.clear();
+                }
+                *group_depth = 0;
                 let (snapshot, anchor) = match media.read_snap() {
                     None => (None, 0u64),
                     Some(blob) => match decode_snapshot_blob(&blob) {
@@ -715,7 +780,13 @@ impl ReplicaStore {
                 next_seq,
                 last_hash,
                 stats,
+                pending,
+                ..
             } => {
+                // Compaction rewrites the log from scratch; any records a
+                // group buffered are part of the tail being re-framed, so
+                // the buffer itself is dead.
+                pending.clear();
                 let wire = SnapshotWire {
                     frontier,
                     promised,
@@ -927,6 +998,63 @@ mod tests {
         assert!(load.refused, "acknowledged-state damage must be refused");
         assert!(load.events.is_empty());
         assert_eq!(store.stats().refusals, 1);
+    }
+
+    #[test]
+    fn group_commit_lands_many_appends_with_one_fsync() {
+        let store = ReplicaStore::new(&DurabilityMode::FramedMemory, ReplicaId(0));
+        store.append(&WalEvent::Commit {
+            slot: 1,
+            cmd: LogCommand::Noop,
+        });
+        let before = store.stats();
+        store.begin_group();
+        for slot in 2..=9 {
+            store.append(&WalEvent::Commit {
+                slot,
+                cmd: LogCommand::Noop,
+            });
+        }
+        assert_eq!(
+            store.stats().fsyncs,
+            before.fsyncs,
+            "appends inside an open group must not touch the medium"
+        );
+        store.end_group();
+        let after = store.stats();
+        assert_eq!(after.appends, before.appends + 8);
+        assert_eq!(after.fsyncs, before.fsyncs + 1, "one flush per group");
+        // The grouped records chain onto the pre-group tail and replay
+        // exactly like per-append writes.
+        assert_eq!(store.verify_chain().unwrap(), 9);
+        let load = store.load();
+        assert_eq!(load.events.len(), 9);
+        assert!(!load.refused);
+        assert_eq!(store.stats().tail_decree, 9);
+    }
+
+    #[test]
+    fn empty_and_nested_groups_do_not_flush() {
+        let store = ReplicaStore::new(&DurabilityMode::FramedMemory, ReplicaId(0));
+        let before = store.stats().fsyncs;
+        store.begin_group();
+        store.end_group();
+        assert_eq!(store.stats().fsyncs, before, "empty group is free");
+        store.begin_group();
+        store.begin_group();
+        store.append(&WalEvent::Commit {
+            slot: 1,
+            cmd: LogCommand::Noop,
+        });
+        store.end_group();
+        assert_eq!(
+            store.stats().fsyncs,
+            before,
+            "inner close must not flush while the outer group is open"
+        );
+        store.end_group();
+        assert_eq!(store.stats().fsyncs, before + 1);
+        assert_eq!(store.verify_chain().unwrap(), 1);
     }
 
     #[test]

@@ -151,14 +151,15 @@ pub fn evaluate(
     evaluate_with_baselines(graph, health, pairs, &base)
 }
 
-/// Baseline (all-up) max-flow per pair.
+/// Baseline (all-up) max-flow per pair. Pairs solve independently, so
+/// the panel fans out across the worker pool; `pair_flow` is pure and
+/// results merge in pair order, so the output is thread-count invariant.
 pub fn baselines_for(graph: &NetworkGraph, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
     let all_up = HealthView::all_up();
     let layered = is_pod_layered(graph);
-    pairs
-        .iter()
-        .map(|&(s, t)| pair_flow(graph, &all_up, s, t, layered))
-        .collect()
+    crate::par::ordered_map(crate::par::worker_threads(), pairs, |&(s, t)| {
+        pair_flow(graph, &all_up, s, t, layered)
+    })
 }
 
 /// Whether every edge either stays within one pod or touches a pod-less
@@ -215,16 +216,22 @@ pub fn evaluate_with_baselines(
 ) -> CapacityReport {
     assert_eq!(pairs.len(), baselines.len());
     let layered = is_pod_layered(graph);
-    let pairs = pairs
+    // Each (pair, pod-scope) max-flow is independent of every other;
+    // fan the panel out and merge in pair order (bit-identical to the
+    // serial sweep for any worker count).
+    let indexed: Vec<(NodeId, NodeId, f64)> = pairs
         .iter()
         .zip(baselines)
-        .map(|(&(s, t), &b)| TorPairCapacity {
+        .map(|(&(s, t), &b)| (s, t, b))
+        .collect();
+    let pairs = crate::par::ordered_map(crate::par::worker_threads(), &indexed, |&(s, t, b)| {
+        TorPairCapacity {
             src: s,
             dst: t,
             baseline_mbps: b,
             current_mbps: pair_flow(graph, health, s, t, layered),
-        })
-        .collect();
+        }
+    });
     CapacityReport { pairs }
 }
 
@@ -244,26 +251,23 @@ impl CapacityReport {
         health: &HealthView,
         touched_pods: &HashSet<(DatacenterId, u32)>,
     ) -> CapacityReport {
-        let pairs = self
-            .pairs
-            .iter()
-            .map(|p| {
-                let touched = [p.src, p.dst].iter().any(|&n| {
-                    let info = graph.node(n);
-                    info.pod
-                        .map(|pod| touched_pods.contains(&(info.datacenter.clone(), pod)))
-                        .unwrap_or(false)
-                });
-                if touched {
-                    TorPairCapacity {
-                        current_mbps: pair_flow(graph, health, p.src, p.dst, is_pod_layered(graph)),
-                        ..p.clone()
-                    }
-                } else {
-                    p.clone()
+        let layered = is_pod_layered(graph);
+        let pairs = crate::par::ordered_map(crate::par::worker_threads(), &self.pairs, |p| {
+            let touched = [p.src, p.dst].iter().any(|&n| {
+                let info = graph.node(n);
+                info.pod
+                    .map(|pod| touched_pods.contains(&(info.datacenter.clone(), pod)))
+                    .unwrap_or(false)
+            });
+            if touched {
+                TorPairCapacity {
+                    current_mbps: pair_flow(graph, health, p.src, p.dst, layered),
+                    ..p.clone()
                 }
-            })
-            .collect();
+            } else {
+                p.clone()
+            }
+        });
         CapacityReport { pairs }
     }
 }

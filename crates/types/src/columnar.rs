@@ -42,6 +42,18 @@ impl RowArena {
         Self::default()
     }
 
+    /// Pre-allocate chunk storage for `additional` more rows, so a bulk
+    /// fill never reallocates the chunk table mid-append.
+    fn reserve(&mut self, additional: usize) {
+        let free = self
+            .chunks
+            .last()
+            .map(|c| ARENA_CHUNK - c.len())
+            .unwrap_or(0);
+        let needed = additional.saturating_sub(free).div_ceil(ARENA_CHUNK);
+        self.chunks.reserve(needed);
+    }
+
     /// Append a row, returning its stable index.
     fn push(&mut self, row: NetworkState) -> u32 {
         if self
@@ -183,6 +195,22 @@ impl Column {
     /// process-wide registry without minting).
     pub fn get_var(&self, var: VarId) -> Option<&NetworkState> {
         self.get_slot(slot_registry().lookup(&self.pool, var)?)
+    }
+
+    /// Pre-size the slot vector and occupancy bitmap up to `slot_high`
+    /// slots and reserve arena storage for `rows` incoming rows — the
+    /// bulk-ingest companion of [`Column::upsert_at`]: after one reserve,
+    /// a fill of pre-minted slots below `slot_high` never grows the slot
+    /// table incrementally.
+    pub fn reserve(&mut self, slot_high: usize, rows: usize) {
+        if slot_high > self.slots.len() {
+            self.slots.resize(slot_high, NO_ROW);
+        }
+        let words = slot_high.div_ceil(64);
+        if words > self.occupied.len() {
+            self.occupied.resize(words, 0);
+        }
+        self.arena.reserve(rows);
     }
 
     /// Insert or replace the row for `var`, minting its slot on first
@@ -386,6 +414,31 @@ mod tests {
         assert_eq!(c.rows().count(), 0);
         c.upsert(row("a", "x"));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reserve_then_bulk_fill_reads_back_identically() {
+        let mut a = Column::new(Pool::Observed);
+        let mut b = Column::new(Pool::Observed);
+        let rows: Vec<NetworkState> = (0..ARENA_CHUNK + 50)
+            .map(|i| row(&format!("bulk{i}"), "1"))
+            .collect();
+        let slots = slot_registry().slots_of_batch(
+            &Pool::Observed,
+            &rows.iter().map(|r| r.var_id()).collect::<Vec<_>>(),
+        );
+        let high = slots.iter().map(|s| s.index() + 1).max().unwrap();
+        a.reserve(high, rows.len());
+        for (slot, r) in slots.iter().zip(&rows) {
+            a.upsert_at(*slot, r.clone());
+        }
+        for r in &rows {
+            b.upsert(r.clone());
+        }
+        assert_eq!(a.len(), b.len());
+        let av: Vec<&NetworkState> = a.rows().collect();
+        let bv: Vec<&NetworkState> = b.rows().collect();
+        assert_eq!(av, bv, "bulk fill is bit-identical to per-row upserts");
     }
 
     #[test]

@@ -223,6 +223,32 @@ impl SlotRegistry {
         SlotId(slot)
     }
 
+    /// Slots for a whole batch of variables in one pool, minting on first
+    /// sight — one write-lock acquisition for the entire batch instead of
+    /// a read-probe + write-mint cycle per variable. Returned slots are in
+    /// input order; duplicates in `vars` resolve to the same slot. The
+    /// bulk-ingest seed path lives on this: a bootstrap batch is almost
+    /// entirely first-sight variables, where `slot_of`'s per-call fast
+    /// path never hits.
+    pub fn slots_of_batch(&self, pool: &Pool, vars: &[VarId]) -> Vec<SlotId> {
+        let mut inner = self.inner.write().expect("slot registry poisoned");
+        let pool_slots = inner.pools.entry(pool.clone()).or_default();
+        pool_slots.lookup.reserve(vars.len());
+        pool_slots.vars.reserve(vars.len());
+        vars.iter()
+            .map(|v| match pool_slots.lookup.entry(*v) {
+                std::collections::hash_map::Entry::Occupied(e) => SlotId(*e.get()),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let slot =
+                        u32::try_from(pool_slots.vars.len()).expect("slot registry overflow");
+                    pool_slots.vars.push(*v);
+                    e.insert(slot);
+                    SlotId(slot)
+                }
+            })
+            .collect()
+    }
+
     /// The slot of `var` in `pool`, if one has been minted (never mints —
     /// the read-path counterpart of [`SlotRegistry::slot_of`]).
     pub fn lookup(&self, pool: &Pool, var: VarId) -> Option<SlotId> {
@@ -361,6 +387,28 @@ mod tests {
         assert_eq!(reg.var_of(&os, sb), b);
         assert_eq!(reg.pool_slots(&os), 2);
         assert_eq!(reg.pool_slots(&ts), 1);
+    }
+
+    #[test]
+    fn batch_slot_minting_matches_per_var_minting() {
+        let reg = SlotRegistry::new();
+        let vars: Vec<VarId> = (0..10)
+            .map(|i| VarId::of(&dev(&format!("b{i}")), Attribute::DeviceFirmwareVersion))
+            .collect();
+        // Pre-mint a few one at a time, then batch the full set with a
+        // duplicate: existing slots are reused, new ones minted in order.
+        let s0 = reg.slot_of(&Pool::Observed, vars[3]);
+        let s1 = reg.slot_of(&Pool::Observed, vars[7]);
+        let mut batch = vars.clone();
+        batch.push(vars[0]);
+        let slots = reg.slots_of_batch(&Pool::Observed, &batch);
+        assert_eq!(slots[3], s0);
+        assert_eq!(slots[7], s1);
+        assert_eq!(slots[10], slots[0], "duplicates share a slot");
+        for (i, v) in vars.iter().enumerate() {
+            assert_eq!(reg.slot_of(&Pool::Observed, *v), slots[i]);
+        }
+        assert_eq!(reg.pool_slots(&Pool::Observed), vars.len());
     }
 
     #[test]

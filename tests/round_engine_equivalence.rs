@@ -1,0 +1,202 @@
+//! Round-engine determinism: the fork-join parallel stages (parallel
+//! invariant evaluation in the checker, wave-parallel rendering and
+//! in-flight projection in the updater) must be **bit-identical** to the
+//! serial paths at every worker count. All effectful sim interaction —
+//! command issue order, RNG draws, storage submits — stays
+//! single-threaded by contract (see DESIGN.md "Round engine"); only pure
+//! stages fan out, and their results merge in index order. So the same
+//! inputs at 1, 2, and 8 worker threads must produce the same
+//! `RoundReport`s, receipt streams, and chaos outcomes.
+
+use proptest::prelude::*;
+use statesman_core::{Coordinator, CoordinatorConfig, RoundReport};
+use statesman_net::{SimClock, SimConfig, SimNetwork};
+use statesman_storage::{StorageService, WriteRequest};
+use statesman_topology::DcnSpec;
+use statesman_types::{AppId, Attribute, EntityName, NetworkState, Pool, SimDuration, Value};
+
+/// Every decision-bearing field of a round, none of the wall-clock ones.
+/// Timings (`elapsed`, the stage durations, `SeedStats` milliseconds)
+/// legitimately differ run to run; everything here must not.
+fn digest(r: &RoundReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "monitor rows={} suppressed={} quarantined={} polled={} seed={:?}\n",
+        r.rows_written,
+        r.writes_suppressed,
+        r.monitor.devices_quarantined,
+        r.monitor.devices_polled,
+        r.monitor.seed.map(|s| (s.rows, s.partitions)),
+    ));
+    for c in &r.checkers {
+        out.push_str(&format!(
+            "checker group={} seen={} accepted={} rejected={} satisfied={} \
+             ts_pruned={} quarantine_rejected={} vars_read={}\n",
+            c.group,
+            c.proposals_seen,
+            c.accepted,
+            c.rejected,
+            c.already_satisfied,
+            c.ts_pruned,
+            c.quarantine_rejected,
+            c.variables_read,
+        ));
+        for rc in &c.receipts {
+            out.push_str(&format!(
+                "  receipt app={:?} key={:?} proposed={:?} outcome={:?} at={:?}\n",
+                rc.app, rc.key, rc.proposed, rc.outcome, rc.decided_at
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "updater diffs={} applied={} failed={} unrenderable={} retries={} \
+         breaker_skips={} quarantine_skips={} breakers_opened={} \
+         plan={}w{}x{} inflight_rej={} rollbacks={} sim_io={:?}\n",
+        r.updater.diffs,
+        r.updater.commands_applied,
+        r.updater.commands_failed,
+        r.updater.unrenderable,
+        r.updater.retries,
+        r.updater.breaker_skips,
+        r.updater.quarantine_skips,
+        r.updater.breakers_opened,
+        r.updater.plan_steps,
+        r.updater.plan_waves,
+        r.updater.plan_max_width,
+        r.updater.plan_inflight_rejections,
+        r.updater.plan_rollbacks,
+        r.updater.sim_io,
+    ));
+    out.push_str(&format!(
+        "round skipped={:?} delta_reads={} fallbacks={} watermark_lag={} retries={}\n",
+        r.skipped_groups, r.delta_reads, r.full_fallbacks, r.watermark_lag, r.storage_retries
+    ));
+    out
+}
+
+/// One proptest-chosen target-state change on the tiny fabric.
+#[derive(Debug, Clone)]
+struct Churn {
+    pod: u32,
+    agg: u32,
+    attr_pick: u8,
+    tag: u8,
+}
+
+fn churn_strategy() -> impl Strategy<Value = Churn> {
+    (1..=2u32, 1..=2u32, 0..3u8, 0..8u8).prop_map(|(pod, agg, attr_pick, tag)| Churn {
+        pod,
+        agg,
+        attr_pick,
+        tag,
+    })
+}
+
+fn churn_row(c: &Churn, at: statesman_types::SimTime) -> NetworkState {
+    let entity = EntityName::device("dc1", format!("agg-{}-{}", c.pod, c.agg));
+    let (attr, value) = match c.attr_pick {
+        0 => (
+            Attribute::DeviceFirmwareVersion,
+            Value::text(format!("9.{}", c.tag)),
+        ),
+        1 => (
+            Attribute::DeviceBootImage,
+            Value::text(format!("img-{}", c.tag)),
+        ),
+        _ => (
+            Attribute::DeviceAdminPower,
+            Value::power(c.tag.is_multiple_of(2)),
+        ),
+    };
+    NetworkState::new(entity, attr, value, at, AppId::new("round-engine-prop"))
+}
+
+/// Drive a fresh coordinator at `workers` worker threads through a seed
+/// round plus one churn round per entry, returning the digest stream.
+fn run_rounds(workers: usize, churn: &[Vec<Churn>]) -> Vec<String> {
+    let clock = SimClock::new();
+    let graph = DcnSpec::tiny("dc1").build();
+    let net = SimNetwork::new(&graph, clock.clone(), SimConfig::ideal());
+    let storage = StorageService::single_dc("dc1", clock.clone());
+    let coord = Coordinator::new(
+        &graph,
+        net,
+        storage.clone(),
+        CoordinatorConfig {
+            worker_threads: Some(workers),
+            ..Default::default()
+        },
+    );
+    let mut out = vec![digest(&coord.tick().expect("seed round"))];
+    for round in churn {
+        let rows: Vec<NetworkState> = round.iter().map(|c| churn_row(c, clock.now())).collect();
+        if !rows.is_empty() {
+            storage
+                .write(WriteRequest {
+                    pool: Pool::Target,
+                    rows,
+                })
+                .expect("write churn TS");
+        }
+        out.push(digest(
+            &coord
+                .tick_and_advance(SimDuration::from_mins(1))
+                .expect("churn round"),
+        ));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The core property: whatever target churn the rounds see, the
+    /// per-round digests are identical at 1 (fully serial), 2, and 8
+    /// worker threads.
+    #[test]
+    fn round_reports_identical_across_worker_counts(
+        churn in proptest::collection::vec(
+            proptest::collection::vec(churn_strategy(), 0..4), 1..4)
+    ) {
+        let serial = run_rounds(1, &churn);
+        for workers in [2usize, 8] {
+            let parallel = run_rounds(workers, &churn);
+            prop_assert_eq!(
+                &serial, &parallel,
+                "round digests diverged at {} workers", workers
+            );
+        }
+    }
+}
+
+/// The chaos-grade version: the standard multi-layer fault scenario
+/// (device/mgmt/partition outages, command faults, quarantines) across
+/// the five standard seeds, run at 1, 2, and 8 worker threads — every
+/// `ScenarioOutcome` field must match the serial run exactly.
+#[test]
+fn chaos_outcomes_identical_across_worker_counts() {
+    use statesman_chaos::ChaosScenario;
+    for seed in 1..=5u64 {
+        let serial = {
+            let mut s = ChaosScenario::standard(seed);
+            s.worker_threads = Some(1);
+            s.run()
+        };
+        assert!(
+            serial.safety_violations.is_empty(),
+            "seed {seed}: safety violations: {:?}",
+            serial.safety_violations
+        );
+        for workers in [2usize, 8] {
+            let parallel = {
+                let mut s = ChaosScenario::standard(seed);
+                s.worker_threads = Some(workers);
+                s.run()
+            };
+            assert_eq!(
+                serial, parallel,
+                "seed {seed}: chaos outcome diverged at {workers} worker threads"
+            );
+        }
+    }
+}
